@@ -1,0 +1,65 @@
+//! Criterion bench for the §IV scheduling-overhead claim: one full Load
+//! Balancing invocation (Dijkstra R\* mapping + Algorithm 2 LP + integer
+//! rounding) must average well under 2 ms per inter-frame.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use feves_codec::types::Module;
+use feves_hetsim::platform::Platform;
+use feves_hetsim::timeline::{Dir, TransferTag};
+use feves_sched::{BalanceInput, Ewma, FevesBalancer, LoadBalancer, PerfChar};
+
+/// Characterize a platform from its true profiles (noise-free equivalent of
+/// the equidistant first frame).
+fn perfchar_for(platform: &Platform) -> PerfChar {
+    let mut pc = PerfChar::new(platform.len(), Ewma(1.0));
+    for (i, dev) in platform.devices.iter().enumerate() {
+        pc.record_compute(i, Module::Me, 1, dev.compute_time(Module::Me, 120.0 * 1024.0, 1.0));
+        pc.record_compute(i, Module::Interp, 1, dev.compute_time(Module::Interp, 120.0, 1.0));
+        pc.record_compute(i, Module::Sme, 1, dev.compute_time(Module::Sme, 120.0, 1.0));
+        let rstar: f64 = [Module::Mc, Module::Tq, Module::Itq, Module::Dbl]
+            .iter()
+            .map(|&m| dev.compute_time(m, 120.0 * 68.0, 1.0))
+            .sum();
+        pc.record_rstar(i, rstar);
+        if let Some(link) = dev.link {
+            use feves_codec::workload::bytes_per_row as bpr;
+            for (tag, bytes) in [
+                (TransferTag::Cf, bpr::cf(1920)),
+                (TransferTag::Rf, bpr::rf(1920)),
+                (TransferTag::Sf, bpr::sf(1920)),
+                (TransferTag::Mv, bpr::mv(1920)),
+            ] {
+                pc.record_transfer(i, tag, Dir::H2d, 1, link.transfer_time(bytes, true));
+                pc.record_transfer(i, tag, Dir::D2h, 1, link.transfer_time(bytes, false));
+            }
+        }
+    }
+    pc
+}
+
+fn bench_load_balancing(c: &mut Criterion) {
+    let mut group = c.benchmark_group("load_balancing_per_frame");
+    for (name, platform) in [
+        ("SysNF", Platform::sys_nf()),
+        ("SysNFF", Platform::sys_nff()),
+        ("SysHK", Platform::sys_hk()),
+    ] {
+        let perf = perfchar_for(&platform);
+        group.bench_with_input(BenchmarkId::from_parameter(name), &platform, |b, p| {
+            let mut balancer = FevesBalancer::default();
+            b.iter(|| {
+                let d = balancer.distribute(&BalanceInput {
+                    n_rows: 68,
+                    platform: p,
+                    perf: &perf,
+                    prev: None,
+                });
+                std::hint::black_box(d)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_load_balancing);
+criterion_main!(benches);

@@ -1,0 +1,83 @@
+//! Regenerates the §II module-share claims (from the authors' technical
+//! report [4] that the grouping decision rests on): ME+INT+SME take ≈90 %
+//! of the inter-loop encoding time on both CPU and GPU, and MC+TQ+TQ⁻¹
+//! take <3 % — the rationale for balancing the former and pinning the
+//! latter (plus DBL) to one device.
+//!
+//! ```sh
+//! cargo run -p feves-bench --release --bin breakdown
+//! ```
+
+use feves_codec::types::{EncodeParams, Module, SearchArea};
+use feves_codec::workload::units_per_frame;
+use feves_hetsim::profiles;
+use serde::Serialize;
+use std::collections::BTreeMap;
+
+#[derive(Serialize)]
+struct Share {
+    device: String,
+    module: String,
+    milliseconds: f64,
+    share: f64,
+}
+
+fn main() {
+    let params = EncodeParams {
+        search_area: SearchArea(32),
+        n_ref: 1,
+        ..Default::default()
+    };
+    println!("Module time breakdown, 1080p, SA 32x32, 1 RF (module kernel times)\n");
+    let devices = [
+        profiles::cpu_nehalem(),
+        profiles::cpu_haswell(),
+        profiles::gpu_fermi(),
+        profiles::gpu_kepler(),
+    ];
+    let mut records = Vec::new();
+    println!(
+        "{:>8} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8} | {:>9} {:>9}",
+        "device", "ME", "INT", "SME", "MC", "TQ", "TQ-1", "DBL", "heavy%", "MC+TQs%"
+    );
+    for dev in devices {
+        let t = |m: Module| dev.compute_time(m, units_per_frame(m, &params, 120, 68), 1.0) * 1e3;
+        let times: BTreeMap<&str, f64> = BTreeMap::from([
+            ("ME", t(Module::Me)),
+            ("INT", t(Module::Interp)),
+            ("SME", t(Module::Sme)),
+            ("MC", t(Module::Mc)),
+            ("TQ", t(Module::Tq)),
+            ("TQ-1", t(Module::Itq)),
+            ("DBL", t(Module::Dbl)),
+        ]);
+        let total: f64 = times.values().sum();
+        let heavy = (times["ME"] + times["INT"] + times["SME"]) / total * 100.0;
+        let mctq = (times["MC"] + times["TQ"] + times["TQ-1"]) / total * 100.0;
+        println!(
+            "{:>8} {:>8.2} {:>8.2} {:>8.2} {:>8.2} {:>8.2} {:>8.2} {:>8.2} | {:>8.1}% {:>8.1}%",
+            dev.name,
+            times["ME"],
+            times["INT"],
+            times["SME"],
+            times["MC"],
+            times["TQ"],
+            times["TQ-1"],
+            times["DBL"],
+            heavy,
+            mctq
+        );
+        for (m, ms) in &times {
+            records.push(Share {
+                device: dev.name.clone(),
+                module: m.to_string(),
+                milliseconds: *ms,
+                share: ms / total,
+            });
+        }
+    }
+    feves_bench::write_json("breakdown", &records);
+    println!("\npaper: ME+INT+SME ≈ 90% on CPU and GPU [4]; MC+TQ+TQ⁻¹ < 3%.");
+    println!("(times in ms per frame; on GPUs INT runs concurrently with ME,");
+    println!(" the shares above are of summed kernel time as in [4])");
+}

@@ -1,0 +1,48 @@
+//! Regenerates **Fig 6(a)**: encoding speed (fps) for 1080p sequences vs
+//! search-area size (1 reference frame), for the four single devices and
+//! the three CPU+GPU systems.
+//!
+//! ```sh
+//! cargo run -p feves-bench --release --bin fig6a
+//! ```
+
+use feves_bench::{rt_mark, standard_configs, steady_fps, write_json};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Record {
+    config: String,
+    sa: u16,
+    fps: f64,
+    realtime: bool,
+}
+
+fn main() {
+    let sas = [32u16, 64, 128, 256];
+    println!("Fig 6(a): 1080p encoding speed [fps] vs SA size, 1 RF ('*' = ≥25 fps)\n");
+    print!("{:>8}", "config");
+    for sa in sas {
+        print!(" {:>9}", format!("{sa}x{sa}"));
+    }
+    println!();
+    let mut records = Vec::new();
+    for (name, platform, balancer) in standard_configs() {
+        print!("{name:>8}");
+        for sa in sas {
+            let fps = steady_fps(platform.clone(), balancer, sa, 1);
+            print!(" {:>8.1}{}", fps, rt_mark(fps));
+            records.push(Record {
+                config: name.into(),
+                sa,
+                fps,
+                realtime: fps >= 25.0,
+            });
+        }
+        println!();
+    }
+    write_json("fig6a", &records);
+    println!(
+        "\npaper shape: fps roughly quarters per SA step (ME quadruples);\n\
+         both GPUs and all three systems real-time at 32x32; SysHK also at 64x64."
+    );
+}

@@ -1,0 +1,97 @@
+//! Regenerates **Fig 6(b)**: encoding speed (fps) for 1080p sequences vs
+//! number of reference frames (32×32 SA), plus the §IV speedup claims
+//! (SysHK ≈1.3× GPU_K / ≈3× CPU_H; SysNFF up to 2.2× GPU_F / 5× CPU_N;
+//! CPU_H ≈1.7× CPU_N; GPU_K ≈2× GPU_F).
+//!
+//! ```sh
+//! cargo run -p feves-bench --release --bin fig6b
+//! ```
+
+use feves_bench::{rt_mark, standard_configs, steady_fps, write_json};
+use serde::Serialize;
+use std::collections::BTreeMap;
+
+#[derive(Serialize)]
+struct Record {
+    config: String,
+    n_ref: usize,
+    fps: f64,
+    realtime: bool,
+}
+
+fn main() {
+    let rfs: Vec<usize> = (1..=8).collect();
+    println!("Fig 6(b): 1080p encoding speed [fps] vs number of RFs, SA 32x32 ('*' = ≥25 fps)\n");
+    print!("{:>8}", "config");
+    for rf in &rfs {
+        print!(" {:>8}", format!("{rf} RF"));
+    }
+    println!();
+    let mut records = Vec::new();
+    let mut table: BTreeMap<String, Vec<f64>> = BTreeMap::new();
+    for (name, platform, balancer) in standard_configs() {
+        print!("{name:>8}");
+        let mut row = Vec::new();
+        for &rf in &rfs {
+            let fps = steady_fps(platform.clone(), balancer, 32, rf);
+            print!(" {:>7.1}{}", fps, rt_mark(fps));
+            row.push(fps);
+            records.push(Record {
+                config: name.into(),
+                n_ref: rf,
+                fps,
+                realtime: fps >= 25.0,
+            });
+        }
+        table.insert(name.to_string(), row);
+        println!();
+    }
+    write_json("fig6b", &records);
+
+    // §IV speedup summary (averaged over all RF counts, as the text does).
+    let avg_ratio = |a: &str, b: &str| -> f64 {
+        let (ra, rb) = (&table[a], &table[b]);
+        ra.iter().zip(rb).map(|(x, y)| x / y).sum::<f64>() / ra.len() as f64
+    };
+    let max_ratio = |a: &str, b: &str| -> f64 {
+        table[a]
+            .iter()
+            .zip(&table[b])
+            .map(|(x, y)| x / y)
+            .fold(0.0, f64::max)
+    };
+    println!("\n§IV speedups (paper → measured):");
+    println!(
+        "  SysHK vs GPU_K : ~1.3 avg → {:.2} avg",
+        avg_ratio("SysHK", "GPU_K")
+    );
+    println!(
+        "  SysHK vs CPU_H : ~3   avg → {:.2} avg",
+        avg_ratio("SysHK", "CPU_H")
+    );
+    println!(
+        "  SysNFF vs GPU_F: ≤2.2 max → {:.2} max",
+        max_ratio("SysNFF", "GPU_F")
+    );
+    println!(
+        "  SysNFF vs CPU_N: ≤5   max → {:.2} max",
+        max_ratio("SysNFF", "CPU_N")
+    );
+    println!(
+        "  CPU_H vs CPU_N : ~1.7     → {:.2} avg",
+        avg_ratio("CPU_H", "CPU_N")
+    );
+    println!(
+        "  GPU_K vs GPU_F : ~2       → {:.2} avg",
+        avg_ratio("GPU_K", "GPU_F")
+    );
+    let speedups: BTreeMap<&str, f64> = BTreeMap::from([
+        ("syshk_vs_gpuk_avg", avg_ratio("SysHK", "GPU_K")),
+        ("syshk_vs_cpuh_avg", avg_ratio("SysHK", "CPU_H")),
+        ("sysnff_vs_gpuf_max", max_ratio("SysNFF", "GPU_F")),
+        ("sysnff_vs_cpun_max", max_ratio("SysNFF", "CPU_N")),
+        ("cpuh_vs_cpun_avg", avg_ratio("CPU_H", "CPU_N")),
+        ("gpuk_vs_gpuf_avg", avg_ratio("GPU_K", "GPU_F")),
+    ]);
+    write_json("fig6b_speedups", &speedups);
+}

@@ -1,0 +1,115 @@
+//! Regenerates **Fig 7**: per-frame encoding time of the first 100
+//! inter-frames on SysHK with the adaptive load balancer —
+//! (a) SA 64×64 with 1–2 RFs, (b) SA 32×32 with 1–5 RFs, including the
+//! paper's "sudden change in the system performance" events (frames 76/81
+//! for 1 RF, frames 31/71/92 for 2 RFs) and the one-frame recovery.
+//!
+//! ```sh
+//! cargo run -p feves-bench --release --bin fig7
+//! ```
+
+use feves_bench::{hd_config, write_json};
+use feves_core::prelude::*;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Trace {
+    panel: &'static str,
+    n_ref: usize,
+    times_ms: Vec<f64>,
+    perturbed_frames: Vec<usize>,
+}
+
+fn trace(sa: u16, n_ref: usize, perturb: &[usize], panel: &'static str) -> Trace {
+    let mut cfg = hd_config(sa, n_ref, BalancerKind::Feves);
+    cfg.noise_seed ^= n_ref as u64; // distinct jitter per curve, like reality
+    let mut enc = FevesEncoder::new(Platform::sys_hk(), cfg).unwrap();
+    // The paper's transient events: "other processes started running" — a
+    // one-frame 2.5x slowdown of the CPU cores.
+    for &f in perturb {
+        for core in 1..=4 {
+            enc.add_perturbation(Perturbation {
+                device: core,
+                frames: f..f + 1,
+                factor: 0.4,
+            });
+        }
+    }
+    let rep = enc.run_timing(100);
+    Trace {
+        panel,
+        n_ref,
+        times_ms: rep.inter_frames().map(|f| f.tau_tot * 1e3).collect(),
+        perturbed_frames: perturb.to_vec(),
+    }
+}
+
+fn print_trace(t: &Trace) {
+    println!("\n{} — {} RF (encoding time per frame [ms]):", t.panel, t.n_ref);
+    for (i, ms) in t.times_ms.iter().enumerate() {
+        let frame = i + 1;
+        if frame <= 8
+            || frame % 10 == 0
+            || t.perturbed_frames.iter().any(|&p| frame >= p && frame <= p + 2)
+        {
+            let mark = if t.perturbed_frames.contains(&frame) {
+                "  <- perturbation"
+            } else {
+                ""
+            };
+            let bar: String = std::iter::repeat_n('#', (ms / 2.5).round() as usize)
+                .collect();
+            println!("  f{frame:03} {ms:7.2} |{bar}{mark}");
+        }
+    }
+    let steady: f64 =
+        t.times_ms[10..].iter().sum::<f64>() / (t.times_ms.len() - 10) as f64;
+    println!(
+        "  equidistant frame 1: {:.1} ms; steady state: {:.1} ms ({} real-time)",
+        t.times_ms[0],
+        steady,
+        if steady <= 40.0 { "is" } else { "NOT" }
+    );
+}
+
+fn main() {
+    println!("Fig 7: adaptive load balancing on SysHK, 1080p, first 100 inter-frames");
+    println!("(real-time bound = 40 ms/frame)");
+
+    // Panel (a): SA 64x64, 1-2 RFs, no injected events (the paper's (a)
+    // shows near-constant curves).
+    let mut traces = Vec::new();
+    for rf in [1usize, 2] {
+        let t = trace(64, rf, &[], "Fig 7(a) SA 64x64");
+        print_trace(&t);
+        traces.push(t);
+    }
+
+    // Panel (b): SA 32x32, 1-5 RFs; events at the paper's frames.
+    for rf in 1..=5usize {
+        let perturb: &[usize] = match rf {
+            1 => &[76, 81],
+            2 => &[31, 71, 92],
+            _ => &[],
+        };
+        let t = trace(32, rf, perturb, "Fig 7(b) SA 32x32");
+        print_trace(&t);
+        // Quantify the paper's "single inter-frame to converge".
+        for &p in perturb {
+            let before = t.times_ms[p - 2]; // frame p-1 (0-based p-2)
+            let hit = t.times_ms[p - 1];
+            let after = t.times_ms[p + 1]; // two frames later
+            println!(
+                "    event @f{p}: {before:.1} -> {hit:.1} (hit) -> {after:.1} ms (recovered: {})",
+                if after < before * 1.2 { "yes" } else { "NO" }
+            );
+        }
+        traces.push(t);
+    }
+    write_json("fig7", &traces);
+    println!(
+        "\npaper shape: equidistant frame 1 is slow, frame 2 already balanced;\n\
+         RF ramp-up produces rising slopes over the first n_ref frames (b);\n\
+         perturbation spikes recover within one frame."
+    );
+}

@@ -1,0 +1,124 @@
+//! Behavioural reproduction of the §III-A copy-engine discussion (Fig 4):
+//! with a **single** copy engine, H2D and D2H transfers serialize; with a
+//! **dual** engine, `SF(RF)→SME` (D2H) overlaps `CF→SME` (H2D). This binary
+//! shows the resulting frame-time difference for otherwise identical
+//! platforms, across the transfer-heavy parameter corner.
+//!
+//! ```sh
+//! cargo run -p feves-bench --release --bin fig_overlap
+//! ```
+
+use feves_bench::{hd_config, write_json};
+use feves_core::prelude::*;
+use feves_hetsim::device::{CopyEngines, DeviceKind};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    platform: String,
+    engines: String,
+    sa: u16,
+    n_ref: usize,
+    frame_ms: f64,
+}
+
+fn frame_ms(platform: Platform, sa: u16, rf: usize) -> f64 {
+    let mut cfg = hd_config(sa, rf, BalancerKind::Feves);
+    cfg.noise_amp = 0.0;
+    let mut enc = FevesEncoder::new(platform, cfg).unwrap();
+    let rep = enc.run_timing(12 + rf);
+    let steady: Vec<f64> = rep
+        .inter_frames()
+        .skip(rf + 4)
+        .map(|f| f.tau_tot)
+        .collect();
+    steady.iter().sum::<f64>() / steady.len() as f64 * 1e3
+}
+
+/// Divide every accelerator link's bandwidth by `factor` (e.g. a PCIe x16
+/// card electrically running at x4, a common desktop misconfiguration).
+fn narrow_links(mut p: Platform, factor: f64) -> Platform {
+    for d in 0..p.n_accel {
+        if let Some(link) = &mut p.devices[d].link {
+            link.h2d_bytes_per_sec /= factor;
+            link.d2h_bytes_per_sec /= factor;
+        }
+    }
+    p
+}
+
+fn with_engines(mut p: Platform, e: CopyEngines) -> Platform {
+    for d in 0..p.n_accel {
+        p.devices[d].kind = DeviceKind::Accelerator(e);
+    }
+    p
+}
+
+fn main() {
+    println!("Copy-engine concurrency (Fig 4 behaviour): frame time [ms]\n");
+    println!(
+        "{:>8} {:>6} {:>5} {:>12} {:>12} {:>8}",
+        "system", "SA", "RFs", "single [ms]", "dual [ms]", "gain"
+    );
+    let mut rows = Vec::new();
+    for (name, base) in [("SysHK", Platform::sys_hk()), ("SysNFF", Platform::sys_nff())] {
+        for (sa, rf) in [(32u16, 1usize), (32, 4), (64, 1)] {
+            let single = frame_ms(with_engines(base.clone(), CopyEngines::Single), sa, rf);
+            let dual = frame_ms(with_engines(base.clone(), CopyEngines::Dual), sa, rf);
+            println!(
+                "{name:>8} {sa:>6} {rf:>5} {single:>12.2} {dual:>12.2} {:>7.2}%",
+                (single - dual) / single * 100.0
+            );
+            for (engines, ms) in [("single", single), ("dual", dual)] {
+                rows.push(Row {
+                    platform: name.into(),
+                    engines: engines.into(),
+                    sa,
+                    n_ref: rf,
+                    frame_ms: ms,
+                });
+            }
+        }
+    }
+    println!(
+        "\nAt nominal PCIe bandwidths the transfers hide under the kernels, so\n\
+         both engine layouts coincide — the schedule absorbs the serialization\n\
+         (this is itself a faithful reproduction: the paper presents the\n\
+         engine distinction as a scheduling-correctness configuration).\n\n\
+         The effect becomes visible when the interconnect is the bottleneck\n\
+         (links narrowed 6x, e.g. a x16 card electrically at x4 + contention):\n"
+    );
+    println!(
+        "{:>8} {:>6} {:>5} {:>12} {:>12} {:>8}",
+        "system", "SA", "RFs", "single [ms]", "dual [ms]", "gain"
+    );
+    for (name, base) in [("SysHK", Platform::sys_hk()), ("SysNFF", Platform::sys_nff())] {
+        for (sa, rf) in [(32u16, 1usize), (32, 4)] {
+            let single = frame_ms(
+                narrow_links(with_engines(base.clone(), CopyEngines::Single), 6.0),
+                sa,
+                rf,
+            );
+            let dual = frame_ms(
+                narrow_links(with_engines(base.clone(), CopyEngines::Dual), 6.0),
+                sa,
+                rf,
+            );
+            println!(
+                "{name:>8} {sa:>6} {rf:>5} {single:>12.2} {dual:>12.2} {:>7.2}%",
+                (single - dual) / single * 100.0
+            );
+            for (engines, ms) in [("single-x4", single), ("dual-x4", dual)] {
+                rows.push(Row {
+                    platform: name.into(),
+                    engines: engines.into(),
+                    sa,
+                    n_ref: rf,
+                    frame_ms: ms,
+                });
+            }
+        }
+    }
+    write_json("fig_overlap", &rows);
+    println!("\ndual engines overlap H2D with D2H (SF down ∥ CF up), trimming τ1.");
+}

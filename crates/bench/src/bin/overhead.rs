@@ -1,0 +1,59 @@
+//! Regenerates the §IV scheduling-overhead claim: "the scheduling
+//! overheads (introduced by the proposed framework) take, on average, less
+//! than 2 ms per inter-frame encoding".
+//!
+//! Measured here as the wall-clock time of the Load Balancing block
+//! (Dijkstra R\* mapping + Algorithm 2 LP + rounding) per frame, across
+//! the three platforms and several parameter points.
+//!
+//! ```sh
+//! cargo run -p feves-bench --release --bin overhead
+//! ```
+
+use feves_bench::{hd_config, run_hd, write_json};
+use feves_core::prelude::*;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    platform: String,
+    sa: u16,
+    n_ref: usize,
+    avg_ms: f64,
+    max_ms: f64,
+}
+
+fn main() {
+    println!("Scheduling overhead per inter-frame (wall clock of the LB block)\n");
+    println!(
+        "{:>8} {:>8} {:>6} {:>10} {:>10}",
+        "system", "SA", "RFs", "avg [ms]", "max [ms]"
+    );
+    let mut rows = Vec::new();
+    for (platform, name) in [
+        (Platform::sys_nf(), "SysNF"),
+        (Platform::sys_nff(), "SysNFF"),
+        (Platform::sys_hk(), "SysHK"),
+    ] {
+        for (sa, rf) in [(32u16, 1usize), (32, 4), (64, 2), (128, 1)] {
+            let rep = run_hd(platform.clone(), hd_config(sa, rf, BalancerKind::Feves), 25);
+            let overheads: Vec<f64> = rep.inter_frames().map(|f| f.sched_overhead).collect();
+            let avg = overheads.iter().sum::<f64>() / overheads.len() as f64 * 1e3;
+            let max = overheads.iter().fold(0.0f64, |a, &b| a.max(b)) * 1e3;
+            println!("{name:>8} {sa:>8} {rf:>6} {avg:>10.4} {max:>10.4}");
+            rows.push(Row {
+                platform: name.into(),
+                sa,
+                n_ref: rf,
+                avg_ms: avg,
+                max_ms: max,
+            });
+        }
+    }
+    let worst = rows.iter().map(|r| r.avg_ms).fold(0.0f64, f64::max);
+    println!(
+        "\nworst average: {worst:.4} ms — paper bound: < 2 ms per inter-frame ({})",
+        if worst < 2.0 { "HOLDS" } else { "VIOLATED" }
+    );
+    write_json("overhead", &rows);
+}

@@ -1,0 +1,78 @@
+//! Rate–distortion sweep: functional encodes across the QP range, showing
+//! the codec's RD behaviour (bits ↓, PSNR ↓ as QP grows — the VCEG-common-
+//! conditions axis the paper's QP {27, 28} point sits on).
+//!
+//! Uses CIF synthetic content so the real kernels finish quickly; FSBM makes
+//! encoding *time* content-independent, but *rate* is what this sweep shows.
+//!
+//! ```sh
+//! cargo run -p feves-bench --release --bin rd_sweep
+//! ```
+
+use feves_bench::write_json;
+use feves_core::prelude::*;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Point {
+    qp: u8,
+    kbits_per_frame: f64,
+    kbits_per_frame_cabac: f64,
+    psnr_y: f64,
+}
+
+fn main() {
+    let mut synth = SynthConfig::rolling_tomatoes();
+    synth.resolution = Resolution::CIF;
+    let frames = SynthSequence::new(synth).take_frames(6);
+
+    println!("RD sweep — CIF synthetic, 6 frames (1 I + 5 P), SA 32x32, 1 RF\n");
+    println!(
+        "{:>4} {:>16} {:>16} {:>10}",
+        "QP", "EG kbit/frame", "CABAC kbit/frame", "PSNR-Y[dB]"
+    );
+    let mut points = Vec::new();
+    for qp in [16u8, 20, 24, 28, 32, 36, 40, 44] {
+        let params = EncodeParams {
+            search_area: SearchArea(32),
+            n_ref: 1,
+            qp,
+            qp_intra: qp.saturating_sub(1),
+        };
+        let mut kbits = [0.0f64; 2];
+        let mut psnr = f64::NAN;
+        for (i, backend) in [
+            feves_codec::cabac::EntropyBackend::ExpGolomb,
+            feves_codec::cabac::EntropyBackend::Cabac,
+        ]
+        .into_iter()
+        .enumerate()
+        {
+            let mut cfg = EncoderConfig::full_hd(params);
+            cfg.resolution = Resolution::CIF;
+            cfg.mode = ExecutionMode::Functional;
+            cfg.entropy = backend;
+            let mut enc = FevesEncoder::new(Platform::sys_hk(), cfg).unwrap();
+            let rep = enc.encode_sequence(&frames);
+            kbits[i] = rep.total_bits() as f64 / rep.frames.len() as f64 / 1000.0;
+            psnr = rep.mean_psnr().unwrap_or(f64::NAN);
+        }
+        println!("{qp:>4} {:>16.1} {:>16.1} {psnr:>10.2}", kbits[0], kbits[1]);
+        points.push(Point {
+            qp,
+            kbits_per_frame: kbits[0],
+            kbits_per_frame_cabac: kbits[1],
+            psnr_y: psnr,
+        });
+    }
+    write_json("rd_sweep", &points);
+
+    // Sanity: RD monotonicity.
+    let mono_rate = points.windows(2).all(|w| w[1].kbits_per_frame <= w[0].kbits_per_frame * 1.02);
+    let mono_psnr = points.windows(2).all(|w| w[1].psnr_y <= w[0].psnr_y + 0.2);
+    println!(
+        "\nrate monotone: {} | distortion monotone: {}",
+        if mono_rate { "yes" } else { "NO" },
+        if mono_psnr { "yes" } else { "NO" }
+    );
+}

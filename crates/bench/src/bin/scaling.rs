@@ -1,0 +1,146 @@
+//! Multi-GPU scaling study (the paper's motivation for going beyond the
+//! one-GPU related work \[5–7\]: "these approaches offer a limited
+//! scalability since only one GPU device can be efficiently employed").
+//!
+//! Sweeps 1–6 Fermi-class GPUs beside the quad-core CPU and reports the
+//! FEVES throughput, the parallel efficiency vs a perfect-scaling ideal,
+//! and the equidistant baseline that homogeneous multi-GPU schemes \[8\]
+//! would use. Also reports the LP-vs-oracle gap: how close Algorithm 2's
+//! model-based optimum gets to a schedule-level local optimum.
+//!
+//! ```sh
+//! cargo run -p feves-bench --release --bin scaling
+//! ```
+
+use feves_bench::{hd_config, run_hd, write_json};
+use feves_core::prelude::*;
+use feves_core::vcm::FrameGeometry;
+use feves_core::OracleBalancer;
+use feves_hetsim::profiles::{cpu_nehalem, gpu_fermi};
+use feves_sched::{BalanceInput, Ewma, FevesBalancer, LoadBalancer, PerfChar};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    gpus: usize,
+    feves_fps: f64,
+    equidistant_fps: f64,
+    efficiency: f64,
+}
+
+fn perfchar(platform: &Platform) -> PerfChar {
+    use feves_codec::types::Module;
+    use feves_codec::workload::bytes_per_row as bpr;
+    use feves_hetsim::timeline::{Dir, TransferTag};
+    let mut pc = PerfChar::new(platform.len(), Ewma(1.0));
+    for (i, dev) in platform.devices.iter().enumerate() {
+        pc.record_compute(i, Module::Me, 1, dev.compute_time(Module::Me, 120.0 * 1024.0, 1.0));
+        pc.record_compute(i, Module::Interp, 1, dev.compute_time(Module::Interp, 120.0, 1.0));
+        pc.record_compute(i, Module::Sme, 1, dev.compute_time(Module::Sme, 120.0, 1.0));
+        let rstar: f64 = Module::RSTAR
+            .iter()
+            .map(|&m| dev.compute_time(m, 120.0 * 68.0, 1.0))
+            .sum();
+        pc.record_rstar(i, rstar);
+        if let Some(link) = dev.link {
+            for (tag, bytes) in [
+                (TransferTag::Cf, bpr::cf(1920)),
+                (TransferTag::Rf, bpr::rf(1920)),
+                (TransferTag::Sf, bpr::sf(1920)),
+                (TransferTag::Mv, bpr::mv(1920)),
+            ] {
+                pc.record_transfer(i, tag, Dir::H2d, 1, link.transfer_time(bytes, true));
+                pc.record_transfer(i, tag, Dir::D2h, 1, link.transfer_time(bytes, false));
+            }
+        }
+    }
+    pc
+}
+
+fn main() {
+    println!("Multi-GPU scaling: CPU_N + n × GPU_F, 1080p, SA 32x32, 1 RF\n");
+    println!(
+        "{:>5} {:>10} {:>14} {:>12}",
+        "GPUs", "FEVES fps", "equidist. fps", "efficiency"
+    );
+    // Single-GPU FEVES as the scaling unit.
+    let mut rows = Vec::new();
+    let mut base_fps = 0.0;
+    for n in 1..=6usize {
+        let gpus = vec![gpu_fermi(); n];
+        let platform = Platform::build(gpus, &cpu_nehalem(), 4)
+            .named(format!("CPU_N+{n}xGPU_F"));
+        let feves = run_hd(platform.clone(), hd_config(32, 1, BalancerKind::Feves), 14)
+            .steady_fps(4);
+        let equi =
+            run_hd(platform, hd_config(32, 1, BalancerKind::Equidistant), 14).steady_fps(4);
+        if n == 1 {
+            base_fps = feves;
+        }
+        // Ideal: base + (n-1) extra GPU_F worth of throughput.
+        let gpu_f_fps = 26.0;
+        let ideal = base_fps + (n - 1) as f64 * gpu_f_fps;
+        let eff = feves / ideal;
+        println!("{n:>5} {feves:>10.1} {equi:>14.1} {:>11.0}%", eff * 100.0);
+        rows.push(Row {
+            gpus: n,
+            feves_fps: feves,
+            equidistant_fps: equi,
+            efficiency: eff,
+        });
+    }
+    write_json("scaling", &rows);
+
+    // Shared-PCIe contention: the realistic desktop case where all GPUs sit
+    // behind one host interconnect.
+    println!("\nshared host interconnect (all GPUs behind one PCIe root):\n");
+    println!("{:>5} {:>14} {:>12} {:>8}", "GPUs", "dedicated fps", "shared fps", "loss");
+    for n in [2usize, 4, 6] {
+        let gpus = vec![gpu_fermi(); n];
+        let dedicated = Platform::build(gpus.clone(), &cpu_nehalem(), 4);
+        let shared = Platform::build(gpus, &cpu_nehalem(), 4).with_shared_host_link();
+        let fd = run_hd(dedicated, hd_config(32, 1, BalancerKind::Feves), 14).steady_fps(4);
+        let fs = run_hd(shared, hd_config(32, 1, BalancerKind::Feves), 14).steady_fps(4);
+        println!(
+            "{n:>5} {fd:>14.1} {fs:>12.1} {:>7.1}%",
+            (fd - fs) / fd * 100.0
+        );
+    }
+
+    println!("\nLP vs schedule-level oracle (makespan, lower is better):\n");
+    println!("{:>8} {:>10} {:>10} {:>7}", "system", "LP [ms]", "oracle[ms]", "gap");
+    let geometry = FrameGeometry {
+        mb_cols: 120,
+        n_rows: 68,
+        width: 1920,
+    };
+    let params = EncodeParams::default();
+    for (name, platform) in [
+        ("SysNF", Platform::sys_nf()),
+        ("SysNFF", Platform::sys_nff()),
+        ("SysHK", Platform::sys_hk()),
+    ] {
+        let perf = perfchar(&platform);
+        let input = BalanceInput {
+            n_rows: 68,
+            platform: &platform,
+            perf: &perf,
+            prev: None,
+        };
+        let mut lp = FevesBalancer::default();
+        let lp_dist = lp.distribute(&input);
+        let mut oracle = OracleBalancer::new(params, geometry, 6);
+        let lp_t = oracle.evaluate(&lp_dist, &platform) * 1e3;
+        let o_dist = oracle.distribute(&input);
+        let o_t = oracle.evaluate(&o_dist, &platform) * 1e3;
+        println!(
+            "{name:>8} {lp_t:>10.2} {o_t:>10.2} {:>6.2}%",
+            (lp_t - o_t) / o_t * 100.0
+        );
+    }
+    println!(
+        "\nexpected: FEVES scales with diminishing returns (PCIe + R* serial\n\
+         part), equidistant collapses (slowest device dominates), and the LP\n\
+         lands within a few percent of the hill-climbed schedule optimum."
+    );
+}

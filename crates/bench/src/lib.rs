@@ -1,0 +1,120 @@
+#![warn(missing_docs)]
+//! Experiment harness shared by the figure-regeneration binaries.
+//!
+//! Every table and figure of the paper's §IV has a binary in `src/bin/`
+//! that prints the same rows/series the paper plots and drops a JSON record
+//! under `target/experiments/` for `EXPERIMENTS.md`:
+//!
+//! | paper artefact | binary |
+//! |---|---|
+//! | Fig 6(a) — fps vs search-area size | `fig6a` |
+//! | Fig 6(b) — fps vs number of RFs (+ §IV speedup claims) | `fig6b` |
+//! | Fig 7(a)/(b) — per-frame adaptive traces | `fig7` |
+//! | §II module breakdown (ME+INT+SME ≈ 90 %) | `breakdown` |
+//! | §IV scheduling overhead < 2 ms | `overhead` |
+//! | design ablations (balancer, data reuse, copy engines, R\* mapping, EWMA) | `ablations` |
+
+use feves_core::prelude::*;
+use serde::Serialize;
+use std::path::PathBuf;
+
+/// The seven evaluated configurations of Fig 6 (four single-device bars +
+/// three CPU+GPU systems).
+pub fn standard_configs() -> Vec<(&'static str, Platform, BalancerKind)> {
+    use feves_hetsim::profiles::*;
+    vec![
+        (
+            "CPU_N",
+            Platform::cpu_only(cpu_nehalem(), 4),
+            BalancerKind::CpuOnly,
+        ),
+        (
+            "CPU_H",
+            Platform::cpu_only(cpu_haswell(), 4),
+            BalancerKind::CpuOnly,
+        ),
+        (
+            "GPU_F",
+            Platform::gpu_only(gpu_fermi()),
+            BalancerKind::SingleAccelerator(0),
+        ),
+        (
+            "GPU_K",
+            Platform::gpu_only(gpu_kepler()),
+            BalancerKind::SingleAccelerator(0),
+        ),
+        ("SysNF", Platform::sys_nf(), BalancerKind::Feves),
+        ("SysNFF", Platform::sys_nff(), BalancerKind::Feves),
+        ("SysHK", Platform::sys_hk(), BalancerKind::Feves),
+    ]
+}
+
+/// Encoder config for a 1080p timing run at (`sa`, `n_ref`).
+pub fn hd_config(sa: u16, n_ref: usize, balancer: BalancerKind) -> EncoderConfig {
+    let params = EncodeParams {
+        search_area: SearchArea(sa),
+        n_ref,
+        ..Default::default()
+    };
+    let mut cfg = EncoderConfig::full_hd(params);
+    cfg.balancer = balancer;
+    cfg
+}
+
+/// Run `frames` timing-only inter-frames and return the report.
+pub fn run_hd(platform: Platform, cfg: EncoderConfig, frames: usize) -> EncodeReport {
+    let mut enc = FevesEncoder::new(platform, cfg).expect("valid experiment config");
+    enc.run_timing(frames)
+}
+
+/// Steady-state fps for a configuration (skips init + RF ramp).
+pub fn steady_fps(platform: Platform, balancer: BalancerKind, sa: u16, n_ref: usize) -> f64 {
+    let frames = 14 + n_ref;
+    run_hd(platform, hd_config(sa, n_ref, balancer), frames).steady_fps(n_ref + 3)
+}
+
+/// Where experiment JSON records land.
+pub fn experiments_dir() -> PathBuf {
+    let dir = PathBuf::from("target/experiments");
+    std::fs::create_dir_all(&dir).expect("create target/experiments");
+    dir
+}
+
+/// Serialize an experiment record to `target/experiments/<name>.json`.
+pub fn write_json<T: Serialize>(name: &str, value: &T) {
+    let path = experiments_dir().join(format!("{name}.json"));
+    let json = serde_json::to_string_pretty(value).expect("serializable record");
+    std::fs::write(&path, json).expect("write experiment record");
+    eprintln!("(wrote {})", path.display());
+}
+
+/// Mark values that clear the paper's real-time bar.
+pub fn rt_mark(fps: f64) -> &'static str {
+    if fps >= 25.0 {
+        "*"
+    } else {
+        " "
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seven_configs_cover_fig6() {
+        let c = standard_configs();
+        assert_eq!(c.len(), 7);
+        let names: Vec<&str> = c.iter().map(|(n, _, _)| *n).collect();
+        assert_eq!(
+            names,
+            vec!["CPU_N", "CPU_H", "GPU_F", "GPU_K", "SysNF", "SysNFF", "SysHK"]
+        );
+    }
+
+    #[test]
+    fn rt_mark_threshold() {
+        assert_eq!(rt_mark(25.0), "*");
+        assert_eq!(rt_mark(24.9), " ");
+    }
+}

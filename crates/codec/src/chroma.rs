@@ -1,0 +1,489 @@
+//! Chroma (4:2:0) coding.
+//!
+//! H.264/AVC derives chroma prediction from the luma decision: the chroma
+//! motion vector is the luma quarter-pel vector reinterpreted in chroma
+//! eighth-pel units (chroma planes are half resolution), sampled with
+//! bilinear weights; the chroma QP is a table-mapped companion of the luma
+//! QP. Each macroblock covers an 8×8 region per chroma component, coded as
+//! four 4×4 transform blocks with the shared TQ/TQ⁻¹ path.
+//!
+//! Chroma is part of the `R*` work (it rides with MC/TQ/recon on the single
+//! selected device), so — unlike the luma ME/INT/SME kernels — it needs no
+//! row distribution machinery. The in-loop deblocking of chroma is omitted
+//! (a documented simplification; chroma blocking at the paper's QP 27/28 is
+//! visually negligible and DBL is time-modelled as a whole).
+
+use crate::mc::ModeField;
+use crate::quant::{has_coefficients, itq_block, tq_block};
+use crate::types::QpelMv;
+use feves_video::plane::Plane;
+
+/// Chroma QP as a function of luma QP (H.264 Table 8-15).
+pub fn chroma_qp(luma_qp: u8) -> u8 {
+    const MAP: [u8; 22] = [
+        29, 30, 31, 32, 32, 33, 34, 34, 35, 35, 36, 36, 37, 37, 37, 38, 38, 38, 39, 39, 39, 39,
+    ];
+    if luma_qp < 30 {
+        luma_qp
+    } else {
+        MAP[(luma_qp - 30) as usize]
+    }
+}
+
+/// Bilinear eighth-pel chroma sample at chroma-plane position
+/// `(8·x + fx, 8·y + fy)` (H.264 §8.4.2.2.2 chroma interpolation).
+#[inline]
+fn sample_eighth_pel(p: &Plane<u8>, x: isize, y: isize, fx: i32, fy: i32) -> u8 {
+    debug_assert!((0..8).contains(&fx) && (0..8).contains(&fy));
+    let a = p.get_clamped(x, y) as i32;
+    let b = p.get_clamped(x + 1, y) as i32;
+    let c = p.get_clamped(x, y + 1) as i32;
+    let d = p.get_clamped(x + 1, y + 1) as i32;
+    let v = (8 - fx) * (8 - fy) * a + fx * (8 - fy) * b + (8 - fx) * fy * c + fx * fy * d;
+    ((v + 32) >> 6) as u8
+}
+
+/// Predict a `w × h` chroma block anchored at chroma position `(bx, by)`
+/// displaced by the *luma* quarter-pel vector `mv` (which is exactly the
+/// chroma eighth-pel vector).
+pub fn predict_chroma_block(
+    reference: &Plane<u8>,
+    bx: usize,
+    by: usize,
+    mv: QpelMv,
+    w: usize,
+    h: usize,
+    dst: &mut [i16],
+) {
+    debug_assert_eq!(dst.len(), w * h);
+    let fx = (mv.x as i32).rem_euclid(8);
+    let fy = (mv.y as i32).rem_euclid(8);
+    let x0 = bx as isize + (mv.x as isize).div_euclid(8);
+    let y0 = by as isize + (mv.y as isize).div_euclid(8);
+    for row in 0..h {
+        for col in 0..w {
+            dst[row * w + col] =
+                sample_eighth_pel(reference, x0 + col as isize, y0 + row as isize, fx, fy)
+                    as i16;
+        }
+    }
+}
+
+/// Quantized chroma coefficients of one macroblock: four 4×4 blocks per
+/// component covering its 8×8 chroma footprint.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Default)]
+pub struct MbChromaCoeffs {
+    /// Cb blocks (raster order within the 8×8 region).
+    pub cb: [[i16; 16]; 4],
+    /// Cr blocks.
+    pub cr: [[i16; 16]; 4],
+    /// Bits 0–3: coded Cb blocks; bits 4–7: coded Cr blocks.
+    pub coded_mask: u8,
+}
+
+
+/// Chroma coefficients for a frame.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ChromaField {
+    mbs: Vec<MbChromaCoeffs>,
+    mb_cols: usize,
+    mb_rows: usize,
+}
+
+impl ChromaField {
+    /// All-zero field.
+    pub fn new(mb_cols: usize, mb_rows: usize) -> Self {
+        ChromaField {
+            mbs: vec![MbChromaCoeffs::default(); mb_cols * mb_rows],
+            mb_cols,
+            mb_rows,
+        }
+    }
+
+    /// Macroblocks per row.
+    pub fn mb_cols(&self) -> usize {
+        self.mb_cols
+    }
+
+    /// Macroblock rows.
+    pub fn mb_rows(&self) -> usize {
+        self.mb_rows
+    }
+
+    /// Coefficients of macroblock `(mbx, mby)`.
+    pub fn mb(&self, mbx: usize, mby: usize) -> &MbChromaCoeffs {
+        &self.mbs[mby * self.mb_cols + mbx]
+    }
+
+    /// Mutable coefficients.
+    pub fn mb_mut(&mut self, mbx: usize, mby: usize) -> &mut MbChromaCoeffs {
+        &mut self.mbs[mby * self.mb_cols + mbx]
+    }
+
+    /// Total non-zero chroma levels.
+    pub fn nonzero_levels(&self) -> usize {
+        self.mbs
+            .iter()
+            .flat_map(|m| m.cb.iter().chain(m.cr.iter()))
+            .flat_map(|b| b.iter())
+            .filter(|&&v| v != 0)
+            .count()
+    }
+}
+
+/// Output of chroma encoding for one frame.
+#[derive(Clone, Debug)]
+pub struct ChromaOutput {
+    /// Quantized coefficients.
+    pub coeffs: ChromaField,
+    /// Reconstructed Cb plane.
+    pub recon_u: Plane<u8>,
+    /// Reconstructed Cr plane.
+    pub recon_v: Plane<u8>,
+    /// Approximate coded bits (exact numbers come from the entropy coder).
+    pub bits: u64,
+}
+
+/// Code one 8×8 chroma region: predict → TQ → TQ⁻¹ → reconstruct.
+/// Returns the four quantized blocks and updates `recon`.
+fn code_region(
+    cf: &Plane<u8>,
+    pred8: &[i16; 64],
+    cx: usize,
+    cy: usize,
+    qp_c: u8,
+    intra: bool,
+    recon: &mut Plane<u8>,
+) -> ([[i16; 16]; 4], u8, u64) {
+    let mut blocks = [[0i16; 16]; 4];
+    let mut mask = 0u8;
+    let mut bits = 0u64;
+    #[allow(clippy::needless_range_loop)] // blk indexes geometry AND blocks
+    for blk in 0..4 {
+        let bx = (blk % 2) * 4;
+        let by = (blk / 2) * 4;
+        let mut rbuf = [0i16; 16];
+        for row in 0..4 {
+            for col in 0..4 {
+                let p = pred8[(by + row) * 8 + bx + col];
+                rbuf[row * 4 + col] = cf.get(cx + bx + col, cy + by + row) as i16 - p;
+            }
+        }
+        let levels = tq_block(&rbuf, qp_c, intra);
+        if has_coefficients(&levels) {
+            mask |= 1 << blk;
+            bits += 6 * levels.iter().filter(|&&v| v != 0).count() as u64;
+        }
+        let r = itq_block(&levels, qp_c);
+        for row in 0..4 {
+            for col in 0..4 {
+                let p = pred8[(by + row) * 8 + bx + col];
+                let v = (p + r[row * 4 + col]).clamp(0, 255) as u8;
+                recon.set(cx + bx + col, cy + by + row, v);
+            }
+        }
+        blocks[blk] = levels;
+    }
+    (blocks, mask, bits)
+}
+
+/// Inter-code the chroma planes of a frame using the luma mode decisions.
+///
+/// `refs_u`/`refs_v` are the reconstructed chroma references, most recent
+/// first, matching the luma reference list the modes index into.
+pub fn encode_chroma_inter(
+    cf_u: &Plane<u8>,
+    cf_v: &Plane<u8>,
+    refs_u: &[&Plane<u8>],
+    refs_v: &[&Plane<u8>],
+    modes: &ModeField,
+    luma_qp: u8,
+) -> ChromaOutput {
+    assert_eq!(refs_u.len(), refs_v.len());
+    let qp_c = chroma_qp(luma_qp);
+    let mb_cols = modes.mb_cols();
+    let mb_rows = modes.mb_rows();
+    let mut coeffs = ChromaField::new(mb_cols, mb_rows);
+    let mut recon_u: Plane<u8> = Plane::new(cf_u.width(), cf_u.height());
+    let mut recon_v: Plane<u8> = Plane::new(cf_v.width(), cf_v.height());
+    let mut bits = 0u64;
+
+    let mut pred_u = [0i16; 64];
+    let mut pred_v = [0i16; 64];
+    let mut block = vec![0i16; 64];
+    for mby in 0..mb_rows {
+        for mbx in 0..mb_cols {
+            let m = modes.mb(mbx, mby);
+            let (cx, cy) = (mbx * 8, mby * 8); // chroma MB anchor
+            // Build the 8x8 chroma prediction from the winning partitions
+            // (each luma partition maps to a half-size chroma block).
+            let mode = m.mode;
+            let (lw, lh) = mode.dims();
+            let (w, h) = (lw / 2, lh / 2);
+            for i in 0..mode.count() {
+                let (ox, oy) = mode.offset(i);
+                let (ox, oy) = (ox / 2, oy / 2);
+                let blk = &m.mvs[i];
+                for (pred, refs) in [(&mut pred_u, refs_u), (&mut pred_v, refs_v)] {
+                    block.truncate(0);
+                    block.resize(w * h, 0);
+                    predict_chroma_block(
+                        refs[blk.rf as usize],
+                        cx + ox,
+                        cy + oy,
+                        blk.mv,
+                        w,
+                        h,
+                        &mut block,
+                    );
+                    for row in 0..h {
+                        for col in 0..w {
+                            pred[(oy + row) * 8 + ox + col] = block[row * w + col];
+                        }
+                    }
+                }
+            }
+            let (cb, cb_mask, b1) =
+                code_region(cf_u, &pred_u, cx, cy, qp_c, false, &mut recon_u);
+            let (cr, cr_mask, b2) =
+                code_region(cf_v, &pred_v, cx, cy, qp_c, false, &mut recon_v);
+            let mb = coeffs.mb_mut(mbx, mby);
+            mb.cb = cb;
+            mb.cr = cr;
+            mb.coded_mask = cb_mask | (cr_mask << 4);
+            bits += b1 + b2;
+        }
+    }
+    ChromaOutput {
+        coeffs,
+        recon_u,
+        recon_v,
+        bits,
+    }
+}
+
+/// Intra-code the chroma planes (8×8 DC prediction per component, the
+/// H.264 chroma-DC mode).
+pub fn encode_chroma_intra(
+    cf_u: &Plane<u8>,
+    cf_v: &Plane<u8>,
+    mb_cols: usize,
+    mb_rows: usize,
+    luma_qp: u8,
+) -> ChromaOutput {
+    let qp_c = chroma_qp(luma_qp);
+    let mut coeffs = ChromaField::new(mb_cols, mb_rows);
+    let mut recon_u: Plane<u8> = Plane::new(cf_u.width(), cf_u.height());
+    let mut recon_v: Plane<u8> = Plane::new(cf_v.width(), cf_v.height());
+    let mut bits = 0u64;
+
+    for mby in 0..mb_rows {
+        for mbx in 0..mb_cols {
+            let (cx, cy) = (mbx * 8, mby * 8);
+            let mut masks = [0u8; 2];
+            let mut blocks = [[[0i16; 16]; 4]; 2];
+            for (ci, (cf, recon)) in [(cf_u, &mut recon_u), (cf_v, &mut recon_v)]
+                .into_iter()
+                .enumerate()
+            {
+                // DC from reconstructed neighbours.
+                let mut sum = 0u32;
+                let mut n = 0u32;
+                if mby > 0 {
+                    for x in 0..8 {
+                        sum += recon.get(cx + x, cy - 1) as u32;
+                    }
+                    n += 8;
+                }
+                if mbx > 0 {
+                    for y in 0..8 {
+                        sum += recon.get(cx - 1, cy + y) as u32;
+                    }
+                    n += 8;
+                }
+                let dc = (sum + n / 2).checked_div(n).map_or(128, |v| v as i16);
+                let pred8 = [dc; 64];
+                let (blks, mask, b) = code_region(cf, &pred8, cx, cy, qp_c, true, recon);
+                blocks[ci] = blks;
+                masks[ci] = mask;
+                bits += b + 1; // + mode bit
+            }
+            let mb = coeffs.mb_mut(mbx, mby);
+            mb.cb = blocks[0];
+            mb.cr = blocks[1];
+            mb.coded_mask = masks[0] | (masks[1] << 4);
+        }
+    }
+    ChromaOutput {
+        coeffs,
+        recon_u,
+        recon_v,
+        bits,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mc::MbMode;
+    use crate::sme::SmeBlockMv;
+    use crate::types::PartitionMode;
+    use feves_video::metrics::psnr;
+
+    fn plane_from_fn(w: usize, h: usize, f: impl Fn(usize, usize) -> u8) -> Plane<u8> {
+        let mut p = Plane::new(w, h);
+        for y in 0..h {
+            for x in 0..w {
+                p.set(x, y, f(x, y));
+            }
+        }
+        p
+    }
+
+    #[test]
+    fn chroma_qp_mapping_matches_standard() {
+        assert_eq!(chroma_qp(0), 0);
+        assert_eq!(chroma_qp(29), 29);
+        assert_eq!(chroma_qp(30), 29);
+        assert_eq!(chroma_qp(39), 35);
+        assert_eq!(chroma_qp(51), 39);
+        // Monotone non-decreasing.
+        for qp in 0..51u8 {
+            assert!(chroma_qp(qp + 1) >= chroma_qp(qp));
+        }
+    }
+
+    #[test]
+    fn integer_mv_prediction_copies_reference() {
+        let rf = plane_from_fn(32, 32, |x, y| ((x * 7) ^ (y * 3)) as u8);
+        let mut dst = [0i16; 16];
+        // mv = (16, -8) eighth-pels = (2, -1) full chroma pels.
+        predict_chroma_block(&rf, 8, 8, QpelMv::new(16, -8), 4, 4, &mut dst);
+        for row in 0..4 {
+            for col in 0..4 {
+                assert_eq!(dst[row * 4 + col], rf.get(10 + col, 7 + row) as i16);
+            }
+        }
+    }
+
+    #[test]
+    fn half_pel_chroma_is_average_on_ramp() {
+        let rf = plane_from_fn(32, 8, |x, _| (x * 8) as u8);
+        let mut dst = [0i16; 4];
+        // fx = 4/8: halfway between columns.
+        predict_chroma_block(&rf, 4, 2, QpelMv::new(4, 0), 2, 2, &mut dst);
+        assert_eq!(dst[0], ((rf.get(4, 2) as i32 + rf.get(5, 2) as i32 + 1) / 2) as i16);
+    }
+
+    fn zero_mode_field(mb_cols: usize, mb_rows: usize) -> ModeField {
+        let mut modes = ModeField::new(mb_cols, mb_rows);
+        for mby in 0..mb_rows {
+            for mbx in 0..mb_cols {
+                *modes.mb_mut(mbx, mby) = MbMode {
+                    mode: PartitionMode::P16x16,
+                    mvs: [SmeBlockMv {
+                        rf: 0,
+                        mv: QpelMv::ZERO,
+                        cost: 0,
+                    }; 16],
+                    cost: 0,
+                };
+            }
+        }
+        modes
+    }
+
+    #[test]
+    fn identical_chroma_codes_to_zero() {
+        let u = plane_from_fn(32, 32, |x, y| ((x * 5 + y) % 256) as u8);
+        let v = plane_from_fn(32, 32, |x, y| ((x + y * 3) % 256) as u8);
+        let modes = zero_mode_field(4, 4);
+        let out = encode_chroma_inter(&u, &v, &[&u], &[&v], &modes, 28);
+        assert_eq!(out.coeffs.nonzero_levels(), 0);
+        assert_eq!(out.recon_u, u);
+        assert_eq!(out.recon_v, v);
+    }
+
+    #[test]
+    fn inter_chroma_quality_reasonable() {
+        let ref_u = plane_from_fn(32, 32, |x, y| (((x * 13) ^ (y * 7)) % 200 + 20) as u8);
+        let ref_v = plane_from_fn(32, 32, |x, y| ((x * 3 + y * 9) % 220 + 10) as u8);
+        // Current = reference + small change.
+        let cf_u = plane_from_fn(32, 32, |x, y| ref_u.get(x, y).saturating_add(6));
+        let cf_v = plane_from_fn(32, 32, |x, y| ref_v.get(x, y).saturating_sub(4));
+        let modes = zero_mode_field(4, 4);
+        let out = encode_chroma_inter(&cf_u, &cf_v, &[&ref_u], &[&ref_v], &modes, 28);
+        assert!(psnr(&out.recon_u, &cf_u) > 34.0);
+        assert!(psnr(&out.recon_v, &cf_v) > 34.0);
+        assert!(out.bits > 0);
+    }
+
+    #[test]
+    fn intra_chroma_flat_reconstructs_flat() {
+        // The first MB predicts DC=128 and its residual quantizes with a
+        // small error; every later MB predicts exactly from the (flat)
+        // reconstruction. So the output must be uniform and within one
+        // quantization step of the source.
+        let mut u = Plane::new(32, 32);
+        u.fill(90);
+        let mut v = Plane::new(32, 32);
+        v.fill(160);
+        let out = encode_chroma_intra(&u, &v, 4, 4, 28);
+        for (recon, src) in [(&out.recon_u, 90i16), (&out.recon_v, 160i16)] {
+            let first = recon.get(0, 0);
+            for y in 0..32 {
+                for x in 0..32 {
+                    assert_eq!(recon.get(x, y), first, "must stay flat");
+                }
+            }
+            let err = (first as i16 - src).abs() as f64;
+            assert!(
+                err <= crate::quant::qstep(chroma_qp(28)),
+                "flat error {err} exceeds the quantization step"
+            );
+        }
+    }
+
+    #[test]
+    fn subdivided_modes_predict_per_partition() {
+        // 8x8 partitions with different MVs per quadrant must produce a
+        // stitched prediction, not a single-vector one.
+        let rf_u = plane_from_fn(64, 64, |x, y| ((x * 11) ^ (y * 5)) as u8);
+        let rf_v = plane_from_fn(64, 64, |x, y| ((x * 2 + y * 7) % 256) as u8);
+        let mut modes = ModeField::new(2, 2);
+        for mby in 0..2 {
+            for mbx in 0..2 {
+                let mut mvs = [SmeBlockMv {
+                    rf: 0,
+                    mv: QpelMv::ZERO,
+                    cost: 0,
+                }; 16];
+                for (i, mv) in mvs.iter_mut().enumerate().take(4) {
+                    mv.mv = QpelMv::new((i as i16) * 8, 8 - (i as i16) * 8);
+                }
+                *modes.mb_mut(mbx, mby) = MbMode {
+                    mode: PartitionMode::P8x8,
+                    mvs,
+                    cost: 0,
+                };
+            }
+        }
+        // Build the current frame so each quadrant matches its displaced
+        // reference — the encoder must then code (nearly) zero residual.
+        let make_cf = |rf: &Plane<u8>| {
+            plane_from_fn(32, 32, |x, y| {
+                let (mbx, mby) = (x / 8, y / 8);
+                let (sx, sy) = (x % 8, y % 8);
+                let quad = (sy / 4) * 2 + sx / 4;
+                let m = QpelMv::new((quad as i16) * 8, 8 - (quad as i16) * 8);
+                let _ = (mbx, mby);
+                rf.get_clamped(x as isize + (m.x / 8) as isize, y as isize + (m.y / 8) as isize)
+            })
+        };
+        let cf_u = make_cf(&rf_u);
+        let cf_v = make_cf(&rf_v);
+        let out = encode_chroma_inter(&cf_u, &cf_v, &[&rf_u], &[&rf_v], &modes, 28);
+        assert_eq!(out.coeffs.nonzero_levels(), 0, "per-partition MVs must match");
+    }
+}

@@ -1,0 +1,425 @@
+//! Sub-pixel interpolation (the paper's INT module).
+//!
+//! Builds the Sub-pixel interpolated Frame (SF) from a reconstructed
+//! reference frame: half-pel samples via the H.264/AVC 6-tap Wiener filter
+//! `(1, -5, 20, 20, -5, 1)/32` and quarter-pel samples via bilinear
+//! averaging, exactly the standard's §8.4.2.2 scheme. The SF is stored as 16
+//! phase planes — one per quarter-pel phase `(fx, fy) ∈ {0..3}²` — so it "is
+//! as large as 16 RFs" just as the paper states, and so a contiguous stripe
+//! of MB rows of the SF is a well-defined transfer unit for the scheduler.
+//!
+//! Interpolation of an output row depends only on a ±3-row halo of the
+//! *source* reference frame, never on other SF rows, so any row-partitioned
+//! execution produces bit-identical SFs (the partition-invariance the
+//! framework relies on).
+
+use crate::types::QpelMv;
+use feves_video::geometry::{RowRange, MB_SIZE};
+use feves_video::plane::Plane;
+use rayon::prelude::*;
+
+/// The sub-pixel interpolated frame: 16 quarter-pel phase planes.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SubpelFrame {
+    phases: Vec<Plane<u8>>,
+    width: usize,
+    height: usize,
+}
+
+impl SubpelFrame {
+    /// Allocate an SF for a `width × height` (padded) reference frame.
+    pub fn new(width: usize, height: usize) -> Self {
+        SubpelFrame {
+            phases: (0..16).map(|_| Plane::new(width, height)).collect(),
+            width,
+            height,
+        }
+    }
+
+    /// Reference-frame width this SF covers.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Reference-frame height this SF covers.
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Borrow the plane of phase `(fx, fy)` (quarter-pel units, `0..4`).
+    pub fn phase(&self, fx: u8, fy: u8) -> &Plane<u8> {
+        &self.phases[fy as usize * 4 + fx as usize]
+    }
+
+    /// Sample at quarter-pel coordinates (clamped at frame borders).
+    #[inline]
+    pub fn sample(&self, qx: isize, qy: isize) -> u8 {
+        let fx = qx.rem_euclid(4) as usize;
+        let fy = qy.rem_euclid(4) as usize;
+        let x = qx.div_euclid(4);
+        let y = qy.div_euclid(4);
+        self.phases[fy * 4 + fx].get_clamped(x, y)
+    }
+
+    /// Copy a `w × h` prediction block whose top-left full-pel anchor is
+    /// `(bx, by)` displaced by the quarter-pel motion vector `mv`, into
+    /// `dst` (row-major, stride `w`).
+    pub fn predict_block(
+        &self,
+        bx: usize,
+        by: usize,
+        mv: QpelMv,
+        w: usize,
+        h: usize,
+        dst: &mut [i16],
+    ) {
+        debug_assert_eq!(dst.len(), w * h);
+        let qx0 = bx as isize * 4 + mv.x as isize;
+        let qy0 = by as isize * 4 + mv.y as isize;
+        let fx = qx0.rem_euclid(4) as usize;
+        let fy = qy0.rem_euclid(4) as usize;
+        let x0 = qx0.div_euclid(4);
+        let y0 = qy0.div_euclid(4);
+        let plane = &self.phases[fy * 4 + fx];
+        for row in 0..h {
+            for col in 0..w {
+                dst[row * w + col] =
+                    plane.get_clamped(x0 + col as isize, y0 + row as isize) as i16;
+            }
+        }
+    }
+
+    /// Interpolate the pixel rows covered by the MB rows of `rows`, reading
+    /// the reference plane `rf`. May be called for disjoint ranges by
+    /// different devices; the union covers the whole SF.
+    pub fn interpolate_rows(&mut self, rf: &Plane<u8>, rows: RowRange) {
+        assert_eq!(rf.width(), self.width);
+        assert_eq!(rf.height(), self.height);
+        let y0 = (rows.start * MB_SIZE).min(self.height);
+        let y1 = (rows.end * MB_SIZE).min(self.height);
+        if y0 >= y1 {
+            return;
+        }
+        // Split each phase plane into [0, y0), [y0, y1), [y1, h) bands and
+        // hand the middle band to the row kernel.
+        let width = self.width;
+        let height = self.height;
+        let mut bands: Vec<_> = self
+            .phases
+            .iter_mut()
+            .map(|p| {
+                let counts = [y0, y1 - y0, height - y1];
+                let nonzero: Vec<usize> = counts.to_vec();
+                let mut b = p.split_rows_mut(&nonzero);
+                b.swap_remove(1) // keep the middle band
+            })
+            .collect();
+        interpolate_band(rf, width, y0, y1, &mut bands);
+    }
+
+    /// Interpolate the full frame with rayon parallelism over MB-row chunks.
+    pub fn interpolate_all_parallel(&mut self, rf: &Plane<u8>) {
+        assert_eq!(rf.width(), self.width);
+        assert_eq!(rf.height(), self.height);
+        let width = self.width;
+        let mb_rows = self.height / MB_SIZE;
+        // Split every phase plane into one band per MB row, regroup by row.
+        let row_counts = vec![MB_SIZE; mb_rows];
+        let mut per_phase: Vec<Vec<_>> = self
+            .phases
+            .iter_mut()
+            .map(|p| p.split_rows_mut(&row_counts))
+            .collect();
+        // Transpose: per_row[r] = the 16 phase bands of MB row r.
+        let mut per_row: Vec<Vec<_>> = (0..mb_rows).map(|_| Vec::with_capacity(16)).collect();
+        for phase_bands in per_phase.drain(..) {
+            for (r, band) in phase_bands.into_iter().enumerate() {
+                per_row[r].push(band);
+            }
+        }
+        per_row
+            .par_iter_mut()
+            .enumerate()
+            .for_each(|(r, bands)| {
+                let y0 = r * MB_SIZE;
+                let y1 = y0 + MB_SIZE;
+                interpolate_band(rf, width, y0, y1, bands);
+            });
+    }
+}
+
+/// Build a full SF for `rf` (single call convenience).
+pub fn interpolate(rf: &Plane<u8>) -> SubpelFrame {
+    let mut sf = SubpelFrame::new(rf.width(), rf.height());
+    let mb_rows = rf.height().div_ceil(MB_SIZE);
+    sf.interpolate_rows(rf, RowRange::new(0, mb_rows));
+    sf
+}
+
+/// 6-tap Wiener filter on six consecutive samples (unnormalized).
+#[inline]
+fn tap6(a: i32, b: i32, c: i32, d: i32, e: i32, f: i32) -> i32 {
+    a - 5 * b + 20 * c + 20 * d - 5 * e + f
+}
+
+#[inline]
+fn clip8(v: i32) -> u8 {
+    v.clamp(0, 255) as u8
+}
+
+#[inline]
+fn avg(a: u8, b: u8) -> u8 {
+    ((a as u16 + b as u16 + 1) >> 1) as u8
+}
+
+/// Interpolate pixel rows `[y0, y1)` of all 16 phases into `bands`
+/// (index = fy*4+fx), reading `rf` with clamped halos.
+fn interpolate_band(
+    rf: &Plane<u8>,
+    width: usize,
+    y0: usize,
+    y1: usize,
+    bands: &mut [feves_video::plane::PlaneBandMut<'_, u8>],
+) {
+    debug_assert_eq!(bands.len(), 16);
+    let h = y1 - y0;
+    // We need half-pel rows y0..y1 *plus one* (quarter-pel rows average the
+    // next row's half-pels), and the vertical 6-tap needs a ±2/+3 source
+    // halo. Precompute, for rows y0-2 .. y1+3, the horizontal unnormalized
+    // 6-tap intermediates B1 (for b and j) and the source row G.
+    let halo_top = 2isize;
+    let halo_bot = 3isize;
+    let ext_rows = (h + 1) + (halo_top + halo_bot) as usize; // rows y0-2 .. y1+3
+    let mut b1 = vec![0i32; ext_rows * width]; // horizontal 6-tap intermediates
+    let mut g = vec![0u8; ext_rows * width]; // clamped source samples
+    for (ri, yy) in (-halo_top..(h + 1) as isize + halo_bot).enumerate() {
+        let sy = y0 as isize + yy;
+        for x in 0..width {
+            let xi = x as isize;
+            g[ri * width + x] = rf.get_clamped(xi, sy);
+            b1[ri * width + x] = tap6(
+                rf.get_clamped(xi - 2, sy) as i32,
+                rf.get_clamped(xi - 1, sy) as i32,
+                rf.get_clamped(xi, sy) as i32,
+                rf.get_clamped(xi + 1, sy) as i32,
+                rf.get_clamped(xi + 2, sy) as i32,
+                rf.get_clamped(xi + 3, sy) as i32,
+            );
+        }
+    }
+    let row = |r: isize| -> &[u8] {
+        let ri = (r + halo_top) as usize;
+        &g[ri * width..(ri + 1) * width]
+    };
+    let b1row = |r: isize| -> &[i32] {
+        let ri = (r + halo_top) as usize;
+        &b1[ri * width..(ri + 1) * width]
+    };
+
+    // Half-pel planes for rows 0..h+1 (local coordinates).
+    let hw = width;
+    let mut bp = vec![0u8; (h + 1) * hw]; // b: (2,0)
+    let mut hp = vec![0u8; (h + 1) * hw]; // h: (0,2)
+    let mut jp = vec![0u8; (h + 1) * hw]; // j: (2,2)
+    for ly in 0..(h + 1) as isize {
+        for x in 0..width {
+            // b: horizontal half-pel.
+            bp[ly as usize * hw + x] = clip8((b1row(ly)[x] + 16) >> 5);
+            // h: vertical half-pel on source samples.
+            let h1 = tap6(
+                row(ly - 2)[x] as i32,
+                row(ly - 1)[x] as i32,
+                row(ly)[x] as i32,
+                row(ly + 1)[x] as i32,
+                row(ly + 2)[x] as i32,
+                row(ly + 3)[x] as i32,
+            );
+            hp[ly as usize * hw + x] = clip8((h1 + 16) >> 5);
+            // j: vertical 6-tap over horizontal intermediates (20-bit path).
+            let j1 = tap6(
+                b1row(ly - 2)[x],
+                b1row(ly - 1)[x],
+                b1row(ly)[x],
+                b1row(ly + 1)[x],
+                b1row(ly + 2)[x],
+                b1row(ly + 3)[x],
+            );
+            jp[ly as usize * hw + x] = clip8((j1 + 512) >> 10);
+        }
+    }
+
+    // Helper closures over local row coordinates (0..h+1 valid).
+    let gv = |x: usize, ly: usize| row(ly as isize)[x.min(width - 1)];
+    let bv = |x: usize, ly: usize| bp[ly * hw + x.min(width - 1)];
+    let hv = |x: usize, ly: usize| hp[ly * hw + x.min(width - 1)];
+    let jv = |x: usize, ly: usize| jp[ly * hw + x.min(width - 1)];
+
+    for ly in 0..h {
+        let y = y0 + ly;
+        for x in 0..width {
+            let xr = (x + 1).min(width - 1); // clamped right neighbor
+            let g00 = gv(x, ly);
+            let b00 = bv(x, ly);
+            let h00 = hv(x, ly);
+            let j00 = jv(x, ly);
+            let g_d = gv(x, ly + 1); // G one row down
+            let b_d = bv(x, ly + 1); // b one row down
+            let h_r = hv(xr, ly); // h one column right
+            let g_r = gv(xr, ly); // G one column right
+
+            // Integer and half-pel phases.
+            bands[0].row_mut(y)[x] = g00; // (0,0)
+            bands[2].row_mut(y)[x] = b00; // (2,0)
+            bands[8].row_mut(y)[x] = h00; // (0,2)
+            bands[10].row_mut(y)[x] = j00; // (2,2)
+
+            // Quarter-pel phases (H.264 §8.4.2.2.2 averaging pattern).
+            bands[1].row_mut(y)[x] = avg(g00, b00); // a (1,0)
+            bands[3].row_mut(y)[x] = avg(b00, g_r); // c (3,0)
+            bands[4].row_mut(y)[x] = avg(g00, h00); // d (0,1)
+            bands[12].row_mut(y)[x] = avg(h00, g_d); // n (0,3)
+            bands[6].row_mut(y)[x] = avg(b00, j00); // f (2,1)
+            bands[14].row_mut(y)[x] = avg(j00, b_d); // q (2,3)
+            bands[9].row_mut(y)[x] = avg(h00, j00); // i (1,2)
+            bands[11].row_mut(y)[x] = avg(j00, h_r); // k (3,2)
+            bands[5].row_mut(y)[x] = avg(b00, h00); // e (1,1)
+            bands[7].row_mut(y)[x] = avg(b00, h_r); // g (3,1)
+            bands[13].row_mut(y)[x] = avg(h00, b_d); // p (1,3)
+            bands[15].row_mut(y)[x] = avg(h_r, b_d); // r (3,3)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn plane_from_fn(w: usize, h: usize, f: impl Fn(usize, usize) -> u8) -> Plane<u8> {
+        let mut p = Plane::new(w, h);
+        for y in 0..h {
+            for x in 0..w {
+                p.set(x, y, f(x, y));
+            }
+        }
+        p
+    }
+
+    #[test]
+    fn integer_phase_reproduces_source() {
+        let rf = plane_from_fn(32, 32, |x, y| ((x * 7) ^ (y * 3)) as u8);
+        let sf = interpolate(&rf);
+        for y in 0..32 {
+            for x in 0..32 {
+                assert_eq!(sf.sample(x as isize * 4, y as isize * 4), rf.get(x, y));
+            }
+        }
+    }
+
+    #[test]
+    fn constant_plane_stays_constant() {
+        let mut rf = Plane::new(32, 32);
+        rf.fill(77);
+        let sf = interpolate(&rf);
+        for fy in 0..4u8 {
+            for fx in 0..4u8 {
+                for y in 0..32 {
+                    for x in 0..32 {
+                        assert_eq!(
+                            sf.phase(fx, fy).get(x, y),
+                            77,
+                            "phase ({fx},{fy}) at {x},{y}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn horizontal_ramp_half_pel_is_midpoint() {
+        // On a linear horizontal ramp, the 6-tap half-pel interpolates the
+        // midpoint exactly: taps sum to 32 and are symmetric.
+        let rf = plane_from_fn(64, 16, |x, _| (x * 2) as u8);
+        let sf = interpolate(&rf);
+        for y in 2..14 {
+            for x in 8..48 {
+                let expect = (rf.get(x, y) as u16 + rf.get(x + 1, y) as u16).div_ceil(2) as u8;
+                assert_eq!(sf.phase(2, 0).get(x, y), expect, "at {x},{y}");
+            }
+        }
+    }
+
+    #[test]
+    fn vertical_matches_transposed_horizontal() {
+        let rf = plane_from_fn(40, 40, |x, y| ((x * 13 + y * 7) % 256) as u8);
+        let rf_t = plane_from_fn(40, 40, |x, y| rf.get(y, x));
+        let sf = interpolate(&rf);
+        let sf_t = interpolate(&rf_t);
+        // h of original == b of transpose (away from borders where the
+        // clamping halo differs in direction).
+        for y in 4..36 {
+            for x in 4..36 {
+                assert_eq!(
+                    sf.phase(0, 2).get(x, y),
+                    sf_t.phase(2, 0).get(y, x),
+                    "at {x},{y}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn row_partitioned_equals_full() {
+        let rf = plane_from_fn(48, 64, |x, y| ((x * 31) ^ (y * 5)) as u8);
+        let full = interpolate(&rf);
+
+        let mut split = SubpelFrame::new(48, 64);
+        split.interpolate_rows(&rf, RowRange::new(0, 1));
+        split.interpolate_rows(&rf, RowRange::new(1, 3));
+        split.interpolate_rows(&rf, RowRange::new(3, 4));
+        assert_eq!(full, split, "row-partitioned SF must be bit-identical");
+    }
+
+    #[test]
+    fn parallel_equals_sequential() {
+        let rf = plane_from_fn(48, 64, |x, y| ((x * 11) ^ (y * 17)) as u8);
+        let seq = interpolate(&rf);
+        let mut par = SubpelFrame::new(48, 64);
+        par.interpolate_all_parallel(&rf);
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn predict_block_at_zero_mv_copies_source() {
+        let rf = plane_from_fn(32, 32, |x, y| (x + y * 2) as u8);
+        let sf = interpolate(&rf);
+        let mut dst = [0i16; 16];
+        sf.predict_block(8, 8, QpelMv::ZERO, 4, 4, &mut dst);
+        for row in 0..4 {
+            for col in 0..4 {
+                assert_eq!(dst[row * 4 + col], rf.get(8 + col, 8 + row) as i16);
+            }
+        }
+    }
+
+    #[test]
+    fn predict_block_full_pel_mv() {
+        let rf = plane_from_fn(32, 32, |x, y| ((x * 5) ^ y) as u8);
+        let sf = interpolate(&rf);
+        let mut dst = [0i16; 16];
+        sf.predict_block(8, 8, QpelMv::new(-8, 4), 4, 4, &mut dst);
+        for row in 0..4 {
+            for col in 0..4 {
+                assert_eq!(dst[row * 4 + col], rf.get(6 + col, 9 + row) as i16);
+            }
+        }
+    }
+
+    #[test]
+    fn sample_clamps_outside_frame() {
+        let rf = plane_from_fn(16, 16, |x, y| (x + y) as u8);
+        let sf = interpolate(&rf);
+        assert_eq!(sf.sample(-40, -40), rf.get(0, 0));
+        assert_eq!(sf.sample(100 * 4, 100 * 4), rf.get(15, 15));
+    }
+}

@@ -1,0 +1,48 @@
+#![warn(missing_docs)]
+//! H.264/AVC-style inter-loop encoding library for FEVES.
+//!
+//! Implements every module of the paper's Fig 1 inter-loop as independent,
+//! row-sliceable kernels:
+//!
+//! | module | paper role | entry point |
+//! |---|---|---|
+//! | [`me`] | Motion Estimation (FSBM, 7 partitions, multi-RF) | [`me::motion_estimate_rows`] |
+//! | [`interp`] | Interpolation → SF (6-tap + bilinear) | [`interp::SubpelFrame`] |
+//! | [`sme`] | Sub-pixel Motion Estimation | [`sme::sme_rows`] |
+//! | [`mc`] | Motion Compensation + mode decision (R\*) | [`mc::mc_rows`] |
+//! | [`transform`] / [`quant`] / [`recon`] | TQ and TQ⁻¹ (R\*) | [`recon::tq_rows`], [`recon::itq_recon_rows`] |
+//! | [`dbl`] | Deblocking Filtering (R\*) | [`dbl::deblock_frame`] |
+//! | [`entropy`] | Entropy coding | [`entropy::encode_frame`] |
+//! | [`intra`] | I-slice coding | [`intra::encode_intra_frame`] |
+//!
+//! The ME/INT/SME kernels are *partition-invariant*: their result for a
+//! macroblock row depends only on the frame data, so distributing MB rows
+//! across heterogeneous devices (the whole point of FEVES) cannot change the
+//! encoded output. [`inter_loop::encode_inter_frame`] is the single-device
+//! golden reference the framework is tested against, and [`workload`] is the
+//! analytic cost model the platform simulator charges time with.
+
+pub mod cabac;
+pub mod chroma;
+pub mod dbl;
+pub mod decoder;
+pub mod entropy;
+pub mod inter_loop;
+pub mod interp;
+pub mod intra;
+pub mod mc;
+pub mod me;
+pub mod quant;
+pub mod rate;
+pub mod recon;
+pub mod sad;
+pub mod sme;
+pub mod transform;
+pub mod types;
+pub mod workload;
+
+pub use inter_loop::{encode_inter_frame, InterFrameOutput, ReferenceStore};
+pub use interp::SubpelFrame;
+pub use me::{MbMotion, MeField};
+pub use sme::{MbSubMotion, SmeField};
+pub use types::{EncodeParams, Module, Mv, PartitionMode, QpelMv, SearchArea};

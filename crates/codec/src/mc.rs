@@ -1,0 +1,290 @@
+//! Motion compensation and partition-mode decision (the paper's MC module,
+//! first of the R\* group).
+//!
+//! Per macroblock: select the best of the 7 partition modes from the refined
+//! SME costs (distortion + λ·rate, the standard Lagrangian mode decision),
+//! sample the prediction from the sub-pixel frames at the refined vectors,
+//! and emit the prediction residual for TQ.
+
+use crate::interp::SubpelFrame;
+use crate::sme::{MbSubMotion, SmeBlockMv};
+use crate::types::{PartitionMode, ALL_PARTITION_MODES};
+use feves_video::geometry::{RowRange, MB_SIZE};
+use feves_video::plane::Plane;
+
+/// Mode decision + motion data of one coded macroblock.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MbMode {
+    /// Winning partition mode.
+    pub mode: PartitionMode,
+    /// Winning blocks (`mode.count()` entries are valid).
+    pub mvs: [SmeBlockMv; 16],
+    /// Lagrangian cost of the winner (distortion + λ·rate).
+    pub cost: u64,
+}
+
+impl Default for MbMode {
+    fn default() -> Self {
+        MbMode {
+            mode: PartitionMode::P16x16,
+            mvs: [SmeBlockMv::default(); 16],
+            cost: u64::MAX,
+        }
+    }
+}
+
+/// Mode-decision output for a frame.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ModeField {
+    mbs: Vec<MbMode>,
+    mb_cols: usize,
+    mb_rows: usize,
+}
+
+impl ModeField {
+    /// Create an empty field.
+    pub fn new(mb_cols: usize, mb_rows: usize) -> Self {
+        ModeField {
+            mbs: vec![MbMode::default(); mb_cols * mb_rows],
+            mb_cols,
+            mb_rows,
+        }
+    }
+
+    /// Macroblocks per row.
+    pub fn mb_cols(&self) -> usize {
+        self.mb_cols
+    }
+
+    /// Macroblock rows.
+    pub fn mb_rows(&self) -> usize {
+        self.mb_rows
+    }
+
+    /// Mode data of macroblock `(mbx, mby)`.
+    #[inline]
+    pub fn mb(&self, mbx: usize, mby: usize) -> &MbMode {
+        &self.mbs[mby * self.mb_cols + mbx]
+    }
+
+    /// Mutable mode data.
+    #[inline]
+    pub fn mb_mut(&mut self, mbx: usize, mby: usize) -> &mut MbMode {
+        &mut self.mbs[mby * self.mb_cols + mbx]
+    }
+}
+
+/// Lagrange multiplier for mode decision: `0.85 · 2^((QP-12)/3)`.
+pub fn lambda_mode(qp: u8) -> f64 {
+    0.85 * f64::powf(2.0, (qp as f64 - 12.0) / 3.0)
+}
+
+/// Estimated header bits for coding a macroblock in `mode` (mode symbol +
+/// per-partition reference index and motion-vector difference).
+pub fn mode_overhead_bits(mode: PartitionMode) -> u64 {
+    const MODE_BITS: [u64; 7] = [1, 3, 3, 5, 7, 7, 9];
+    MODE_BITS[mode.index()] + mode.count() as u64 * 8
+}
+
+/// Choose the best partition mode for one macroblock from its SME output.
+pub fn decide_mode(sme: &MbSubMotion, qp: u8) -> MbMode {
+    let lambda = lambda_mode(qp);
+    let mut best = MbMode::default();
+    for mode in ALL_PARTITION_MODES {
+        let cost =
+            sme.mode_cost(mode) + (lambda * mode_overhead_bits(mode) as f64).round() as u64;
+        // Strict `<`: ties resolve to the earlier (coarser) mode.
+        if cost < best.cost {
+            let mut mvs = [SmeBlockMv::default(); 16];
+            for (i, mv) in mvs.iter_mut().enumerate().take(mode.count()) {
+                *mv = *sme.block(mode, i);
+            }
+            best = MbMode { mode, mvs, cost };
+        }
+    }
+    best
+}
+
+/// Build the prediction for one macroblock into `pred` (16×16 row-major).
+pub fn predict_mb(mb_mode: &MbMode, sfs: &[&SubpelFrame], cx: usize, cy: usize, pred: &mut [i16; 256]) {
+    let mode = mb_mode.mode;
+    let (w, h) = mode.dims();
+    let mut block = vec![0i16; w * h];
+    for i in 0..mode.count() {
+        let (ox, oy) = mode.offset(i);
+        let blk = &mb_mode.mvs[i];
+        sfs[blk.rf as usize].predict_block(cx + ox, cy + oy, blk.mv, w, h, &mut block);
+        for row in 0..h {
+            let dst = &mut pred[(oy + row) * MB_SIZE + ox..(oy + row) * MB_SIZE + ox + w];
+            dst.copy_from_slice(&block[row * w..(row + 1) * w]);
+        }
+    }
+}
+
+/// Run mode decision + motion compensation for the MB rows of `rows`.
+///
+/// Writes the winning modes into `modes`, the prediction samples into
+/// `pred` and the residual (`cf − pred`) into `residual` (both full-frame
+/// planes; only the rows of `rows` are touched).
+#[allow(clippy::too_many_arguments)] // mirrors the MC module's natural inputs
+pub fn mc_rows(
+    cf: &Plane<u8>,
+    sfs: &[&SubpelFrame],
+    sme_rows: &[MbSubMotion],
+    qp: u8,
+    rows: RowRange,
+    modes: &mut ModeField,
+    pred: &mut Plane<u8>,
+    residual: &mut Plane<i16>,
+) {
+    let mb_cols = cf.width() / MB_SIZE;
+    assert_eq!(sme_rows.len(), rows.len() * mb_cols, "SME input size mismatch");
+    let mut pbuf = [0i16; 256];
+    for (i, mby) in rows.iter().enumerate() {
+        for mbx in 0..mb_cols {
+            let sme = &sme_rows[i * mb_cols + mbx];
+            let decided = decide_mode(sme, qp);
+            let (cx, cy) = (mbx * MB_SIZE, mby * MB_SIZE);
+            predict_mb(&decided, sfs, cx, cy, &mut pbuf);
+            for row in 0..MB_SIZE {
+                let crow = &cf.row(cy + row)[cx..cx + MB_SIZE];
+                let prow = &mut pred.row_mut(cy + row)[cx..cx + MB_SIZE];
+                let rrow = &mut residual.row_mut(cy + row)[cx..cx + MB_SIZE];
+                for col in 0..MB_SIZE {
+                    let p = pbuf[row * MB_SIZE + col].clamp(0, 255);
+                    prow[col] = p as u8;
+                    rrow[col] = crow[col] as i16 - p;
+                }
+            }
+            *modes.mb_mut(mbx, mby) = decided;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interp::interpolate;
+    use crate::me::motion_estimate_rows;
+    use crate::sme::sme_rows as run_sme_rows;
+    use crate::types::{EncodeParams, SearchArea};
+
+    fn plane_from_fn(w: usize, h: usize, f: impl Fn(usize, usize) -> u8) -> Plane<u8> {
+        let mut p = Plane::new(w, h);
+        for y in 0..h {
+            for x in 0..w {
+                p.set(x, y, f(x, y));
+            }
+        }
+        p
+    }
+
+    #[test]
+    fn lambda_grows_with_qp() {
+        assert!(lambda_mode(40) > lambda_mode(20));
+        assert!((lambda_mode(12) - 0.85).abs() < 1e-12);
+    }
+
+    #[test]
+    fn perfect_translation_gives_zero_residual() {
+        let rf = plane_from_fn(64, 64, |x, y| ((x * 37) ^ (y * 11)) as u8);
+        let cf = plane_from_fn(64, 64, |x, y| rf.get_clamped(x as isize + 3, y as isize - 2));
+        let params = EncodeParams {
+            search_area: SearchArea(16),
+            n_ref: 1,
+            ..Default::default()
+        };
+        let sf = interpolate(&rf);
+        let rows = RowRange::new(1, 3);
+        let mb_cols = 4;
+        let mut me = vec![crate::me::MbMotion::default(); rows.len() * mb_cols];
+        motion_estimate_rows(&cf, &[&rf], &params, rows, &mut me);
+        let mut sme = vec![MbSubMotion::default(); rows.len() * mb_cols];
+        run_sme_rows(&cf, &[&sf], &me, rows, &mut sme);
+
+        let mut modes = ModeField::new(mb_cols, 4);
+        let mut pred: Plane<u8> = Plane::new(64, 64);
+        let mut residual: Plane<i16> = Plane::new(64, 64);
+        mc_rows(&cf, &[&sf], &sme, 28, rows, &mut modes, &mut pred, &mut residual);
+
+        // Interior MBs (away from the clamped frame border) must predict
+        // perfectly: residual 0, and the coarse 16x16 mode must win (it has
+        // the lowest overhead at equal distortion).
+        for mby in rows.iter() {
+            for mbx in 1..3 {
+                let m = modes.mb(mbx, mby);
+                assert_eq!(m.mode, PartitionMode::P16x16, "mb {mbx},{mby}");
+                for row in mby * 16..mby * 16 + 16 {
+                    for col in mbx * 16..mbx * 16 + 16 {
+                        assert_eq!(residual.get(col, row), 0, "at {col},{row}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn residual_plus_pred_equals_source() {
+        let rf = plane_from_fn(48, 48, |x, y| ((x * 5 + y * 3) % 256) as u8);
+        let cf = plane_from_fn(48, 48, |x, y| ((x * 7) ^ (y * 2)) as u8);
+        let params = EncodeParams {
+            search_area: SearchArea(8),
+            n_ref: 1,
+            ..Default::default()
+        };
+        let sf = interpolate(&rf);
+        let rows = RowRange::new(0, 3);
+        let mb_cols = 3;
+        let mut me = vec![crate::me::MbMotion::default(); rows.len() * mb_cols];
+        motion_estimate_rows(&cf, &[&rf], &params, rows, &mut me);
+        let mut sme = vec![MbSubMotion::default(); rows.len() * mb_cols];
+        run_sme_rows(&cf, &[&sf], &me, rows, &mut sme);
+
+        let mut modes = ModeField::new(mb_cols, 3);
+        let mut pred: Plane<u8> = Plane::new(48, 48);
+        let mut residual: Plane<i16> = Plane::new(48, 48);
+        mc_rows(&cf, &[&sf], &sme, 28, rows, &mut modes, &mut pred, &mut residual);
+        for y in 0..48 {
+            for x in 0..48 {
+                assert_eq!(
+                    pred.get(x, y) as i16 + residual.get(x, y),
+                    cf.get(x, y) as i16,
+                    "at {x},{y}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn high_qp_prefers_coarse_modes() {
+        // With huge lambda, overhead dominates: 16x16 must win even when
+        // finer modes have slightly lower SAD.
+        let mut sme = MbSubMotion::default();
+        for mode in ALL_PARTITION_MODES {
+            for i in 0..mode.count() {
+                sme.block_mut(mode, i).cost = match mode {
+                    PartitionMode::P16x16 => 1000,
+                    _ => 900 / mode.count() as u32, // finer modes slightly better
+                };
+            }
+        }
+        let d = decide_mode(&sme, 51);
+        assert_eq!(d.mode, PartitionMode::P16x16);
+    }
+
+    #[test]
+    fn zero_lambda_prefers_min_distortion() {
+        let mut sme = MbSubMotion::default();
+        for mode in ALL_PARTITION_MODES {
+            for i in 0..mode.count() {
+                sme.block_mut(mode, i).cost = match mode {
+                    PartitionMode::P4x4 => 0,
+                    _ => 10_000,
+                };
+            }
+        }
+        // QP 0 → tiny lambda; 4x4 with zero distortion must win.
+        let d = decide_mode(&sme, 0);
+        assert_eq!(d.mode, PartitionMode::P4x4);
+    }
+}

@@ -1,0 +1,245 @@
+//! Frame-level TQ / TQ⁻¹ and reconstruction (R\* group).
+//!
+//! Applies the 4×4 transform + quantization of [`crate::quant`] to the
+//! prediction residual macroblock by macroblock, then dequantizes, inverse
+//! transforms and adds back the prediction to produce the reconstructed
+//! reference frame the next inter-frame will search.
+
+use crate::quant::{has_coefficients, itq_block, tq_block};
+use feves_video::geometry::{RowRange, MB_SIZE};
+use feves_video::plane::Plane;
+
+/// Quantized levels of one macroblock: sixteen 4×4 luma blocks in raster
+/// order, plus a bitmask of blocks containing non-zero coefficients.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Default)]
+pub struct MbCoeffs {
+    /// Levels per 4×4 block (raster order inside the MB).
+    pub blocks: [[i16; 16]; 16],
+    /// Bit `i` set ⇔ `blocks[i]` has a non-zero level.
+    pub coded_mask: u16,
+}
+
+
+impl MbCoeffs {
+    /// True when any 4×4 block carries coefficients.
+    pub fn is_coded(&self) -> bool {
+        self.coded_mask != 0
+    }
+}
+
+/// Quantized coefficients of a frame.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CoeffField {
+    mbs: Vec<MbCoeffs>,
+    mb_cols: usize,
+    mb_rows: usize,
+}
+
+impl CoeffField {
+    /// Create an all-zero field.
+    pub fn new(mb_cols: usize, mb_rows: usize) -> Self {
+        CoeffField {
+            mbs: vec![MbCoeffs::default(); mb_cols * mb_rows],
+            mb_cols,
+            mb_rows,
+        }
+    }
+
+    /// Macroblocks per row.
+    pub fn mb_cols(&self) -> usize {
+        self.mb_cols
+    }
+
+    /// Macroblock rows.
+    pub fn mb_rows(&self) -> usize {
+        self.mb_rows
+    }
+
+    /// Coefficients of macroblock `(mbx, mby)`.
+    #[inline]
+    pub fn mb(&self, mbx: usize, mby: usize) -> &MbCoeffs {
+        &self.mbs[mby * self.mb_cols + mbx]
+    }
+
+    /// Mutable coefficients of macroblock `(mbx, mby)`.
+    #[inline]
+    pub fn mb_mut(&mut self, mbx: usize, mby: usize) -> &mut MbCoeffs {
+        &mut self.mbs[mby * self.mb_cols + mbx]
+    }
+
+    /// Total number of non-zero levels (rate proxy / diagnostics).
+    pub fn nonzero_levels(&self) -> usize {
+        self.mbs
+            .iter()
+            .flat_map(|mb| mb.blocks.iter())
+            .flat_map(|b| b.iter())
+            .filter(|&&v| v != 0)
+            .count()
+    }
+}
+
+/// Forward TQ over the MB rows of `rows`: quantize the residual into
+/// `coeffs`.
+pub fn tq_rows(
+    residual: &Plane<i16>,
+    qp: u8,
+    intra: bool,
+    rows: RowRange,
+    coeffs: &mut CoeffField,
+) {
+    let mb_cols = residual.width() / MB_SIZE;
+    let mut rbuf = [0i16; 16];
+    for mby in rows.iter() {
+        for mbx in 0..mb_cols {
+            let mb = coeffs.mb_mut(mbx, mby);
+            let mut mask = 0u16;
+            for blk in 0..16 {
+                let bx = mbx * MB_SIZE + (blk % 4) * 4;
+                let by = mby * MB_SIZE + (blk / 4) * 4;
+                for row in 0..4 {
+                    rbuf[row * 4..row * 4 + 4]
+                        .copy_from_slice(&residual.row(by + row)[bx..bx + 4]);
+                }
+                let levels = tq_block(&rbuf, qp, intra);
+                if has_coefficients(&levels) {
+                    mask |= 1 << blk;
+                }
+                mb.blocks[blk] = levels;
+            }
+            mb.coded_mask = mask;
+        }
+    }
+}
+
+/// Inverse TQ + reconstruction over the MB rows of `rows`:
+/// `recon = clip(pred + TQ⁻¹(coeffs))`.
+pub fn itq_recon_rows(
+    coeffs: &CoeffField,
+    pred: &Plane<u8>,
+    qp: u8,
+    rows: RowRange,
+    recon: &mut Plane<u8>,
+) {
+    let mb_cols = pred.width() / MB_SIZE;
+    for mby in rows.iter() {
+        for mbx in 0..mb_cols {
+            let mb = coeffs.mb(mbx, mby);
+            for blk in 0..16 {
+                let bx = mbx * MB_SIZE + (blk % 4) * 4;
+                let by = mby * MB_SIZE + (blk / 4) * 4;
+                if mb.coded_mask & (1 << blk) == 0 {
+                    // No coefficients: reconstruction is the prediction.
+                    for row in 0..4 {
+                        let p = &pred.row(by + row)[bx..bx + 4];
+                        recon.row_mut(by + row)[bx..bx + 4].copy_from_slice(p);
+                    }
+                    continue;
+                }
+                let r = itq_block(&mb.blocks[blk], qp);
+                for row in 0..4 {
+                    let p = &pred.row(by + row)[bx..bx + 4];
+                    let out = &mut recon.row_mut(by + row)[bx..bx + 4];
+                    for col in 0..4 {
+                        out[col] = (p[col] as i16 + r[row * 4 + col]).clamp(0, 255) as u8;
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::quant::qstep;
+
+    fn residual_from_fn(w: usize, h: usize, f: impl Fn(usize, usize) -> i16) -> Plane<i16> {
+        let mut p = Plane::new(w, h);
+        for y in 0..h {
+            for x in 0..w {
+                p.set(x, y, f(x, y));
+            }
+        }
+        p
+    }
+
+    #[test]
+    fn zero_residual_reconstructs_prediction() {
+        let residual: Plane<i16> = Plane::new(32, 32);
+        let mut pred: Plane<u8> = Plane::new(32, 32);
+        for y in 0..32 {
+            for x in 0..32 {
+                pred.set(x, y, ((x * 7 + y) % 256) as u8);
+            }
+        }
+        let mut coeffs = CoeffField::new(2, 2);
+        tq_rows(&residual, 28, false, RowRange::new(0, 2), &mut coeffs);
+        assert_eq!(coeffs.nonzero_levels(), 0);
+        let mut recon: Plane<u8> = Plane::new(32, 32);
+        itq_recon_rows(&coeffs, &pred, 28, RowRange::new(0, 2), &mut recon);
+        assert_eq!(recon, pred);
+    }
+
+    #[test]
+    fn reconstruction_error_bounded() {
+        let residual = residual_from_fn(32, 32, |x, y| ((x * 13 + y * 7) % 120) as i16 - 60);
+        let pred: Plane<u8> = {
+            let mut p = Plane::new(32, 32);
+            p.fill(128);
+            p
+        };
+        for qp in [16u8, 28, 40] {
+            let mut coeffs = CoeffField::new(2, 2);
+            tq_rows(&residual, qp, false, RowRange::new(0, 2), &mut coeffs);
+            let mut recon: Plane<u8> = Plane::new(32, 32);
+            itq_recon_rows(&coeffs, &pred, qp, RowRange::new(0, 2), &mut recon);
+            let bound = qstep(qp) * 2.0 + 2.0;
+            for y in 0..32 {
+                for x in 0..32 {
+                    let want = (128 + residual.get(x, y)).clamp(0, 255);
+                    let got = recon.get(x, y) as i16;
+                    assert!(
+                        ((want - got).abs() as f64) <= bound,
+                        "qp {qp} at {x},{y}: want {want} got {got} bound {bound}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn lower_qp_gives_more_coefficients() {
+        let residual = residual_from_fn(32, 32, |x, y| (((x * 31) ^ (y * 17)) % 60) as i16 - 30);
+        let count = |qp: u8| {
+            let mut coeffs = CoeffField::new(2, 2);
+            tq_rows(&residual, qp, false, RowRange::new(0, 2), &mut coeffs);
+            coeffs.nonzero_levels()
+        };
+        assert!(count(10) >= count(30));
+        assert!(count(30) >= count(48));
+    }
+
+    #[test]
+    fn row_partitioned_tq_matches_whole() {
+        let residual = residual_from_fn(32, 48, |x, y| ((x * 3 + y * 11) % 90) as i16 - 45);
+        let mut whole = CoeffField::new(2, 3);
+        tq_rows(&residual, 28, false, RowRange::new(0, 3), &mut whole);
+        let mut split = CoeffField::new(2, 3);
+        tq_rows(&residual, 28, false, RowRange::new(0, 1), &mut split);
+        tq_rows(&residual, 28, false, RowRange::new(1, 3), &mut split);
+        assert_eq!(whole, split);
+    }
+
+    #[test]
+    fn coded_mask_matches_levels() {
+        let residual = residual_from_fn(16, 16, |x, y| if x < 4 && y < 4 { 80 } else { 0 });
+        let mut coeffs = CoeffField::new(1, 1);
+        tq_rows(&residual, 28, false, RowRange::new(0, 1), &mut coeffs);
+        let mb = coeffs.mb(0, 0);
+        assert!(mb.coded_mask & 1 != 0, "block 0 must be coded");
+        for blk in 1..16 {
+            assert_eq!(mb.coded_mask & (1 << blk), 0, "block {blk} must be empty");
+        }
+    }
+}

@@ -1,0 +1,186 @@
+//! Property-based tests of the codec invariants the FEVES framework relies
+//! on: partition invariance of the balanced kernels, quantizer error
+//! bounds, entropy round-trips and deblocking sanity on random content.
+
+use feves_codec::entropy::{decode_block, encode_block, BitReader, BitWriter};
+use feves_codec::interp::{interpolate, SubpelFrame};
+use feves_codec::me::{motion_estimate_rows, MbMotion};
+use feves_codec::quant::{itq_block, qstep, tq_block};
+use feves_codec::sme::{sme_rows, MbSubMotion};
+use feves_codec::types::{EncodeParams, SearchArea};
+use feves_video::geometry::{ranges_from_counts, RowRange};
+use feves_video::plane::Plane;
+use proptest::prelude::*;
+
+fn arb_plane(w: usize, h: usize) -> impl Strategy<Value = Plane<u8>> {
+    proptest::collection::vec(any::<u8>(), w * h)
+        .prop_map(move |data| Plane::from_vec(data, w, h))
+}
+
+/// Split `total` into `parts` non-negative counts.
+fn arb_split(total: usize, parts: usize) -> impl Strategy<Value = Vec<usize>> {
+    proptest::collection::vec(0usize..=total, parts - 1).prop_map(move |mut cuts| {
+        cuts.push(0);
+        cuts.push(total);
+        cuts.sort_unstable();
+        cuts.windows(2).map(|w| w[1] - w[0]).collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// ME over any row partition equals whole-frame ME — the invariance
+    /// that makes FEVES' cross-device distribution lossless.
+    #[test]
+    fn me_partition_invariance(
+        cf in arb_plane(64, 64),
+        rf in arb_plane(64, 64),
+        split in arb_split(4, 3),
+    ) {
+        let params = EncodeParams {
+            search_area: SearchArea(8),
+            n_ref: 1,
+            ..Default::default()
+        };
+        let mb_cols = 4;
+        let mut whole = vec![MbMotion::default(); mb_cols * 4];
+        motion_estimate_rows(&cf, &[&rf], &params, RowRange::new(0, 4), &mut whole);
+        let mut stitched = vec![MbMotion::default(); mb_cols * 4];
+        for range in ranges_from_counts(&split) {
+            if range.is_empty() { continue; }
+            let out = &mut stitched[range.start * mb_cols..range.end * mb_cols];
+            motion_estimate_rows(&cf, &[&rf], &params, range, out);
+        }
+        prop_assert_eq!(whole, stitched);
+    }
+
+    /// Interpolation over any row partition equals whole-frame
+    /// interpolation.
+    #[test]
+    fn interp_partition_invariance(
+        rf in arb_plane(48, 64),
+        split in arb_split(4, 3),
+    ) {
+        let full = interpolate(&rf);
+        let mut sliced = SubpelFrame::new(48, 64);
+        for range in ranges_from_counts(&split) {
+            sliced.interpolate_rows(&rf, range);
+        }
+        prop_assert_eq!(full, sliced);
+    }
+
+    /// SME over any row partition equals whole-frame SME, and never
+    /// worsens the ME cost.
+    #[test]
+    fn sme_partition_invariance_and_improvement(
+        cf in arb_plane(64, 48),
+        rf in arb_plane(64, 48),
+        split in arb_split(3, 2),
+    ) {
+        let params = EncodeParams {
+            search_area: SearchArea(8),
+            n_ref: 1,
+            ..Default::default()
+        };
+        let mb_cols = 4;
+        let sf = interpolate(&rf);
+        let mut me = vec![MbMotion::default(); mb_cols * 3];
+        motion_estimate_rows(&cf, &[&rf], &params, RowRange::new(0, 3), &mut me);
+
+        let mut whole = vec![MbSubMotion::default(); mb_cols * 3];
+        sme_rows(&cf, &[&sf], &me, RowRange::new(0, 3), &mut whole);
+
+        let mut stitched = vec![MbSubMotion::default(); mb_cols * 3];
+        for range in ranges_from_counts(&split) {
+            if range.is_empty() { continue; }
+            let me_slice = &me[range.start * mb_cols..range.end * mb_cols];
+            let out = &mut stitched[range.start * mb_cols..range.end * mb_cols];
+            sme_rows(&cf, &[&sf], me_slice, range, out);
+        }
+        prop_assert_eq!(&whole, &stitched);
+
+        for (s, m) in whole.iter().zip(&me) {
+            for mode in feves_codec::types::ALL_PARTITION_MODES {
+                for i in 0..mode.count() {
+                    prop_assert!(s.block(mode, i).cost <= m.block(mode, i).cost);
+                }
+            }
+        }
+    }
+
+    /// TQ⁻¹(TQ(x)) error stays within the quantization step bound for any
+    /// residual block and QP.
+    #[test]
+    fn quant_roundtrip_error_bound(
+        residual in proptest::array::uniform16(-255i16..=255),
+        qp in 0u8..=51,
+    ) {
+        let levels = tq_block(&residual, qp, false);
+        let back = itq_block(&levels, qp);
+        let bound = qstep(qp) * 2.0 + 2.0;
+        for i in 0..16 {
+            let err = (residual[i] - back[i]).abs() as f64;
+            prop_assert!(err <= bound, "qp {} i {}: err {} > {}", qp, i, err, bound);
+        }
+    }
+
+    /// The entropy coder round-trips arbitrary level blocks bit-exactly.
+    #[test]
+    fn entropy_block_roundtrip(levels in proptest::array::uniform16(-512i16..=512)) {
+        let mut w = BitWriter::new();
+        encode_block(&mut w, &levels);
+        let bytes = w.finish();
+        let mut r = BitReader::new(&bytes);
+        prop_assert_eq!(decode_block(&mut r).unwrap(), levels);
+    }
+
+    /// Exp-Golomb values round-trip and the code length is monotone.
+    #[test]
+    fn expgolomb_roundtrip(values in proptest::collection::vec(0u32..1_000_000, 1..50)) {
+        let mut w = BitWriter::new();
+        for &v in &values {
+            w.ue(v);
+        }
+        let bytes = w.finish();
+        let mut r = BitReader::new(&bytes);
+        for &v in &values {
+            prop_assert_eq!(r.ue().unwrap(), v);
+        }
+    }
+
+    /// Deblocking only moves samples by bounded amounts and is idempotent
+    /// on already-flat content.
+    #[test]
+    fn deblock_bounded_change(
+        seed_plane in arb_plane(48, 48),
+        qp in 20u8..=44,
+    ) {
+        use feves_codec::dbl::deblock_frame;
+        use feves_codec::mc::ModeField;
+        use feves_codec::recon::CoeffField;
+        let mb = 3;
+        let mut modes = ModeField::new(mb, mb);
+        let mut coeffs = CoeffField::new(mb, mb);
+        for y in 0..mb {
+            for x in 0..mb {
+                modes.mb_mut(x, y).mvs = [feves_codec::sme::SmeBlockMv {
+                    rf: 0,
+                    mv: feves_codec::types::QpelMv::new((x * 4) as i16, (y * 4) as i16),
+                    cost: 0,
+                }; 16];
+                coeffs.mb_mut(x, y).coded_mask = if (x + y) % 2 == 0 { 0xFFFF } else { 0 };
+            }
+        }
+        let mut filtered = seed_plane.clone();
+        deblock_frame(&mut filtered, &modes, &coeffs, qp);
+        // Filter taps clip the per-sample change to tc ≤ β(QP)·bS/4 + 2.
+        let max_change = 2 * (qp as i16) + 16; // generous structural bound
+        for y in 0..48 {
+            for x in 0..48 {
+                let d = (filtered.get(x, y) as i16 - seed_plane.get(x, y) as i16).abs();
+                prop_assert!(d <= max_change, "at {},{}: moved {}", x, y, d);
+            }
+        }
+    }
+}

@@ -1,0 +1,509 @@
+//! Framework Control (paper Algorithm 1): the autonomous per-frame loop
+//! tying together load balancing, the Video Coding Manager, Data Access
+//! Management, platform execution and performance characterization.
+//!
+//! - **Initialization phase** (first inter-frame): the platform is "probed"
+//!   with an equidistant distribution; measured times seed the performance
+//!   characterization (lines 1–6).
+//! - **Iterative phase** (every further inter-frame): the Load Balancing
+//!   routine produces the next distribution from the measured rates, the
+//!   frame executes, and the measurements update the characterization
+//!   (lines 7–11) — closing the adaptation loop that recovers from platform
+//!   perturbations within a frame (Fig 7).
+
+use crate::config::{BalancerKind, EncoderConfig, ExecutionMode};
+use feves_codec::rate::RateController;
+use crate::dam::DataManager;
+use crate::report::{EncodeReport, FrameReport};
+use crate::trace::FrameTrace;
+use crate::vcm::{build_frame_graph, FrameGeometry, MeasureKind};
+use feves_codec::inter_loop::ReferenceStore;
+use feves_codec::interp::SubpelFrame;
+use feves_codec::types::EncodeParams;
+use feves_hetsim::noise::MultiplicativeNoise;
+use feves_hetsim::platform::Platform;
+use feves_hetsim::timeline::simulate;
+use feves_sched::{
+    BalanceInput, Centric, Distribution, EquidistantBalancer, Ewma, FevesBalancer, LoadBalancer,
+    PerfChar, ProportionalBalancer, SingleDeviceBalancer,
+};
+use feves_video::frame::Frame;
+use feves_video::geometry::{ranges_from_counts, RowRange};
+use feves_video::plane::Plane;
+use std::time::Instant;
+
+/// An externally imposed performance change on one device for a range of
+/// inter-frames — models "other processes started running" (Fig 7's events
+/// at frames 31/71/76/81/92).
+#[derive(Clone, Debug)]
+pub struct Perturbation {
+    /// Affected device index.
+    pub device: usize,
+    /// Inter-frame indices (1-based, inclusive start, exclusive end).
+    pub frames: std::ops::Range<usize>,
+    /// Speed multiplier while active (0.5 = half speed).
+    pub factor: f64,
+}
+
+/// The FEVES encoder: Algorithm 1 over a simulated heterogeneous platform,
+/// optionally also executing the real kernels.
+pub struct FevesEncoder {
+    platform: Platform,
+    config: EncoderConfig,
+    balancer: Box<dyn LoadBalancer>,
+    perf: PerfChar,
+    dam: DataManager,
+    noise: MultiplicativeNoise,
+    prev_dist: Option<Distribution>,
+    perturbations: Vec<Perturbation>,
+    geometry: FrameGeometry,
+    /// Inter-frames encoded so far.
+    inter_count: usize,
+    /// Total frames encoded (intra + inter, functional mode).
+    frames_encoded: usize,
+    /// References available (ramps to `params.n_ref`).
+    refs_available: usize,
+    /// Schedule trace of the most recent inter-frame.
+    last_trace: Option<FrameTrace>,
+    /// Closed-loop QP controller (functional mode, when configured).
+    rate: Option<RateController>,
+    // Functional-mode state.
+    store: ReferenceStore,
+    recon_pending: Option<ReconPending>,
+}
+
+/// A reconstruction waiting to be interpolated and pushed as a reference.
+struct ReconPending {
+    y: Plane<u8>,
+    u: Plane<u8>,
+    v: Plane<u8>,
+}
+
+impl FevesEncoder {
+    /// Create an encoder for `platform` with `config`.
+    pub fn new(platform: Platform, config: EncoderConfig) -> Result<Self, String> {
+        config.validate()?;
+        if matches!(config.balancer, BalancerKind::SingleAccelerator(i) if i >= platform.n_accel)
+        {
+            return Err("single-accelerator balancer index out of range".into());
+        }
+        let padded = config.resolution.padded();
+        let geometry = FrameGeometry {
+            mb_cols: padded.width / 16,
+            n_rows: padded.height / 16,
+            width: padded.width,
+        };
+        // Device memory management (paper §III-B-2): refuse configurations
+        // whose buffers cannot fit on an accelerator.
+        DataManager::check_memory(
+            &platform,
+            geometry.n_rows,
+            geometry.width,
+            config.params.n_ref,
+        )?;
+        let balancer: Box<dyn LoadBalancer> = match config.balancer {
+            BalancerKind::Feves => Box::new(FevesBalancer::default()),
+            BalancerKind::FevesFixed(c) => Box::new(FevesBalancer {
+                fixed_centric: Some(c),
+            }),
+            BalancerKind::Equidistant => Box::new(EquidistantBalancer),
+            BalancerKind::Proportional => Box::new(ProportionalBalancer),
+            BalancerKind::Greedy => Box::new(feves_sched::GreedyBalancer::default()),
+            BalancerKind::SingleAccelerator(i) => {
+                Box::new(SingleDeviceBalancer { device: Some(i) })
+            }
+            BalancerKind::CpuOnly => Box::new(SingleDeviceBalancer { device: None }),
+        };
+        let n_ref = config.params.n_ref;
+        Ok(FevesEncoder {
+            perf: PerfChar::new(platform.len(), config.ewma),
+            dam: DataManager::new(geometry.n_rows, platform.len()),
+            noise: MultiplicativeNoise::new(config.noise_amp, config.noise_seed),
+            balancer,
+            prev_dist: None,
+            perturbations: Vec::new(),
+            geometry,
+            inter_count: 0,
+            frames_encoded: 0,
+            refs_available: 0,
+            last_trace: None,
+            rate: config.rate_control.map(|rc| {
+                RateController::new(rc.target_kbps, rc.fps, config.params.qp)
+            }),
+            store: ReferenceStore::new(n_ref),
+            recon_pending: None,
+            platform,
+            config,
+        })
+    }
+
+    /// Register a perturbation (timing-only or functional).
+    pub fn add_perturbation(&mut self, p: Perturbation) {
+        assert!(p.device < self.platform.len());
+        assert!(p.factor > 0.0);
+        self.perturbations.push(p);
+    }
+
+    /// The platform being driven.
+    pub fn platform(&self) -> &Platform {
+        &self.platform
+    }
+
+    /// Current performance characterization (for inspection).
+    pub fn perf(&self) -> &PerfChar {
+        &self.perf
+    }
+
+    /// Configuration.
+    pub fn config(&self) -> &EncoderConfig {
+        &self.config
+    }
+
+    /// Inter-frames encoded so far.
+    pub fn inter_frames(&self) -> usize {
+        self.inter_count
+    }
+
+    fn speed_multipliers(&self, inter_frame: usize) -> Vec<f64> {
+        let mut m = self.platform.nominal_speeds();
+        for p in &self.perturbations {
+            if p.frames.contains(&inter_frame) {
+                m[p.device] *= p.factor;
+            }
+        }
+        m
+    }
+
+    /// Encode one inter-frame in timing-only mode and return its report.
+    pub fn encode_inter_timing(&mut self) -> FrameReport {
+        self.refs_available = (self.refs_available + 1).min(self.config.params.n_ref);
+        self.run_inter(None)
+    }
+
+    /// Run `n` timing-only inter-frames (Algorithm 1's main loop).
+    pub fn run_timing(&mut self, n: usize) -> EncodeReport {
+        // The I-frame exists implicitly: it provides the first reference.
+        let frames = (0..n).map(|_| self.encode_inter_timing()).collect();
+        EncodeReport::new(self.platform.name.clone(), frames)
+    }
+
+    /// Encode one frame functionally (first call = intra, rest = inter;
+    /// with `config.gop = Some(n)`, a closed-GOP I-frame every `n` frames).
+    pub fn encode_frame(&mut self, frame: &Frame) -> FrameReport {
+        assert_eq!(
+            frame.resolution(),
+            self.config.resolution,
+            "frame resolution mismatch"
+        );
+        // Closed-GOP refresh: drop all references and start a new I-frame.
+        if let Some(gop) = self.config.gop {
+            if self.frames_encoded > 0 && self.frames_encoded.is_multiple_of(gop) {
+                self.store = ReferenceStore::new(self.config.params.n_ref);
+                self.recon_pending = None;
+                self.refs_available = 0;
+            }
+        }
+        self.frames_encoded += 1;
+        if self.recon_pending.is_none() && self.store.is_empty() {
+            // I-frame: luma intra + chroma-DC intra.
+            let intra =
+                feves_codec::intra::encode_intra_frame(frame.y(), self.config.params.qp_intra);
+            let chroma = feves_codec::chroma::encode_chroma_intra(
+                frame.u(),
+                frame.v(),
+                frame.mb_cols(),
+                frame.mb_rows(),
+                self.config.params.qp_intra,
+            );
+            let psnr = feves_video::metrics::psnr(&intra.recon, frame.y());
+            self.recon_pending = Some(ReconPending {
+                y: intra.recon,
+                u: chroma.recon_u,
+                v: chroma.recon_v,
+            });
+            return FrameReport::intra(intra.bits + chroma.bits, psnr);
+        }
+        self.refs_available = (self.refs_available + 1).min(self.config.params.n_ref);
+        self.run_inter(Some(frame))
+    }
+
+    /// Encode a whole sequence functionally.
+    pub fn encode_sequence(&mut self, frames: &[Frame]) -> EncodeReport {
+        let reports = frames.iter().map(|f| self.encode_frame(f)).collect();
+        EncodeReport::new(self.platform.name.clone(), reports)
+    }
+
+    /// The shared inter-frame path: balance → plan → simulate → measure
+    /// (→ optionally execute kernels).
+    fn run_inter(&mut self, frame: Option<&Frame>) -> FrameReport {
+        let inter_frame = self.inter_count + 1; // 1-based like Fig 7
+        let n_rows = self.geometry.n_rows;
+        let mut eff_params = EncodeParams {
+            n_ref: self.refs_available.max(1),
+            ..self.config.params
+        };
+        if let Some(rc) = &self.rate {
+            eff_params.qp = rc.qp();
+        }
+
+        // Load balancing (initialization phase falls back to equidistant
+        // inside the balancers when uncharacterized).
+        let sched_start = Instant::now();
+        let dist = self.balancer.distribute(&BalanceInput {
+            n_rows,
+            platform: &self.platform,
+            perf: &self.perf,
+            prev: self.prev_dist.as_ref(),
+        });
+        let sched_overhead = sched_start.elapsed().as_secs_f64();
+        debug_assert!(dist.validate(n_rows).is_ok());
+
+        // Data access plan + task graph.
+        let mask: Vec<bool> = self
+            .platform
+            .devices
+            .iter()
+            .map(|d| d.is_accelerator())
+            .collect();
+        let plan = self.dam.plan(&dist, &mask, self.config.data_reuse);
+        let fg = build_frame_graph(
+            &dist,
+            &plan,
+            &self.platform,
+            &eff_params,
+            self.geometry,
+            self.config.overlap,
+        );
+
+        // Execute on the virtual platform.
+        let speeds = self.speed_multipliers(inter_frame);
+        let sched = simulate(&fg.graph, &self.platform, &speeds, &mut self.noise)
+            .expect("VCM-built graphs are deadlock-free by construction");
+        self.last_trace = Some(FrameTrace::capture(&fg, &sched, &self.platform));
+
+        // Performance characterization update (Algorithm 1, lines 5/10).
+        let mut rstar_time = vec![0.0f64; self.platform.len()];
+        let mut rstar_seen = vec![false; self.platform.len()];
+        for m in &fg.measures {
+            let dur = sched.duration(m.task);
+            match m.kind {
+                MeasureKind::Compute {
+                    device,
+                    module,
+                    rows,
+                } => self.perf.record_compute(device, module, rows, dur),
+                MeasureKind::Transfer {
+                    device,
+                    tag,
+                    dir,
+                    rows,
+                } => self.perf.record_transfer(device, tag, dir, rows, dur),
+                MeasureKind::RstarPart { device } => {
+                    rstar_time[device] += dur;
+                    rstar_seen[device] = true;
+                }
+            }
+        }
+        for d in 0..self.platform.len() {
+            if rstar_seen[d] {
+                self.perf.record_rstar(d, rstar_time[d]);
+            }
+        }
+
+        // Functional execution with the same distribution.
+        let (bits, psnr) = match (frame, self.config.mode) {
+            (Some(f), ExecutionMode::Functional) => {
+                let (bits, psnr) = self.execute_kernels(f, &dist, &eff_params);
+                if let Some(rc) = &mut self.rate {
+                    rc.update(bits);
+                }
+                (Some(bits), Some(psnr))
+            }
+            _ => (None, None),
+        };
+
+        self.dam
+            .commit(&dist, &mask, self.config.data_reuse)
+            .expect("distribution validated above");
+        let report = FrameReport::inter(
+            inter_frame,
+            sched.finish_of(fg.tau1),
+            sched.finish_of(fg.tau2),
+            sched.finish_of(fg.tau_tot),
+            eff_params.n_ref,
+            sched_overhead,
+            dist.clone(),
+            bits,
+            psnr,
+        );
+        self.prev_dist = Some(dist);
+        self.inter_count += 1;
+        report
+    }
+
+    /// Run the real kernels, row-partitioned exactly as the distribution
+    /// prescribes, and advance the reference store.
+    fn execute_kernels(
+        &mut self,
+        frame: &Frame,
+        dist: &Distribution,
+        params: &EncodeParams,
+    ) -> (u64, f64) {
+        let cf = frame.y();
+        let mb_cols = self.geometry.mb_cols;
+        let n_rows = self.geometry.n_rows;
+
+        // INT: interpolate the pending reconstruction per dist.interp and
+        // push it as the newest reference.
+        if let Some(pending) = self.recon_pending.take() {
+            let mut sf = SubpelFrame::new(pending.y.width(), pending.y.height());
+            for range in ranges_from_counts(&dist.interp) {
+                sf.interpolate_rows(&pending.y, range);
+            }
+            self.store.push_yuv(pending.y, sf, pending.u, pending.v);
+        }
+        let rfs = self.store.rf_planes();
+        let sfs = self.store.sfs();
+
+        // ME per device stripe — stripes run concurrently on scoped threads,
+        // mirroring the paper's per-device host threads (the Video Coding
+        // Manager drives every device simultaneously). Each stripe writes a
+        // disjoint row band of the motion field.
+        let mut me = feves_codec::me::MeField::new(mb_cols, n_rows);
+        {
+            let mut bands: Vec<(RowRange, &mut [feves_codec::me::MbMotion])> = Vec::new();
+            let mut rest = me.rows_mut(RowRange::new(0, n_rows));
+            for range in ranges_from_counts(&dist.me) {
+                let (band, tail) = rest.split_at_mut(range.len() * mb_cols);
+                if !range.is_empty() {
+                    bands.push((range, band));
+                }
+                rest = tail;
+            }
+            let (cf_ref, rfs_ref, params_ref) = (&cf, &rfs, &params);
+            crossbeam::scope(|s| {
+                for (range, out) in bands {
+                    s.spawn(move |_| {
+                        feves_codec::me::motion_estimate_rows_parallel(
+                            cf_ref, rfs_ref, params_ref, range, out,
+                        );
+                    });
+                }
+            })
+            .expect("device stripe threads must not panic");
+        }
+
+        // SME per device stripe, same device-level concurrency.
+        let mut sme = feves_codec::sme::SmeField::new(mb_cols, n_rows);
+        {
+            let mut bands: Vec<(RowRange, &mut [feves_codec::sme::MbSubMotion])> = Vec::new();
+            let mut rest = sme.rows_mut(RowRange::new(0, n_rows));
+            for range in ranges_from_counts(&dist.sme) {
+                let (band, tail) = rest.split_at_mut(range.len() * mb_cols);
+                if !range.is_empty() {
+                    bands.push((range, band));
+                }
+                rest = tail;
+            }
+            let me_ref = &me;
+            let (cf_ref, sfs_ref) = (&cf, &sfs);
+            crossbeam::scope(|s| {
+                for (range, out) in bands {
+                    s.spawn(move |_| {
+                        let me_rows: Vec<feves_codec::me::MbMotion> =
+                            me_ref.rows(range).to_vec();
+                        feves_codec::sme::sme_rows_parallel(
+                            cf_ref, sfs_ref, &me_rows, range, out,
+                        );
+                    });
+                }
+            })
+            .expect("device stripe threads must not panic");
+        }
+
+        // R* on the selected device (single-device semantics).
+        let all = RowRange::new(0, n_rows);
+        let mut modes = feves_codec::mc::ModeField::new(mb_cols, n_rows);
+        let mut pred: Plane<u8> = Plane::new(cf.width(), cf.height());
+        let mut residual: Plane<i16> = Plane::new(cf.width(), cf.height());
+        feves_codec::mc::mc_rows(
+            cf,
+            &sfs,
+            sme.rows(all),
+            params.qp,
+            all,
+            &mut modes,
+            &mut pred,
+            &mut residual,
+        );
+        let mut coeffs = feves_codec::recon::CoeffField::new(mb_cols, n_rows);
+        feves_codec::recon::tq_rows(&residual, params.qp, false, all, &mut coeffs);
+        let mut recon: Plane<u8> = Plane::new(cf.width(), cf.height());
+        feves_codec::recon::itq_recon_rows(&coeffs, &pred, params.qp, all, &mut recon);
+        feves_codec::dbl::deblock_frame(&mut recon, &modes, &coeffs, params.qp);
+
+        // Chroma rides with the R* group (single-device semantics), using
+        // the winning luma modes.
+        let (refs_u, refs_v) = self
+            .store
+            .chroma_planes()
+            .expect("functional references are pushed with chroma");
+        let n_refs = refs_u.len().min(params.n_ref);
+        let chroma = feves_codec::chroma::encode_chroma_inter(
+            frame.u(),
+            frame.v(),
+            &refs_u[..n_refs],
+            &refs_v[..n_refs],
+            &modes,
+            params.qp,
+        );
+        let (_stream, bits) = match self.config.entropy {
+            feves_codec::cabac::EntropyBackend::ExpGolomb => {
+                feves_codec::entropy::encode_frame_yuv(&modes, &coeffs, &chroma.coeffs, params.qp)
+            }
+            feves_codec::cabac::EntropyBackend::Cabac => feves_codec::cabac::encode_frame_cabac(
+                &modes,
+                &coeffs,
+                Some(&chroma.coeffs),
+                params.qp,
+            ),
+        };
+
+        let psnr = feves_video::metrics::psnr(&recon, cf);
+        self.recon_pending = Some(ReconPending {
+            y: recon,
+            u: chroma.recon_u,
+            v: chroma.recon_v,
+        });
+        (bits, psnr)
+    }
+
+    /// The simulated schedule of the most recent inter-frame (Fig 4 as
+    /// data; see [`FrameTrace::render_gantt`]).
+    pub fn last_trace(&self) -> Option<&FrameTrace> {
+        self.last_trace.as_ref()
+    }
+
+    /// The last luma reconstruction (functional mode).
+    pub fn last_reconstruction(&self) -> Option<&Plane<u8>> {
+        self.recon_pending.as_ref().map(|p| &p.y)
+    }
+
+    /// The last full YUV reconstruction `(Y, Cb, Cr)` (functional mode).
+    pub fn last_reconstruction_yuv(&self) -> Option<(&Plane<u8>, &Plane<u8>, &Plane<u8>)> {
+        self.recon_pending.as_ref().map(|p| (&p.y, &p.u, &p.v))
+    }
+
+    /// Force a specific EWMA (test hook).
+    pub fn set_ewma(&mut self, alpha: Ewma) {
+        self.perf = PerfChar::new(self.platform.len(), alpha);
+    }
+
+    /// The centric choice of the current balancer when pinned (diagnostic).
+    pub fn fixed_centric(&self) -> Option<Centric> {
+        match self.config.balancer {
+            BalancerKind::FevesFixed(c) => Some(c),
+            _ => None,
+        }
+    }
+}

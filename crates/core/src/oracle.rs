@@ -1,0 +1,214 @@
+//! An "oracle" load balancer: local search directly against the simulated
+//! makespan.
+//!
+//! Algorithm 2 optimizes an LP *model* of the schedule; this balancer
+//! instead evaluates candidate distributions by actually building the frame
+//! graph and simulating it, hill-climbing row moves until no single-row
+//! move improves the makespan. It is far too slow for the paper's 2 ms
+//! budget (hundreds of simulations per frame) — its purpose is to quantify
+//! how close the LP gets to a schedule-level optimum (the `ablations` and
+//! `scaling` experiment binaries report the gap).
+
+use crate::dam::DataManager;
+use crate::vcm::{build_frame_graph, FrameGeometry};
+use feves_codec::types::EncodeParams;
+use feves_hetsim::noise::Deterministic;
+use feves_hetsim::platform::Platform;
+use feves_hetsim::timeline::simulate;
+use feves_sched::{BalanceInput, Distribution, FevesBalancer, LoadBalancer};
+
+/// Hill-climbing oracle around the LP seed.
+pub struct OracleBalancer {
+    /// Parameters used to size the work units (the steady-state config).
+    pub params: EncodeParams,
+    /// Frame geometry.
+    pub geometry: FrameGeometry,
+    /// Maximum improvement sweeps.
+    pub max_sweeps: usize,
+    inner: FevesBalancer,
+}
+
+impl OracleBalancer {
+    /// Create an oracle for the given encode parameters and geometry.
+    pub fn new(params: EncodeParams, geometry: FrameGeometry, max_sweeps: usize) -> Self {
+        OracleBalancer {
+            params,
+            geometry,
+            max_sweeps,
+            inner: FevesBalancer::default(),
+        }
+    }
+
+    /// Simulated makespan of a candidate distribution.
+    pub fn evaluate(&self, dist: &Distribution, platform: &Platform) -> f64 {
+        let dam = DataManager::new(self.geometry.n_rows, platform.len());
+        let mask: Vec<bool> = platform
+            .devices
+            .iter()
+            .map(|d| d.is_accelerator())
+            .collect();
+        let plan = dam.plan(dist, &mask, true);
+        let fg = build_frame_graph(dist, &plan, platform, &self.params, self.geometry, true);
+        simulate(&fg.graph, platform, &platform.nominal_speeds(), &mut Deterministic)
+            .map(|s| s.makespan)
+            .unwrap_or(f64::INFINITY)
+    }
+
+    /// Try every single-row move in one of the three vectors; return the
+    /// best improving neighbour, if any.
+    fn best_neighbour(
+        &self,
+        dist: &Distribution,
+        platform: &Platform,
+        current: f64,
+    ) -> Option<(Distribution, f64)> {
+        let n = dist.n_devices();
+        let budget = vec![usize::MAX; n];
+        let mut best: Option<(Distribution, f64)> = None;
+        for vector in 0..3usize {
+            let rows = match vector {
+                0 => &dist.me,
+                1 => &dist.interp,
+                _ => &dist.sme,
+            };
+            for from in 0..n {
+                if rows[from] == 0 {
+                    continue;
+                }
+                for to in 0..n {
+                    if to == from {
+                        continue;
+                    }
+                    let mut me = dist.me.clone();
+                    let mut li = dist.interp.clone();
+                    let mut sm = dist.sme.clone();
+                    let target = match vector {
+                        0 => &mut me,
+                        1 => &mut li,
+                        _ => &mut sm,
+                    };
+                    target[from] -= 1;
+                    target[to] += 1;
+                    let cand = Distribution::from_rows(
+                        me,
+                        li,
+                        sm,
+                        dist.rstar_device,
+                        &budget,
+                        None,
+                    );
+                    let t = self.evaluate(&cand, platform);
+                    if t < current - 1e-9
+                        && best.as_ref().is_none_or(|(_, bt)| t < *bt)
+                    {
+                        best = Some((cand, t));
+                    }
+                }
+            }
+        }
+        best
+    }
+}
+
+impl LoadBalancer for OracleBalancer {
+    fn name(&self) -> &'static str {
+        "oracle"
+    }
+
+    fn distribute(&mut self, input: &BalanceInput<'_>) -> Distribution {
+        let seed = self.inner.distribute(input);
+        let mut current = seed;
+        let mut t = self.evaluate(&current, input.platform);
+        for _ in 0..self.max_sweeps {
+            match self.best_neighbour(&current, input.platform, t) {
+                Some((better, bt)) => {
+                    current = better;
+                    t = bt;
+                }
+                None => break,
+            }
+        }
+        current
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use feves_codec::types::SearchArea;
+    use feves_sched::{Ewma, PerfChar};
+
+    fn geometry() -> FrameGeometry {
+        FrameGeometry {
+            mb_cols: 120,
+            n_rows: 68,
+            width: 1920,
+        }
+    }
+
+    fn params() -> EncodeParams {
+        EncodeParams {
+            search_area: SearchArea(32),
+            n_ref: 1,
+            ..Default::default()
+        }
+    }
+
+    /// Characterize from profiles (equidistant-probe equivalent).
+    fn perfchar(platform: &Platform) -> PerfChar {
+        use feves_codec::types::Module;
+        use feves_codec::workload::bytes_per_row as bpr;
+        use feves_hetsim::timeline::{Dir, TransferTag};
+        let mut pc = PerfChar::new(platform.len(), Ewma(1.0));
+        for (i, dev) in platform.devices.iter().enumerate() {
+            pc.record_compute(i, Module::Me, 1, dev.compute_time(Module::Me, 120.0 * 1024.0, 1.0));
+            pc.record_compute(i, Module::Interp, 1, dev.compute_time(Module::Interp, 120.0, 1.0));
+            pc.record_compute(i, Module::Sme, 1, dev.compute_time(Module::Sme, 120.0, 1.0));
+            let rstar: f64 = Module::RSTAR
+                .iter()
+                .map(|&m| dev.compute_time(m, 120.0 * 68.0, 1.0))
+                .sum();
+            pc.record_rstar(i, rstar);
+            if let Some(link) = dev.link {
+                for (tag, bytes) in [
+                    (TransferTag::Cf, bpr::cf(1920)),
+                    (TransferTag::Rf, bpr::rf(1920)),
+                    (TransferTag::Sf, bpr::sf(1920)),
+                    (TransferTag::Mv, bpr::mv(1920)),
+                ] {
+                    pc.record_transfer(i, tag, Dir::H2d, 1, link.transfer_time(bytes, true));
+                    pc.record_transfer(i, tag, Dir::D2h, 1, link.transfer_time(bytes, false));
+                }
+            }
+        }
+        pc
+    }
+
+    #[test]
+    fn oracle_never_worse_than_lp_seed() {
+        let platform = Platform::sys_hk();
+        let perf = perfchar(&platform);
+        let input = BalanceInput {
+            n_rows: 68,
+            platform: &platform,
+            perf: &perf,
+            prev: None,
+        };
+        let mut lp = FevesBalancer::default();
+        let lp_dist = lp.distribute(&input);
+        let mut oracle = OracleBalancer::new(params(), geometry(), 4);
+        let lp_t = oracle.evaluate(&lp_dist, &platform);
+        let oracle_dist = oracle.distribute(&input);
+        let oracle_t = oracle.evaluate(&oracle_dist, &platform);
+        assert!(
+            oracle_t <= lp_t + 1e-12,
+            "oracle ({oracle_t}) must not lose to its own seed ({lp_t})"
+        );
+        oracle_dist.validate(68).unwrap();
+        // The LP should already be close: within 15% of the local optimum.
+        assert!(
+            lp_t <= oracle_t * 1.15,
+            "LP gap too large: {lp_t} vs oracle {oracle_t}"
+        );
+    }
+}

@@ -1,0 +1,271 @@
+//! Per-frame schedule traces: the simulated Fig 4 timeline as inspectable
+//! data — JSON for tooling, ASCII Gantt for the terminal.
+
+use crate::vcm::FrameGraph;
+use feves_hetsim::platform::Platform;
+use feves_hetsim::timeline::{Dir, Schedule, TaskKind};
+use serde::{Deserialize, Serialize};
+
+/// One executed task in a frame's schedule.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct TraceTask {
+    /// Human-readable label (module/stream + device).
+    pub label: String,
+    /// Executing lane: `"dev0"`, `"dev0 int"`, `"dev0 h2d"`, `"dev0 d2h"`.
+    pub lane: String,
+    /// Start time in milliseconds on the virtual clock.
+    pub start_ms: f64,
+    /// End time in milliseconds.
+    pub end_ms: f64,
+}
+
+/// A frame's complete simulated timeline.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct FrameTrace {
+    /// Every non-barrier task, ordered by start time.
+    pub tasks: Vec<TraceTask>,
+    /// τ1 in ms.
+    pub tau1_ms: f64,
+    /// τ2 in ms.
+    pub tau2_ms: f64,
+    /// τtot in ms.
+    pub tau_tot_ms: f64,
+}
+
+impl FrameTrace {
+    /// Extract a trace from a simulated frame graph.
+    pub fn capture(fg: &FrameGraph, sched: &Schedule, platform: &Platform) -> Self {
+        let mut tasks = Vec::new();
+        for (id, t) in fg.graph.iter() {
+            let lane = match &t.kind {
+                TaskKind::Compute { device, module, .. } => {
+                    let dev = &platform.devices[device.0];
+                    if dev.is_accelerator()
+                        && matches!(module, feves_codec::types::Module::Interp)
+                    {
+                        format!("dev{} int", device.0)
+                    } else {
+                        format!("dev{}", device.0)
+                    }
+                }
+                TaskKind::Transfer { device, dir, .. } => match dir {
+                    Dir::H2d => format!("dev{} h2d", device.0),
+                    Dir::D2h => format!("dev{} d2h", device.0),
+                },
+                TaskKind::Barrier => continue,
+            };
+            tasks.push(TraceTask {
+                label: t.label.clone(),
+                lane,
+                start_ms: sched.start[id.0] * 1e3,
+                end_ms: sched.finish[id.0] * 1e3,
+            });
+        }
+        tasks.sort_by(|a, b| a.start_ms.partial_cmp(&b.start_ms).unwrap());
+        FrameTrace {
+            tasks,
+            tau1_ms: sched.finish_of(fg.tau1) * 1e3,
+            tau2_ms: sched.finish_of(fg.tau2) * 1e3,
+            tau_tot_ms: sched.finish_of(fg.tau_tot) * 1e3,
+        }
+    }
+
+    /// Busy fraction of each lane over the frame (`lane → busy / τtot`),
+    /// sorted by lane name — the utilization view of Fig 4.
+    pub fn utilization(&self) -> Vec<(String, f64)> {
+        let total = self.tau_tot_ms.max(1e-9);
+        let mut lanes: Vec<(String, f64)> = Vec::new();
+        for t in &self.tasks {
+            let busy = t.end_ms - t.start_ms;
+            match lanes.iter_mut().find(|(l, _)| *l == t.lane) {
+                Some((_, b)) => *b += busy,
+                None => lanes.push((t.lane.clone(), busy)),
+            }
+        }
+        lanes.sort_by(|a, b| a.0.cmp(&b.0));
+        lanes.into_iter().map(|(l, b)| (l, b / total)).collect()
+    }
+
+    /// Render an ASCII Gantt chart, `width` characters across the frame.
+    pub fn render_gantt(&self, width: usize) -> String {
+        let total = self.tau_tot_ms.max(1e-9);
+        let scale = width as f64 / total;
+        let mut lanes: Vec<(&str, Vec<&TraceTask>)> = Vec::new();
+        for t in &self.tasks {
+            match lanes.iter_mut().find(|(l, _)| *l == t.lane) {
+                Some((_, v)) => v.push(t),
+                None => lanes.push((t.lane.as_str(), vec![t])),
+            }
+        }
+        lanes.sort_by(|a, b| a.0.cmp(b.0));
+        let mut out = String::new();
+        out.push_str(&format!(
+            "frame timeline: tau1 {:.2} ms | tau2 {:.2} ms | tau_tot {:.2} ms\n",
+            self.tau1_ms, self.tau2_ms, self.tau_tot_ms
+        ));
+        let t1 = (self.tau1_ms * scale).round() as usize;
+        let t2 = (self.tau2_ms * scale).round() as usize;
+        for (lane, tasks) in &lanes {
+            let mut row = vec![b'.'; width];
+            for t in tasks {
+                let s = ((t.start_ms * scale) as usize).min(width.saturating_sub(1));
+                let e = ((t.end_ms * scale).ceil() as usize).clamp(s + 1, width);
+                let ch = glyph(&t.label);
+                for c in row.iter_mut().take(e).skip(s) {
+                    *c = ch;
+                }
+            }
+            if t1 < width {
+                row[t1] = b'|';
+            }
+            if t2 < width {
+                row[t2] = b'|';
+            }
+            out.push_str(&format!(
+                "{:>9} {}\n",
+                lane,
+                String::from_utf8_lossy(&row)
+            ));
+        }
+        out.push_str("legend: M=ME I=INT S=SME R=R* c=CF r=RF s=SF v=MV  |=tau\n");
+        out
+    }
+}
+
+fn glyph(label: &str) -> u8 {
+    if label.starts_with("ME") {
+        b'M'
+    } else if label.starts_with("INT") {
+        b'I'
+    } else if label.starts_with("SME") {
+        b'S'
+    } else if label.starts_with("Mc")
+        || label.starts_with("Tq")
+        || label.starts_with("Itq")
+        || label.starts_with("Dbl")
+    {
+        b'R'
+    } else if label.starts_with("CF") {
+        b'c'
+    } else if label.starts_with("RF") {
+        b'r'
+    } else if label.starts_with("SF") {
+        b's'
+    } else if label.starts_with("MV") {
+        b'v'
+    } else {
+        b'#'
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dam::DataManager;
+    use crate::vcm::{build_frame_graph, FrameGeometry};
+    use feves_codec::types::EncodeParams;
+    use feves_hetsim::noise::Deterministic;
+    use feves_hetsim::timeline::simulate;
+    use feves_sched::Distribution;
+
+    fn traced_frame() -> FrameTrace {
+        let p = Platform::sys_hk();
+        let dist = Distribution::equidistant(68, p.len(), 0);
+        let dam = DataManager::new(68, p.len());
+        let mask: Vec<bool> = p.devices.iter().map(|d| d.is_accelerator()).collect();
+        let plan = dam.plan(&dist, &mask, true);
+        let geo = FrameGeometry {
+            mb_cols: 120,
+            n_rows: 68,
+            width: 1920,
+        };
+        let fg = build_frame_graph(&dist, &plan, &p, &EncodeParams::default(), geo, true);
+        let sched = simulate(&fg.graph, &p, &p.nominal_speeds(), &mut Deterministic).unwrap();
+        FrameTrace::capture(&fg, &sched, &p)
+    }
+
+    #[test]
+    fn trace_is_ordered_and_consistent() {
+        let tr = traced_frame();
+        assert!(!tr.tasks.is_empty());
+        assert!(tr.tau1_ms <= tr.tau2_ms && tr.tau2_ms <= tr.tau_tot_ms);
+        for w in tr.tasks.windows(2) {
+            assert!(w[0].start_ms <= w[1].start_ms, "must be sorted by start");
+        }
+        for t in &tr.tasks {
+            assert!(t.end_ms >= t.start_ms);
+            assert!(t.end_ms <= tr.tau_tot_ms + 1e-9);
+        }
+    }
+
+    #[test]
+    fn gantt_renders_all_lanes() {
+        let tr = traced_frame();
+        let g = tr.render_gantt(60);
+        assert!(g.contains("dev0"), "GPU lane missing:\n{g}");
+        assert!(g.contains("dev0 h2d"), "H2D lane missing:\n{g}");
+        assert!(g.contains("dev1"), "CPU core lane missing:\n{g}");
+        assert!(g.contains('M') && g.contains('S'), "kernels missing:\n{g}");
+        assert!(g.contains("tau_tot"));
+    }
+
+    #[test]
+    fn trace_serializes() {
+        let tr = traced_frame();
+        let json = serde_json::to_string(&tr).unwrap();
+        let back: FrameTrace = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.tasks.len(), tr.tasks.len());
+    }
+}
+
+#[cfg(test)]
+mod utilization_tests {
+    use super::tests_support::traced_frame_for_utilization;
+
+    #[test]
+    fn utilization_bounded_and_meaningful() {
+        let tr = traced_frame_for_utilization();
+        let u = tr.utilization();
+        assert!(!u.is_empty());
+        for (lane, frac) in &u {
+            assert!(
+                (0.0..=1.0 + 1e-9).contains(frac),
+                "{lane} utilization out of range: {frac}"
+            );
+        }
+        // The busiest compute lane of a balanced frame is > 50% occupied.
+        let max = u
+            .iter()
+            .filter(|(l, _)| !l.contains("h2d") && !l.contains("d2h"))
+            .map(|(_, f)| *f)
+            .fold(0.0f64, f64::max);
+        assert!(max > 0.5, "busiest kernel lane too idle: {max}");
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod tests_support {
+    use super::*;
+    use crate::dam::DataManager;
+    use crate::vcm::{build_frame_graph, FrameGeometry};
+    use feves_codec::types::EncodeParams;
+    use feves_hetsim::noise::Deterministic;
+    use feves_hetsim::timeline::simulate;
+    use feves_sched::Distribution;
+
+    pub fn traced_frame_for_utilization() -> FrameTrace {
+        let p = Platform::sys_hk();
+        let dist = Distribution::equidistant(68, p.len(), 0);
+        let dam = DataManager::new(68, p.len());
+        let mask: Vec<bool> = p.devices.iter().map(|d| d.is_accelerator()).collect();
+        let plan = dam.plan(&dist, &mask, true);
+        let geo = FrameGeometry {
+            mb_cols: 120,
+            n_rows: 68,
+            width: 1920,
+        };
+        let fg = build_frame_graph(&dist, &plan, &p, &EncodeParams::default(), geo, true);
+        let sched = simulate(&fg.graph, &p, &p.nominal_speeds(), &mut Deterministic).unwrap();
+        FrameTrace::capture(&fg, &sched, &p)
+    }
+}

@@ -1,0 +1,175 @@
+//! Device models: compute throughput per module, copy-engine topology and
+//! interconnect characteristics.
+
+use feves_codec::types::Module;
+use serde::{Deserialize, Serialize};
+
+/// Index of a device within a [`crate::platform::Platform`].
+///
+/// Following the paper's Algorithm 2 enumeration, accelerators come first
+/// (`0 .. nw`, with device 0 the default R\*-candidate `GPU₁`) and CPU cores
+/// after (`nw .. nw + nc`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct DeviceId(pub usize);
+
+/// Copy-engine topology of an accelerator (§III-A): single-engine devices
+/// serialize H2D and D2H transfers; dual-engine devices overlap them.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CopyEngines {
+    /// One DMA engine shared by both directions.
+    Single,
+    /// Independent H2D and D2H engines.
+    Dual,
+}
+
+/// What kind of processing device this is.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DeviceKind {
+    /// A CPU core (operates directly on host memory — no transfers).
+    CpuCore,
+    /// A discrete accelerator reached through an interconnect.
+    Accelerator(CopyEngines),
+}
+
+/// Interconnect characteristics of an accelerator (asymmetric, as the paper
+/// measures: `K^{·hd} ≠ K^{·dh}`).
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct LinkProfile {
+    /// Host→device bandwidth in bytes/second.
+    pub h2d_bytes_per_sec: f64,
+    /// Device→host bandwidth in bytes/second.
+    pub d2h_bytes_per_sec: f64,
+    /// Fixed per-transfer setup latency in seconds.
+    pub latency_s: f64,
+}
+
+impl LinkProfile {
+    /// Duration of one transfer of `bytes` in direction `h2d`.
+    pub fn transfer_time(&self, bytes: usize, h2d: bool) -> f64 {
+        let bw = if h2d {
+            self.h2d_bytes_per_sec
+        } else {
+            self.d2h_bytes_per_sec
+        };
+        self.latency_s + bytes as f64 / bw
+    }
+}
+
+/// A per-module table of values (indexed by [`Module`]).
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ModuleTable<T>(pub [T; 7]);
+
+impl<T: Copy> ModuleTable<T> {
+    /// Value for `module`.
+    #[inline]
+    pub fn get(&self, module: Module) -> T {
+        self.0[module_index(module)]
+    }
+
+    /// Mutable value for `module`.
+    #[inline]
+    pub fn get_mut(&mut self, module: Module) -> &mut T {
+        &mut self.0[module_index(module)]
+    }
+
+    /// Build from a function of the module.
+    pub fn from_fn(mut f: impl FnMut(Module) -> T) -> Self {
+        ModuleTable([
+            f(Module::Me),
+            f(Module::Interp),
+            f(Module::Sme),
+            f(Module::Mc),
+            f(Module::Tq),
+            f(Module::Itq),
+            f(Module::Dbl),
+        ])
+    }
+}
+
+/// Stable index of a module in a [`ModuleTable`].
+#[inline]
+pub fn module_index(module: Module) -> usize {
+    match module {
+        Module::Me => 0,
+        Module::Interp => 1,
+        Module::Sme => 2,
+        Module::Mc => 3,
+        Module::Tq => 4,
+        Module::Itq => 5,
+        Module::Dbl => 6,
+    }
+}
+
+/// The performance model of one device: seconds per abstract work unit for
+/// each module (see [`feves_codec::workload`] for the unit definitions),
+/// plus kind and link.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct DeviceProfile {
+    /// Human-readable name (e.g. `"GPU_K"`, `"CPU_H core 3"`).
+    pub name: String,
+    /// CPU core or accelerator (+ copy-engine topology).
+    pub kind: DeviceKind,
+    /// Seconds per work unit per module.
+    pub seconds_per_unit: ModuleTable<f64>,
+    /// Interconnect (None for CPU cores, which share host memory).
+    pub link: Option<LinkProfile>,
+    /// Device memory capacity in bytes (None = host memory, unbounded for
+    /// our purposes). The Data Access Management block validates buffer
+    /// footprints against this (paper §III-B-2 "device memory management").
+    pub memory_bytes: Option<u64>,
+}
+
+impl DeviceProfile {
+    /// Compute time for `units` work units of `module` at speed multiplier
+    /// `mult` (1.0 = nominal; < 1.0 models external load stealing cycles).
+    pub fn compute_time(&self, module: Module, units: f64, mult: f64) -> f64 {
+        debug_assert!(mult > 0.0);
+        units * self.seconds_per_unit.get(module) / mult
+    }
+
+    /// True for accelerators (devices that need explicit transfers).
+    pub fn is_accelerator(&self) -> bool {
+        matches!(self.kind, DeviceKind::Accelerator(_))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn module_table_roundtrip() {
+        let t = ModuleTable::from_fn(|m| module_index(m) as f64);
+        for m in Module::ALL {
+            assert_eq!(t.get(m), module_index(m) as f64);
+        }
+    }
+
+    #[test]
+    fn transfer_time_asymmetric() {
+        let link = LinkProfile {
+            h2d_bytes_per_sec: 6e9,
+            d2h_bytes_per_sec: 5e9,
+            latency_s: 10e-6,
+        };
+        let h2d = link.transfer_time(6_000_000, true);
+        let d2h = link.transfer_time(6_000_000, false);
+        assert!((h2d - (10e-6 + 1e-3)).abs() < 1e-12);
+        assert!(d2h > h2d, "D2H must be slower on this link");
+    }
+
+    #[test]
+    fn compute_time_scales_with_multiplier() {
+        let p = DeviceProfile {
+            name: "test".into(),
+            kind: DeviceKind::CpuCore,
+            seconds_per_unit: ModuleTable::from_fn(|_| 1e-6),
+            link: None,
+            memory_bytes: None,
+        };
+        let nominal = p.compute_time(Module::Me, 1000.0, 1.0);
+        let slowed = p.compute_time(Module::Me, 1000.0, 0.5);
+        assert!((nominal - 1e-3).abs() < 1e-12);
+        assert!((slowed - 2e-3).abs() < 1e-12);
+    }
+}

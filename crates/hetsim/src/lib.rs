@@ -1,0 +1,35 @@
+#![warn(missing_docs)]
+//! Heterogeneous CPU + multi-GPU platform simulator for FEVES.
+//!
+//! The paper evaluates on Nehalem/Haswell CPUs and Fermi/Kepler GPUs; this
+//! environment has none of them, so the platform is simulated (see
+//! `DESIGN.md` §2 for the substitution argument). The simulator preserves
+//! exactly the structure the FEVES framework schedules against:
+//!
+//! - **devices** ([`device::DeviceProfile`]) with per-module throughput,
+//!   calibrated to the paper's single-device measurements
+//!   ([`profiles`]);
+//! - **copy engines** — single-engine accelerators serialize H2D/D2H,
+//!   dual-engine ones overlap them (§III-A);
+//! - **asymmetric interconnects** with per-transfer latency;
+//! - **CUDA-stream execution semantics** — per-resource FIFO queues with
+//!   cross-resource dependencies, evaluated on a virtual clock
+//!   ([`timeline::simulate`]);
+//! - **measurement noise and perturbations** ([`noise`]), seeded and
+//!   deterministic, so the adaptive load-balancing experiments (Fig 7) are
+//!   replayable.
+//!
+//! Kernels still *execute for real* (in `feves-codec`) when functional
+//! output is requested; this crate only supplies the virtual **time** those
+//! executions are charged.
+
+pub mod device;
+pub mod noise;
+pub mod platform;
+pub mod profiles;
+pub mod timeline;
+
+pub use device::{CopyEngines, DeviceId, DeviceKind, DeviceProfile, LinkProfile, ModuleTable};
+pub use noise::{Deterministic, DurationModel, MultiplicativeNoise};
+pub use platform::Platform;
+pub use timeline::{simulate, Dir, Schedule, SimError, TaskGraph, TaskId, TaskKind, TransferTag};

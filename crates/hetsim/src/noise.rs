@@ -1,0 +1,102 @@
+//! Duration models: deterministic timing or seeded measurement noise.
+//!
+//! The paper stresses that FEVES targets "highly unreliable and
+//! non-dedicated systems, where the performance and available bandwidth can
+//! vary depending on the current state of the platform" (§III-C). The noise
+//! model reproduces that measurement jitter deterministically (seeded), so
+//! the adaptive behaviour of the framework is testable and replayable.
+
+use crate::timeline::TaskSpec;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// Maps a task's base (model) duration to its "measured" duration.
+pub trait DurationModel {
+    /// Return the effective duration for `task` given the model `base`.
+    fn duration(&mut self, task: &TaskSpec, base: f64) -> f64;
+}
+
+/// No noise: durations equal the analytic model exactly.
+pub struct Deterministic;
+
+impl DurationModel for Deterministic {
+    fn duration(&mut self, _task: &TaskSpec, base: f64) -> f64 {
+        base
+    }
+}
+
+/// Multiplicative uniform jitter: `base × U(1 − amp, 1 + amp)`, drawn from a
+/// seeded stream in task-submission order (fully reproducible).
+pub struct MultiplicativeNoise {
+    amp: f64,
+    rng: ChaCha8Rng,
+}
+
+impl MultiplicativeNoise {
+    /// `amp` is the relative amplitude (e.g. 0.03 = ±3 %, a realistic
+    /// run-to-run variation for GPU kernels and DMA on a live desktop).
+    pub fn new(amp: f64, seed: u64) -> Self {
+        assert!((0.0..1.0).contains(&amp), "amplitude must be in [0, 1)");
+        MultiplicativeNoise {
+            amp,
+            rng: ChaCha8Rng::seed_from_u64(seed),
+        }
+    }
+}
+
+impl DurationModel for MultiplicativeNoise {
+    fn duration(&mut self, _task: &TaskSpec, base: f64) -> f64 {
+        if self.amp == 0.0 {
+            return base;
+        }
+        let f = self.rng.gen_range(1.0 - self.amp..=1.0 + self.amp);
+        base * f
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::timeline::TaskKind;
+
+    fn dummy_task() -> TaskSpec {
+        TaskSpec {
+            kind: TaskKind::Barrier,
+            deps: vec![],
+            label: "t".into(),
+        }
+    }
+
+    #[test]
+    fn deterministic_is_identity() {
+        let mut m = Deterministic;
+        assert_eq!(m.duration(&dummy_task(), 1.25), 1.25);
+    }
+
+    #[test]
+    fn noise_bounded_and_reproducible() {
+        let mut a = MultiplicativeNoise::new(0.05, 7);
+        let mut b = MultiplicativeNoise::new(0.05, 7);
+        for _ in 0..100 {
+            let da = a.duration(&dummy_task(), 1.0);
+            let db = b.duration(&dummy_task(), 1.0);
+            assert_eq!(da, db, "same seed must reproduce");
+            assert!((0.95..=1.05).contains(&da), "jitter out of bounds: {da}");
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = MultiplicativeNoise::new(0.05, 1);
+        let mut b = MultiplicativeNoise::new(0.05, 2);
+        let da: Vec<f64> = (0..10).map(|_| a.duration(&dummy_task(), 1.0)).collect();
+        let db: Vec<f64> = (0..10).map(|_| b.duration(&dummy_task(), 1.0)).collect();
+        assert_ne!(da, db);
+    }
+
+    #[test]
+    #[should_panic(expected = "amplitude")]
+    fn invalid_amplitude_panics() {
+        let _ = MultiplicativeNoise::new(1.5, 0);
+    }
+}

@@ -1,0 +1,270 @@
+//! Platform descriptions: which devices exist and how they are enumerated.
+
+use crate::device::{DeviceId, DeviceProfile};
+use crate::profiles;
+use serde::{Deserialize, Serialize};
+
+/// A heterogeneous platform: `nw` accelerators followed by `nc` CPU cores
+/// (the paper's Algorithm 2 enumeration, with device 0 = `GPU₁`).
+///
+/// ```
+/// use feves_hetsim::Platform;
+/// let hk = Platform::sys_hk(); // the paper's Haswell + Kepler system
+/// assert_eq!(hk.n_accel, 1);
+/// assert_eq!(hk.n_cores, 4);
+/// assert!(hk.devices[0].is_accelerator());
+/// ```
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Platform {
+    /// All devices; indices `0..n_accel` are accelerators, the rest cores.
+    pub devices: Vec<DeviceProfile>,
+    /// Number of accelerators (`nw`).
+    pub n_accel: usize,
+    /// Number of CPU cores (`nc`).
+    pub n_cores: usize,
+    /// Human-readable platform name (e.g. `"SysHK"`).
+    pub name: String,
+    /// When true, all accelerators contend for one shared full-duplex host
+    /// interconnect (e.g. GPUs behind a PCIe switch) instead of dedicated
+    /// per-device links. Per-device copy-engine topology is subsumed by the
+    /// bus arbitration in this mode.
+    pub shared_host_link: bool,
+}
+
+impl Platform {
+    /// Build a platform from accelerator profiles and a whole-chip CPU
+    /// profile split into `cores` core-devices.
+    pub fn build(accelerators: Vec<DeviceProfile>, cpu_chip: &DeviceProfile, cores: usize) -> Self {
+        assert!(cores >= 1, "at least one CPU core required");
+        let n_accel = accelerators.len();
+        let mut devices = accelerators;
+        for c in 0..cores {
+            devices.push(profiles::cpu_core_of(cpu_chip, cores, c));
+        }
+        let name = format!(
+            "{}+{}x{}",
+            devices
+                .iter()
+                .take(n_accel)
+                .map(|d| d.name.as_str())
+                .collect::<Vec<_>>()
+                .join("+"),
+            cores,
+            cpu_chip.name
+        );
+        Platform {
+            devices,
+            n_accel,
+            n_cores: cores,
+            name,
+            shared_host_link: false,
+        }
+    }
+
+    /// Switch to a shared host interconnect (see [`Platform::shared_host_link`]).
+    pub fn with_shared_host_link(mut self) -> Self {
+        self.shared_host_link = true;
+        self
+    }
+
+    /// Rename the platform.
+    pub fn named(mut self, name: impl Into<String>) -> Self {
+        self.name = name.into();
+        self
+    }
+
+    /// Total device count (`nw + nc`).
+    pub fn len(&self) -> usize {
+        self.devices.len()
+    }
+
+    /// True when the platform has no devices (never for built platforms).
+    pub fn is_empty(&self) -> bool {
+        self.devices.is_empty()
+    }
+
+    /// Device ids of the accelerators.
+    pub fn accelerators(&self) -> impl Iterator<Item = DeviceId> {
+        (0..self.n_accel).map(DeviceId)
+    }
+
+    /// Device ids of the CPU cores.
+    pub fn cpu_cores(&self) -> impl Iterator<Item = DeviceId> + '_ {
+        (self.n_accel..self.devices.len()).map(DeviceId)
+    }
+
+    /// Profile of device `id`.
+    pub fn device(&self, id: DeviceId) -> &DeviceProfile {
+        &self.devices[id.0]
+    }
+
+    /// All-nominal speed multipliers.
+    pub fn nominal_speeds(&self) -> Vec<f64> {
+        vec![1.0; self.devices.len()]
+    }
+
+    // ---- The paper's evaluated configurations (§IV). ----
+
+    /// SysNF: CPU_N (quad core) + one GPU_F.
+    pub fn sys_nf() -> Self {
+        Platform::build(vec![profiles::gpu_fermi()], &profiles::cpu_nehalem(), 4)
+            .named("SysNF")
+    }
+
+    /// SysNFF: CPU_N (quad core) + two GPU_F.
+    pub fn sys_nff() -> Self {
+        Platform::build(
+            vec![profiles::gpu_fermi(), profiles::gpu_fermi()],
+            &profiles::cpu_nehalem(),
+            4,
+        )
+        .named("SysNFF")
+    }
+
+    /// SysHK: CPU_H (quad core) + one GPU_K.
+    pub fn sys_hk() -> Self {
+        Platform::build(vec![profiles::gpu_kepler()], &profiles::cpu_haswell(), 4)
+            .named("SysHK")
+    }
+
+    /// Single-device platform: the CPU chip alone (`cores` cores, no GPU).
+    pub fn cpu_only(chip: DeviceProfile, cores: usize) -> Self {
+        let name = chip.name.clone();
+        Platform::build(vec![], &chip, cores).named(name)
+    }
+
+    /// Single-device platform: one accelerator plus one orchestration core
+    /// (the host core drives the GPU but does not encode — this models the
+    /// paper's single-GPU baselines).
+    pub fn gpu_only(gpu: DeviceProfile) -> Self {
+        let name = gpu.name.clone();
+        // One token CPU core is required for the host side; baselines that
+        // measure "GPU only" assign it zero load.
+        Platform::build(vec![gpu], &profiles::cpu_nehalem(), 1).named(name)
+    }
+
+    /// Serialize to pretty JSON (for `feves --platform-file` round trips).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("platform is always serializable")
+    }
+
+    /// Load a platform description from JSON and validate its structure.
+    pub fn from_json(json: &str) -> Result<Self, String> {
+        let p: Platform = serde_json::from_str(json).map_err(|e| e.to_string())?;
+        p.validate()?;
+        Ok(p)
+    }
+
+    /// Structural validation (device ordering, counts, sane rates).
+    pub fn validate(&self) -> Result<(), String> {
+        if self.devices.len() != self.n_accel + self.n_cores {
+            return Err("device count != n_accel + n_cores".into());
+        }
+        if self.n_cores == 0 {
+            return Err("at least one CPU core is required (the host)".into());
+        }
+        for (i, d) in self.devices.iter().enumerate() {
+            let should_be_accel = i < self.n_accel;
+            if d.is_accelerator() != should_be_accel {
+                return Err(format!(
+                    "device {i} ({}) breaks the accelerators-first ordering",
+                    d.name
+                ));
+            }
+            if d.is_accelerator() && d.link.is_none() {
+                return Err(format!("accelerator {} has no link profile", d.name));
+            }
+            for m in feves_codec::types::Module::ALL {
+                let k = d.seconds_per_unit.get(m);
+                if !(k > 0.0 && k.is_finite()) {
+                    return Err(format!("device {} has invalid rate for {m:?}", d.name));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_configurations() {
+        let nf = Platform::sys_nf();
+        assert_eq!(nf.n_accel, 1);
+        assert_eq!(nf.n_cores, 4);
+        assert_eq!(nf.len(), 5);
+        assert_eq!(nf.name, "SysNF");
+
+        let nff = Platform::sys_nff();
+        assert_eq!(nff.n_accel, 2);
+        assert_eq!(nff.len(), 6);
+
+        let hk = Platform::sys_hk();
+        assert_eq!(hk.n_accel, 1);
+        assert!(hk.devices[0].is_accelerator());
+        assert!(!hk.devices[1].is_accelerator());
+    }
+
+    #[test]
+    fn enumeration_order_accelerators_first() {
+        let p = Platform::sys_nff();
+        let accels: Vec<usize> = p.accelerators().map(|d| d.0).collect();
+        let cores: Vec<usize> = p.cpu_cores().map(|d| d.0).collect();
+        assert_eq!(accels, vec![0, 1]);
+        assert_eq!(cores, vec![2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn cpu_only_has_no_accelerators() {
+        let p = Platform::cpu_only(crate::profiles::cpu_haswell(), 4);
+        assert_eq!(p.n_accel, 0);
+        assert_eq!(p.len(), 4);
+        assert_eq!(p.name, "CPU_H");
+    }
+}
+
+#[cfg(test)]
+mod json_tests {
+    use super::*;
+
+    #[test]
+    fn json_roundtrip() {
+        let p = Platform::sys_nff();
+        let json = p.to_json();
+        let back = Platform::from_json(&json).unwrap();
+        assert_eq!(back.name, p.name);
+        assert_eq!(back.len(), p.len());
+        assert_eq!(back.n_accel, p.n_accel);
+        assert_eq!(back.devices[0].memory_bytes, p.devices[0].memory_bytes);
+    }
+
+    #[test]
+    fn validation_rejects_broken_platforms() {
+        let p = Platform::sys_hk();
+        let mut bad = p.clone();
+        bad.n_accel = 3; // counts no longer add up
+        assert!(Platform::from_json(&bad_to_json(&bad)).is_err());
+
+        let mut no_link = p.clone();
+        no_link.devices[0].link = None;
+        assert!(no_link.validate().is_err());
+
+        let mut bad_rate = p.clone();
+        *bad_rate.devices[1]
+            .seconds_per_unit
+            .get_mut(feves_codec::types::Module::Me) = 0.0;
+        assert!(bad_rate.validate().is_err());
+    }
+
+    fn bad_to_json(p: &Platform) -> String {
+        serde_json::to_string(p).unwrap()
+    }
+
+    #[test]
+    fn garbage_json_is_an_error_not_a_panic() {
+        assert!(Platform::from_json("{not json").is_err());
+        assert!(Platform::from_json("{}").is_err());
+    }
+}

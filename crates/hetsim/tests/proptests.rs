@@ -1,0 +1,164 @@
+//! Property-based tests of the platform simulator: schedules must respect
+//! dependencies, resource exclusivity and FIFO queue order for arbitrary
+//! task graphs.
+
+use feves_codec::types::Module;
+use feves_hetsim::noise::Deterministic;
+use feves_hetsim::platform::Platform;
+use feves_hetsim::profiles::{cpu_nehalem, gpu_fermi, gpu_kepler};
+use feves_hetsim::timeline::{simulate, Dir, TaskGraph, TaskId, TaskKind, TransferTag};
+use feves_hetsim::DeviceId;
+use proptest::prelude::*;
+
+#[derive(Clone, Debug)]
+enum Op {
+    Compute { device: u8, units: u16 },
+    Transfer { device: u8, h2d: bool, kb: u16 },
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u8..6, 1u16..5000).prop_map(|(device, units)| Op::Compute { device, units }),
+        (0u8..2, any::<bool>(), 1u16..5000).prop_map(|(device, h2d, kb)| Op::Transfer {
+            device,
+            h2d,
+            kb
+        }),
+    ]
+}
+
+/// Build a random DAG: each task may depend on a random subset of earlier
+/// tasks (acyclic by construction).
+fn build_graph(ops: &[(Op, u8)]) -> TaskGraph {
+    let mut g = TaskGraph::new();
+    let mut ids: Vec<TaskId> = Vec::new();
+    for (i, (op, dep_mask)) in ops.iter().enumerate() {
+        let deps: Vec<TaskId> = ids
+            .iter()
+            .enumerate()
+            .filter(|(j, _)| i > 0 && (dep_mask >> (j % 8)) & 1 == 1)
+            .map(|(_, &id)| id)
+            .take(4)
+            .collect();
+        let id = match op {
+            Op::Compute { device, units } => g.compute(
+                DeviceId(*device as usize),
+                Module::Sme,
+                *units as f64,
+                deps,
+                format!("c{i}"),
+            ),
+            Op::Transfer { device, h2d, kb } => g.transfer(
+                DeviceId(*device as usize),
+                if *h2d { Dir::H2d } else { Dir::D2h },
+                *kb as usize * 1024,
+                TransferTag::Sf,
+                deps,
+                format!("t{i}"),
+            ),
+        };
+        ids.push(id);
+    }
+    g
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn schedules_respect_dependencies_and_fifo(
+        ops in proptest::collection::vec((arb_op(), any::<u8>()), 1..40)
+    ) {
+        // Platform: 2 accelerators + 4 cores = 6 devices.
+        let platform = Platform::build(
+            vec![gpu_fermi(), gpu_kepler()],
+            &cpu_nehalem(),
+            4,
+        );
+        let g = build_graph(&ops);
+        let sched = simulate(&g, &platform, &platform.nominal_speeds(), &mut Deterministic)
+            .expect("random DAGs on valid devices must schedule");
+
+        // 1. Dependencies: no task starts before its deps finish.
+        for (id, t) in g.iter() {
+            for d in &t.deps {
+                prop_assert!(
+                    sched.start[id.0] >= sched.finish[d.0] - 1e-12,
+                    "task {} starts before dep {}",
+                    t.label,
+                    g.task(*d).label
+                );
+            }
+        }
+
+        // 2. Durations are non-negative and makespan covers everything.
+        for (id, _) in g.iter() {
+            prop_assert!(sched.finish[id.0] >= sched.start[id.0]);
+            prop_assert!(sched.finish[id.0] <= sched.makespan + 1e-12);
+        }
+
+        // 3. Compute exclusivity: tasks on the same device's primary kernel
+        // queue never overlap and run in submission order (INT would use the
+        // second stream; we only emit SME here so all computes share one
+        // queue per device).
+        for dev in 0..platform.len() {
+            let mut last_finish = 0.0f64;
+            for (id, t) in g.iter() {
+                if let TaskKind::Compute { device, .. } = &t.kind {
+                    if device.0 == dev {
+                        prop_assert!(
+                            sched.start[id.0] >= last_finish - 1e-12,
+                            "compute overlap on device {dev}"
+                        );
+                        last_finish = sched.finish[id.0];
+                    }
+                }
+            }
+        }
+
+        // 4. Single-copy-engine exclusivity on device 0 (Fermi): H2D and
+        // D2H transfers all serialize in submission order.
+        let mut last_finish = 0.0f64;
+        for (id, t) in g.iter() {
+            if let TaskKind::Transfer { device, .. } = &t.kind {
+                if device.0 == 0 {
+                    prop_assert!(
+                        sched.start[id.0] >= last_finish - 1e-12,
+                        "transfer overlap on single-engine device"
+                    );
+                    last_finish = sched.finish[id.0];
+                }
+            }
+        }
+
+        // 5. Dual-engine device (Kepler, device 1): per-direction FIFO.
+        for dir in [Dir::H2d, Dir::D2h] {
+            let mut last_finish = 0.0f64;
+            for (id, t) in g.iter() {
+                if let TaskKind::Transfer { device, dir: d, .. } = &t.kind {
+                    if device.0 == 1 && *d == dir {
+                        prop_assert!(sched.start[id.0] >= last_finish - 1e-12);
+                        last_finish = sched.finish[id.0];
+                    }
+                }
+            }
+        }
+    }
+
+    /// Slowing one device can only delay (or leave unchanged) every task's
+    /// completion — monotonicity of the virtual timeline.
+    #[test]
+    fn slowdown_is_monotone(
+        ops in proptest::collection::vec((arb_op(), any::<u8>()), 1..25),
+        victim in 0usize..6,
+    ) {
+        let platform = Platform::build(vec![gpu_fermi(), gpu_kepler()], &cpu_nehalem(), 4);
+        let g = build_graph(&ops);
+        let nominal = simulate(&g, &platform, &platform.nominal_speeds(), &mut Deterministic)
+            .unwrap();
+        let mut slowed = platform.nominal_speeds();
+        slowed[victim] = 0.5;
+        let degraded = simulate(&g, &platform, &slowed, &mut Deterministic).unwrap();
+        prop_assert!(degraded.makespan >= nominal.makespan - 1e-12);
+    }
+}

@@ -1,0 +1,18 @@
+#![warn(missing_docs)]
+//! A small, dependency-free linear-programming solver (dense two-phase
+//! primal simplex with Bland's anti-cycling rule).
+//!
+//! The FEVES load-balancing routine (paper Algorithm 2) is a linear program
+//! over the per-device distribution vectors `m`, `l`, `s` and the
+//! synchronization times τ1, τ2, τtot. No LP crate is available in the
+//! offline dependency set, so this crate implements one from scratch; its
+//! problem sizes (a handful of variables per device) are solved in
+//! microseconds, far below the paper's < 2 ms scheduling-overhead budget.
+//!
+//! All variables are non-negative — exactly what the FEVES formulation
+//! needs (row counts, transfer amounts and times are all ≥ 0).
+
+pub mod problem;
+pub mod simplex;
+
+pub use problem::{LpError, Problem, Relation, Sense, Solution, VarId};

@@ -1,0 +1,242 @@
+//! Load-balancer implementations behind a common trait: the FEVES LP
+//! (Algorithm 2), the equidistant baseline (initialization phase / the
+//! multi-GPU related work \[8\]), the per-module proportional baseline
+//! (the authors' earlier synchronous scheme \[9\]), and a single-device
+//! passthrough for the CPU-only / GPU-only comparison points.
+
+use crate::algorithm2::{self, Centric, LbError};
+use crate::distribution::Distribution;
+use crate::perfchar::PerfChar;
+use crate::rstar::choose_rstar;
+use feves_hetsim::platform::Platform;
+
+/// Context handed to a balancer each frame.
+pub struct BalanceInput<'a> {
+    /// MB rows in the frame (`N`).
+    pub n_rows: usize,
+    /// The platform being scheduled.
+    pub platform: &'a Platform,
+    /// Measured rates so far.
+    pub perf: &'a PerfChar,
+    /// Last frame's distribution (None for the first inter-frame).
+    pub prev: Option<&'a Distribution>,
+}
+
+/// A per-frame workload distribution policy.
+pub trait LoadBalancer: Send {
+    /// Balancer name for reports.
+    fn name(&self) -> &'static str;
+
+    /// Produce the distribution for the next frame.
+    fn distribute(&mut self, input: &BalanceInput<'_>) -> Distribution;
+}
+
+/// The paper's Algorithm 2: LP over measured rates, R\* via Dijkstra.
+/// Falls back to [`ProportionalBalancer`] while uncharacterized or if the
+/// LP is infeasible (never observed in practice; belt and braces).
+#[derive(Debug, Default)]
+pub struct FevesBalancer {
+    /// Pin the R\* mapping instead of re-running Dijkstra every frame.
+    pub fixed_centric: Option<Centric>,
+}
+
+impl LoadBalancer for FevesBalancer {
+    fn name(&self) -> &'static str {
+        "feves-lp"
+    }
+
+    fn distribute(&mut self, input: &BalanceInput<'_>) -> Distribution {
+        let expected_sme: Vec<usize> = match input.prev {
+            Some(d) => d.sme.clone(),
+            None => feves_video::geometry::equidistant(input.n_rows, input.platform.len()),
+        };
+        let centric = self.fixed_centric.unwrap_or_else(|| {
+            choose_rstar(input.platform, input.perf, input.n_rows, &expected_sme)
+        });
+        let sigma_rem_prev: Vec<usize> = match input.prev {
+            Some(d) => d.sigma_rem.clone(),
+            None => vec![0; input.platform.len()],
+        };
+        match algorithm2::solve(
+            input.n_rows,
+            input.platform,
+            input.perf,
+            centric,
+            &sigma_rem_prev,
+        ) {
+            Ok(d) => d,
+            Err(LbError::NotCharacterized) | Err(LbError::Lp(_)) => {
+                ProportionalBalancer.distribute(input)
+            }
+        }
+    }
+}
+
+/// Equidistant partitioning of every module over all devices — what the
+/// paper uses for the very first inter-frame and what homogeneous multi-GPU
+/// approaches \[8\] use throughout.
+#[derive(Debug, Default)]
+pub struct EquidistantBalancer;
+
+impl LoadBalancer for EquidistantBalancer {
+    fn name(&self) -> &'static str {
+        "equidistant"
+    }
+
+    fn distribute(&mut self, input: &BalanceInput<'_>) -> Distribution {
+        let rstar = if input.platform.n_accel > 0 {
+            0
+        } else {
+            input.platform.n_accel // first core
+        };
+        Distribution::equidistant(input.n_rows, input.platform.len(), rstar)
+    }
+}
+
+/// Per-module proportional balancing (the synchronous per-module scheme of
+/// the authors' prior work \[9\]): each module's rows are split ∝ measured
+/// per-device speed for *that module alone*, with no cross-module or
+/// communication term. Falls back to equidistant while uncharacterized.
+#[derive(Debug, Default)]
+pub struct ProportionalBalancer;
+
+impl LoadBalancer for ProportionalBalancer {
+    fn name(&self) -> &'static str {
+        "proportional"
+    }
+
+    fn distribute(&mut self, input: &BalanceInput<'_>) -> Distribution {
+        let p = input.platform;
+        let nd = p.len();
+        if !input.perf.is_complete() {
+            return EquidistantBalancer.distribute(input);
+        }
+        let share = |k: &dyn Fn(usize) -> f64| -> Vec<usize> {
+            let speeds: Vec<f64> = (0..nd).map(|d| 1.0 / k(d)).collect();
+            crate::distribution::round_preserving_sum(&speeds, input.n_rows)
+        };
+        let me = share(&|d| input.perf.k_me(d).unwrap());
+        let li = share(&|d| input.perf.k_int(d).unwrap());
+        let sm = share(&|d| input.perf.k_sme(d).unwrap());
+        let rstar = if p.n_accel > 0 { 0 } else { p.n_accel };
+        let budget = vec![usize::MAX; nd];
+        Distribution::from_rows(me, li, sm, rstar, &budget, None)
+    }
+}
+
+/// Everything on one fixed device — the single-device comparison points
+/// (`CPU_N`, `CPU_H`, `GPU_F`, `GPU_K` in Fig 6). For a multi-core CPU pass
+/// `device = None` to spread over all cores (a CPU chip *is* its cores).
+#[derive(Debug)]
+pub struct SingleDeviceBalancer {
+    /// Accelerator index, or None for "all CPU cores".
+    pub device: Option<usize>,
+}
+
+impl LoadBalancer for SingleDeviceBalancer {
+    fn name(&self) -> &'static str {
+        "single-device"
+    }
+
+    fn distribute(&mut self, input: &BalanceInput<'_>) -> Distribution {
+        let p = input.platform;
+        match self.device {
+            Some(d) => Distribution::single_device(input.n_rows, p.len(), d),
+            None => {
+                // Spread over the CPU cores only; accelerators get nothing.
+                let mut rows = vec![0usize; p.len()];
+                let per_core =
+                    feves_video::geometry::equidistant(input.n_rows, p.n_cores.max(1));
+                for (c, &r) in per_core.iter().enumerate() {
+                    rows[p.n_accel + c] = r;
+                }
+                let budget = vec![usize::MAX; p.len()];
+                Distribution::from_rows(
+                    rows.clone(),
+                    rows.clone(),
+                    rows,
+                    p.n_accel,
+                    &budget,
+                    None,
+                )
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithm2::tests::perfect_perfchar;
+    use crate::perfchar::Ewma;
+
+    fn input<'a>(p: &'a Platform, pc: &'a PerfChar) -> BalanceInput<'a> {
+        BalanceInput {
+            n_rows: 68,
+            platform: p,
+            perf: pc,
+            prev: None,
+        }
+    }
+
+    #[test]
+    fn equidistant_splits_evenly() {
+        let p = Platform::sys_hk();
+        let pc = PerfChar::new(p.len(), Ewma(1.0));
+        let d = EquidistantBalancer.distribute(&input(&p, &pc));
+        d.validate(68).unwrap();
+        let max = *d.me.iter().max().unwrap();
+        let min = *d.me.iter().min().unwrap();
+        assert!(max - min <= 1);
+    }
+
+    #[test]
+    fn proportional_respects_speed_ratios() {
+        let p = Platform::sys_hk();
+        let pc = perfect_perfchar(&p, 120.0 * 1024.0);
+        let d = ProportionalBalancer.distribute(&input(&p, &pc));
+        d.validate(68).unwrap();
+        // GPU_K ME rate ≫ one CPU_H core's: GPU share must dominate.
+        assert!(d.me[0] > d.me[1] * 3, "{:?}", d.me);
+    }
+
+    #[test]
+    fn feves_falls_back_when_uncharacterized() {
+        let p = Platform::sys_hk();
+        let pc = PerfChar::new(p.len(), Ewma(1.0));
+        let mut b = FevesBalancer::default();
+        let d = b.distribute(&input(&p, &pc));
+        d.validate(68).unwrap(); // equidistant fallback
+    }
+
+    #[test]
+    fn feves_balances_when_characterized() {
+        let p = Platform::sys_hk();
+        let pc = perfect_perfchar(&p, 120.0 * 1024.0);
+        let mut b = FevesBalancer::default();
+        let d = b.distribute(&input(&p, &pc));
+        d.validate(68).unwrap();
+        assert!(d.predicted.is_some(), "LP path must be taken");
+    }
+
+    #[test]
+    fn single_device_cpu_spreads_over_cores() {
+        let p = Platform::sys_hk();
+        let pc = PerfChar::new(p.len(), Ewma(1.0));
+        let mut b = SingleDeviceBalancer { device: None };
+        let d = b.distribute(&input(&p, &pc));
+        d.validate(68).unwrap();
+        assert_eq!(d.me[0], 0, "accelerator must be idle");
+        assert_eq!(d.me[1..].iter().sum::<usize>(), 68);
+    }
+
+    #[test]
+    fn single_device_gpu_gets_everything() {
+        let p = Platform::sys_hk();
+        let pc = PerfChar::new(p.len(), Ewma(1.0));
+        let mut b = SingleDeviceBalancer { device: Some(0) };
+        let d = b.distribute(&input(&p, &pc));
+        d.validate(68).unwrap();
+        assert_eq!(d.me[0], 68);
+    }
+}

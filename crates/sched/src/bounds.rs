@@ -1,0 +1,106 @@
+//! `MS_BOUNDS` / `LS_BOUNDS` (paper eqs. (16), (17)): the additional rows a
+//! device must receive when two modules' distributions address the same
+//! buffer but cover different stripes of it.
+//!
+//! With consecutive per-device stripes in enumeration order, device `i`'s
+//! SME stripe is `[S_{i−1}, S_i)` while its ME stripe (the CF data it
+//! already holds) is `[M_{i−1}, M_i)`; the extra CF rows to fetch are the
+//! part of the SME stripe not covered by the ME stripe — an upper and a
+//! lower leftover. Identically for INT vs SME on the SF buffer, and for the
+//! ME-produced MVs the SME stage consumes.
+
+use feves_video::geometry::{ranges_from_counts, RowRange};
+
+/// Extra rows (above + below) device `i` needs from the `have` distribution
+/// to cover its stripe of the `need` distribution.
+pub fn extra_rows(have: &RowRange, need: &RowRange) -> usize {
+    let (above, below) = need.difference(have);
+    above.len() + below.len()
+}
+
+/// `MS_BOUNDS(m, s)`: per-device extra CF/MV rows for SME given the ME
+/// distribution (`Δ^m` in Algorithm 2). Computed for *all* devices; the LP
+/// and the data manager only charge transfers for accelerators.
+pub fn ms_bounds(m: &[usize], s: &[usize]) -> Vec<usize> {
+    delta(m, s)
+}
+
+/// `LS_BOUNDS(l, s)`: per-device extra SF rows for SME given the INT
+/// distribution (`Δ^l` in Algorithm 2).
+pub fn ls_bounds(l: &[usize], s: &[usize]) -> Vec<usize> {
+    delta(l, s)
+}
+
+fn delta(have: &[usize], need: &[usize]) -> Vec<usize> {
+    assert_eq!(have.len(), need.len(), "distribution lengths differ");
+    let hr = ranges_from_counts(have);
+    let nr = ranges_from_counts(need);
+    hr.iter().zip(&nr).map(|(h, n)| extra_rows(h, n)).collect()
+}
+
+/// The regions (above, below) of `need`'s stripe for device `i` that are not
+/// in `have`'s stripe — the two separate transfers Fig 5 shows.
+pub fn extra_ranges(have: &[usize], need: &[usize], i: usize) -> (RowRange, RowRange) {
+    let hr = ranges_from_counts(have);
+    let nr = ranges_from_counts(need);
+    nr[i].difference(&hr[i])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_distributions_need_nothing() {
+        let d = vec![10, 20, 38];
+        assert_eq!(ms_bounds(&d, &d), vec![0, 0, 0]);
+    }
+
+    #[test]
+    fn shifted_distributions_produce_two_sided_deltas() {
+        // m = [30, 38], s = [20, 48]:
+        // device 0: SME [0,20) ⊂ ME [0,30) → 0 extra.
+        // device 1: SME [20,68) vs ME [30,68) → needs [20,30) = 10 rows.
+        let m = vec![30, 38];
+        let s = vec![20, 48];
+        assert_eq!(ms_bounds(&m, &s), vec![0, 10]);
+        let (above, below) = extra_ranges(&m, &s, 1);
+        assert_eq!(above, RowRange::new(20, 30));
+        assert!(below.is_empty());
+    }
+
+    #[test]
+    fn disjoint_stripes_need_everything() {
+        // Device 0 does all ME, device 1 does all SME.
+        let m = vec![68, 0];
+        let s = vec![0, 68];
+        assert_eq!(ms_bounds(&m, &s), vec![0, 68]);
+    }
+
+    #[test]
+    fn overlap_on_both_sides() {
+        // m = [10, 48, 10], s = [20, 28, 20]:
+        // device 1: SME [20,48) vs ME [10,58): contained → 0.
+        // device 0: SME [0,20) vs ME [0,10) → 10 below.
+        // device 2: SME [48,68) vs ME [58,68) → 10 above.
+        let m = vec![10, 48, 10];
+        let s = vec![20, 28, 20];
+        assert_eq!(ms_bounds(&m, &s), vec![10, 0, 10]);
+        let (above0, below0) = extra_ranges(&m, &s, 0);
+        assert!(above0.is_empty());
+        assert_eq!(below0, RowRange::new(10, 20));
+    }
+
+    #[test]
+    fn fig5_style_interior_device() {
+        // Fig 5(a): an interior accelerator whose SME stripe sticks out both
+        // above and below its ME stripe → two separate CF transfers.
+        let m = vec![20, 20, 28];
+        let s = vec![10, 40, 18];
+        // device 1: SME [10,50) vs ME [20,40) → above [10,20), below [40,50).
+        assert_eq!(ms_bounds(&m, &s)[1], 20);
+        let (above, below) = extra_ranges(&m, &s, 1);
+        assert_eq!(above, RowRange::new(10, 20));
+        assert_eq!(below, RowRange::new(40, 50));
+    }
+}

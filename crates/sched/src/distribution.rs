@@ -1,0 +1,278 @@
+//! Workload distributions: the output of the Load Balancing block.
+
+use crate::bounds::{ls_bounds, ms_bounds};
+use serde::{Deserialize, Serialize};
+
+/// Predicted synchronization times from the LP (paper Fig 4).
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct PredictedTimes {
+    /// ME+INT complete (incl. their transfers).
+    pub tau1: f64,
+    /// SME complete.
+    pub tau2: f64,
+    /// Inter-frame complete (R\* done, RF returned).
+    pub tau_tot: f64,
+}
+
+/// A complete per-frame workload distribution: the paper's `m`, `l`, `s`
+/// vectors (MB rows per device, in device enumeration order), the derived
+/// extra-transfer amounts `Δ^m`, `Δ^l`, the deferred-SF split `σ` / `σʳ`,
+/// and the device mapped to the `R*` group.
+///
+/// ```
+/// use feves_sched::Distribution;
+/// // 68 MB rows (1080p) split evenly over 5 devices, R* on device 0.
+/// let d = Distribution::equidistant(68, 5, 0);
+/// assert_eq!(d.me.iter().sum::<usize>(), 68);
+/// d.validate(68).unwrap();
+/// ```
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Distribution {
+    /// ME rows per device (`m`).
+    pub me: Vec<usize>,
+    /// INT rows per device (`l`).
+    pub interp: Vec<usize>,
+    /// SME rows per device (`s`).
+    pub sme: Vec<usize>,
+    /// Extra CF/MV rows each device fetches for SME (`Δ^m`, eq. 16).
+    pub delta_m: Vec<usize>,
+    /// Extra SF rows each device fetches for SME (`Δ^l`, eq. 17).
+    pub delta_l: Vec<usize>,
+    /// SF rows transferable to each accelerator within this frame (`σ`).
+    pub sigma: Vec<usize>,
+    /// SF rows deferred to the next frame's τ1 (`σʳ`).
+    pub sigma_rem: Vec<usize>,
+    /// Device index running MC+TQ+TQ⁻¹+DBL.
+    pub rstar_device: usize,
+    /// LP-predicted times (None for heuristic balancers).
+    pub predicted: Option<PredictedTimes>,
+}
+
+impl Distribution {
+    /// Build from the three row vectors; derives `Δ` from the bounds
+    /// routines and splits the remaining SF into `σ`/`σʳ` given a per-device
+    /// cap of `sigma_budget_rows` (how many SF rows fit into τtot − τ2; use
+    /// `usize::MAX` to transfer everything eagerly).
+    pub fn from_rows(
+        me: Vec<usize>,
+        interp: Vec<usize>,
+        sme: Vec<usize>,
+        rstar_device: usize,
+        sigma_budget_rows: &[usize],
+        predicted: Option<PredictedTimes>,
+    ) -> Self {
+        let n = me.len();
+        assert_eq!(interp.len(), n);
+        assert_eq!(sme.len(), n);
+        assert_eq!(sigma_budget_rows.len(), n);
+        let total: usize = me.iter().sum();
+        let delta_m = ms_bounds(&me, &sme);
+        let delta_l = ls_bounds(&interp, &sme);
+        let mut sigma = vec![0usize; n];
+        let mut sigma_rem = vec![0usize; n];
+        for i in 0..n {
+            // SF rows this device still misses after INT (own stripe) and
+            // the Δl top-up for SME.
+            let missing = total.saturating_sub(interp[i] + delta_l[i]);
+            sigma[i] = missing.min(sigma_budget_rows[i]);
+            sigma_rem[i] = missing - sigma[i];
+        }
+        Distribution {
+            me,
+            interp,
+            sme,
+            delta_m,
+            delta_l,
+            sigma,
+            sigma_rem,
+            rstar_device,
+            predicted,
+        }
+    }
+
+    /// The paper's initialization-phase distribution: every module split
+    /// equidistantly over all devices, `R*` on `rstar_device`, all missing
+    /// SF transferred eagerly.
+    pub fn equidistant(n_rows: usize, n_devices: usize, rstar_device: usize) -> Self {
+        let e = feves_video::geometry::equidistant(n_rows, n_devices);
+        let budget = vec![usize::MAX; n_devices];
+        Distribution::from_rows(e.clone(), e.clone(), e, rstar_device, &budget, None)
+    }
+
+    /// Everything on one device (single-device baselines).
+    pub fn single_device(n_rows: usize, n_devices: usize, device: usize) -> Self {
+        let mut rows = vec![0usize; n_devices];
+        rows[device] = n_rows;
+        let budget = vec![usize::MAX; n_devices];
+        Distribution::from_rows(rows.clone(), rows.clone(), rows, device, &budget, None)
+    }
+
+    /// Number of devices.
+    pub fn n_devices(&self) -> usize {
+        self.me.len()
+    }
+
+    /// Check structural invariants: all vectors sum to `n_rows`, `σ + σʳ`
+    /// accounts exactly for the SF rows each device misses, and the R\*
+    /// device index is in range.
+    pub fn validate(&self, n_rows: usize) -> Result<(), String> {
+        let n = self.n_devices();
+        for (name, v) in [("m", &self.me), ("l", &self.interp), ("s", &self.sme)] {
+            let sum: usize = v.iter().sum();
+            if sum != n_rows {
+                return Err(format!("{name} sums to {sum}, expected {n_rows}"));
+            }
+            if v.len() != n {
+                return Err(format!("{name} has wrong length"));
+            }
+        }
+        if self.rstar_device >= n {
+            return Err(format!("rstar device {} out of range", self.rstar_device));
+        }
+        if ms_bounds(&self.me, &self.sme) != self.delta_m {
+            return Err("delta_m inconsistent with m/s".into());
+        }
+        if ls_bounds(&self.interp, &self.sme) != self.delta_l {
+            return Err("delta_l inconsistent with l/s".into());
+        }
+        for i in 0..n {
+            let missing = n_rows.saturating_sub(self.interp[i] + self.delta_l[i]);
+            if self.sigma[i] + self.sigma_rem[i] != missing {
+                return Err(format!(
+                    "device {i}: sigma {} + sigma_rem {} != missing SF rows {missing}",
+                    self.sigma[i], self.sigma_rem[i]
+                ));
+            }
+        }
+        if let Some(p) = &self.predicted {
+            if !(p.tau1 <= p.tau2 + 1e-9 && p.tau2 <= p.tau_tot + 1e-9) {
+                return Err(format!(
+                    "predicted times not ordered: {} {} {}",
+                    p.tau1, p.tau2, p.tau_tot
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Round a fractional distribution to integers preserving the exact sum
+/// (largest-remainder method; deterministic tie-break by device index).
+pub fn round_preserving_sum(fractions: &[f64], total: usize) -> Vec<usize> {
+    let n = fractions.len();
+    assert!(n > 0);
+    let clamped: Vec<f64> = fractions.iter().map(|&f| f.max(0.0)).collect();
+    let fsum: f64 = clamped.iter().sum();
+    let scaled: Vec<f64> = if fsum <= 1e-12 {
+        // Degenerate input: fall back to equal shares.
+        vec![total as f64 / n as f64; n]
+    } else {
+        clamped
+            .iter()
+            .map(|&f| f * total as f64 / fsum)
+            .collect()
+    };
+    let mut floor: Vec<usize> = scaled.iter().map(|&f| f.floor() as usize).collect();
+    let mut assigned: usize = floor.iter().sum();
+    // Distribute the remainder to the largest fractional parts.
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| {
+        let fa = scaled[a] - scaled[a].floor();
+        let fb = scaled[b] - scaled[b].floor();
+        fb.partial_cmp(&fa).unwrap().then(a.cmp(&b))
+    });
+    let mut k = 0;
+    while assigned < total {
+        floor[order[k % n]] += 1;
+        assigned += 1;
+        k += 1;
+    }
+    // Over-assignment can only happen through floating error; trim from the
+    // smallest fractional parts.
+    let mut k = n;
+    while assigned > total {
+        k -= 1;
+        let idx = order[k % n];
+        if floor[idx] > 0 {
+            floor[idx] -= 1;
+            assigned -= 1;
+        }
+    }
+    floor
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equidistant_is_valid() {
+        let d = Distribution::equidistant(68, 5, 0);
+        d.validate(68).unwrap();
+        assert_eq!(d.me.iter().sum::<usize>(), 68);
+        assert!(d.delta_m.iter().all(|&v| v == 0), "same split → no deltas");
+    }
+
+    #[test]
+    fn single_device_is_valid() {
+        let d = Distribution::single_device(68, 3, 1);
+        d.validate(68).unwrap();
+        assert_eq!(d.me[1], 68);
+        assert_eq!(d.me[0], 0);
+    }
+
+    #[test]
+    fn sigma_split_respects_budget() {
+        // Device 0 interpolates 30 of 68 rows → misses 38 (Δl aside).
+        let me = vec![30, 38];
+        let l = vec![30, 38];
+        let s = vec![30, 38];
+        let d = Distribution::from_rows(me, l, s, 0, &[10, 10], None);
+        d.validate(68).unwrap();
+        assert_eq!(d.sigma[0], 10);
+        assert_eq!(d.sigma_rem[0], 28);
+    }
+
+    #[test]
+    fn validate_rejects_bad_sums() {
+        let mut d = Distribution::equidistant(68, 4, 0);
+        d.me[0] += 1;
+        assert!(d.validate(68).is_err());
+    }
+
+    #[test]
+    fn validate_rejects_stale_deltas() {
+        let mut d = Distribution::equidistant(68, 4, 0);
+        d.sme.swap(0, 3);
+        // sme changed but delta_m was computed for the old sme.
+        if d.me != d.sme {
+            assert!(d.validate(68).is_err());
+        }
+    }
+
+    #[test]
+    fn rounding_preserves_sum_exactly() {
+        let f = vec![0.3, 0.3, 0.4];
+        let r = round_preserving_sum(&f, 68);
+        assert_eq!(r.iter().sum::<usize>(), 68);
+        // 68·[0.3, 0.3, 0.4] = [20.4, 20.4, 27.2]: the leftover row goes to
+        // the first of the tied largest remainders.
+        assert_eq!(r, vec![21, 20, 27]);
+    }
+
+    #[test]
+    fn rounding_handles_zero_and_negative() {
+        let r = round_preserving_sum(&[0.0, -1.0, 0.0], 10);
+        assert_eq!(r.iter().sum::<usize>(), 10);
+        let r2 = round_preserving_sum(&[0.0, 5.0], 7);
+        assert_eq!(r2, vec![0, 7]);
+    }
+
+    #[test]
+    fn rounding_deterministic_ties() {
+        let a = round_preserving_sum(&[1.0, 1.0, 1.0], 10);
+        let b = round_preserving_sum(&[1.0, 1.0, 1.0], 10);
+        assert_eq!(a, b);
+        assert_eq!(a.iter().sum::<usize>(), 10);
+    }
+}

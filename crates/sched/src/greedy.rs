@@ -1,0 +1,169 @@
+//! Greedy earliest-finish-time (HEFT-class) list scheduling, adapted to the
+//! row-distribution problem — a classic heterogeneous-scheduling baseline
+//! between the naive per-module proportional split \[9\] and the paper's
+//! global LP.
+//!
+//! Rows are handed out in chunks, each to the device that would finish it
+//! earliest given its measured compute rate plus a first-order transfer
+//! charge. Unlike Algorithm 2 it has no notion of copy-engine occupancy,
+//! cross-module coupling through the τ points, or the Δ/σ data-reuse terms,
+//! so it consistently trails the LP on communication-bound configurations —
+//! which is precisely what the `ablations` experiment shows.
+
+use crate::balancers::{BalanceInput, EquidistantBalancer, LoadBalancer};
+use crate::distribution::Distribution;
+use crate::perfchar::PerfChar;
+use feves_hetsim::timeline::{Dir, TransferTag};
+
+/// Greedy earliest-finish-time balancer.
+#[derive(Debug)]
+pub struct GreedyBalancer {
+    /// Rows assigned per decision (1 = finest, slower; 4 = good default).
+    pub chunk: usize,
+}
+
+impl Default for GreedyBalancer {
+    fn default() -> Self {
+        GreedyBalancer { chunk: 2 }
+    }
+}
+
+fn xfer_or_zero(perf: &PerfChar, d: usize, tag: TransferTag, dir: Dir) -> f64 {
+    perf.k_transfer(d, tag, dir).unwrap_or(0.0)
+}
+
+impl GreedyBalancer {
+    /// Assign `n_rows` in chunks by earliest finish on `busy`, where device
+    /// `d` spends `cost_per_row[d]` seconds per row.
+    fn assign(
+        &self,
+        n_rows: usize,
+        busy: &mut [f64],
+        cost_per_row: &[f64],
+        out: &mut [usize],
+    ) {
+        let mut remaining = n_rows;
+        while remaining > 0 {
+            let take = self.chunk.min(remaining);
+            let (best, _) = busy
+                .iter()
+                .enumerate()
+                .map(|(d, &b)| (d, b + take as f64 * cost_per_row[d]))
+                .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+                .expect("at least one device");
+            busy[best] += take as f64 * cost_per_row[best];
+            out[best] += take;
+            remaining -= take;
+        }
+    }
+}
+
+impl LoadBalancer for GreedyBalancer {
+    fn name(&self) -> &'static str {
+        "greedy-eft"
+    }
+
+    fn distribute(&mut self, input: &BalanceInput<'_>) -> Distribution {
+        let p = input.platform;
+        let nd = p.len();
+        if !input.perf.is_complete() {
+            return EquidistantBalancer.distribute(input);
+        }
+        let perf = input.perf;
+
+        // Phase 1 (to τ1): ME and INT compete for the same device time.
+        let me_cost: Vec<f64> = (0..nd)
+            .map(|d| {
+                perf.k_me(d).unwrap()
+                    + xfer_or_zero(perf, d, TransferTag::Cf, Dir::H2d)
+                    + xfer_or_zero(perf, d, TransferTag::Mv, Dir::D2h)
+            })
+            .collect();
+        let int_cost: Vec<f64> = (0..nd)
+            .map(|d| {
+                perf.k_int(d).unwrap() + xfer_or_zero(perf, d, TransferTag::Sf, Dir::D2h)
+            })
+            .collect();
+        let mut busy = vec![0.0f64; nd];
+        let mut me = vec![0usize; nd];
+        let mut li = vec![0usize; nd];
+        self.assign(input.n_rows, &mut busy, &me_cost, &mut me);
+        self.assign(input.n_rows, &mut busy, &int_cost, &mut li);
+
+        // Phase 2 (τ1 → τ2): SME starts after the barrier.
+        let tau1 = busy.iter().copied().fold(0.0f64, f64::max);
+        let sme_cost: Vec<f64> = (0..nd)
+            .map(|d| {
+                perf.k_sme(d).unwrap()
+                    + xfer_or_zero(perf, d, TransferTag::Mv, Dir::D2h)
+            })
+            .collect();
+        let mut busy2 = vec![tau1; nd];
+        let mut sm = vec![0usize; nd];
+        self.assign(input.n_rows, &mut busy2, &sme_cost, &mut sm);
+
+        let rstar = crate::rstar::naive_fastest_rstar(p, perf);
+        let rstar_device = match rstar {
+            crate::algorithm2::Centric::Gpu(g) => g,
+            crate::algorithm2::Centric::Cpu => p.n_accel,
+        };
+        let budget = vec![usize::MAX; nd];
+        Distribution::from_rows(me, li, sm, rstar_device, &budget, None)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithm2::tests::perfect_perfchar;
+    use feves_hetsim::platform::Platform;
+
+    fn input<'a>(
+        p: &'a Platform,
+        pc: &'a PerfChar,
+    ) -> BalanceInput<'a> {
+        BalanceInput {
+            n_rows: 68,
+            platform: p,
+            perf: pc,
+            prev: None,
+        }
+    }
+
+    #[test]
+    fn produces_valid_distribution() {
+        let p = Platform::sys_nff();
+        let pc = perfect_perfchar(&p, 120.0 * 1024.0);
+        let d = GreedyBalancer::default().distribute(&input(&p, &pc));
+        d.validate(68).unwrap();
+    }
+
+    #[test]
+    fn fast_devices_get_more_rows() {
+        let p = Platform::sys_hk();
+        let pc = perfect_perfchar(&p, 120.0 * 1024.0);
+        let d = GreedyBalancer::default().distribute(&input(&p, &pc));
+        // GPU_K vastly outruns a single CPU_H core.
+        assert!(d.me[0] > d.me[1] * 2, "{:?}", d.me);
+        assert!(d.sme[0] > d.sme[1], "{:?}", d.sme);
+    }
+
+    #[test]
+    fn chunk_size_one_is_finest_and_valid() {
+        let p = Platform::sys_nf();
+        let pc = perfect_perfchar(&p, 120.0 * 1024.0);
+        let d = GreedyBalancer { chunk: 1 }.distribute(&input(&p, &pc));
+        d.validate(68).unwrap();
+    }
+
+    #[test]
+    fn uncharacterized_falls_back_to_equidistant() {
+        let p = Platform::sys_hk();
+        let pc = PerfChar::new(p.len(), crate::perfchar::Ewma(1.0));
+        let d = GreedyBalancer::default().distribute(&input(&p, &pc));
+        d.validate(68).unwrap();
+        let max = *d.me.iter().max().unwrap();
+        let min = *d.me.iter().min().unwrap();
+        assert!(max - min <= 1);
+    }
+}

@@ -1,0 +1,32 @@
+#![warn(missing_docs)]
+//! Scheduling and load balancing for FEVES (paper §III-C).
+//!
+//! - [`perfchar`] — on-the-fly performance characterization: per-device,
+//!   per-module processing rates and per-buffer, per-direction transfer
+//!   rates, updated after every frame;
+//! - [`bounds`] — the `MS_BOUNDS` / `LS_BOUNDS` routines (eqs. 16–17)
+//!   quantifying shared-buffer data reuse;
+//! - [`algorithm2`] — the load-balancing linear program (Algorithm 2),
+//!   GPU-centric and CPU-centric, single- and dual-copy-engine aware;
+//! - [`rstar`] — Dijkstra-based mapping of the R\* group to the best device;
+//! - [`distribution`] — the resulting `m`/`l`/`s`/`Δ`/`σ` vectors with
+//!   integer rounding and invariant checks;
+//! - [`balancers`] — Algorithm 2 plus the baselines it is evaluated against
+//!   (equidistant \[8\], per-module proportional \[9\], single device).
+
+pub mod algorithm2;
+pub mod balancers;
+pub mod bounds;
+pub mod distribution;
+pub mod greedy;
+pub mod perfchar;
+pub mod rstar;
+
+pub use algorithm2::{Centric, LbError};
+pub use balancers::{
+    BalanceInput, EquidistantBalancer, FevesBalancer, LoadBalancer, ProportionalBalancer,
+    SingleDeviceBalancer,
+};
+pub use distribution::{Distribution, PredictedTimes};
+pub use greedy::GreedyBalancer;
+pub use perfchar::{Ewma, PerfChar};

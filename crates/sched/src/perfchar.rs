@@ -1,0 +1,281 @@
+//! On-the-fly performance characterization (paper §III-C).
+//!
+//! Maintains, per device, the measured processing time per MB row for the
+//! balanced modules (`K^m`, `K^l`, `K^s`), the measured transfer time per MB
+//! row for each buffer and direction (`K^{cf·hd}`, `K^{rf·hd}`, `K^{rf·dh}`,
+//! `K^{sf·hd}`, `K^{sf·dh}`, `K^{mv·hd}`, `K^{mv·dh}`) and the whole-`R*`
+//! time `T^{R*}`. Values are updated after every encoded frame from the
+//! times the Video Coding Manager records — this is what lets the framework
+//! react "to the current state of the platform (e.g., load fluctuations,
+//! multi-user time sharing, operating system actions)" within one frame.
+
+use feves_codec::types::Module;
+use feves_hetsim::timeline::{Dir, TransferTag};
+use serde::{Deserialize, Serialize};
+
+/// Exponentially-weighted update: `new = α·sample + (1−α)·old`.
+///
+/// α = 1 reproduces the paper's last-sample behaviour (fastest reaction to
+/// performance changes — what makes the Fig 7 recovery take a single frame);
+/// smaller α smooths noisy measurements at the cost of reaction time. The
+/// ablation bench sweeps this.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Ewma(pub f64);
+
+impl Default for Ewma {
+    fn default() -> Self {
+        Ewma(1.0)
+    }
+}
+
+impl Ewma {
+    fn fold(&self, old: f64, sample: f64) -> f64 {
+        if old.is_nan() {
+            sample
+        } else {
+            self.0 * sample + (1.0 - self.0) * old
+        }
+    }
+}
+
+/// Per-device measured rates. All fields are seconds per MB row (or seconds
+/// for `t_rstar`) and start as NaN ("not yet characterized").
+///
+/// ```
+/// use feves_sched::{Ewma, PerfChar};
+/// use feves_codec::types::Module;
+/// let mut pc = PerfChar::new(2, Ewma(1.0));
+/// pc.record_compute(0, Module::Me, 10, 0.5); // 10 rows in 0.5 s
+/// assert_eq!(pc.k_me(0), Some(0.05));
+/// assert_eq!(pc.k_me(1), None); // device 1 not characterized yet
+/// ```
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct PerfChar {
+    n_devices: usize,
+    alpha: Ewma,
+    k_me: Vec<f64>,
+    k_int: Vec<f64>,
+    k_sme: Vec<f64>,
+    // Transfer rates indexed [tag][dir][device].
+    k_xfer: [[Vec<f64>; 2]; 4],
+    t_rstar: Vec<f64>,
+}
+
+fn tag_index(tag: TransferTag) -> usize {
+    match tag {
+        TransferTag::Cf => 0,
+        TransferTag::Rf => 1,
+        TransferTag::Sf => 2,
+        TransferTag::Mv => 3,
+    }
+}
+
+fn dir_index(dir: Dir) -> usize {
+    match dir {
+        Dir::H2d => 0,
+        Dir::D2h => 1,
+    }
+}
+
+impl PerfChar {
+    /// Fresh, fully uncharacterized state for `n_devices`.
+    pub fn new(n_devices: usize, alpha: Ewma) -> Self {
+        let nan = vec![f64::NAN; n_devices];
+        PerfChar {
+            n_devices,
+            alpha,
+            k_me: nan.clone(),
+            k_int: nan.clone(),
+            k_sme: nan.clone(),
+            k_xfer: std::array::from_fn(|_| [nan.clone(), nan.clone()]),
+            t_rstar: nan,
+        }
+    }
+
+    /// Number of devices tracked.
+    pub fn n_devices(&self) -> usize {
+        self.n_devices
+    }
+
+    /// Record a compute measurement: `module` processed `rows` MB rows on
+    /// `device` in `seconds`. Zero-row samples are ignored.
+    pub fn record_compute(&mut self, device: usize, module: Module, rows: usize, seconds: f64) {
+        if rows == 0 {
+            return;
+        }
+        let per_row = seconds / rows as f64;
+        let slot = match module {
+            Module::Me => &mut self.k_me[device],
+            Module::Interp => &mut self.k_int[device],
+            Module::Sme => &mut self.k_sme[device],
+            // R* modules are recorded through `record_rstar`.
+            _ => return,
+        };
+        *slot = self.alpha.fold(*slot, per_row);
+    }
+
+    /// Record a transfer measurement (`rows` MB rows moved in `seconds`).
+    pub fn record_transfer(
+        &mut self,
+        device: usize,
+        tag: TransferTag,
+        dir: Dir,
+        rows: usize,
+        seconds: f64,
+    ) {
+        if rows == 0 {
+            return;
+        }
+        let per_row = seconds / rows as f64;
+        let slot = &mut self.k_xfer[tag_index(tag)][dir_index(dir)][device];
+        *slot = self.alpha.fold(*slot, per_row);
+    }
+
+    /// Record a whole-`R*` execution on `device`.
+    pub fn record_rstar(&mut self, device: usize, seconds: f64) {
+        let slot = &mut self.t_rstar[device];
+        *slot = self.alpha.fold(*slot, seconds);
+    }
+
+    /// `K^m` (ME seconds per MB row) of `device`, if characterized.
+    pub fn k_me(&self, device: usize) -> Option<f64> {
+        val(self.k_me[device])
+    }
+
+    /// `K^l` (INT seconds per MB row).
+    pub fn k_int(&self, device: usize) -> Option<f64> {
+        val(self.k_int[device])
+    }
+
+    /// `K^s` (SME seconds per MB row).
+    pub fn k_sme(&self, device: usize) -> Option<f64> {
+        val(self.k_sme[device])
+    }
+
+    /// Transfer seconds per MB row for (`tag`, `dir`) on `device`.
+    pub fn k_transfer(&self, device: usize, tag: TransferTag, dir: Dir) -> Option<f64> {
+        val(self.k_xfer[tag_index(tag)][dir_index(dir)][device])
+    }
+
+    /// Measured `T^{R*}` of `device`, if it ever ran the R\* group.
+    pub fn t_rstar(&self, device: usize) -> Option<f64> {
+        val(self.t_rstar[device])
+    }
+
+    /// Estimate `T^{R*}` for a device that never ran it, by scaling a
+    /// measured device's time with the ratio of their SME rates (R\* kernels
+    /// scale with general per-MB throughput like SME does).
+    pub fn estimate_rstar(&self, device: usize) -> Option<f64> {
+        if let Some(t) = self.t_rstar(device) {
+            return Some(t);
+        }
+        let my_sme = self.k_sme(device)?;
+        // Any device with both measurements anchors the estimate.
+        (0..self.n_devices).find_map(|d| {
+            let t = self.t_rstar(d)?;
+            let their_sme = self.k_sme(d)?;
+            Some(t * my_sme / their_sme)
+        })
+    }
+
+    /// True once every device has compute rates for all balanced modules
+    /// (i.e. after the equidistant first inter-frame).
+    pub fn is_complete(&self) -> bool {
+        (0..self.n_devices).all(|d| {
+            self.k_me(d).is_some() && self.k_int(d).is_some() && self.k_sme(d).is_some()
+        })
+    }
+}
+
+fn val(v: f64) -> Option<f64> {
+    if v.is_nan() {
+        None
+    } else {
+        Some(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_uncharacterized() {
+        let pc = PerfChar::new(3, Ewma::default());
+        assert!(!pc.is_complete());
+        assert_eq!(pc.k_me(0), None);
+        assert_eq!(pc.t_rstar(2), None);
+        assert_eq!(pc.estimate_rstar(1), None);
+    }
+
+    #[test]
+    fn last_sample_mode_tracks_exactly() {
+        let mut pc = PerfChar::new(2, Ewma(1.0));
+        pc.record_compute(0, Module::Me, 10, 0.5);
+        assert_eq!(pc.k_me(0), Some(0.05));
+        pc.record_compute(0, Module::Me, 20, 2.0);
+        assert_eq!(pc.k_me(0), Some(0.1), "α=1 keeps only the last sample");
+    }
+
+    #[test]
+    fn ewma_smooths() {
+        let mut pc = PerfChar::new(1, Ewma(0.5));
+        pc.record_compute(0, Module::Sme, 10, 1.0); // 0.1 per row
+        pc.record_compute(0, Module::Sme, 10, 2.0); // sample 0.2
+        let k = pc.k_sme(0).unwrap();
+        assert!((k - 0.15).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_rows_ignored() {
+        let mut pc = PerfChar::new(1, Ewma(1.0));
+        pc.record_compute(0, Module::Me, 0, 1.0);
+        assert_eq!(pc.k_me(0), None);
+        pc.record_transfer(0, TransferTag::Sf, Dir::H2d, 0, 1.0);
+        assert_eq!(pc.k_transfer(0, TransferTag::Sf, Dir::H2d), None);
+    }
+
+    #[test]
+    fn transfer_rates_keyed_by_tag_and_dir() {
+        let mut pc = PerfChar::new(1, Ewma(1.0));
+        pc.record_transfer(0, TransferTag::Sf, Dir::H2d, 4, 0.4);
+        pc.record_transfer(0, TransferTag::Sf, Dir::D2h, 4, 0.8);
+        assert_eq!(pc.k_transfer(0, TransferTag::Sf, Dir::H2d), Some(0.1));
+        assert_eq!(pc.k_transfer(0, TransferTag::Sf, Dir::D2h), Some(0.2));
+        assert_eq!(pc.k_transfer(0, TransferTag::Cf, Dir::H2d), None);
+    }
+
+    #[test]
+    fn rstar_estimation_scales_by_sme_ratio() {
+        let mut pc = PerfChar::new(2, Ewma(1.0));
+        pc.record_rstar(0, 0.010);
+        pc.record_compute(0, Module::Sme, 10, 0.1); // 0.01 / row
+        pc.record_compute(1, Module::Sme, 10, 0.2); // 0.02 / row (2x slower)
+        let est = pc.estimate_rstar(1).unwrap();
+        assert!((est - 0.020).abs() < 1e-12, "estimate {est}");
+        // Measured value wins over estimation.
+        pc.record_rstar(1, 0.5);
+        assert_eq!(pc.estimate_rstar(1), Some(0.5));
+    }
+
+    #[test]
+    fn r_star_modules_not_recorded_as_compute() {
+        let mut pc = PerfChar::new(1, Ewma(1.0));
+        pc.record_compute(0, Module::Dbl, 10, 1.0);
+        assert!(pc.k_me(0).is_none() && pc.k_int(0).is_none() && pc.k_sme(0).is_none());
+    }
+
+    #[test]
+    fn completeness_requires_all_modules_all_devices() {
+        let mut pc = PerfChar::new(2, Ewma(1.0));
+        for d in 0..2 {
+            pc.record_compute(d, Module::Me, 1, 0.1);
+            pc.record_compute(d, Module::Interp, 1, 0.1);
+        }
+        assert!(!pc.is_complete());
+        pc.record_compute(0, Module::Sme, 1, 0.1);
+        assert!(!pc.is_complete());
+        pc.record_compute(1, Module::Sme, 1, 0.1);
+        assert!(pc.is_complete());
+    }
+}

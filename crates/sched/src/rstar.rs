@@ -1,0 +1,294 @@
+//! R\* device mapping via shortest path (paper §III-B: "the entire workload
+//! of the R\* modules is assigned to a single (fastest) device, by applying
+//! the Dijkstra algorithm \[9\]").
+//!
+//! The choice is modelled as a shortest path through a small layered graph:
+//! `source → gather(d) → compute(d) → publish(d) → sink` for every candidate
+//! device `d`, where the gather edge carries the cost of moving the inputs
+//! (missing SF/CF stripes and the SME motion vectors) to `d`, the compute
+//! edge the measured `T^{R*}`, and the publish edge the cost of returning
+//! the reconstructed RF to the host. Running Dijkstra over this graph picks
+//! the device with the cheapest end-to-end R\* round trip — a device with a
+//! blazing kernel but a saturated link can lose to a slower device with
+//! cheap data access, which is exactly why the mapping is not simply
+//! "fastest kernel".
+
+use crate::algorithm2::Centric;
+use crate::perfchar::PerfChar;
+
+use feves_hetsim::platform::Platform;
+use feves_hetsim::timeline::{Dir, TransferTag};
+
+/// A tiny adjacency-list graph with non-negative edge weights.
+#[derive(Clone, Debug, Default)]
+pub struct Graph {
+    adj: Vec<Vec<(usize, f64)>>,
+}
+
+impl Graph {
+    /// Create a graph with `n` nodes and no edges.
+    pub fn new(n: usize) -> Self {
+        Graph {
+            adj: vec![Vec::new(); n],
+        }
+    }
+
+    /// Add a directed edge `u → v` with weight `w ≥ 0`.
+    pub fn edge(&mut self, u: usize, v: usize, w: f64) {
+        assert!(w >= 0.0, "Dijkstra needs non-negative weights");
+        self.adj[u].push((v, w));
+    }
+
+    /// Dijkstra from `src`: returns per-node distance and predecessor.
+    pub fn dijkstra(&self, src: usize) -> (Vec<f64>, Vec<usize>) {
+        let n = self.adj.len();
+        let mut dist = vec![f64::INFINITY; n];
+        let mut prev = vec![usize::MAX; n];
+        let mut visited = vec![false; n];
+        dist[src] = 0.0;
+        // O(n²) scan — the graph has a handful of nodes.
+        for _ in 0..n {
+            let u = (0..n)
+                .filter(|&u| !visited[u] && dist[u].is_finite())
+                .min_by(|&a, &b| dist[a].partial_cmp(&dist[b]).unwrap());
+            let Some(u) = u else { break };
+            visited[u] = true;
+            for &(v, w) in &self.adj[u] {
+                if dist[u] + w < dist[v] {
+                    dist[v] = dist[u] + w;
+                    prev[v] = u;
+                }
+            }
+        }
+        (dist, prev)
+    }
+}
+
+/// Choose the R\* mapping for the next frame.
+///
+/// `expected_sme_rows[d]` is the anticipated SME share of each device (last
+/// frame's `s` vector, or an equidistant guess) — it sets how much of the
+/// SF/CF/MV data is already resident on each candidate.
+pub fn choose_rstar(
+    platform: &Platform,
+    perf: &PerfChar,
+    n_rows: usize,
+    expected_sme_rows: &[usize],
+) -> Centric {
+    let nd = platform.len();
+    assert_eq!(expected_sme_rows.len(), nd);
+    // Nodes: 0 = source, 1 = sink, then per candidate: gather, compute,
+    // publish chained. Candidates: every accelerator, plus one "CPU"
+    // pseudo-candidate representing all cores.
+    let mut candidates: Vec<Option<usize>> = platform
+        .accelerators()
+        .map(|d| Some(d.0))
+        .collect();
+    if platform.n_cores > 0 {
+        candidates.push(None); // the CPU option
+    }
+    let n_nodes = 2 + candidates.len() * 3;
+    let mut g = Graph::new(n_nodes);
+    let node = |c: usize, stage: usize| 2 + c * 3 + stage;
+
+    for (c, cand) in candidates.iter().enumerate() {
+        let (gather, compute, publish) = match cand {
+            Some(d) => {
+                let d = *d;
+                let resident = expected_sme_rows[d].min(n_rows);
+                let missing = (n_rows - resident) as f64;
+                let k_sf_hd = perf
+                    .k_transfer(d, TransferTag::Sf, Dir::H2d)
+                    .unwrap_or(1e-6);
+                let k_cf_hd = perf
+                    .k_transfer(d, TransferTag::Cf, Dir::H2d)
+                    .unwrap_or(1e-6);
+                let k_mv_hd = perf
+                    .k_transfer(d, TransferTag::Mv, Dir::H2d)
+                    .unwrap_or(1e-6);
+                let k_rf_dh = perf
+                    .k_transfer(d, TransferTag::Rf, Dir::D2h)
+                    .unwrap_or(1e-6);
+                let gather = missing * (k_sf_hd + k_cf_hd) + n_rows as f64 * k_mv_hd;
+                let compute = perf.estimate_rstar(d).unwrap_or(f64::INFINITY);
+                let publish = n_rows as f64 * k_rf_dh;
+                (gather, compute, publish)
+            }
+            None => {
+                // CPU: data already in host memory; MVs computed on
+                // accelerators arrive via the τ2 D2H transfers regardless.
+                let core0 = platform.n_accel;
+                let compute = perf.estimate_rstar(core0).unwrap_or(f64::INFINITY);
+                (0.0, compute, 0.0)
+            }
+        };
+        if !compute.is_finite() {
+            continue; // uncharacterized candidate
+        }
+        g.edge(0, node(c, 0), 0.0);
+        g.edge(node(c, 0), node(c, 1), gather);
+        g.edge(node(c, 1), node(c, 2), compute);
+        g.edge(node(c, 2), 1, publish);
+    }
+
+    let (dist, prev) = g.dijkstra(0);
+    if !dist[1].is_finite() {
+        // Nothing characterized yet: default to the paper's GPU-centric
+        // choice (first accelerator) or CPU if there is none.
+        return if platform.n_accel > 0 {
+            Centric::Gpu(0)
+        } else {
+            Centric::Cpu
+        };
+    }
+    // Walk back from the sink to find which candidate chain won.
+    let mut at = prev[1];
+    while at >= 2 && (at - 2) % 3 != 0 {
+        at = prev[at];
+    }
+    let c = (at - 2) / 3;
+    match candidates[c] {
+        Some(d) => Centric::Gpu(d),
+        None => Centric::Cpu,
+    }
+}
+
+/// Pick the device with the lowest raw `T^{R*}` (no communication model) —
+/// the naive mapping the ablation bench compares against.
+pub fn naive_fastest_rstar(platform: &Platform, perf: &PerfChar) -> Centric {
+    let mut best: Option<(f64, Centric)> = None;
+    for d in platform.accelerators() {
+        if let Some(t) = perf.estimate_rstar(d.0) {
+            if best.is_none() || t < best.unwrap().0 {
+                best = Some((t, Centric::Gpu(d.0)));
+            }
+        }
+    }
+    if platform.n_cores > 0 {
+        if let Some(t) = perf.estimate_rstar(platform.n_accel) {
+            if best.is_none() || t < best.unwrap().0 {
+                best = Some((t, Centric::Cpu));
+            }
+        }
+    }
+    best.map(|(_, c)| c).unwrap_or(if platform.n_accel > 0 {
+        Centric::Gpu(0)
+    } else {
+        Centric::Cpu
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::perfchar::Ewma;
+
+    #[test]
+    fn dijkstra_shortest_path_basic() {
+        let mut g = Graph::new(4);
+        g.edge(0, 1, 1.0);
+        g.edge(1, 3, 1.0);
+        g.edge(0, 2, 0.5);
+        g.edge(2, 3, 3.0);
+        let (dist, prev) = g.dijkstra(0);
+        assert_eq!(dist[3], 2.0);
+        assert_eq!(prev[3], 1);
+    }
+
+    #[test]
+    fn dijkstra_unreachable_is_infinite() {
+        let g = Graph::new(3);
+        let (dist, _) = g.dijkstra(0);
+        assert!(dist[2].is_infinite());
+    }
+
+    fn char_with(
+        platform: &Platform,
+        rstar: &[(usize, f64)],
+        xfers: &[(usize, TransferTag, Dir, f64)],
+    ) -> PerfChar {
+        let mut pc = PerfChar::new(platform.len(), Ewma(1.0));
+        for &(d, t) in rstar {
+            pc.record_rstar(d, t);
+        }
+        for &(d, tag, dir, k) in xfers {
+            pc.record_transfer(d, tag, dir, 1, k);
+        }
+        pc
+    }
+
+    #[test]
+    fn fast_gpu_kernel_wins_when_links_are_cheap() {
+        let p = Platform::sys_hk();
+        let pc = char_with(
+            &p,
+            &[(0, 0.002), (1, 0.030)],
+            &[
+                (0, TransferTag::Sf, Dir::H2d, 1e-7),
+                (0, TransferTag::Cf, Dir::H2d, 1e-7),
+                (0, TransferTag::Mv, Dir::H2d, 1e-7),
+                (0, TransferTag::Rf, Dir::D2h, 1e-7),
+            ],
+        );
+        let c = choose_rstar(&p, &pc, 68, &[68, 0, 0, 0, 0]);
+        assert_eq!(c, Centric::Gpu(0));
+    }
+
+    #[test]
+    fn expensive_link_flips_choice_to_cpu() {
+        // GPU kernel is 3x faster, but hauling the SF/CF over a terrible
+        // link costs far more than the kernel saves.
+        let p = Platform::sys_hk();
+        let pc = char_with(
+            &p,
+            &[(0, 0.002), (1, 0.006)],
+            &[
+                (0, TransferTag::Sf, Dir::H2d, 5e-3), // 5 ms per missing row!
+                (0, TransferTag::Cf, Dir::H2d, 1e-4),
+                (0, TransferTag::Mv, Dir::H2d, 1e-4),
+                (0, TransferTag::Rf, Dir::D2h, 1e-4),
+            ],
+        );
+        // GPU holds almost nothing (SME done mostly on CPU).
+        let c = choose_rstar(&p, &pc, 68, &[2, 20, 20, 16, 10]);
+        assert_eq!(c, Centric::Cpu, "link cost must dominate the choice");
+    }
+
+    #[test]
+    fn resident_data_reduces_gather_cost() {
+        // Same platform/rates; when the GPU already holds the whole frame
+        // (expected_sme_rows = N), its gather cost shrinks and it wins.
+        let p = Platform::sys_hk();
+        let pc = char_with(
+            &p,
+            &[(0, 0.002), (1, 0.006)],
+            &[
+                (0, TransferTag::Sf, Dir::H2d, 5e-3),
+                (0, TransferTag::Cf, Dir::H2d, 1e-4),
+                (0, TransferTag::Mv, Dir::H2d, 1e-5),
+                (0, TransferTag::Rf, Dir::D2h, 1e-5),
+            ],
+        );
+        let c = choose_rstar(&p, &pc, 68, &[68, 0, 0, 0, 0]);
+        assert_eq!(c, Centric::Gpu(0));
+    }
+
+    #[test]
+    fn uncharacterized_defaults_to_gpu_centric() {
+        let p = Platform::sys_hk();
+        let pc = PerfChar::new(p.len(), Ewma(1.0));
+        assert_eq!(choose_rstar(&p, &pc, 68, &[0; 5]), Centric::Gpu(0));
+    }
+
+    #[test]
+    fn naive_mapping_ignores_links() {
+        let p = Platform::sys_hk();
+        let pc = char_with(
+            &p,
+            &[(0, 0.002), (1, 0.006)],
+            &[(0, TransferTag::Sf, Dir::H2d, 5e-3)],
+        );
+        // Naive picks the GPU despite the terrible link.
+        assert_eq!(naive_fastest_rstar(&p, &pc), Centric::Gpu(0));
+    }
+}

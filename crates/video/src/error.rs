@@ -1,0 +1,43 @@
+//! Error type for video I/O and construction.
+
+use std::fmt;
+
+/// Errors raised by the video substrate.
+#[derive(Debug)]
+pub enum VideoError {
+    /// A dimension was zero or not compatible with the requested operation
+    /// (e.g. an odd width for a 4:2:0 frame).
+    BadDimensions(String),
+    /// A Y4M stream did not parse.
+    ParseError(String),
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// The stream ended before a complete frame was read.
+    UnexpectedEof,
+}
+
+impl fmt::Display for VideoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VideoError::BadDimensions(msg) => write!(f, "bad dimensions: {msg}"),
+            VideoError::ParseError(msg) => write!(f, "parse error: {msg}"),
+            VideoError::Io(e) => write!(f, "i/o error: {e}"),
+            VideoError::UnexpectedEof => write!(f, "unexpected end of stream"),
+        }
+    }
+}
+
+impl std::error::Error for VideoError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            VideoError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for VideoError {
+    fn from(e: std::io::Error) -> Self {
+        VideoError::Io(e)
+    }
+}

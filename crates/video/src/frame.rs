@@ -1,0 +1,193 @@
+//! YUV 4:2:0 frames.
+
+use crate::error::VideoError;
+use crate::geometry::{Resolution, MB_SIZE};
+use crate::plane::Plane;
+
+/// A YUV 4:2:0 picture.
+///
+/// The luma plane is padded up to whole macroblocks (border replication) so
+/// kernels never special-case partial MBs; `resolution()` still reports the
+/// display size. Chroma planes are half-size in both dimensions.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Frame {
+    y: Plane<u8>,
+    u: Plane<u8>,
+    v: Plane<u8>,
+    display: Resolution,
+}
+
+impl Frame {
+    /// Create a mid-gray frame of the given display resolution.
+    pub fn new(display: Resolution) -> Result<Self, VideoError> {
+        if display.width == 0 || display.height == 0 {
+            return Err(VideoError::BadDimensions(format!(
+                "{}x{}",
+                display.width, display.height
+            )));
+        }
+        if !display.width.is_multiple_of(2) || !display.height.is_multiple_of(2) {
+            return Err(VideoError::BadDimensions(format!(
+                "4:2:0 needs even dimensions, got {}x{}",
+                display.width, display.height
+            )));
+        }
+        let padded = display.padded();
+        let mut y = Plane::new(padded.width, padded.height);
+        y.fill(128);
+        let mut u = Plane::new(padded.width / 2, padded.height / 2);
+        u.fill(128);
+        let mut v = Plane::new(padded.width / 2, padded.height / 2);
+        v.fill(128);
+        Ok(Frame {
+            y,
+            u,
+            v,
+            display,
+        })
+    }
+
+    /// Build a frame from raw planar 4:2:0 data at display size; the luma
+    /// plane is padded to whole MBs by border replication.
+    pub fn from_planes_420(
+        display: Resolution,
+        y_data: &[u8],
+        u_data: &[u8],
+        v_data: &[u8],
+    ) -> Result<Self, VideoError> {
+        let mut f = Frame::new(display)?;
+        let (w, h) = (display.width, display.height);
+        if y_data.len() != w * h || u_data.len() != w * h / 4 || v_data.len() != w * h / 4 {
+            return Err(VideoError::BadDimensions(
+                "plane byte counts do not match 4:2:0 layout".into(),
+            ));
+        }
+        for yy in 0..h {
+            f.y.row_mut(yy)[..w].copy_from_slice(&y_data[yy * w..(yy + 1) * w]);
+        }
+        for yy in 0..h / 2 {
+            f.u.row_mut(yy)[..w / 2].copy_from_slice(&u_data[yy * (w / 2)..(yy + 1) * (w / 2)]);
+            f.v.row_mut(yy)[..w / 2].copy_from_slice(&v_data[yy * (w / 2)..(yy + 1) * (w / 2)]);
+        }
+        f.pad_borders();
+        Ok(f)
+    }
+
+    /// Replicate the last display row/column into the MB padding region.
+    pub fn pad_borders(&mut self) {
+        let (w, h) = (self.display.width, self.display.height);
+        pad_plane(&mut self.y, w, h);
+        pad_plane(&mut self.u, w / 2, h / 2);
+        pad_plane(&mut self.v, w / 2, h / 2);
+    }
+
+    /// Display resolution (unpadded).
+    pub fn resolution(&self) -> Resolution {
+        self.display
+    }
+
+    /// Padded (whole-macroblock) resolution of the luma plane.
+    pub fn padded_resolution(&self) -> Resolution {
+        Resolution::new(self.y.width(), self.y.height())
+    }
+
+    /// Luma plane (padded).
+    pub fn y(&self) -> &Plane<u8> {
+        &self.y
+    }
+
+    /// Mutable luma plane.
+    pub fn y_mut(&mut self) -> &mut Plane<u8> {
+        &mut self.y
+    }
+
+    /// Cb plane.
+    pub fn u(&self) -> &Plane<u8> {
+        &self.u
+    }
+
+    /// Mutable Cb plane.
+    pub fn u_mut(&mut self) -> &mut Plane<u8> {
+        &mut self.u
+    }
+
+    /// Cr plane.
+    pub fn v(&self) -> &Plane<u8> {
+        &self.v
+    }
+
+    /// Mutable Cr plane.
+    pub fn v_mut(&mut self) -> &mut Plane<u8> {
+        &mut self.v
+    }
+
+    /// Number of macroblock rows (the scheduler's `N`).
+    pub fn mb_rows(&self) -> usize {
+        self.y.height() / MB_SIZE
+    }
+
+    /// Number of macroblocks per row.
+    pub fn mb_cols(&self) -> usize {
+        self.y.width() / MB_SIZE
+    }
+}
+
+fn pad_plane(p: &mut Plane<u8>, valid_w: usize, valid_h: usize) {
+    let (pw, ph) = (p.width(), p.height());
+    // Replicate the last valid column to the right.
+    if pw > valid_w {
+        for y in 0..valid_h {
+            let last = p.row(y)[valid_w - 1];
+            p.row_mut(y)[valid_w..].fill(last);
+        }
+    }
+    // Replicate the last valid row downward.
+    if ph > valid_h {
+        let last_row: Vec<u8> = p.row(valid_h - 1).to_vec();
+        for y in valid_h..ph {
+            p.row_mut(y).copy_from_slice(&last_row);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_hd_is_padded_to_1088() {
+        let f = Frame::new(Resolution::FULL_HD).unwrap();
+        assert_eq!(f.padded_resolution(), Resolution::new(1920, 1088));
+        assert_eq!(f.mb_rows(), 68);
+        assert_eq!(f.mb_cols(), 120);
+        assert_eq!(f.resolution(), Resolution::FULL_HD);
+    }
+
+    #[test]
+    fn odd_dimensions_rejected() {
+        assert!(Frame::new(Resolution::new(17, 16)).is_err());
+        assert!(Frame::new(Resolution::new(0, 16)).is_err());
+    }
+
+    #[test]
+    fn from_planes_roundtrip_and_padding() {
+        let res = Resolution::new(16, 10); // pads to 16x16
+        let y: Vec<u8> = (0..160).map(|i| (i % 251) as u8).collect();
+        let u = vec![64u8; 40];
+        let v = vec![192u8; 40];
+        let f = Frame::from_planes_420(res, &y, &u, &v).unwrap();
+        assert_eq!(f.y().get(5, 3), y[3 * 16 + 5]);
+        // Padded rows replicate row 9.
+        for yy in 10..16 {
+            assert_eq!(f.y().row(yy), f.y().row(9));
+        }
+        assert_eq!(f.u().get(0, 0), 64);
+        assert_eq!(f.v().get(0, 0), 192);
+    }
+
+    #[test]
+    fn from_planes_bad_len_rejected() {
+        let res = Resolution::new(16, 16);
+        assert!(Frame::from_planes_420(res, &[0; 10], &[0; 64], &[0; 64]).is_err());
+    }
+}

@@ -1,0 +1,30 @@
+#![warn(missing_docs)]
+//! Video substrate for the FEVES framework.
+//!
+//! This crate provides the raw-video building blocks every other FEVES crate
+//! rests on:
+//!
+//! - [`Plane`] — a single rectangular sample plane with stride, the unit all
+//!   encoding kernels operate on;
+//! - [`Frame`] — a YUV 4:2:0 picture built from three planes;
+//! - [`geometry`] — macroblock grids, partition shapes and row ranges used to
+//!   express workload distributions in "MB rows" exactly as the paper does;
+//! - [`synth`] — deterministic synthetic 1080p test sequences standing in for
+//!   the paper's "Rolling Tomatoes" / "Toys and Calendar" clips;
+//! - [`y4m`] — minimal YUV4MPEG2 reader/writer so user-supplied sequences can
+//!   be encoded too;
+//! - [`metrics`] — PSNR/MSE/SAD quality metrics.
+
+pub mod error;
+pub mod frame;
+pub mod geometry;
+pub mod metrics;
+pub mod plane;
+pub mod synth;
+pub mod y4m;
+
+pub use error::VideoError;
+pub use frame::Frame;
+pub use geometry::{MbGrid, Resolution, RowRange, MB_SIZE};
+pub use plane::Plane;
+pub use synth::{SynthConfig, SynthSequence};

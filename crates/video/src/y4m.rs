@@ -1,0 +1,271 @@
+//! Minimal YUV4MPEG2 (Y4M) reader and writer, 4:2:0 only.
+//!
+//! Supports the common header tags (`W`, `H`, `F`, `I`, `A`, `C420`*) and the
+//! per-frame `FRAME` marker. Enough to feed real sequences into the encoder
+//! and to dump synthetic ones for inspection with standard tools.
+
+use crate::error::VideoError;
+use crate::frame::Frame;
+use crate::geometry::Resolution;
+use std::io::{BufRead, Read, Write};
+
+/// Stream parameters parsed from a Y4M header.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Y4mHeader {
+    /// Display resolution.
+    pub resolution: Resolution,
+    /// Frame rate as a rational (num, den).
+    pub fps: (u32, u32),
+}
+
+/// Reads frames from a Y4M stream.
+pub struct Y4mReader<R> {
+    inner: R,
+    header: Y4mHeader,
+}
+
+impl<R: BufRead> Y4mReader<R> {
+    /// Parse the stream header and return a reader positioned at frame 0.
+    pub fn new(mut inner: R) -> Result<Self, VideoError> {
+        let mut line = Vec::new();
+        read_line(&mut inner, &mut line)?;
+        let text = std::str::from_utf8(&line)
+            .map_err(|_| VideoError::ParseError("non-UTF8 Y4M header".into()))?;
+        if !text.starts_with("YUV4MPEG2") {
+            return Err(VideoError::ParseError("missing YUV4MPEG2 magic".into()));
+        }
+        let mut width = 0usize;
+        let mut height = 0usize;
+        let mut fps = (25, 1);
+        for tag in text.split_ascii_whitespace().skip(1) {
+            let (key, val) = tag.split_at(1);
+            match key {
+                "W" => {
+                    width = val
+                        .parse()
+                        .map_err(|_| VideoError::ParseError(format!("bad W tag {val}")))?
+                }
+                "H" => {
+                    height = val
+                        .parse()
+                        .map_err(|_| VideoError::ParseError(format!("bad H tag {val}")))?
+                }
+                "F" => {
+                    let mut it = val.splitn(2, ':');
+                    let n = it.next().and_then(|s| s.parse().ok());
+                    let d = it.next().and_then(|s| s.parse().ok());
+                    match (n, d) {
+                        (Some(n), Some(d)) if d > 0 => fps = (n, d),
+                        _ => return Err(VideoError::ParseError(format!("bad F tag {val}"))),
+                    }
+                }
+                "C"
+                    if !val.starts_with("420") => {
+                        return Err(VideoError::ParseError(format!(
+                            "unsupported chroma {val}, only 4:2:0"
+                        )));
+                    }
+                _ => {} // I, A, X tags ignored
+            }
+        }
+        if width == 0 || height == 0 {
+            return Err(VideoError::ParseError("missing W/H tags".into()));
+        }
+        Ok(Y4mReader {
+            inner,
+            header: Y4mHeader {
+                resolution: Resolution::new(width, height),
+                fps,
+            },
+        })
+    }
+
+    /// Stream parameters.
+    pub fn header(&self) -> Y4mHeader {
+        self.header
+    }
+
+    /// Read the next frame; `Ok(None)` at clean end of stream.
+    pub fn read_frame(&mut self) -> Result<Option<Frame>, VideoError> {
+        let mut line = Vec::new();
+        match read_line(&mut self.inner, &mut line) {
+            Ok(()) => {}
+            Err(VideoError::UnexpectedEof) if line.is_empty() => return Ok(None),
+            Err(e) => return Err(e),
+        }
+        if line.is_empty() {
+            return Ok(None);
+        }
+        if !line.starts_with(b"FRAME") {
+            return Err(VideoError::ParseError("missing FRAME marker".into()));
+        }
+        let res = self.header.resolution;
+        let ysz = res.width * res.height;
+        let csz = ysz / 4;
+        let mut buf = vec![0u8; ysz + 2 * csz];
+        self.inner
+            .read_exact(&mut buf)
+            .map_err(|_| VideoError::UnexpectedEof)?;
+        let frame = Frame::from_planes_420(
+            res,
+            &buf[..ysz],
+            &buf[ysz..ysz + csz],
+            &buf[ysz + csz..],
+        )?;
+        Ok(Some(frame))
+    }
+
+    /// Read every remaining frame.
+    pub fn read_all(&mut self) -> Result<Vec<Frame>, VideoError> {
+        let mut out = Vec::new();
+        while let Some(f) = self.read_frame()? {
+            out.push(f);
+        }
+        Ok(out)
+    }
+}
+
+/// Writes frames to a Y4M stream.
+pub struct Y4mWriter<W> {
+    inner: W,
+    header: Y4mHeader,
+    wrote_header: bool,
+}
+
+impl<W: Write> Y4mWriter<W> {
+    /// Create a writer; the header is emitted lazily with the first frame.
+    pub fn new(inner: W, header: Y4mHeader) -> Self {
+        Y4mWriter {
+            inner,
+            header,
+            wrote_header: false,
+        }
+    }
+
+    /// Append one frame (display region only; padding stripped).
+    pub fn write_frame(&mut self, frame: &Frame) -> Result<(), VideoError> {
+        let res = self.header.resolution;
+        if frame.resolution() != res {
+            return Err(VideoError::BadDimensions(format!(
+                "frame {}x{} vs stream {}x{}",
+                frame.resolution().width,
+                frame.resolution().height,
+                res.width,
+                res.height
+            )));
+        }
+        if !self.wrote_header {
+            writeln!(
+                self.inner,
+                "YUV4MPEG2 W{} H{} F{}:{} Ip A1:1 C420jpeg",
+                res.width, res.height, self.header.fps.0, self.header.fps.1
+            )?;
+            self.wrote_header = true;
+        }
+        writeln!(self.inner, "FRAME")?;
+        for y in 0..res.height {
+            self.inner.write_all(&frame.y().row(y)[..res.width])?;
+        }
+        for y in 0..res.height / 2 {
+            self.inner.write_all(&frame.u().row(y)[..res.width / 2])?;
+        }
+        for y in 0..res.height / 2 {
+            self.inner.write_all(&frame.v().row(y)[..res.width / 2])?;
+        }
+        Ok(())
+    }
+
+    /// Flush and return the underlying writer.
+    pub fn finish(mut self) -> Result<W, VideoError> {
+        self.inner.flush()?;
+        Ok(self.inner)
+    }
+}
+
+fn read_line<R: Read>(r: &mut R, out: &mut Vec<u8>) -> Result<(), VideoError> {
+    out.clear();
+    let mut byte = [0u8; 1];
+    loop {
+        match r.read(&mut byte)? {
+            0 => {
+                return Err(VideoError::UnexpectedEof);
+            }
+            _ => {
+                if byte[0] == b'\n' {
+                    return Ok(());
+                }
+                out.push(byte[0]);
+                if out.len() > 4096 {
+                    return Err(VideoError::ParseError("unterminated header line".into()));
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::{SynthConfig, SynthSequence};
+    use std::io::Cursor;
+
+    #[test]
+    fn roundtrip_synthetic_frames() {
+        let mut seq = SynthSequence::new(SynthConfig::tiny_test());
+        let frames = seq.take_frames(3);
+        let header = Y4mHeader {
+            resolution: frames[0].resolution(),
+            fps: (25, 1),
+        };
+        let mut w = Y4mWriter::new(Vec::new(), header);
+        for f in &frames {
+            w.write_frame(f).unwrap();
+        }
+        let bytes = w.finish().unwrap();
+
+        let mut r = Y4mReader::new(Cursor::new(bytes)).unwrap();
+        assert_eq!(r.header(), header);
+        let back = r.read_all().unwrap();
+        assert_eq!(back.len(), 3);
+        for (a, b) in frames.iter().zip(&back) {
+            assert_eq!(a, b, "Y4M roundtrip must be lossless");
+        }
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        assert!(Y4mReader::new(Cursor::new(b"NOTAY4M\n".to_vec())).is_err());
+    }
+
+    #[test]
+    fn rejects_unsupported_chroma() {
+        let hdr = b"YUV4MPEG2 W16 H16 F25:1 C444\n".to_vec();
+        assert!(Y4mReader::new(Cursor::new(hdr)).is_err());
+    }
+
+    #[test]
+    fn empty_stream_after_header_yields_no_frames() {
+        let hdr = b"YUV4MPEG2 W16 H16 F25:1\n".to_vec();
+        let mut r = Y4mReader::new(Cursor::new(hdr)).unwrap();
+        assert!(r.read_frame().unwrap().is_none());
+    }
+
+    #[test]
+    fn truncated_frame_is_error() {
+        let mut data = b"YUV4MPEG2 W16 H16 F25:1\nFRAME\n".to_vec();
+        data.extend_from_slice(&[0u8; 10]); // far less than 16*16*1.5
+        let mut r = Y4mReader::new(Cursor::new(data)).unwrap();
+        assert!(r.read_frame().is_err());
+    }
+
+    #[test]
+    fn writer_rejects_mismatched_frame() {
+        let header = Y4mHeader {
+            resolution: Resolution::new(32, 32),
+            fps: (25, 1),
+        };
+        let mut w = Y4mWriter::new(Vec::new(), header);
+        let f = Frame::new(Resolution::new(16, 16)).unwrap();
+        assert!(w.write_frame(&f).is_err());
+    }
+}

@@ -1,0 +1,282 @@
+//! `feves` — command-line front end.
+//!
+//! ```text
+//! feves platforms                          list the built-in platforms
+//! feves simulate [options]                 timing-only 1080p run (virtual clock)
+//! feves encode <in.y4m> [out.y4m] [opts]   functional encode of a Y4M file
+//! feves trace [options]                    print a steady-state frame Gantt
+//! ```
+//!
+//! Options: `--platform syshk|sysnf|sysnff|cpu-n|cpu-h|gpu-f|gpu-k`,
+//! `--sa <32|64|128|256>`, `--refs <1..16>`, `--qp <0..51>`,
+//! `--frames <n>`, `--balancer feves|proportional|equidistant`.
+
+use feves::core::prelude::*;
+use feves::video::y4m::{Y4mReader, Y4mWriter};
+use std::io::{BufReader, BufWriter};
+use std::process::ExitCode;
+
+struct Options {
+    platform: String,
+    platform_file: Option<String>,
+    sa: u16,
+    refs: usize,
+    qp: u8,
+    frames: usize,
+    balancer: String,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options {
+            platform: "syshk".into(),
+            platform_file: None,
+            sa: 32,
+            refs: 1,
+            qp: 28,
+            frames: 30,
+            balancer: "feves".into(),
+        }
+    }
+}
+
+fn parse_options(args: &[String]) -> Result<(Options, Vec<String>), String> {
+    let mut opts = Options::default();
+    let mut positional = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut grab = || -> Result<&String, String> {
+            it.next().ok_or_else(|| format!("{a} needs a value"))
+        };
+        match a.as_str() {
+            "--platform" => opts.platform = grab()?.to_lowercase(),
+            "--platform-file" => opts.platform_file = Some(grab()?.clone()),
+            "--sa" => opts.sa = grab()?.parse().map_err(|e| format!("--sa: {e}"))?,
+            "--refs" => opts.refs = grab()?.parse().map_err(|e| format!("--refs: {e}"))?,
+            "--qp" => opts.qp = grab()?.parse().map_err(|e| format!("--qp: {e}"))?,
+            "--frames" => opts.frames = grab()?.parse().map_err(|e| format!("--frames: {e}"))?,
+            "--balancer" => opts.balancer = grab()?.to_lowercase(),
+            _ if a.starts_with("--") => return Err(format!("unknown option {a}")),
+            _ => positional.push(a.clone()),
+        }
+    }
+    Ok((opts, positional))
+}
+
+fn platform_of(name: &str) -> Result<(Platform, BalancerKind), String> {
+    use feves::hetsim::profiles::*;
+    Ok(match name {
+        "syshk" => (Platform::sys_hk(), BalancerKind::Feves),
+        "sysnf" => (Platform::sys_nf(), BalancerKind::Feves),
+        "sysnff" => (Platform::sys_nff(), BalancerKind::Feves),
+        "cpu-n" => (Platform::cpu_only(cpu_nehalem(), 4), BalancerKind::CpuOnly),
+        "cpu-h" => (Platform::cpu_only(cpu_haswell(), 4), BalancerKind::CpuOnly),
+        "gpu-f" => (
+            Platform::gpu_only(gpu_fermi()),
+            BalancerKind::SingleAccelerator(0),
+        ),
+        "gpu-k" => (
+            Platform::gpu_only(gpu_kepler()),
+            BalancerKind::SingleAccelerator(0),
+        ),
+        other => return Err(format!("unknown platform '{other}' (see `feves platforms`)")),
+    })
+}
+
+fn config_of(opts: &Options, resolution: Resolution) -> Result<(Platform, EncoderConfig), String> {
+    let (platform, default_balancer) = match &opts.platform_file {
+        Some(path) => {
+            let json = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+            (Platform::from_json(&json)?, BalancerKind::Feves)
+        }
+        None => platform_of(&opts.platform)?,
+    };
+    let params = EncodeParams {
+        search_area: SearchArea(opts.sa),
+        n_ref: opts.refs,
+        qp: opts.qp,
+        qp_intra: opts.qp.saturating_sub(1),
+    };
+    let mut cfg = EncoderConfig::full_hd(params);
+    cfg.resolution = resolution;
+    cfg.balancer = match opts.balancer.as_str() {
+        "feves" => default_balancer,
+        "proportional" => BalancerKind::Proportional,
+        "equidistant" => BalancerKind::Equidistant,
+        other => return Err(format!("unknown balancer '{other}'")),
+    };
+    Ok((platform, cfg))
+}
+
+fn cmd_platforms() {
+    use feves::hetsim::profiles::*;
+    println!("built-in platforms (paper §IV) — export one as a template with");
+    println!("`feves export-platform syshk > my_platform.json`, edit it, and");
+    println!("pass it anywhere via `--platform-file my_platform.json`:\n");
+    for (key, p) in [
+        ("syshk", Platform::sys_hk()),
+        ("sysnf", Platform::sys_nf()),
+        ("sysnff", Platform::sys_nff()),
+        ("cpu-n", Platform::cpu_only(cpu_nehalem(), 4)),
+        ("cpu-h", Platform::cpu_only(cpu_haswell(), 4)),
+        ("gpu-f", Platform::gpu_only(gpu_fermi())),
+        ("gpu-k", Platform::gpu_only(gpu_kepler())),
+    ] {
+        println!("  {key:<7} {} — {} accelerator(s), {} CPU core(s)", p.name, p.n_accel, p.n_cores);
+        for d in &p.devices {
+            let mem = d
+                .memory_bytes
+                .map(|b| format!("{} MiB", b / 1024 / 1024))
+                .unwrap_or_else(|| "host".into());
+            println!("           - {:<16} [{mem}]", d.name);
+        }
+    }
+}
+
+fn cmd_simulate(opts: &Options) -> Result<(), String> {
+    let (platform, cfg) = config_of(opts, Resolution::FULL_HD)?;
+    let mut enc = FevesEncoder::new(platform, cfg)?;
+    let report = enc.run_timing(opts.frames);
+    println!(
+        "{} | 1080p | SA {}x{} | {} RF | balancer {}",
+        report.platform, opts.sa, opts.sa, opts.refs, opts.balancer
+    );
+    println!(
+        "{:>6} {:>10} {:>8} {:>10} {:>12}",
+        "frame", "time[ms]", "fps", "refs", "sched[µs]"
+    );
+    for f in report.inter_frames() {
+        println!(
+            "{:>6} {:>10.2} {:>8.1} {:>10} {:>12.1}",
+            f.frame,
+            f.tau_tot * 1e3,
+            f.fps(),
+            f.refs_used,
+            f.sched_overhead * 1e6
+        );
+    }
+    let skip = (opts.refs + 3).min(opts.frames.saturating_sub(1));
+    let fps = report.steady_fps(skip);
+    println!(
+        "\nsteady state: {:.1} fps — {}",
+        fps,
+        if fps >= 25.0 { "REAL-TIME" } else { "below real-time" }
+    );
+    Ok(())
+}
+
+fn cmd_trace(opts: &Options) -> Result<(), String> {
+    let (platform, mut cfg) = config_of(opts, Resolution::FULL_HD)?;
+    cfg.noise_amp = 0.0;
+    let mut enc = FevesEncoder::new(platform, cfg)?;
+    for _ in 0..opts.refs + 4 {
+        enc.encode_inter_timing();
+    }
+    let report = enc.encode_inter_timing();
+    println!("{}", enc.last_trace().unwrap().render_gantt(100));
+    println!("steady frame: {:.2} ms ({:.1} fps)", report.tau_tot * 1e3, report.fps());
+    Ok(())
+}
+
+fn cmd_encode(opts: &Options, input: &str, output: Option<&str>) -> Result<(), String> {
+    let file = std::fs::File::open(input).map_err(|e| format!("{input}: {e}"))?;
+    let mut reader = Y4mReader::new(BufReader::new(file)).map_err(|e| e.to_string())?;
+    let header = reader.header();
+    let frames = reader.read_all().map_err(|e| e.to_string())?;
+    println!(
+        "{input}: {}x{}, {} frames",
+        header.resolution.width,
+        header.resolution.height,
+        frames.len()
+    );
+    let (platform, mut cfg) = config_of(opts, header.resolution)?;
+    cfg.mode = ExecutionMode::Functional;
+    let mut enc = FevesEncoder::new(platform, cfg)?;
+
+    let out_path = output
+        .map(str::to_string)
+        .unwrap_or_else(|| format!("{input}.recon.y4m"));
+    let out = std::fs::File::create(&out_path).map_err(|e| format!("{out_path}: {e}"))?;
+    let mut writer = Y4mWriter::new(BufWriter::new(out), header);
+
+    let mut reports = Vec::new();
+    for f in &frames {
+        let rep = enc.encode_frame(f);
+        let (y, u, v) = enc.last_reconstruction_yuv().unwrap();
+        let mut rf = f.clone();
+        rf.y_mut().copy_from(y);
+        rf.u_mut().copy_from(u);
+        rf.v_mut().copy_from(v);
+        writer.write_frame(&rf).map_err(|e| e.to_string())?;
+        println!(
+            "frame {:>4} ({}) {:>9} bits  PSNR-Y {:>6.2} dB  sim {:>7.2} ms",
+            rep.frame,
+            if rep.is_intra { "I" } else { "P" },
+            rep.bits.unwrap_or(0),
+            rep.psnr_y.unwrap_or(f64::NAN),
+            rep.tau_tot * 1e3
+        );
+        reports.push(rep);
+    }
+    writer.finish().map_err(|e| e.to_string())?;
+    let report = EncodeReport::new(opts.platform.clone(), reports);
+    println!(
+        "\nwrote {out_path} — {} bits total, mean PSNR-Y {:.2} dB",
+        report.total_bits(),
+        report.mean_psnr().unwrap_or(f64::NAN)
+    );
+    Ok(())
+}
+
+fn usage() {
+    eprintln!(
+        "usage: feves <command> [options]\n\n\
+         commands:\n\
+         \u{20}  platforms                       list built-in platforms\n\
+         \u{20}  export-platform [name]          dump a platform as JSON\n\
+         \u{20}  simulate [options]              timing-only 1080p run\n\
+         \u{20}  encode <in.y4m> [out] [options] functional Y4M encode\n\
+         \u{20}  trace [options]                 steady-state frame Gantt\n\n\
+         options: --platform <name> | --platform-file <json>\n\
+         \u{20}        --sa <n> --refs <n> --qp <n>\n\
+         \u{20}        --frames <n> --balancer feves|proportional|equidistant"
+    );
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first().cloned() else {
+        usage();
+        return ExitCode::from(2);
+    };
+    let rest = &args[1..];
+    let result = match cmd.as_str() {
+        "platforms" => {
+            cmd_platforms();
+            Ok(())
+        }
+        "export-platform" => {
+            let name = rest.first().map(String::as_str).unwrap_or("syshk");
+            platform_of(&name.to_lowercase()).map(|(p, _)| println!("{}", p.to_json()))
+        }
+        "simulate" => parse_options(rest).and_then(|(o, _)| cmd_simulate(&o)),
+        "trace" => parse_options(rest).and_then(|(o, _)| cmd_trace(&o)),
+        "encode" => parse_options(rest).and_then(|(o, pos)| {
+            let input = pos.first().ok_or("encode needs an input .y4m")?;
+            cmd_encode(&o, input, pos.get(1).map(String::as_str))
+        }),
+        "--help" | "-h" | "help" => {
+            usage();
+            Ok(())
+        }
+        other => Err(format!("unknown command '{other}'")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            usage();
+            ExitCode::from(1)
+        }
+    }
+}

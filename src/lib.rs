@@ -1,0 +1,13 @@
+#![warn(missing_docs)]
+//! FEVES umbrella crate: re-exports the public API of all workspace crates.
+//!
+//! See [`feves_core::FevesEncoder`] for the main entry point.
+
+pub use feves_codec as codec;
+pub use feves_core as core;
+pub use feves_hetsim as hetsim;
+pub use feves_lp as lp;
+pub use feves_sched as sched;
+pub use feves_video as video;
+
+pub use feves_core::prelude::*;

@@ -1,0 +1,141 @@
+//! Integration tests of the `feves` CLI binary (spawned as a subprocess,
+//! the way a user drives it).
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn feves_bin() -> PathBuf {
+    // target/<profile>/feves next to the test executable's directory.
+    let mut p = std::env::current_exe().expect("test exe path");
+    p.pop(); // deps/
+    p.pop(); // <profile>/
+    p.push(format!("feves{}", std::env::consts::EXE_SUFFIX));
+    p
+}
+
+fn run(args: &[&str]) -> (bool, String, String) {
+    let out = Command::new(feves_bin())
+        .args(args)
+        .output()
+        .expect("spawn feves binary (build it with the workspace)");
+    (
+        out.status.success(),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+#[test]
+fn platforms_lists_the_paper_systems() {
+    let (ok, stdout, _) = run(&["platforms"]);
+    assert!(ok);
+    for name in ["SysHK", "SysNF", "SysNFF", "GPU_K", "CPU_N"] {
+        assert!(stdout.contains(name), "missing {name} in:\n{stdout}");
+    }
+    assert!(stdout.contains("3072 MiB"), "Kepler memory missing");
+}
+
+#[test]
+fn simulate_reports_realtime_verdict() {
+    let (ok, stdout, _) = run(&[
+        "simulate",
+        "--platform",
+        "syshk",
+        "--sa",
+        "32",
+        "--refs",
+        "1",
+        "--frames",
+        "6",
+    ]);
+    assert!(ok);
+    assert!(stdout.contains("REAL-TIME"), "expected real-time verdict:\n{stdout}");
+    assert!(stdout.contains("steady state"));
+}
+
+#[test]
+fn trace_prints_gantt() {
+    let (ok, stdout, _) = run(&["trace", "--platform", "sysnff", "--frames", "4"]);
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("tau_tot"));
+    assert!(stdout.contains("legend:"));
+}
+
+#[test]
+fn bad_arguments_fail_with_usage() {
+    let (ok, _, stderr) = run(&["simulate", "--platform", "nonsense"]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown platform"));
+    let (ok2, _, stderr2) = run(&["frobnicate"]);
+    assert!(!ok2);
+    assert!(stderr2.contains("usage:"));
+}
+
+#[test]
+fn encode_roundtrips_a_y4m_file() {
+    // Generate a tiny input with the library, encode it via the CLI.
+    use feves::video::y4m::{Y4mHeader, Y4mWriter};
+    use feves::video::{Resolution, SynthConfig, SynthSequence};
+    let dir = std::env::temp_dir().join("feves_cli_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let input = dir.join("in.y4m");
+    let output = dir.join("out.y4m");
+    let mut synth = SynthConfig::tiny_test();
+    synth.resolution = Resolution::QCIF;
+    let mut seq = SynthSequence::new(synth);
+    let mut w = Y4mWriter::new(
+        std::io::BufWriter::new(std::fs::File::create(&input).unwrap()),
+        Y4mHeader {
+            resolution: Resolution::QCIF,
+            fps: (25, 1),
+        },
+    );
+    for _ in 0..3 {
+        w.write_frame(&seq.next_frame()).unwrap();
+    }
+    w.finish().unwrap();
+
+    let (ok, stdout, stderr) = run(&[
+        "encode",
+        input.to_str().unwrap(),
+        output.to_str().unwrap(),
+        "--sa",
+        "16",
+        "--refs",
+        "1",
+    ]);
+    assert!(ok, "stdout:\n{stdout}\nstderr:\n{stderr}");
+    assert!(stdout.contains("PSNR-Y"));
+    assert!(output.exists(), "reconstruction file written");
+    // The reconstruction parses as Y4M with the right frame count.
+    let mut r = feves::video::y4m::Y4mReader::new(std::io::BufReader::new(
+        std::fs::File::open(&output).unwrap(),
+    ))
+    .unwrap();
+    assert_eq!(r.read_all().unwrap().len(), 3);
+}
+
+#[test]
+fn export_platform_roundtrips_through_platform_file() {
+    let dir = std::env::temp_dir().join("feves_cli_platform");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("hk.json");
+    let (ok, json, _) = run(&["export-platform", "sysnff"]);
+    assert!(ok);
+    std::fs::write(&path, &json).unwrap();
+    let (ok2, stdout, stderr) = run(&[
+        "simulate",
+        "--platform-file",
+        path.to_str().unwrap(),
+        "--frames",
+        "6",
+    ]);
+    assert!(ok2, "{stderr}");
+    assert!(stdout.contains("SysNFF"), "loaded platform name:\n{stdout}");
+
+    // A corrupted platform file fails cleanly.
+    std::fs::write(&path, "{broken").unwrap();
+    let (ok3, _, stderr3) = run(&["simulate", "--platform-file", path.to_str().unwrap()]);
+    assert!(!ok3);
+    assert!(stderr3.contains("error"));
+}

@@ -1,0 +1,126 @@
+//! Cross-crate integration: synthetic video → collaborative functional
+//! encoding → entropy bitstream → decode → reconstruction checks, driving
+//! every workspace crate through the umbrella `feves` API.
+
+use feves::codec::entropy::decode_frame;
+use feves::core::prelude::*;
+use feves::video::metrics::psnr;
+use feves::video::y4m::{Y4mHeader, Y4mReader, Y4mWriter};
+use std::io::Cursor;
+
+fn frames(n: usize) -> Vec<feves::video::Frame> {
+    let mut cfg = SynthConfig::tiny_test();
+    cfg.resolution = Resolution::QCIF;
+    SynthSequence::new(cfg).take_frames(n)
+}
+
+fn functional_cfg() -> EncoderConfig {
+    let mut cfg = EncoderConfig::full_hd(EncodeParams {
+        search_area: SearchArea(16),
+        n_ref: 2,
+        ..Default::default()
+    });
+    cfg.resolution = Resolution::QCIF;
+    cfg.mode = ExecutionMode::Functional;
+    cfg
+}
+
+#[test]
+fn synth_to_bitstream_to_decode() {
+    let frames = frames(4);
+    let mut enc = FevesEncoder::new(Platform::sys_nff(), functional_cfg()).unwrap();
+    let report = enc.encode_sequence(&frames);
+
+    // Every inter frame carried bits and decodable structures were produced
+    // (the framework's bitstream is validated in-crate; here we re-encode a
+    // frame manually through the codec path to prove the full public API
+    // composes).
+    assert_eq!(report.frames.len(), 4);
+    assert!(report.total_bits() > 0);
+    assert!(report.mean_psnr().unwrap() > 30.0);
+
+    // Re-run the codec manually and decode its stream.
+    let intra = feves::codec::intra::encode_intra_frame(frames[0].y(), 27);
+    let mut store = feves::codec::ReferenceStore::new(2);
+    store.push(intra.recon);
+    let params = EncodeParams {
+        search_area: SearchArea(16),
+        n_ref: 2,
+        ..Default::default()
+    };
+    let out = feves::codec::encode_inter_frame(frames[1].y(), &store, &params);
+    let (modes, coeffs, qp) = decode_frame(&out.bitstream).expect("stream must decode");
+    assert_eq!(qp, params.qp);
+    assert_eq!(modes.mb_cols(), frames[0].y().width() / 16);
+    assert_eq!(coeffs.mb(0, 0), out.coeffs.mb(0, 0));
+}
+
+#[test]
+fn y4m_in_encode_y4m_out() {
+    // Write synthetic frames to Y4M, read them back, encode, write the
+    // reconstruction, read it again — the full I/O + codec round trip.
+    let src = frames(3);
+    let header = Y4mHeader {
+        resolution: Resolution::QCIF,
+        fps: (25, 1),
+    };
+    let mut w = Y4mWriter::new(Vec::new(), header);
+    for f in &src {
+        w.write_frame(f).unwrap();
+    }
+    let bytes = w.finish().unwrap();
+
+    let mut r = Y4mReader::new(Cursor::new(bytes)).unwrap();
+    let loaded = r.read_all().unwrap();
+    assert_eq!(loaded, src);
+
+    let mut enc = FevesEncoder::new(Platform::sys_hk(), functional_cfg()).unwrap();
+    let mut out = Y4mWriter::new(Vec::new(), header);
+    for f in &loaded {
+        let _ = enc.encode_frame(f);
+        let mut rf = f.clone();
+        rf.y_mut().copy_from(enc.last_reconstruction().unwrap());
+        out.write_frame(&rf).unwrap();
+    }
+    let recon_bytes = out.finish().unwrap();
+    let mut rr = Y4mReader::new(Cursor::new(recon_bytes)).unwrap();
+    let recon = rr.read_all().unwrap();
+    assert_eq!(recon.len(), 3);
+    // Reconstructions resemble their sources.
+    for (a, b) in recon.iter().zip(&loaded) {
+        assert!(psnr(a.y(), b.y()) > 30.0);
+    }
+}
+
+#[test]
+fn timing_and_functional_share_schedule_shape() {
+    // The same seed must produce the same simulated schedule whether or not
+    // the kernels actually run.
+    let frames = frames(4);
+    let mut timing_cfg = functional_cfg();
+    timing_cfg.mode = ExecutionMode::TimingOnly;
+    let mut enc_t = FevesEncoder::new(Platform::sys_hk(), timing_cfg).unwrap();
+    let mut enc_f = FevesEncoder::new(Platform::sys_hk(), functional_cfg()).unwrap();
+    let rep_f = enc_f.encode_sequence(&frames);
+    // Drive the timing encoder with the same frames for identical ramps.
+    let rep_t = enc_t.encode_sequence(&frames);
+    for (a, b) in rep_t.inter_frames().zip(rep_f.inter_frames()) {
+        assert_eq!(a.tau_tot, b.tau_tot, "virtual time must not depend on pixels");
+        assert!(b.bits.is_some() && a.bits.is_none());
+    }
+}
+
+#[test]
+fn umbrella_reexports_compose() {
+    // Spot-check that the facade exposes all the layers.
+    let _plane: feves::video::Plane<u8> = feves::video::Plane::new(16, 16);
+    let _mv = feves::codec::Mv::new(1, -1);
+    let mut lp = feves::lp::Problem::new(feves::lp::Sense::Minimize);
+    let x = lp.add_var("x", 1.0);
+    lp.add_constraint(&[(x, 1.0)], feves::lp::Relation::Ge, 3.0);
+    assert!((lp.solve().unwrap().value(x) - 3.0).abs() < 1e-9);
+    let p = feves::hetsim::Platform::sys_hk();
+    assert_eq!(p.len(), 5);
+    let d = feves::sched::Distribution::equidistant(68, 5, 0);
+    d.validate(68).unwrap();
+}

@@ -1,0 +1,111 @@
+//! Property tests of the full per-frame path (DAM plan → VCM graph →
+//! simulation) over randomized valid distributions: the schedule must
+//! always respect the τ structure and the transfer plan must conserve
+//! buffer rows, for any split the balancer could legally emit.
+
+use feves::codec::types::{EncodeParams, SearchArea};
+use feves::core::dam::DataManager;
+use feves::core::vcm::{build_frame_graph, FrameGeometry, MeasureKind};
+use feves::hetsim::{simulate, Deterministic, Platform};
+use feves::sched::Distribution;
+use proptest::prelude::*;
+
+const N: usize = 68;
+
+/// Split `total` into `parts` non-negative counts.
+fn arb_split(parts: usize) -> impl Strategy<Value = Vec<usize>> {
+    proptest::collection::vec(0usize..=N, parts - 1).prop_map(move |mut cuts| {
+        cuts.push(0);
+        cuts.push(N);
+        cuts.sort_unstable();
+        cuts.windows(2).map(|w| w[1] - w[0]).collect()
+    })
+}
+
+fn geo() -> FrameGeometry {
+    FrameGeometry {
+        mb_cols: 120,
+        n_rows: N,
+        width: 1920,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn any_valid_distribution_schedules_cleanly(
+        me in arb_split(6),
+        li in arb_split(6),
+        sm in arb_split(6),
+        rstar in 0usize..6,
+        budget_cap in proptest::option::of(0usize..N),
+        data_reuse in proptest::bool::ANY,
+        overlap in proptest::bool::ANY,
+        sa in prop_oneof![Just(32u16), Just(64)],
+        n_ref in 1usize..4,
+    ) {
+        let platform = Platform::sys_nff(); // 2 GPUs + 4 cores
+        let budget = vec![budget_cap.unwrap_or(usize::MAX); platform.len()];
+        let dist = Distribution::from_rows(me, li, sm, rstar, &budget, None);
+        dist.validate(N).unwrap();
+
+        let mask: Vec<bool> = platform.devices.iter().map(|d| d.is_accelerator()).collect();
+        let mut dam = DataManager::new(N, platform.len());
+        let params = EncodeParams {
+            search_area: SearchArea(sa),
+            n_ref,
+            ..Default::default()
+        };
+
+        // Two consecutive frames so the σʳ carry-over path runs too.
+        for _frame in 0..2 {
+            let plan = dam.plan(&dist, &mask, data_reuse);
+            // Transfer-plan conservation: a non-R* accelerator's SF arrives
+            // in exactly three pieces: own INT + Δl, eager σ, deferred σʳ.
+            for d in 0..platform.len() {
+                if !mask[d] || d == dist.rstar_device {
+                    continue;
+                }
+                if data_reuse {
+                    prop_assert_eq!(
+                        dist.interp[d] + dist.delta_l[d] + plan[d].sigma_up
+                            + dist.sigma_rem[d],
+                        N,
+                        "SF conservation for device {}", d
+                    );
+                }
+                prop_assert_eq!(plan[d].rf_up, N);
+            }
+            let fg = build_frame_graph(&dist, &plan, &platform, &params, geo(), overlap);
+            let sched = simulate(
+                &fg.graph,
+                &platform,
+                &platform.nominal_speeds(),
+                &mut Deterministic,
+            );
+            let sched = sched.expect("VCM graphs must never deadlock");
+            let t1 = sched.finish_of(fg.tau1);
+            let t2 = sched.finish_of(fg.tau2);
+            let tt = sched.finish_of(fg.tau_tot);
+            prop_assert!(t1 > 0.0);
+            prop_assert!(t1 <= t2 + 1e-12 && t2 <= tt + 1e-12);
+            prop_assert!((tt - sched.makespan).abs() < 1e-12);
+
+            // Measurement coverage: every device with assigned rows has a
+            // compute measurement for each balanced module it works on.
+            for (d, &rows) in dist.me.iter().enumerate() {
+                if rows > 0 {
+                    let covered = fg.measures.iter().any(|m| {
+                        matches!(m.kind,
+                            MeasureKind::Compute { device, module, .. }
+                                if device == d
+                                    && module == feves::codec::types::Module::Me)
+                    });
+                    prop_assert!(covered, "no ME measurement for device {}", d);
+                }
+            }
+            dam.commit(&dist, &mask, data_reuse).unwrap();
+        }
+    }
+}

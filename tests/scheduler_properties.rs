@@ -1,0 +1,174 @@
+//! Property-based tests of the scheduling stack on randomized platforms:
+//! whatever the device mix, Algorithm 2 must produce valid distributions
+//! whose predicted makespan never loses to the best single device, and the
+//! simulated execution must respect the synchronization structure.
+
+use feves::codec::types::Module;
+use feves::hetsim::device::{CopyEngines, DeviceKind, DeviceProfile, LinkProfile, ModuleTable};
+use feves::hetsim::platform::Platform;
+use feves::hetsim::timeline::{Dir, TransferTag};
+use feves::sched::{algorithm2, Centric, Ewma, PerfChar};
+use proptest::prelude::*;
+
+/// Build a random accelerator profile from speed knobs.
+fn accel(me_ms: f64, sme_ms: f64, bw_gbs: f64, dual: bool) -> DeviceProfile {
+    let table = ModuleTable::from_fn(|m| match m {
+        Module::Me => me_ms * 1e-3 / (120.0 * 68.0 * 1024.0),
+        Module::Interp => me_ms * 0.4e-3 / (120.0 * 68.0),
+        Module::Sme => sme_ms * 1e-3 / (120.0 * 68.0),
+        _ => 0.5e-3 / (120.0 * 68.0),
+    });
+    DeviceProfile {
+        name: "accel".into(),
+        kind: DeviceKind::Accelerator(if dual {
+            CopyEngines::Dual
+        } else {
+            CopyEngines::Single
+        }),
+        seconds_per_unit: table,
+        link: Some(LinkProfile {
+            h2d_bytes_per_sec: bw_gbs * 1e9,
+            d2h_bytes_per_sec: bw_gbs * 0.9e9,
+            latency_s: 10e-6,
+        }),
+        memory_bytes: None,
+    }
+}
+
+fn cpu_chip(me_ms: f64) -> DeviceProfile {
+    DeviceProfile {
+        name: "cpu".into(),
+        kind: DeviceKind::CpuCore,
+        seconds_per_unit: ModuleTable::from_fn(|m| match m {
+            Module::Me => me_ms * 1e-3 / (120.0 * 68.0 * 1024.0),
+            Module::Interp => me_ms * 0.3e-3 / (120.0 * 68.0),
+            Module::Sme => me_ms * 0.4e-3 / (120.0 * 68.0),
+            _ => 1.0e-3 / (120.0 * 68.0),
+        }),
+        link: None,
+        memory_bytes: None,
+    }
+}
+
+fn characterize(platform: &Platform) -> PerfChar {
+    let mut pc = PerfChar::new(platform.len(), Ewma(1.0));
+    for (i, dev) in platform.devices.iter().enumerate() {
+        pc.record_compute(i, Module::Me, 1, dev.compute_time(Module::Me, 120.0 * 1024.0, 1.0));
+        pc.record_compute(i, Module::Interp, 1, dev.compute_time(Module::Interp, 120.0, 1.0));
+        pc.record_compute(i, Module::Sme, 1, dev.compute_time(Module::Sme, 120.0, 1.0));
+        let rstar: f64 = Module::RSTAR
+            .iter()
+            .map(|&m| dev.compute_time(m, 120.0 * 68.0, 1.0))
+            .sum();
+        pc.record_rstar(i, rstar);
+        if let Some(link) = dev.link {
+            use feves::codec::workload::bytes_per_row as bpr;
+            for (tag, bytes) in [
+                (TransferTag::Cf, bpr::cf(1920)),
+                (TransferTag::Rf, bpr::rf(1920)),
+                (TransferTag::Sf, bpr::sf(1920)),
+                (TransferTag::Mv, bpr::mv(1920)),
+            ] {
+                pc.record_transfer(i, tag, Dir::H2d, 1, link.transfer_time(bytes, true));
+                pc.record_transfer(i, tag, Dir::D2h, 1, link.transfer_time(bytes, false));
+            }
+        }
+    }
+    pc
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// For random platforms, Algorithm 2 must return a valid distribution
+    /// whose predicted τtot beats (or ties) the fastest accelerator doing
+    /// everything alone.
+    #[test]
+    fn lp_beats_single_device(
+        me0 in 5.0f64..60.0,
+        me1 in 5.0f64..60.0,
+        sme0 in 2.0f64..25.0,
+        sme1 in 2.0f64..25.0,
+        cpu_me in 40.0f64..400.0,
+        bw in 2.0f64..16.0,
+        dual in proptest::bool::ANY,
+        cores in 1usize..5,
+    ) {
+        let platform = Platform::build(
+            vec![accel(me0, sme0, bw, dual), accel(me1, sme1, bw, !dual)],
+            &cpu_chip(cpu_me),
+            cores,
+        );
+        let perf = characterize(&platform);
+        let sigma_prev = vec![0usize; platform.len()];
+        let dist = algorithm2::solve(68, &platform, &perf, Centric::Gpu(0), &sigma_prev)
+            .expect("random platform LPs must be feasible");
+        dist.validate(68).unwrap();
+        let pred = dist.predicted.unwrap();
+        prop_assert!(pred.tau1 <= pred.tau2 + 1e-9 && pred.tau2 <= pred.tau_tot + 1e-9);
+
+        // Compute-only lower bound comparison: the collaborative makespan
+        // must not exceed the best device's solo compute time by more than
+        // the communication slack.
+        let solo = |d: usize| {
+            68.0 * (perf.k_me(d).unwrap() + perf.k_sme(d).unwrap())
+                + 68.0 * perf.k_int(d).unwrap().max(0.0)
+        };
+        let best_solo = (0..platform.len()).map(solo).fold(f64::INFINITY, f64::min);
+        prop_assert!(
+            pred.tau_tot <= best_solo * 1.6 + 0.05,
+            "collaboration ({}) much worse than best solo ({})",
+            pred.tau_tot, best_solo
+        );
+    }
+
+    /// Running the distribution through the DAM + VCM + simulator must keep
+    /// the τ ordering and stay within a sane factor of the LP's prediction.
+    #[test]
+    fn simulated_schedule_respects_prediction(
+        me0 in 8.0f64..40.0,
+        sme0 in 3.0f64..20.0,
+        cpu_me in 60.0f64..300.0,
+        bw in 4.0f64..14.0,
+        cores in 2usize..5,
+    ) {
+        use feves::core::dam::DataManager;
+        use feves::core::vcm::{build_frame_graph, FrameGeometry};
+        use feves::hetsim::{simulate, Deterministic};
+        use feves::codec::types::{EncodeParams, SearchArea};
+
+        let platform = Platform::build(
+            vec![accel(me0, sme0, bw, true)],
+            &cpu_chip(cpu_me),
+            cores,
+        );
+        let perf = characterize(&platform);
+        let dist = algorithm2::solve(
+            68, &platform, &perf, Centric::Gpu(0), &vec![0; platform.len()],
+        ).unwrap();
+        let dam = DataManager::new(68, platform.len());
+        let mask: Vec<bool> = platform.devices.iter().map(|d| d.is_accelerator()).collect();
+        let plan = dam.plan(&dist, &mask, true);
+        let params = EncodeParams {
+            search_area: SearchArea(32),
+            n_ref: 1,
+            ..Default::default()
+        };
+        let geo = FrameGeometry { mb_cols: 120, n_rows: 68, width: 1920 };
+        let fg = build_frame_graph(&dist, &plan, &platform, &params, geo, true);
+        let sched = simulate(&fg.graph, &platform, &platform.nominal_speeds(), &mut Deterministic)
+            .unwrap();
+        let t1 = sched.finish_of(fg.tau1);
+        let t2 = sched.finish_of(fg.tau2);
+        let tt = sched.finish_of(fg.tau_tot);
+        prop_assert!(t1 <= t2 + 1e-12 && t2 <= tt + 1e-12);
+        let pred = dist.predicted.unwrap();
+        // The simulator honours FIFO queues the LP idealizes away, so allow
+        // generous slack — but the two must stay in the same ballpark.
+        prop_assert!(
+            tt <= pred.tau_tot * 2.0 + 0.01 && tt >= pred.tau_tot * 0.4 - 0.01,
+            "simulated {} vs predicted {}",
+            tt, pred.tau_tot
+        );
+    }
+}
