@@ -1,0 +1,82 @@
+//! Observability overhead bench: recording metrics and spans must not eat
+//! into the paper's < 2 ms scheduling-overhead budget.
+//!
+//! Two measurements:
+//!
+//! 1. A criterion group timing the recorder hot path (counter + histogram +
+//!    span) against the `NoopRecorder` baseline — the per-event cost.
+//! 2. An end-to-end acceptance check: a full SysHK timing run with a
+//!    `MemoryRecorder` attached still reports per-frame scheduling overhead
+//!    below 2 ms (both the wall-clock report and the recorded
+//!    `sched.overhead_us` histogram). The bench exits non-zero on failure.
+
+use criterion::{criterion_group, BenchmarkId, Criterion};
+use feves_bench::hd_config;
+use feves_core::prelude::*;
+use feves_obs::{MemoryRecorder, Metric, NoopRecorder, Recorder};
+use std::sync::Arc;
+
+fn bench_recorder_hot_path(c: &mut Criterion) {
+    let mut group = c.benchmark_group("obs_event");
+    let recorders: [(&str, Arc<dyn Recorder>); 2] = [
+        ("noop", Arc::new(NoopRecorder)),
+        ("memory", Arc::new(MemoryRecorder::new())),
+    ];
+    for (name, rec) in recorders {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &rec, |b, r| {
+            b.iter(|| {
+                let _span = feves_obs::span!(r.clone(), "bench.span");
+                r.add(Metric::FramesEncoded, 1);
+                r.observe(Metric::FrameTau1Ms, 12.5);
+                std::hint::black_box(r.enabled())
+            });
+        });
+    }
+    group.finish();
+}
+
+/// Budget from §IV of the paper: scheduling must stay under 2 ms per
+/// inter-frame, recording enabled.
+const BUDGET_US: f64 = 2_000.0;
+
+fn acceptance_check() {
+    let rec = Arc::new(MemoryRecorder::new());
+    let mut enc = FevesEncoder::new(Platform::sys_hk(), hd_config(32, 2, BalancerKind::Feves))
+        .expect("valid bench config");
+    enc.set_recorder(rec.clone());
+    let report = enc.run_timing(16);
+
+    let wall_max_us = report.max_sched_overhead() * 1e6;
+    let hist = rec.histogram(Metric::SchedOverheadUs);
+    let hist_max_us = hist.max();
+    println!(
+        "acceptance: sched overhead with recording enabled — wall max {:.1} us, \
+         recorded max {:.1} us over {} frames (budget {} us)",
+        wall_max_us,
+        hist_max_us,
+        hist.count(),
+        BUDGET_US
+    );
+    assert!(
+        hist.count() > 0,
+        "recorder saw no sched.overhead_us samples"
+    );
+    let pass = wall_max_us < BUDGET_US && hist_max_us < BUDGET_US;
+    println!("acceptance: {}", if pass { "PASS" } else { "FAIL" });
+    assert!(
+        pass,
+        "scheduling overhead exceeded the 2 ms budget with recording enabled"
+    );
+}
+
+criterion_group!(benches, bench_recorder_hot_path);
+
+fn main() {
+    // `cargo test` runs harness-less bench binaries with `--test`; the
+    // acceptance run alone would add seconds to the suite.
+    if std::env::args().any(|a| a == "--test") {
+        return;
+    }
+    benches();
+    acceptance_check();
+}

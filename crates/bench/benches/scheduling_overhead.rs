@@ -13,8 +13,18 @@ use feves_sched::{BalanceInput, Ewma, FevesBalancer, LoadBalancer, PerfChar};
 fn perfchar_for(platform: &Platform) -> PerfChar {
     let mut pc = PerfChar::new(platform.len(), Ewma(1.0));
     for (i, dev) in platform.devices.iter().enumerate() {
-        pc.record_compute(i, Module::Me, 1, dev.compute_time(Module::Me, 120.0 * 1024.0, 1.0));
-        pc.record_compute(i, Module::Interp, 1, dev.compute_time(Module::Interp, 120.0, 1.0));
+        pc.record_compute(
+            i,
+            Module::Me,
+            1,
+            dev.compute_time(Module::Me, 120.0 * 1024.0, 1.0),
+        );
+        pc.record_compute(
+            i,
+            Module::Interp,
+            1,
+            dev.compute_time(Module::Interp, 120.0, 1.0),
+        );
         pc.record_compute(i, Module::Sme, 1, dev.compute_time(Module::Sme, 120.0, 1.0));
         let rstar: f64 = [Module::Mc, Module::Tq, Module::Itq, Module::Dbl]
             .iter()

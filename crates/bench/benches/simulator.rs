@@ -37,11 +37,7 @@ fn bench_lp_solver(c: &mut Criterion) {
             let all: Vec<_> = vars.iter().map(|&v| (v, 1.0)).collect();
             lp.add_constraint(&all, Relation::Eq, 68.0);
             for (i, &v) in vars.iter().enumerate() {
-                lp.add_constraint(
-                    &[(v, 0.5 + i as f64 * 0.3), (tau, -1.0)],
-                    Relation::Le,
-                    0.0,
-                );
+                lp.add_constraint(&[(v, 0.5 + i as f64 * 0.3), (tau, -1.0)], Relation::Le, 0.0);
             }
             std::hint::black_box(lp.solve().unwrap())
         });

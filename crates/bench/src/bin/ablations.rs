@@ -71,20 +71,31 @@ fn main() {
     for (variant, reuse) in [("Δ/σ reuse (Fig 5)", true), ("full retransfer", false)] {
         let mut cfg = hd_config(32, 2, BalancerKind::Feves);
         cfg.data_reuse = reuse;
-        emit("data reuse", variant, fps_with(cfg, Platform::sys_nff(), 16, 5));
+        emit(
+            "data reuse",
+            variant,
+            fps_with(cfg, Platform::sys_nff(), 16, 5),
+        );
     }
 
     // 3. Overlap.
     for (variant, overlap) in [("overlapped (Fig 4)", true), ("synchronous phases", false)] {
         let mut cfg = hd_config(32, 2, BalancerKind::Feves);
         cfg.overlap = overlap;
-        emit("comm overlap", variant, fps_with(cfg, Platform::sys_nff(), 16, 5));
+        emit(
+            "comm overlap",
+            variant,
+            fps_with(cfg, Platform::sys_nff(), 16, 5),
+        );
     }
 
     // 4. R* mapping.
     for (variant, kind) in [
         ("dijkstra (auto)", BalancerKind::Feves),
-        ("pinned GPU-centric", BalancerKind::FevesFixed(Centric::Gpu(0))),
+        (
+            "pinned GPU-centric",
+            BalancerKind::FevesFixed(Centric::Gpu(0)),
+        ),
         ("pinned CPU-centric", BalancerKind::FevesFixed(Centric::Cpu)),
     ] {
         let fps = fps_with(hd_config(32, 2, kind), Platform::sys_nff(), 16, 5);
@@ -99,11 +110,7 @@ fn main() {
     ] {
         let mut cfg = hd_config(32, 2, BalancerKind::Feves);
         cfg.ewma = feves_sched::Ewma(alpha);
-        emit(
-            "perf char",
-            variant,
-            fps_perturbed(cfg, Platform::sys_hk()),
-        );
+        emit("perf char", variant, fps_perturbed(cfg, Platform::sys_hk()));
     }
 
     write_json("ablations", &rows);

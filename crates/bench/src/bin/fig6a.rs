@@ -6,7 +6,8 @@
 //! cargo run -p feves-bench --release --bin fig6a
 //! ```
 
-use feves_bench::{rt_mark, standard_configs, steady_fps, write_json};
+use feves_bench::{hd_config, rt_mark, run_hd, standard_configs, steady_fps, write_json};
+use feves_core::prelude::*;
 use serde::Serialize;
 
 #[derive(Serialize)]
@@ -41,6 +42,17 @@ fn main() {
         println!();
     }
     write_json("fig6a", &records);
+    let rep = run_hd(
+        Platform::sys_hk(),
+        hd_config(32, 1, BalancerKind::Feves),
+        17,
+    );
+    if let Some(r) = rep.tau_tot_rollup() {
+        println!(
+            "\nSysHK 32x32/1RF per-frame rollup: p50 {:.1} / p95 {:.1} / p99 {:.1} ms",
+            r.p50, r.p95, r.p99
+        );
+    }
     println!(
         "\npaper shape: fps roughly quarters per SA step (ME quadruples);\n\
          both GPUs and all three systems real-time at 32x32; SysHK also at 64x64."

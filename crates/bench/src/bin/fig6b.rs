@@ -7,7 +7,8 @@
 //! cargo run -p feves-bench --release --bin fig6b
 //! ```
 
-use feves_bench::{rt_mark, standard_configs, steady_fps, write_json};
+use feves_bench::{hd_config, rt_mark, run_hd, standard_configs, steady_fps, write_json};
+use feves_core::prelude::*;
 use serde::Serialize;
 use std::collections::BTreeMap;
 
@@ -94,4 +95,17 @@ fn main() {
         ("gpuk_vs_gpuf_avg", avg_ratio("GPU_K", "GPU_F")),
     ]);
     write_json("fig6b_speedups", &speedups);
+
+    let rep = run_hd(
+        Platform::sys_hk(),
+        hd_config(32, 2, BalancerKind::Feves),
+        18,
+    );
+    if let (Some(tau), Some(sched)) = (rep.tau_tot_rollup(), rep.sched_overhead_rollup()) {
+        println!(
+            "\nSysHK 32x32/2RF per-frame rollup: tau_tot p50 {:.1} / p95 {:.1} / p99 {:.1} ms; \
+             sched overhead p99 {:.2} ms",
+            tau.p50, tau.p95, tau.p99, sched.p99
+        );
+    }
 }

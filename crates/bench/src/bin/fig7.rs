@@ -45,31 +45,40 @@ fn trace(sa: u16, n_ref: usize, perturb: &[usize], panel: &'static str) -> Trace
 }
 
 fn print_trace(t: &Trace) {
-    println!("\n{} — {} RF (encoding time per frame [ms]):", t.panel, t.n_ref);
+    println!(
+        "\n{} — {} RF (encoding time per frame [ms]):",
+        t.panel, t.n_ref
+    );
     for (i, ms) in t.times_ms.iter().enumerate() {
         let frame = i + 1;
         if frame <= 8
             || frame % 10 == 0
-            || t.perturbed_frames.iter().any(|&p| frame >= p && frame <= p + 2)
+            || t.perturbed_frames
+                .iter()
+                .any(|&p| frame >= p && frame <= p + 2)
         {
             let mark = if t.perturbed_frames.contains(&frame) {
                 "  <- perturbation"
             } else {
                 ""
             };
-            let bar: String = std::iter::repeat_n('#', (ms / 2.5).round() as usize)
-                .collect();
+            let bar: String = std::iter::repeat_n('#', (ms / 2.5).round() as usize).collect();
             println!("  f{frame:03} {ms:7.2} |{bar}{mark}");
         }
     }
-    let steady: f64 =
-        t.times_ms[10..].iter().sum::<f64>() / (t.times_ms.len() - 10) as f64;
+    let steady: f64 = t.times_ms[10..].iter().sum::<f64>() / (t.times_ms.len() - 10) as f64;
     println!(
         "  equidistant frame 1: {:.1} ms; steady state: {:.1} ms ({} real-time)",
         t.times_ms[0],
         steady,
         if steady <= 40.0 { "is" } else { "NOT" }
     );
+    if let Some(r) = Rollup::from_values(t.times_ms.clone()) {
+        println!(
+            "  rollup: p50 {:.1} / p95 {:.1} / p99 {:.1} ms",
+            r.p50, r.p95, r.p99
+        );
+    }
 }
 
 fn main() {

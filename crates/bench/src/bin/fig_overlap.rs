@@ -27,11 +27,7 @@ fn frame_ms(platform: Platform, sa: u16, rf: usize) -> f64 {
     cfg.noise_amp = 0.0;
     let mut enc = FevesEncoder::new(platform, cfg).unwrap();
     let rep = enc.run_timing(12 + rf);
-    let steady: Vec<f64> = rep
-        .inter_frames()
-        .skip(rf + 4)
-        .map(|f| f.tau_tot)
-        .collect();
+    let steady: Vec<f64> = rep.inter_frames().skip(rf + 4).map(|f| f.tau_tot).collect();
     steady.iter().sum::<f64>() / steady.len() as f64 * 1e3
 }
 
@@ -61,7 +57,10 @@ fn main() {
         "system", "SA", "RFs", "single [ms]", "dual [ms]", "gain"
     );
     let mut rows = Vec::new();
-    for (name, base) in [("SysHK", Platform::sys_hk()), ("SysNFF", Platform::sys_nff())] {
+    for (name, base) in [
+        ("SysHK", Platform::sys_hk()),
+        ("SysNFF", Platform::sys_nff()),
+    ] {
         for (sa, rf) in [(32u16, 1usize), (32, 4), (64, 1)] {
             let single = frame_ms(with_engines(base.clone(), CopyEngines::Single), sa, rf);
             let dual = frame_ms(with_engines(base.clone(), CopyEngines::Dual), sa, rf);
@@ -92,7 +91,10 @@ fn main() {
         "{:>8} {:>6} {:>5} {:>12} {:>12} {:>8}",
         "system", "SA", "RFs", "single [ms]", "dual [ms]", "gain"
     );
-    for (name, base) in [("SysHK", Platform::sys_hk()), ("SysNFF", Platform::sys_nff())] {
+    for (name, base) in [
+        ("SysHK", Platform::sys_hk()),
+        ("SysNFF", Platform::sys_nff()),
+    ] {
         for (sa, rf) in [(32u16, 1usize), (32, 4)] {
             let single = frame_ms(
                 narrow_links(with_engines(base.clone(), CopyEngines::Single), 6.0),

@@ -68,7 +68,9 @@ fn main() {
     write_json("rd_sweep", &points);
 
     // Sanity: RD monotonicity.
-    let mono_rate = points.windows(2).all(|w| w[1].kbits_per_frame <= w[0].kbits_per_frame * 1.02);
+    let mono_rate = points
+        .windows(2)
+        .all(|w| w[1].kbits_per_frame <= w[0].kbits_per_frame * 1.02);
     let mono_psnr = points.windows(2).all(|w| w[1].psnr_y <= w[0].psnr_y + 0.2);
     println!(
         "\nrate monotone: {} | distortion monotone: {}",

@@ -34,8 +34,18 @@ fn perfchar(platform: &Platform) -> PerfChar {
     use feves_hetsim::timeline::{Dir, TransferTag};
     let mut pc = PerfChar::new(platform.len(), Ewma(1.0));
     for (i, dev) in platform.devices.iter().enumerate() {
-        pc.record_compute(i, Module::Me, 1, dev.compute_time(Module::Me, 120.0 * 1024.0, 1.0));
-        pc.record_compute(i, Module::Interp, 1, dev.compute_time(Module::Interp, 120.0, 1.0));
+        pc.record_compute(
+            i,
+            Module::Me,
+            1,
+            dev.compute_time(Module::Me, 120.0 * 1024.0, 1.0),
+        );
+        pc.record_compute(
+            i,
+            Module::Interp,
+            1,
+            dev.compute_time(Module::Interp, 120.0, 1.0),
+        );
         pc.record_compute(i, Module::Sme, 1, dev.compute_time(Module::Sme, 120.0, 1.0));
         let rstar: f64 = Module::RSTAR
             .iter()
@@ -68,12 +78,10 @@ fn main() {
     let mut base_fps = 0.0;
     for n in 1..=6usize {
         let gpus = vec![gpu_fermi(); n];
-        let platform = Platform::build(gpus, &cpu_nehalem(), 4)
-            .named(format!("CPU_N+{n}xGPU_F"));
-        let feves = run_hd(platform.clone(), hd_config(32, 1, BalancerKind::Feves), 14)
-            .steady_fps(4);
-        let equi =
-            run_hd(platform, hd_config(32, 1, BalancerKind::Equidistant), 14).steady_fps(4);
+        let platform = Platform::build(gpus, &cpu_nehalem(), 4).named(format!("CPU_N+{n}xGPU_F"));
+        let feves =
+            run_hd(platform.clone(), hd_config(32, 1, BalancerKind::Feves), 14).steady_fps(4);
+        let equi = run_hd(platform, hd_config(32, 1, BalancerKind::Equidistant), 14).steady_fps(4);
         if n == 1 {
             base_fps = feves;
         }
@@ -94,7 +102,10 @@ fn main() {
     // Shared-PCIe contention: the realistic desktop case where all GPUs sit
     // behind one host interconnect.
     println!("\nshared host interconnect (all GPUs behind one PCIe root):\n");
-    println!("{:>5} {:>14} {:>12} {:>8}", "GPUs", "dedicated fps", "shared fps", "loss");
+    println!(
+        "{:>5} {:>14} {:>12} {:>8}",
+        "GPUs", "dedicated fps", "shared fps", "loss"
+    );
     for n in [2usize, 4, 6] {
         let gpus = vec![gpu_fermi(); n];
         let dedicated = Platform::build(gpus.clone(), &cpu_nehalem(), 4);
@@ -108,7 +119,10 @@ fn main() {
     }
 
     println!("\nLP vs schedule-level oracle (makespan, lower is better):\n");
-    println!("{:>8} {:>10} {:>10} {:>7}", "system", "LP [ms]", "oracle[ms]", "gap");
+    println!(
+        "{:>8} {:>10} {:>10} {:>7}",
+        "system", "LP [ms]", "oracle[ms]", "gap"
+    );
     let geometry = FrameGeometry {
         mb_cols: 120,
         n_rows: 68,

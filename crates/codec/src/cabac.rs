@@ -346,7 +346,12 @@ pub fn encode_frame_cabac(
     let mut e = ArithEncoder::new();
     let mut m = Models::new();
     // Plain header bits (dimensions + qp) via bypass.
-    for v in [modes.mb_cols() as u32, modes.mb_rows() as u32, qp as u32, chroma.is_some() as u32] {
+    for v in [
+        modes.mb_cols() as u32,
+        modes.mb_rows() as u32,
+        qp as u32,
+        chroma.is_some() as u32,
+    ] {
         for i in (0..16).rev() {
             e.encode_bypass((v >> i) & 1 == 1);
         }
@@ -433,11 +438,7 @@ pub fn decode_frame_cabac(
                 *slot = SmeBlockMv { rf, mv, cost: 0 };
                 pred.record(x4, y4, w4, h4, mv);
             }
-            *modes.mb_mut(mbx, mby) = MbMode {
-                mode,
-                mvs,
-                cost: 0,
-            };
+            *modes.mb_mut(mbx, mby) = MbMode { mode, mvs, cost: 0 };
             let mut mc = MbCoeffs::default();
             for (b, blk) in mc.blocks.iter_mut().enumerate() {
                 *blk = decode_block(&mut d, &mut m, false)?;
@@ -554,10 +555,7 @@ mod tests {
                 let mode = ALL_PARTITION_MODES[(mbx * 3 + mby) % 7];
                 let mut mvs = [SmeBlockMv::default(); 16];
                 for (i, mv) in mvs.iter_mut().enumerate().take(mode.count()) {
-                    mv.mv = QpelMv::new(
-                        (mbx as i16) * 4 + i as i16,
-                        (mby as i16) * 2 - 3,
-                    );
+                    mv.mv = QpelMv::new((mbx as i16) * 4 + i as i16, (mby as i16) * 2 - 3);
                     mv.rf = ((mbx + i) % 2) as u8;
                 }
                 *modes.mb_mut(mbx, mby) = MbMode { mode, mvs, cost: 0 };

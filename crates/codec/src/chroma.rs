@@ -63,16 +63,14 @@ pub fn predict_chroma_block(
     for row in 0..h {
         for col in 0..w {
             dst[row * w + col] =
-                sample_eighth_pel(reference, x0 + col as isize, y0 + row as isize, fx, fy)
-                    as i16;
+                sample_eighth_pel(reference, x0 + col as isize, y0 + row as isize, fx, fy) as i16;
         }
     }
 }
 
 /// Quantized chroma coefficients of one macroblock: four 4×4 blocks per
 /// component covering its 8×8 chroma footprint.
-#[derive(Clone, Debug, PartialEq, Eq)]
-#[derive(Default)]
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
 pub struct MbChromaCoeffs {
     /// Cb blocks (raster order within the 8×8 region).
     pub cb: [[i16; 16]; 4],
@@ -81,7 +79,6 @@ pub struct MbChromaCoeffs {
     /// Bits 0–3: coded Cb blocks; bits 4–7: coded Cr blocks.
     pub coded_mask: u8,
 }
-
 
 /// Chroma coefficients for a frame.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -216,8 +213,8 @@ pub fn encode_chroma_inter(
         for mbx in 0..mb_cols {
             let m = modes.mb(mbx, mby);
             let (cx, cy) = (mbx * 8, mby * 8); // chroma MB anchor
-            // Build the 8x8 chroma prediction from the winning partitions
-            // (each luma partition maps to a half-size chroma block).
+                                               // Build the 8x8 chroma prediction from the winning partitions
+                                               // (each luma partition maps to a half-size chroma block).
             let mode = m.mode;
             let (lw, lh) = mode.dims();
             let (w, h) = (lw / 2, lh / 2);
@@ -244,10 +241,8 @@ pub fn encode_chroma_inter(
                     }
                 }
             }
-            let (cb, cb_mask, b1) =
-                code_region(cf_u, &pred_u, cx, cy, qp_c, false, &mut recon_u);
-            let (cr, cr_mask, b2) =
-                code_region(cf_v, &pred_v, cx, cy, qp_c, false, &mut recon_v);
+            let (cb, cb_mask, b1) = code_region(cf_u, &pred_u, cx, cy, qp_c, false, &mut recon_u);
+            let (cr, cr_mask, b2) = code_region(cf_v, &pred_v, cx, cy, qp_c, false, &mut recon_v);
             let mb = coeffs.mb_mut(mbx, mby);
             mb.cb = cb;
             mb.cr = cr;
@@ -373,7 +368,10 @@ mod tests {
         let mut dst = [0i16; 4];
         // fx = 4/8: halfway between columns.
         predict_chroma_block(&rf, 4, 2, QpelMv::new(4, 0), 2, 2, &mut dst);
-        assert_eq!(dst[0], ((rf.get(4, 2) as i32 + rf.get(5, 2) as i32 + 1) / 2) as i16);
+        assert_eq!(
+            dst[0],
+            ((rf.get(4, 2) as i32 + rf.get(5, 2) as i32 + 1) / 2) as i16
+        );
     }
 
     fn zero_mode_field(mb_cols: usize, mb_rows: usize) -> ModeField {
@@ -478,12 +476,19 @@ mod tests {
                 let quad = (sy / 4) * 2 + sx / 4;
                 let m = QpelMv::new((quad as i16) * 8, 8 - (quad as i16) * 8);
                 let _ = (mbx, mby);
-                rf.get_clamped(x as isize + (m.x / 8) as isize, y as isize + (m.y / 8) as isize)
+                rf.get_clamped(
+                    x as isize + (m.x / 8) as isize,
+                    y as isize + (m.y / 8) as isize,
+                )
             })
         };
         let cf_u = make_cf(&rf_u);
         let cf_v = make_cf(&rf_v);
         let out = encode_chroma_inter(&cf_u, &cf_v, &[&rf_u], &[&rf_v], &modes, 28);
-        assert_eq!(out.coeffs.nonzero_levels(), 0, "per-partition MVs must match");
+        assert_eq!(
+            out.coeffs.nonzero_levels(),
+            0,
+            "per-partition MVs must match"
+        );
     }
 }

@@ -29,8 +29,8 @@ const ALPHA: [u8; 52] = [
 
 /// β activity threshold, indexed by QP (H.264 Table 8-16).
 const BETA: [u8; 52] = [
-    0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 2, 2, 2, 3, 3, 3, 3, 4, 4, 4, 6, 6, 7, 7, 8,
-    8, 9, 9, 10, 10, 11, 11, 12, 12, 13, 13, 14, 14, 15, 15, 16, 16, 17, 17, 18, 18,
+    0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 2, 2, 2, 3, 3, 3, 3, 4, 4, 4, 6, 6, 7, 7, 8, 8,
+    9, 9, 10, 10, 11, 11, 12, 12, 13, 13, 14, 14, 15, 15, 16, 16, 17, 17, 18, 18,
 ];
 
 /// Boundary strength of an edge between two 4×4 blocks.
@@ -68,10 +68,7 @@ fn block_info(modes: &ModeField, coeffs: &CoeffField, bx4: usize, by4: usize) ->
 fn boundary_strength(p: BlockInfo, q: BlockInfo) -> BoundaryStrength {
     if p.coded || q.coded {
         BoundaryStrength(2)
-    } else if p.rf != q.rf
-        || (p.mv.x - q.mv.x).abs() >= 4
-        || (p.mv.y - q.mv.y).abs() >= 4
-    {
+    } else if p.rf != q.rf || (p.mv.x - q.mv.x).abs() >= 4 || (p.mv.y - q.mv.y).abs() >= 4 {
         BoundaryStrength(1)
     } else {
         BoundaryStrength(0)
@@ -489,10 +486,7 @@ mod tests {
         assert_eq!(boundary_strength(p, q_same).0, 0);
         assert_eq!(boundary_strength(p, q_far).0, 1);
         assert_eq!(boundary_strength(p, q_rf).0, 1);
-        let coded = BlockInfo {
-            coded: true,
-            ..p
-        };
+        let coded = BlockInfo { coded: true, ..p };
         assert_eq!(boundary_strength(coded, q_same).0, 2);
     }
 

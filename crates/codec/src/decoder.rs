@@ -59,8 +59,8 @@ fn reconstruct_luma(
                 for row in 0..4 {
                     for col in 0..4 {
                         let idx = (by + row) * MB_SIZE + bx + col;
-                        let v = (pbuf[idx].clamp(0, 255) + residual[row * 4 + col])
-                            .clamp(0, 255) as u8;
+                        let v =
+                            (pbuf[idx].clamp(0, 255) + residual[row * 4 + col]).clamp(0, 255) as u8;
                         recon.set(cx + bx + col, cy + by + row, v);
                     }
                 }
@@ -197,8 +197,8 @@ mod tests {
         store.push(intra.recon);
         for f in &frames[1..] {
             let out = encode_inter_frame(f.y(), &store, &params);
-            let decoded = decode_inter_frame(&out.bitstream, &store)
-                .expect("own stream must decode");
+            let decoded =
+                decode_inter_frame(&out.bitstream, &store).expect("own stream must decode");
             assert_eq!(decoded.qp, params.qp);
             assert_eq!(
                 decoded.y, out.recon,

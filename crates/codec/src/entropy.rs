@@ -328,14 +328,7 @@ pub fn decode_mb(r: &mut BitReader<'_>) -> Result<(MbMode, MbCoeffs), DecodeErro
             coeffs.blocks[b] = decode_block(r)?;
         }
     }
-    Ok((
-        MbMode {
-            mode,
-            mvs,
-            cost: 0,
-        },
-        coeffs,
-    ))
+    Ok((MbMode { mode, mvs, cost: 0 }, coeffs))
 }
 
 /// Encode one inter macroblock with median MV prediction (see
@@ -401,14 +394,7 @@ pub fn decode_mb_pred(
             coeffs.blocks[b] = decode_block(r)?;
         }
     }
-    Ok((
-        MbMode {
-            mode,
-            mvs,
-            cost: 0,
-        },
-        coeffs,
-    ))
+    Ok((MbMode { mode, mvs, cost: 0 }, coeffs))
 }
 
 /// Encode one macroblock's chroma coefficients (mask + coded blocks).
@@ -463,7 +449,14 @@ pub fn encode_frame_yuv(
     let mut pred = MvPredictor::new(modes.mb_cols(), modes.mb_rows());
     for mby in 0..modes.mb_rows() {
         for mbx in 0..modes.mb_cols() {
-            encode_mb_pred(&mut w, modes.mb(mbx, mby), coeffs.mb(mbx, mby), mbx, mby, &mut pred);
+            encode_mb_pred(
+                &mut w,
+                modes.mb(mbx, mby),
+                coeffs.mb(mbx, mby),
+                mbx,
+                mby,
+                &mut pred,
+            );
             encode_mb_chroma(&mut w, chroma.mb(mbx, mby));
         }
     }
@@ -508,7 +501,14 @@ pub fn encode_frame(modes: &ModeField, coeffs: &CoeffField, qp: u8) -> (Bytes, u
     let mut pred = MvPredictor::new(modes.mb_cols(), modes.mb_rows());
     for mby in 0..modes.mb_rows() {
         for mbx in 0..modes.mb_cols() {
-            encode_mb_pred(&mut w, modes.mb(mbx, mby), coeffs.mb(mbx, mby), mbx, mby, &mut pred);
+            encode_mb_pred(
+                &mut w,
+                modes.mb(mbx, mby),
+                coeffs.mb(mbx, mby),
+                mbx,
+                mby,
+                &mut pred,
+            );
         }
     }
     let bits = w.bit_len();
@@ -620,11 +620,7 @@ mod tests {
                         cost: 0,
                     };
                 }
-                *modes.mb_mut(mbx, mby) = MbMode {
-                    mode,
-                    mvs,
-                    cost: 0,
-                };
+                *modes.mb_mut(mbx, mby) = MbMode { mode, mvs, cost: 0 };
                 let mb = coeffs.mb_mut(mbx, mby);
                 if (mbx + mby) % 2 == 0 {
                     mb.blocks[3][0] = 9;
@@ -701,13 +697,15 @@ mod mvpred_tests {
         p.record(4, 0, 4, 4, QpelMv::new(8, 8)); // above
         p.record(8, 0, 4, 4, QpelMv::new(16, 0)); // above-right
         p.record(0, 4, 4, 4, QpelMv::new(4, 4)); // left
-        // A=(4,4) B=(8,8) C=(16,0) → median = (8, 4).
+                                                 // A=(4,4) B=(8,8) C=(16,0) → median = (8, 4).
         assert_eq!(p.predict(4, 4, 4), QpelMv::new(8, 4));
     }
 
-    fn field_with_mv(mb_cols: usize, mb_rows: usize, f: impl Fn(usize, usize) -> QpelMv)
-        -> (ModeField, CoeffField)
-    {
+    fn field_with_mv(
+        mb_cols: usize,
+        mb_rows: usize,
+        f: impl Fn(usize, usize) -> QpelMv,
+    ) -> (ModeField, CoeffField) {
         let mut modes = ModeField::new(mb_cols, mb_rows);
         let coeffs = CoeffField::new(mb_cols, mb_rows);
         for mby in 0..mb_rows {

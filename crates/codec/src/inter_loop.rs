@@ -186,7 +186,10 @@ pub fn encode_inter_frame(
     store: &ReferenceStore,
     params: &EncodeParams,
 ) -> InterFrameOutput {
-    assert!(!store.is_empty(), "inter frame needs at least one reference");
+    assert!(
+        !store.is_empty(),
+        "inter frame needs at least one reference"
+    );
     let mb_cols = cf.width() / MB_SIZE;
     let mb_rows = cf.height() / MB_SIZE;
     let all_rows = RowRange::new(0, mb_rows);
@@ -269,7 +272,10 @@ mod tests {
 
     fn small_sequence(n: usize) -> Vec<Plane<u8>> {
         let mut seq = SynthSequence::new(SynthConfig::tiny_test());
-        seq.take_frames(n).into_iter().map(|f| f.y().clone()).collect()
+        seq.take_frames(n)
+            .into_iter()
+            .map(|f| f.y().clone())
+            .collect()
     }
 
     #[test]

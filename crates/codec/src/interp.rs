@@ -83,8 +83,7 @@ impl SubpelFrame {
         let plane = &self.phases[fy * 4 + fx];
         for row in 0..h {
             for col in 0..w {
-                dst[row * w + col] =
-                    plane.get_clamped(x0 + col as isize, y0 + row as isize) as i16;
+                dst[row * w + col] = plane.get_clamped(x0 + col as isize, y0 + row as isize) as i16;
             }
         }
     }
@@ -137,14 +136,11 @@ impl SubpelFrame {
                 per_row[r].push(band);
             }
         }
-        per_row
-            .par_iter_mut()
-            .enumerate()
-            .for_each(|(r, bands)| {
-                let y0 = r * MB_SIZE;
-                let y1 = y0 + MB_SIZE;
-                interpolate_band(rf, width, y0, y1, bands);
-            });
+        per_row.par_iter_mut().enumerate().for_each(|(r, bands)| {
+            let y0 = r * MB_SIZE;
+            let y1 = y0 + MB_SIZE;
+            interpolate_band(rf, width, y0, y1, bands);
+        });
     }
 }
 

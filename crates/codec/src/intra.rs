@@ -192,7 +192,11 @@ fn predict4(
                 }
                 n += 4;
             }
-            let dc = if n == 0 { 128 } else { ((sum + n / 2) / n) as i16 };
+            let dc = if n == 0 {
+                128
+            } else {
+                ((sum + n / 2) / n) as i16
+            };
             pred.fill(dc);
         }
         Intra4Mode::DiagDownLeft => {
@@ -216,9 +220,7 @@ fn predict4(
                             let a0 = if i == 0 { corner() } else { above(i - 1) };
                             (a0 + 2 * above(i) + above(i + 1) + 2) >> 2
                         }
-                        std::cmp::Ordering::Equal => {
-                            (above(0) + 2 * corner() + left(0) + 2) >> 2
-                        }
+                        std::cmp::Ordering::Equal => (above(0) + 2 * corner() + left(0) + 2) >> 2,
                         std::cmp::Ordering::Less => {
                             let i = (-d - 1) as usize;
                             let l0 = if i == 0 { corner() } else { left(i - 1) };
@@ -236,7 +238,11 @@ fn predict4(
 fn modes4_for(avail_left: bool, avail_above: bool) -> &'static [Intra4Mode] {
     match (avail_left, avail_above) {
         (true, true) => &ALL_INTRA4_MODES,
-        (false, true) => &[Intra4Mode::Dc, Intra4Mode::Vertical, Intra4Mode::DiagDownLeft],
+        (false, true) => &[
+            Intra4Mode::Dc,
+            Intra4Mode::Vertical,
+            Intra4Mode::DiagDownLeft,
+        ],
         (true, false) => &[Intra4Mode::Dc, Intra4Mode::Horizontal],
         (false, false) => &[Intra4Mode::Dc],
     }
@@ -265,15 +271,24 @@ fn code_mb_i4(
         let avail_above = by > 0;
         // Above-right is reconstructed only if it lies in a previous MB row
         // or an earlier block of this MB (conservative: same-MB rule).
-        let avail_ar = avail_above && (bx + 4) < recon.width() && (blk % 4 != 3 || !by.is_multiple_of(16));
+        let avail_ar =
+            avail_above && (bx + 4) < recon.width() && (blk % 4 != 3 || !by.is_multiple_of(16));
         let mut best_cost = u32::MAX;
         for &mode in modes4_for(avail_left, avail_above) {
-            predict4(recon, bx, by, mode, avail_left, avail_above, avail_ar, &mut pred);
+            predict4(
+                recon,
+                bx,
+                by,
+                mode,
+                avail_left,
+                avail_above,
+                avail_ar,
+                &mut pred,
+            );
             let mut cost = 0u32;
             for y in 0..4 {
                 for x in 0..4 {
-                    cost += (cf.get(bx + x, by + y) as i16 - pred[y * 4 + x]).unsigned_abs()
-                        as u32;
+                    cost += (cf.get(bx + x, by + y) as i16 - pred[y * 4 + x]).unsigned_abs() as u32;
                 }
             }
             if cost < best_cost {
@@ -283,7 +298,7 @@ fn code_mb_i4(
         }
         total_cost += best_cost;
         bits += 3; // 4x4 mode symbol
-        // Residual → TQ → recon.
+                   // Residual → TQ → recon.
         let mut rbuf = [0i16; 16];
         for y in 0..4 {
             for x in 0..4 {
@@ -357,8 +372,7 @@ pub fn encode_intra_frame(cf: &Plane<u8>, qp: u8) -> IntraFrameResult {
                 .map(|row| recon.row(cy + row)[cx..cx + MB_SIZE].to_vec())
                 .collect();
             let (mb4, cost4, bits4) = code_mb_i4(cf, &mut recon, cx, cy, qp);
-            let header_penalty =
-                (crate::mc::lambda_mode(qp) * 45.0).round() as u32;
+            let header_penalty = (crate::mc::lambda_mode(qp) * 45.0).round() as u32;
             if cost4.saturating_add(header_penalty) < best_cost {
                 modes.push(MbIntraChoice::I4);
                 bits += bits4 + 1;
@@ -456,7 +470,10 @@ mod tests {
             psnr_lo > psnr_hi + 3.0,
             "QP 12 ({psnr_lo:.1} dB) must beat QP 44 ({psnr_hi:.1} dB)"
         );
-        assert!(psnr_lo > 35.0, "QP 12 must be near-transparent, got {psnr_lo:.1}");
+        assert!(
+            psnr_lo > 35.0,
+            "QP 12 must be near-transparent, got {psnr_lo:.1}"
+        );
     }
 
     #[test]
@@ -492,7 +509,10 @@ mod tests {
                 }
             }
         }
-        assert!(wins >= 10, "horizontal mode must dominate rows, got {wins}/12");
+        assert!(
+            wins >= 10,
+            "horizontal mode must dominate rows, got {wins}/12"
+        );
     }
 
     #[test]
@@ -530,7 +550,11 @@ mod i4_tests {
         // no 16x16 mode fits, but 4x4 V/H modes predict well.
         let cf = plane_from_fn(64, 64, |x, y| {
             if (y / 4) % 2 == 0 {
-                if x % 4 < 2 { 40 } else { 200 }
+                if x % 4 < 2 {
+                    40
+                } else {
+                    200
+                }
             } else if y % 4 < 2 {
                 40
             } else {
@@ -573,7 +597,16 @@ mod i4_tests {
         }
         // Horizontal bands → H mode copies the left column.
         let cfh = plane_from_fn(16, 16, |_, y| (y * 16) as u8);
-        predict4(&cfh, 4, 4, Intra4Mode::Horizontal, true, true, true, &mut pred);
+        predict4(
+            &cfh,
+            4,
+            4,
+            Intra4Mode::Horizontal,
+            true,
+            true,
+            true,
+            &mut pred,
+        );
         for y in 0..4 {
             for x in 0..4 {
                 assert_eq!(pred[y * 4 + x], cfh.get(3, 4 + y) as i16);

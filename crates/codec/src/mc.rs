@@ -91,8 +91,7 @@ pub fn decide_mode(sme: &MbSubMotion, qp: u8) -> MbMode {
     let lambda = lambda_mode(qp);
     let mut best = MbMode::default();
     for mode in ALL_PARTITION_MODES {
-        let cost =
-            sme.mode_cost(mode) + (lambda * mode_overhead_bits(mode) as f64).round() as u64;
+        let cost = sme.mode_cost(mode) + (lambda * mode_overhead_bits(mode) as f64).round() as u64;
         // Strict `<`: ties resolve to the earlier (coarser) mode.
         if cost < best.cost {
             let mut mvs = [SmeBlockMv::default(); 16];
@@ -106,7 +105,13 @@ pub fn decide_mode(sme: &MbSubMotion, qp: u8) -> MbMode {
 }
 
 /// Build the prediction for one macroblock into `pred` (16×16 row-major).
-pub fn predict_mb(mb_mode: &MbMode, sfs: &[&SubpelFrame], cx: usize, cy: usize, pred: &mut [i16; 256]) {
+pub fn predict_mb(
+    mb_mode: &MbMode,
+    sfs: &[&SubpelFrame],
+    cx: usize,
+    cy: usize,
+    pred: &mut [i16; 256],
+) {
     let mode = mb_mode.mode;
     let (w, h) = mode.dims();
     let mut block = vec![0i16; w * h];
@@ -138,7 +143,11 @@ pub fn mc_rows(
     residual: &mut Plane<i16>,
 ) {
     let mb_cols = cf.width() / MB_SIZE;
-    assert_eq!(sme_rows.len(), rows.len() * mb_cols, "SME input size mismatch");
+    assert_eq!(
+        sme_rows.len(),
+        rows.len() * mb_cols,
+        "SME input size mismatch"
+    );
     let mut pbuf = [0i16; 256];
     for (i, mby) in rows.iter().enumerate() {
         for mbx in 0..mb_cols {
@@ -188,7 +197,9 @@ mod tests {
     #[test]
     fn perfect_translation_gives_zero_residual() {
         let rf = plane_from_fn(64, 64, |x, y| ((x * 37) ^ (y * 11)) as u8);
-        let cf = plane_from_fn(64, 64, |x, y| rf.get_clamped(x as isize + 3, y as isize - 2));
+        let cf = plane_from_fn(64, 64, |x, y| {
+            rf.get_clamped(x as isize + 3, y as isize - 2)
+        });
         let params = EncodeParams {
             search_area: SearchArea(16),
             n_ref: 1,
@@ -205,7 +216,16 @@ mod tests {
         let mut modes = ModeField::new(mb_cols, 4);
         let mut pred: Plane<u8> = Plane::new(64, 64);
         let mut residual: Plane<i16> = Plane::new(64, 64);
-        mc_rows(&cf, &[&sf], &sme, 28, rows, &mut modes, &mut pred, &mut residual);
+        mc_rows(
+            &cf,
+            &[&sf],
+            &sme,
+            28,
+            rows,
+            &mut modes,
+            &mut pred,
+            &mut residual,
+        );
 
         // Interior MBs (away from the clamped frame border) must predict
         // perfectly: residual 0, and the coarse 16x16 mode must win (it has
@@ -243,7 +263,16 @@ mod tests {
         let mut modes = ModeField::new(mb_cols, 3);
         let mut pred: Plane<u8> = Plane::new(48, 48);
         let mut residual: Plane<i16> = Plane::new(48, 48);
-        mc_rows(&cf, &[&sf], &sme, 28, rows, &mut modes, &mut pred, &mut residual);
+        mc_rows(
+            &cf,
+            &[&sf],
+            &sme,
+            28,
+            rows,
+            &mut modes,
+            &mut pred,
+            &mut residual,
+        );
         for y in 0..48 {
             for x in 0..48 {
                 assert_eq!(

@@ -238,7 +238,11 @@ pub fn motion_estimate_rows(
     out: &mut [MbMotion],
 ) {
     let mb_cols = cf.width() / MB_SIZE;
-    assert_eq!(out.len(), rows.len() * mb_cols, "output slice size mismatch");
+    assert_eq!(
+        out.len(),
+        rows.len() * mb_cols,
+        "output slice size mismatch"
+    );
     for (i, mby) in rows.iter().enumerate() {
         for mbx in 0..mb_cols {
             out[i * mb_cols + mbx] = motion_estimate_mb(cf, rfs, params, mbx, mby);
@@ -256,7 +260,11 @@ pub fn motion_estimate_rows_parallel(
     out: &mut [MbMotion],
 ) {
     let mb_cols = cf.width() / MB_SIZE;
-    assert_eq!(out.len(), rows.len() * mb_cols, "output slice size mismatch");
+    assert_eq!(
+        out.len(),
+        rows.len() * mb_cols,
+        "output slice size mismatch"
+    );
     out.par_chunks_mut(mb_cols)
         .zip(rows.start..rows.end)
         .for_each(|(row_out, mby)| {
@@ -376,7 +384,8 @@ mod tests {
     fn row_sliced_equals_whole_frame() {
         let rf = plane_from_fn(64, 80, |x, y| ((x * 3 + y * 7) % 251) as u8);
         let cf = plane_from_fn(64, 80, |x, y| {
-            rf.get_clamped(x as isize - 1, y as isize + 1).wrapping_add(1)
+            rf.get_clamped(x as isize - 1, y as isize + 1)
+                .wrapping_add(1)
         });
         let params = small_params();
         let mb_cols = 4;

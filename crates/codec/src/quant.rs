@@ -130,9 +130,8 @@ mod tests {
         for qp in [10u8, 22, 28, 36, 44] {
             let step = qstep(qp);
             for seed in 0..20i32 {
-                let residual: [i16; 16] = core::array::from_fn(|i| {
-                    (((seed * 31 + i as i32 * 17) % 255) - 127) as i16
-                });
+                let residual: [i16; 16] =
+                    core::array::from_fn(|i| (((seed * 31 + i as i32 * 17) % 255) - 127) as i16);
                 let z = tq_block(&residual, qp, false);
                 let back = itq_block(&z, qp);
                 for i in 0..16 {
@@ -152,7 +151,9 @@ mod tests {
         let err = |qp: u8| -> i64 {
             let z = tq_block(&residual, qp, false);
             let back = itq_block(&z, qp);
-            (0..16).map(|i| ((residual[i] - back[i]) as i64).pow(2)).sum()
+            (0..16)
+                .map(|i| ((residual[i] - back[i]) as i64).pow(2))
+                .sum()
         };
         assert!(err(10) <= err(40), "finer quantization must not be worse");
     }

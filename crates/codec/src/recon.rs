@@ -11,15 +11,13 @@ use feves_video::plane::Plane;
 
 /// Quantized levels of one macroblock: sixteen 4×4 luma blocks in raster
 /// order, plus a bitmask of blocks containing non-zero coefficients.
-#[derive(Clone, Debug, PartialEq, Eq)]
-#[derive(Default)]
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
 pub struct MbCoeffs {
     /// Levels per 4×4 block (raster order inside the MB).
     pub blocks: [[i16; 16]; 16],
     /// Bit `i` set ⇔ `blocks[i]` has a non-zero level.
     pub coded_mask: u16,
 }
-
 
 impl MbCoeffs {
     /// True when any 4×4 block carries coefficients.
@@ -98,8 +96,7 @@ pub fn tq_rows(
                 let bx = mbx * MB_SIZE + (blk % 4) * 4;
                 let by = mby * MB_SIZE + (blk / 4) * 4;
                 for row in 0..4 {
-                    rbuf[row * 4..row * 4 + 4]
-                        .copy_from_slice(&residual.row(by + row)[bx..bx + 4]);
+                    rbuf[row * 4..row * 4 + 4].copy_from_slice(&residual.row(by + row)[bx..bx + 4]);
                 }
                 let levels = tq_block(&rbuf, qp, intra);
                 if has_coefficients(&levels) {

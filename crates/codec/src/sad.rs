@@ -84,7 +84,9 @@ pub fn sad_grid_16x16(
 /// `(ox, oy)` inside the macroblock (all multiples of 4).
 #[inline]
 pub fn grid_partition_sad(grid: &SadGrid, ox: usize, oy: usize, w: usize, h: usize) -> u32 {
-    debug_assert!(ox.is_multiple_of(4) && oy.is_multiple_of(4) && w.is_multiple_of(4) && h.is_multiple_of(4));
+    debug_assert!(
+        ox.is_multiple_of(4) && oy.is_multiple_of(4) && w.is_multiple_of(4) && h.is_multiple_of(4)
+    );
     let mut acc = 0u32;
     for gy in oy / 4..(oy + h) / 4 {
         for gx in ox / 4..(ox + w) / 4 {
@@ -130,18 +132,18 @@ mod tests {
 
         // Full 16x16 from the grid equals a direct block SAD.
         let direct: u32 = (0..16)
-            .map(|row| {
-                row_sad(
-                    &cur.row(16 + row)[16..32],
-                    &rf.row(12 + row)[20..36],
-                )
-            })
+            .map(|row| row_sad(&cur.row(16 + row)[16..32], &rf.row(12 + row)[20..36]))
             .sum();
         assert_eq!(grid_partition_sad(&grid, 0, 0, 16, 16), direct);
 
         // 8x8 quadrant.
         let q: u32 = (0..8)
-            .map(|row| row_sad(&cur.row(16 + 8 + row)[24..32], &rf.row(12 + 8 + row)[28..36]))
+            .map(|row| {
+                row_sad(
+                    &cur.row(16 + 8 + row)[24..32],
+                    &rf.row(12 + 8 + row)[28..36],
+                )
+            })
             .sum();
         assert_eq!(grid_partition_sad(&grid, 8, 8, 8, 8), q);
     }

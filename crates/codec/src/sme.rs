@@ -213,15 +213,7 @@ pub fn sme_mb(
             let (ox, oy) = mode.offset(i);
             let me_blk = me_mb.block(mode, i);
             let sf = sfs[me_blk.rf as usize];
-            let (mv, cost) = refine_block(
-                cf,
-                sf,
-                cx + ox,
-                cy + oy,
-                w,
-                h,
-                me_blk.mv.to_qpel(),
-            );
+            let (mv, cost) = refine_block(cf, sf, cx + ox, cy + oy, w, h, me_blk.mv.to_qpel());
             *out.block_mut(mode, i) = SmeBlockMv {
                 rf: me_blk.rf,
                 mv,
@@ -242,7 +234,11 @@ pub fn sme_rows(
     out: &mut [MbSubMotion],
 ) {
     let mb_cols = cf.width() / MB_SIZE;
-    assert_eq!(out.len(), rows.len() * mb_cols, "output slice size mismatch");
+    assert_eq!(
+        out.len(),
+        rows.len() * mb_cols,
+        "output slice size mismatch"
+    );
     assert_eq!(me_rows.len(), out.len(), "ME input size mismatch");
     for (i, mby) in rows.iter().enumerate() {
         for mbx in 0..mb_cols {
@@ -260,7 +256,11 @@ pub fn sme_rows_parallel(
     out: &mut [MbSubMotion],
 ) {
     let mb_cols = cf.width() / MB_SIZE;
-    assert_eq!(out.len(), rows.len() * mb_cols, "output slice size mismatch");
+    assert_eq!(
+        out.len(),
+        rows.len() * mb_cols,
+        "output slice size mismatch"
+    );
     assert_eq!(me_rows.len(), out.len(), "ME input size mismatch");
     out.par_chunks_mut(mb_cols)
         .zip(me_rows.par_chunks(mb_cols))
@@ -346,9 +346,7 @@ mod tests {
         let cf = plane_from_fn(64, 64, |x, y| ((x * 5) ^ (y * 2)) as u8);
         let sf = interpolate(&rf);
         let direct: u32 = (0..16)
-            .map(|row| {
-                crate::sad::row_sad(&cf.row(16 + row)[16..32], &rf.row(18 + row)[20..36])
-            })
+            .map(|row| crate::sad::row_sad(&cf.row(16 + row)[16..32], &rf.row(18 + row)[20..36]))
             .sum();
         let via_sf = sad_qpel(&cf, 16, 16, 16, 16, &sf, QpelMv::new(16, 8));
         assert_eq!(direct, via_sf);
@@ -375,8 +373,20 @@ mod tests {
 
         let mut a = vec![MbSubMotion::default(); mb_cols * 2];
         let mut b = vec![MbSubMotion::default(); mb_cols * 3];
-        sme_rows(&cf, &[&sf], &me_all[..mb_cols * 2], RowRange::new(0, 2), &mut a);
-        sme_rows(&cf, &[&sf], &me_all[mb_cols * 2..], RowRange::new(2, 5), &mut b);
+        sme_rows(
+            &cf,
+            &[&sf],
+            &me_all[..mb_cols * 2],
+            RowRange::new(0, 2),
+            &mut a,
+        );
+        sme_rows(
+            &cf,
+            &[&sf],
+            &me_all[mb_cols * 2..],
+            RowRange::new(2, 5),
+            &mut b,
+        );
         let stitched: Vec<MbSubMotion> = a.into_iter().chain(b).collect();
         assert_eq!(whole, stitched);
     }
@@ -384,7 +394,9 @@ mod tests {
     #[test]
     fn parallel_equals_sequential() {
         let rf = plane_from_fn(64, 64, |x, y| ((x * 9) ^ (y * 4)) as u8);
-        let cf = plane_from_fn(64, 64, |x, y| rf.get_clamped(x as isize + 1, y as isize - 1));
+        let cf = plane_from_fn(64, 64, |x, y| {
+            rf.get_clamped(x as isize + 1, y as isize - 1)
+        });
         let params = EncodeParams {
             search_area: SearchArea(16),
             n_ref: 1,

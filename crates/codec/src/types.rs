@@ -317,6 +317,9 @@ mod tests {
     fn module_grouping() {
         assert!(Module::Me.is_balanced());
         assert!(!Module::Dbl.is_balanced());
-        assert_eq!(Module::BALANCED.len() + Module::RSTAR.len(), Module::ALL.len());
+        assert_eq!(
+            Module::BALANCED.len() + Module::RSTAR.len(),
+            Module::ALL.len()
+        );
     }
 }

@@ -13,8 +13,7 @@ use feves_video::plane::Plane;
 use proptest::prelude::*;
 
 fn arb_plane(w: usize, h: usize) -> impl Strategy<Value = Plane<u8>> {
-    proptest::collection::vec(any::<u8>(), w * h)
-        .prop_map(move |data| Plane::from_vec(data, w, h))
+    proptest::collection::vec(any::<u8>(), w * h).prop_map(move |data| Plane::from_vec(data, w, h))
 }
 
 /// Split `total` into `parts` non-negative counts.

@@ -65,6 +65,29 @@ impl DeviceTransfers {
     pub fn total_down(&self) -> usize {
         self.sf_down + self.mv_me_down + self.mv_sme_down + self.rf_down
     }
+
+    /// Total bytes this plan moves over PCIe for a frame of `width` luma
+    /// pixels, weighting each stream's rows by its per-row footprint
+    /// (observability: feeds the `dam.bytes_*` metrics).
+    pub fn bytes(&self, width: usize) -> u64 {
+        let rf = bytes_per_row::rf(width) as u64;
+        let sf = bytes_per_row::sf(width) as u64;
+        let cf = bytes_per_row::cf(width) as u64;
+        let mv = bytes_per_row::mv(width) as u64;
+        let rf_rows = (self.rf_up + self.rf_down) as u64;
+        let sf_rows =
+            (self.sigma_prev_up + self.sf_down + self.sf_dl_up + self.sigma_up + self.sf_mc_up)
+                as u64;
+        let cf_rows = (self.cf_me_up + self.cf_sme_up + self.cf_mc_up) as u64;
+        let mv_rows = (self.mv_me_down + self.mv_dm_up + self.mv_sme_down + self.mv_mc_up) as u64;
+        rf_rows * rf + sf_rows * sf + cf_rows * cf + mv_rows * mv
+    }
+}
+
+/// Total bytes a whole per-device transfer plan moves over PCIe for a frame
+/// of `width` luma pixels.
+pub fn transfer_bytes(plan: &[DeviceTransfers], width: usize) -> u64 {
+    plan.iter().map(|t| t.bytes(width)).sum()
 }
 
 /// The Data Access Management block.
@@ -130,7 +153,9 @@ impl DataManager {
             if !dev.is_accelerator() {
                 continue;
             }
-            let Some(cap) = dev.memory_bytes else { continue };
+            let Some(cap) = dev.memory_bytes else {
+                continue;
+            };
             // Any accelerator may be selected for R*: budget for the worst.
             let need = Self::device_footprint_bytes(n_rows, width, n_ref, true);
             if need > cap {
@@ -157,6 +182,7 @@ impl DataManager {
         is_accelerator: &[bool],
         data_reuse: bool,
     ) -> Vec<DeviceTransfers> {
+        let _span = feves_obs::span!(feves_obs::global(), "dam.plan");
         assert_eq!(is_accelerator.len(), self.n_devices);
         assert_eq!(dist.n_devices(), self.n_devices);
         let n = self.n_rows;
@@ -264,7 +290,11 @@ mod tests {
         let dist = Distribution::equidistant(68, 5, 0);
         let plan = dam.plan(&dist, &accel_mask(5, 1), true);
         for d in 1..5 {
-            assert_eq!(plan[d], DeviceTransfers::default(), "core {d} must be silent");
+            assert_eq!(
+                plan[d],
+                DeviceTransfers::default(),
+                "core {d} must be silent"
+            );
         }
         assert!(plan[0].total_up() > 0);
     }
@@ -303,14 +333,8 @@ mod tests {
         // Cap device 1's eager SF budget to force a remainder.
         let mut budget = vec![usize::MAX; 6];
         budget[1] = 5;
-        let dist = feves_sched::Distribution::from_rows(
-            me.clone(),
-            me.clone(),
-            me,
-            0,
-            &budget,
-            None,
-        );
+        let dist =
+            feves_sched::Distribution::from_rows(me.clone(), me.clone(), me, 0, &budget, None);
         assert!(dist.sigma_rem[1] > 0, "test needs a real remainder");
         dam.commit(&dist, &accel_mask(6, 2), true).unwrap();
         assert_eq!(dam.sigma_rem_prev()[1], dist.sigma_rem[1]);
@@ -329,6 +353,23 @@ mod tests {
         // Equidistant ⇒ Δ = 0, so reuse mode uploads nothing extra for SME.
         assert_eq!(reuse[0].cf_sme_up, 0);
         assert_eq!(no_reuse[0].cf_sme_up, dist.sme[0]);
+    }
+
+    #[test]
+    fn transfer_bytes_reflects_data_reuse() {
+        let dam = DataManager::new(68, 5);
+        let dist = Distribution::equidistant(68, 5, 0);
+        let reuse = dam.plan(&dist, &accel_mask(5, 1), true);
+        let no_reuse = dam.plan(&dist, &accel_mask(5, 1), false);
+        let b_reuse = transfer_bytes(&reuse, 1920);
+        let b_no_reuse = transfer_bytes(&no_reuse, 1920);
+        assert!(b_reuse > 0);
+        assert!(
+            b_no_reuse > b_reuse,
+            "reuse must save bytes: {b_no_reuse} vs {b_reuse}"
+        );
+        // CPU cores contribute nothing.
+        assert_eq!(reuse[1].bytes(1920), 0);
     }
 
     #[test]
@@ -354,9 +395,7 @@ mod memory_tests {
         let uhd1 = DataManager::device_footprint_bytes(136, 3840, 1, false);
         assert!(uhd1 > 3 * hd1, "4K must need ~4x the 1080p footprint");
         // The R* device carries extra scratch.
-        assert!(
-            DataManager::device_footprint_bytes(68, 1920, 1, true) > hd1
-        );
+        assert!(DataManager::device_footprint_bytes(68, 1920, 1, true) > hd1);
     }
 
     #[test]

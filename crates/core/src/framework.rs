@@ -12,17 +12,18 @@
 //!   perturbations within a frame (Fig 7).
 
 use crate::config::{BalancerKind, EncoderConfig, ExecutionMode};
-use feves_codec::rate::RateController;
-use crate::dam::DataManager;
+use crate::dam::{transfer_bytes, DataManager};
 use crate::report::{EncodeReport, FrameReport};
 use crate::trace::FrameTrace;
 use crate::vcm::{build_frame_graph, FrameGeometry, MeasureKind};
 use feves_codec::inter_loop::ReferenceStore;
 use feves_codec::interp::SubpelFrame;
+use feves_codec::rate::RateController;
 use feves_codec::types::EncodeParams;
 use feves_hetsim::noise::MultiplicativeNoise;
 use feves_hetsim::platform::Platform;
 use feves_hetsim::timeline::simulate;
+use feves_obs::{Metric, Recorder};
 use feves_sched::{
     BalanceInput, Centric, Distribution, EquidistantBalancer, Ewma, FevesBalancer, LoadBalancer,
     PerfChar, ProportionalBalancer, SingleDeviceBalancer,
@@ -30,6 +31,7 @@ use feves_sched::{
 use feves_video::frame::Frame;
 use feves_video::geometry::{ranges_from_counts, RowRange};
 use feves_video::plane::Plane;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// An externally imposed performance change on one device for a range of
@@ -65,6 +67,9 @@ pub struct FevesEncoder {
     refs_available: usize,
     /// Schedule trace of the most recent inter-frame.
     last_trace: Option<FrameTrace>,
+    /// Metrics/span sink for this encoder; falls back to the process-global
+    /// recorder ([`feves_obs::global`]) when unset.
+    recorder: Option<Arc<dyn Recorder>>,
     /// Closed-loop QP controller (functional mode, when configured).
     rate: Option<RateController>,
     // Functional-mode state.
@@ -83,8 +88,7 @@ impl FevesEncoder {
     /// Create an encoder for `platform` with `config`.
     pub fn new(platform: Platform, config: EncoderConfig) -> Result<Self, String> {
         config.validate()?;
-        if matches!(config.balancer, BalancerKind::SingleAccelerator(i) if i >= platform.n_accel)
-        {
+        if matches!(config.balancer, BalancerKind::SingleAccelerator(i) if i >= platform.n_accel) {
             return Err("single-accelerator balancer index out of range".into());
         }
         let padded = config.resolution.padded();
@@ -127,14 +131,28 @@ impl FevesEncoder {
             frames_encoded: 0,
             refs_available: 0,
             last_trace: None,
-            rate: config.rate_control.map(|rc| {
-                RateController::new(rc.target_kbps, rc.fps, config.params.qp)
-            }),
+            recorder: None,
+            rate: config
+                .rate_control
+                .map(|rc| RateController::new(rc.target_kbps, rc.fps, config.params.qp)),
             store: ReferenceStore::new(n_ref),
             recon_pending: None,
             platform,
             config,
         })
+    }
+
+    /// Attach a metrics/span recorder to this encoder. Per-frame metrics
+    /// (τ sync points, imbalance, LP iterations, DAM byte volumes) are
+    /// recorded here; without one, the encoder uses the process-global
+    /// recorder installed via [`feves_obs::install`] (a no-op by default).
+    pub fn set_recorder(&mut self, rec: Arc<dyn Recorder>) {
+        self.recorder = Some(rec);
+    }
+
+    /// The active recorder: this encoder's own, else the process global.
+    fn rec(&self) -> Arc<dyn Recorder> {
+        self.recorder.clone().unwrap_or_else(feves_obs::global)
     }
 
     /// Register a perturbation (timing-only or functional).
@@ -190,6 +208,7 @@ impl FevesEncoder {
     /// Encode one frame functionally (first call = intra, rest = inter;
     /// with `config.gop = Some(n)`, a closed-GOP I-frame every `n` frames).
     pub fn encode_frame(&mut self, frame: &Frame) -> FrameReport {
+        let _span = feves_obs::span!(self.rec(), "encode_frame");
         assert_eq!(
             frame.resolution(),
             self.config.resolution,
@@ -221,6 +240,7 @@ impl FevesEncoder {
                 u: chroma.recon_u,
                 v: chroma.recon_v,
             });
+            self.rec().add(Metric::FramesEncoded, 1);
             return FrameReport::intra(intra.bits + chroma.bits, psnr);
         }
         self.refs_available = (self.refs_available + 1).min(self.config.params.n_ref);
@@ -229,6 +249,7 @@ impl FevesEncoder {
 
     /// Encode a whole sequence functionally.
     pub fn encode_sequence(&mut self, frames: &[Frame]) -> EncodeReport {
+        let _span = feves_obs::span!(self.rec(), "encode_sequence");
         let reports = frames.iter().map(|f| self.encode_frame(f)).collect();
         EncodeReport::new(self.platform.name.clone(), reports)
     }
@@ -236,6 +257,7 @@ impl FevesEncoder {
     /// The shared inter-frame path: balance → plan → simulate → measure
     /// (→ optionally execute kernels).
     fn run_inter(&mut self, frame: Option<&Frame>) -> FrameReport {
+        let _span = feves_obs::span!(self.rec(), "encode_inter");
         let inter_frame = self.inter_count + 1; // 1-based like Fig 7
         let n_rows = self.geometry.n_rows;
         let mut eff_params = EncodeParams {
@@ -279,7 +301,45 @@ impl FevesEncoder {
         let speeds = self.speed_multipliers(inter_frame);
         let sched = simulate(&fg.graph, &self.platform, &speeds, &mut self.noise)
             .expect("VCM-built graphs are deadlock-free by construction");
-        self.last_trace = Some(FrameTrace::capture(&fg, &sched, &self.platform));
+        let trace = FrameTrace::capture(&fg, &sched, &self.platform);
+
+        // Observability: per-frame metrics. Everything except the wall-clock
+        // scheduling overhead is derived from the virtual clock and is
+        // deterministic for a fixed configuration. Guarded so the disabled
+        // path costs one `enabled()` call.
+        let rec = self.rec();
+        if rec.enabled() {
+            rec.observe(Metric::SchedOverheadUs, sched_overhead * 1e6);
+            rec.observe(Metric::FrameTau1Ms, trace.tau1_ms);
+            rec.observe(Metric::FrameTau2Ms, trace.tau2_ms);
+            rec.observe(Metric::FrameTauTotMs, trace.tau_tot_ms);
+            let busy: Vec<f64> = trace
+                .utilization()
+                .into_iter()
+                .filter(|(l, _)| !l.is_transfer())
+                .map(|(_, f)| f)
+                .collect();
+            let max = busy.iter().copied().fold(0.0f64, f64::max);
+            if max > 0.0 {
+                let min = busy.iter().copied().fold(f64::INFINITY, f64::min);
+                rec.observe(Metric::LbImbalancePct, (max - min) / max * 100.0);
+            }
+            if let Some(iters) = dist.lp_iterations {
+                rec.observe(Metric::LpIterations, iters as f64);
+            }
+            rec.add(Metric::VcmTasksScheduled, fg.graph.len() as u64);
+            let transferred = transfer_bytes(&plan, self.geometry.width);
+            rec.add(Metric::DamBytesTransferred, transferred);
+            if self.config.data_reuse {
+                // Reused = what a reuse-free plan of the same frame would
+                // have shipped, minus what this plan ships.
+                let baseline =
+                    transfer_bytes(&self.dam.plan(&dist, &mask, false), self.geometry.width);
+                rec.add(Metric::DamBytesReused, baseline.saturating_sub(transferred));
+            }
+            rec.add(Metric::FramesEncoded, 1);
+        }
+        self.last_trace = Some(trace);
 
         // Performance characterization update (Algorithm 1, lines 5/10).
         let mut rstar_time = vec![0.0f64; self.platform.len()];
@@ -410,11 +470,8 @@ impl FevesEncoder {
             crossbeam::scope(|s| {
                 for (range, out) in bands {
                     s.spawn(move |_| {
-                        let me_rows: Vec<feves_codec::me::MbMotion> =
-                            me_ref.rows(range).to_vec();
-                        feves_codec::sme::sme_rows_parallel(
-                            cf_ref, sfs_ref, &me_rows, range, out,
-                        );
+                        let me_rows: Vec<feves_codec::me::MbMotion> = me_ref.rows(range).to_vec();
+                        feves_codec::sme::sme_rows_parallel(cf_ref, sfs_ref, &me_rows, range, out);
                     });
                 }
             })

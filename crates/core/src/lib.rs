@@ -34,14 +34,15 @@ pub mod vcm;
 pub use config::{BalancerKind, EncoderConfig, ExecutionMode, RateControlConfig};
 pub use framework::{FevesEncoder, Perturbation};
 pub use oracle::OracleBalancer;
-pub use trace::FrameTrace;
-pub use report::{EncodeReport, FrameReport};
+pub use report::{EncodeReport, FrameReport, Rollup};
+pub use trace::{FrameTrace, Lane, LaneKind, TraceTask};
 
 /// Convenient glob import for applications.
 pub mod prelude {
     pub use crate::config::{BalancerKind, EncoderConfig, ExecutionMode, RateControlConfig};
     pub use crate::framework::{FevesEncoder, Perturbation};
-    pub use crate::report::{EncodeReport, FrameReport};
+    pub use crate::report::{EncodeReport, FrameReport, Rollup};
+    pub use crate::trace::{FrameTrace, Lane, LaneKind};
     pub use feves_codec::types::{EncodeParams, SearchArea};
     pub use feves_hetsim::platform::Platform;
     pub use feves_hetsim::profiles;

@@ -49,9 +49,14 @@ impl OracleBalancer {
             .collect();
         let plan = dam.plan(dist, &mask, true);
         let fg = build_frame_graph(dist, &plan, platform, &self.params, self.geometry, true);
-        simulate(&fg.graph, platform, &platform.nominal_speeds(), &mut Deterministic)
-            .map(|s| s.makespan)
-            .unwrap_or(f64::INFINITY)
+        simulate(
+            &fg.graph,
+            platform,
+            &platform.nominal_speeds(),
+            &mut Deterministic,
+        )
+        .map(|s| s.makespan)
+        .unwrap_or(f64::INFINITY)
     }
 
     /// Try every single-row move in one of the three vectors; return the
@@ -89,18 +94,10 @@ impl OracleBalancer {
                     };
                     target[from] -= 1;
                     target[to] += 1;
-                    let cand = Distribution::from_rows(
-                        me,
-                        li,
-                        sm,
-                        dist.rstar_device,
-                        &budget,
-                        None,
-                    );
+                    let cand =
+                        Distribution::from_rows(me, li, sm, dist.rstar_device, &budget, None);
                     let t = self.evaluate(&cand, platform);
-                    if t < current - 1e-9
-                        && best.as_ref().is_none_or(|(_, bt)| t < *bt)
-                    {
+                    if t < current - 1e-9 && best.as_ref().is_none_or(|(_, bt)| t < *bt) {
                         best = Some((cand, t));
                     }
                 }
@@ -161,8 +158,18 @@ mod tests {
         use feves_hetsim::timeline::{Dir, TransferTag};
         let mut pc = PerfChar::new(platform.len(), Ewma(1.0));
         for (i, dev) in platform.devices.iter().enumerate() {
-            pc.record_compute(i, Module::Me, 1, dev.compute_time(Module::Me, 120.0 * 1024.0, 1.0));
-            pc.record_compute(i, Module::Interp, 1, dev.compute_time(Module::Interp, 120.0, 1.0));
+            pc.record_compute(
+                i,
+                Module::Me,
+                1,
+                dev.compute_time(Module::Me, 120.0 * 1024.0, 1.0),
+            );
+            pc.record_compute(
+                i,
+                Module::Interp,
+                1,
+                dev.compute_time(Module::Interp, 120.0, 1.0),
+            );
             pc.record_compute(i, Module::Sme, 1, dev.compute_time(Module::Sme, 120.0, 1.0));
             let rstar: f64 = Module::RSTAR
                 .iter()

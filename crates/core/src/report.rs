@@ -1,7 +1,34 @@
 //! Per-frame and per-sequence encoding reports.
 
+use feves_obs::percentile_exact;
 use feves_sched::Distribution;
 use serde::{Deserialize, Serialize};
+
+/// Percentile rollup of one per-frame series (exact nearest-rank over the
+/// recorded values, not histogram-bucketed).
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Rollup {
+    /// Median.
+    pub p50: f64,
+    /// 95th percentile.
+    pub p95: f64,
+    /// 99th percentile.
+    pub p99: f64,
+}
+
+impl Rollup {
+    /// Compute from a series; `None` when empty.
+    pub fn from_values(mut values: Vec<f64>) -> Option<Self> {
+        if values.is_empty() {
+            return None;
+        }
+        Some(Rollup {
+            p50: percentile_exact(&mut values, 50.0),
+            p95: percentile_exact(&mut values, 95.0),
+            p99: percentile_exact(&mut values, 99.0),
+        })
+    }
+}
 
 /// Everything recorded about one encoded frame.
 #[derive(Clone, Debug, Serialize, Deserialize)]
@@ -134,15 +161,27 @@ impl EncodeReport {
     /// Mean fps over the steady state (skipping the first `skip`
     /// inter-frames — initialization + RF ramp-up).
     pub fn steady_fps(&self, skip: usize) -> f64 {
-        let times: Vec<f64> = self
-            .inter_frames()
-            .skip(skip)
-            .map(|f| f.tau_tot)
-            .collect();
+        let times: Vec<f64> = self.inter_frames().skip(skip).map(|f| f.tau_tot).collect();
         if times.is_empty() {
             return 0.0;
         }
         times.len() as f64 / times.iter().sum::<f64>()
+    }
+
+    /// Percentile rollup of inter-frame τtot in milliseconds (`None` when
+    /// the report has no inter-frames).
+    pub fn tau_tot_rollup(&self) -> Option<Rollup> {
+        Rollup::from_values(self.inter_frames().map(|f| f.tau_tot * 1e3).collect())
+    }
+
+    /// Percentile rollup of the wall-clock scheduling overhead in
+    /// milliseconds (`None` when the report has no inter-frames).
+    pub fn sched_overhead_rollup(&self) -> Option<Rollup> {
+        Rollup::from_values(
+            self.inter_frames()
+                .map(|f| f.sched_overhead * 1e3)
+                .collect(),
+        )
     }
 
     /// Maximum scheduling overhead across frames (seconds).
@@ -194,8 +233,28 @@ mod tests {
     fn report_aggregates() {
         let frames = vec![
             FrameReport::intra(1000, 40.0),
-            FrameReport::inter(1, 0.0, 0.0, 0.02, 1, 1e-3, dummy_dist(), Some(100), Some(38.0)),
-            FrameReport::inter(2, 0.0, 0.0, 0.04, 1, 2e-3, dummy_dist(), Some(200), Some(39.0)),
+            FrameReport::inter(
+                1,
+                0.0,
+                0.0,
+                0.02,
+                1,
+                1e-3,
+                dummy_dist(),
+                Some(100),
+                Some(38.0),
+            ),
+            FrameReport::inter(
+                2,
+                0.0,
+                0.0,
+                0.04,
+                1,
+                2e-3,
+                dummy_dist(),
+                Some(200),
+                Some(39.0),
+            ),
         ];
         let r = EncodeReport::new("test".into(), frames);
         assert!((r.mean_frame_time() - 0.03).abs() < 1e-12);
@@ -204,6 +263,14 @@ mod tests {
         assert_eq!(r.total_bits(), 1300);
         assert!((r.max_sched_overhead() - 2e-3).abs() < 1e-15);
         assert!((r.mean_psnr().unwrap() - 39.0).abs() < 1e-9);
+        // Nearest-rank over {20 ms, 40 ms}: p50 is the lower value, the
+        // upper tail percentiles land on the higher one.
+        let roll = r.tau_tot_rollup().unwrap();
+        assert!((roll.p50 - 20.0).abs() < 1e-9);
+        assert!((roll.p95 - 40.0).abs() < 1e-9);
+        assert!((roll.p99 - 40.0).abs() < 1e-9);
+        let sched = r.sched_overhead_rollup().unwrap();
+        assert!((sched.p99 - 2.0).abs() < 1e-9);
     }
 
     #[test]
@@ -212,5 +279,7 @@ mod tests {
         assert_eq!(r.mean_fps(), 0.0);
         assert_eq!(r.steady_fps(5), 0.0);
         assert!(r.mean_psnr().is_none());
+        assert!(r.tau_tot_rollup().is_none());
+        assert!(r.sched_overhead_rollup().is_none());
     }
 }

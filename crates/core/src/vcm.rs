@@ -95,13 +95,15 @@ pub fn build_frame_graph(
     geo: FrameGeometry,
     overlap: bool,
 ) -> FrameGraph {
+    let _span = feves_obs::span!(feves_obs::global(), "vcm.build");
     let nd = platform.len();
     assert_eq!(dist.n_devices(), nd);
     assert_eq!(transfers.len(), nd);
     let mut g = TaskGraph::new();
     let mut measures = Vec::new();
 
-    let units = |module: Module, rows: usize| units_per_mb_row(module, params, geo.mb_cols) * rows as f64;
+    let units =
+        |module: Module, rows: usize| units_per_mb_row(module, params, geo.mb_cols) * rows as f64;
     let bytes = |tag: TransferTag, rows: usize| match tag {
         TransferTag::Cf => bytes_per_row::cf(geo.width) * rows,
         TransferTag::Rf => bytes_per_row::rf(geo.width) * rows,
@@ -332,9 +334,11 @@ pub fn build_frame_graph(
                 k_me.into_iter().collect(),
                 format!("MV→SME host dev{d}"),
             );
-            for id in [k_int, k_me, sf_down, cf_sme, sig_prev, mv_down, rf_up, cf_me]
-                .into_iter()
-                .flatten()
+            for id in [
+                k_int, k_me, sf_down, cf_sme, sig_prev, mv_down, rf_up, cf_me,
+            ]
+            .into_iter()
+            .flatten()
             {
                 tau1_deps.push(id);
             }
@@ -496,8 +500,7 @@ pub fn build_frame_graph(
     } else {
         // CPU-centric: split the R* rows over all cores; DBL's macroblock
         // wavefront parallelizes across cores in shared memory.
-        let core_rows =
-            feves_video::geometry::equidistant(rstar_rows, platform.n_cores.max(1));
+        let core_rows = feves_video::geometry::equidistant(rstar_rows, platform.n_cores.max(1));
         for (c, &rows) in core_rows.iter().enumerate() {
             let d = platform.n_accel + c;
             let mut prev: Vec<TaskId> = vec![tau2];
@@ -579,7 +582,11 @@ mod tests {
 
     fn build(platform: &Platform, dist: &Distribution, overlap: bool) -> FrameGraph {
         let dam = DataManager::new(68, platform.len());
-        let mask: Vec<bool> = platform.devices.iter().map(|d| d.is_accelerator()).collect();
+        let mask: Vec<bool> = platform
+            .devices
+            .iter()
+            .map(|d| d.is_accelerator())
+            .collect();
         let plan = dam.plan(dist, &mask, true);
         build_frame_graph(dist, &plan, platform, &params(), geo(), overlap)
     }
@@ -594,7 +601,10 @@ mod tests {
         let t2 = sched.finish_of(fg.tau2);
         let tt = sched.finish_of(fg.tau_tot);
         assert!(t1 > 0.0 && t1 <= t2 && t2 <= tt, "{t1} {t2} {tt}");
-        assert!((tt - sched.makespan).abs() < 1e-12, "tau_tot is the makespan");
+        assert!(
+            (tt - sched.makespan).abs() < 1e-12,
+            "tau_tot is the makespan"
+        );
     }
 
     #[test]

@@ -11,7 +11,13 @@ fn config(sa: u16, n_ref: usize) -> EncoderConfig {
     })
 }
 
-fn run(platform: Platform, balancer: BalancerKind, sa: u16, n_ref: usize, n: usize) -> EncodeReport {
+fn run(
+    platform: Platform,
+    balancer: BalancerKind,
+    sa: u16,
+    n_ref: usize,
+    n: usize,
+) -> EncodeReport {
     let mut cfg = config(sa, n_ref);
     cfg.balancer = balancer;
     let mut enc = FevesEncoder::new(platform, cfg).unwrap();
@@ -35,7 +41,10 @@ fn first_frame_is_equidistant_then_improves() {
     let steady: Vec<f64> = t[3..].to_vec();
     let mean = steady.iter().sum::<f64>() / steady.len() as f64;
     for v in &steady {
-        assert!((v - mean).abs() < 0.15 * mean, "unstable steady state: {steady:?}");
+        assert!(
+            (v - mean).abs() < 0.15 * mean,
+            "unstable steady state: {steady:?}"
+        );
     }
 }
 
@@ -48,7 +57,10 @@ fn paper_realtime_claims_hold() {
         (Platform::sys_hk(), "SysHK"),
     ] {
         let fps = run(platform, BalancerKind::Feves, 32, 1, 10).steady_fps(3);
-        assert!(fps >= 25.0, "{name} must be real-time at 32²/1RF, got {fps:.1}");
+        assert!(
+            fps >= 25.0,
+            "{name} must be real-time at 32²/1RF, got {fps:.1}"
+        );
     }
     // SysHK even at 64×64 ("not attainable with the state-of-the-art").
     let fps = run(Platform::sys_hk(), BalancerKind::Feves, 64, 1, 10).steady_fps(3);
@@ -107,8 +119,8 @@ fn perturbation_recovers_within_one_frame() {
     cfg.noise_amp = 0.0; // isolate the effect
     let mut enc = FevesEncoder::new(Platform::sys_hk(), cfg).unwrap();
     enc.add_perturbation(Perturbation {
-        device: 0,          // the GPU suddenly loses half its speed
-        frames: 10..12,     // frames 10 and 11
+        device: 0,      // the GPU suddenly loses half its speed
+        frames: 10..12, // frames 10 and 11
         factor: 0.5,
     });
     let rep = enc.run_timing(20);
@@ -160,15 +172,15 @@ fn rf_rampup_produces_rising_slope() {
 }
 
 #[test]
-#[cfg_attr(debug_assertions, ignore = "wall-clock claim holds for optimized builds (paper measures a release binary)")]
+#[cfg_attr(
+    debug_assertions,
+    ignore = "wall-clock claim holds for optimized builds (paper measures a release binary)"
+)]
 fn scheduling_overhead_below_2ms() {
     // §IV: "the scheduling overheads ... take, on average, less than 2 ms
     // per inter-frame encoding".
     let rep = run(Platform::sys_nff(), BalancerKind::Feves, 32, 4, 15);
-    let avg: f64 = rep
-        .inter_frames()
-        .map(|f| f.sched_overhead)
-        .sum::<f64>()
+    let avg: f64 = rep.inter_frames().map(|f| f.sched_overhead).sum::<f64>()
         / rep.inter_frames().count() as f64;
     assert!(
         avg < 2e-3,

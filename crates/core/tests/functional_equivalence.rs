@@ -64,8 +64,8 @@ fn framework_matches_golden_encoder() {
     let frames = test_frames(4);
     let expected = golden(&frames);
 
-    let mut enc = FevesEncoder::new(Platform::sys_hk(), functional_config(BalancerKind::Feves))
-        .unwrap();
+    let mut enc =
+        FevesEncoder::new(Platform::sys_hk(), functional_config(BalancerKind::Feves)).unwrap();
     let rep = enc.encode_sequence(&frames);
     let got: Vec<&FrameReport> = rep.inter_frames().collect();
     assert_eq!(got.len(), expected.len());
@@ -89,8 +89,7 @@ fn all_balancers_produce_identical_output() {
         BalancerKind::SingleAccelerator(0),
         BalancerKind::CpuOnly,
     ] {
-        let mut enc =
-            FevesEncoder::new(Platform::sys_hk(), functional_config(balancer)).unwrap();
+        let mut enc = FevesEncoder::new(Platform::sys_hk(), functional_config(balancer)).unwrap();
         let rep = enc.encode_sequence(&frames);
         let bits: Vec<Option<u64>> = rep.inter_frames().map(|f| f.bits).collect();
         let recon = enc.last_reconstruction().unwrap().as_slice().to_vec();
@@ -107,11 +106,14 @@ fn all_balancers_produce_identical_output() {
 #[test]
 fn quality_is_reasonable_and_reported() {
     let frames = test_frames(4);
-    let mut enc = FevesEncoder::new(Platform::sys_hk(), functional_config(BalancerKind::Feves))
-        .unwrap();
+    let mut enc =
+        FevesEncoder::new(Platform::sys_hk(), functional_config(BalancerKind::Feves)).unwrap();
     let rep = enc.encode_sequence(&frames);
     let psnr = rep.mean_psnr().expect("functional mode must report PSNR");
-    assert!(psnr > 30.0, "QP 27/28 should land above 30 dB, got {psnr:.1}");
+    assert!(
+        psnr > 30.0,
+        "QP 27/28 should land above 30 dB, got {psnr:.1}"
+    );
     assert!(rep.total_bits() > 0);
     // Timing is still produced alongside the functional path.
     for f in rep.inter_frames() {
@@ -122,8 +124,8 @@ fn quality_is_reasonable_and_reported() {
 #[test]
 fn refs_ramp_matches_store_growth() {
     let frames = test_frames(5);
-    let mut enc = FevesEncoder::new(Platform::sys_hk(), functional_config(BalancerKind::Feves))
-        .unwrap();
+    let mut enc =
+        FevesEncoder::new(Platform::sys_hk(), functional_config(BalancerKind::Feves)).unwrap();
     let rep = enc.encode_sequence(&frames);
     let refs: Vec<usize> = rep.inter_frames().map(|f| f.refs_used).collect();
     assert_eq!(refs, vec![1, 2, 2, 2], "n_ref=2 window must ramp 1,2,2,…");
@@ -162,8 +164,16 @@ fn cabac_backend_saves_bits() {
         .encode_sequence(&frames);
     // Same quantized data (identical kernels), different entropy backend:
     // reconstructions identical, rate lower with the arithmetic coder.
-    let eg_psnr: Vec<String> = eg.frames.iter().map(|f| format!("{:?}", f.psnr_y)).collect();
-    let cb_psnr: Vec<String> = cb.frames.iter().map(|f| format!("{:?}", f.psnr_y)).collect();
+    let eg_psnr: Vec<String> = eg
+        .frames
+        .iter()
+        .map(|f| format!("{:?}", f.psnr_y))
+        .collect();
+    let cb_psnr: Vec<String> = cb
+        .frames
+        .iter()
+        .map(|f| format!("{:?}", f.psnr_y))
+        .collect();
     assert_eq!(eg_psnr, cb_psnr, "entropy backend must not change pixels");
     let eg_p: u64 = eg.inter_frames().filter_map(|f| f.bits).sum();
     let cb_p: u64 = cb.inter_frames().filter_map(|f| f.bits).sum();

@@ -107,8 +107,7 @@ impl Platform {
 
     /// SysNF: CPU_N (quad core) + one GPU_F.
     pub fn sys_nf() -> Self {
-        Platform::build(vec![profiles::gpu_fermi()], &profiles::cpu_nehalem(), 4)
-            .named("SysNF")
+        Platform::build(vec![profiles::gpu_fermi()], &profiles::cpu_nehalem(), 4).named("SysNF")
     }
 
     /// SysNFF: CPU_N (quad core) + two GPU_F.
@@ -123,8 +122,7 @@ impl Platform {
 
     /// SysHK: CPU_H (quad core) + one GPU_K.
     pub fn sys_hk() -> Self {
-        Platform::build(vec![profiles::gpu_kepler()], &profiles::cpu_haswell(), 4)
-            .named("SysHK")
+        Platform::build(vec![profiles::gpu_kepler()], &profiles::cpu_haswell(), 4).named("SysHK")
     }
 
     /// Single-device platform: the CPU chip alone (`cores` cores, no GPU).

@@ -101,42 +101,48 @@ pub fn cpu_haswell() -> DeviceProfile {
 ///
 /// ≈26 fps at the calibration point (paper: real-time at 32×32 / 1 RF).
 pub fn gpu_fermi() -> DeviceProfile {
-    with_memory(from_frame_times_ms(
-        "GPU_F",
-        DeviceKind::Accelerator(CopyEngines::Single),
-        14.8, // ME
-        8.3,  // INT (concurrent with ME on the second kernel stream)
-        17.6, // SME
-        0.55, // MC
-        0.37, // TQ
-        0.37, // TQ⁻¹
-        4.8,  // DBL
-        Some(LinkProfile {
-            h2d_bytes_per_sec: 5.8e9,
-            d2h_bytes_per_sec: 5.2e9,
-            latency_s: 12e-6,
-        }),
-    ), 1536) // GTX 580: 1.5 GB
+    with_memory(
+        from_frame_times_ms(
+            "GPU_F",
+            DeviceKind::Accelerator(CopyEngines::Single),
+            14.8, // ME
+            8.3,  // INT (concurrent with ME on the second kernel stream)
+            17.6, // SME
+            0.55, // MC
+            0.37, // TQ
+            0.37, // TQ⁻¹
+            4.8,  // DBL
+            Some(LinkProfile {
+                h2d_bytes_per_sec: 5.8e9,
+                d2h_bytes_per_sec: 5.2e9,
+                latency_s: 12e-6,
+            }),
+        ),
+        1536,
+    ) // GTX 580: 1.5 GB
 }
 
 /// NVIDIA Kepler GTX 780 Ti (dual copy engine, PCIe 3.0): ≈2× GPU_F (§IV).
 pub fn gpu_kepler() -> DeviceProfile {
-    with_memory(from_frame_times_ms(
-        "GPU_K",
-        DeviceKind::Accelerator(CopyEngines::Dual),
-        8.0,  // ME
-        4.5,  // INT (concurrent with ME on the second kernel stream)
-        9.5,  // SME
-        0.30, // MC
-        0.20, // TQ
-        0.20, // TQ⁻¹
-        2.6,  // DBL
-        Some(LinkProfile {
-            h2d_bytes_per_sec: 11.0e9,
-            d2h_bytes_per_sec: 10.0e9,
-            latency_s: 8e-6,
-        }),
-    ), 3072) // GTX 780 Ti: 3 GB
+    with_memory(
+        from_frame_times_ms(
+            "GPU_K",
+            DeviceKind::Accelerator(CopyEngines::Dual),
+            8.0,  // ME
+            4.5,  // INT (concurrent with ME on the second kernel stream)
+            9.5,  // SME
+            0.30, // MC
+            0.20, // TQ
+            0.20, // TQ⁻¹
+            2.6,  // DBL
+            Some(LinkProfile {
+                h2d_bytes_per_sec: 11.0e9,
+                d2h_bytes_per_sec: 10.0e9,
+                latency_s: 8e-6,
+            }),
+        ),
+        3072,
+    ) // GTX 780 Ti: 3 GB
 }
 
 /// One core of a multi-core CPU profile: a core is `cores`× slower than the
@@ -169,10 +175,16 @@ mod tests {
             ..Default::default()
         };
         let t = |m: Module| p.compute_time(m, units_per_frame(m, &params, 120, 68), 1.0);
-        let serial: f64 = [Module::Sme, Module::Mc, Module::Tq, Module::Itq, Module::Dbl]
-            .iter()
-            .map(|&m| t(m))
-            .sum();
+        let serial: f64 = [
+            Module::Sme,
+            Module::Mc,
+            Module::Tq,
+            Module::Itq,
+            Module::Dbl,
+        ]
+        .iter()
+        .map(|&m| t(m))
+        .sum();
         if p.is_accelerator() {
             t(Module::Me).max(t(Module::Interp)) + serial
         } else {
@@ -210,7 +222,12 @@ mod tests {
             let total: f64 = Module::ALL.iter().map(|&m| t(m)).sum();
             let heavy = t(Module::Me) + t(Module::Interp) + t(Module::Sme);
             let mctq = t(Module::Mc) + t(Module::Tq) + t(Module::Itq);
-            assert!(heavy / total > 0.80, "{}: heavy {:.2}", p.name, heavy / total);
+            assert!(
+                heavy / total > 0.80,
+                "{}: heavy {:.2}",
+                p.name,
+                heavy / total
+            );
             assert!(mctq / total < 0.03, "{}: mctq {:.3}", p.name, mctq / total);
         }
     }
@@ -229,8 +246,7 @@ mod tests {
     fn core_split_preserves_chip_throughput() {
         let chip = cpu_haswell();
         let core = cpu_core_of(&chip, 4, 0);
-        let ratio =
-            core.seconds_per_unit.get(Module::Me) / chip.seconds_per_unit.get(Module::Me);
+        let ratio = core.seconds_per_unit.get(Module::Me) / chip.seconds_per_unit.get(Module::Me);
         assert!((ratio - 4.0).abs() < 1e-9);
     }
 }

@@ -295,28 +295,30 @@ pub fn simulate(
             } => {
                 let d = device.0;
                 if d >= nd {
-                    return Err(SimError::BadDevice(format!("device {d} of task {}", t.label)));
+                    return Err(SimError::BadDevice(format!(
+                        "device {d} of task {}",
+                        t.label
+                    )));
                 }
                 // INT runs on the accelerator's secondary kernel stream,
                 // concurrent with ME (see resource table above).
-                resource_of[id.0] = if matches!(module, Module::Interp)
-                    && int_stream_of[d] != usize::MAX
-                {
-                    int_stream_of[d]
-                } else {
-                    d
-                };
+                resource_of[id.0] =
+                    if matches!(module, Module::Interp) && int_stream_of[d] != usize::MAX {
+                        int_stream_of[d]
+                    } else {
+                        d
+                    };
                 base[id.0] = platform.devices[d].compute_time(*module, *units, speed_mult[d]);
             }
             TaskKind::Transfer {
-                device,
-                dir,
-                bytes,
-                ..
+                device, dir, bytes, ..
             } => {
                 let d = device.0;
                 if d >= nd {
-                    return Err(SimError::BadDevice(format!("device {d} of task {}", t.label)));
+                    return Err(SimError::BadDevice(format!(
+                        "device {d} of task {}",
+                        t.label
+                    )));
                 }
                 let Some(link) = platform.devices[d].link else {
                     return Err(SimError::BadDevice(format!(
@@ -480,7 +482,14 @@ mod tests {
         let mut g = TaskGraph::new();
         let gpu = DeviceId(0);
         let up = g.transfer(gpu, Dir::H2d, 10_000_000, TransferTag::Cf, vec![], "cf up");
-        let down = g.transfer(gpu, Dir::D2h, 10_000_000, TransferTag::Sf, vec![], "sf down");
+        let down = g.transfer(
+            gpu,
+            Dir::D2h,
+            10_000_000,
+            TransferTag::Sf,
+            vec![],
+            "sf down",
+        );
         let sched = simulate(&g, &p, &[1.0, 1.0], &mut Deterministic).unwrap();
         assert!(
             sched.start[down.0] >= sched.finish[up.0] - 1e-15,
@@ -494,7 +503,14 @@ mod tests {
         let mut g = TaskGraph::new();
         let gpu = DeviceId(0);
         let up = g.transfer(gpu, Dir::H2d, 10_000_000, TransferTag::Cf, vec![], "cf up");
-        let down = g.transfer(gpu, Dir::D2h, 10_000_000, TransferTag::Sf, vec![], "sf down");
+        let down = g.transfer(
+            gpu,
+            Dir::D2h,
+            10_000_000,
+            TransferTag::Sf,
+            vec![],
+            "sf down",
+        );
         let sched = simulate(&g, &p, &[1.0, 1.0], &mut Deterministic).unwrap();
         assert_eq!(sched.start[up.0], 0.0);
         assert_eq!(sched.start[down.0], 0.0, "dual engines overlap directions");
@@ -506,7 +522,14 @@ mod tests {
         let mut g = TaskGraph::new();
         let gpu = DeviceId(0);
         let k = g.compute(gpu, Module::Me, 2.0e6, vec![], "kernel");
-        let t = g.transfer(gpu, Dir::H2d, 20_000_000, TransferTag::Sf, vec![], "prefetch");
+        let t = g.transfer(
+            gpu,
+            Dir::H2d,
+            20_000_000,
+            TransferTag::Sf,
+            vec![],
+            "prefetch",
+        );
         let sched = simulate(&g, &p, &[1.0, 1.0], &mut Deterministic).unwrap();
         assert_eq!(sched.start[k.0], 0.0);
         assert_eq!(sched.start[t.0], 0.0, "kernel and DMA run concurrently");
@@ -577,15 +600,37 @@ mod shared_bus_tests {
         let dedicated = Platform::build(vec![gpu_kepler(), gpu_kepler()], &cpu_nehalem(), 1);
         let shared = dedicated.clone().with_shared_host_link();
         let mut g = TaskGraph::new();
-        let a = g.transfer(DeviceId(0), Dir::H2d, 20_000_000, TransferTag::Sf, vec![], "a");
-        let b = g.transfer(DeviceId(1), Dir::H2d, 20_000_000, TransferTag::Sf, vec![], "b");
-        let sd = simulate(&g, &dedicated, &dedicated.nominal_speeds(), &mut Deterministic)
-            .unwrap();
+        let a = g.transfer(
+            DeviceId(0),
+            Dir::H2d,
+            20_000_000,
+            TransferTag::Sf,
+            vec![],
+            "a",
+        );
+        let b = g.transfer(
+            DeviceId(1),
+            Dir::H2d,
+            20_000_000,
+            TransferTag::Sf,
+            vec![],
+            "b",
+        );
+        let sd = simulate(
+            &g,
+            &dedicated,
+            &dedicated.nominal_speeds(),
+            &mut Deterministic,
+        )
+        .unwrap();
         let ss = simulate(&g, &shared, &shared.nominal_speeds(), &mut Deterministic).unwrap();
         // Dedicated links overlap fully; the shared bus serializes.
         assert_eq!(sd.start[a.0], 0.0);
         assert_eq!(sd.start[b.0], 0.0);
-        assert!(ss.start[b.0] >= ss.finish[a.0] - 1e-12, "bus must serialize");
+        assert!(
+            ss.start[b.0] >= ss.finish[a.0] - 1e-12,
+            "bus must serialize"
+        );
         assert!(ss.makespan > sd.makespan * 1.8);
     }
 
@@ -594,8 +639,22 @@ mod shared_bus_tests {
         let shared = Platform::build(vec![gpu_kepler(), gpu_kepler()], &cpu_nehalem(), 1)
             .with_shared_host_link();
         let mut g = TaskGraph::new();
-        let up = g.transfer(DeviceId(0), Dir::H2d, 20_000_000, TransferTag::Sf, vec![], "up");
-        let down = g.transfer(DeviceId(1), Dir::D2h, 20_000_000, TransferTag::Sf, vec![], "dn");
+        let up = g.transfer(
+            DeviceId(0),
+            Dir::H2d,
+            20_000_000,
+            TransferTag::Sf,
+            vec![],
+            "up",
+        );
+        let down = g.transfer(
+            DeviceId(1),
+            Dir::D2h,
+            20_000_000,
+            TransferTag::Sf,
+            vec![],
+            "dn",
+        );
         let s = simulate(&g, &shared, &shared.nominal_speeds(), &mut Deterministic).unwrap();
         assert_eq!(s.start[up.0], 0.0);
         assert_eq!(s.start[down.0], 0.0, "opposite directions overlap");

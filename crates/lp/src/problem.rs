@@ -66,6 +66,7 @@ impl std::error::Error for LpError {}
 pub struct Solution {
     values: Vec<f64>,
     objective: f64,
+    iterations: usize,
 }
 
 impl Solution {
@@ -77,6 +78,12 @@ impl Solution {
     /// Optimal objective value (in the problem's own sense).
     pub fn objective(&self) -> f64 {
         self.objective
+    }
+
+    /// Simplex pivot iterations spent producing this solution (phase 1 +
+    /// phase 2 of the successful attempt) — the `lp.iterations` metric.
+    pub fn iterations(&self) -> usize {
+        self.iterations
     }
 }
 
@@ -159,6 +166,7 @@ impl Problem {
     /// iteration cap or fails post-solve verification, an authoritative
     /// Bland-rule attempt (anti-cycling) decides.
     pub fn solve(&self) -> Result<Solution, LpError> {
+        let _span = feves_obs::span!(feves_obs::global(), "lp.solve");
         match self.solve_attempt(PivotRule::Dantzig) {
             Ok(s) => Ok(s),
             Err(LpError::Unbounded) => Err(LpError::Unbounded),
@@ -209,9 +217,7 @@ impl Problem {
             .count();
         let n_art = kinds
             .iter()
-            .filter(|(k, _, _)| {
-                matches!(k, RowKind::SurplusArtificial | RowKind::ArtificialOnly)
-            })
+            .filter(|(k, _, _)| matches!(k, RowKind::SurplusArtificial | RowKind::ArtificialOnly))
             .count();
         let n_total = nv + n_slack + n_art;
 
@@ -319,9 +325,8 @@ impl Problem {
         // handed to the caller as a bogus "optimum".
         for c in &self.constraints {
             let lhs: f64 = c.terms.iter().map(|&(v, k)| k * values[v]).sum();
-            let scale = 1.0
-                + c.rhs.abs()
-                + c.terms.iter().map(|&(_, k)| k.abs()).fold(0.0, f64::max);
+            let scale =
+                1.0 + c.rhs.abs() + c.terms.iter().map(|&(_, k)| k.abs()).fold(0.0, f64::max);
             let tol = 1e-6 * scale;
             let ok = match c.rel {
                 Relation::Le => lhs <= c.rhs + tol,
@@ -340,7 +345,11 @@ impl Problem {
             .zip(&self.obj)
             .map(|(x, c)| x * c)
             .sum::<f64>();
-        Ok(Solution { values, objective })
+        Ok(Solution {
+            values,
+            objective,
+            iterations: t.iterations(),
+        })
     }
 }
 
@@ -368,6 +377,7 @@ mod tests {
         assert!((sol.objective() - 36.0).abs() < 1e-9);
         assert!((sol.value(x) - 2.0).abs() < 1e-9);
         assert!((sol.value(y) - 6.0).abs() < 1e-9);
+        assert!(sol.iterations() > 0, "pivot count must be reported");
     }
 
     #[test]

@@ -47,6 +47,9 @@ pub struct Tableau {
     basis: Vec<usize>,
     m: usize,
     n: usize,
+    /// Pivot iterations performed across all `solve_with` calls on this
+    /// tableau (observability: feeds the `lp.iterations` metric).
+    iters: usize,
 }
 
 impl Tableau {
@@ -67,6 +70,7 @@ impl Tableau {
             basis,
             m,
             n,
+            iters: 0,
         };
         t.price_out_basis();
         t
@@ -105,6 +109,11 @@ impl Tableau {
         &self.basis
     }
 
+    /// Total simplex iterations run on this tableau so far.
+    pub fn iterations(&self) -> usize {
+        self.iters
+    }
+
     /// Run the primal simplex with Bland's rule until optimal or unbounded.
     /// `allowed` limits the entering columns (used in phase 1→2 transition
     /// to lock out artificial variables); pass `n` to allow all.
@@ -119,6 +128,7 @@ impl Tableau {
         let mut iters = 0usize;
         loop {
             iters += 1;
+            self.iters += 1;
             if iters > max_iters {
                 return SimplexOutcome::IterationLimit;
             }
@@ -128,9 +138,7 @@ impl Tableau {
                 PivotRule::Dantzig => {
                     let mut best: Option<(usize, f64)> = None;
                     for j in 0..bound {
-                        if self.c[j] < -EPS
-                            && best.is_none_or(|(_, bc)| self.c[j] < bc)
-                        {
+                        if self.c[j] < -EPS && best.is_none_or(|(_, bc)| self.c[j] < bc) {
                             best = Some((j, self.c[j]));
                         }
                     }
@@ -150,8 +158,7 @@ impl Tableau {
                         None => leave = Some((row, ratio)),
                         Some((lrow, lratio)) => {
                             if ratio < lratio - EPS
-                                || (ratio < lratio + EPS
-                                    && self.basis[row] < self.basis[lrow])
+                                || (ratio < lratio + EPS && self.basis[row] < self.basis[lrow])
                             {
                                 leave = Some((row, ratio));
                             }
@@ -226,8 +233,8 @@ impl Tableau {
         for row in 0..self.m {
             if self.basis[row] >= first_artificial {
                 // Find a structural column with a safely-sized coefficient.
-                let col = (0..first_artificial)
-                    .find(|&j| self.a[row * self.n + j].abs() > PIVOT_EPS);
+                let col =
+                    (0..first_artificial).find(|&j| self.a[row * self.n + j].abs() > PIVOT_EPS);
                 if let Some(col) = col {
                     self.pivot(row, col);
                 } else {

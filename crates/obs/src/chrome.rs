@@ -1,0 +1,167 @@
+//! Chrome trace-event (Perfetto-compatible) JSON builder.
+//!
+//! Emits the JSON object format of the Trace Event spec: a top-level
+//! `{"traceEvents": [...], "displayTimeUnit": "ms"}` object containing
+//! `"M"` (metadata) events naming lanes and `"X"` (complete) events for
+//! tasks, with `ts`/`dur` in microseconds. The output loads directly in
+//! [Perfetto](https://ui.perfetto.dev) or `chrome://tracing`.
+//!
+//! All values flow through the ordered [`serde::Value`] tree, so output is
+//! byte-stable for identical inputs — the golden-test contract.
+
+use serde::Value;
+
+/// Builder for a Chrome trace-event JSON document.
+#[derive(Clone, Debug, Default)]
+pub struct ChromeTraceBuilder {
+    events: Vec<Value>,
+}
+
+fn obj(fields: Vec<(&str, Value)>) -> Value {
+    Value::Object(
+        fields
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    )
+}
+
+impl ChromeTraceBuilder {
+    /// Empty trace.
+    pub fn new() -> Self {
+        ChromeTraceBuilder { events: Vec::new() }
+    }
+
+    /// Emit a `process_name` metadata event for `pid`.
+    pub fn process_name(&mut self, pid: u64, name: &str) {
+        self.events.push(obj(vec![
+            ("name", Value::Str("process_name".to_string())),
+            ("ph", Value::Str("M".to_string())),
+            ("pid", Value::UInt(pid)),
+            ("tid", Value::UInt(0)),
+            ("args", obj(vec![("name", Value::Str(name.to_string()))])),
+        ]));
+    }
+
+    /// Emit a `thread_name` metadata event so the lane shows as `name` in
+    /// the timeline UI.
+    pub fn thread_name(&mut self, pid: u64, tid: u64, name: &str) {
+        self.events.push(obj(vec![
+            ("name", Value::Str("thread_name".to_string())),
+            ("ph", Value::Str("M".to_string())),
+            ("pid", Value::UInt(pid)),
+            ("tid", Value::UInt(tid)),
+            ("args", obj(vec![("name", Value::Str(name.to_string()))])),
+        ]));
+    }
+
+    /// Emit an `"X"` complete event: a task on lane (`pid`, `tid`) starting
+    /// at `ts_us` microseconds and lasting `dur_us` microseconds.
+    pub fn complete(&mut self, pid: u64, tid: u64, name: &str, cat: &str, ts_us: f64, dur_us: f64) {
+        self.events.push(obj(vec![
+            ("name", Value::Str(name.to_string())),
+            ("cat", Value::Str(cat.to_string())),
+            ("ph", Value::Str("X".to_string())),
+            ("pid", Value::UInt(pid)),
+            ("tid", Value::UInt(tid)),
+            ("ts", Value::Float(ts_us)),
+            ("dur", Value::Float(dur_us)),
+        ]));
+    }
+
+    /// Emit an `"i"` instant event (thread scope) — used for the τ1/τ2/τtot
+    /// synchronisation-point markers.
+    pub fn instant(&mut self, pid: u64, tid: u64, name: &str, ts_us: f64) {
+        self.events.push(obj(vec![
+            ("name", Value::Str(name.to_string())),
+            ("ph", Value::Str("i".to_string())),
+            ("s", Value::Str("t".to_string())),
+            ("pid", Value::UInt(pid)),
+            ("tid", Value::UInt(tid)),
+            ("ts", Value::Float(ts_us)),
+        ]));
+    }
+
+    /// Number of events queued so far.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when no events were emitted.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Consume the builder into the trace-document value tree.
+    pub fn finish(self) -> Value {
+        obj(vec![
+            ("traceEvents", Value::Array(self.events)),
+            ("displayTimeUnit", Value::Str("ms".to_string())),
+        ])
+    }
+
+    /// Serialize to compact JSON.
+    pub fn to_json(self) -> String {
+        serde_json::to_string(&self.finish()).expect("value is a tree")
+    }
+
+    /// Serialize to pretty-printed JSON.
+    pub fn to_json_pretty(self) -> String {
+        serde_json::to_string_pretty(&self.finish()).expect("value is a tree")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ChromeTraceBuilder {
+        let mut b = ChromeTraceBuilder::new();
+        b.process_name(0, "feves");
+        b.thread_name(0, 1, "dev0");
+        b.thread_name(0, 2, "dev1 h2d");
+        b.complete(0, 1, "ME f3", "compute", 0.0, 1500.5);
+        b.complete(0, 2, "h2d f3", "transfer", 100.0, 400.0);
+        b.instant(0, 1, "tau1", 1500.5);
+        b
+    }
+
+    #[test]
+    fn builds_well_formed_trace_document() {
+        let b = sample();
+        assert_eq!(b.len(), 6);
+        let doc = b.finish();
+        let events = doc
+            .get("traceEvents")
+            .and_then(|e| e.as_array())
+            .expect("traceEvents array");
+        assert_eq!(events.len(), 6);
+        assert_eq!(
+            doc.get("displayTimeUnit").and_then(|v| v.as_str()),
+            Some("ms")
+        );
+        // Metadata first two, then the complete events.
+        assert_eq!(events[0].get("ph").and_then(|v| v.as_str()), Some("M"));
+        assert_eq!(events[3].get("ph").and_then(|v| v.as_str()), Some("X"));
+        assert_eq!(events[3].get("dur").and_then(|v| v.as_f64()), Some(1500.5));
+        assert_eq!(events[5].get("ph").and_then(|v| v.as_str()), Some("i"));
+    }
+
+    #[test]
+    fn json_is_byte_stable_and_parseable() {
+        let a = sample().to_json();
+        let b = sample().to_json();
+        assert_eq!(a, b);
+        assert!(a.starts_with("{\"traceEvents\":["));
+        let parsed = serde_json::value_from_str(&a).expect("valid JSON");
+        assert!(parsed.get("traceEvents").is_some());
+    }
+
+    #[test]
+    fn empty_trace_is_still_valid() {
+        let b = ChromeTraceBuilder::new();
+        assert!(b.is_empty());
+        let json = b.to_json();
+        assert!(serde_json::value_from_str(&json).is_ok());
+    }
+}

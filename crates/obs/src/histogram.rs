@@ -1,0 +1,235 @@
+//! Lock-free fixed-bucket logarithmic histogram.
+//!
+//! 256 buckets: bucket 0 collects zero and underflow (`v < 2^MIN_EXP`);
+//! bucket `i ≥ 1` covers the half-open interval
+//! `[2^(MIN_EXP + (i−1)/SUB), 2^(MIN_EXP + i/SUB))` — [`SUB`] sub-buckets
+//! per octave, so every bucket is ≤ 2^(1/8) ≈ 9 % wide. Percentile queries
+//! return the *upper bound* of the rank's bucket, which makes the math
+//! exactly unit-testable at bucket boundaries. Values past the top bucket
+//! clamp into it.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Buckets in the histogram (1 underflow + 255 log buckets).
+pub const BUCKETS: usize = 256;
+/// Sub-buckets per octave (power of two).
+const SUB: i32 = 8;
+/// Exponent of the smallest resolvable value: `2^MIN_EXP = 1/256`.
+const MIN_EXP: i32 = -8;
+
+/// A concurrent histogram of non-negative `f64` samples.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    /// Sum of samples, stored as `f64` bits, CAS-updated.
+    sum_bits: AtomicU64,
+    /// Maximum sample, stored as `f64` bits, CAS-updated.
+    max_bits: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// Empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum_bits: AtomicU64::new(0.0f64.to_bits()),
+            max_bits: AtomicU64::new(0.0f64.to_bits()),
+        }
+    }
+
+    /// Bucket index for `v` (negative/NaN values count as underflow).
+    pub fn bucket_index(v: f64) -> usize {
+        if v.is_nan() || v < 2f64.powi(MIN_EXP) {
+            return 0;
+        }
+        let idx = ((v.log2() - MIN_EXP as f64) * SUB as f64).floor() as isize + 1;
+        idx.clamp(1, BUCKETS as isize - 1) as usize
+    }
+
+    /// Upper bound of bucket `i` (0.0 for the underflow bucket — its samples
+    /// are indistinguishable from zero at this resolution).
+    pub fn bucket_upper(i: usize) -> f64 {
+        if i == 0 {
+            0.0
+        } else {
+            2f64.powf(MIN_EXP as f64 + i as f64 / SUB as f64)
+        }
+    }
+
+    /// Record one sample.
+    pub fn observe(&self, v: f64) {
+        self.buckets[Self::bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        let add = if v.is_finite() && v > 0.0 { v } else { 0.0 };
+        let _ = self
+            .sum_bits
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |bits| {
+                Some((f64::from_bits(bits) + add).to_bits())
+            });
+        let _ = self
+            .max_bits
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |bits| {
+                if add > f64::from_bits(bits) {
+                    Some(add.to_bits())
+                } else {
+                    None
+                }
+            });
+    }
+
+    /// Samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of samples.
+    pub fn sum(&self) -> f64 {
+        f64::from_bits(self.sum_bits.load(Ordering::Relaxed))
+    }
+
+    /// Arithmetic mean (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            0.0
+        } else {
+            self.sum() / n as f64
+        }
+    }
+
+    /// Exact maximum sample seen (0.0 when empty).
+    pub fn max(&self) -> f64 {
+        f64::from_bits(self.max_bits.load(Ordering::Relaxed))
+    }
+
+    /// Nearest-rank percentile (`p` in `[0, 100]`), reported as the upper
+    /// bound of the bucket containing that rank. 0.0 when empty.
+    pub fn percentile(&self, p: f64) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            return 0.0;
+        }
+        let rank = ((p / 100.0) * n as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            seen += b.load(Ordering::Relaxed);
+            if seen >= rank {
+                return Self::bucket_upper(i);
+            }
+        }
+        Self::bucket_upper(BUCKETS - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries_are_exact() {
+        let min = 2f64.powi(MIN_EXP);
+        // Below the smallest resolvable value → underflow bucket.
+        assert_eq!(Histogram::bucket_index(0.0), 0);
+        assert_eq!(Histogram::bucket_index(min * 0.999), 0);
+        assert_eq!(Histogram::bucket_index(-1.0), 0);
+        assert_eq!(Histogram::bucket_index(f64::NAN), 0);
+        // Exactly 2^MIN_EXP starts bucket 1.
+        assert_eq!(Histogram::bucket_index(min), 1);
+        // One octave spans SUB buckets: 2·min starts bucket SUB+1.
+        assert_eq!(Histogram::bucket_index(2.0 * min), 1 + SUB as usize);
+        // 1.0 is MIN_EXP octaves up.
+        assert_eq!(Histogram::bucket_index(1.0), 1 + (-MIN_EXP * SUB) as usize);
+        // Upper bound of a value's bucket is > the value; lower edge equals
+        // the previous bucket's upper bound.
+        for v in [0.004, 0.03, 1.0, 7.3, 1000.0] {
+            let i = Histogram::bucket_index(v);
+            assert!(Histogram::bucket_upper(i) > v * 0.999_999);
+            assert!(Histogram::bucket_upper(i - 1) <= v);
+        }
+        // Huge values clamp into the top bucket.
+        assert_eq!(Histogram::bucket_index(1e300), BUCKETS - 1);
+    }
+
+    #[test]
+    fn bucket_width_is_tight() {
+        // Relative bucket width is 2^(1/SUB) everywhere above underflow.
+        for i in 2..BUCKETS {
+            let ratio = Histogram::bucket_upper(i) / Histogram::bucket_upper(i - 1);
+            assert!((ratio - 2f64.powf(1.0 / SUB as f64)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn percentiles_return_bucket_upper_bounds() {
+        let h = Histogram::new();
+        for _ in 0..90 {
+            h.observe(10.0);
+        }
+        for _ in 0..10 {
+            h.observe(100.0);
+        }
+        assert_eq!(h.count(), 100);
+        let b10 = Histogram::bucket_upper(Histogram::bucket_index(10.0));
+        let b100 = Histogram::bucket_upper(Histogram::bucket_index(100.0));
+        assert_eq!(h.percentile(50.0), b10);
+        assert_eq!(h.percentile(90.0), b10);
+        // Rank 91 falls into the 100.0 bucket.
+        assert_eq!(h.percentile(91.0), b100);
+        assert_eq!(h.percentile(99.0), b100);
+        assert_eq!(h.percentile(100.0), b100);
+        // The bound is within the bucket's 2^(1/8) relative error.
+        assert!(b10 > 10.0 && b10 < 10.0 * 2f64.powf(1.0 / SUB as f64));
+    }
+
+    #[test]
+    fn mean_max_sum_are_exact() {
+        let h = Histogram::new();
+        h.observe(1.0);
+        h.observe(2.0);
+        h.observe(9.0);
+        assert_eq!(h.sum(), 12.0);
+        assert_eq!(h.mean(), 4.0);
+        assert_eq!(h.max(), 9.0);
+        let empty = Histogram::new();
+        assert_eq!(empty.mean(), 0.0);
+        assert_eq!(empty.percentile(50.0), 0.0);
+    }
+
+    #[test]
+    fn zeroes_land_in_underflow_and_report_zero() {
+        let h = Histogram::new();
+        for _ in 0..5 {
+            h.observe(0.0);
+        }
+        assert_eq!(h.percentile(50.0), 0.0);
+        assert_eq!(h.percentile(99.0), 0.0);
+    }
+
+    #[test]
+    fn concurrent_observes_lose_nothing() {
+        let h = std::sync::Arc::new(Histogram::new());
+        std::thread::scope(|s| {
+            for t in 0..4 {
+                let h = h.clone();
+                s.spawn(move || {
+                    for i in 0..1000 {
+                        h.observe((t * 1000 + i) as f64 / 7.0);
+                    }
+                });
+            }
+        });
+        assert_eq!(h.count(), 4000);
+        let bucket_total: u64 = (0..BUCKETS)
+            .map(|i| h.buckets[i].load(Ordering::Relaxed))
+            .sum();
+        assert_eq!(bucket_total, 4000);
+    }
+}

@@ -88,6 +88,7 @@ pub fn solve(
     centric: Centric,
     sigma_rem_prev: &[usize],
 ) -> Result<Distribution, LbError> {
+    let _span = feves_obs::span!(feves_obs::global(), "algorithm2");
     let nd = platform.len();
     assert_eq!(sigma_rem_prev.len(), nd);
     if !perf.is_complete() {
@@ -181,17 +182,9 @@ pub fn solve(
         match dev.kind {
             DeviceKind::CpuCore => {
                 // (2): m_i·K^m + l_i·K^l ≤ τ1.
-                lp.add_constraint(
-                    &[(m[i], km), (l[i], kl), (tau1, -1.0)],
-                    Relation::Le,
-                    0.0,
-                );
+                lp.add_constraint(&[(m[i], km), (l[i], kl), (tau1, -1.0)], Relation::Le, 0.0);
                 // (3): τ1 + s_i·K^s ≤ τ2.
-                lp.add_constraint(
-                    &[(tau1, 1.0), (s[i], ks), (tau2, -1.0)],
-                    Relation::Le,
-                    0.0,
-                );
+                lp.add_constraint(&[(tau1, 1.0), (s[i], ks), (tau2, -1.0)], Relation::Le, 0.0);
             }
             DeviceKind::Accelerator(engines) => {
                 let k_cf_hd = xfer(perf, i, TransferTag::Cf, Dir::H2d);
@@ -206,9 +199,7 @@ pub fn solve(
                 let is_rstar = matches!(centric, Centric::Gpu(g) if g == i);
 
                 // Helper to extend a term list with Δ terms at a coefficient.
-                let with = |base: Vec<(VarId, f64)>,
-                            extra: &[(VarId, f64)],
-                            coeff: f64| {
+                let with = |base: Vec<(VarId, f64)>, extra: &[(VarId, f64)], coeff: f64| {
                     let mut t = base;
                     for &(v, c) in extra {
                         t.push((v, c * coeff));
@@ -238,22 +229,14 @@ pub fn solve(
                     match engines {
                         CopyEngines::Single => {
                             let t = with(
-                                vec![
-                                    (m[i], k_cf_hd + k_mv_dh),
-                                    (l[i], k_sf_dh),
-                                    (tau1, -1.0),
-                                ],
+                                vec![(m[i], k_cf_hd + k_mv_dh), (l[i], k_sf_dh), (tau1, -1.0)],
                                 dm,
                                 k_cf_hd,
                             );
                             lp.add_constraint(&t, Relation::Le, 0.0);
                         }
                         CopyEngines::Dual => {
-                            let t = with(
-                                vec![(m[i], k_cf_hd), (tau1, -1.0)],
-                                dm,
-                                k_cf_hd,
-                            );
+                            let t = with(vec![(m[i], k_cf_hd), (tau1, -1.0)], dm, k_cf_hd);
                             lp.add_constraint(&t, Relation::Le, 0.0);
                             lp.add_constraint(
                                 &[(m[i], k_mv_dh), (l[i], k_sf_dh), (tau1, -1.0)],
@@ -264,11 +247,7 @@ pub fn solve(
                     }
                     // (7): τ1 + Δl·K^sf_hd + Δm·K^mv_hd + SME ≤ τ2.
                     let t = {
-                        let t = with(
-                            vec![(tau1, 1.0), (s[i], ks), (tau2, -1.0)],
-                            dl,
-                            k_sf_hd,
-                        );
+                        let t = with(vec![(tau1, 1.0), (s[i], ks), (tau2, -1.0)], dl, k_sf_hd);
                         with(t, dm, k_mv_hd)
                     };
                     lp.add_constraint(&t, Relation::Le, 0.0);
@@ -288,9 +267,7 @@ pub fn solve(
                     // counted in the remaining-SF term): they cancel.
                     lp.add_constraint(&t, Relation::Le, -(n * (k_cf_hd + k_sf_hd)));
                     // (9): τ2 + (N−s)K^mv_hd + T^{R*} + N·K^rf_dh ≤ τtot.
-                    let t_rstar = perf
-                        .estimate_rstar(i)
-                        .unwrap_or(0.0);
+                    let t_rstar = perf.estimate_rstar(i).unwrap_or(0.0);
                     lp.add_constraint(
                         &[(tau2, 1.0), (s[i], -k_mv_hd), (tau_tot, -1.0)],
                         Relation::Le,
@@ -306,11 +283,7 @@ pub fn solve(
                     );
                     // (11): RF up + INT + SF down + σ^{r−1} up + ΔmCF up + MV down ≤ τ1.
                     let t = with(
-                        vec![
-                            (l[i], kl + k_sf_dh),
-                            (m[i], k_mv_dh),
-                            (tau1, -1.0),
-                        ],
+                        vec![(l[i], kl + k_sf_dh), (m[i], k_mv_dh), (tau1, -1.0)],
                         dm,
                         k_cf_hd,
                     );
@@ -319,11 +292,7 @@ pub fn solve(
                     match engines {
                         CopyEngines::Single => {
                             let t = with(
-                                vec![
-                                    (m[i], k_cf_hd + k_mv_dh),
-                                    (l[i], k_sf_dh),
-                                    (tau1, -1.0),
-                                ],
+                                vec![(m[i], k_cf_hd + k_mv_dh), (l[i], k_sf_dh), (tau1, -1.0)],
                                 dm,
                                 k_cf_hd,
                             );
@@ -334,11 +303,7 @@ pub fn solve(
                             );
                         }
                         CopyEngines::Dual => {
-                            let t = with(
-                                vec![(m[i], k_cf_hd), (tau1, -1.0)],
-                                dm,
-                                k_cf_hd,
-                            );
+                            let t = with(vec![(m[i], k_cf_hd), (tau1, -1.0)], dm, k_cf_hd);
                             lp.add_constraint(
                                 &t,
                                 Relation::Le,
@@ -365,11 +330,7 @@ pub fn solve(
                     // σʳ_i = N − l_i − Δl_i − σ_i ≥ 0. Linearized: σ bounded
                     // by both terms, pulled upward by the objective.
                     let sigma = lp.add_var(format!("sigma{i}"), -1e-9);
-                    let t = with(
-                        vec![(sigma, 1.0), (l[i], 1.0)],
-                        dl,
-                        1.0,
-                    );
+                    let t = with(vec![(sigma, 1.0), (l[i], 1.0)], dl, 1.0);
                     lp.add_constraint(&t, Relation::Le, n);
                     lp.add_constraint(
                         &[(sigma, k_sf_hd), (tau2, 1.0), (tau_tot, -1.0)],
@@ -385,11 +346,7 @@ pub fn solve(
     if matches!(centric, Centric::Cpu) {
         let core0 = platform.n_accel;
         let t_rstar = perf.estimate_rstar(core0).unwrap_or(0.0);
-        lp.add_constraint(
-            &[(tau2, 1.0), (tau_tot, -1.0)],
-            Relation::Le,
-            -t_rstar,
-        );
+        lp.add_constraint(&[(tau2, 1.0), (tau_tot, -1.0)], Relation::Le, -t_rstar);
     }
 
     let sol = lp.solve().map_err(LbError::Lp)?;
@@ -424,7 +381,8 @@ pub fn solve(
             }
         })
         .collect();
-    let dist = Distribution::from_rows(me, li, sm, rstar_device, &budget, Some(predicted));
+    let mut dist = Distribution::from_rows(me, li, sm, rstar_device, &budget, Some(predicted));
+    dist.lp_iterations = Some(sol.iterations());
     debug_assert!(dist.validate(n_rows).is_ok());
     Ok(dist)
 }
@@ -487,11 +445,7 @@ pub(crate) mod tests {
         let d = solve(68, &p, &pc, Centric::Gpu(0), &vec![0; p.len()]).unwrap();
         d.validate(68).unwrap();
         // The GPU is ~3x the whole CPU: it must take the lion's share.
-        assert!(
-            d.me[0] > 40,
-            "GPU should take most ME rows, got {:?}",
-            d.me
-        );
+        assert!(d.me[0] > 40, "GPU should take most ME rows, got {:?}", d.me);
         // The CPU cores collectively contribute a real share (the LP may
         // leave an individual core empty at a degenerate vertex).
         assert!(
@@ -510,8 +464,8 @@ pub(crate) mod tests {
         let p = Platform::sys_hk();
         let pc = perfect_perfchar(&p, me_units(32, 1));
         let d = solve(68, &p, &pc, Centric::Gpu(0), &vec![0; p.len()]).unwrap();
-        let gpu_alone: f64 = 68.0
-            * (pc.k_me(0).unwrap() + pc.k_int(0).unwrap() + pc.k_sme(0).unwrap());
+        let gpu_alone: f64 =
+            68.0 * (pc.k_me(0).unwrap() + pc.k_int(0).unwrap() + pc.k_sme(0).unwrap());
         let pred = d.predicted.unwrap();
         assert!(
             pred.tau_tot < gpu_alone,

@@ -145,20 +145,12 @@ impl LoadBalancer for SingleDeviceBalancer {
             None => {
                 // Spread over the CPU cores only; accelerators get nothing.
                 let mut rows = vec![0usize; p.len()];
-                let per_core =
-                    feves_video::geometry::equidistant(input.n_rows, p.n_cores.max(1));
+                let per_core = feves_video::geometry::equidistant(input.n_rows, p.n_cores.max(1));
                 for (c, &r) in per_core.iter().enumerate() {
                     rows[p.n_accel + c] = r;
                 }
                 let budget = vec![usize::MAX; p.len()];
-                Distribution::from_rows(
-                    rows.clone(),
-                    rows.clone(),
-                    rows,
-                    p.n_accel,
-                    &budget,
-                    None,
-                )
+                Distribution::from_rows(rows.clone(), rows.clone(), rows, p.n_accel, &budget, None)
             }
         }
     }

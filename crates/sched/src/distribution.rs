@@ -46,6 +46,9 @@ pub struct Distribution {
     pub rstar_device: usize,
     /// LP-predicted times (None for heuristic balancers).
     pub predicted: Option<PredictedTimes>,
+    /// Simplex iterations the LP solve spent producing this distribution
+    /// (None for heuristic balancers) — feeds the `lp.iterations` metric.
+    pub lp_iterations: Option<usize>,
 }
 
 impl Distribution {
@@ -87,6 +90,7 @@ impl Distribution {
             sigma_rem,
             rstar_device,
             predicted,
+            lp_iterations: None,
         }
     }
 
@@ -167,10 +171,7 @@ pub fn round_preserving_sum(fractions: &[f64], total: usize) -> Vec<usize> {
         // Degenerate input: fall back to equal shares.
         vec![total as f64 / n as f64; n]
     } else {
-        clamped
-            .iter()
-            .map(|&f| f * total as f64 / fsum)
-            .collect()
+        clamped.iter().map(|&f| f * total as f64 / fsum).collect()
     };
     let mut floor: Vec<usize> = scaled.iter().map(|&f| f.floor() as usize).collect();
     let mut assigned: usize = floor.iter().sum();

@@ -35,13 +35,7 @@ fn xfer_or_zero(perf: &PerfChar, d: usize, tag: TransferTag, dir: Dir) -> f64 {
 impl GreedyBalancer {
     /// Assign `n_rows` in chunks by earliest finish on `busy`, where device
     /// `d` spends `cost_per_row[d]` seconds per row.
-    fn assign(
-        &self,
-        n_rows: usize,
-        busy: &mut [f64],
-        cost_per_row: &[f64],
-        out: &mut [usize],
-    ) {
+    fn assign(&self, n_rows: usize, busy: &mut [f64], cost_per_row: &[f64], out: &mut [usize]) {
         let mut remaining = n_rows;
         while remaining > 0 {
             let take = self.chunk.min(remaining);
@@ -80,9 +74,7 @@ impl LoadBalancer for GreedyBalancer {
             })
             .collect();
         let int_cost: Vec<f64> = (0..nd)
-            .map(|d| {
-                perf.k_int(d).unwrap() + xfer_or_zero(perf, d, TransferTag::Sf, Dir::D2h)
-            })
+            .map(|d| perf.k_int(d).unwrap() + xfer_or_zero(perf, d, TransferTag::Sf, Dir::D2h))
             .collect();
         let mut busy = vec![0.0f64; nd];
         let mut me = vec![0usize; nd];
@@ -93,10 +85,7 @@ impl LoadBalancer for GreedyBalancer {
         // Phase 2 (τ1 → τ2): SME starts after the barrier.
         let tau1 = busy.iter().copied().fold(0.0f64, f64::max);
         let sme_cost: Vec<f64> = (0..nd)
-            .map(|d| {
-                perf.k_sme(d).unwrap()
-                    + xfer_or_zero(perf, d, TransferTag::Mv, Dir::D2h)
-            })
+            .map(|d| perf.k_sme(d).unwrap() + xfer_or_zero(perf, d, TransferTag::Mv, Dir::D2h))
             .collect();
         let mut busy2 = vec![tau1; nd];
         let mut sm = vec![0usize; nd];
@@ -118,10 +107,7 @@ mod tests {
     use crate::algorithm2::tests::perfect_perfchar;
     use feves_hetsim::platform::Platform;
 
-    fn input<'a>(
-        p: &'a Platform,
-        pc: &'a PerfChar,
-    ) -> BalanceInput<'a> {
+    fn input<'a>(p: &'a Platform, pc: &'a PerfChar) -> BalanceInput<'a> {
         BalanceInput {
             n_rows: 68,
             platform: p,

@@ -181,9 +181,8 @@ impl PerfChar {
     /// True once every device has compute rates for all balanced modules
     /// (i.e. after the equidistant first inter-frame).
     pub fn is_complete(&self) -> bool {
-        (0..self.n_devices).all(|d| {
-            self.k_me(d).is_some() && self.k_int(d).is_some() && self.k_sme(d).is_some()
-        })
+        (0..self.n_devices)
+            .all(|d| self.k_me(d).is_some() && self.k_int(d).is_some() && self.k_sme(d).is_some())
     }
 }
 

@@ -80,10 +80,7 @@ pub fn choose_rstar(
     // Nodes: 0 = source, 1 = sink, then per candidate: gather, compute,
     // publish chained. Candidates: every accelerator, plus one "CPU"
     // pseudo-candidate representing all cores.
-    let mut candidates: Vec<Option<usize>> = platform
-        .accelerators()
-        .map(|d| Some(d.0))
-        .collect();
+    let mut candidates: Vec<Option<usize>> = platform.accelerators().map(|d| Some(d.0)).collect();
     if platform.n_cores > 0 {
         candidates.push(None); // the CPU option
     }

@@ -39,12 +39,7 @@ impl Frame {
         u.fill(128);
         let mut v = Plane::new(padded.width / 2, padded.height / 2);
         v.fill(128);
-        Ok(Frame {
-            y,
-            u,
-            v,
-            display,
-        })
+        Ok(Frame { y, u, v, display })
     }
 
     /// Build a frame from raw planar 4:2:0 data at display size; the luma

@@ -167,9 +167,7 @@ pub fn equidistant(n_rows: usize, parts: usize) -> Vec<usize> {
     assert!(parts > 0);
     let base = n_rows / parts;
     let extra = n_rows % parts;
-    (0..parts)
-        .map(|i| base + usize::from(i < extra))
-        .collect()
+    (0..parts).map(|i| base + usize::from(i < extra)).collect()
 }
 
 #[cfg(test)]
@@ -203,7 +201,9 @@ mod tests {
         assert_eq!(below, RowRange::new(8, 10));
 
         // Disjoint ranges intersect to empty.
-        assert!(RowRange::new(0, 2).intersect(&RowRange::new(5, 9)).is_empty());
+        assert!(RowRange::new(0, 2)
+            .intersect(&RowRange::new(5, 9))
+            .is_empty());
 
         // Contained range has no difference.
         let (ab, bl) = b.difference(&a);

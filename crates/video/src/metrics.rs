@@ -179,7 +179,10 @@ mod ssim_tests {
         let light = ssim(&p, &noisy(&p, 4, 1));
         let heavy = ssim(&p, &noisy(&p, 40, 2));
         assert!(light < 1.0);
-        assert!(heavy < light, "more noise must score lower: {heavy} vs {light}");
+        assert!(
+            heavy < light,
+            "more noise must score lower: {heavy} vs {light}"
+        );
         assert!(light > 0.9, "light noise should stay high: {light}");
     }
 

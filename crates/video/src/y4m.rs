@@ -59,12 +59,11 @@ impl<R: BufRead> Y4mReader<R> {
                         _ => return Err(VideoError::ParseError(format!("bad F tag {val}"))),
                     }
                 }
-                "C"
-                    if !val.starts_with("420") => {
-                        return Err(VideoError::ParseError(format!(
-                            "unsupported chroma {val}, only 4:2:0"
-                        )));
-                    }
+                "C" if !val.starts_with("420") => {
+                    return Err(VideoError::ParseError(format!(
+                        "unsupported chroma {val}, only 4:2:0"
+                    )));
+                }
                 _ => {} // I, A, X tags ignored
             }
         }
@@ -106,12 +105,8 @@ impl<R: BufRead> Y4mReader<R> {
         self.inner
             .read_exact(&mut buf)
             .map_err(|_| VideoError::UnexpectedEof)?;
-        let frame = Frame::from_planes_420(
-            res,
-            &buf[..ysz],
-            &buf[ysz..ysz + csz],
-            &buf[ysz + csz..],
-        )?;
+        let frame =
+            Frame::from_planes_420(res, &buf[..ysz], &buf[ysz..ysz + csz], &buf[ysz + csz..])?;
         Ok(Some(frame))
     }
 

@@ -23,7 +23,10 @@ fn run(balancer: BalancerKind, platform: Platform, n_ref: usize) -> EncodeReport
 
 fn main() {
     println!("SysNFF (CPU_N + 2x GPU_F), 1080p, SA 32x32 — steady-state fps\n");
-    println!("{:>16} {:>8} {:>8} {:>8}", "balancer", "1 RF", "2 RF", "4 RF");
+    println!(
+        "{:>16} {:>8} {:>8} {:>8}",
+        "balancer", "1 RF", "2 RF", "4 RF"
+    );
     let rows: Vec<(&str, BalancerKind)> = vec![
         ("feves (Alg 2)", BalancerKind::Feves),
         ("proportional[9]", BalancerKind::Proportional),
@@ -41,13 +44,17 @@ fn main() {
             }
             cells.push(format!("{fps:7.1}{}", if fps >= 25.0 { "*" } else { " " }));
         }
-        println!("{:>16} {:>8} {:>8} {:>8}", name, cells[0], cells[1], cells[2]);
+        println!(
+            "{:>16} {:>8} {:>8} {:>8}",
+            name, cells[0], cells[1], cells[2]
+        );
     }
     println!("\n(*) ≥ 25 fps. The LP accounts for communication, copy-engine");
     println!("concurrency and cross-module coupling, which the per-module and");
     println!("equidistant policies ignore — hence the gap.");
     println!(
         "\nFEVES speedup vs single GPU_F at 1 RF: {:.2}x",
-        feves_fps[0] / run(BalancerKind::SingleAccelerator(0), Platform::sys_nff(), 1).steady_fps(4)
+        feves_fps[0]
+            / run(BalancerKind::SingleAccelerator(0), Platform::sys_nff(), 1).steady_fps(4)
     );
 }

@@ -30,7 +30,10 @@ fn main() {
     ];
 
     println!("— search-area sweep (1 reference frame) —");
-    println!("{:>8} {:>10} {:>10} {:>10} {:>10}", "system", "32x32", "64x64", "128x128", "256x256");
+    println!(
+        "{:>8} {:>10} {:>10} {:>10} {:>10}",
+        "system", "32x32", "64x64", "128x128", "256x256"
+    );
     for (name, p) in &platforms {
         let row: Vec<String> = [32u16, 64, 128, 256]
             .iter()
@@ -39,7 +42,10 @@ fn main() {
                 format!("{f:6.1}{}", if f >= 25.0 { " *" } else { "  " })
             })
             .collect();
-        println!("{:>8} {:>10} {:>10} {:>10} {:>10}", name, row[0], row[1], row[2], row[3]);
+        println!(
+            "{:>8} {:>10} {:>10} {:>10} {:>10}",
+            name, row[0], row[1], row[2], row[3]
+        );
     }
 
     println!("\n— reference-frame sweep (32x32 search area) —");

@@ -7,6 +7,8 @@
 //! ```
 
 use feves::core::prelude::*;
+use feves::obs::MemoryRecorder;
+use std::sync::Arc;
 
 fn main() {
     let params = EncodeParams {
@@ -17,16 +19,20 @@ fn main() {
     let mut cfg = EncoderConfig::full_hd(params);
     cfg.noise_amp = 0.0;
     let mut enc = FevesEncoder::new(Platform::sys_hk(), cfg).unwrap();
+    let rec = Arc::new(MemoryRecorder::new());
+    feves::obs::install(rec.clone()); // catch the library-internal spans too
+    enc.set_recorder(rec.clone());
 
     println!("== frame 1: the equidistant probe (initialization phase) ==\n");
-    enc.encode_inter_timing();
+    let mut frames = vec![enc.encode_inter_timing()];
     println!("{}", enc.last_trace().unwrap().render_gantt(100));
 
     for _ in 0..4 {
-        enc.encode_inter_timing();
+        frames.push(enc.encode_inter_timing());
     }
     println!("== frame 6: LP-balanced steady state ==\n");
     let report = enc.encode_inter_timing();
+    frames.push(report.clone());
     let trace = enc.last_trace().unwrap();
     println!("{}", trace.render_gantt(100));
     println!(
@@ -38,9 +44,35 @@ fn main() {
         report.fps()
     );
 
-    // Machine-readable version for tooling.
+    // Percentile rollups over the six encoded frames, straight off the
+    // per-frame reports.
+    let seq = EncodeReport::new("SysHK".into(), frames);
+    if let (Some(tau), Some(sched)) = (seq.tau_tot_rollup(), seq.sched_overhead_rollup()) {
+        println!(
+            "\nrollups over {} frames: tau_tot p50 {:.2} / p95 {:.2} / p99 {:.2} ms; \
+             sched overhead p99 {:.1} us",
+            seq.frames.len(),
+            tau.p50,
+            tau.p95,
+            tau.p99,
+            sched.p99 * 1e3
+        );
+    }
+
+    // The same run through the metrics recorder.
+    println!("\n== recorded metrics ==\n\n{}", rec.render_stats());
+
+    // Machine-readable versions for tooling.
     std::fs::create_dir_all("target").ok();
     let json = serde_json::to_string_pretty(trace).unwrap();
     std::fs::write("target/schedule_trace.json", &json).unwrap();
-    println!("\n(wrote target/schedule_trace.json — {} tasks)", trace.tasks.len());
+    println!(
+        "\n(wrote target/schedule_trace.json — {} tasks)",
+        trace.tasks.len()
+    );
+    let chrome = trace.to_chrome_trace().to_json();
+    std::fs::write("target/schedule_trace.chrome.json", &chrome).unwrap();
+    println!(
+        "(wrote target/schedule_trace.chrome.json — open at ui.perfetto.dev or chrome://tracing)"
+    );
 }

@@ -5,16 +5,21 @@
 //! feves simulate [options]                 timing-only 1080p run (virtual clock)
 //! feves encode <in.y4m> [out.y4m] [opts]   functional encode of a Y4M file
 //! feves trace [options]                    print a steady-state frame Gantt
+//! feves stats [options]                    run + print the metrics summary
 //! ```
 //!
 //! Options: `--platform syshk|sysnf|sysnff|cpu-n|cpu-h|gpu-f|gpu-k`,
 //! `--sa <32|64|128|256>`, `--refs <1..16>`, `--qp <0..51>`,
-//! `--frames <n>`, `--balancer feves|proportional|equidistant`.
+//! `--frames <n>`, `--balancer feves|proportional|equidistant`,
+//! `--metrics-out <path>` (JSONL metrics dump),
+//! `--trace-format gantt|chrome` (Chrome JSON loads in Perfetto).
 
 use feves::core::prelude::*;
+use feves::obs::MemoryRecorder;
 use feves::video::y4m::{Y4mReader, Y4mWriter};
 use std::io::{BufReader, BufWriter};
 use std::process::ExitCode;
+use std::sync::Arc;
 
 struct Options {
     platform: String,
@@ -24,6 +29,8 @@ struct Options {
     qp: u8,
     frames: usize,
     balancer: String,
+    metrics_out: Option<String>,
+    trace_format: String,
 }
 
 impl Default for Options {
@@ -36,6 +43,8 @@ impl Default for Options {
             qp: 28,
             frames: 30,
             balancer: "feves".into(),
+            metrics_out: None,
+            trace_format: "gantt".into(),
         }
     }
 }
@@ -45,9 +54,8 @@ fn parse_options(args: &[String]) -> Result<(Options, Vec<String>), String> {
     let mut positional = Vec::new();
     let mut it = args.iter();
     while let Some(a) = it.next() {
-        let mut grab = || -> Result<&String, String> {
-            it.next().ok_or_else(|| format!("{a} needs a value"))
-        };
+        let mut grab =
+            || -> Result<&String, String> { it.next().ok_or_else(|| format!("{a} needs a value")) };
         match a.as_str() {
             "--platform" => opts.platform = grab()?.to_lowercase(),
             "--platform-file" => opts.platform_file = Some(grab()?.clone()),
@@ -56,6 +64,8 @@ fn parse_options(args: &[String]) -> Result<(Options, Vec<String>), String> {
             "--qp" => opts.qp = grab()?.parse().map_err(|e| format!("--qp: {e}"))?,
             "--frames" => opts.frames = grab()?.parse().map_err(|e| format!("--frames: {e}"))?,
             "--balancer" => opts.balancer = grab()?.to_lowercase(),
+            "--metrics-out" => opts.metrics_out = Some(grab()?.clone()),
+            "--trace-format" => opts.trace_format = grab()?.to_lowercase(),
             _ if a.starts_with("--") => return Err(format!("unknown option {a}")),
             _ => positional.push(a.clone()),
         }
@@ -79,7 +89,11 @@ fn platform_of(name: &str) -> Result<(Platform, BalancerKind), String> {
             Platform::gpu_only(gpu_kepler()),
             BalancerKind::SingleAccelerator(0),
         ),
-        other => return Err(format!("unknown platform '{other}' (see `feves platforms`)")),
+        other => {
+            return Err(format!(
+                "unknown platform '{other}' (see `feves platforms`)"
+            ))
+        }
     })
 }
 
@@ -122,7 +136,10 @@ fn cmd_platforms() {
         ("gpu-f", Platform::gpu_only(gpu_fermi())),
         ("gpu-k", Platform::gpu_only(gpu_kepler())),
     ] {
-        println!("  {key:<7} {} — {} accelerator(s), {} CPU core(s)", p.name, p.n_accel, p.n_cores);
+        println!(
+            "  {key:<7} {} — {} accelerator(s), {} CPU core(s)",
+            p.name, p.n_accel, p.n_cores
+        );
         for d in &p.devices {
             let mem = d
                 .memory_bytes
@@ -133,9 +150,43 @@ fn cmd_platforms() {
     }
 }
 
+/// Attach an in-memory recorder to `enc` when `--metrics-out` asked for one.
+fn attach_recorder(enc: &mut FevesEncoder, opts: &Options) -> Option<Arc<MemoryRecorder>> {
+    opts.metrics_out.as_ref().map(|_| {
+        let rec = Arc::new(MemoryRecorder::new());
+        enc.set_recorder(rec.clone());
+        rec
+    })
+}
+
+/// Write the recorder's JSONL dump to the `--metrics-out` path.
+fn write_metrics(rec: &Option<Arc<MemoryRecorder>>, opts: &Options) -> Result<(), String> {
+    if let (Some(rec), Some(path)) = (rec, &opts.metrics_out) {
+        std::fs::write(path, rec.to_jsonl(false)).map_err(|e| format!("{path}: {e}"))?;
+        eprintln!("metrics written to {path}");
+    }
+    Ok(())
+}
+
+fn print_rollups(report: &EncodeReport) {
+    if let (Some(tau), Some(sched)) = (report.tau_tot_rollup(), report.sched_overhead_rollup()) {
+        println!(
+            "tau_tot        p50 {:>8.2} ms  p95 {:>8.2} ms  p99 {:>8.2} ms",
+            tau.p50, tau.p95, tau.p99
+        );
+        println!(
+            "sched overhead p50 {:>8.1} µs  p95 {:>8.1} µs  p99 {:>8.1} µs",
+            sched.p50 * 1e3,
+            sched.p95 * 1e3,
+            sched.p99 * 1e3
+        );
+    }
+}
+
 fn cmd_simulate(opts: &Options) -> Result<(), String> {
     let (platform, cfg) = config_of(opts, Resolution::FULL_HD)?;
     let mut enc = FevesEncoder::new(platform, cfg)?;
+    let rec = attach_recorder(&mut enc, opts);
     let report = enc.run_timing(opts.frames);
     println!(
         "{} | 1080p | SA {}x{} | {} RF | balancer {}",
@@ -160,8 +211,36 @@ fn cmd_simulate(opts: &Options) -> Result<(), String> {
     println!(
         "\nsteady state: {:.1} fps — {}",
         fps,
-        if fps >= 25.0 { "REAL-TIME" } else { "below real-time" }
+        if fps >= 25.0 {
+            "REAL-TIME"
+        } else {
+            "below real-time"
+        }
     );
+    print_rollups(&report);
+    write_metrics(&rec, opts)
+}
+
+fn cmd_stats(opts: &Options) -> Result<(), String> {
+    let (platform, cfg) = config_of(opts, Resolution::FULL_HD)?;
+    let mut enc = FevesEncoder::new(platform, cfg)?;
+    let rec = Arc::new(MemoryRecorder::new());
+    // Install globally too, so spans from the free functions (Algorithm 2,
+    // the LP solve, the VCM build, the DAM planner) are captured.
+    feves::obs::install(rec.clone());
+    enc.set_recorder(rec.clone());
+    let report = enc.run_timing(opts.frames);
+    println!(
+        "{} | 1080p | SA {}x{} | {} RF | balancer {} | {} inter-frames\n",
+        report.platform, opts.sa, opts.sa, opts.refs, opts.balancer, opts.frames
+    );
+    print!("{}", rec.render_stats());
+    println!();
+    print_rollups(&report);
+    if let Some(path) = &opts.metrics_out {
+        std::fs::write(path, rec.to_jsonl(false)).map_err(|e| format!("{path}: {e}"))?;
+        eprintln!("metrics written to {path}");
+    }
     Ok(())
 }
 
@@ -169,13 +248,28 @@ fn cmd_trace(opts: &Options) -> Result<(), String> {
     let (platform, mut cfg) = config_of(opts, Resolution::FULL_HD)?;
     cfg.noise_amp = 0.0;
     let mut enc = FevesEncoder::new(platform, cfg)?;
+    let rec = attach_recorder(&mut enc, opts);
     for _ in 0..opts.refs + 4 {
         enc.encode_inter_timing();
     }
     let report = enc.encode_inter_timing();
-    println!("{}", enc.last_trace().unwrap().render_gantt(100));
-    println!("steady frame: {:.2} ms ({:.1} fps)", report.tau_tot * 1e3, report.fps());
-    Ok(())
+    let trace = enc.last_trace().unwrap();
+    match opts.trace_format.as_str() {
+        "gantt" => {
+            println!("{}", trace.render_gantt(100));
+            println!(
+                "steady frame: {:.2} ms ({:.1} fps)",
+                report.tau_tot * 1e3,
+                report.fps()
+            );
+        }
+        "chrome" => {
+            // Perfetto/chrome://tracing-loadable trace-event JSON.
+            println!("{}", trace.to_chrome_trace().to_json());
+        }
+        other => return Err(format!("unknown trace format '{other}' (gantt|chrome)")),
+    }
+    write_metrics(&rec, opts)
 }
 
 fn cmd_encode(opts: &Options, input: &str, output: Option<&str>) -> Result<(), String> {
@@ -192,6 +286,7 @@ fn cmd_encode(opts: &Options, input: &str, output: Option<&str>) -> Result<(), S
     let (platform, mut cfg) = config_of(opts, header.resolution)?;
     cfg.mode = ExecutionMode::Functional;
     let mut enc = FevesEncoder::new(platform, cfg)?;
+    let rec = attach_recorder(&mut enc, opts);
 
     let out_path = output
         .map(str::to_string)
@@ -225,7 +320,7 @@ fn cmd_encode(opts: &Options, input: &str, output: Option<&str>) -> Result<(), S
         report.total_bits(),
         report.mean_psnr().unwrap_or(f64::NAN)
     );
-    Ok(())
+    write_metrics(&rec, opts)
 }
 
 fn usage() {
@@ -236,10 +331,13 @@ fn usage() {
          \u{20}  export-platform [name]          dump a platform as JSON\n\
          \u{20}  simulate [options]              timing-only 1080p run\n\
          \u{20}  encode <in.y4m> [out] [options] functional Y4M encode\n\
-         \u{20}  trace [options]                 steady-state frame Gantt\n\n\
+         \u{20}  trace [options]                 steady-state frame Gantt\n\
+         \u{20}  stats [options]                 run + print the metrics summary\n\n\
          options: --platform <name> | --platform-file <json>\n\
          \u{20}        --sa <n> --refs <n> --qp <n>\n\
-         \u{20}        --frames <n> --balancer feves|proportional|equidistant"
+         \u{20}        --frames <n> --balancer feves|proportional|equidistant\n\
+         \u{20}        --metrics-out <path>            JSONL metrics dump\n\
+         \u{20}        --trace-format gantt|chrome     Perfetto-loadable JSON"
     );
 }
 
@@ -261,6 +359,7 @@ fn main() -> ExitCode {
         }
         "simulate" => parse_options(rest).and_then(|(o, _)| cmd_simulate(&o)),
         "trace" => parse_options(rest).and_then(|(o, _)| cmd_trace(&o)),
+        "stats" => parse_options(rest).and_then(|(o, _)| cmd_stats(&o)),
         "encode" => parse_options(rest).and_then(|(o, pos)| {
             let input = pos.first().ok_or("encode needs an input .y4m")?;
             cmd_encode(&o, input, pos.get(1).map(String::as_str))

@@ -49,7 +49,10 @@ fn simulate_reports_realtime_verdict() {
         "6",
     ]);
     assert!(ok);
-    assert!(stdout.contains("REAL-TIME"), "expected real-time verdict:\n{stdout}");
+    assert!(
+        stdout.contains("REAL-TIME"),
+        "expected real-time verdict:\n{stdout}"
+    );
     assert!(stdout.contains("steady state"));
 }
 

@@ -105,7 +105,10 @@ fn timing_and_functional_share_schedule_shape() {
     // Drive the timing encoder with the same frames for identical ramps.
     let rep_t = enc_t.encode_sequence(&frames);
     for (a, b) in rep_t.inter_frames().zip(rep_f.inter_frames()) {
-        assert_eq!(a.tau_tot, b.tau_tot, "virtual time must not depend on pixels");
+        assert_eq!(
+            a.tau_tot, b.tau_tot,
+            "virtual time must not depend on pixels"
+        );
         assert!(b.bits.is_some() && a.bits.is_none());
     }
 }

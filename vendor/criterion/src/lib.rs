@@ -1,0 +1,317 @@
+//! Vendored `criterion` subset: a wall-clock micro-benchmark harness with
+//! the upstream API shape (`Criterion`, `benchmark_group`, `Bencher::iter`,
+//! `criterion_group!`/`criterion_main!`). Measurement is simpler than real
+//! criterion — warm-up, then timed batches sized to ~100 ms, reporting
+//! min/mean/max per iteration — but it runs fully offline and prints
+//! comparable `time: [low mean high]` lines.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Format a duration the way criterion does (ns/µs/ms/s with 4 sig figs).
+fn fmt_time(d: Duration) -> String {
+    let ns = d.as_secs_f64() * 1e9;
+    if ns < 1_000.0 {
+        format!("{ns:.2} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.3} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.3} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Measurement state handed to the closure of `bench_function`.
+pub struct Bencher {
+    /// (min, mean, max) per-iteration time of the measurement phase.
+    result: Option<(Duration, Duration, Duration)>,
+    warm_up: Duration,
+    measure: Duration,
+}
+
+impl Bencher {
+    fn new(warm_up: Duration, measure: Duration) -> Self {
+        Bencher {
+            result: None,
+            warm_up,
+            measure,
+        }
+    }
+
+    /// Time the routine: warm up, pick a batch size targeting ~10 ms per
+    /// batch, then run batches until the measurement budget is spent.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warm-up, also yields a first per-iter estimate.
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u64;
+        while warm_start.elapsed() < self.warm_up {
+            std::hint::black_box(routine());
+            warm_iters += 1;
+        }
+        let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters.max(1) as f64;
+        let batch = ((0.01 / per_iter.max(1e-9)) as u64).clamp(1, 1_000_000);
+
+        let mut batches: Vec<Duration> = Vec::new();
+        let measure_start = Instant::now();
+        while measure_start.elapsed() < self.measure || batches.len() < 5 {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(routine());
+            }
+            batches.push(t0.elapsed() / batch as u32);
+            if batches.len() >= 500 {
+                break;
+            }
+        }
+        let min = *batches.iter().min().expect("at least one batch");
+        let max = *batches.iter().max().expect("at least one batch");
+        let mean = batches.iter().sum::<Duration>() / batches.len() as u32;
+        self.result = Some((min, mean, max));
+    }
+}
+
+/// Benchmark identifier: function name plus optional parameter.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter` identifier.
+    pub fn new(name: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// Parameter-only identifier (group name supplies the prefix).
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+/// Throughput annotation (reported as elements/bytes per second).
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Top-level harness.
+pub struct Criterion {
+    warm_up: Duration,
+    measure: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            warm_up: Duration::from_millis(300),
+            measure: Duration::from_millis(1000),
+        }
+    }
+}
+
+impl Criterion {
+    /// Upstream builder hook; command-line configuration is not supported
+    /// offline, so this is the identity.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Set the warm-up duration.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up = d;
+        self
+    }
+
+    /// Set the measurement duration.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measure = d;
+        self
+    }
+
+    /// Benchmark a single function.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        run_one(name, None, self.warm_up, self.measure, f);
+        self
+    }
+
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        let (warm_up, measure) = (self.warm_up, self.measure);
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.to_string(),
+            throughput: None,
+            warm_up,
+            measure,
+        }
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and throughput annotation.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    warm_up: Duration,
+    measure: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Annotate subsequent benchmarks with a throughput.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Set the warm-up duration for this group.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up = d;
+        self
+    }
+
+    /// Set the measurement duration for this group.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measure = d;
+        self
+    }
+
+    /// Benchmark with an explicit input value.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.id);
+        run_one(&full, self.throughput, self.warm_up, self.measure, |b| {
+            f(b, input)
+        });
+        self
+    }
+
+    /// Benchmark without an input.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.into().id);
+        run_one(&full, self.throughput, self.warm_up, self.measure, f);
+        self
+    }
+
+    /// Finish the group (upstream writes reports here; offline it is a no-op).
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnOnce(&mut Bencher)>(
+    name: &str,
+    throughput: Option<Throughput>,
+    warm_up: Duration,
+    measure: Duration,
+    f: F,
+) {
+    let mut b = Bencher::new(warm_up, measure);
+    f(&mut b);
+    match b.result {
+        Some((min, mean, max)) => {
+            print!(
+                "{name:<50} time: [{} {} {}]",
+                fmt_time(min),
+                fmt_time(mean),
+                fmt_time(max)
+            );
+            if let Some(t) = throughput {
+                let per_sec = |n: u64| n as f64 / mean.as_secs_f64().max(1e-12);
+                match t {
+                    Throughput::Elements(n) => print!("  thrpt: {:.3} Melem/s", per_sec(n) / 1e6),
+                    Throughput::Bytes(n) => {
+                        print!("  thrpt: {:.3} MiB/s", per_sec(n) / (1024.0 * 1024.0))
+                    }
+                }
+            }
+            println!();
+        }
+        None => println!("{name:<50} (no measurement: Bencher::iter never called)"),
+    }
+}
+
+/// Re-export for bench code that uses `criterion::black_box`.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Collect benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $cfg;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emit `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo test` runs harness-less bench binaries with `--test`;
+            // measuring there would only slow the suite down.
+            if std::env::args().any(|a| a == "--test") {
+                return;
+            }
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_and_reports() {
+        let mut c = Criterion::default()
+            .warm_up_time(Duration::from_millis(5))
+            .measurement_time(Duration::from_millis(20));
+        let mut ran = false;
+        c.bench_function("smoke", |b| {
+            b.iter(|| std::hint::black_box(3u64.pow(7)));
+            ran = true;
+        });
+        assert!(ran);
+        let mut group = c.benchmark_group("grp");
+        group.throughput(Throughput::Elements(100));
+        group.bench_with_input(BenchmarkId::from_parameter("x"), &21u64, |b, &n| {
+            b.iter(|| std::hint::black_box(n * 2));
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn id_formats() {
+        assert_eq!(BenchmarkId::new("f", 32).id, "f/32");
+        assert_eq!(BenchmarkId::from_parameter("SysHK").id, "SysHK");
+    }
+}

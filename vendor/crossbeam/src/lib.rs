@@ -1,0 +1,70 @@
+//! Vendored `crossbeam` scoped-thread subset, implemented on
+//! `std::thread::scope` (stable since 1.63). Only the surface FEVES uses is
+//! provided: `crossbeam::scope(|s| { s.spawn(move |_| ...); })` returning
+//! `Result` (a panic in any spawned thread surfaces as `Err`, matching the
+//! upstream contract the `.expect(...)` call sites rely on).
+
+use std::any::Any;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// Handle passed to the `scope` closure; spawned closures receive a copy so
+/// they can spawn siblings, mirroring crossbeam's `&Scope` parameter.
+#[derive(Clone, Copy)]
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawn a scoped thread. The closure's argument is the scope itself
+    /// (crossbeam passes `&Scope`; auto-ref makes `|_|` call sites identical).
+    pub fn spawn<F, T>(self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        self.inner.spawn(move || f(self))
+    }
+}
+
+/// Errors carry the payload of whichever spawned thread panicked first.
+pub type ScopeResult<T> = Result<T, Box<dyn Any + Send + 'static>>;
+
+/// Create a scope for spawning threads that may borrow from the caller's
+/// stack. All spawned threads are joined before `scope` returns.
+pub fn scope<'env, F, R>(f: F) -> ScopeResult<R>
+where
+    F: for<'scope> FnOnce(Scope<'scope, 'env>) -> R,
+{
+    catch_unwind(AssertUnwindSafe(|| {
+        std::thread::scope(|s| f(Scope { inner: s }))
+    }))
+}
+
+pub mod thread {
+    pub use crate::{scope, Scope, ScopeResult};
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn threads_write_disjoint_bands() {
+        let mut data = vec![0u32; 8];
+        {
+            let (a, b) = data.split_at_mut(4);
+            crate::scope(|s| {
+                s.spawn(move |_| a.iter_mut().for_each(|x| *x = 1));
+                s.spawn(move |_| b.iter_mut().for_each(|x| *x = 2));
+            })
+            .expect("no panics");
+        }
+        assert_eq!(data, vec![1, 1, 1, 1, 2, 2, 2, 2]);
+    }
+
+    #[test]
+    fn child_panic_becomes_err() {
+        let r = crate::scope(|s| {
+            s.spawn(|_| panic!("boom"));
+        });
+        assert!(r.is_err());
+    }
+}

@@ -1,0 +1,87 @@
+//! Vendored `rayon` API subset. `par_iter`/`par_iter_mut`/`par_chunks`/
+//! `par_chunks_mut` return the corresponding *sequential* std iterators, so
+//! every std adapter (`zip`, `enumerate`, `filter`, `for_each`, `collect`)
+//! keeps working unchanged. FEVES gets its device-level concurrency from
+//! `crossbeam::scope` stripes in the framework layer; intra-stripe rayon
+//! parallelism degrades to sequential execution on this offline build, which
+//! changes wall-clock only, never results.
+
+/// `par_iter`/`par_chunks` on shared slices.
+pub trait ParallelSlice<T> {
+    /// Sequential stand-in for rayon's parallel iterator.
+    fn par_iter(&self) -> std::slice::Iter<'_, T>;
+    /// Sequential stand-in for rayon's parallel chunk iterator.
+    fn par_chunks(&self, chunk_size: usize) -> std::slice::Chunks<'_, T>;
+}
+
+impl<T> ParallelSlice<T> for [T] {
+    fn par_iter(&self) -> std::slice::Iter<'_, T> {
+        self.iter()
+    }
+    fn par_chunks(&self, chunk_size: usize) -> std::slice::Chunks<'_, T> {
+        self.chunks(chunk_size)
+    }
+}
+
+/// `par_iter_mut`/`par_chunks_mut` on mutable slices.
+pub trait ParallelSliceMut<T> {
+    /// Sequential stand-in for rayon's parallel mutable iterator.
+    fn par_iter_mut(&mut self) -> std::slice::IterMut<'_, T>;
+    /// Sequential stand-in for rayon's parallel mutable chunk iterator.
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T>;
+}
+
+impl<T> ParallelSliceMut<T> for [T] {
+    fn par_iter_mut(&mut self) -> std::slice::IterMut<'_, T> {
+        self.iter_mut()
+    }
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T> {
+        self.chunks_mut(chunk_size)
+    }
+}
+
+/// Owned containers (`Vec`, ranges) — `into_par_iter`.
+pub trait IntoParallelIterator {
+    /// The sequential iterator standing in for the parallel one.
+    type Iter: Iterator;
+    /// Sequential stand-in for rayon's consuming parallel iterator.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl<T: IntoIterator> IntoParallelIterator for T {
+    type Iter = T::IntoIter;
+    fn into_par_iter(self) -> Self::Iter {
+        self.into_iter()
+    }
+}
+
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, ParallelSlice, ParallelSliceMut};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn slice_adapters_compose() {
+        let v = vec![1u32, 2, 3, 4, 5, 6];
+        let evens: Vec<u32> = v.par_iter().copied().filter(|x| x % 2 == 0).collect();
+        assert_eq!(evens, vec![2, 4, 6]);
+
+        let mut out = vec![0u32; 6];
+        out.par_chunks_mut(2)
+            .zip(v.par_chunks(2))
+            .for_each(|(o, i)| {
+                o.copy_from_slice(i);
+            });
+        assert_eq!(out, v);
+
+        let mut w = vec![0usize; 4];
+        w.par_iter_mut().enumerate().for_each(|(i, x)| *x = i * i);
+        assert_eq!(w, vec![0, 1, 4, 9]);
+
+        let sum: usize = (0..10usize).into_par_iter().sum();
+        assert_eq!(sum, 45);
+    }
+}

@@ -1,0 +1,460 @@
+//! Vendored `serde` subset built on an explicit value model.
+//!
+//! Upstream serde abstracts over (de)serializers with a visitor API; this
+//! offline stand-in collapses that to one intermediate [`Value`] tree:
+//! `Serialize` renders a type *to* a `Value`, `Deserialize` rebuilds it
+//! *from* one, and `serde_json` (the only data format in the workspace)
+//! renders/parses `Value` as JSON text. Objects keep insertion order, so all
+//! output is deterministic — which the golden-file tests rely on.
+//!
+//! Conventions match serde_json: structs are objects in field order; newtype
+//! structs are transparent; unit enum variants are strings; data-carrying
+//! variants are single-key objects (externally tagged); `None` is null and a
+//! missing object key deserializes as null (so `Option` fields tolerate
+//! absence, like upstream's `missing_field` machinery).
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// The data-model tree every type (de)serializes through.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    /// Signed integers (also covers unsigned values ≤ `i64::MAX`).
+    Int(i64),
+    /// Unsigned values above `i64::MAX`.
+    UInt(u64),
+    Float(f64),
+    Str(String),
+    Array(Vec<Value>),
+    /// Ordered key/value pairs — insertion order is preserved.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Borrow as an object's entry list, if this is an object.
+    pub fn as_object(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Object(o) => Some(o),
+            _ => None,
+        }
+    }
+
+    /// Borrow as an array, if this is an array.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// Borrow as a string, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Look up an object key (first occurrence).
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.as_object()?
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v)
+    }
+
+    /// Numeric value as `f64`, if this is any numeric variant.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(i) => Some(*i as f64),
+            Value::UInt(u) => Some(*u as f64),
+            Value::Float(f) => Some(*f),
+            _ => None,
+        }
+    }
+
+    /// Numeric value as `u64`, if this is a non-negative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Int(i) if *i >= 0 => Some(*i as u64),
+            Value::UInt(u) => Some(*u),
+            _ => None,
+        }
+    }
+
+    fn type_name(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Int(_) | Value::UInt(_) => "integer",
+            Value::Float(_) => "float",
+            Value::Str(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        }
+    }
+}
+
+/// Error for both directions of conversion.
+#[derive(Clone, Debug)]
+pub struct Error(pub String);
+
+impl Error {
+    /// Build an error from any message.
+    pub fn msg(m: impl Into<String>) -> Self {
+        Error(m.into())
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Render `self` into the serde [`Value`] model.
+pub trait Serialize {
+    /// Convert to a value tree.
+    fn to_value(&self) -> Value;
+}
+
+/// Rebuild `Self` from the serde [`Value`] model.
+pub trait Deserialize: Sized {
+    /// Convert from a value tree.
+    fn from_value(v: &Value) -> Result<Self, Error>;
+}
+
+/// Upstream-compatible alias: our `Deserialize` has no borrowed lifetimes,
+/// so every implementor is already "owned".
+pub trait DeserializeOwned: Deserialize {}
+impl<T: Deserialize> DeserializeOwned for T {}
+
+// ---------------------------------------------------------------------------
+// Derive-macro support (hidden, like serde::__private).
+
+#[doc(hidden)]
+pub static __NULL: Value = Value::Null;
+
+/// Fetch a struct field from an object; missing keys read as null so that
+/// `Option` fields tolerate absence (mirrors serde's `missing_field`).
+#[doc(hidden)]
+pub fn __field<'a>(obj: &'a [(String, Value)], name: &str) -> &'a Value {
+    obj.iter()
+        .find(|(k, _)| k == name)
+        .map(|(_, v)| v)
+        .unwrap_or(&__NULL)
+}
+
+// ---------------------------------------------------------------------------
+// Primitive impls.
+
+macro_rules! impl_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Int(*self as i64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let wide = match *v {
+                    Value::Int(i) => i as i128,
+                    Value::UInt(u) => u as i128,
+                    // Tolerate integral floats (JSON writers disagree here).
+                    Value::Float(f) if f.fract() == 0.0 => f as i128,
+                    ref other => {
+                        return Err(Error::msg(format!(
+                            "expected integer, found {}",
+                            other.type_name()
+                        )))
+                    }
+                };
+                <$t>::try_from(wide)
+                    .map_err(|_| Error::msg(format!("integer {} out of range for {}", wide, stringify!($t))))
+            }
+        }
+    )*};
+}
+impl_int!(u8, u16, u32, usize, i8, i16, i32, i64, isize);
+
+impl Serialize for u64 {
+    fn to_value(&self) -> Value {
+        if *self <= i64::MAX as u64 {
+            Value::Int(*self as i64)
+        } else {
+            Value::UInt(*self)
+        }
+    }
+}
+
+impl Deserialize for u64 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match *v {
+            Value::Int(i) if i >= 0 => Ok(i as u64),
+            Value::UInt(u) => Ok(u),
+            Value::Float(f) if f.fract() == 0.0 && f >= 0.0 => Ok(f as u64),
+            ref other => Err(Error::msg(format!(
+                "expected unsigned integer, found {}",
+                other.type_name()
+            ))),
+        }
+    }
+}
+
+macro_rules! impl_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Float(*self as f64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                match *v {
+                    Value::Float(f) => Ok(f as $t),
+                    Value::Int(i) => Ok(i as $t),
+                    Value::UInt(u) => Ok(u as $t),
+                    ref other => Err(Error::msg(format!(
+                        "expected number, found {}",
+                        other.type_name()
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+impl_float!(f32, f64);
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(Error::msg(format!(
+                "expected bool, found {}",
+                other.type_name()
+            ))),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(Error::msg(format!(
+                "expected string, found {}",
+                other.type_name()
+            ))),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Compound impls.
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(v) => v.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => Ok(Some(T::from_value(other)?)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Array(items) => items.iter().map(T::from_value).collect(),
+            other => Err(Error::msg(format!(
+                "expected array, found {}",
+                other.type_name()
+            ))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let items = v
+            .as_array()
+            .ok_or_else(|| Error::msg(format!("expected array, found {}", v.type_name())))?;
+        if items.len() != N {
+            return Err(Error::msg(format!(
+                "expected array of length {}, found {}",
+                N,
+                items.len()
+            )));
+        }
+        let mut parsed: Vec<T> = items.iter().map(T::from_value).collect::<Result<_, _>>()?;
+        // Drain into a fixed array without requiring T: Default/Copy.
+        let mut drain = parsed.drain(..);
+        Ok(std::array::from_fn(|_| {
+            drain.next().expect("length checked")
+        }))
+    }
+}
+
+impl<K: AsRef<str> + Ord, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn to_value(&self) -> Value {
+        Value::Object(
+            self.iter()
+                .map(|(k, v)| (k.as_ref().to_string(), v.to_value()))
+                .collect(),
+        )
+    }
+}
+
+impl<V: Deserialize> Deserialize for BTreeMap<String, V> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let obj = v
+            .as_object()
+            .ok_or_else(|| Error::msg(format!("expected object, found {}", v.type_name())))?;
+        obj.iter()
+            .map(|(k, val)| Ok((k.clone(), V::from_value(val)?)))
+            .collect()
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($name:ident : $idx:tt),+)),+ $(,)?) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_value(&self) -> Value {
+                Value::Array(vec![$(self.$idx.to_value()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let items = v
+                    .as_array()
+                    .ok_or_else(|| Error::msg(format!("expected array, found {}", v.type_name())))?;
+                let expected = [$($idx),+].len();
+                if items.len() != expected {
+                    return Err(Error::msg(format!(
+                        "expected tuple of length {}, found {}",
+                        expected,
+                        items.len()
+                    )));
+                }
+                Ok(($($name::from_value(&items[$idx])?,)+))
+            }
+        }
+    )+};
+}
+impl_tuple!(
+    (A: 0),
+    (A: 0, B: 1),
+    (A: 0, B: 1, C: 2),
+    (A: 0, B: 1, C: 2, D: 3),
+);
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn option_and_missing_field_semantics() {
+        let obj = vec![("a".to_string(), Value::Int(3))];
+        assert_eq!(*__field(&obj, "a"), Value::Int(3));
+        assert_eq!(*__field(&obj, "zzz"), Value::Null);
+        let none: Option<u32> = Deserialize::from_value(&Value::Null).unwrap();
+        assert_eq!(none, None);
+        let some: Option<u32> = Deserialize::from_value(&Value::Int(7)).unwrap();
+        assert_eq!(some, Some(7));
+    }
+
+    #[test]
+    fn arrays_roundtrip() {
+        let a: [u8; 3] = [1, 2, 3];
+        let v = a.to_value();
+        let back: [u8; 3] = Deserialize::from_value(&v).unwrap();
+        assert_eq!(back, a);
+        let bad: Result<[u8; 4], _> = Deserialize::from_value(&v);
+        assert!(bad.is_err());
+    }
+
+    #[test]
+    fn numeric_coercions() {
+        let f: f64 = Deserialize::from_value(&Value::Int(2)).unwrap();
+        assert_eq!(f, 2.0);
+        let n: u32 = Deserialize::from_value(&Value::Float(9.0)).unwrap();
+        assert_eq!(n, 9);
+        let bad: Result<u8, _> = Deserialize::from_value(&Value::Int(300));
+        assert!(bad.is_err());
+    }
+}

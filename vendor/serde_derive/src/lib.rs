@@ -1,0 +1,510 @@
+//! Hand-rolled `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the
+//! vendored value-model serde. No `syn`/`quote` (the build is offline), so
+//! the item is parsed directly from the `proc_macro::TokenStream` and the
+//! impl is emitted as source text. Supported shapes — everything this
+//! workspace derives on:
+//!
+//! * structs with named fields (object in declaration order)
+//! * newtype structs (transparent) and tuple structs (array)
+//! * enums with unit / newtype / tuple / struct variants (externally tagged)
+//! * simple type generics (`Foo<T>`), each param bounded by the derived trait
+//!
+//! Field *types* are never parsed: the generated code leans on type
+//! inference (`serde::Deserialize::from_value(...)?` infers the field type),
+//! which is what keeps a full type grammar out of this macro.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+enum Fields {
+    Named(Vec<String>),
+    Unnamed(usize),
+    Unit,
+}
+
+enum Shape {
+    Struct(Fields),
+    Enum(Vec<(String, Fields)>),
+}
+
+struct Item {
+    name: String,
+    type_params: Vec<String>,
+    lifetimes: Vec<String>,
+    shape: Shape,
+}
+
+/// Skip one `#[...]` / `#![...]` attribute if `i` points at its `#`.
+fn skip_attr(tokens: &[TokenTree], i: &mut usize) -> bool {
+    if let Some(TokenTree::Punct(p)) = tokens.get(*i) {
+        if p.as_char() == '#' {
+            *i += 1;
+            if let Some(TokenTree::Punct(q)) = tokens.get(*i) {
+                if q.as_char() == '!' {
+                    *i += 1;
+                }
+            }
+            *i += 1; // the [...] group
+            return true;
+        }
+    }
+    false
+}
+
+fn ident_at(tokens: &[TokenTree], i: usize) -> Option<String> {
+    match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => Some(id.to_string()),
+        _ => None,
+    }
+}
+
+fn is_punct(tokens: &[TokenTree], i: usize, c: char) -> bool {
+    matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == c)
+}
+
+/// Parse `<...>` generics starting at the `<`; returns (type params, lifetimes)
+/// and leaves `i` after the closing `>`.
+fn parse_generics(tokens: &[TokenTree], i: &mut usize) -> (Vec<String>, Vec<String>) {
+    let mut type_params = Vec::new();
+    let mut lifetimes = Vec::new();
+    let mut depth = 0i32;
+    let mut expecting_param = false;
+    let mut in_bound = false;
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+                depth += 1;
+                if depth == 1 {
+                    expecting_param = true;
+                    in_bound = false;
+                }
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == '>' => {
+                depth -= 1;
+                if depth == 0 {
+                    *i += 1;
+                    return (type_params, lifetimes);
+                }
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' && depth == 1 => {
+                expecting_param = true;
+                in_bound = false;
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' && depth == 1 => {
+                in_bound = true;
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == '\'' && depth == 1 && !in_bound => {
+                if expecting_param {
+                    if let Some(lt) = ident_at(tokens, *i + 1) {
+                        lifetimes.push(format!("'{lt}"));
+                    }
+                    expecting_param = false;
+                }
+                *i += 1; // the lifetime ident
+            }
+            Some(TokenTree::Ident(id)) if depth == 1 && expecting_param && !in_bound => {
+                let name = id.to_string();
+                if name == "const" {
+                    panic!("serde_derive stub: const generics are not supported");
+                }
+                type_params.push(name);
+                expecting_param = false;
+            }
+            Some(_) => {}
+            None => panic!("serde_derive stub: unterminated generics"),
+        }
+        *i += 1;
+    }
+}
+
+/// Count comma-separated segments in a tuple-field token list (angle-aware).
+fn count_tuple_fields(tokens: &[TokenTree]) -> usize {
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut depth = 0i32;
+    let mut fields = 1usize;
+    let mut seen_any = false;
+    let mut last_was_comma = false;
+    for t in tokens {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                fields += 1;
+                last_was_comma = true;
+                continue;
+            }
+            _ => {}
+        }
+        seen_any = true;
+        last_was_comma = false;
+    }
+    if !seen_any {
+        0
+    } else if last_was_comma {
+        fields - 1 // trailing comma
+    } else {
+        fields
+    }
+}
+
+/// Extract field names from a named-field body (`{ a: T, pub b: U }`).
+fn parse_named_fields(tokens: &[TokenTree]) -> Vec<String> {
+    let mut names = Vec::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        if skip_attr(tokens, &mut i) {
+            continue;
+        }
+        if ident_at(tokens, i).as_deref() == Some("pub") {
+            i += 1;
+            if matches!(tokens.get(i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+            {
+                i += 1;
+            }
+            continue;
+        }
+        let name = ident_at(tokens, i).unwrap_or_else(|| {
+            panic!(
+                "serde_derive stub: expected field name, got {:?}",
+                tokens.get(i)
+            )
+        });
+        names.push(name);
+        i += 1;
+        assert!(
+            is_punct(tokens, i, ':'),
+            "serde_derive stub: expected ':' after field name"
+        );
+        // Skip the type: advance to the next top-level comma (angle-aware).
+        let mut depth = 0i32;
+        while i < tokens.len() {
+            match tokens.get(i) {
+                Some(TokenTree::Punct(p)) if p.as_char() == '<' => depth += 1,
+                Some(TokenTree::Punct(p)) if p.as_char() == '>' => depth -= 1,
+                Some(TokenTree::Punct(p)) if p.as_char() == ',' && depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+    names
+}
+
+fn parse_variants(tokens: &[TokenTree]) -> Vec<(String, Fields)> {
+    let mut variants = Vec::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        if skip_attr(tokens, &mut i) {
+            continue;
+        }
+        let name = ident_at(tokens, i).unwrap_or_else(|| {
+            panic!(
+                "serde_derive stub: expected variant name, got {:?}",
+                tokens.get(i)
+            )
+        });
+        i += 1;
+        let fields = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                i += 1;
+                Fields::Unnamed(count_tuple_fields(&inner))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                i += 1;
+                Fields::Named(parse_named_fields(&inner))
+            }
+            _ => Fields::Unit,
+        };
+        variants.push((name, fields));
+        if is_punct(tokens, i, ',') {
+            i += 1;
+        }
+    }
+    variants
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0usize;
+    while skip_attr(&tokens, &mut i) {}
+    if ident_at(&tokens, i).as_deref() == Some("pub") {
+        i += 1;
+        if matches!(tokens.get(i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            i += 1;
+        }
+    }
+    let kind = ident_at(&tokens, i).unwrap_or_else(|| {
+        panic!(
+            "serde_derive stub: expected struct/enum, got {:?}",
+            tokens.get(i)
+        )
+    });
+    assert!(
+        kind == "struct" || kind == "enum",
+        "serde_derive stub: only structs and enums are supported (got {kind})"
+    );
+    i += 1;
+    let name = ident_at(&tokens, i).expect("serde_derive stub: expected item name");
+    i += 1;
+    let (type_params, lifetimes) = if is_punct(&tokens, i, '<') {
+        parse_generics(&tokens, &mut i)
+    } else {
+        (Vec::new(), Vec::new())
+    };
+    // Skip any `where` clause: advance to the body group / tuple parens.
+    let shape = loop {
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                break if kind == "struct" {
+                    Shape::Struct(Fields::Named(parse_named_fields(&inner)))
+                } else {
+                    Shape::Enum(parse_variants(&inner))
+                };
+            }
+            Some(TokenTree::Group(g))
+                if g.delimiter() == Delimiter::Parenthesis && kind == "struct" =>
+            {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                break Shape::Struct(Fields::Unnamed(count_tuple_fields(&inner)));
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => break Shape::Struct(Fields::Unit),
+            Some(_) => i += 1,
+            None => break Shape::Struct(Fields::Unit),
+        }
+    };
+    Item {
+        name,
+        type_params,
+        lifetimes,
+        shape,
+    }
+}
+
+/// `impl<...> serde::Trait for Name<...>` header pieces.
+fn impl_header(item: &Item, trait_name: &str) -> (String, String) {
+    let mut params: Vec<String> = item.lifetimes.clone();
+    params.extend(
+        item.type_params
+            .iter()
+            .map(|p| format!("{p}: ::serde::{trait_name}")),
+    );
+    let impl_generics = if params.is_empty() {
+        String::new()
+    } else {
+        format!("<{}>", params.join(", "))
+    };
+    let mut args: Vec<String> = item.lifetimes.clone();
+    args.extend(item.type_params.iter().cloned());
+    let ty_generics = if args.is_empty() {
+        String::new()
+    } else {
+        format!("<{}>", args.join(", "))
+    };
+    (impl_generics, ty_generics)
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let (ig, tg) = impl_header(item, "Serialize");
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::Struct(Fields::Named(fields)) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from(\"{f}\"), ::serde::Serialize::to_value(&self.{f}))"
+                    )
+                })
+                .collect();
+            format!(
+                "::serde::Value::Object(::std::vec![{}])",
+                entries.join(", ")
+            )
+        }
+        Shape::Struct(Fields::Unnamed(1)) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Shape::Struct(Fields::Unnamed(n)) => {
+            let entries: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Array(::std::vec![{}])", entries.join(", "))
+        }
+        Shape::Struct(Fields::Unit) => "::serde::Value::Null".to_string(),
+        Shape::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|(v, fields)| match fields {
+                    Fields::Unit => format!(
+                        "{name}::{v} => ::serde::Value::Str(::std::string::String::from(\"{v}\")),"
+                    ),
+                    Fields::Unnamed(1) => format!(
+                        "{name}::{v}(__f0) => ::serde::Value::Object(::std::vec![(::std::string::String::from(\"{v}\"), ::serde::Serialize::to_value(__f0))]),"
+                    ),
+                    Fields::Unnamed(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                        let vals: Vec<String> = (0..*n)
+                            .map(|i| format!("::serde::Serialize::to_value(__f{i})"))
+                            .collect();
+                        format!(
+                            "{name}::{v}({}) => ::serde::Value::Object(::std::vec![(::std::string::String::from(\"{v}\"), ::serde::Value::Array(::std::vec![{}]))]),",
+                            binds.join(", "),
+                            vals.join(", ")
+                        )
+                    }
+                    Fields::Named(fs) => {
+                        let binds = fs.join(", ");
+                        let entries: Vec<String> = fs
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "(::std::string::String::from(\"{f}\"), ::serde::Serialize::to_value({f}))"
+                                )
+                            })
+                            .collect();
+                        format!(
+                            "{name}::{v} {{ {binds} }} => ::serde::Value::Object(::std::vec![(::std::string::String::from(\"{v}\"), ::serde::Value::Object(::std::vec![{}]))]),",
+                            entries.join(", ")
+                        )
+                    }
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join(" "))
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         #[allow(clippy::all)]\n\
+         impl{ig} ::serde::Serialize for {name}{tg} {{\n\
+             fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}\n"
+    )
+}
+
+fn named_field_inits(fields: &[String], obj: &str) -> String {
+    fields
+        .iter()
+        .map(|f| {
+            format!("{f}: ::serde::Deserialize::from_value(::serde::__field({obj}, \"{f}\"))?,")
+        })
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let (ig, tg) = impl_header(item, "Deserialize");
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::Struct(Fields::Named(fields)) => {
+            let inits = named_field_inits(fields, "__obj");
+            format!(
+                "let __obj = __v.as_object().ok_or_else(|| ::serde::Error::msg(\"expected object for {name}\"))?;\n\
+                 ::std::result::Result::Ok({name} {{ {inits} }})"
+            )
+        }
+        Shape::Struct(Fields::Unnamed(1)) => {
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_value(__v)?))")
+        }
+        Shape::Struct(Fields::Unnamed(n)) => {
+            let inits: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(&__arr[{i}])?"))
+                .collect();
+            format!(
+                "let __arr = __v.as_array().ok_or_else(|| ::serde::Error::msg(\"expected array for {name}\"))?;\n\
+                 if __arr.len() != {n} {{ return ::std::result::Result::Err(::serde::Error::msg(\"wrong tuple length for {name}\")); }}\n\
+                 ::std::result::Result::Ok({name}({}))",
+                inits.join(", ")
+            )
+        }
+        Shape::Struct(Fields::Unit) => {
+            format!("::std::result::Result::Ok({name})")
+        }
+        Shape::Enum(variants) => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|(_, f)| matches!(f, Fields::Unit))
+                .map(|(v, _)| format!("\"{v}\" => ::std::result::Result::Ok({name}::{v}),"))
+                .collect();
+            let data_arms: Vec<String> = variants
+                .iter()
+                .filter_map(|(v, fields)| match fields {
+                    Fields::Unit => None,
+                    Fields::Unnamed(1) => Some(format!(
+                        "\"{v}\" => ::std::result::Result::Ok({name}::{v}(::serde::Deserialize::from_value(__inner)?)),"
+                    )),
+                    Fields::Unnamed(n) => {
+                        let inits: Vec<String> = (0..*n)
+                            .map(|i| format!("::serde::Deserialize::from_value(&__arr[{i}])?"))
+                            .collect();
+                        Some(format!(
+                            "\"{v}\" => {{\n\
+                                let __arr = __inner.as_array().ok_or_else(|| ::serde::Error::msg(\"expected array for {name}::{v}\"))?;\n\
+                                if __arr.len() != {n} {{ return ::std::result::Result::Err(::serde::Error::msg(\"wrong tuple length for {name}::{v}\")); }}\n\
+                                ::std::result::Result::Ok({name}::{v}({}))\n\
+                            }}",
+                            inits.join(", ")
+                        ))
+                    }
+                    Fields::Named(fs) => {
+                        let inits = named_field_inits(fs, "__obj");
+                        Some(format!(
+                            "\"{v}\" => {{\n\
+                                let __obj = __inner.as_object().ok_or_else(|| ::serde::Error::msg(\"expected object for {name}::{v}\"))?;\n\
+                                ::std::result::Result::Ok({name}::{v} {{ {inits} }})\n\
+                            }}",
+                        ))
+                    }
+                })
+                .collect();
+            format!(
+                "match __v {{\n\
+                     ::serde::Value::Str(__s) => match __s.as_str() {{\n\
+                         {}\n\
+                         __other => ::std::result::Result::Err(::serde::Error::msg(::std::format!(\"unknown variant {{}} for {name}\", __other))),\n\
+                     }},\n\
+                     ::serde::Value::Object(__o) if __o.len() == 1 => {{\n\
+                         let (__k, __inner) = &__o[0];\n\
+                         match __k.as_str() {{\n\
+                             {}\n\
+                             __other => ::std::result::Result::Err(::serde::Error::msg(::std::format!(\"unknown variant {{}} for {name}\", __other))),\n\
+                         }}\n\
+                     }}\n\
+                     __other => ::std::result::Result::Err(::serde::Error::msg(::std::format!(\"invalid value for enum {name}: {{:?}}\", __other))),\n\
+                 }}",
+                unit_arms.join("\n"),
+                data_arms.join("\n")
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         #[allow(clippy::all, unused_variables)]\n\
+         impl{ig} ::serde::Deserialize for {name}{tg} {{\n\
+             fn from_value(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                 {body}\n\
+             }}\n\
+         }}\n"
+    )
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("serde_derive stub: generated Serialize impl must parse")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("serde_derive stub: generated Deserialize impl must parse")
+}

@@ -1,0 +1,426 @@
+//! Vendored `serde_json` subset: renders the vendored serde [`Value`] model
+//! to JSON text (`to_string` / `to_string_pretty`, 2-space indent like
+//! upstream) and parses JSON back (`from_str`). Floats are formatted with
+//! Rust's shortest round-trip `{:?}` (`1.0`, not `1`), matching upstream's
+//! ryu output for the values this workspace produces; object order follows
+//! the `Value` tree, so output is deterministic.
+
+use serde::{Deserialize, Serialize, Value};
+use std::fmt;
+
+/// Serialization / parse error.
+#[derive(Clone, Debug)]
+pub struct Error(String);
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<serde::Error> for Error {
+    fn from(e: serde::Error) -> Self {
+        Error(e.0)
+    }
+}
+
+/// Result alias mirroring `serde_json::Result`.
+pub type Result<T> = std::result::Result<T, Error>;
+
+// ---------------------------------------------------------------------------
+// Rendering.
+
+fn escape_into(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{08}' => out.push_str("\\b"),
+            '\u{0C}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn write_float(f: f64, out: &mut String) -> Result<()> {
+    if !f.is_finite() {
+        return Err(Error(format!("cannot serialize non-finite float {f}")));
+    }
+    // `{:?}` is Rust's shortest round-trip form and always keeps a `.0`
+    // on integral values, matching serde_json's ryu output.
+    out.push_str(&format!("{f:?}"));
+    Ok(())
+}
+
+fn write_compact(v: &Value, out: &mut String) -> Result<()> {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Int(i) => out.push_str(&i.to_string()),
+        Value::UInt(u) => out.push_str(&u.to_string()),
+        Value::Float(f) => write_float(*f, out)?,
+        Value::Str(s) => escape_into(s, out),
+        Value::Array(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_compact(item, out)?;
+            }
+            out.push(']');
+        }
+        Value::Object(entries) => {
+            out.push('{');
+            for (i, (k, val)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                escape_into(k, out);
+                out.push(':');
+                write_compact(val, out)?;
+            }
+            out.push('}');
+        }
+    }
+    Ok(())
+}
+
+fn write_pretty(v: &Value, indent: usize, out: &mut String) -> Result<()> {
+    const STEP: &str = "  ";
+    match v {
+        Value::Array(items) if !items.is_empty() => {
+            out.push_str("[\n");
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(",\n");
+                }
+                out.push_str(&STEP.repeat(indent + 1));
+                write_pretty(item, indent + 1, out)?;
+            }
+            out.push('\n');
+            out.push_str(&STEP.repeat(indent));
+            out.push(']');
+        }
+        Value::Object(entries) if !entries.is_empty() => {
+            out.push_str("{\n");
+            for (i, (k, val)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(",\n");
+                }
+                out.push_str(&STEP.repeat(indent + 1));
+                escape_into(k, out);
+                out.push_str(": ");
+                write_pretty(val, indent + 1, out)?;
+            }
+            out.push('\n');
+            out.push_str(&STEP.repeat(indent));
+            out.push('}');
+        }
+        other => write_compact(other, out)?,
+    }
+    Ok(())
+}
+
+/// Serialize to compact JSON.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String> {
+    let mut out = String::new();
+    write_compact(&value.to_value(), &mut out)?;
+    Ok(out)
+}
+
+/// Serialize to human-readable JSON (2-space indent).
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String> {
+    let mut out = String::new();
+    write_pretty(&value.to_value(), 0, &mut out)?;
+    Ok(out)
+}
+
+/// Serialize as compact JSON into a writer.
+pub fn to_writer<W: std::io::Write, T: Serialize + ?Sized>(mut writer: W, value: &T) -> Result<()> {
+    let s = to_string(value)?;
+    writer
+        .write_all(s.as_bytes())
+        .map_err(|e| Error(e.to_string()))
+}
+
+// ---------------------------------------------------------------------------
+// Parsing.
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, msg: &str) -> Error {
+        Error(format!("{msg} at byte {}", self.pos))
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<()> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected '{}'", b as char)))
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Value> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'n') => self.parse_keyword("null", Value::Null),
+            Some(b't') => self.parse_keyword("true", Value::Bool(true)),
+            Some(b'f') => self.parse_keyword("false", Value::Bool(false)),
+            Some(b'"') => Ok(Value::Str(self.parse_string()?)),
+            Some(b'[') => self.parse_array(),
+            Some(b'{') => self.parse_object(),
+            Some(b'-') | Some(b'0'..=b'9') => self.parse_number(),
+            _ => Err(self.err("expected a JSON value")),
+        }
+    }
+
+    fn parse_keyword(&mut self, kw: &str, v: Value) -> Result<Value> {
+        if self.bytes[self.pos..].starts_with(kw.as_bytes()) {
+            self.pos += kw.len();
+            Ok(v)
+        } else {
+            Err(self.err(&format!("expected '{kw}'")))
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String> {
+        self.expect(b'"')?;
+        let mut s = String::new();
+        loop {
+            let b = self.peek().ok_or_else(|| self.err("unterminated string"))?;
+            self.pos += 1;
+            match b {
+                b'"' => return Ok(s),
+                b'\\' => {
+                    let esc = self.peek().ok_or_else(|| self.err("unterminated escape"))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => s.push('"'),
+                        b'\\' => s.push('\\'),
+                        b'/' => s.push('/'),
+                        b'n' => s.push('\n'),
+                        b'r' => s.push('\r'),
+                        b't' => s.push('\t'),
+                        b'b' => s.push('\u{08}'),
+                        b'f' => s.push('\u{0C}'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .ok_or_else(|| self.err("truncated \\u escape"))?;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex).map_err(|_| self.err("bad \\u escape"))?,
+                                16,
+                            )
+                            .map_err(|_| self.err("bad \\u escape"))?;
+                            self.pos += 4;
+                            // Surrogate pairs are not needed for this workspace's data.
+                            s.push(char::from_u32(code).unwrap_or('\u{FFFD}'));
+                        }
+                        _ => return Err(self.err("unknown escape")),
+                    }
+                }
+                _ => {
+                    // Re-sync to char boundaries for multi-byte UTF-8.
+                    let start = self.pos - 1;
+                    let width = utf8_width(b);
+                    let end = start + width;
+                    let chunk = self
+                        .bytes
+                        .get(start..end)
+                        .ok_or_else(|| self.err("truncated UTF-8"))?;
+                    let text = std::str::from_utf8(chunk).map_err(|_| self.err("invalid UTF-8"))?;
+                    s.push_str(text);
+                    self.pos = end;
+                }
+            }
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<Value> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.err("invalid number"))?;
+        if !is_float {
+            if let Ok(i) = text.parse::<i64>() {
+                return Ok(Value::Int(i));
+            }
+            if let Ok(u) = text.parse::<u64>() {
+                return Ok(Value::UInt(u));
+            }
+        }
+        text.parse::<f64>()
+            .map(Value::Float)
+            .map_err(|_| self.err("invalid number"))
+    }
+
+    fn parse_array(&mut self) -> Result<Value> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            items.push(self.parse_value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return Err(self.err("expected ',' or ']'")),
+            }
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<Value> {
+        self.expect(b'{')?;
+        let mut entries = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(entries));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.parse_string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            let value = self.parse_value()?;
+            entries.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(entries));
+                }
+                _ => return Err(self.err("expected ',' or '}'")),
+            }
+        }
+    }
+}
+
+fn utf8_width(first: u8) -> usize {
+    match first {
+        0x00..=0x7F => 1,
+        0xC0..=0xDF => 2,
+        0xE0..=0xEF => 3,
+        _ => 4,
+    }
+}
+
+/// Parse a JSON document into the serde `Value` tree.
+pub fn value_from_str(s: &str) -> Result<Value> {
+    let mut p = Parser {
+        bytes: s.as_bytes(),
+        pos: 0,
+    };
+    let v = p.parse_value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing characters"));
+    }
+    Ok(v)
+}
+
+/// Deserialize a value of `T` from a JSON document.
+pub fn from_str<T: Deserialize>(s: &str) -> Result<T> {
+    let v = value_from_str(s)?;
+    T::from_value(&v).map_err(Error::from)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_formats_match_serde_json() {
+        assert_eq!(to_string(&1.0f64).unwrap(), "1.0");
+        assert_eq!(to_string(&0.5f64).unwrap(), "0.5");
+        assert_eq!(to_string(&42u32).unwrap(), "42");
+        assert_eq!(to_string(&-7i32).unwrap(), "-7");
+        assert_eq!(to_string(&true).unwrap(), "true");
+        assert_eq!(to_string("a\"b\n").unwrap(), "\"a\\\"b\\n\"");
+    }
+
+    #[test]
+    fn value_roundtrip() {
+        let v = Value::Object(vec![
+            ("name".into(), Value::Str("SysHK".into())),
+            (
+                "devices".into(),
+                Value::Array(vec![Value::Int(1), Value::Float(2.5)]),
+            ),
+            ("link".into(), Value::Null),
+        ]);
+        let compact = to_string(&v).unwrap();
+        assert_eq!(compact, r#"{"name":"SysHK","devices":[1,2.5],"link":null}"#);
+        let back = value_from_str(&compact).unwrap();
+        assert_eq!(back, v);
+        let pretty = to_string_pretty(&v).unwrap();
+        let back2 = value_from_str(&pretty).unwrap();
+        assert_eq!(back2, v);
+        assert!(pretty.contains("\n  \"name\": \"SysHK\""));
+    }
+
+    #[test]
+    fn parse_errors_are_reported() {
+        assert!(value_from_str("{").is_err());
+        assert!(value_from_str("[1,]").is_err());
+        assert!(value_from_str("12 34").is_err());
+        let e = from_str::<bool>("3").unwrap_err();
+        assert!(e.to_string().contains("expected bool"));
+    }
+}
