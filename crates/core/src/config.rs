@@ -2,6 +2,7 @@
 
 use feves_codec::cabac::EntropyBackend;
 use feves_codec::types::EncodeParams;
+use feves_ft::{FaultSpec, FevesError};
 use feves_sched::{Centric, Ewma};
 use feves_video::geometry::Resolution;
 
@@ -70,6 +71,13 @@ pub struct EncoderConfig {
     /// Closed-loop rate control: target kbit/s at the given display rate.
     /// `None` (the paper's configuration) encodes at fixed QP.
     pub rate_control: Option<RateControlConfig>,
+    /// Deterministic device-fault schedule to inject (chaos testing / the
+    /// CLI's `--inject-fault`). Empty = fault-free.
+    pub faults: Vec<FaultSpec>,
+    /// Sync-point deadline = LP-predicted τ × this factor; a miss declares
+    /// the slowest device faulty. Must exceed 1 with enough slack to absorb
+    /// profile noise and benign perturbations.
+    pub deadline_factor: f64,
 }
 
 /// Rate-control parameters (see [`feves_codec::rate::RateController`]).
@@ -97,28 +105,34 @@ impl EncoderConfig {
             gop: None,
             entropy: EntropyBackend::ExpGolomb,
             rate_control: None,
+            faults: Vec::new(),
+            deadline_factor: 3.0,
         }
     }
 
     /// Validate the configuration.
-    pub fn validate(&self) -> Result<(), String> {
-        self.params.validate()?;
+    pub fn validate(&self) -> Result<(), FevesError> {
+        let bad = |m: &str| Err(FevesError::Config(m.into()));
+        self.params.validate().map_err(FevesError::Config)?;
         if self.resolution.width < 64 || self.resolution.height < 64 {
-            return Err("resolution too small (min 64x64)".into());
+            return bad("resolution too small (min 64x64)");
         }
         if !(0.0..1.0).contains(&self.noise_amp) {
-            return Err("noise amplitude must be in [0, 1)".into());
+            return bad("noise amplitude must be in [0, 1)");
         }
         if !(0.0..=1.0).contains(&self.ewma.0) || self.ewma.0 == 0.0 {
-            return Err("EWMA alpha must be in (0, 1]".into());
+            return bad("EWMA alpha must be in (0, 1]");
         }
         if self.gop == Some(0) {
-            return Err("GOP length must be >= 1".into());
+            return bad("GOP length must be >= 1");
         }
         if let Some(rc) = &self.rate_control {
             if rc.target_kbps <= 0.0 || rc.fps <= 0.0 {
-                return Err("rate control needs positive target and fps".into());
+                return bad("rate control needs positive target and fps");
             }
+        }
+        if !(self.deadline_factor.is_finite() && self.deadline_factor > 1.0) {
+            return bad("deadline factor must be finite and > 1");
         }
         Ok(())
     }
@@ -143,6 +157,17 @@ mod tests {
         c.noise_amp = 0.0;
         c.ewma = Ewma(0.0);
         assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn rejects_bad_deadline_factor() {
+        let mut c = EncoderConfig::full_hd(EncodeParams::default());
+        c.deadline_factor = 1.0;
+        assert!(c.validate().is_err());
+        c.deadline_factor = f64::INFINITY;
+        assert!(c.validate().is_err());
+        c.deadline_factor = 2.5;
+        assert!(c.validate().is_ok());
     }
 
     #[test]

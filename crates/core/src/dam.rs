@@ -8,6 +8,7 @@
 //! appear in a transfer plan.
 
 use feves_codec::workload::bytes_per_row;
+use feves_ft::FevesError;
 use feves_hetsim::platform::Platform;
 use feves_sched::Distribution;
 
@@ -148,7 +149,7 @@ impl DataManager {
         n_rows: usize,
         width: usize,
         n_ref: usize,
-    ) -> Result<(), String> {
+    ) -> Result<(), FevesError> {
         for (d, dev) in platform.devices.iter().enumerate() {
             if !dev.is_accelerator() {
                 continue;
@@ -159,12 +160,12 @@ impl DataManager {
             // Any accelerator may be selected for R*: budget for the worst.
             let need = Self::device_footprint_bytes(n_rows, width, n_ref, true);
             if need > cap {
-                return Err(format!(
+                return Err(FevesError::Memory(format!(
                     "device {d} ({}) needs {:.0} MiB for {n_ref} reference                      frames at width {width} but has {:.0} MiB",
                     dev.name,
                     need as f64 / (1024.0 * 1024.0),
                     cap as f64 / (1024.0 * 1024.0)
-                ));
+                )));
             }
         }
         Ok(())
@@ -248,7 +249,7 @@ impl DataManager {
         dist: &Distribution,
         is_accelerator: &[bool],
         data_reuse: bool,
-    ) -> Result<(), String> {
+    ) -> Result<(), FevesError> {
         for d in 0..self.n_devices {
             if !is_accelerator[d] || dist.rstar_device == d {
                 continue;
@@ -256,11 +257,11 @@ impl DataManager {
             let resident = dist.interp[d] + dist.delta_l[d] + dist.sigma[d];
             let outstanding = dist.sigma_rem[d];
             if resident + outstanding != self.n_rows {
-                return Err(format!(
+                return Err(FevesError::Accounting(format!(
                     "device {d}: SF accounting broken: {resident} resident + \
                      {outstanding} deferred != {}",
                     self.n_rows
-                ));
+                )));
             }
         }
         for d in 0..self.n_devices {

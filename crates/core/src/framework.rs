@@ -15,14 +15,18 @@ use crate::config::{BalancerKind, EncoderConfig, ExecutionMode};
 use crate::dam::{transfer_bytes, DataManager};
 use crate::report::{EncodeReport, FrameReport};
 use crate::trace::FrameTrace;
-use crate::vcm::{build_frame_graph, FrameGeometry, MeasureKind};
+use crate::vcm::{build_frame_graph, FrameGeometry, FrameGraph, MeasureKind};
 use feves_codec::inter_loop::ReferenceStore;
 use feves_codec::interp::SubpelFrame;
 use feves_codec::rate::RateController;
 use feves_codec::types::EncodeParams;
+use feves_ft::{
+    DeadlinePolicy, DeviceFault, FaultCause, FaultSchedule, FaultSpec, FevesError, HealthTracker,
+};
+use feves_hetsim::fault::FaultInjector;
 use feves_hetsim::noise::MultiplicativeNoise;
 use feves_hetsim::platform::Platform;
-use feves_hetsim::timeline::simulate;
+use feves_hetsim::timeline::{simulate, Schedule};
 use feves_obs::{Metric, Recorder};
 use feves_sched::{
     BalanceInput, Centric, Distribution, EquidistantBalancer, Ewma, FevesBalancer, LoadBalancer,
@@ -45,6 +49,23 @@ pub struct Perturbation {
     pub frames: std::ops::Range<usize>,
     /// Speed multiplier while active (0.5 = half speed).
     pub factor: f64,
+}
+
+/// Per-encoder fault-tolerance counters (mirrors the `ft.*` metrics, kept
+/// on the encoder so tests and the CLI can assert on them without a
+/// recorder).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FtStats {
+    /// Faults the schedule injected so far.
+    pub injected: u64,
+    /// Faults detected (missed deadlines, transfer errors, stripe panics).
+    pub detected: u64,
+    /// Detected faults recovered from (the frame still completed).
+    pub recovered: u64,
+    /// Algorithm-2 re-solves on a reduced platform.
+    pub resolves: u64,
+    /// MB rows re-dispatched from faulty devices to survivors.
+    pub redispatched_rows: u64,
 }
 
 /// The FEVES encoder: Algorithm 1 over a simulated heterogeneous platform,
@@ -75,6 +96,14 @@ pub struct FevesEncoder {
     // Functional-mode state.
     store: ReferenceStore,
     recon_pending: Option<ReconPending>,
+    // Fault tolerance.
+    injector: FaultInjector,
+    health: HealthTracker,
+    deadline: DeadlinePolicy,
+    /// EWMA of measured healthy (τ1, τ2, τtot) — the deadline baseline for
+    /// heuristic balancers that produce no LP prediction.
+    expected_tau: Option<(f64, f64, f64)>,
+    ft_stats: FtStats,
 }
 
 /// A reconstruction waiting to be interpolated and pushed as a reference.
@@ -86,10 +115,20 @@ struct ReconPending {
 
 impl FevesEncoder {
     /// Create an encoder for `platform` with `config`.
-    pub fn new(platform: Platform, config: EncoderConfig) -> Result<Self, String> {
+    pub fn new(platform: Platform, config: EncoderConfig) -> Result<Self, FevesError> {
         config.validate()?;
+        platform.validate()?;
         if matches!(config.balancer, BalancerKind::SingleAccelerator(i) if i >= platform.n_accel) {
-            return Err("single-accelerator balancer index out of range".into());
+            return Err(FevesError::Config(
+                "single-accelerator balancer index out of range".into(),
+            ));
+        }
+        if let Some(spec) = config.faults.iter().find(|s| s.device >= platform.len()) {
+            return Err(FevesError::Config(format!(
+                "fault spec `{spec}` names device {} but the platform has {} devices",
+                spec.device,
+                platform.len()
+            )));
         }
         let padded = config.resolution.padded();
         let geometry = FrameGeometry {
@@ -137,6 +176,11 @@ impl FevesEncoder {
                 .map(|rc| RateController::new(rc.target_kbps, rc.fps, config.params.qp)),
             store: ReferenceStore::new(n_ref),
             recon_pending: None,
+            injector: FaultInjector::new(FaultSchedule::new(config.faults.clone())),
+            health: HealthTracker::new(platform.len(), 2, 3),
+            deadline: DeadlinePolicy::new(config.deadline_factor),
+            expected_tau: None,
+            ft_stats: FtStats::default(),
             platform,
             config,
         })
@@ -160,6 +204,28 @@ impl FevesEncoder {
         assert!(p.device < self.platform.len());
         assert!(p.factor > 0.0);
         self.perturbations.push(p);
+    }
+
+    /// Add one fault to the injection schedule (test/CLI hook; equivalent
+    /// to listing it in [`EncoderConfig::faults`]).
+    pub fn inject_fault(&mut self, spec: FaultSpec) {
+        assert!(spec.device < self.platform.len(), "fault device in range");
+        self.injector.push(spec);
+    }
+
+    /// Fault-tolerance counters accumulated so far.
+    pub fn ft_stats(&self) -> FtStats {
+        self.ft_stats
+    }
+
+    /// The MB-row geometry the encoder is operating on.
+    pub fn geometry(&self) -> FrameGeometry {
+        self.geometry
+    }
+
+    /// Per-device health state.
+    pub fn health(&self) -> &HealthTracker {
+        &self.health
     }
 
     /// The platform being driven.
@@ -190,6 +256,160 @@ impl FevesEncoder {
             }
         }
         m
+    }
+
+    /// Load balancing over the available devices. With everything healthy
+    /// this is the plain Algorithm-1 path; with blacklisted devices the
+    /// balancer runs on the reduced platform (`Platform::subset`) and the
+    /// result is scattered back to full-platform coordinates with zero rows
+    /// on the excluded devices.
+    fn balance(&mut self, n_rows: usize, avail: &[bool]) -> Distribution {
+        if avail.iter().all(|&a| a) {
+            let d = self.balancer.distribute(&BalanceInput {
+                n_rows,
+                platform: &self.platform,
+                perf: &self.perf,
+                prev: self.prev_dist.as_ref(),
+            });
+            debug_assert!(d.validate(n_rows).is_ok());
+            return d;
+        }
+        let (sub, map) = self
+            .platform
+            .subset(avail)
+            .expect("the health tracker never blacklists the last live core");
+        let sub_perf = self.perf.subset(avail);
+        let prev_sub = self.prev_dist.as_ref().and_then(|d| d.restrict(avail));
+        let mut balancer = self.reduced_balancer(&map);
+        let d = balancer.distribute(&BalanceInput {
+            n_rows,
+            platform: &sub,
+            perf: &sub_perf,
+            prev: prev_sub.as_ref(),
+        });
+        let full = d.expand(&map, self.platform.len());
+        debug_assert!(full.validate(n_rows).is_ok());
+        full
+    }
+
+    /// A balancer equivalent to the configured one but expressed in
+    /// reduced-platform coordinates. Device-pinned policies whose device was
+    /// blacklisted degrade gracefully: a pinned R\* mapping falls back to
+    /// Dijkstra, a pinned single accelerator falls back to the CPU cores.
+    fn reduced_balancer(&self, map: &[usize]) -> Box<dyn LoadBalancer> {
+        let remap = |full: usize| map.iter().position(|&f| f == full);
+        match self.config.balancer {
+            BalancerKind::Feves => Box::new(FevesBalancer::default()),
+            BalancerKind::FevesFixed(c) => {
+                let fixed = match c {
+                    Centric::Gpu(i) => remap(i).map(Centric::Gpu),
+                    Centric::Cpu => Some(Centric::Cpu),
+                };
+                Box::new(FevesBalancer {
+                    fixed_centric: fixed,
+                })
+            }
+            BalancerKind::Equidistant => Box::new(EquidistantBalancer),
+            BalancerKind::Proportional => Box::new(ProportionalBalancer),
+            BalancerKind::Greedy => Box::new(feves_sched::GreedyBalancer::default()),
+            BalancerKind::SingleAccelerator(i) => Box::new(SingleDeviceBalancer {
+                device: remap(i), // None → spread over the CPU cores
+            }),
+            BalancerKind::CpuOnly => Box::new(SingleDeviceBalancer { device: None }),
+        }
+    }
+
+    /// Detection (tentpole part 2): injected transfer errors surface as DMA
+    /// failures; everything else is caught by the sync-point deadlines
+    /// (deadline = predicted τ × factor). Returns the fault and the virtual
+    /// time wasted before it was detected.
+    fn detect_fault(
+        &self,
+        inter_frame: usize,
+        dist: &Distribution,
+        fg: &FrameGraph,
+        sched: &Schedule,
+        avail: &[bool],
+        xfer_mask: &[bool],
+    ) -> Option<(DeviceFault, f64)> {
+        for (d, &has_xfers) in xfer_mask.iter().enumerate() {
+            if has_xfers && self.injector.transfer_fault(inter_frame, d) {
+                // The DMA engine reports the failure no later than the first
+                // sync point that waits on the transfer.
+                let wasted = sched.finish_of(fg.tau1);
+                return Some((
+                    DeviceFault {
+                        device: d,
+                        frame: inter_frame,
+                        cause: FaultCause::TransferError,
+                    },
+                    wasted,
+                ));
+            }
+        }
+        // Deadlines come from the LP prediction when the balancer provides
+        // one, else from the EWMA baseline of past healthy frames. Until
+        // either exists (the very first probe frame) detection is off and
+        // the characterization loop is the only defence.
+        let expected = dist
+            .predicted
+            .map(|p| (p.tau1, p.tau2, p.tau_tot))
+            .or(self.expected_tau)?;
+        let deadlines = self.deadline.deadlines(expected);
+        let (point, at) = deadlines.check(
+            sched.finish_of(fg.tau1),
+            sched.finish_of(fg.tau2),
+            sched.finish_of(fg.tau_tot),
+        )?;
+        let device = self.culprit(fg, sched, avail)?;
+        Some((
+            DeviceFault {
+                device,
+                frame: inter_frame,
+                cause: FaultCause::MissedDeadline(point),
+            },
+            at,
+        ))
+    }
+
+    /// Culprit attribution: the device owning the longest-*running* measured
+    /// task. Finish times won't do — a stalled device delays downstream
+    /// tasks on innocent devices, which then finish even later than the
+    /// stalled task itself; but those tasks merely *start* late and run
+    /// fast, while the faulty device's own task runs for the whole stall.
+    fn culprit(&self, fg: &FrameGraph, sched: &Schedule, avail: &[bool]) -> Option<usize> {
+        let mut longest: Option<(f64, usize)> = None;
+        for m in &fg.measures {
+            let device = match m.kind {
+                MeasureKind::Compute { device, .. }
+                | MeasureKind::Transfer { device, .. }
+                | MeasureKind::RstarPart { device } => device,
+            };
+            if !avail[device] {
+                continue;
+            }
+            let dur = sched.duration(m.task);
+            if longest.is_none_or(|(d, _)| dur > d) {
+                longest = Some((dur, device));
+            }
+        }
+        longest.map(|(_, d)| d)
+    }
+
+    /// A device may be blacklisted unless it is the last live CPU core —
+    /// the host must survive (`Platform::validate` requires ≥ 1 core), so
+    /// the framework degrades to CPU-only but never below.
+    fn can_blacklist(&self, device: usize, avail: &[bool]) -> bool {
+        if !avail[device] {
+            return false;
+        }
+        if device < self.platform.n_accel {
+            return true;
+        }
+        (self.platform.n_accel..self.platform.len())
+            .filter(|&d| avail[d])
+            .count()
+            > 1
     }
 
     /// Encode one inter-frame in timing-only mode and return its report.
@@ -268,39 +488,96 @@ impl FevesEncoder {
             eff_params.qp = rc.qp();
         }
 
-        // Load balancing (initialization phase falls back to equidistant
-        // inside the balancers when uncharacterized).
-        let sched_start = Instant::now();
-        let dist = self.balancer.distribute(&BalanceInput {
-            n_rows,
-            platform: &self.platform,
-            perf: &self.perf,
-            prev: self.prev_dist.as_ref(),
-        });
-        let sched_overhead = sched_start.elapsed().as_secs_f64();
-        debug_assert!(dist.validate(n_rows).is_ok());
-
-        // Data access plan + task graph.
-        let mask: Vec<bool> = self
+        // Fault-tolerance bookkeeping: re-admit devices whose blacklist
+        // backoff expired, count newly injected faults.
+        self.health.tick(inter_frame);
+        let newly_injected = self.injector.starting(inter_frame).count() as u64;
+        if newly_injected > 0 {
+            self.ft_stats.injected += newly_injected;
+            self.rec().add(Metric::FtFaultsInjected, newly_injected);
+        }
+        let accel: Vec<bool> = self
             .platform
             .devices
             .iter()
             .map(|d| d.is_accelerator())
             .collect();
-        let plan = self.dam.plan(&dist, &mask, self.config.data_reuse);
-        let fg = build_frame_graph(
-            &dist,
-            &plan,
-            &self.platform,
-            &eff_params,
-            self.geometry,
-            self.config.overlap,
-        );
 
-        // Execute on the virtual platform.
-        let speeds = self.speed_multipliers(inter_frame);
-        let sched = simulate(&fg.graph, &self.platform, &speeds, &mut self.noise)
-            .expect("VCM-built graphs are deadlock-free by construction");
+        // Load balancing (initialization phase falls back to equidistant
+        // inside the balancers when uncharacterized).
+        let sched_start = Instant::now();
+        let mut avail = self.health.available();
+        let mut dist = self.balance(n_rows, &avail);
+        let mut sched_overhead = sched_start.elapsed().as_secs_f64();
+
+        // Detection/recovery loop (tentpole parts 2–3): simulate the frame;
+        // if a sync-point deadline is missed or a transfer fails, blacklist
+        // the culprit, re-dispatch its MB rows by re-solving Algorithm 2
+        // over the survivors, and retry the frame. Bounded by the device
+        // count — every retry removes a device or accepts the result.
+        let mut recovery_overhead = 0.0f64; // virtual seconds lost
+        let mut frame_faulty = vec![false; self.platform.len()];
+        let mut recovered_this_frame = 0u64;
+        let max_attempts = self.platform.len() + 1;
+        let mut attempt = 0;
+        let (mask, plan, fg, sched) = loop {
+            attempt += 1;
+            // Blacklisted accelerators get no transfers; DAM drops their σʳ.
+            let mask: Vec<bool> = accel.iter().zip(&avail).map(|(&a, &v)| a && v).collect();
+            let plan = self.dam.plan(&dist, &mask, self.config.data_reuse);
+            let fg = build_frame_graph(
+                &dist,
+                &plan,
+                &self.platform,
+                &eff_params,
+                self.geometry,
+                self.config.overlap,
+            );
+            let mut speeds = self.speed_multipliers(inter_frame);
+            self.injector.overlay_speeds(inter_frame, &mut speeds);
+            let sched = simulate(&fg.graph, &self.platform, &speeds, &mut self.noise)
+                .expect("VCM-built graphs are deadlock-free by construction");
+            if attempt >= max_attempts {
+                break (mask, plan, fg, sched);
+            }
+            let Some((fault, wasted)) =
+                self.detect_fault(inter_frame, &dist, &fg, &sched, &avail, &mask)
+            else {
+                break (mask, plan, fg, sched);
+            };
+            self.ft_stats.detected += 1;
+            self.rec().add(Metric::FtFaultsDetected, 1);
+            if std::env::var_os("FEVES_FT_DEBUG").is_some() {
+                eprintln!(
+                    "ft: frame {inter_frame} attempt {attempt}: {fault:?} wasted {wasted:.4}s \
+                     tau=({:.4},{:.4},{:.4})",
+                    sched.finish_of(fg.tau1),
+                    sched.finish_of(fg.tau2),
+                    sched.finish_of(fg.tau_tot),
+                );
+            }
+            frame_faulty[fault.device] = true;
+            if !self.can_blacklist(fault.device, &avail) {
+                // The last live core cannot be dropped; accept the frame.
+                break (mask, plan, fg, sched);
+            }
+            // The attempt ran until the deadline fired; that virtual time
+            // is lost and the frame restarts on the survivors.
+            recovery_overhead += wasted;
+            let lost_rows =
+                (dist.me[fault.device] + dist.interp[fault.device] + dist.sme[fault.device]) as u64;
+            self.health.record_fault(fault.device, inter_frame);
+            avail = self.health.available();
+            let t0 = Instant::now();
+            dist = self.balance(n_rows, &avail);
+            sched_overhead += t0.elapsed().as_secs_f64();
+            self.ft_stats.resolves += 1;
+            self.ft_stats.redispatched_rows += lost_rows;
+            recovered_this_frame += 1;
+            let rec = self.rec();
+            rec.add(Metric::FtResolves, 1);
+            rec.add(Metric::FtRedispatchedRows, lost_rows);
+        };
         let trace = FrameTrace::capture(&fg, &sched, &self.platform);
 
         // Observability: per-frame metrics. Everything except the wall-clock
@@ -337,6 +614,9 @@ impl FevesEncoder {
                     transfer_bytes(&self.dam.plan(&dist, &mask, false), self.geometry.width);
                 rec.add(Metric::DamBytesReused, baseline.saturating_sub(transferred));
             }
+            if recovery_overhead > 0.0 {
+                rec.observe(Metric::FtRecoveryMs, recovery_overhead * 1e3);
+            }
             rec.add(Metric::FramesEncoded, 1);
         }
         self.last_trace = Some(trace);
@@ -370,10 +650,25 @@ impl FevesEncoder {
             }
         }
 
-        // Functional execution with the same distribution.
+        // Functional execution with the same distribution. Stripe-thread
+        // panics are caught, the rows recomputed on the host, and the
+        // culprit reported like any other device fault.
         let (bits, psnr) = match (frame, self.config.mode) {
             (Some(f), ExecutionMode::Functional) => {
-                let (bits, psnr) = self.execute_kernels(f, &dist, &eff_params);
+                let (bits, psnr, kernel_faults) = self.execute_kernels(f, &dist, &eff_params);
+                for (fault, rows) in kernel_faults {
+                    self.ft_stats.detected += 1;
+                    self.ft_stats.recovered += 1;
+                    self.ft_stats.redispatched_rows += rows as u64;
+                    let rec = self.rec();
+                    rec.add(Metric::FtFaultsDetected, 1);
+                    rec.add(Metric::FtFaultsRecovered, 1);
+                    rec.add(Metric::FtRedispatchedRows, rows as u64);
+                    frame_faulty[fault.device] = true;
+                    if self.can_blacklist(fault.device, &avail) {
+                        self.health.record_fault(fault.device, inter_frame);
+                    }
+                }
                 if let Some(rc) = &mut self.rate {
                     rc.update(bits);
                 }
@@ -385,11 +680,38 @@ impl FevesEncoder {
         self.dam
             .commit(&dist, &mask, self.config.data_reuse)
             .expect("distribution validated above");
+
+        // Close out fault-tolerance accounting: a detection that led to a
+        // re-solve counts as recovered once the frame lands, clean devices
+        // work toward probation exit, and the measured sync points feed the
+        // deadline baseline used when no LP prediction is available.
+        if recovered_this_frame > 0 {
+            self.ft_stats.recovered += recovered_this_frame;
+            self.rec()
+                .add(Metric::FtFaultsRecovered, recovered_this_frame);
+        }
+        for d in 0..self.platform.len() {
+            if avail[d] && !frame_faulty[d] {
+                self.health.record_success(d);
+            }
+        }
+        if !frame_faulty.iter().any(|&f| f) {
+            let m = (
+                sched.finish_of(fg.tau1),
+                sched.finish_of(fg.tau2),
+                sched.finish_of(fg.tau_tot),
+            );
+            self.expected_tau = Some(match self.expected_tau {
+                Some((a, b, c)) => (0.5 * (a + m.0), 0.5 * (b + m.1), 0.5 * (c + m.2)),
+                None => m,
+            });
+        }
+
         let report = FrameReport::inter(
             inter_frame,
-            sched.finish_of(fg.tau1),
-            sched.finish_of(fg.tau2),
-            sched.finish_of(fg.tau_tot),
+            recovery_overhead + sched.finish_of(fg.tau1),
+            recovery_overhead + sched.finish_of(fg.tau2),
+            recovery_overhead + sched.finish_of(fg.tau_tot),
             eff_params.n_ref,
             sched_overhead,
             dist.clone(),
@@ -403,15 +725,22 @@ impl FevesEncoder {
 
     /// Run the real kernels, row-partitioned exactly as the distribution
     /// prescribes, and advance the reference store.
+    ///
+    /// Stripe threads that panic (injected or real) are caught at join and
+    /// their rows recomputed serially on the host — ME/SME row results are
+    /// independent of the stripe split, so the recomputation is bit-exact.
+    /// Returns the caught faults with the number of re-dispatched rows.
     fn execute_kernels(
         &mut self,
         frame: &Frame,
         dist: &Distribution,
         params: &EncodeParams,
-    ) -> (u64, f64) {
+    ) -> (u64, f64, Vec<(DeviceFault, usize)>) {
         let cf = frame.y();
         let mb_cols = self.geometry.mb_cols;
         let n_rows = self.geometry.n_rows;
+        let inter_frame = self.inter_count + 1;
+        let mut kernel_faults: Vec<(DeviceFault, usize)> = Vec::new();
 
         // INT: interpolate the pending reconstruction per dist.interp and
         // push it as the newest reference.
@@ -430,52 +759,109 @@ impl FevesEncoder {
         // Manager drives every device simultaneously). Each stripe writes a
         // disjoint row band of the motion field.
         let mut me = feves_codec::me::MeField::new(mb_cols, n_rows);
+        let mut failed_me: Vec<(usize, RowRange)> = Vec::new();
         {
-            let mut bands: Vec<(RowRange, &mut [feves_codec::me::MbMotion])> = Vec::new();
+            let mut bands: Vec<(usize, RowRange, &mut [feves_codec::me::MbMotion])> = Vec::new();
             let mut rest = me.rows_mut(RowRange::new(0, n_rows));
-            for range in ranges_from_counts(&dist.me) {
+            for (device, range) in ranges_from_counts(&dist.me).into_iter().enumerate() {
                 let (band, tail) = rest.split_at_mut(range.len() * mb_cols);
                 if !range.is_empty() {
-                    bands.push((range, band));
+                    bands.push((device, range, band));
                 }
                 rest = tail;
             }
             let (cf_ref, rfs_ref, params_ref) = (&cf, &rfs, &params);
+            let injector = &self.injector;
             crossbeam::scope(|s| {
-                for (range, out) in bands {
-                    s.spawn(move |_| {
-                        feves_codec::me::motion_estimate_rows_parallel(
-                            cf_ref, rfs_ref, params_ref, range, out,
-                        );
-                    });
+                let handles: Vec<_> = bands
+                    .into_iter()
+                    .map(|(device, range, out)| {
+                        let h = s.spawn(move |_| {
+                            if injector.kernel_panic(inter_frame, device) {
+                                panic!("injected kernel panic on device {device}");
+                            }
+                            feves_codec::me::motion_estimate_rows_parallel(
+                                cf_ref, rfs_ref, params_ref, range, out,
+                            );
+                        });
+                        (device, range, h)
+                    })
+                    .collect();
+                for (device, range, h) in handles {
+                    if h.join().is_err() {
+                        failed_me.push((device, range));
+                    }
                 }
             })
-            .expect("device stripe threads must not panic");
+            .expect("all stripe panics are caught at join");
+        }
+        for &(device, range) in &failed_me {
+            let out = me.rows_mut(range);
+            feves_codec::me::motion_estimate_rows_parallel(cf, &rfs, params, range, out);
+            kernel_faults.push((
+                DeviceFault {
+                    device,
+                    frame: inter_frame,
+                    cause: FaultCause::StripePanic,
+                },
+                range.len(),
+            ));
         }
 
         // SME per device stripe, same device-level concurrency.
         let mut sme = feves_codec::sme::SmeField::new(mb_cols, n_rows);
+        let mut failed_sme: Vec<(usize, RowRange)> = Vec::new();
         {
-            let mut bands: Vec<(RowRange, &mut [feves_codec::sme::MbSubMotion])> = Vec::new();
+            let mut bands: Vec<(usize, RowRange, &mut [feves_codec::sme::MbSubMotion])> =
+                Vec::new();
             let mut rest = sme.rows_mut(RowRange::new(0, n_rows));
-            for range in ranges_from_counts(&dist.sme) {
+            for (device, range) in ranges_from_counts(&dist.sme).into_iter().enumerate() {
                 let (band, tail) = rest.split_at_mut(range.len() * mb_cols);
                 if !range.is_empty() {
-                    bands.push((range, band));
+                    bands.push((device, range, band));
                 }
                 rest = tail;
             }
             let me_ref = &me;
             let (cf_ref, sfs_ref) = (&cf, &sfs);
+            let injector = &self.injector;
             crossbeam::scope(|s| {
-                for (range, out) in bands {
-                    s.spawn(move |_| {
-                        let me_rows: Vec<feves_codec::me::MbMotion> = me_ref.rows(range).to_vec();
-                        feves_codec::sme::sme_rows_parallel(cf_ref, sfs_ref, &me_rows, range, out);
-                    });
+                let handles: Vec<_> = bands
+                    .into_iter()
+                    .map(|(device, range, out)| {
+                        let h = s.spawn(move |_| {
+                            if injector.kernel_panic(inter_frame, device) {
+                                panic!("injected kernel panic on device {device}");
+                            }
+                            let me_rows: Vec<feves_codec::me::MbMotion> =
+                                me_ref.rows(range).to_vec();
+                            feves_codec::sme::sme_rows_parallel(
+                                cf_ref, sfs_ref, &me_rows, range, out,
+                            );
+                        });
+                        (device, range, h)
+                    })
+                    .collect();
+                for (device, range, h) in handles {
+                    if h.join().is_err() {
+                        failed_sme.push((device, range));
+                    }
                 }
             })
-            .expect("device stripe threads must not panic");
+            .expect("all stripe panics are caught at join");
+        }
+        for &(device, range) in &failed_sme {
+            let me_rows: Vec<feves_codec::me::MbMotion> = me.rows(range).to_vec();
+            let out = sme.rows_mut(range);
+            feves_codec::sme::sme_rows_parallel(cf, &sfs, &me_rows, range, out);
+            kernel_faults.push((
+                DeviceFault {
+                    device,
+                    frame: inter_frame,
+                    cause: FaultCause::StripePanic,
+                },
+                range.len(),
+            ));
         }
 
         // R* on the selected device (single-device semantics).
@@ -532,7 +918,7 @@ impl FevesEncoder {
             u: chroma.recon_u,
             v: chroma.recon_v,
         });
-        (bits, psnr)
+        (bits, psnr, kernel_faults)
     }
 
     /// The simulated schedule of the most recent inter-frame (Fig 4 as

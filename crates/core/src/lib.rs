@@ -32,7 +32,7 @@ pub mod trace;
 pub mod vcm;
 
 pub use config::{BalancerKind, EncoderConfig, ExecutionMode, RateControlConfig};
-pub use framework::{FevesEncoder, Perturbation};
+pub use framework::{FevesEncoder, FtStats, Perturbation};
 pub use oracle::OracleBalancer;
 pub use report::{EncodeReport, FrameReport, Rollup};
 pub use trace::{FrameTrace, Lane, LaneKind, TraceTask};
@@ -40,10 +40,11 @@ pub use trace::{FrameTrace, Lane, LaneKind, TraceTask};
 /// Convenient glob import for applications.
 pub mod prelude {
     pub use crate::config::{BalancerKind, EncoderConfig, ExecutionMode, RateControlConfig};
-    pub use crate::framework::{FevesEncoder, Perturbation};
+    pub use crate::framework::{FevesEncoder, FtStats, Perturbation};
     pub use crate::report::{EncodeReport, FrameReport, Rollup};
     pub use crate::trace::{FrameTrace, Lane, LaneKind};
     pub use feves_codec::types::{EncodeParams, SearchArea};
+    pub use feves_ft::{DeviceHealth, FaultSchedule, FaultSpec, FevesError};
     pub use feves_hetsim::platform::Platform;
     pub use feves_hetsim::profiles;
     pub use feves_sched::Centric;

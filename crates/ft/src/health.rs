@@ -1,0 +1,205 @@
+//! Per-device health tracking: the recovery state machine.
+//!
+//! ```text
+//!            fault                    backoff expires
+//! Healthy ─────────▶ Blacklisted ─────────────────────▶ Probation
+//!    ▲                    ▲                                 │
+//!    │                    │ fault (backoff doubles)         │
+//!    │                    └─────────────────────────────────┤
+//!    └──────────────────────────────────────────────────────┘
+//!                 M consecutive clean frames (backoff resets)
+//! ```
+//!
+//! Blacklisted devices are excluded from load balancing and data transfers.
+//! After an exponential backoff (in frames) the device is re-admitted on
+//! *probation*: it gets work again, but one more fault re-blacklists it with
+//! a doubled backoff, so a permanently dead device converges to near-zero
+//! probe overhead while a transiently stalled one rejoins quickly.
+
+/// Health state of one device.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DeviceHealth {
+    /// Fully trusted.
+    Healthy,
+    /// Re-admitted after a blacklist; trusted but watched.
+    Probation,
+    /// Excluded from scheduling until the backoff expires.
+    Blacklisted,
+}
+
+/// Tracks every device's health across the sequence.
+#[derive(Clone, Debug)]
+pub struct HealthTracker {
+    state: Vec<DeviceHealth>,
+    /// Frame at which a blacklisted device is re-admitted for a probe.
+    readmit_at: Vec<usize>,
+    /// Current backoff in frames; doubles on every fault, resets on full
+    /// recovery.
+    backoff: Vec<usize>,
+    /// Clean frames still needed to graduate from probation.
+    probation_left: Vec<usize>,
+    faults: Vec<u64>,
+    base_backoff: usize,
+    probation_frames: usize,
+}
+
+/// Backoff is capped so a flapping device still gets probed occasionally.
+const MAX_BACKOFF_FRAMES: usize = 64;
+
+impl HealthTracker {
+    /// `base_backoff`: frames a device sits out after its first fault.
+    /// `probation_frames`: clean frames required to regain full health.
+    pub fn new(n_devices: usize, base_backoff: usize, probation_frames: usize) -> Self {
+        HealthTracker {
+            state: vec![DeviceHealth::Healthy; n_devices],
+            readmit_at: vec![0; n_devices],
+            backoff: vec![base_backoff.max(1); n_devices],
+            probation_left: vec![0; n_devices],
+            faults: vec![0; n_devices],
+            base_backoff: base_backoff.max(1),
+            probation_frames: probation_frames.max(1),
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.state.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.state.is_empty()
+    }
+
+    pub fn state(&self, device: usize) -> DeviceHealth {
+        self.state[device]
+    }
+
+    /// Total faults recorded against `device`.
+    pub fn fault_count(&self, device: usize) -> u64 {
+        self.faults[device]
+    }
+
+    /// True when the device may be scheduled (healthy or on probation).
+    pub fn is_available(&self, device: usize) -> bool {
+        self.state[device] != DeviceHealth::Blacklisted
+    }
+
+    /// Availability mask in platform device order.
+    pub fn available(&self) -> Vec<bool> {
+        (0..self.state.len())
+            .map(|d| self.is_available(d))
+            .collect()
+    }
+
+    /// Number of schedulable devices.
+    pub fn n_available(&self) -> usize {
+        self.state
+            .iter()
+            .filter(|s| **s != DeviceHealth::Blacklisted)
+            .count()
+    }
+
+    /// Advances to inter frame `frame`: re-admits blacklisted devices whose
+    /// backoff has expired, moving them to probation. Call once per frame
+    /// before load balancing.
+    pub fn tick(&mut self, frame: usize) {
+        for d in 0..self.state.len() {
+            if self.state[d] == DeviceHealth::Blacklisted && frame >= self.readmit_at[d] {
+                self.state[d] = DeviceHealth::Probation;
+                self.probation_left[d] = self.probation_frames;
+            }
+        }
+    }
+
+    /// Records a fault against `device` at inter frame `frame`: the device
+    /// is blacklisted until `frame + backoff`, and the backoff doubles.
+    pub fn record_fault(&mut self, device: usize, frame: usize) {
+        self.faults[device] += 1;
+        self.state[device] = DeviceHealth::Blacklisted;
+        self.readmit_at[device] = frame + self.backoff[device];
+        self.backoff[device] = (self.backoff[device] * 2).min(MAX_BACKOFF_FRAMES);
+    }
+
+    /// Records a clean frame for `device`. Probation devices graduate to
+    /// healthy after `probation_frames` consecutive clean frames, which also
+    /// resets their backoff.
+    pub fn record_success(&mut self, device: usize) {
+        if self.state[device] == DeviceHealth::Probation {
+            self.probation_left[device] = self.probation_left[device].saturating_sub(1);
+            if self.probation_left[device] == 0 {
+                self.state[device] = DeviceHealth::Healthy;
+                self.backoff[device] = self.base_backoff;
+            }
+        }
+    }
+
+    /// Devices currently blacklisted, in device order.
+    pub fn blacklisted(&self) -> Vec<usize> {
+        (0..self.state.len())
+            .filter(|&d| self.state[d] == DeviceHealth::Blacklisted)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fault_blacklists_and_backoff_readmits() {
+        let mut h = HealthTracker::new(3, 2, 2);
+        h.record_fault(1, 5);
+        assert_eq!(h.state(1), DeviceHealth::Blacklisted);
+        assert!(!h.is_available(1));
+        assert_eq!(h.available(), vec![true, false, true]);
+
+        h.tick(6); // backoff (2) not yet expired
+        assert_eq!(h.state(1), DeviceHealth::Blacklisted);
+        h.tick(7); // 5 + 2 → probation
+        assert_eq!(h.state(1), DeviceHealth::Probation);
+        assert!(h.is_available(1));
+    }
+
+    #[test]
+    fn probation_graduates_after_clean_frames() {
+        let mut h = HealthTracker::new(2, 2, 2);
+        h.record_fault(0, 1);
+        h.tick(3);
+        assert_eq!(h.state(0), DeviceHealth::Probation);
+        h.record_success(0);
+        assert_eq!(h.state(0), DeviceHealth::Probation);
+        h.record_success(0);
+        assert_eq!(h.state(0), DeviceHealth::Healthy);
+    }
+
+    #[test]
+    fn backoff_doubles_and_caps() {
+        let mut h = HealthTracker::new(1, 2, 1);
+        let mut frame = 1;
+        let mut last_gap = 0;
+        for _ in 0..10 {
+            h.record_fault(0, frame);
+            let gap = h.readmit_at[0] - frame;
+            assert!(gap >= last_gap, "backoff must not shrink");
+            assert!(gap <= MAX_BACKOFF_FRAMES);
+            last_gap = gap;
+            frame = h.readmit_at[0];
+            h.tick(frame);
+        }
+        assert_eq!(last_gap, MAX_BACKOFF_FRAMES);
+    }
+
+    #[test]
+    fn recovery_resets_backoff() {
+        let mut h = HealthTracker::new(1, 2, 1);
+        h.record_fault(0, 1); // backoff now 4
+        h.record_fault(0, 3); // backoff now 8
+        h.tick(11);
+        assert_eq!(h.state(0), DeviceHealth::Probation);
+        h.record_success(0);
+        assert_eq!(h.state(0), DeviceHealth::Healthy);
+        // Next fault sits out only the base backoff again.
+        h.record_fault(0, 20);
+        assert_eq!(h.readmit_at[0], 22);
+        assert_eq!(h.fault_count(0), 3);
+    }
+}

@@ -1,0 +1,31 @@
+//! # feves-ft — fault tolerance primitives for FEVES
+//!
+//! FEVES (Algorithms 1–2) assumes every discovered device stays alive and
+//! performs near its characterization for the whole sequence. Real
+//! transcoding farms cannot: GPUs die mid-sequence, thermal throttling turns
+//! a device into a straggler, and DMA transfers fail. This crate holds the
+//! pieces the framework needs to survive that, kept dependency-free so every
+//! other crate (hetsim, sched, core) can build on it:
+//!
+//! - [`FevesError`] — the typed error replacing `Result<_, String>` across
+//!   the workspace, separating *recoverable* device faults from fatal
+//!   configuration / accounting failures.
+//! - [`FaultSpec`] / [`FaultKind`] / [`FaultSchedule`] — the injectable
+//!   fault model: permanent death, transient stall, slowdown stragglers,
+//!   transfer errors and kernel panics, on a deterministic (optionally
+//!   seeded) schedule.
+//! - [`HealthTracker`] — the per-device recovery state machine
+//!   (healthy → probation → blacklisted) with exponential-backoff
+//!   re-admission probes.
+//! - [`DeadlinePolicy`] — sync-point deadlines derived from the LP's
+//!   predicted τ1/τ2/τtot; a missed deadline is the detection signal.
+
+pub mod deadline;
+pub mod error;
+pub mod fault;
+pub mod health;
+
+pub use deadline::{DeadlinePolicy, Deadlines, SyncPoint};
+pub use error::{DeviceFault, FaultCause, FevesError};
+pub use fault::{FaultKind, FaultSchedule, FaultSpec};
+pub use health::{DeviceHealth, HealthTracker};

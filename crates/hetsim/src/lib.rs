@@ -24,12 +24,14 @@
 //! executions are charged.
 
 pub mod device;
+pub mod fault;
 pub mod noise;
 pub mod platform;
 pub mod profiles;
 pub mod timeline;
 
 pub use device::{CopyEngines, DeviceId, DeviceKind, DeviceProfile, LinkProfile, ModuleTable};
+pub use fault::FaultInjector;
 pub use noise::{Deterministic, DurationModel, MultiplicativeNoise};
 pub use platform::Platform;
 pub use timeline::{simulate, Dir, Schedule, SimError, TaskGraph, TaskId, TaskKind, TransferTag};

@@ -2,6 +2,7 @@
 
 use crate::device::{DeviceId, DeviceProfile};
 use crate::profiles;
+use feves_ft::FevesError;
 use serde::{Deserialize, Serialize};
 
 /// A heterogeneous platform: `nw` accelerators followed by `nc` CPU cores
@@ -147,39 +148,70 @@ impl Platform {
     }
 
     /// Load a platform description from JSON and validate its structure.
-    pub fn from_json(json: &str) -> Result<Self, String> {
-        let p: Platform = serde_json::from_str(json).map_err(|e| e.to_string())?;
+    pub fn from_json(json: &str) -> Result<Self, FevesError> {
+        let p: Platform =
+            serde_json::from_str(json).map_err(|e| FevesError::Parse(e.to_string()))?;
         p.validate()?;
         Ok(p)
     }
 
     /// Structural validation (device ordering, counts, sane rates).
-    pub fn validate(&self) -> Result<(), String> {
+    pub fn validate(&self) -> Result<(), FevesError> {
+        let bad = |m: String| Err(FevesError::Config(m));
         if self.devices.len() != self.n_accel + self.n_cores {
-            return Err("device count != n_accel + n_cores".into());
+            return bad("device count != n_accel + n_cores".into());
         }
         if self.n_cores == 0 {
-            return Err("at least one CPU core is required (the host)".into());
+            return bad("at least one CPU core is required (the host)".into());
         }
         for (i, d) in self.devices.iter().enumerate() {
             let should_be_accel = i < self.n_accel;
             if d.is_accelerator() != should_be_accel {
-                return Err(format!(
+                return bad(format!(
                     "device {i} ({}) breaks the accelerators-first ordering",
                     d.name
                 ));
             }
             if d.is_accelerator() && d.link.is_none() {
-                return Err(format!("accelerator {} has no link profile", d.name));
+                return bad(format!("accelerator {} has no link profile", d.name));
             }
             for m in feves_codec::types::Module::ALL {
                 let k = d.seconds_per_unit.get(m);
                 if !(k > 0.0 && k.is_finite()) {
-                    return Err(format!("device {} has invalid rate for {m:?}", d.name));
+                    return bad(format!("device {} has invalid rate for {m:?}", d.name));
                 }
             }
         }
         Ok(())
+    }
+
+    /// Restrict the platform to the devices where `keep[i]` is true,
+    /// preserving the accelerators-first ordering. Returns the reduced
+    /// platform and the mapping from reduced index to original index.
+    ///
+    /// Used by fault recovery: blacklisted devices are dropped and
+    /// Algorithm 2 re-solves over the survivors.
+    pub fn subset(&self, keep: &[bool]) -> Result<(Platform, Vec<usize>), FevesError> {
+        assert_eq!(keep.len(), self.devices.len(), "mask length mismatch");
+        let map: Vec<usize> = (0..self.devices.len()).filter(|&d| keep[d]).collect();
+        let devices: Vec<DeviceProfile> = map.iter().map(|&d| self.devices[d].clone()).collect();
+        let n_accel = map.iter().filter(|&&d| d < self.n_accel).count();
+        let n_cores = map.len() - n_accel;
+        if n_cores == 0 {
+            return Err(FevesError::Unrecoverable(format!(
+                "platform {} degraded below the minimum viable set: no CPU core left",
+                self.name
+            )));
+        }
+        let sub = Platform {
+            devices,
+            n_accel,
+            n_cores,
+            name: format!("{}[{}/{}]", self.name, map.len(), self.devices.len()),
+            shared_host_link: self.shared_host_link,
+        };
+        sub.validate()?;
+        Ok((sub, map))
     }
 }
 
@@ -212,6 +244,26 @@ mod tests {
         let cores: Vec<usize> = p.cpu_cores().map(|d| d.0).collect();
         assert_eq!(accels, vec![0, 1]);
         assert_eq!(cores, vec![2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn subset_drops_devices_and_keeps_ordering() {
+        let p = Platform::sys_nff(); // 2 accel + 4 cores
+        let (sub, map) = p.subset(&[true, false, true, true, false, true]).unwrap();
+        assert_eq!(map, vec![0, 2, 3, 5]);
+        assert_eq!(sub.n_accel, 1);
+        assert_eq!(sub.n_cores, 3);
+        assert!(sub.validate().is_ok());
+        assert_eq!(sub.devices[0].name, p.devices[0].name);
+
+        // Dropping both accelerators degrades to CPU-only but stays valid.
+        let (cpu, map) = p.subset(&[false, false, true, true, true, true]).unwrap();
+        assert_eq!(cpu.n_accel, 0);
+        assert_eq!(map, vec![2, 3, 4, 5]);
+
+        // Dropping every core is unrecoverable.
+        let err = p.subset(&[true, true, false, false, false, false]);
+        assert!(matches!(err, Err(FevesError::Unrecoverable(_))));
     }
 
     #[test]

@@ -96,10 +96,24 @@ pub enum Metric {
     VcmTasksScheduled,
     /// Frames encoded (intra + inter).
     FramesEncoded,
+    /// Device faults injected by the fault schedule.
+    FtFaultsInjected,
+    /// Device faults detected (missed deadlines, transfer errors, stripe
+    /// panics).
+    FtFaultsDetected,
+    /// Detected faults the framework recovered from (re-dispatch completed).
+    FtFaultsRecovered,
+    /// Algorithm-2 re-solves on a reduced platform after a fault.
+    FtResolves,
+    /// MB rows re-dispatched from faulty devices to survivors.
+    FtRedispatchedRows,
+    /// Virtual time lost to fault detection + re-dispatch per affected
+    /// frame (ms).
+    FtRecoveryMs,
 }
 
 /// Definitions for every [`Metric`], in `Metric` discriminant order.
-pub static REGISTRY: [MetricDef; 10] = [
+pub static REGISTRY: [MetricDef; 16] = [
     MetricDef {
         name: "sched.overhead_us",
         unit: "us",
@@ -160,11 +174,47 @@ pub static REGISTRY: [MetricDef; 10] = [
         kind: MetricKind::Counter,
         wall_clock: false,
     },
+    MetricDef {
+        name: "ft.faults_injected",
+        unit: "faults",
+        kind: MetricKind::Counter,
+        wall_clock: false,
+    },
+    MetricDef {
+        name: "ft.faults_detected",
+        unit: "faults",
+        kind: MetricKind::Counter,
+        wall_clock: false,
+    },
+    MetricDef {
+        name: "ft.faults_recovered",
+        unit: "faults",
+        kind: MetricKind::Counter,
+        wall_clock: false,
+    },
+    MetricDef {
+        name: "ft.resolves",
+        unit: "solves",
+        kind: MetricKind::Counter,
+        wall_clock: false,
+    },
+    MetricDef {
+        name: "ft.redispatched_rows",
+        unit: "rows",
+        kind: MetricKind::Counter,
+        wall_clock: false,
+    },
+    MetricDef {
+        name: "ft.recovery_ms",
+        unit: "ms",
+        kind: MetricKind::Histogram,
+        wall_clock: false,
+    },
 ];
 
 impl Metric {
     /// All metrics, in registry order.
-    pub const ALL: [Metric; 10] = [
+    pub const ALL: [Metric; 16] = [
         Metric::SchedOverheadUs,
         Metric::FrameTau1Ms,
         Metric::FrameTau2Ms,
@@ -175,6 +225,12 @@ impl Metric {
         Metric::DamBytesTransferred,
         Metric::VcmTasksScheduled,
         Metric::FramesEncoded,
+        Metric::FtFaultsInjected,
+        Metric::FtFaultsDetected,
+        Metric::FtFaultsRecovered,
+        Metric::FtResolves,
+        Metric::FtRedispatchedRows,
+        Metric::FtRecoveryMs,
     ];
 
     /// Registry index.

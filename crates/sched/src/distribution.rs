@@ -1,6 +1,7 @@
 //! Workload distributions: the output of the Load Balancing block.
 
 use crate::bounds::{ls_bounds, ms_bounds};
+use feves_ft::FevesError;
 use serde::{Deserialize, Serialize};
 
 /// Predicted synchronization times from the LP (paper Fig 4).
@@ -119,30 +120,31 @@ impl Distribution {
     /// Check structural invariants: all vectors sum to `n_rows`, `σ + σʳ`
     /// accounts exactly for the SF rows each device misses, and the R\*
     /// device index is in range.
-    pub fn validate(&self, n_rows: usize) -> Result<(), String> {
+    pub fn validate(&self, n_rows: usize) -> Result<(), FevesError> {
+        let bad = |m: String| Err(FevesError::Accounting(m));
         let n = self.n_devices();
         for (name, v) in [("m", &self.me), ("l", &self.interp), ("s", &self.sme)] {
             let sum: usize = v.iter().sum();
             if sum != n_rows {
-                return Err(format!("{name} sums to {sum}, expected {n_rows}"));
+                return bad(format!("{name} sums to {sum}, expected {n_rows}"));
             }
             if v.len() != n {
-                return Err(format!("{name} has wrong length"));
+                return bad(format!("{name} has wrong length"));
             }
         }
         if self.rstar_device >= n {
-            return Err(format!("rstar device {} out of range", self.rstar_device));
+            return bad(format!("rstar device {} out of range", self.rstar_device));
         }
         if ms_bounds(&self.me, &self.sme) != self.delta_m {
-            return Err("delta_m inconsistent with m/s".into());
+            return bad("delta_m inconsistent with m/s".into());
         }
         if ls_bounds(&self.interp, &self.sme) != self.delta_l {
-            return Err("delta_l inconsistent with l/s".into());
+            return bad("delta_l inconsistent with l/s".into());
         }
         for i in 0..n {
             let missing = n_rows.saturating_sub(self.interp[i] + self.delta_l[i]);
             if self.sigma[i] + self.sigma_rem[i] != missing {
-                return Err(format!(
+                return bad(format!(
                     "device {i}: sigma {} + sigma_rem {} != missing SF rows {missing}",
                     self.sigma[i], self.sigma_rem[i]
                 ));
@@ -150,13 +152,83 @@ impl Distribution {
         }
         if let Some(p) = &self.predicted {
             if !(p.tau1 <= p.tau2 + 1e-9 && p.tau2 <= p.tau_tot + 1e-9) {
-                return Err(format!(
+                return bad(format!(
                     "predicted times not ordered: {} {} {}",
                     p.tau1, p.tau2, p.tau_tot
                 ));
             }
         }
         Ok(())
+    }
+
+    /// Project the distribution onto the devices where `keep[i]` is true,
+    /// recomputing the derived `Δ`/`σ` quantities for the reduced device
+    /// enumeration. Returns None when the R\* device is dropped (there is no
+    /// meaningful projection — callers treat it like a missing previous
+    /// frame).
+    ///
+    /// Used by fault recovery to hand the balancer last frame's state in
+    /// reduced-platform coordinates.
+    pub fn restrict(&self, keep: &[bool]) -> Option<Distribution> {
+        assert_eq!(keep.len(), self.n_devices(), "mask length mismatch");
+        if !keep[self.rstar_device] {
+            return None;
+        }
+        let pick = |v: &[usize]| -> Vec<usize> {
+            v.iter()
+                .zip(keep)
+                .filter(|(_, &k)| k)
+                .map(|(&x, _)| x)
+                .collect()
+        };
+        let rstar = keep[..self.rstar_device].iter().filter(|&&k| k).count();
+        // The old σ caps still approximate what fits into τtot − τ2.
+        let budget = pick(&self.sigma);
+        let mut d = Distribution::from_rows(
+            pick(&self.me),
+            pick(&self.interp),
+            pick(&self.sme),
+            rstar,
+            &budget,
+            self.predicted,
+        );
+        d.lp_iterations = self.lp_iterations;
+        Some(d)
+    }
+
+    /// Scatter a reduced-platform distribution back to `n_devices` full
+    /// platform slots: `map[j]` is the full index of reduced device `j`
+    /// (as produced by `Platform::subset`). Unmapped devices get zero rows
+    /// and a zero σ budget, and all derived quantities are recomputed for
+    /// the full enumeration.
+    pub fn expand(&self, map: &[usize], n_devices: usize) -> Distribution {
+        assert_eq!(map.len(), self.n_devices(), "map length mismatch");
+        let scatter = |v: &[usize]| -> Vec<usize> {
+            let mut out = vec![0usize; n_devices];
+            for (j, &full) in map.iter().enumerate() {
+                out[full] = v[j];
+            }
+            out
+        };
+        let mut budget = vec![0usize; n_devices];
+        for (j, &full) in map.iter().enumerate() {
+            // Preserve the reduced solve's eager/deferred SF split intent.
+            budget[full] = if self.sigma_rem[j] == 0 {
+                usize::MAX
+            } else {
+                self.sigma[j]
+            };
+        }
+        let mut d = Distribution::from_rows(
+            scatter(&self.me),
+            scatter(&self.interp),
+            scatter(&self.sme),
+            map[self.rstar_device],
+            &budget,
+            self.predicted,
+        );
+        d.lp_iterations = self.lp_iterations;
+        d
     }
 }
 
@@ -249,6 +321,53 @@ mod tests {
         if d.me != d.sme {
             assert!(d.validate(68).is_err());
         }
+    }
+
+    #[test]
+    fn restrict_projects_surviving_devices() {
+        let d = Distribution::equidistant(68, 5, 0);
+        let keep = [true, false, true, true, true];
+        let r = d.restrict(&keep).unwrap();
+        assert_eq!(r.n_devices(), 4);
+        // The dropped device's rows vanish from the projection; what
+        // remains is internally consistent at the reduced total.
+        let kept_rows: usize =
+            d.me.iter()
+                .zip(keep)
+                .filter(|(_, k)| *k)
+                .map(|(&m, _)| m)
+                .sum();
+        assert_eq!(r.me.iter().sum::<usize>(), kept_rows);
+        r.validate(kept_rows).unwrap();
+        assert_eq!(r.rstar_device, 0);
+
+        // A reduced-platform *solve* at the full row count expands back to
+        // a valid full-platform distribution.
+        let full = Distribution::equidistant(68, 4, 0).expand(&[0, 2, 3, 4], 5);
+        full.validate(68).unwrap();
+        assert_eq!(full.me[1], 0, "dropped device gets zero rows");
+        assert_eq!(full.me.iter().sum::<usize>(), 68);
+    }
+
+    #[test]
+    fn restrict_drops_when_rstar_masked() {
+        let d = Distribution::equidistant(68, 4, 2);
+        assert!(d.restrict(&[true, true, false, true]).is_none());
+        assert!(d.restrict(&[false, true, true, true]).is_some());
+    }
+
+    #[test]
+    fn expand_remaps_rstar_and_recomputes_sigma() {
+        // Reduced platform of 3 devices mapped into a 5-device platform.
+        let r = Distribution::equidistant(68, 3, 1);
+        let map = vec![0, 2, 4];
+        let full = r.expand(&map, 5);
+        full.validate(68).unwrap();
+        assert_eq!(full.rstar_device, 2);
+        assert_eq!(full.me[1] + full.me[3], 0);
+        // Masked devices defer all their missing SF rows.
+        assert_eq!(full.sigma[1], 0);
+        assert_eq!(full.sigma_rem[1], 68);
     }
 
     #[test]

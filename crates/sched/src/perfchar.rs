@@ -184,6 +184,30 @@ impl PerfChar {
         (0..self.n_devices)
             .all(|d| self.k_me(d).is_some() && self.k_int(d).is_some() && self.k_sme(d).is_some())
     }
+
+    /// Project the characterization onto the devices where `keep[i]` is
+    /// true (reduced-platform enumeration). Rates survive blacklisting, so
+    /// a re-admitted device is scheduled from its last known speeds instead
+    /// of re-probing from scratch.
+    pub fn subset(&self, keep: &[bool]) -> PerfChar {
+        assert_eq!(keep.len(), self.n_devices, "mask length mismatch");
+        let pick = |v: &[f64]| -> Vec<f64> {
+            v.iter()
+                .zip(keep)
+                .filter(|(_, &k)| k)
+                .map(|(&x, _)| x)
+                .collect()
+        };
+        PerfChar {
+            n_devices: keep.iter().filter(|&&k| k).count(),
+            alpha: self.alpha,
+            k_me: pick(&self.k_me),
+            k_int: pick(&self.k_int),
+            k_sme: pick(&self.k_sme),
+            k_xfer: std::array::from_fn(|t| std::array::from_fn(|d| pick(&self.k_xfer[t][d]))),
+            t_rstar: pick(&self.t_rstar),
+        }
+    }
 }
 
 fn val(v: f64) -> Option<f64> {
@@ -262,6 +286,29 @@ mod tests {
         let mut pc = PerfChar::new(1, Ewma(1.0));
         pc.record_compute(0, Module::Dbl, 10, 1.0);
         assert!(pc.k_me(0).is_none() && pc.k_int(0).is_none() && pc.k_sme(0).is_none());
+    }
+
+    #[test]
+    fn subset_keeps_rates_of_surviving_devices() {
+        let mut pc = PerfChar::new(3, Ewma(1.0));
+        for d in 0..3 {
+            pc.record_compute(d, Module::Me, 10, (d + 1) as f64);
+            pc.record_compute(d, Module::Interp, 10, 1.0);
+            pc.record_compute(d, Module::Sme, 10, 1.0);
+        }
+        pc.record_transfer(2, TransferTag::Sf, Dir::H2d, 4, 0.4);
+        pc.record_rstar(1, 0.25);
+
+        let sub = pc.subset(&[true, false, true]);
+        assert_eq!(sub.n_devices(), 2);
+        assert!(sub.is_complete());
+        assert_eq!(sub.k_me(0), pc.k_me(0));
+        assert_eq!(sub.k_me(1), pc.k_me(2), "device 2 becomes reduced index 1");
+        assert_eq!(
+            sub.k_transfer(1, TransferTag::Sf, Dir::H2d),
+            pc.k_transfer(2, TransferTag::Sf, Dir::H2d)
+        );
+        assert_eq!(sub.t_rstar(0), None);
     }
 
     #[test]

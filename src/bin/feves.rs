@@ -12,7 +12,9 @@
 //! `--sa <32|64|128|256>`, `--refs <1..16>`, `--qp <0..51>`,
 //! `--frames <n>`, `--balancer feves|proportional|equidistant`,
 //! `--metrics-out <path>` (JSONL metrics dump),
-//! `--trace-format gantt|chrome` (Chrome JSON loads in Perfetto).
+//! `--trace-format gantt|chrome` (Chrome JSON loads in Perfetto),
+//! `--inject-fault <spec>` (repeatable — e.g. `0:death@5`, `1:stall@3+4`,
+//! `1:slow@3+4x10`, `0:xfer@7`, `0:panic@2`), `--deadline-factor <f>`.
 
 use feves::core::prelude::*;
 use feves::obs::MemoryRecorder;
@@ -31,6 +33,8 @@ struct Options {
     balancer: String,
     metrics_out: Option<String>,
     trace_format: String,
+    faults: Vec<String>,
+    deadline_factor: Option<f64>,
 }
 
 impl Default for Options {
@@ -45,6 +49,8 @@ impl Default for Options {
             balancer: "feves".into(),
             metrics_out: None,
             trace_format: "gantt".into(),
+            faults: Vec::new(),
+            deadline_factor: None,
         }
     }
 }
@@ -66,6 +72,14 @@ fn parse_options(args: &[String]) -> Result<(Options, Vec<String>), String> {
             "--balancer" => opts.balancer = grab()?.to_lowercase(),
             "--metrics-out" => opts.metrics_out = Some(grab()?.clone()),
             "--trace-format" => opts.trace_format = grab()?.to_lowercase(),
+            "--inject-fault" => opts.faults.push(grab()?.clone()),
+            "--deadline-factor" => {
+                opts.deadline_factor = Some(
+                    grab()?
+                        .parse()
+                        .map_err(|e| format!("--deadline-factor: {e}"))?,
+                )
+            }
             _ if a.starts_with("--") => return Err(format!("unknown option {a}")),
             _ => positional.push(a.clone()),
         }
@@ -101,7 +115,10 @@ fn config_of(opts: &Options, resolution: Resolution) -> Result<(Platform, Encode
     let (platform, default_balancer) = match &opts.platform_file {
         Some(path) => {
             let json = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
-            (Platform::from_json(&json)?, BalancerKind::Feves)
+            (
+                Platform::from_json(&json).map_err(|e| e.to_string())?,
+                BalancerKind::Feves,
+            )
         }
         None => platform_of(&opts.platform)?,
     };
@@ -119,6 +136,12 @@ fn config_of(opts: &Options, resolution: Resolution) -> Result<(Platform, Encode
         "equidistant" => BalancerKind::Equidistant,
         other => return Err(format!("unknown balancer '{other}'")),
     };
+    cfg.faults = feves::ft::FaultSchedule::parse(&opts.faults)
+        .map_err(|e| e.to_string())?
+        .specs;
+    if let Some(f) = opts.deadline_factor {
+        cfg.deadline_factor = f;
+    }
     Ok((platform, cfg))
 }
 
@@ -168,6 +191,17 @@ fn write_metrics(rec: &Option<Arc<MemoryRecorder>>, opts: &Options) -> Result<()
     Ok(())
 }
 
+/// One-line fault-tolerance summary, printed whenever anything fired.
+fn print_ft(enc: &FevesEncoder) {
+    let ft = enc.ft_stats();
+    if ft != FtStats::default() {
+        println!(
+            "faults: {} injected, {} detected, {} recovered | {} re-solve(s), {} MB row(s) re-dispatched",
+            ft.injected, ft.detected, ft.recovered, ft.resolves, ft.redispatched_rows
+        );
+    }
+}
+
 fn print_rollups(report: &EncodeReport) {
     if let (Some(tau), Some(sched)) = (report.tau_tot_rollup(), report.sched_overhead_rollup()) {
         println!(
@@ -185,7 +219,7 @@ fn print_rollups(report: &EncodeReport) {
 
 fn cmd_simulate(opts: &Options) -> Result<(), String> {
     let (platform, cfg) = config_of(opts, Resolution::FULL_HD)?;
-    let mut enc = FevesEncoder::new(platform, cfg)?;
+    let mut enc = FevesEncoder::new(platform, cfg).map_err(|e| e.to_string())?;
     let rec = attach_recorder(&mut enc, opts);
     let report = enc.run_timing(opts.frames);
     println!(
@@ -217,13 +251,14 @@ fn cmd_simulate(opts: &Options) -> Result<(), String> {
             "below real-time"
         }
     );
+    print_ft(&enc);
     print_rollups(&report);
     write_metrics(&rec, opts)
 }
 
 fn cmd_stats(opts: &Options) -> Result<(), String> {
     let (platform, cfg) = config_of(opts, Resolution::FULL_HD)?;
-    let mut enc = FevesEncoder::new(platform, cfg)?;
+    let mut enc = FevesEncoder::new(platform, cfg).map_err(|e| e.to_string())?;
     let rec = Arc::new(MemoryRecorder::new());
     // Install globally too, so spans from the free functions (Algorithm 2,
     // the LP solve, the VCM build, the DAM planner) are captured.
@@ -236,6 +271,7 @@ fn cmd_stats(opts: &Options) -> Result<(), String> {
     );
     print!("{}", rec.render_stats());
     println!();
+    print_ft(&enc);
     print_rollups(&report);
     if let Some(path) = &opts.metrics_out {
         std::fs::write(path, rec.to_jsonl(false)).map_err(|e| format!("{path}: {e}"))?;
@@ -247,7 +283,7 @@ fn cmd_stats(opts: &Options) -> Result<(), String> {
 fn cmd_trace(opts: &Options) -> Result<(), String> {
     let (platform, mut cfg) = config_of(opts, Resolution::FULL_HD)?;
     cfg.noise_amp = 0.0;
-    let mut enc = FevesEncoder::new(platform, cfg)?;
+    let mut enc = FevesEncoder::new(platform, cfg).map_err(|e| e.to_string())?;
     let rec = attach_recorder(&mut enc, opts);
     for _ in 0..opts.refs + 4 {
         enc.encode_inter_timing();
@@ -285,7 +321,7 @@ fn cmd_encode(opts: &Options, input: &str, output: Option<&str>) -> Result<(), S
     );
     let (platform, mut cfg) = config_of(opts, header.resolution)?;
     cfg.mode = ExecutionMode::Functional;
-    let mut enc = FevesEncoder::new(platform, cfg)?;
+    let mut enc = FevesEncoder::new(platform, cfg).map_err(|e| e.to_string())?;
     let rec = attach_recorder(&mut enc, opts);
 
     let out_path = output
@@ -337,7 +373,10 @@ fn usage() {
          \u{20}        --sa <n> --refs <n> --qp <n>\n\
          \u{20}        --frames <n> --balancer feves|proportional|equidistant\n\
          \u{20}        --metrics-out <path>            JSONL metrics dump\n\
-         \u{20}        --trace-format gantt|chrome     Perfetto-loadable JSON"
+         \u{20}        --trace-format gantt|chrome     Perfetto-loadable JSON\n\
+         \u{20}        --inject-fault <dev>:<kind>@<frame>  inject a device fault\n\
+         \u{20}            kinds: death@f | stall@f+k | slow@f+kxF | xfer@f | panic@f\n\
+         \u{20}        --deadline-factor <f>           fault-detection slack (>1, default 3)"
     );
 }
 

@@ -5,6 +5,7 @@
 
 pub use feves_codec as codec;
 pub use feves_core as core;
+pub use feves_ft as ft;
 pub use feves_hetsim as hetsim;
 pub use feves_lp as lp;
 pub use feves_obs as obs;

@@ -1,0 +1,171 @@
+//! Fault-injection (chaos) suite: the framework must survive device
+//! faults, re-dispatch the victim's MB rows to survivors, and — in
+//! functional mode — produce bit-exact output versus a fault-free run.
+//!
+//! `FEVES_CHAOS_SEED` selects the generated schedule (CI runs several);
+//! unset it and the suite still runs with seed 1.
+
+use feves::core::prelude::*;
+use feves::ft::{FaultKind, FaultSchedule, FaultSpec};
+
+/// Every inter-frame's distribution must account for every MB row exactly
+/// once in each balanced module — no row lost, none dispatched twice.
+fn assert_rows_conserved(rep: &EncodeReport, n_rows: usize) {
+    for f in rep.inter_frames() {
+        let d = f.distribution.as_ref().expect("inter frames carry a dist");
+        assert_eq!(
+            d.me.iter().sum::<usize>(),
+            n_rows,
+            "ME rows, frame {}",
+            f.frame
+        );
+        assert_eq!(
+            d.interp.iter().sum::<usize>(),
+            n_rows,
+            "INT rows, frame {}",
+            f.frame
+        );
+        assert_eq!(
+            d.sme.iter().sum::<usize>(),
+            n_rows,
+            "SME rows, frame {}",
+            f.frame
+        );
+    }
+}
+
+fn timing_config(faults: Vec<FaultSpec>) -> EncoderConfig {
+    let mut cfg = EncoderConfig::full_hd(EncodeParams::default());
+    cfg.faults = faults;
+    cfg
+}
+
+fn functional_config(faults: Vec<FaultSpec>) -> EncoderConfig {
+    let mut cfg = EncoderConfig::full_hd(EncodeParams {
+        search_area: SearchArea(16),
+        n_ref: 2,
+        ..Default::default()
+    });
+    cfg.resolution = Resolution::QCIF;
+    cfg.mode = ExecutionMode::Functional;
+    cfg.faults = faults;
+    cfg
+}
+
+fn test_frames(n: usize) -> Vec<feves::video::frame::Frame> {
+    let mut cfg = SynthConfig::tiny_test();
+    cfg.resolution = Resolution::QCIF;
+    SynthSequence::new(cfg).take_frames(n)
+}
+
+fn functional_signature(faults: Vec<FaultSpec>) -> (Vec<Option<u64>>, Vec<u8>, FtStats) {
+    let frames = test_frames(5);
+    let mut enc = FevesEncoder::new(Platform::sys_nff(), functional_config(faults)).unwrap();
+    let rep = enc.encode_sequence(&frames);
+    assert_rows_conserved(&rep, enc.geometry().n_rows);
+    let bits = rep.inter_frames().map(|f| f.bits).collect();
+    let recon = enc.last_reconstruction().unwrap().as_slice().to_vec();
+    (bits, recon, enc.ft_stats())
+}
+
+/// The acceptance scenario: killing any single accelerator mid-sequence on
+/// SysNFF completes the encode bit-exactly versus a fault-free run, with at
+/// least one detected fault, at least one re-solve, and zero lost MB rows.
+#[test]
+fn killing_any_single_accelerator_is_bit_exact() {
+    let (ref_bits, ref_recon, ref_ft) = functional_signature(Vec::new());
+    assert_eq!(ref_ft, FtStats::default(), "fault-free run must be silent");
+    for device in 0..Platform::sys_nff().n_accel {
+        let (bits, recon, ft) = functional_signature(vec![FaultSpec {
+            device,
+            frame: 3,
+            kind: FaultKind::Death,
+        }]);
+        assert_eq!(bits, ref_bits, "bits diverge after killing device {device}");
+        assert_eq!(
+            recon, ref_recon,
+            "reconstruction diverges after killing device {device}"
+        );
+        assert!(ft.injected >= 1, "device {device}: fault not injected");
+        assert!(ft.detected >= 1, "device {device}: fault not detected");
+        assert!(ft.resolves >= 1, "device {device}: no re-solve happened");
+        assert!(
+            ft.redispatched_rows >= 1,
+            "device {device}: no rows re-dispatched"
+        );
+    }
+}
+
+/// A stripe-thread panic is caught at join, the rows recomputed on the
+/// host, and the output stays bit-exact.
+#[test]
+fn injected_kernel_panic_is_caught_and_bit_exact() {
+    // The injected panic would otherwise spray a backtrace into the test
+    // output; silence exactly that one and forward everything else.
+    let default_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        let injected = info
+            .payload()
+            .downcast_ref::<String>()
+            .is_some_and(|m| m.contains("injected kernel panic"));
+        if !injected {
+            default_hook(info);
+        }
+    }));
+    let (ref_bits, ref_recon, _) = functional_signature(Vec::new());
+    let (bits, recon, ft) = functional_signature(vec![FaultSpec {
+        device: 1,
+        frame: 2,
+        kind: FaultKind::KernelPanic,
+    }]);
+    let _ = std::panic::take_hook();
+    assert_eq!(bits, ref_bits, "bits diverge across an injected panic");
+    assert_eq!(recon, ref_recon, "reconstruction diverges across a panic");
+    assert!(ft.detected >= 1 && ft.recovered >= 1 && ft.redispatched_rows >= 1);
+}
+
+/// Seeded chaos: a generated recoverable schedule (1–3 transient faults on
+/// accelerators) must always complete a timing run with every row accounted
+/// for, and every detection must come with a matching recovery.
+#[test]
+fn chaos_schedule_completes_with_rows_conserved() {
+    let seed: u64 = std::env::var("FEVES_CHAOS_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1);
+    let platform = Platform::sys_nff();
+    let schedule = FaultSchedule::chaos(seed, platform.n_accel, 10);
+    assert!(!schedule.is_empty(), "chaos generator produced no faults");
+    let mut enc = FevesEncoder::new(platform, timing_config(schedule.specs)).unwrap();
+    let rep = enc.run_timing(16);
+    assert_eq!(rep.inter_frames().count(), 16);
+    assert_rows_conserved(&rep, enc.geometry().n_rows);
+    let ft = enc.ft_stats();
+    assert!(ft.injected >= 1);
+    assert!(
+        ft.resolves <= ft.detected,
+        "every re-solve stems from a detection: {ft:?}"
+    );
+    // Whatever was blacklisted, the run must have kept at least one CPU
+    // core alive — CPU-only is the graceful-degradation floor.
+    assert!(enc.health().n_available() >= 1);
+}
+
+/// Transfer faults take the dedicated H2D/D2H detection path (no deadline
+/// involved) and recover the same way.
+#[test]
+fn transfer_fault_detected_and_recovered() {
+    let mut enc = FevesEncoder::new(
+        Platform::sys_nff(),
+        timing_config(vec![FaultSpec {
+            device: 0,
+            frame: 4,
+            kind: FaultKind::TransferError,
+        }]),
+    )
+    .unwrap();
+    let rep = enc.run_timing(10);
+    assert_rows_conserved(&rep, enc.geometry().n_rows);
+    let ft = enc.ft_stats();
+    assert!(ft.detected >= 1 && ft.recovered >= 1 && ft.resolves >= 1);
+}

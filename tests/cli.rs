@@ -119,6 +119,33 @@ fn encode_roundtrips_a_y4m_file() {
 }
 
 #[test]
+fn inject_fault_recovers_and_reports_counters() {
+    let (ok, stdout, stderr) = run(&[
+        "simulate",
+        "--platform",
+        "sysnff",
+        "--frames",
+        "10",
+        "--inject-fault",
+        "0:death@4",
+    ]);
+    assert!(ok, "stdout:\n{stdout}\nstderr:\n{stderr}");
+    assert!(
+        stdout.contains("faults:") && stdout.contains("re-solve"),
+        "fault summary missing:\n{stdout}"
+    );
+    assert!(stdout.contains("1 injected"), "counter missing:\n{stdout}");
+
+    // A malformed spec fails cleanly with the grammar in the message.
+    let (ok2, _, stderr2) = run(&["simulate", "--inject-fault", "0:frazzle@4"]);
+    assert!(!ok2);
+    assert!(
+        stderr2.contains("fault"),
+        "parse error surfaced:\n{stderr2}"
+    );
+}
+
+#[test]
 fn export_platform_roundtrips_through_platform_file() {
     let dir = std::env::temp_dir().join("feves_cli_platform");
     std::fs::create_dir_all(&dir).unwrap();

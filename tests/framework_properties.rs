@@ -5,7 +5,9 @@
 
 use feves::codec::types::{EncodeParams, SearchArea};
 use feves::core::dam::DataManager;
+use feves::core::prelude::*;
 use feves::core::vcm::{build_frame_graph, FrameGeometry, MeasureKind};
+use feves::ft::{FaultKind, FaultSpec};
 use feves::hetsim::{simulate, Deterministic, Platform};
 use feves::sched::Distribution;
 use proptest::prelude::*;
@@ -107,5 +109,62 @@ proptest! {
             }
             dam.commit(&dist, &mask, data_reuse).unwrap();
         }
+    }
+}
+
+/// A recoverable fault: any kind, restricted to the accelerators (a CPU
+/// core can also die, but killing all of them is unrecoverable by design,
+/// so the random schedules stay on the accelerator side like real GPU
+/// faults do) and starting after the probe frame.
+fn arb_fault(n_accel: usize) -> impl Strategy<Value = FaultSpec> {
+    let kind = prop_oneof![
+        Just(FaultKind::Death),
+        (1usize..4).prop_map(|frames| FaultKind::Stall { frames }),
+        ((8u32..64), (1usize..4)).prop_map(|(f, frames)| FaultKind::Slowdown {
+            factor: f as f64,
+            frames,
+        }),
+        Just(FaultKind::TransferError),
+    ];
+    (0..n_accel, 2usize..8, kind).prop_map(|(device, frame, kind)| FaultSpec {
+        device,
+        frame,
+        kind,
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Under any recoverable fault schedule the encoder completes the run
+    /// and every frame's distribution still dispatches each MB row exactly
+    /// once per module — nothing lost, nothing doubled — while the
+    /// fault-tolerance counters stay mutually consistent.
+    #[test]
+    fn recoverable_faults_lose_no_rows(
+        faults in proptest::collection::vec(arb_fault(Platform::sys_nff().n_accel), 1..3),
+        deadline_factor in 2.0f64..6.0,
+    ) {
+        let platform = Platform::sys_nff();
+        let mut cfg = EncoderConfig::full_hd(EncodeParams::default());
+        cfg.faults = faults;
+        cfg.deadline_factor = deadline_factor;
+        let mut enc = FevesEncoder::new(platform, cfg).unwrap();
+        let rep = enc.run_timing(12);
+        let n_rows = enc.geometry().n_rows;
+        prop_assert_eq!(rep.inter_frames().count(), 12);
+        for f in rep.inter_frames() {
+            let d = f.distribution.as_ref().unwrap();
+            prop_assert_eq!(d.me.iter().sum::<usize>(), n_rows);
+            prop_assert_eq!(d.interp.iter().sum::<usize>(), n_rows);
+            prop_assert_eq!(d.sme.iter().sum::<usize>(), n_rows);
+            prop_assert!(d.validate(n_rows).is_ok());
+        }
+        let ft = enc.ft_stats();
+        prop_assert!(ft.injected >= 1);
+        prop_assert!(ft.resolves <= ft.detected);
+        prop_assert!(ft.recovered <= ft.detected);
+        // The host must always survive.
+        prop_assert!(enc.health().n_available() >= 1);
     }
 }
