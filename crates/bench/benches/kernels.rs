@@ -117,6 +117,45 @@ fn bench_dbl(c: &mut Criterion) {
     group.finish();
 }
 
+/// Scalar vs fast (SWAR) dispatch families head-to-head: the 16×16 SAD
+/// grid driving full-search ME and the sub-pixel interpolation frame pass.
+/// Calls the `kernels::scalar`/`kernels::fast` entry points directly so
+/// both variants are measured regardless of `FEVES_KERNELS`.
+fn bench_kernel_dispatch(c: &mut Criterion) {
+    use feves_codec::kernels;
+
+    let cur = textured_plane(128, 128, 1);
+    let rf = textured_plane(128, 128, 2);
+    let mut group = c.benchmark_group("sad_grid_16x16");
+    group.throughput(Throughput::Elements(256));
+    group.bench_function("scalar", |b| {
+        b.iter(|| std::hint::black_box(kernels::scalar::sad_grid_16x16(&cur, 48, 48, &rf, 52, 44)));
+    });
+    group.bench_function("fast", |b| {
+        b.iter(|| std::hint::black_box(kernels::fast::sad_grid_16x16(&cur, 48, 48, &rf, 52, 44)));
+    });
+    group.finish();
+
+    let src = textured_plane(352, 288, 5);
+    let mut sf = SubpelFrame::new(352, 288);
+    let mut group = c.benchmark_group("interp_cif_dispatch");
+    group.bench_function("scalar", |b| {
+        kernels::force_kind(kernels::KernelKind::Scalar);
+        b.iter(|| {
+            sf.interpolate_rows(&src, RowRange::new(0, 18));
+            std::hint::black_box(&sf);
+        });
+    });
+    group.bench_function("fast", |b| {
+        kernels::force_kind(kernels::KernelKind::Fast);
+        b.iter(|| {
+            sf.interpolate_rows(&src, RowRange::new(0, 18));
+            std::hint::black_box(&sf);
+        });
+    });
+    group.finish();
+}
+
 fn bench_entropy(c: &mut Criterion) {
     use feves_codec::entropy::{encode_block, BitWriter};
     let residual: [i16; 16] = core::array::from_fn(|i| (i as i16 * 13 - 90) % 120);
@@ -136,6 +175,7 @@ criterion_group!(
     bench_interp,
     bench_sme,
     bench_tq,
+    bench_kernel_dispatch,
     bench_dbl,
     bench_entropy
 );

@@ -1,0 +1,350 @@
+//! Scalar-vs-fast kernel benchmark matrix with built-in bit-exactness
+//! verification.
+//!
+//! Runs every dispatched hot-kernel family (`FEVES_KERNELS=scalar|fast`)
+//! across block sizes and resolutions, first *verifying* that both
+//! implementations produce identical outputs (any mismatch exits non-zero —
+//! this is the differential gate CI runs), then timing them and emitting
+//! machine-readable baselines:
+//!
+//! * `BENCH_kernels.json` — per-kernel per-case ns/iter for both families
+//!   plus the speedup ratio;
+//! * `BENCH_e2e.json` — functional QCIF encode under both families with the
+//!   output-signature equality result and end-to-end speedup.
+//!
+//! ```sh
+//! cargo run -p feves-bench --release --bin kernel_matrix -- [--quick] [--out-dir DIR]
+//! ```
+//!
+//! `--quick` cuts iteration counts ~10× and skips the ≥1.5× speedup gate
+//! (used by the CI `bench-smoke` job, where absolute timings are noisy);
+//! the full run enforces the gate for the 16×16 SAD grid and interpolation.
+
+use feves_codec::interp::interpolate;
+use feves_codec::kernels::{self, KernelKind};
+use feves_codec::quant::{dequantize_4x4, quantize_4x4};
+use feves_codec::sad::{row_sad, sad_grid_16x16};
+use feves_core::prelude::*;
+use feves_video::plane::Plane;
+use serde::Serialize;
+use std::time::Instant;
+
+#[derive(Serialize)]
+struct KernelRecord {
+    kernel: String,
+    case: String,
+    iters: u64,
+    scalar_ns_per_iter: f64,
+    fast_ns_per_iter: f64,
+    speedup: f64,
+}
+
+#[derive(Serialize)]
+struct E2eRecord {
+    resolution: String,
+    frames: usize,
+    scalar_ms: f64,
+    fast_ms: f64,
+    speedup: f64,
+    outputs_identical: bool,
+}
+
+fn plane_from_fn(w: usize, h: usize, f: impl Fn(usize, usize) -> u8) -> Plane<u8> {
+    let mut p = Plane::new(w, h);
+    for y in 0..h {
+        for x in 0..w {
+            p.set(x, y, f(x, y));
+        }
+    }
+    p
+}
+
+fn textured(w: usize, h: usize, seed: usize) -> Plane<u8> {
+    plane_from_fn(w, h, |x, y| ((x * 31) ^ (y * 17) ^ seed) as u8)
+}
+
+/// Time `f` under both kernel families and return (scalar_ns, fast_ns).
+fn time_both(iters: u64, mut f: impl FnMut()) -> (f64, f64) {
+    let mut out = [0f64; 2];
+    for (slot, kind) in [(0usize, KernelKind::Scalar), (1, KernelKind::Fast)] {
+        kernels::force_kind(kind);
+        // Warmup: a few iterations to touch caches and settle dispatch.
+        for _ in 0..iters.div_ceil(10).max(1) {
+            f();
+        }
+        let t0 = Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        out[slot] = t0.elapsed().as_nanos() as f64 / iters as f64;
+    }
+    out.into()
+}
+
+// ---------------------------------------------------------------------------
+// Differential verification (the part CI gates on)
+// ---------------------------------------------------------------------------
+
+/// Run every fast path against the scalar reference over deterministic
+/// sweeps; returns the number of mismatches (0 = bit-exact).
+fn verify_differentials() -> usize {
+    let mut bad = 0usize;
+    let mut check = |name: &str, ok: bool| {
+        if !ok {
+            eprintln!("DIFFERENTIAL FAILURE: {name}");
+            bad += 1;
+        }
+    };
+
+    // row_sad across lengths (SWAR tail paths).
+    for len in 0..96usize {
+        let a: Vec<u8> = (0..len).map(|i| (i * 37 + 11) as u8).collect();
+        let b: Vec<u8> = (0..len).map(|i| (i * 101 + 63) as u8).collect();
+        check(
+            &format!("row_sad len {len}"),
+            kernels::scalar::row_sad(&a, &b) == kernels::fast::row_sad(&a, &b),
+        );
+    }
+
+    // SAD grid: inside positions and every border-clamp direction.
+    let cur = textured(64, 64, 7);
+    let rf = textured(64, 64, 91);
+    for ry in (-20..=68isize).step_by(4) {
+        for rx in (-20..=68isize).step_by(4) {
+            check(
+                &format!("sad_grid ref ({rx},{ry})"),
+                kernels::scalar::sad_grid_16x16(&cur, 16, 16, &rf, rx, ry)
+                    == kernels::fast::sad_grid_16x16(&cur, 16, 16, &rf, rx, ry),
+            );
+        }
+    }
+
+    // Quantizer sweep over all QPs, both dead-zones.
+    for qp in 0..=51u8 {
+        for intra in [false, true] {
+            let base: [i32; 16] =
+                core::array::from_fn(|i| ((qp as i32 * 977 + i as i32 * 613) % 4001) - 2000);
+            let mut a = base;
+            let mut b = base;
+            kernels::scalar::quantize_4x4(&mut a, qp, intra);
+            kernels::fast::quantize_4x4(&mut b, qp, intra);
+            check(&format!("quantize qp {qp} intra {intra}"), a == b);
+            let mut da = base;
+            let mut db = base;
+            kernels::scalar::dequantize_4x4(&mut da, qp);
+            kernels::fast::dequantize_4x4(&mut db, qp);
+            check(&format!("dequantize qp {qp}"), da == db);
+        }
+    }
+
+    // Interpolation through the public API under force_kind (covers the
+    // whole band kernel incl. border halos at several sizes).
+    for &(w, h) in &[(17usize, 13usize), (48, 32), (176, 144)] {
+        let src = textured(w, h, 23);
+        kernels::force_kind(KernelKind::Scalar);
+        let a = interpolate(&src);
+        kernels::force_kind(KernelKind::Fast);
+        let b = interpolate(&src);
+        check(&format!("interpolate {w}x{h}"), a == b);
+    }
+
+    bad
+}
+
+// ---------------------------------------------------------------------------
+// Benchmark matrix
+// ---------------------------------------------------------------------------
+
+fn bench_kernels(quick: bool) -> Vec<KernelRecord> {
+    let div = if quick { 10 } else { 1 };
+    let mut records = Vec::new();
+    let mut push = |kernel: &str, case: &str, iters: u64, (s, f): (f64, f64)| {
+        println!(
+            "{kernel:>16} {case:>12}: scalar {s:>10.1} ns  fast {f:>10.1} ns  speedup {:>5.2}x",
+            s / f
+        );
+        records.push(KernelRecord {
+            kernel: kernel.into(),
+            case: case.into(),
+            iters,
+            scalar_ns_per_iter: s,
+            fast_ns_per_iter: f,
+            speedup: s / f,
+        });
+    };
+
+    // row_sad across representative row widths (4x4 block row → 1080p row).
+    for &w in &[16usize, 64, 352, 1920] {
+        let a: Vec<u8> = (0..w).map(|i| (i * 73 + 5) as u8).collect();
+        let b: Vec<u8> = (0..w).map(|i| (i * 29 + 141) as u8).collect();
+        let iters = (2_000_000 / div as u64).max(1) / (w as u64 / 16).max(1);
+        let t = time_both(iters, || {
+            std::hint::black_box(row_sad(std::hint::black_box(&a), std::hint::black_box(&b)));
+        });
+        push("row_sad", &format!("w{w}"), iters, t);
+    }
+
+    // The ME workhorse: 16x16 SAD grid, inside and border-clamped.
+    let cur = textured(128, 128, 3);
+    let rf = textured(128, 128, 57);
+    let iters = 400_000 / div as u64;
+    let t = time_both(iters, || {
+        std::hint::black_box(sad_grid_16x16(
+            std::hint::black_box(&cur),
+            48,
+            48,
+            std::hint::black_box(&rf),
+            52,
+            44,
+        ));
+    });
+    push("sad_grid_16x16", "inside", iters, t);
+    let t = time_both(iters / 4, || {
+        std::hint::black_box(sad_grid_16x16(
+            std::hint::black_box(&cur),
+            0,
+            0,
+            std::hint::black_box(&rf),
+            -7,
+            -5,
+        ));
+    });
+    push("sad_grid_16x16", "border", iters / 4, t);
+
+    // Full-frame interpolation at three resolutions.
+    for &(name, w, h) in &[
+        ("qcif", 176usize, 144usize),
+        ("cif", 352, 288),
+        ("720p", 1280, 720),
+    ] {
+        let src = textured(w, h, 11);
+        let iters = (40u64 * (1280 * 720) as u64 / (w * h) as u64 / div as u64).max(1);
+        let t = time_both(iters, || {
+            std::hint::black_box(interpolate(std::hint::black_box(&src)));
+        });
+        push("interpolate", name, iters, t);
+    }
+
+    // Quantizer round trip over a batch of blocks (TQ/TQ⁻¹ inner loops).
+    let blocks: Vec<[i32; 16]> = (0..256)
+        .map(|s: i32| core::array::from_fn(|i| ((s * 389 + i as i32 * 71) % 2001) - 1000))
+        .collect();
+    let iters = 20_000 / div as u64;
+    let t = time_both(iters, || {
+        for b in &blocks {
+            let mut w = *b;
+            quantize_4x4(&mut w, 28, false);
+            dequantize_4x4(&mut w, 28);
+            std::hint::black_box(w);
+        }
+    });
+    push("quant_roundtrip", "256blk", iters, t);
+
+    records
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end functional encode
+// ---------------------------------------------------------------------------
+
+fn functional_run(frames: &[feves_video::Frame]) -> (f64, Vec<Option<u64>>, Vec<u8>) {
+    let mut cfg = EncoderConfig::full_hd(EncodeParams {
+        search_area: SearchArea(16),
+        n_ref: 2,
+        ..Default::default()
+    });
+    cfg.resolution = Resolution::QCIF;
+    cfg.mode = ExecutionMode::Functional;
+    let mut enc = FevesEncoder::new(Platform::sys_hk(), cfg).unwrap();
+    let t0 = Instant::now();
+    let rep = enc.encode_sequence(frames);
+    let ms = t0.elapsed().as_secs_f64() * 1e3;
+    let bits = rep.inter_frames().map(|f| f.bits).collect();
+    let recon = enc.last_reconstruction().unwrap().as_slice().to_vec();
+    (ms, bits, recon)
+}
+
+fn bench_e2e(quick: bool) -> (E2eRecord, bool) {
+    let n = if quick { 3 } else { 8 };
+    let mut synth = SynthConfig::tiny_test();
+    synth.resolution = Resolution::QCIF;
+    let frames = SynthSequence::new(synth).take_frames(n);
+
+    kernels::force_kind(KernelKind::Scalar);
+    let (scalar_ms, bits_s, recon_s) = functional_run(&frames);
+    kernels::force_kind(KernelKind::Fast);
+    let (fast_ms, bits_f, recon_f) = functional_run(&frames);
+
+    let identical = bits_s == bits_f && recon_s == recon_f;
+    let rec = E2eRecord {
+        resolution: "qcif".into(),
+        frames: n,
+        scalar_ms,
+        fast_ms,
+        speedup: scalar_ms / fast_ms,
+        outputs_identical: identical,
+    };
+    println!(
+        "{:>16} {:>12}: scalar {scalar_ms:>8.1} ms  fast {fast_ms:>8.1} ms  speedup {:>5.2}x  identical: {identical}",
+        "e2e_encode", "qcif", scalar_ms / fast_ms
+    );
+    (rec, identical)
+}
+
+fn write_json_to<T: Serialize>(dir: &std::path::Path, name: &str, value: &T) {
+    let path = dir.join(name);
+    let json = serde_json::to_string_pretty(value).expect("serializable record");
+    std::fs::write(&path, json).unwrap_or_else(|e| panic!("write {}: {e}", path.display()));
+    eprintln!("(wrote {})", path.display());
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_dir = args
+        .iter()
+        .position(|a| a == "--out-dir")
+        .and_then(|i| args.get(i + 1))
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|| std::path::PathBuf::from("."));
+
+    println!("kernel matrix: verifying fast == scalar (bit-exactness)...");
+    let mismatches = verify_differentials();
+    if mismatches != 0 {
+        eprintln!("{mismatches} differential check(s) FAILED — fast kernels are not bit-exact");
+        std::process::exit(1);
+    }
+    println!("all differential checks passed\n");
+
+    let records = bench_kernels(quick);
+    let (e2e, identical) = bench_e2e(quick);
+    if !identical {
+        eprintln!("e2e outputs differ between FEVES_KERNELS=scalar and fast");
+        std::process::exit(1);
+    }
+
+    write_json_to(&out_dir, "BENCH_kernels.json", &records);
+    write_json_to(&out_dir, "BENCH_e2e.json", &e2e);
+
+    if !quick {
+        // Acceptance gate: the ME grid and interpolation fast paths must be
+        // ≥ 1.5× the scalar baseline (skipped under --quick: CI smoke runs
+        // are too noisy for absolute perf assertions).
+        let mut gate_ok = true;
+        for r in &records {
+            let gated =
+                (r.kernel == "sad_grid_16x16" && r.case == "inside") || r.kernel == "interpolate";
+            if gated && r.speedup < 1.5 {
+                eprintln!(
+                    "SPEEDUP GATE FAILED: {} {} at {:.2}x (< 1.5x)",
+                    r.kernel, r.case, r.speedup
+                );
+                gate_ok = false;
+            }
+        }
+        if !gate_ok {
+            std::process::exit(2);
+        }
+        println!("\nspeedup gate passed (grid + interpolation ≥ 1.5x)");
+    }
+}

@@ -4,7 +4,10 @@
 //! This is the golden path: the FEVES framework distributes exactly these
 //! kernels across devices, and its output must be bit-identical to this
 //! driver for any workload distribution (the partition-invariance tests in
-//! the workspace root assert that).
+//! the workspace root assert that). The hot inner loops (SAD, interpolation,
+//! quantization) additionally dispatch through [`crate::kernels`]; because
+//! scalar and fast kernels are bit-exact, `FEVES_KERNELS` never changes the
+//! bitstream either.
 
 use crate::dbl::deblock_frame;
 use crate::entropy::encode_frame;

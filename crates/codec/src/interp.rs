@@ -12,6 +12,11 @@
 //! *source* reference frame, never on other SF rows, so any row-partitioned
 //! execution produces bit-identical SFs (the partition-invariance the
 //! framework relies on).
+//!
+//! The row kernel itself lives in [`crate::kernels`]
+//! (`FEVES_KERNELS=scalar|fast`): the fast path hoists the border clamping
+//! into padded rows and computes the quarter-pel averages with packed SWAR
+//! byte math, bit-exact against the scalar reference.
 
 use crate::types::QpelMv;
 use feves_video::geometry::{RowRange, MB_SIZE};
@@ -113,7 +118,7 @@ impl SubpelFrame {
                 b.swap_remove(1) // keep the middle band
             })
             .collect();
-        interpolate_band(rf, width, y0, y1, &mut bands);
+        crate::kernels::interp_band(rf, width, y0, y1, &mut bands);
     }
 
     /// Interpolate the full frame with rayon parallelism over MB-row chunks.
@@ -139,7 +144,7 @@ impl SubpelFrame {
         per_row.par_iter_mut().enumerate().for_each(|(r, bands)| {
             let y0 = r * MB_SIZE;
             let y1 = y0 + MB_SIZE;
-            interpolate_band(rf, width, y0, y1, bands);
+            crate::kernels::interp_band(rf, width, y0, y1, bands);
         });
     }
 }
@@ -150,140 +155,6 @@ pub fn interpolate(rf: &Plane<u8>) -> SubpelFrame {
     let mb_rows = rf.height().div_ceil(MB_SIZE);
     sf.interpolate_rows(rf, RowRange::new(0, mb_rows));
     sf
-}
-
-/// 6-tap Wiener filter on six consecutive samples (unnormalized).
-#[inline]
-fn tap6(a: i32, b: i32, c: i32, d: i32, e: i32, f: i32) -> i32 {
-    a - 5 * b + 20 * c + 20 * d - 5 * e + f
-}
-
-#[inline]
-fn clip8(v: i32) -> u8 {
-    v.clamp(0, 255) as u8
-}
-
-#[inline]
-fn avg(a: u8, b: u8) -> u8 {
-    ((a as u16 + b as u16 + 1) >> 1) as u8
-}
-
-/// Interpolate pixel rows `[y0, y1)` of all 16 phases into `bands`
-/// (index = fy*4+fx), reading `rf` with clamped halos.
-fn interpolate_band(
-    rf: &Plane<u8>,
-    width: usize,
-    y0: usize,
-    y1: usize,
-    bands: &mut [feves_video::plane::PlaneBandMut<'_, u8>],
-) {
-    debug_assert_eq!(bands.len(), 16);
-    let h = y1 - y0;
-    // We need half-pel rows y0..y1 *plus one* (quarter-pel rows average the
-    // next row's half-pels), and the vertical 6-tap needs a ±2/+3 source
-    // halo. Precompute, for rows y0-2 .. y1+3, the horizontal unnormalized
-    // 6-tap intermediates B1 (for b and j) and the source row G.
-    let halo_top = 2isize;
-    let halo_bot = 3isize;
-    let ext_rows = (h + 1) + (halo_top + halo_bot) as usize; // rows y0-2 .. y1+3
-    let mut b1 = vec![0i32; ext_rows * width]; // horizontal 6-tap intermediates
-    let mut g = vec![0u8; ext_rows * width]; // clamped source samples
-    for (ri, yy) in (-halo_top..(h + 1) as isize + halo_bot).enumerate() {
-        let sy = y0 as isize + yy;
-        for x in 0..width {
-            let xi = x as isize;
-            g[ri * width + x] = rf.get_clamped(xi, sy);
-            b1[ri * width + x] = tap6(
-                rf.get_clamped(xi - 2, sy) as i32,
-                rf.get_clamped(xi - 1, sy) as i32,
-                rf.get_clamped(xi, sy) as i32,
-                rf.get_clamped(xi + 1, sy) as i32,
-                rf.get_clamped(xi + 2, sy) as i32,
-                rf.get_clamped(xi + 3, sy) as i32,
-            );
-        }
-    }
-    let row = |r: isize| -> &[u8] {
-        let ri = (r + halo_top) as usize;
-        &g[ri * width..(ri + 1) * width]
-    };
-    let b1row = |r: isize| -> &[i32] {
-        let ri = (r + halo_top) as usize;
-        &b1[ri * width..(ri + 1) * width]
-    };
-
-    // Half-pel planes for rows 0..h+1 (local coordinates).
-    let hw = width;
-    let mut bp = vec![0u8; (h + 1) * hw]; // b: (2,0)
-    let mut hp = vec![0u8; (h + 1) * hw]; // h: (0,2)
-    let mut jp = vec![0u8; (h + 1) * hw]; // j: (2,2)
-    for ly in 0..(h + 1) as isize {
-        for x in 0..width {
-            // b: horizontal half-pel.
-            bp[ly as usize * hw + x] = clip8((b1row(ly)[x] + 16) >> 5);
-            // h: vertical half-pel on source samples.
-            let h1 = tap6(
-                row(ly - 2)[x] as i32,
-                row(ly - 1)[x] as i32,
-                row(ly)[x] as i32,
-                row(ly + 1)[x] as i32,
-                row(ly + 2)[x] as i32,
-                row(ly + 3)[x] as i32,
-            );
-            hp[ly as usize * hw + x] = clip8((h1 + 16) >> 5);
-            // j: vertical 6-tap over horizontal intermediates (20-bit path).
-            let j1 = tap6(
-                b1row(ly - 2)[x],
-                b1row(ly - 1)[x],
-                b1row(ly)[x],
-                b1row(ly + 1)[x],
-                b1row(ly + 2)[x],
-                b1row(ly + 3)[x],
-            );
-            jp[ly as usize * hw + x] = clip8((j1 + 512) >> 10);
-        }
-    }
-
-    // Helper closures over local row coordinates (0..h+1 valid).
-    let gv = |x: usize, ly: usize| row(ly as isize)[x.min(width - 1)];
-    let bv = |x: usize, ly: usize| bp[ly * hw + x.min(width - 1)];
-    let hv = |x: usize, ly: usize| hp[ly * hw + x.min(width - 1)];
-    let jv = |x: usize, ly: usize| jp[ly * hw + x.min(width - 1)];
-
-    for ly in 0..h {
-        let y = y0 + ly;
-        for x in 0..width {
-            let xr = (x + 1).min(width - 1); // clamped right neighbor
-            let g00 = gv(x, ly);
-            let b00 = bv(x, ly);
-            let h00 = hv(x, ly);
-            let j00 = jv(x, ly);
-            let g_d = gv(x, ly + 1); // G one row down
-            let b_d = bv(x, ly + 1); // b one row down
-            let h_r = hv(xr, ly); // h one column right
-            let g_r = gv(xr, ly); // G one column right
-
-            // Integer and half-pel phases.
-            bands[0].row_mut(y)[x] = g00; // (0,0)
-            bands[2].row_mut(y)[x] = b00; // (2,0)
-            bands[8].row_mut(y)[x] = h00; // (0,2)
-            bands[10].row_mut(y)[x] = j00; // (2,2)
-
-            // Quarter-pel phases (H.264 §8.4.2.2.2 averaging pattern).
-            bands[1].row_mut(y)[x] = avg(g00, b00); // a (1,0)
-            bands[3].row_mut(y)[x] = avg(b00, g_r); // c (3,0)
-            bands[4].row_mut(y)[x] = avg(g00, h00); // d (0,1)
-            bands[12].row_mut(y)[x] = avg(h00, g_d); // n (0,3)
-            bands[6].row_mut(y)[x] = avg(b00, j00); // f (2,1)
-            bands[14].row_mut(y)[x] = avg(j00, b_d); // q (2,3)
-            bands[9].row_mut(y)[x] = avg(h00, j00); // i (1,2)
-            bands[11].row_mut(y)[x] = avg(j00, h_r); // k (3,2)
-            bands[5].row_mut(y)[x] = avg(b00, h00); // e (1,1)
-            bands[7].row_mut(y)[x] = avg(b00, h_r); // g (3,1)
-            bands[13].row_mut(y)[x] = avg(h00, b_d); // p (1,3)
-            bands[15].row_mut(y)[x] = avg(h_r, b_d); // r (3,3)
-        }
-    }
 }
 
 #[cfg(test)]
@@ -417,5 +288,49 @@ mod tests {
         let sf = interpolate(&rf);
         assert_eq!(sf.sample(-40, -40), rf.get(0, 0));
         assert_eq!(sf.sample(100 * 4, 100 * 4), rf.get(15, 15));
+    }
+
+    // ---- scalar vs fast differential (direct kernel calls) ----
+
+    /// Signature shared by the scalar and fast band kernels.
+    type BandKernel =
+        fn(&Plane<u8>, usize, usize, usize, &mut [feves_video::plane::PlaneBandMut<'_, u8>]);
+
+    /// Build a full SF by driving a specific band kernel directly.
+    fn interpolate_with(rf: &Plane<u8>, kernel: BandKernel) -> SubpelFrame {
+        let (w, h) = (rf.width(), rf.height());
+        let mut sf = SubpelFrame::new(w, h);
+        let mut bands: Vec<_> = sf
+            .phases
+            .iter_mut()
+            .map(|p| {
+                let mut b = p.split_rows_mut(&[h]);
+                b.pop().unwrap()
+            })
+            .collect();
+        kernel(rf, w, 0, h, &mut bands);
+        drop(bands);
+        sf
+    }
+
+    #[test]
+    fn differential_band_kernels_odd_sizes() {
+        // Widths around the 8-byte SWAR boundary and non-MB-aligned heights
+        // exercise every tail path of the fast kernel.
+        for &(w, h) in &[
+            (1usize, 1usize),
+            (3, 5),
+            (7, 9),
+            (8, 8),
+            (9, 17),
+            (16, 16),
+            (23, 11),
+            (48, 32),
+        ] {
+            let rf = plane_from_fn(w, h, |x, y| ((x * 37) ^ (y * 101)).wrapping_mul(13) as u8);
+            let a = interpolate_with(&rf, crate::kernels::scalar::interp_band);
+            let b = interpolate_with(&rf, crate::kernels::fast::interp_band);
+            assert_eq!(a, b, "SF mismatch at {w}x{h}");
+        }
     }
 }

@@ -1,0 +1,487 @@
+//! Vector-friendly fast kernels.
+//!
+//! The build environment has no intrinsics crates, so these fast paths are
+//! written so the compiler's auto-vectorizer reliably lowers them to packed
+//! SIMD, plus **SWAR** (SIMD-within-a-register) where a closed-form packed
+//! identity exists. Every function here is bit-exact against its
+//! [`super::scalar`] twin — proven by the differential tests — the only
+//! difference is throughput:
+//!
+//! * SAD: absolute differences over fixed 16-sample lanes accumulated into
+//!   `u16` columns (half the lane width of the scalar path's `u32`
+//!   reduction, so twice the samples per vector op; the compiler emits
+//!   `psubusb`/`paddw`-class code). Horizontal reductions happen once per
+//!   block, not once per row.
+//! * Interpolation: the border-clamped source reads are hoisted into padded
+//!   rows once per band (the scalar path calls `get_clamped` per pixel), the
+//!   6-tap filters run over contiguous slices, and the twelve quarter-pel
+//!   bilinear averages use the packed ceil-average identity
+//!   `avg(a,b) = (a|b) - (((a^b)>>1) & 0x7f..7f)` — eight pixels per step.
+//! * Quantization: the per-position frequency-class lookup is flattened into
+//!   16-entry tables at compile time so the hot loop is a straight
+//!   multiply-add sweep.
+
+use super::{avg, clip8, freq_class, tap6, MF, V};
+use crate::sad::SadGrid;
+use feves_video::plane::{Plane, PlaneBandMut};
+
+// ---------------------------------------------------------------------------
+// Packed building blocks
+// ---------------------------------------------------------------------------
+
+const LO7: u64 = 0x7F7F_7F7F_7F7F_7F7F; // low 7 bits of each byte
+
+#[inline]
+fn load8(s: &[u8]) -> u64 {
+    u64::from_le_bytes(s[..8].try_into().unwrap())
+}
+
+/// Packed rounding-up byte average: `(a + b + 1) >> 1` per byte, via
+/// `(a | b) - (((a ^ b) >> 1) & 0x7f..7f)` (never borrows across bytes
+/// because `a | b >= (a ^ b) >> 1` holds per byte).
+#[inline]
+fn avg8(a: u64, b: u64) -> u64 {
+    (a | b) - (((a ^ b) >> 1) & LO7)
+}
+
+// ---------------------------------------------------------------------------
+// SAD
+// ---------------------------------------------------------------------------
+
+/// Max 16-byte chunks accumulated per `u16` column before a flush
+/// (255 · 256 = 65280 < 65535 keeps every column overflow-free).
+const SAD_FLUSH: u32 = 256;
+
+/// Accumulate `|a[i] - b[i]|` into 16 `u16` columns — the vector core of
+/// every SAD below. Fixed-size arrays keep the trip count static so the
+/// whole body lowers to a handful of packed ops.
+#[inline]
+fn absdiff16_accum(acc: &mut [u16; 16], a: &[u8; 16], b: &[u8; 16]) {
+    for i in 0..16 {
+        acc[i] += a[i].abs_diff(b[i]) as u16;
+    }
+}
+
+/// SAD of two equal-length rows, 16 bytes per step.
+#[inline]
+pub fn row_sad(a: &[u8], b: &[u8]) -> u32 {
+    debug_assert_eq!(a.len(), b.len());
+    let mut total = 0u32;
+    let mut acc = [0u16; 16];
+    let mut pending = 0u32;
+    let mut ca = a.chunks_exact(16);
+    let mut cb = b.chunks_exact(16);
+    for (xa, xb) in (&mut ca).zip(&mut cb) {
+        absdiff16_accum(&mut acc, xa.try_into().unwrap(), xb.try_into().unwrap());
+        pending += 1;
+        if pending == SAD_FLUSH {
+            total += acc.iter().map(|&v| v as u32).sum::<u32>();
+            acc = [0u16; 16];
+            pending = 0;
+        }
+    }
+    total += acc.iter().map(|&v| v as u32).sum::<u32>();
+    for (&x, &y) in ca.remainder().iter().zip(cb.remainder()) {
+        total += x.abs_diff(y) as u32;
+    }
+    total
+}
+
+/// SAD between two `w × h` blocks given as (slice, stride) raster views.
+///
+/// Codec blocks are at most 16×16 (so ≤ 16 chunks per block — no flush
+/// needed), but arbitrary `w × h` stays correct via [`row_sad`]'s own
+/// flushing.
+#[inline]
+pub fn sad_block(a: &[u8], a_stride: usize, b: &[u8], b_stride: usize, w: usize, h: usize) -> u32 {
+    if w == 16 {
+        // The dominant shape (full-MB SAD): one fixed-width accumulator
+        // sweep over all rows, a single horizontal reduction at the end.
+        let mut total = 0u32;
+        let mut acc = [0u16; 16];
+        let mut pending = 0u32;
+        for y in 0..h {
+            let ra = &a[y * a_stride..y * a_stride + 16];
+            let rb = &b[y * b_stride..y * b_stride + 16];
+            absdiff16_accum(&mut acc, ra.try_into().unwrap(), rb.try_into().unwrap());
+            pending += 1;
+            if pending == SAD_FLUSH {
+                total += acc.iter().map(|&v| v as u32).sum::<u32>();
+                acc = [0u16; 16];
+                pending = 0;
+            }
+        }
+        return total + acc.iter().map(|&v| v as u32).sum::<u32>();
+    }
+    let mut acc = 0u32;
+    for y in 0..h {
+        let ra = &a[y * a_stride..y * a_stride + w];
+        let rb = &b[y * b_stride..y * b_stride + w];
+        acc += row_sad(ra, rb);
+    }
+    acc
+}
+
+/// Fold 4 rows' worth of per-column sums into one [`SadGrid`] row: grid
+/// cell `gx` is the sum of columns `4gx .. 4gx+4`.
+#[inline]
+fn fold_columns(grid: &mut SadGrid, gy: usize, acc: &[u32; 16]) {
+    for gx in 0..4 {
+        grid[gy * 4 + gx] = acc[gx * 4..gx * 4 + 4].iter().sum();
+    }
+}
+
+/// Vector [`SadGrid`]: per 4-row group, accumulate all 16 per-column
+/// absolute differences in a widening lane pass and fold into the four
+/// 4-wide cells once — instead of sixteen 4-sample scalar reductions per
+/// group. Row addressing is hoisted to one base offset per plane stepped
+/// by the stride, so the inner loop is a pure load/abs-diff/accumulate
+/// sweep the compiler keeps entirely in vector registers. The border
+/// fallback materialises each clamped reference row into a stack buffer
+/// and reuses the same packed pass, so both paths share one arithmetic
+/// implementation.
+pub fn sad_grid_16x16(
+    cur: &Plane<u8>,
+    cur_x: usize,
+    cur_y: usize,
+    reference: &Plane<u8>,
+    ref_x: isize,
+    ref_y: isize,
+) -> SadGrid {
+    let mut grid = [0u32; 16];
+    let cs = cur.as_slice();
+    let cw = cur.stride();
+    let mut co = cur_y * cw + cur_x;
+    let inside = ref_x >= 0
+        && ref_y >= 0
+        && (ref_x as usize) + 16 <= reference.width()
+        && (ref_y as usize) + 16 <= reference.height();
+    if inside {
+        let rs = reference.as_slice();
+        let rw = reference.stride();
+        let mut ro = ref_y as usize * rw + ref_x as usize;
+        for gy in 0..4 {
+            let mut acc = [0u32; 16];
+            for _ in 0..4 {
+                let ca = &cs[co..co + 16];
+                let rb = &rs[ro..ro + 16];
+                for i in 0..16 {
+                    acc[i] += ca[i].abs_diff(rb[i]) as u32;
+                }
+                co += cw;
+                ro += rw;
+            }
+            fold_columns(&mut grid, gy, &acc);
+        }
+    } else {
+        let mut rb = [0u8; 16];
+        for gy in 0..4 {
+            let mut acc = [0u32; 16];
+            for r in 0..4 {
+                let row = gy * 4 + r;
+                let ca = &cs[co..co + 16];
+                for (col, out) in rb.iter_mut().enumerate() {
+                    *out = reference.get_clamped(ref_x + col as isize, ref_y + row as isize);
+                }
+                for i in 0..16 {
+                    acc[i] += ca[i].abs_diff(rb[i]) as u32;
+                }
+                co += cw;
+            }
+            fold_columns(&mut grid, gy, &acc);
+        }
+    }
+    grid
+}
+
+// ---------------------------------------------------------------------------
+// Quantization
+// ---------------------------------------------------------------------------
+
+/// Flatten a `[qp%6][freq_class]` table into `[qp%6][position]` so the hot
+/// loop indexes linearly instead of recomputing the class per coefficient.
+const fn flatten(t: &[[i32; 3]; 6]) -> [[i32; 16]; 6] {
+    let mut out = [[0i32; 16]; 6];
+    let mut r = 0;
+    while r < 6 {
+        let mut i = 0;
+        while i < 4 {
+            let mut j = 0;
+            while j < 4 {
+                out[r][i * 4 + j] = t[r][freq_class(i, j)];
+                j += 1;
+            }
+            i += 1;
+        }
+        r += 1;
+    }
+    out
+}
+
+const MF_FLAT: [[i32; 16]; 6] = flatten(&MF);
+const V_FLAT: [[i32; 16]; 6] = flatten(&V);
+
+/// Flat-table forward quantizer: one linear multiply-add sweep, no
+/// per-coefficient frequency-class recomputation.
+pub fn quantize_4x4(w: &mut [i32; 16], qp: u8, intra: bool) {
+    let qbits = 15 + (qp / 6) as i32;
+    let f = if intra {
+        (1i64 << qbits) / 3
+    } else {
+        (1i64 << qbits) / 6
+    };
+    let mf = &MF_FLAT[(qp % 6) as usize];
+    for (v, &m) in w.iter_mut().zip(mf.iter()) {
+        let x = *v as i64;
+        let q = ((x.abs() * m as i64 + f) >> qbits) as i32;
+        *v = if x < 0 { -q } else { q };
+    }
+}
+
+/// Flat-table dequantizer.
+pub fn dequantize_4x4(z: &mut [i32; 16], qp: u8) {
+    let shift = (qp / 6) as i32;
+    let v = &V_FLAT[(qp % 6) as usize];
+    for (x, &vv) in z.iter_mut().zip(v.iter()) {
+        *x = (*x * vv) << shift;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Sub-pixel interpolation
+// ---------------------------------------------------------------------------
+
+/// `dst[x] = avg(a[x], b[x])`, eight pixels per step.
+fn avg_rows(dst: &mut [u8], a: &[u8], b: &[u8]) {
+    let n = dst.len();
+    debug_assert!(a.len() >= n && b.len() >= n);
+    let mut x = 0;
+    while x + 8 <= n {
+        let v = avg8(load8(&a[x..]), load8(&b[x..]));
+        dst[x..x + 8].copy_from_slice(&v.to_le_bytes());
+        x += 8;
+    }
+    while x < n {
+        dst[x] = avg(a[x], b[x]);
+        x += 1;
+    }
+}
+
+/// `dst[x] = avg(a[x], b[min(x+1, n-1)])` — the "right neighbour" quarter-pel
+/// combine with border clamp on the shifted operand.
+fn avg_rows_shift(dst: &mut [u8], a: &[u8], b: &[u8]) {
+    let n = dst.len();
+    debug_assert!(a.len() >= n && b.len() >= n);
+    let mut x = 0;
+    // The packed loop reads b[x+1 .. x+9]; stop while that stays in bounds.
+    while x + 9 <= n {
+        let v = avg8(load8(&a[x..]), load8(&b[x + 1..]));
+        dst[x..x + 8].copy_from_slice(&v.to_le_bytes());
+        x += 8;
+    }
+    while x < n {
+        dst[x] = avg(a[x], b[(x + 1).min(n - 1)]);
+        x += 1;
+    }
+}
+
+/// Fast [`super::interp_band`]: identical filter maths to the scalar band,
+/// restructured around contiguous rows.
+///
+/// * Source rows are copied once into a `width + 5` padded buffer whose 2
+///   left / 3 right columns replicate the border, so every later 6-tap is a
+///   branch-free sliding window (the scalar path re-clamps per sample).
+/// * Half-pel `b`/`h`/`j` rows are produced by slice loops over those
+///   buffers.
+/// * The twelve quarter-pel phases are packed byte averages of whole rows
+///   ([`avg_rows`] / [`avg_rows_shift`]); averaging is commutative, so the
+///   three phases that combine with a right-shifted operand
+///   (`c = avg(b, g→)`, `k = avg(j, h→)`, `g = avg(b, h→)`, `r = avg(h→,
+///   b↓)`) all route the shifted row through the second argument.
+pub fn interp_band(
+    rf: &Plane<u8>,
+    width: usize,
+    y0: usize,
+    y1: usize,
+    bands: &mut [PlaneBandMut<'_, u8>],
+) {
+    debug_assert_eq!(bands.len(), 16);
+    let h = y1 - y0;
+    let height = rf.height();
+    let pw = width + 5; // 2 left + 3 right replicated border columns
+    let ext_rows = h + 6; // source rows y0-2 .. y1+3 inclusive
+
+    // Padded clamped source rows.
+    let mut g = vec![0u8; ext_rows * pw];
+    for ri in 0..ext_rows {
+        let sy = (y0 as isize + ri as isize - 2).clamp(0, height as isize - 1) as usize;
+        let src = rf.row(sy);
+        let dst = &mut g[ri * pw..(ri + 1) * pw];
+        dst[0] = src[0];
+        dst[1] = src[0];
+        dst[2..2 + width].copy_from_slice(src);
+        let last = src[width - 1];
+        dst[2 + width] = last;
+        dst[3 + width] = last;
+        dst[4 + width] = last;
+    }
+
+    // Horizontal 6-tap intermediates B1 for every extended row.
+    let mut b1 = vec![0i32; ext_rows * width];
+    for ri in 0..ext_rows {
+        let gp = &g[ri * pw..(ri + 1) * pw];
+        let br = &mut b1[ri * width..(ri + 1) * width];
+        for (x, o) in br.iter_mut().enumerate() {
+            *o = tap6(
+                gp[x] as i32,
+                gp[x + 1] as i32,
+                gp[x + 2] as i32,
+                gp[x + 3] as i32,
+                gp[x + 4] as i32,
+                gp[x + 5] as i32,
+            );
+        }
+    }
+
+    // Half-pel rows 0..h+1 (local coordinates; +1 because quarter-pel rows
+    // average the next row down).
+    let mut bp = vec![0u8; (h + 1) * width];
+    let mut hp = vec![0u8; (h + 1) * width];
+    let mut jp = vec![0u8; (h + 1) * width];
+    for ly in 0..h + 1 {
+        let ri = ly + 2; // extended-row index of local row ly
+        {
+            let b1c = &b1[ri * width..(ri + 1) * width];
+            let dst = &mut bp[ly * width..(ly + 1) * width];
+            for (o, &v) in dst.iter_mut().zip(b1c.iter()) {
+                *o = clip8((v + 16) >> 5);
+            }
+        }
+        {
+            // Vertical 6-tap over source rows (use the unpadded columns).
+            let gr = |r: usize| &g[r * pw + 2..r * pw + 2 + width];
+            let (r0, r1, r2, r3, r4, r5) = (
+                gr(ri - 2),
+                gr(ri - 1),
+                gr(ri),
+                gr(ri + 1),
+                gr(ri + 2),
+                gr(ri + 3),
+            );
+            let dst = &mut hp[ly * width..(ly + 1) * width];
+            for x in 0..width {
+                let h1 = tap6(
+                    r0[x] as i32,
+                    r1[x] as i32,
+                    r2[x] as i32,
+                    r3[x] as i32,
+                    r4[x] as i32,
+                    r5[x] as i32,
+                );
+                dst[x] = clip8((h1 + 16) >> 5);
+            }
+        }
+        {
+            // Vertical 6-tap over the horizontal intermediates (20-bit path).
+            let br = |r: usize| &b1[r * width..(r + 1) * width];
+            let (r0, r1, r2, r3, r4, r5) = (
+                br(ri - 2),
+                br(ri - 1),
+                br(ri),
+                br(ri + 1),
+                br(ri + 2),
+                br(ri + 3),
+            );
+            let dst = &mut jp[ly * width..(ly + 1) * width];
+            for x in 0..width {
+                let j1 = tap6(r0[x], r1[x], r2[x], r3[x], r4[x], r5[x]);
+                dst[x] = clip8((j1 + 512) >> 10);
+            }
+        }
+    }
+
+    // Assemble all 16 phase rows from whole-row copies and packed averages.
+    for ly in 0..h {
+        let y = y0 + ly;
+        let g0 = &g[(ly + 2) * pw + 2..(ly + 2) * pw + 2 + width];
+        let g1 = &g[(ly + 3) * pw + 2..(ly + 3) * pw + 2 + width];
+        let b0 = &bp[ly * width..(ly + 1) * width];
+        let bd = &bp[(ly + 1) * width..(ly + 2) * width];
+        let h0 = &hp[ly * width..(ly + 1) * width];
+        let j0 = &jp[ly * width..(ly + 1) * width];
+
+        // Integer and half-pel phases: straight copies.
+        bands[0].row_mut(y).copy_from_slice(g0); // G (0,0)
+        bands[2].row_mut(y).copy_from_slice(b0); // b (2,0)
+        bands[8].row_mut(y).copy_from_slice(h0); // h (0,2)
+        bands[10].row_mut(y).copy_from_slice(j0); // j (2,2)
+
+        // Quarter-pel phases (H.264 §8.4.2.2.2 averaging pattern).
+        avg_rows(bands[1].row_mut(y), g0, b0); // a (1,0) = avg(G, b)
+        avg_rows_shift(bands[3].row_mut(y), b0, g0); // c (3,0) = avg(b, G→)
+        avg_rows(bands[4].row_mut(y), g0, h0); // d (0,1) = avg(G, h)
+        avg_rows(bands[12].row_mut(y), h0, g1); // n (0,3) = avg(h, G↓)
+        avg_rows(bands[6].row_mut(y), b0, j0); // f (2,1) = avg(b, j)
+        avg_rows(bands[14].row_mut(y), j0, bd); // q (2,3) = avg(j, b↓)
+        avg_rows(bands[9].row_mut(y), h0, j0); // i (1,2) = avg(h, j)
+        avg_rows_shift(bands[11].row_mut(y), j0, h0); // k (3,2) = avg(j, h→)
+        avg_rows(bands[5].row_mut(y), b0, h0); // e (1,1) = avg(b, h)
+        avg_rows_shift(bands[7].row_mut(y), b0, h0); // g (3,1) = avg(b, h→)
+        avg_rows(bands[13].row_mut(y), h0, bd); // p (1,3) = avg(h, b↓)
+        avg_rows_shift(bands[15].row_mut(y), bd, h0); // r (3,3) = avg(h→, b↓)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn absdiff16_accum_covers_all_byte_pairs() {
+        // Exhaustive over one column (columns are independent); spot-check
+        // cross-column independence with a mixed vector after.
+        for a in 0..=255u8 {
+            for b in 0..=255u8 {
+                let mut acc = [0u16; 16];
+                let mut av = [0u8; 16];
+                let mut bv = [0u8; 16];
+                av[0] = a;
+                bv[0] = b;
+                absdiff16_accum(&mut acc, &av, &bv);
+                assert_eq!(acc[0], a.abs_diff(b) as u16, "a={a} b={b}");
+            }
+        }
+        let a: [u8; 16] = core::array::from_fn(|i| (i * 17) as u8);
+        let b: [u8; 16] = core::array::from_fn(|i| (255 - i * 13) as u8);
+        let mut acc = [0u16; 16];
+        absdiff16_accum(&mut acc, &a, &b);
+        for i in 0..16 {
+            assert_eq!(acc[i], a[i].abs_diff(b[i]) as u16, "col {i}");
+        }
+    }
+
+    #[test]
+    fn avg8_matches_scalar_avg_exhaustively() {
+        for a in 0..=255u8 {
+            for b in 0..=255u8 {
+                let packed = avg8(
+                    u64::from_le_bytes([a; 8]),
+                    u64::from_le_bytes([b, a, b, a, b, a, b, a]),
+                );
+                let bytes = packed.to_le_bytes();
+                assert_eq!(bytes[0], avg(a, b), "a={a} b={b}");
+                assert_eq!(bytes[1], avg(a, a));
+            }
+        }
+    }
+
+    #[test]
+    fn row_sad_flush_boundary() {
+        // > SAD_FLUSH chunks of worst-case 255-diffs exercises the
+        // accumulator flush: 258 * 16 bytes + a scalar tail, all |a-b| = 255.
+        let n = (SAD_FLUSH as usize + 2) * 16 + 5;
+        let a = vec![255u8; n];
+        let b = vec![0u8; n];
+        assert_eq!(row_sad(&a, &b), 255 * n as u32);
+    }
+}

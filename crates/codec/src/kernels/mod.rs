@@ -1,0 +1,264 @@
+//! Runtime-dispatched hot-kernel implementations.
+//!
+//! The paper implements its CPU kernels with SSE/AVX intrinsics (Sec. III-A)
+//! because ME + INT + SME account for ~90 % of inter-loop encoding time.
+//! This module is the equivalent for a portable-Rust build: every hot kernel
+//! family exists twice —
+//!
+//! * [`scalar`] — the plain reference loops (what the rest of the codec used
+//!   to call directly), relied upon only for LLVM auto-vectorization;
+//! * [`fast`] — explicit u64 **SWAR** (SIMD-within-a-register) and unrolled
+//!   widening passes: byte-parallel absolute differences for SAD, packed
+//!   bilinear averaging for the quarter-pel interpolation phases, and
+//!   flattened branch-free quantizer loops.
+//!
+//! The active implementation is selected once at startup (first use) from
+//! the `FEVES_KERNELS` environment variable (`scalar` | `fast`, default
+//! `fast`) and can be overridden programmatically with [`force_kind`] for
+//! A/B benchmarking. Both implementations are **bit-exact**: the
+//! differential tests (`tests/kernel_differential.rs`, plus the unit tests
+//! of [`crate::sad`], [`crate::quant`] and [`crate::interp`]) prove
+//! `fast(x) == scalar(x)` over exhaustive small inputs and
+//! proptest-generated planes, so flipping the switch can never change an
+//! encoded bitstream — only how quickly it is produced.
+
+pub mod fast;
+pub mod scalar;
+
+use crate::sad::SadGrid;
+use feves_video::plane::{Plane, PlaneBandMut};
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// Which kernel implementation family is active.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum KernelKind {
+    /// Plain reference loops (auto-vectorization only).
+    Scalar,
+    /// u64 SWAR + unrolled widening fast paths.
+    Fast,
+}
+
+impl KernelKind {
+    /// Stable lowercase name (matches the `FEVES_KERNELS` values).
+    pub fn name(self) -> &'static str {
+        match self {
+            KernelKind::Scalar => "scalar",
+            KernelKind::Fast => "fast",
+        }
+    }
+
+    /// Numeric id for metrics (`0` scalar, `1` fast).
+    pub fn index(self) -> u8 {
+        match self {
+            KernelKind::Scalar => 0,
+            KernelKind::Fast => 1,
+        }
+    }
+}
+
+/// 0 = uninitialised, 1 = scalar, 2 = fast.
+static ACTIVE: AtomicU8 = AtomicU8::new(0);
+
+#[cold]
+fn init_from_env() -> KernelKind {
+    let kind = match std::env::var("FEVES_KERNELS").as_deref() {
+        Ok("scalar") => KernelKind::Scalar,
+        Ok("fast") | Err(_) => KernelKind::Fast,
+        Ok(other) => {
+            eprintln!("FEVES_KERNELS: unknown value '{other}' (want scalar|fast), using fast");
+            KernelKind::Fast
+        }
+    };
+    ACTIVE.store(kind.index() + 1, Ordering::Relaxed);
+    kind
+}
+
+/// The active kernel family (initialised from `FEVES_KERNELS` on first use).
+#[inline]
+pub fn active_kind() -> KernelKind {
+    match ACTIVE.load(Ordering::Relaxed) {
+        1 => KernelKind::Scalar,
+        2 => KernelKind::Fast,
+        _ => init_from_env(),
+    }
+}
+
+/// Override the active kernel family (A/B benchmarking, differential tests).
+///
+/// Because both families are bit-exact, flipping this mid-encode is safe —
+/// it can change throughput, never output.
+pub fn force_kind(kind: KernelKind) {
+    ACTIVE.store(kind.index() + 1, Ordering::Relaxed);
+}
+
+// ---------------------------------------------------------------------------
+// Dispatched entry points. Each does one relaxed atomic load and branches;
+// callers at macroblock granularity (ME grids, interpolation bands, TQ
+// blocks) amortise it over hundreds of sample operations.
+// ---------------------------------------------------------------------------
+
+/// SAD of two equal-length rows.
+///
+/// Mismatched lengths are a **hard error** in every build profile (not just
+/// under `debug_assertions`): a silent zip-truncation here would corrupt
+/// motion search results without any visible failure.
+#[inline]
+pub fn row_sad(a: &[u8], b: &[u8]) -> u32 {
+    assert_eq!(
+        a.len(),
+        b.len(),
+        "row_sad length mismatch: {} vs {}",
+        a.len(),
+        b.len()
+    );
+    match active_kind() {
+        KernelKind::Scalar => scalar::row_sad(a, b),
+        KernelKind::Fast => fast::row_sad(a, b),
+    }
+}
+
+/// SAD between two `w × h` blocks given as (slice, stride) raster views.
+#[inline]
+pub fn sad_block(a: &[u8], a_stride: usize, b: &[u8], b_stride: usize, w: usize, h: usize) -> u32 {
+    match active_kind() {
+        KernelKind::Scalar => scalar::sad_block(a, a_stride, b, b_stride, w, h),
+        KernelKind::Fast => fast::sad_block(a, a_stride, b, b_stride, w, h),
+    }
+}
+
+/// The sixteen 4×4 SADs of one macroblock against one reference position
+/// (border-clamped when the reference block leaves the plane).
+#[inline]
+pub fn sad_grid_16x16(
+    cur: &Plane<u8>,
+    cur_x: usize,
+    cur_y: usize,
+    reference: &Plane<u8>,
+    ref_x: isize,
+    ref_y: isize,
+) -> SadGrid {
+    match active_kind() {
+        KernelKind::Scalar => scalar::sad_grid_16x16(cur, cur_x, cur_y, reference, ref_x, ref_y),
+        KernelKind::Fast => fast::sad_grid_16x16(cur, cur_x, cur_y, reference, ref_x, ref_y),
+    }
+}
+
+/// Quantize transformed coefficients in place (H.264 MF tables + dead-zone).
+#[inline]
+pub fn quantize_4x4(w: &mut [i32; 16], qp: u8, intra: bool) {
+    match active_kind() {
+        KernelKind::Scalar => scalar::quantize_4x4(w, qp, intra),
+        KernelKind::Fast => fast::quantize_4x4(w, qp, intra),
+    }
+}
+
+/// Dequantize levels in place (result is in the inverse-transform domain).
+#[inline]
+pub fn dequantize_4x4(z: &mut [i32; 16], qp: u8) {
+    match active_kind() {
+        KernelKind::Scalar => scalar::dequantize_4x4(z, qp),
+        KernelKind::Fast => fast::dequantize_4x4(z, qp),
+    }
+}
+
+/// Interpolate pixel rows `[y0, y1)` of all 16 quarter-pel phases into
+/// `bands` (index = `fy*4+fx`), reading `rf` with clamped halos.
+#[inline]
+pub fn interp_band(
+    rf: &Plane<u8>,
+    width: usize,
+    y0: usize,
+    y1: usize,
+    bands: &mut [PlaneBandMut<'_, u8>],
+) {
+    match active_kind() {
+        KernelKind::Scalar => scalar::interp_band(rf, width, y0, y1, bands),
+        KernelKind::Fast => fast::interp_band(rf, width, y0, y1, bands),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Shared constants and helpers used by both implementations.
+// ---------------------------------------------------------------------------
+
+/// Multiplication factors for the forward quantizer, indexed `[qp % 6]` ×
+/// frequency class `{0: corner, 1: mixed, 2: center}` (Richardson Table 7.x).
+pub(crate) const MF: [[i32; 3]; 6] = [
+    [13107, 5243, 8066],
+    [11916, 4660, 7490],
+    [10082, 4194, 6554],
+    [9362, 3647, 5825],
+    [8192, 3355, 5243],
+    [7282, 2893, 4559],
+];
+
+/// Dequantizer scaling factors `V`, same indexing as [`MF`].
+pub(crate) const V: [[i32; 3]; 6] = [
+    [10, 16, 13],
+    [11, 18, 14],
+    [13, 20, 16],
+    [14, 23, 18],
+    [16, 25, 20],
+    [18, 29, 23],
+];
+
+/// Frequency class of position `(i, j)` in a 4×4 block, matching the table
+/// column order: even-even {(0,0),(0,2),(2,0),(2,2)} → 0, odd-odd
+/// {(1,1),(1,3),(3,1),(3,3)} → 1, mixed → 2.
+#[inline]
+pub(crate) const fn freq_class(i: usize, j: usize) -> usize {
+    match (i % 2, j % 2) {
+        (0, 0) => 0,
+        (1, 1) => 1,
+        _ => 2,
+    }
+}
+
+/// 6-tap Wiener filter on six consecutive samples (unnormalized).
+#[inline]
+pub(crate) fn tap6(a: i32, b: i32, c: i32, d: i32, e: i32, f: i32) -> i32 {
+    a - 5 * b + 20 * c + 20 * d - 5 * e + f
+}
+
+#[inline]
+pub(crate) fn clip8(v: i32) -> u8 {
+    v.clamp(0, 255) as u8
+}
+
+/// Rounding-up bilinear average, the H.264 quarter-pel combiner.
+#[inline]
+pub(crate) fn avg(a: u8, b: u8) -> u8 {
+    ((a as u16 + b as u16 + 1) >> 1) as u8
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_names_and_indices_are_stable() {
+        assert_eq!(KernelKind::Scalar.name(), "scalar");
+        assert_eq!(KernelKind::Fast.name(), "fast");
+        assert_eq!(KernelKind::Scalar.index(), 0);
+        assert_eq!(KernelKind::Fast.index(), 1);
+    }
+
+    #[test]
+    fn force_kind_round_trips() {
+        let before = active_kind();
+        force_kind(KernelKind::Scalar);
+        assert_eq!(active_kind(), KernelKind::Scalar);
+        force_kind(KernelKind::Fast);
+        assert_eq!(active_kind(), KernelKind::Fast);
+        force_kind(before);
+    }
+
+    #[test]
+    #[should_panic(expected = "row_sad length mismatch")]
+    fn row_sad_length_mismatch_is_a_hard_error() {
+        // A hard assert (not debug_assert): this must panic identically in
+        // dev and release builds. The release-mode CI job re-runs this test
+        // with optimizations on.
+        let _ = row_sad(&[1, 2, 3], &[1, 2]);
+    }
+}

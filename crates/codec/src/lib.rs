@@ -14,6 +14,7 @@
 //! | [`dbl`] | Deblocking Filtering (R\*) | [`dbl::deblock_frame`] |
 //! | [`entropy`] | Entropy coding | [`entropy::encode_frame`] |
 //! | [`intra`] | I-slice coding | [`intra::encode_intra_frame`] |
+//! | [`kernels`] | SSE/AVX-style hot-kernel fast paths (SWAR) | [`kernels::active_kind`] |
 //!
 //! The ME/INT/SME kernels are *partition-invariant*: their result for a
 //! macroblock row depends only on the frame data, so distributing MB rows
@@ -30,6 +31,7 @@ pub mod entropy;
 pub mod inter_loop;
 pub mod interp;
 pub mod intra;
+pub mod kernels;
 pub mod mc;
 pub mod me;
 pub mod quant;
@@ -43,6 +45,7 @@ pub mod workload;
 
 pub use inter_loop::{encode_inter_frame, InterFrameOutput, ReferenceStore};
 pub use interp::SubpelFrame;
+pub use kernels::KernelKind;
 pub use me::{MbMotion, MeField};
 pub use sme::{MbSubMotion, SmeField};
 pub use types::{EncodeParams, Module, Mv, PartitionMode, QpelMv, SearchArea};

@@ -13,6 +13,10 @@
 //! paper's observation that encoding time does not vary with content), and
 //! the per-block winner is the minimum-SAD candidate with a deterministic
 //! tie-break (first in `rf`-then-raster scan order).
+//!
+//! The SAD grid evaluation dispatches through [`crate::kernels`]
+//! (`FEVES_KERNELS=scalar|fast`); both implementations are bit-exact, so the
+//! selected kernel affects throughput only, never the motion field.
 
 use crate::sad::{sad_grid_16x16, SadGrid};
 use crate::types::{EncodeParams, Mv, PartitionMode, TOTAL_PARTITION_BLOCKS};

@@ -4,41 +4,11 @@
 //! tables (QP mod 6 periodicity, per-position frequency classes), combined
 //! with the 4×4 core transform of [`crate::transform`] into the `TQ` and
 //! `TQ⁻¹` block operations the inter-loop applies to prediction residuals.
+//! The per-coefficient loops dispatch through [`crate::kernels`]
+//! (`FEVES_KERNELS=scalar|fast`); the fast path uses flattened tables and
+//! branchless sign handling, bit-exact against the reference.
 
 use crate::transform::{forward_4x4, inverse_4x4};
-
-/// Multiplication factors for the forward quantizer, indexed `[qp % 6]` ×
-/// frequency class `{0: corner, 1: mixed, 2: center}` (Richardson Table 7.x).
-const MF: [[i32; 3]; 6] = [
-    [13107, 5243, 8066],
-    [11916, 4660, 7490],
-    [10082, 4194, 6554],
-    [9362, 3647, 5825],
-    [8192, 3355, 5243],
-    [7282, 2893, 4559],
-];
-
-/// Dequantizer scaling factors `V`, same indexing as [`MF`].
-const V: [[i32; 3]; 6] = [
-    [10, 16, 13],
-    [11, 18, 14],
-    [13, 20, 16],
-    [14, 23, 18],
-    [16, 25, 20],
-    [18, 29, 23],
-];
-
-/// Frequency class of position `(i, j)` in a 4×4 block, matching the table
-/// column order: even-even {(0,0),(0,2),(2,0),(2,2)} → 0, odd-odd
-/// {(1,1),(1,3),(3,1),(3,3)} → 1, mixed → 2.
-#[inline]
-fn freq_class(i: usize, j: usize) -> usize {
-    match (i % 2, j % 2) {
-        (0, 0) => 0,
-        (1, 1) => 1,
-        _ => 2,
-    }
-}
 
 /// Quantization step size for `qp` (doubles every 6 QP, QStep(4) = 1.0).
 pub fn qstep(qp: u8) -> f64 {
@@ -49,35 +19,15 @@ pub fn qstep(qp: u8) -> f64 {
 /// Quantize transformed coefficients in place.
 ///
 /// `intra` selects the larger dead-zone offset (`2^qbits/3` vs `/6`).
+#[inline]
 pub fn quantize_4x4(w: &mut [i32; 16], qp: u8, intra: bool) {
-    let qbits = 15 + (qp / 6) as i32;
-    let f = if intra {
-        (1i64 << qbits) / 3
-    } else {
-        (1i64 << qbits) / 6
-    };
-    let mf = &MF[(qp % 6) as usize];
-    for i in 0..4 {
-        for j in 0..4 {
-            let idx = i * 4 + j;
-            let m = mf[freq_class(i, j)] as i64;
-            let v = w[idx] as i64;
-            let q = ((v.abs() * m + f) >> qbits) as i32;
-            w[idx] = if v < 0 { -q } else { q };
-        }
-    }
+    crate::kernels::quantize_4x4(w, qp, intra)
 }
 
 /// Dequantize levels in place (result is in the inverse-transform domain).
+#[inline]
 pub fn dequantize_4x4(z: &mut [i32; 16], qp: u8) {
-    let shift = (qp / 6) as i32;
-    let v = &V[(qp % 6) as usize];
-    for i in 0..4 {
-        for j in 0..4 {
-            let idx = i * 4 + j;
-            z[idx] = (z[idx] * v[freq_class(i, j)]) << shift;
-        }
-    }
+    crate::kernels::dequantize_4x4(z, qp)
 }
 
 /// Forward transform + quantize a 4×4 residual block.
@@ -105,6 +55,7 @@ pub fn has_coefficients(levels: &[i16; 16]) -> bool {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::kernels;
 
     #[test]
     fn qstep_doubles_every_six() {
@@ -191,6 +142,56 @@ mod tests {
         let zn = tq_block(&neg, 26, false);
         for i in 0..16 {
             assert_eq!(z[i], -zn[i], "quantizer must be odd-symmetric");
+        }
+    }
+
+    // ---- scalar vs fast differentials (direct calls, no global flip) ----
+
+    #[test]
+    fn differential_quantize_sweep() {
+        for qp in 0..=51u8 {
+            for intra in [false, true] {
+                for seed in 0..16i32 {
+                    let base: [i32; 16] = core::array::from_fn(|i| {
+                        let v = (seed * 977 + i as i32 * 613) % 4001 - 2000;
+                        v * (1 + seed % 3)
+                    });
+                    let mut a = base;
+                    let mut b = base;
+                    kernels::scalar::quantize_4x4(&mut a, qp, intra);
+                    kernels::fast::quantize_4x4(&mut b, qp, intra);
+                    assert_eq!(a, b, "qp {qp} intra {intra} seed {seed}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn differential_quantize_extremes() {
+        // i16 transform-range extremes and sign boundaries.
+        for qp in [0u8, 5, 23, 51] {
+            for v in [i32::from(i16::MIN) * 4, -1, 0, 1, i32::from(i16::MAX) * 4] {
+                let mut a = [v; 16];
+                let mut b = [v; 16];
+                kernels::scalar::quantize_4x4(&mut a, qp, true);
+                kernels::fast::quantize_4x4(&mut b, qp, true);
+                assert_eq!(a, b, "qp {qp} v {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn differential_dequantize_sweep() {
+        for qp in 0..=51u8 {
+            for seed in 0..8i32 {
+                let base: [i32; 16] =
+                    core::array::from_fn(|i| (seed * 389 + i as i32 * 71) % 513 - 256);
+                let mut a = base;
+                let mut b = base;
+                kernels::scalar::dequantize_4x4(&mut a, qp);
+                kernels::fast::dequantize_4x4(&mut b, qp);
+                assert_eq!(a, b, "qp {qp} seed {seed}");
+            }
         }
     }
 }

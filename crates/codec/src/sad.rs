@@ -1,10 +1,10 @@
 //! Sum-of-absolute-differences primitives.
 //!
 //! These are the innermost loops of the encoder (full-search block matching
-//! evaluates millions of them per frame), so they operate on raw row slices
-//! and avoid bounds checks in the hot path. The paper's CPU kernels use
-//! SSE/AVX intrinsics; here the loops are written so LLVM auto-vectorizes
-//! them (`u8 → u16` widening absolute difference over contiguous slices).
+//! evaluates millions of them per frame). The paper's CPU kernels use
+//! SSE/AVX intrinsics; here each primitive dispatches through
+//! [`crate::kernels`] to either the scalar reference loop or the u64 SWAR
+//! fast path (`FEVES_KERNELS=scalar|fast`), both bit-exact.
 
 use feves_video::plane::Plane;
 
@@ -13,23 +13,17 @@ use feves_video::plane::Plane;
 /// `a` and `b` must each contain at least `(h-1)*stride + w` samples.
 #[inline]
 pub fn sad_block(a: &[u8], a_stride: usize, b: &[u8], b_stride: usize, w: usize, h: usize) -> u32 {
-    let mut acc = 0u32;
-    for y in 0..h {
-        let ra = &a[y * a_stride..y * a_stride + w];
-        let rb = &b[y * b_stride..y * b_stride + w];
-        acc += row_sad(ra, rb);
-    }
-    acc
+    crate::kernels::sad_block(a, a_stride, b, b_stride, w, h)
 }
 
-/// SAD of two equal-length rows (auto-vectorizable).
+/// SAD of two equal-length rows.
+///
+/// # Panics
+/// If `a.len() != b.len()`, in **all** build profiles — see
+/// [`crate::kernels::row_sad`].
 #[inline]
 pub fn row_sad(a: &[u8], b: &[u8]) -> u32 {
-    debug_assert_eq!(a.len(), b.len());
-    a.iter()
-        .zip(b)
-        .map(|(&x, &y)| (x as i16 - y as i16).unsigned_abs() as u32)
-        .sum()
+    crate::kernels::row_sad(a, b)
 }
 
 /// The 4×4 SAD grid of one macroblock against one reference position:
@@ -43,6 +37,7 @@ pub type SadGrid = [u32; 16];
 ///
 /// The reference position may partially leave the plane; samples are then
 /// taken with border clamping (slower fallback path).
+#[inline]
 pub fn sad_grid_16x16(
     cur: &Plane<u8>,
     cur_x: usize,
@@ -51,33 +46,7 @@ pub fn sad_grid_16x16(
     ref_x: isize,
     ref_y: isize,
 ) -> SadGrid {
-    let mut grid = [0u32; 16];
-    let inside = ref_x >= 0
-        && ref_y >= 0
-        && (ref_x as usize) + 16 <= reference.width()
-        && (ref_y as usize) + 16 <= reference.height();
-    if inside {
-        let (rx, ry) = (ref_x as usize, ref_y as usize);
-        for row in 0..16 {
-            let ca = &cur.row(cur_y + row)[cur_x..cur_x + 16];
-            let rb = &reference.row(ry + row)[rx..rx + 16];
-            let gy = row / 4;
-            for gx in 0..4 {
-                grid[gy * 4 + gx] += row_sad(&ca[gx * 4..gx * 4 + 4], &rb[gx * 4..gx * 4 + 4]);
-            }
-        }
-    } else {
-        for row in 0..16 {
-            let ca = &cur.row(cur_y + row)[cur_x..cur_x + 16];
-            let gy = row / 4;
-            for (col, &c) in ca.iter().enumerate() {
-                let r = reference.get_clamped(ref_x + col as isize, ref_y + row as isize);
-                let gx = col / 4;
-                grid[gy * 4 + gx] += (c as i16 - r as i16).unsigned_abs() as u32;
-            }
-        }
-    }
-    grid
+    crate::kernels::sad_grid_16x16(cur, cur_x, cur_y, reference, ref_x, ref_y)
 }
 
 /// Sum the grid entries covering the `w × h` sub-block at pixel offset
@@ -99,6 +68,7 @@ pub fn grid_partition_sad(grid: &SadGrid, ox: usize, oy: usize, w: usize, h: usi
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::kernels;
 
     fn plane_from_fn(w: usize, h: usize, f: impl Fn(usize, usize) -> u8) -> Plane<u8> {
         let mut p = Plane::new(w, h);
@@ -173,5 +143,62 @@ mod tests {
             }
         }
         assert_eq!(inside, clamped);
+    }
+
+    // ---- scalar vs fast differentials (direct calls, no global flip) ----
+
+    #[test]
+    fn differential_row_sad_all_lengths() {
+        for len in 0..64usize {
+            let a: Vec<u8> = (0..len).map(|i| (i * 37 + 11) as u8).collect();
+            let b: Vec<u8> = (0..len).map(|i| (i * 101 + 63) as u8).collect();
+            assert_eq!(
+                kernels::scalar::row_sad(&a, &b),
+                kernels::fast::row_sad(&a, &b),
+                "len {len}"
+            );
+        }
+    }
+
+    #[test]
+    fn differential_sad_block_strided() {
+        let a: Vec<u8> = (0..40 * 24).map(|i| (i * 7 % 251) as u8).collect();
+        let b: Vec<u8> = (0..48 * 24).map(|i| (i * 13 % 241) as u8).collect();
+        for &(w, h) in &[(4usize, 4usize), (8, 8), (16, 16), (7, 5), (13, 3)] {
+            assert_eq!(
+                kernels::scalar::sad_block(&a, 40, &b, 48, w, h),
+                kernels::fast::sad_block(&a, 40, &b, 48, w, h),
+                "{w}x{h}"
+            );
+        }
+    }
+
+    #[test]
+    fn differential_grid_inside_and_border() {
+        let cur = plane_from_fn(64, 64, |x, y| ((x * 29) ^ (y * 41)) as u8);
+        let rf = plane_from_fn(64, 64, |x, y| ((x * 3).wrapping_add(y * 59)) as u8);
+        // Sweep positions crossing every border and the fully-inside core.
+        for ry in (-20..=68isize).step_by(4) {
+            for rx in (-20..=68isize).step_by(4) {
+                assert_eq!(
+                    kernels::scalar::sad_grid_16x16(&cur, 16, 16, &rf, rx, ry),
+                    kernels::fast::sad_grid_16x16(&cur, 16, 16, &rf, rx, ry),
+                    "ref pos ({rx},{ry})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn differential_extreme_values() {
+        // 0/255 checkerboards stress the SWAR bias trick at both extremes.
+        let cur = plane_from_fn(32, 32, |x, y| if (x + y) % 2 == 0 { 0 } else { 255 });
+        let rf = plane_from_fn(32, 32, |x, y| if (x + y) % 2 == 0 { 255 } else { 0 });
+        assert_eq!(
+            kernels::scalar::sad_grid_16x16(&cur, 0, 0, &rf, 5, 3),
+            kernels::fast::sad_grid_16x16(&cur, 0, 0, &rf, 5, 3),
+        );
+        let full = kernels::fast::sad_grid_16x16(&cur, 0, 0, &rf, 0, 0);
+        assert_eq!(grid_partition_sad(&full, 0, 0, 16, 16), 255 * 256);
     }
 }

@@ -6,6 +6,8 @@
 //! the standard two-stage refinement of the JM encoder. Like ME, the result
 //! for a macroblock depends only on the CF, the SFs and that macroblock's ME
 //! output, so row-wise distribution across devices is result-invariant.
+//! Block SADs go through [`crate::kernels`], so `FEVES_KERNELS` selects the
+//! scalar or SWAR implementation here too.
 
 use crate::interp::SubpelFrame;
 use crate::me::{mode_base, MbMotion};
@@ -146,13 +148,17 @@ pub fn sad_qpel(
         && (x0 as usize) + w <= plane.width()
         && (y0 as usize) + h <= plane.height();
     if inside {
+        // Dispatch once per block (not per row) through the kernel layer so
+        // the SWAR fast path sees the whole strided block.
         let (px, py) = (x0 as usize, y0 as usize);
-        for row in 0..h {
-            acc += crate::sad::row_sad(
-                &cf.row(by + row)[bx..bx + w],
-                &plane.row(py + row)[px..px + w],
-            );
-        }
+        acc = crate::kernels::sad_block(
+            &cf.as_slice()[by * cf.stride() + bx..],
+            cf.stride(),
+            &plane.as_slice()[py * plane.stride() + px..],
+            plane.stride(),
+            w,
+            h,
+        );
     } else {
         for row in 0..h {
             for col in 0..w {

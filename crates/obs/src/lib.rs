@@ -110,10 +110,13 @@ pub enum Metric {
     /// Virtual time lost to fault detection + re-dispatch per affected
     /// frame (ms).
     FtRecoveryMs,
+    /// Active hot-kernel implementation (0 = scalar, 1 = fast SWAR), per
+    /// `FEVES_KERNELS` / `feves_codec::kernels::active_kind`.
+    KernelDispatch,
 }
 
 /// Definitions for every [`Metric`], in `Metric` discriminant order.
-pub static REGISTRY: [MetricDef; 16] = [
+pub static REGISTRY: [MetricDef; 17] = [
     MetricDef {
         name: "sched.overhead_us",
         unit: "us",
@@ -210,11 +213,17 @@ pub static REGISTRY: [MetricDef; 16] = [
         kind: MetricKind::Histogram,
         wall_clock: false,
     },
+    MetricDef {
+        name: "kernel.dispatch",
+        unit: "impl",
+        kind: MetricKind::Gauge,
+        wall_clock: false,
+    },
 ];
 
 impl Metric {
     /// All metrics, in registry order.
-    pub const ALL: [Metric; 16] = [
+    pub const ALL: [Metric; 17] = [
         Metric::SchedOverheadUs,
         Metric::FrameTau1Ms,
         Metric::FrameTau2Ms,
@@ -231,6 +240,7 @@ impl Metric {
         Metric::FtResolves,
         Metric::FtRedispatchedRows,
         Metric::FtRecoveryMs,
+        Metric::KernelDispatch,
     ];
 
     /// Registry index.

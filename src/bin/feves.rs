@@ -14,7 +14,9 @@
 //! `--metrics-out <path>` (JSONL metrics dump),
 //! `--trace-format gantt|chrome` (Chrome JSON loads in Perfetto),
 //! `--inject-fault <spec>` (repeatable — e.g. `0:death@5`, `1:stall@3+4`,
-//! `1:slow@3+4x10`, `0:xfer@7`, `0:panic@2`), `--deadline-factor <f>`.
+//! `1:slow@3+4x10`, `0:xfer@7`, `0:panic@2`), `--deadline-factor <f>`,
+//! `--kernels scalar|fast` (hot-kernel family; overrides `FEVES_KERNELS`;
+//! CPU device profiles are re-scaled so simulated times match the choice).
 
 use feves::core::prelude::*;
 use feves::obs::MemoryRecorder;
@@ -35,6 +37,7 @@ struct Options {
     trace_format: String,
     faults: Vec<String>,
     deadline_factor: Option<f64>,
+    kernels: Option<String>,
 }
 
 impl Default for Options {
@@ -51,6 +54,7 @@ impl Default for Options {
             trace_format: "gantt".into(),
             faults: Vec::new(),
             deadline_factor: None,
+            kernels: None,
         }
     }
 }
@@ -80,6 +84,7 @@ fn parse_options(args: &[String]) -> Result<(Options, Vec<String>), String> {
                         .map_err(|e| format!("--deadline-factor: {e}"))?,
                 )
             }
+            "--kernels" => opts.kernels = Some(grab()?.to_lowercase()),
             _ if a.starts_with("--") => return Err(format!("unknown option {a}")),
             _ => positional.push(a.clone()),
         }
@@ -111,8 +116,23 @@ fn platform_of(name: &str) -> Result<(Platform, BalancerKind), String> {
     })
 }
 
+/// Resolve `--kernels` (falling back to `FEVES_KERNELS` / the default),
+/// force the runtime dispatch accordingly, and return the active kind.
+fn apply_kernel_choice(opts: &Options) -> Result<feves::codec::KernelKind, String> {
+    use feves::codec::kernels;
+    let kind = match opts.kernels.as_deref() {
+        Some("scalar") => kernels::KernelKind::Scalar,
+        Some("fast") => kernels::KernelKind::Fast,
+        Some(other) => return Err(format!("--kernels: unknown value '{other}' (scalar|fast)")),
+        None => kernels::active_kind(),
+    };
+    kernels::force_kind(kind);
+    Ok(kind)
+}
+
 fn config_of(opts: &Options, resolution: Resolution) -> Result<(Platform, EncoderConfig), String> {
-    let (platform, default_balancer) = match &opts.platform_file {
+    let kernel_kind = apply_kernel_choice(opts)?;
+    let (mut platform, default_balancer) = match &opts.platform_file {
         Some(path) => {
             let json = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
             (
@@ -122,6 +142,13 @@ fn config_of(opts: &Options, resolution: Resolution) -> Result<(Platform, Encode
         }
         None => platform_of(&opts.platform)?,
     };
+    // Simulated CPU device times must reflect the kernels the host actually
+    // runs (scalar loops are slower than the calibrated SWAR baseline).
+    platform.devices = platform
+        .devices
+        .drain(..)
+        .map(|d| feves::hetsim::profiles::scaled_for_kernels(d, kernel_kind))
+        .collect();
     let params = EncodeParams {
         search_area: SearchArea(opts.sa),
         n_ref: opts.refs,
@@ -223,8 +250,13 @@ fn cmd_simulate(opts: &Options) -> Result<(), String> {
     let rec = attach_recorder(&mut enc, opts);
     let report = enc.run_timing(opts.frames);
     println!(
-        "{} | 1080p | SA {}x{} | {} RF | balancer {}",
-        report.platform, opts.sa, opts.sa, opts.refs, opts.balancer
+        "{} | 1080p | SA {}x{} | {} RF | balancer {} | kernels {}",
+        report.platform,
+        opts.sa,
+        opts.sa,
+        opts.refs,
+        opts.balancer,
+        feves::codec::kernels::active_kind().name()
     );
     println!(
         "{:>6} {:>10} {:>8} {:>10} {:>12}",
@@ -266,8 +298,14 @@ fn cmd_stats(opts: &Options) -> Result<(), String> {
     enc.set_recorder(rec.clone());
     let report = enc.run_timing(opts.frames);
     println!(
-        "{} | 1080p | SA {}x{} | {} RF | balancer {} | {} inter-frames\n",
-        report.platform, opts.sa, opts.sa, opts.refs, opts.balancer, opts.frames
+        "{} | 1080p | SA {}x{} | {} RF | balancer {} | kernels {} | {} inter-frames\n",
+        report.platform,
+        opts.sa,
+        opts.sa,
+        opts.refs,
+        opts.balancer,
+        feves::codec::kernels::active_kind().name(),
+        opts.frames
     );
     print!("{}", rec.render_stats());
     println!();

@@ -1,0 +1,248 @@
+//! Differential tests for the dispatched hot-kernel fast paths.
+//!
+//! The SWAR kernels in `feves_codec::kernels::fast` must be **bit-exact**
+//! drop-in replacements for the scalar references — `FEVES_KERNELS` may
+//! change throughput, never output. This suite checks that at three levels:
+//!
+//! 1. property-based differentials over random planes/blocks, calling the
+//!    `scalar`/`fast` entry points directly (no global state involved);
+//! 2. a full encode→decode round trip under `force_kind`: both kernel
+//!    families must emit *identical bitstreams*, and the decoder must
+//!    reproduce the encoder reconstruction from either stream;
+//! 3. robustness: truncated and bit-flipped CABAC streams must surface
+//!    `DecodeError` (or decode to garbage syntax), never panic.
+//!
+//! Also holds the release-mode regression test for the `row_sad` length
+//! contract (CI runs this file under `--release` where `debug_assert!`
+//! alone would be compiled out).
+
+use std::sync::Mutex;
+
+use feves::codec::inter_loop::{encode_inter_frame, ReferenceStore};
+use feves::codec::kernels::{self, KernelKind};
+use feves::codec::types::{EncodeParams, SearchArea};
+use feves::video::plane::Plane;
+use feves::video::synth::{SynthConfig, SynthSequence};
+use feves::video::{Frame, Resolution};
+use proptest::prelude::*;
+
+/// Serializes tests that flip the process-global kernel dispatch; the guard
+/// restores the default (Fast) on drop so direct-call tests running on
+/// other threads are unaffected no matter how a holder exits.
+static KERNEL_LOCK: Mutex<()> = Mutex::new(());
+
+struct KindGuard<'a> {
+    _lock: std::sync::MutexGuard<'a, ()>,
+}
+
+impl<'a> KindGuard<'a> {
+    fn take() -> Self {
+        KindGuard {
+            _lock: KERNEL_LOCK.lock().unwrap_or_else(|e| e.into_inner()),
+        }
+    }
+}
+
+impl Drop for KindGuard<'_> {
+    fn drop(&mut self) {
+        kernels::force_kind(KernelKind::Fast);
+    }
+}
+
+fn plane_from_bytes(w: usize, h: usize, bytes: &[u8]) -> Plane<u8> {
+    let mut p = Plane::new(w, h);
+    for y in 0..h {
+        for x in 0..w {
+            p.set(x, y, bytes[y * w + x]);
+        }
+    }
+    p
+}
+
+proptest! {
+    #[test]
+    fn prop_row_sad_matches(a in proptest::collection::vec(any::<u8>(), 0..128)) {
+        let b: Vec<u8> = a.iter().rev().map(|v| v.wrapping_mul(31)).collect();
+        prop_assert_eq!(
+            kernels::scalar::row_sad(&a, &b),
+            kernels::fast::row_sad(&a, &b)
+        );
+    }
+
+    #[test]
+    fn prop_sad_grid_matches(
+        bytes in proptest::collection::vec(any::<u8>(), 48 * 48),
+        cx in 0usize..=32, cy in 0usize..=32,
+        rx in -20isize..=52, ry in -20isize..=52,
+    ) {
+        let cur = plane_from_bytes(48, 48, &bytes);
+        let rf = plane_from_bytes(48, 48, &bytes[..].iter().map(|v| v.wrapping_add(77)).collect::<Vec<_>>());
+        prop_assert_eq!(
+            kernels::scalar::sad_grid_16x16(&cur, cx, cy, &rf, rx, ry),
+            kernels::fast::sad_grid_16x16(&cur, cx, cy, &rf, rx, ry)
+        );
+    }
+
+    #[test]
+    fn prop_quant_matches(
+        block in proptest::collection::vec(-40_000i32..40_000, 16),
+        qp in 0u8..=51,
+        intra in any::<bool>(),
+    ) {
+        let base: [i32; 16] = block.try_into().unwrap();
+        let (mut a, mut b) = (base, base);
+        kernels::scalar::quantize_4x4(&mut a, qp, intra);
+        kernels::fast::quantize_4x4(&mut b, qp, intra);
+        prop_assert_eq!(a, b);
+        let (mut a, mut b) = (base, base);
+        kernels::scalar::dequantize_4x4(&mut a, qp);
+        kernels::fast::dequantize_4x4(&mut b, qp);
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn prop_interpolate_matches(seed in any::<u64>(), w in 1usize..40, h in 1usize..40) {
+        let _guard = KindGuard::take();
+        let mut p = Plane::new(w, h);
+        let mut s = seed | 1;
+        for y in 0..h {
+            for x in 0..w {
+                s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                p.set(x, y, (s >> 56) as u8);
+            }
+        }
+        kernels::force_kind(KernelKind::Scalar);
+        let a = feves::codec::interp::interpolate(&p);
+        kernels::force_kind(KernelKind::Fast);
+        let b = feves::codec::interp::interpolate(&p);
+        prop_assert_eq!(a, b);
+    }
+}
+
+fn test_frames(n: usize) -> Vec<Frame> {
+    let mut cfg = SynthConfig::tiny_test();
+    cfg.resolution = Resolution::QCIF;
+    SynthSequence::new(cfg).take_frames(n)
+}
+
+fn params() -> EncodeParams {
+    EncodeParams {
+        search_area: SearchArea(16),
+        n_ref: 2,
+        ..Default::default()
+    }
+}
+
+/// Encode the sequence under `kind`; returns per-frame (bitstream, recon).
+fn encode_under(kind: KernelKind, frames: &[Frame]) -> Vec<(Vec<u8>, Plane<u8>)> {
+    kernels::force_kind(kind);
+    let params = params();
+    let intra = feves::codec::intra::encode_intra_frame(frames[0].y(), params.qp_intra);
+    let mut store = ReferenceStore::new(params.n_ref);
+    store.push(intra.recon);
+    let mut out = Vec::new();
+    for f in &frames[1..] {
+        let enc = encode_inter_frame(f.y(), &store, &params);
+        out.push((enc.bitstream.to_vec(), enc.recon.clone()));
+        store.push(enc.recon);
+    }
+    out
+}
+
+/// Satellite 3 (round trip): scalar and fast kernels must produce *identical
+/// bitstreams*, and decoding either stream must reproduce the encoder
+/// reconstruction bit-exactly.
+#[test]
+fn encode_decode_roundtrip_is_kernel_invariant() {
+    let _guard = KindGuard::take();
+    let frames = test_frames(5);
+    let scalar = encode_under(KernelKind::Scalar, &frames);
+    let fast = encode_under(KernelKind::Fast, &frames);
+    assert_eq!(scalar.len(), fast.len());
+
+    for (i, ((bs_s, rec_s), (bs_f, rec_f))) in scalar.iter().zip(&fast).enumerate() {
+        assert_eq!(bs_s, bs_f, "frame {i}: bitstream differs between kernels");
+        assert_eq!(rec_s, rec_f, "frame {i}: reconstruction differs");
+    }
+
+    // Decode the shared bitstreams and check the closed loop under both
+    // kernel families (the decoder's MC path runs the dispatched kernels
+    // too, so run it once per family).
+    for kind in [KernelKind::Scalar, KernelKind::Fast] {
+        kernels::force_kind(kind);
+        let params = params();
+        let intra = feves::codec::intra::encode_intra_frame(frames[0].y(), params.qp_intra);
+        let mut store = ReferenceStore::new(params.n_ref);
+        store.push(intra.recon);
+        for (i, (bitstream, recon)) in scalar.iter().enumerate() {
+            let dec = feves::codec::decoder::decode_inter_frame(bitstream, &store)
+                .unwrap_or_else(|e| panic!("frame {i} must decode under {kind:?}: {e}"));
+            assert_eq!(
+                &dec.y, recon,
+                "frame {i}: decoder/encoder mismatch under {kind:?}"
+            );
+            store.push(recon.clone());
+        }
+    }
+}
+
+/// Satellite 3 (robustness): corrupted CABAC streams must never panic —
+/// truncations and bit flips either surface [`DecodeError`] or decode to
+/// in-bounds garbage syntax.
+#[test]
+fn cabac_corruption_never_panics() {
+    use feves::codec::cabac::{decode_frame_cabac, encode_frame_cabac};
+
+    let _guard = KindGuard::take();
+    let frames = test_frames(2);
+    let params = params();
+    let intra = feves::codec::intra::encode_intra_frame(frames[0].y(), params.qp_intra);
+    let mut store = ReferenceStore::new(params.n_ref);
+    store.push(intra.recon);
+    let enc = encode_inter_frame(frames[1].y(), &store, &params);
+    let (stream, _) = encode_frame_cabac(&enc.modes, &enc.coeffs, None, params.qp);
+    let stream = stream.to_vec();
+
+    // The pristine stream round-trips.
+    let (modes, coeffs, chroma, qp) = decode_frame_cabac(&stream).expect("pristine stream");
+    assert_eq!(qp, params.qp);
+    assert!(chroma.is_none());
+    assert_eq!(modes.mb_cols(), enc.modes.mb_cols());
+    assert_eq!(coeffs.mb_rows(), enc.coeffs.mb_rows());
+
+    // Empty and header-truncated streams are hard errors.
+    assert!(decode_frame_cabac(&[]).is_err(), "empty stream must error");
+
+    // Truncations at every prefix length: Err or garbage, never a panic.
+    let mut errs = 0usize;
+    for len in 1..stream.len() {
+        if decode_frame_cabac(&stream[..len]).is_err() {
+            errs += 1;
+        }
+    }
+    assert!(errs > 0, "no truncation surfaced a DecodeError");
+
+    // Single-bit flips across the stream.
+    for i in (0..stream.len()).step_by(3) {
+        for bit in [0u8, 3, 7] {
+            let mut bad = stream.clone();
+            bad[i] ^= 1 << bit;
+            let _ = decode_frame_cabac(&bad); // must not panic
+        }
+    }
+
+    // Dense corruption (every byte mangled).
+    let mangled: Vec<u8> = stream.iter().map(|b| b ^ 0xA5).collect();
+    let _ = decode_frame_cabac(&mangled);
+}
+
+/// Satellite 1: mismatched `row_sad` slice lengths are a hard error in
+/// *release* builds too (the dispatch wrapper carries a real `assert!`,
+/// not just a `debug_assert!`). CI runs this test with `--release`.
+#[test]
+#[should_panic(expected = "row_sad length mismatch")]
+fn row_sad_length_mismatch_panics_in_release() {
+    let a = [1u8; 16];
+    let b = [2u8; 15];
+    feves::codec::sad::row_sad(&a, &b);
+}

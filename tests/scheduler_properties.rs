@@ -87,6 +87,95 @@ fn characterize(platform: &Platform) -> PerfChar {
     pc
 }
 
+/// Body of `lp_beats_single_device`, callable both from the proptest
+/// generator and from the pinned regression seeds below. Panics (via
+/// `assert!`) on violation so both callers report failures identically.
+#[allow(clippy::too_many_arguments)]
+fn lp_beats_single_device_case(
+    me0: f64,
+    me1: f64,
+    sme0: f64,
+    sme1: f64,
+    cpu_me: f64,
+    bw: f64,
+    dual: bool,
+    cores: usize,
+) {
+    let platform = Platform::build(
+        vec![accel(me0, sme0, bw, dual), accel(me1, sme1, bw, !dual)],
+        &cpu_chip(cpu_me),
+        cores,
+    );
+    let perf = characterize(&platform);
+    let sigma_prev = vec![0usize; platform.len()];
+    let dist = algorithm2::solve(68, &platform, &perf, Centric::Gpu(0), &sigma_prev)
+        .expect("random platform LPs must be feasible");
+    dist.validate(68).unwrap();
+    let pred = dist.predicted.unwrap();
+    assert!(pred.tau1 <= pred.tau2 + 1e-9 && pred.tau2 <= pred.tau_tot + 1e-9);
+
+    // Compute-only lower bound comparison: the collaborative makespan
+    // must not exceed the best device's solo compute time by more than
+    // the communication slack.
+    let solo = |d: usize| {
+        68.0 * (perf.k_me(d).unwrap() + perf.k_sme(d).unwrap())
+            + 68.0 * perf.k_int(d).unwrap().max(0.0)
+    };
+    let best_solo = (0..platform.len()).map(solo).fold(f64::INFINITY, f64::min);
+    assert!(
+        pred.tau_tot <= best_solo * 1.6 + 0.05,
+        "collaboration ({}) much worse than best solo ({})",
+        pred.tau_tot,
+        best_solo
+    );
+}
+
+// Past proptest failures, pinned as named deterministic tests (instead of a
+// `.proptest-regressions` replay file, which re-shrinks on every run and
+// flakes under load). Parameters are the exact shrunk counterexamples.
+
+#[test]
+fn lp_regression_slow_cpu_asymmetric_accels() {
+    lp_beats_single_device_case(
+        55.01986088976605,
+        15.791395203176599,
+        8.616266429885133,
+        2.0,
+        358.51213052134887,
+        8.141489078690768,
+        false,
+        3,
+    );
+}
+
+#[test]
+fn lp_regression_fast_accel0_high_bandwidth() {
+    lp_beats_single_device_case(
+        9.836626128095338,
+        20.366490248859485,
+        2.72379694502641,
+        7.860736379338066,
+        192.4757774825777,
+        15.917754750746951,
+        false,
+        2,
+    );
+}
+
+#[test]
+fn lp_regression_fast_cpu_slow_accels() {
+    lp_beats_single_device_case(
+        37.973184934329474,
+        53.75566229519008,
+        4.680363346886697,
+        2.0,
+        72.99362339689038,
+        12.63757112243864,
+        false,
+        2,
+    );
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
 
@@ -104,32 +193,7 @@ proptest! {
         dual in proptest::bool::ANY,
         cores in 1usize..5,
     ) {
-        let platform = Platform::build(
-            vec![accel(me0, sme0, bw, dual), accel(me1, sme1, bw, !dual)],
-            &cpu_chip(cpu_me),
-            cores,
-        );
-        let perf = characterize(&platform);
-        let sigma_prev = vec![0usize; platform.len()];
-        let dist = algorithm2::solve(68, &platform, &perf, Centric::Gpu(0), &sigma_prev)
-            .expect("random platform LPs must be feasible");
-        dist.validate(68).unwrap();
-        let pred = dist.predicted.unwrap();
-        prop_assert!(pred.tau1 <= pred.tau2 + 1e-9 && pred.tau2 <= pred.tau_tot + 1e-9);
-
-        // Compute-only lower bound comparison: the collaborative makespan
-        // must not exceed the best device's solo compute time by more than
-        // the communication slack.
-        let solo = |d: usize| {
-            68.0 * (perf.k_me(d).unwrap() + perf.k_sme(d).unwrap())
-                + 68.0 * perf.k_int(d).unwrap().max(0.0)
-        };
-        let best_solo = (0..platform.len()).map(solo).fold(f64::INFINITY, f64::min);
-        prop_assert!(
-            pred.tau_tot <= best_solo * 1.6 + 0.05,
-            "collaboration ({}) much worse than best solo ({})",
-            pred.tau_tot, best_solo
-        );
+        lp_beats_single_device_case(me0, me1, sme0, sme1, cpu_me, bw, dual, cores);
     }
 
     /// Running the distribution through the DAM + VCM + simulator must keep
