@@ -2,7 +2,7 @@
 
 use feves_codec::cabac::EntropyBackend;
 use feves_codec::types::EncodeParams;
-use feves_ft::{FaultSpec, FevesError};
+use feves_ft::{DriftConfig, FaultSpec, FevesError};
 use feves_sched::{Centric, Ewma};
 use feves_video::geometry::Resolution;
 
@@ -78,6 +78,10 @@ pub struct EncoderConfig {
     /// the slowest device faulty. Must exceed 1 with enough slack to absorb
     /// profile noise and benign perturbations.
     pub deadline_factor: f64,
+    /// Prediction-drift detection (audit layer): a device whose signed LP
+    /// residual stays outside `±band_pct` for `k` consecutive frames is
+    /// re-characterized (rates reset → equidistant probe).
+    pub drift: DriftConfig,
 }
 
 /// Rate-control parameters (see [`feves_codec::rate::RateController`]).
@@ -107,6 +111,7 @@ impl EncoderConfig {
             rate_control: None,
             faults: Vec::new(),
             deadline_factor: 3.0,
+            drift: DriftConfig::default(),
         }
     }
 
@@ -134,6 +139,7 @@ impl EncoderConfig {
         if !(self.deadline_factor.is_finite() && self.deadline_factor > 1.0) {
             return bad("deadline factor must be finite and > 1");
         }
+        self.drift.validate().map_err(FevesError::Config)?;
         Ok(())
     }
 }
@@ -167,6 +173,18 @@ mod tests {
         c.deadline_factor = f64::INFINITY;
         assert!(c.validate().is_err());
         c.deadline_factor = 2.5;
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn rejects_bad_drift_config() {
+        let mut c = EncoderConfig::full_hd(EncodeParams::default());
+        c.drift.band_pct = -5.0;
+        assert!(c.validate().is_err());
+        c.drift.band_pct = 25.0;
+        c.drift.k = 0;
+        assert!(c.validate().is_err());
+        c.drift.k = 3;
         assert!(c.validate().is_ok());
     }
 

@@ -21,13 +21,17 @@ use feves_codec::interp::SubpelFrame;
 use feves_codec::rate::RateController;
 use feves_codec::types::EncodeParams;
 use feves_ft::{
-    DeadlinePolicy, DeviceFault, FaultCause, FaultSchedule, FaultSpec, FevesError, HealthTracker,
+    DeadlinePolicy, DeviceFault, DriftDetector, FaultCause, FaultSchedule, FaultSpec, FevesError,
+    HealthTracker,
 };
 use feves_hetsim::fault::FaultInjector;
 use feves_hetsim::noise::MultiplicativeNoise;
 use feves_hetsim::platform::Platform;
 use feves_hetsim::timeline::{simulate, Schedule};
-use feves_obs::{Metric, Recorder};
+use feves_obs::{
+    imbalance_index, residual_pct, DeviceRecord, FlightRecord, FlightRecorder, Metric, Recorder,
+    TauTriple,
+};
 use feves_sched::{
     BalanceInput, Centric, Distribution, EquidistantBalancer, Ewma, FevesBalancer, LoadBalancer,
     PerfChar, ProportionalBalancer, SingleDeviceBalancer,
@@ -66,6 +70,9 @@ pub struct FtStats {
     pub resolves: u64,
     /// MB rows re-dispatched from faulty devices to survivors.
     pub redispatched_rows: u64,
+    /// Deadline misses on a device the drift detector had already flagged —
+    /// probably drift (a quietly degraded device), not a hard fault.
+    pub drift_vs_fault: u64,
 }
 
 /// The FEVES encoder: Algorithm 1 over a simulated heterogeneous platform,
@@ -104,6 +111,11 @@ pub struct FevesEncoder {
     /// heuristic balancers that produce no LP prediction.
     expected_tau: Option<(f64, f64, f64)>,
     ft_stats: FtStats,
+    /// Prediction-drift detector over per-device LP residuals; a firing
+    /// resets that device's characterization (→ equidistant probe).
+    drift: DriftDetector,
+    /// Optional schedule flight recorder ([`Self::enable_flight`]).
+    flight: Option<FlightRecorder>,
 }
 
 /// A reconstruction waiting to be interpolated and pushed as a reference.
@@ -181,6 +193,8 @@ impl FevesEncoder {
             deadline: DeadlinePolicy::new(config.deadline_factor),
             expected_tau: None,
             ft_stats: FtStats::default(),
+            drift: DriftDetector::new(platform.len(), config.drift),
+            flight: None,
             platform,
             config,
         })
@@ -216,6 +230,24 @@ impl FevesEncoder {
     /// Fault-tolerance counters accumulated so far.
     pub fn ft_stats(&self) -> FtStats {
         self.ft_stats
+    }
+
+    /// Turn on the schedule flight recorder: every inter frame from now on
+    /// appends one decision + measurement record to a ring of `capacity`
+    /// records (see [`FlightRecorder`]). Drift detection runs regardless;
+    /// this only controls whether the per-frame records are retained.
+    pub fn enable_flight(&mut self, capacity: usize) {
+        self.flight = Some(FlightRecorder::new(capacity));
+    }
+
+    /// The flight recorder, when enabled.
+    pub fn flight(&self) -> Option<&FlightRecorder> {
+        self.flight.as_ref()
+    }
+
+    /// The prediction-drift detector (diagnostics).
+    pub fn drift(&self) -> &DriftDetector {
+        &self.drift
     }
 
     /// The MB-row geometry the encoder is operating on.
@@ -346,6 +378,20 @@ impl FevesEncoder {
                     wasted,
                 ));
             }
+        }
+        // An LP balancer running without a prediction is doing a
+        // characterization probe (the init frame, a drift-triggered
+        // re-probe, or a post-blacklist re-probe). Probes are equidistant —
+        // structurally slower than balanced frames — so the EWMA baseline
+        // of healthy *balanced* frames would misfire on them: detection
+        // pauses for the probe and resumes with the next predicted frame.
+        if dist.predicted.is_none()
+            && matches!(
+                self.config.balancer,
+                BalancerKind::Feves | BalancerKind::FevesFixed(_)
+            )
+        {
+            return None;
         }
         // Deadlines come from the LP prediction when the balancer provides
         // one, else from the EWMA baseline of past healthy frames. Until
@@ -554,6 +600,15 @@ impl FevesEncoder {
             };
             self.ft_stats.detected += 1;
             self.rec().add(Metric::FtFaultsDetected, 1);
+            // Disambiguation: a deadline miss on a device the drift detector
+            // already flagged is most likely the same quiet degradation, not
+            // an independent hard fault.
+            if matches!(fault.cause, FaultCause::MissedDeadline(_))
+                && self.drift.is_flagged(fault.device)
+            {
+                self.ft_stats.drift_vs_fault += 1;
+                self.rec().add(Metric::FtDriftVsFault, 1);
+            }
             if std::env::var_os("FEVES_FT_DEBUG").is_some() {
                 eprintln!(
                     "ft: frame {inter_frame} attempt {attempt}: {fault:?} wasted {wasted:.4}s \
@@ -587,11 +642,40 @@ impl FevesEncoder {
         };
         let trace = FrameTrace::capture(&fg, &sched, &self.platform);
 
+        // Flight-recorder inputs, derived before the trace is archived:
+        // per-device busy times split by engine class, the measured sync
+        // points, and the DAM byte volumes.
+        let mut compute_busy_ms = vec![0.0f64; self.platform.len()];
+        let mut transfer_busy_ms = vec![0.0f64; self.platform.len()];
+        for t in &trace.tasks {
+            let busy = t.end_ms - t.start_ms;
+            if t.lane.is_transfer() {
+                transfer_busy_ms[t.lane.device] += busy;
+            } else {
+                compute_busy_ms[t.lane.device] += busy;
+            }
+        }
+        let measured_tau = TauTriple {
+            tau1_ms: trace.tau1_ms,
+            tau2_ms: trace.tau2_ms,
+            tau_tot_ms: trace.tau_tot_ms,
+        };
+        let rec = self.rec();
+        let audited = rec.enabled() || self.flight.is_some();
+        let transferred = transfer_bytes(&plan, self.geometry.width);
+        let reused = if self.config.data_reuse && audited {
+            // Reused = what a reuse-free plan of the same frame would have
+            // shipped, minus what this plan ships.
+            transfer_bytes(&self.dam.plan(&dist, &mask, false), self.geometry.width)
+                .saturating_sub(transferred)
+        } else {
+            0
+        };
+
         // Observability: per-frame metrics. Everything except the wall-clock
         // scheduling overhead is derived from the virtual clock and is
         // deterministic for a fixed configuration. Guarded so the disabled
         // path costs one `enabled()` call.
-        let rec = self.rec();
         if rec.enabled() {
             rec.observe(Metric::SchedOverheadUs, sched_overhead * 1e6);
             rec.observe(Metric::FrameTau1Ms, trace.tau1_ms);
@@ -612,14 +696,9 @@ impl FevesEncoder {
                 rec.observe(Metric::LpIterations, iters as f64);
             }
             rec.add(Metric::VcmTasksScheduled, fg.graph.len() as u64);
-            let transferred = transfer_bytes(&plan, self.geometry.width);
             rec.add(Metric::DamBytesTransferred, transferred);
             if self.config.data_reuse {
-                // Reused = what a reuse-free plan of the same frame would
-                // have shipped, minus what this plan ships.
-                let baseline =
-                    transfer_bytes(&self.dam.plan(&dist, &mask, false), self.geometry.width);
-                rec.add(Metric::DamBytesReused, baseline.saturating_sub(transferred));
+                rec.add(Metric::DamBytesReused, reused);
             }
             if recovery_overhead > 0.0 {
                 rec.observe(Metric::FtRecoveryMs, recovery_overhead * 1e3);
@@ -655,6 +734,91 @@ impl FevesEncoder {
             if rstar_seen[d] {
                 self.perf.record_rstar(d, rstar_time[d]);
             }
+        }
+
+        // Prediction audit (tentpole): per-device signed residuals between
+        // the LP's predicted busy time and the measured one feed the drift
+        // detector. A firing resets that device's characterization — the
+        // rates go NaN, the balancer falls back to an equidistant probe next
+        // frame, and the re-measured rates replace the stale model: the
+        // init ↔ iterative loop of Algorithm 1, re-entered on demand.
+        // Runs *after* this frame's characterization update so the reset
+        // survives into the next frame.
+        let predicted_busy_ms: Vec<Option<f64>> = match &dist.predicted_device {
+            Some(p) => p.iter().map(|dp| Some(dp.busy() * 1e3)).collect(),
+            None => vec![None; self.platform.len()],
+        };
+        let residuals: Vec<Option<f64>> = (0..self.platform.len())
+            .map(|d| {
+                if !avail[d] {
+                    // Blacklisted: a fault-domain problem, not model drift.
+                    return None;
+                }
+                predicted_busy_ms[d].and_then(|p| residual_pct(p, compute_busy_ms[d]))
+            })
+            .collect();
+        let drift_fired = self.drift.update(&residuals);
+        let recharacterized = !drift_fired.is_empty();
+        for &d in &drift_fired {
+            self.perf.reset_device(d);
+            rec.add(Metric::SchedDrift, 1);
+            if std::env::var_os("FEVES_FT_DEBUG").is_some() {
+                eprintln!(
+                    "drift: frame {inter_frame}: device {d} residual {:?} outside band — \
+                     re-characterizing",
+                    residuals[d]
+                );
+            }
+        }
+        // A flagged device whose residual came back inside the band has been
+        // successfully re-characterized: re-arm its detector.
+        for (d, r) in residuals.iter().enumerate() {
+            if self.drift.is_flagged(d) && !drift_fired.contains(&d) {
+                if let Some(pct) = r {
+                    if pct.abs() <= self.config.drift.band_pct {
+                        self.drift.clear(d);
+                    }
+                }
+            }
+        }
+        if rec.enabled() {
+            for r in residuals.iter().flatten() {
+                rec.observe(Metric::AuditResidualAbsPct, r.abs());
+            }
+            if let Some(imb) = imbalance_index(&compute_busy_ms) {
+                rec.observe(Metric::LbImbalanceIndex, imb);
+            }
+        }
+        if let Some(flight) = &mut self.flight {
+            let devices = (0..self.platform.len())
+                .map(|d| DeviceRecord {
+                    device: d,
+                    me_rows: dist.me[d],
+                    interp_rows: dist.interp[d],
+                    sme_rows: dist.sme[d],
+                    predicted_busy_ms: predicted_busy_ms[d],
+                    compute_busy_ms: compute_busy_ms[d],
+                    transfer_busy_ms: transfer_busy_ms[d],
+                    residual_pct: residuals[d],
+                    blacklisted: !avail[d],
+                })
+                .collect();
+            flight.push(FlightRecord {
+                frame: self.inter_count,
+                rstar_device: dist.rstar_device,
+                predicted_tau: dist.predicted.map(|p| TauTriple {
+                    tau1_ms: p.tau1 * 1e3,
+                    tau2_ms: p.tau2 * 1e3,
+                    tau_tot_ms: p.tau_tot * 1e3,
+                }),
+                measured_tau,
+                devices,
+                bytes_transferred: transferred,
+                bytes_reused: reused,
+                recovery_ms: recovery_overhead * 1e3,
+                drift_devices: drift_fired,
+                recharacterized,
+            });
         }
 
         // Functional execution with the same distribution. Stripe-thread

@@ -44,9 +44,12 @@ pub mod prelude {
     pub use crate::report::{EncodeReport, FrameReport, Rollup};
     pub use crate::trace::{FrameTrace, Lane, LaneKind};
     pub use feves_codec::types::{EncodeParams, SearchArea};
-    pub use feves_ft::{DeviceHealth, FaultSchedule, FaultSpec, FevesError};
+    pub use feves_ft::{
+        DeviceHealth, DriftConfig, DriftDetector, FaultSchedule, FaultSpec, FevesError,
+    };
     pub use feves_hetsim::platform::Platform;
     pub use feves_hetsim::profiles;
+    pub use feves_obs::{AuditSummary, FlightRecord, FlightRecorder};
     pub use feves_sched::Centric;
     pub use feves_video::geometry::Resolution;
     pub use feves_video::synth::{SynthConfig, SynthSequence};

@@ -1,0 +1,226 @@
+//! Prediction-drift detection over per-device LP residuals.
+//!
+//! A *fault* announces itself: a deadline blows past `deadline_factor ×`
+//! the prediction, a transfer errors out, a stripe panics. *Drift* is
+//! quieter — the device still finishes every frame, just consistently
+//! slower (or faster) than the characterization says it should. The
+//! [`DriftDetector`] watches the signed per-device prediction residual
+//!
+//! ```text
+//! residual% = (measured − predicted) / predicted · 100
+//! ```
+//!
+//! and fires when a device stays outside `±band_pct` for `k` consecutive
+//! frames. The framework consumes the firing as a `sched.drift` event and
+//! resets that device's performance characterization, which sends the
+//! balancer back through an equidistant probe frame — closing the paper's
+//! initialization ↔ iterative feedback loop.
+//!
+//! Devices with no residual this frame (idle, blacklisted, or not yet
+//! characterized) pass `None`, which resets their streak: drift must be
+//! *consecutive* evidence, and blacklisted devices are a fault-domain
+//! problem, not a model problem.
+
+/// Configuration for [`DriftDetector`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct DriftConfig {
+    /// Residual band in percent: a frame counts toward a drift streak when
+    /// `|residual%| > band_pct`.
+    pub band_pct: f64,
+    /// Consecutive out-of-band frames required before the detector fires.
+    pub k: usize,
+}
+
+impl Default for DriftConfig {
+    fn default() -> Self {
+        // 25 % is well above the LP's rounding noise on small row counts,
+        // and 3 frames filters one-off scheduling hiccups.
+        DriftConfig {
+            band_pct: 25.0,
+            k: 3,
+        }
+    }
+}
+
+impl DriftConfig {
+    /// Validate the configuration (band must be positive and finite,
+    /// `k ≥ 1`).
+    pub fn validate(&self) -> Result<(), String> {
+        if !(self.band_pct > 0.0 && self.band_pct.is_finite()) {
+            return Err(format!(
+                "drift band must be a positive finite percentage, got {}",
+                self.band_pct
+            ));
+        }
+        if self.k == 0 {
+            return Err("drift window k must be ≥ 1".into());
+        }
+        Ok(())
+    }
+}
+
+/// Per-device consecutive-residual tracker. See the module docs.
+#[derive(Clone, Debug)]
+pub struct DriftDetector {
+    cfg: DriftConfig,
+    /// Consecutive out-of-band frames per device.
+    streak: Vec<usize>,
+    /// Sticky "currently drifting" flag per device, cleared by [`clear`]
+    /// (e.g. after re-characterization).
+    ///
+    /// [`clear`]: DriftDetector::clear
+    flagged: Vec<bool>,
+}
+
+impl DriftDetector {
+    /// Detector for `n_devices` devices.
+    pub fn new(n_devices: usize, cfg: DriftConfig) -> Self {
+        DriftDetector {
+            cfg,
+            streak: vec![0; n_devices],
+            flagged: vec![false; n_devices],
+        }
+    }
+
+    /// Active configuration.
+    pub fn config(&self) -> DriftConfig {
+        self.cfg
+    }
+
+    /// Feed one frame of signed residuals (`None` = no evidence this frame,
+    /// resets the device's streak). Returns the devices whose streak reached
+    /// `k` *this* frame — each fires at most once until [`clear`]ed.
+    ///
+    /// [`clear`]: DriftDetector::clear
+    pub fn update(&mut self, residual_pct: &[Option<f64>]) -> Vec<usize> {
+        let mut fired = Vec::new();
+        for (d, r) in residual_pct.iter().enumerate() {
+            if d >= self.streak.len() {
+                break;
+            }
+            match r {
+                Some(pct) if pct.is_finite() && pct.abs() > self.cfg.band_pct => {
+                    self.streak[d] += 1;
+                    if self.streak[d] >= self.cfg.k && !self.flagged[d] {
+                        self.flagged[d] = true;
+                        fired.push(d);
+                    }
+                }
+                _ => self.streak[d] = 0,
+            }
+        }
+        fired
+    }
+
+    /// True while device `d` is in a fired drift state (set on firing,
+    /// cleared by [`clear`]).
+    ///
+    /// [`clear`]: DriftDetector::clear
+    pub fn is_flagged(&self, d: usize) -> bool {
+        self.flagged.get(d).copied().unwrap_or(false)
+    }
+
+    /// Reset device `d`'s streak and flag — call after re-characterizing it.
+    pub fn clear(&mut self, d: usize) {
+        if let Some(s) = self.streak.get_mut(d) {
+            *s = 0;
+        }
+        if let Some(f) = self.flagged.get_mut(d) {
+            *f = false;
+        }
+    }
+
+    /// Current streak length for device `d` (diagnostics).
+    pub fn streak(&self, d: usize) -> usize {
+        self.streak.get(d).copied().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn det(k: usize) -> DriftDetector {
+        DriftDetector::new(2, DriftConfig { band_pct: 25.0, k })
+    }
+
+    #[test]
+    fn fires_after_k_consecutive_out_of_band_frames() {
+        let mut d = det(3);
+        assert!(d.update(&[Some(40.0), Some(5.0)]).is_empty());
+        assert!(d.update(&[Some(-60.0), Some(5.0)]).is_empty());
+        // Third consecutive frame outside ±25 % fires device 0 only.
+        assert_eq!(d.update(&[Some(30.0), Some(5.0)]), vec![0]);
+        assert!(d.is_flagged(0));
+        assert!(!d.is_flagged(1));
+        // Fires once, not every subsequent frame.
+        assert!(d.update(&[Some(30.0), Some(5.0)]).is_empty());
+    }
+
+    #[test]
+    fn in_band_or_missing_evidence_resets_the_streak() {
+        let mut d = det(3);
+        d.update(&[Some(40.0), None]);
+        d.update(&[Some(40.0), None]);
+        // An in-band frame breaks device 0's run.
+        d.update(&[Some(1.0), None]);
+        d.update(&[Some(40.0), None]);
+        d.update(&[Some(40.0), None]);
+        assert!(d.update(&[Some(10.0), None]).is_empty());
+        assert!(!d.is_flagged(0));
+        // None (blacklisted / idle) also resets.
+        let mut e = det(3);
+        e.update(&[Some(99.0), Some(99.0)]);
+        e.update(&[Some(99.0), None]);
+        assert_eq!(e.update(&[Some(99.0), Some(99.0)]), vec![0]);
+        assert_eq!(e.streak(1), 1, "device 1's streak restarted after None");
+        assert!(!e.is_flagged(1));
+    }
+
+    #[test]
+    fn clear_rearms_the_detector() {
+        let mut d = det(3);
+        d.update(&[Some(50.0)]);
+        assert_eq!(d.update(&[Some(50.0)]), Vec::<usize>::new());
+        assert_eq!(d.update(&[Some(50.0)]), vec![0]);
+        d.clear(0);
+        assert!(!d.is_flagged(0));
+        assert_eq!(d.streak(0), 0);
+        d.update(&[Some(50.0)]);
+        d.update(&[Some(50.0)]);
+        assert_eq!(d.update(&[Some(50.0)]), vec![0]);
+    }
+
+    #[test]
+    fn nan_residuals_reset_like_missing_evidence() {
+        let mut d = det(3);
+        d.update(&[Some(99.0)]);
+        d.update(&[Some(f64::NAN)]);
+        d.update(&[Some(99.0)]);
+        assert_eq!(d.streak(0), 1, "NaN is no evidence: streak restarted");
+        assert!(!d.is_flagged(0));
+    }
+
+    #[test]
+    fn config_validation() {
+        assert!(DriftConfig::default().validate().is_ok());
+        assert!(DriftConfig {
+            band_pct: 0.0,
+            k: 3
+        }
+        .validate()
+        .is_err());
+        assert!(DriftConfig {
+            band_pct: f64::NAN,
+            k: 3
+        }
+        .validate()
+        .is_err());
+        assert!(DriftConfig {
+            band_pct: 25.0,
+            k: 0
+        }
+        .validate()
+        .is_err());
+    }
+}

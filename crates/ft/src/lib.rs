@@ -19,13 +19,19 @@
 //!   re-admission probes.
 //! - [`DeadlinePolicy`] — sync-point deadlines derived from the LP's
 //!   predicted τ1/τ2/τtot; a missed deadline is the detection signal.
+//! - [`DriftDetector`] — the quiet failure mode: a device that still meets
+//!   its deadlines but consistently runs outside the characterization's
+//!   prediction band, flagged for re-characterization rather than
+//!   blacklisting.
 
 pub mod deadline;
+pub mod drift;
 pub mod error;
 pub mod fault;
 pub mod health;
 
 pub use deadline::{DeadlinePolicy, Deadlines, SyncPoint};
+pub use drift::{DriftConfig, DriftDetector};
 pub use error::{DeviceFault, FaultCause, FevesError};
 pub use fault::{FaultKind, FaultSchedule, FaultSpec};
 pub use health::{DeviceHealth, HealthTracker};

@@ -1,0 +1,417 @@
+//! Prediction-audit analytics over flight records.
+//!
+//! Turns a sequence of [`FlightRecord`]s into the quantities the paper
+//! plots and the drift detector consumes:
+//!
+//! - **Prediction residuals** per device: signed
+//!   `(measured − predicted) / predicted · 100`, summarized as mean, EWMA
+//!   (recency-weighted state, the drift detector's view) and percentiles of
+//!   the absolute residual. Per-device [`Histogram`]s are merged into one
+//!   fleet histogram for fleet-level percentiles.
+//! - **Load-imbalance index** per frame: max/mean compute-busy time over
+//!   working devices — the Fig 6 quantity (1.0 = perfectly balanced).
+//! - **Utilization and idle attribution** per device: busy fraction of
+//!   τtot, with idle time split into transfer-covered and barrier-wait
+//!   shares.
+//!
+//! Blacklisted devices are excluded from residual statistics: their gap is
+//! a fault, not characterization drift.
+
+use crate::flight::FlightRecord;
+use crate::histogram::Histogram;
+use crate::percentile_exact;
+use serde::{Deserialize, Serialize};
+
+/// Signed prediction residual in percent, `None` when there is no usable
+/// prediction (absent, non-finite, or ~zero predicted time).
+pub fn residual_pct(predicted_ms: f64, measured_ms: f64) -> Option<f64> {
+    if !(predicted_ms.is_finite() && measured_ms.is_finite()) || predicted_ms <= 1e-9 {
+        return None;
+    }
+    Some((measured_ms - predicted_ms) / predicted_ms * 100.0)
+}
+
+/// Load-imbalance index: `max(busy) / mean(busy)` over entries that did
+/// work (`> 0`). `None` when no entry was busy. 1.0 means perfect balance;
+/// the paper's Fig 6 plots exactly this per frame.
+pub fn imbalance_index(busy: &[f64]) -> Option<f64> {
+    let working: Vec<f64> = busy
+        .iter()
+        .copied()
+        .filter(|b| b.is_finite() && *b > 0.0)
+        .collect();
+    if working.is_empty() {
+        return None;
+    }
+    let mean = working.iter().sum::<f64>() / working.len() as f64;
+    let max = working.iter().fold(0.0f64, |a, &b| a.max(b));
+    Some(max / mean)
+}
+
+/// Per-device audit rollup.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct DeviceAudit {
+    /// Device index.
+    pub device: usize,
+    /// Frames where this device produced a usable residual.
+    pub audited_frames: usize,
+    /// Frames this device spent blacklisted (excluded from residuals).
+    pub blacklisted_frames: usize,
+    /// Mean signed residual % (`None` with no audited frames).
+    pub mean_residual_pct: Option<f64>,
+    /// EWMA of the signed residual % — the drift detector's recency view.
+    pub ewma_residual_pct: Option<f64>,
+    /// p95 of |residual| % (exact nearest-rank).
+    pub p95_abs_residual_pct: Option<f64>,
+    /// Mean compute-busy fraction of τtot.
+    pub mean_utilization: f64,
+    /// Mean idle ms per frame covered by this device's copy engines
+    /// (transfers the compute queue waited out).
+    pub mean_idle_transfer_ms: f64,
+    /// Mean idle ms per frame not covered by transfers — barrier wait at
+    /// the sync points.
+    pub mean_idle_barrier_ms: f64,
+}
+
+/// Whole-flight audit summary.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct AuditSummary {
+    /// Flight records audited.
+    pub frames: usize,
+    /// Frames that carried an LP prediction.
+    pub predicted_frames: usize,
+    /// Per-device rollups, device order.
+    pub devices: Vec<DeviceAudit>,
+    /// Fleet-level p95 of |residual| %, from merged per-device histograms
+    /// (bucket upper bound, ≤ 9 % relative error).
+    pub fleet_p95_abs_residual_pct: Option<f64>,
+    /// Mean per-frame imbalance index (Fig 6).
+    pub mean_imbalance_index: Option<f64>,
+    /// Worst per-frame imbalance index.
+    pub max_imbalance_index: Option<f64>,
+    /// Mean measured τtot (ms) — the headline number `feves compare` gates.
+    pub mean_tau_tot_ms: f64,
+    /// Mean signed τtot residual % over predicted frames.
+    pub mean_tau_tot_residual_pct: Option<f64>,
+    /// Total drift-detector firings across the flight.
+    pub drift_events: usize,
+    /// Frames that triggered re-characterization.
+    pub recharacterizations: usize,
+    /// Total bytes transferred / reused across the flight.
+    pub bytes_transferred: u64,
+    /// Bytes saved by Δ/σ data reuse.
+    pub bytes_reused: u64,
+}
+
+impl AuditSummary {
+    /// Compute the rolling analytics over `records` (oldest first).
+    /// `ewma_alpha` weights the residual EWMA (1.0 = last sample).
+    pub fn from_records(records: &[FlightRecord], ewma_alpha: f64) -> AuditSummary {
+        let n_devices = records.iter().map(|r| r.devices.len()).max().unwrap_or(0);
+        let mut devices = Vec::with_capacity(n_devices);
+        let fleet = Histogram::new();
+        for d in 0..n_devices {
+            let mut signed: Vec<f64> = Vec::new();
+            let mut abs: Vec<f64> = Vec::new();
+            let hist = Histogram::new();
+            let mut ewma: Option<f64> = None;
+            let mut blacklisted = 0usize;
+            let mut util_sum = 0.0;
+            let mut util_frames = 0usize;
+            let mut idle_xfer = 0.0;
+            let mut idle_barrier = 0.0;
+            for r in records {
+                let Some(dev) = r.devices.get(d) else {
+                    continue;
+                };
+                if dev.blacklisted {
+                    blacklisted += 1;
+                    continue;
+                }
+                let tau = r.measured_tau.tau_tot_ms.max(1e-9);
+                util_sum += dev.compute_busy_ms / tau;
+                util_frames += 1;
+                let idle = (tau - dev.compute_busy_ms).max(0.0);
+                let covered = dev.transfer_busy_ms.min(idle);
+                idle_xfer += covered;
+                idle_barrier += idle - covered;
+                if let Some(res) = dev.residual_pct {
+                    if res.is_finite() {
+                        signed.push(res);
+                        abs.push(res.abs());
+                        hist.observe(res.abs());
+                        ewma = Some(match ewma {
+                            None => res,
+                            Some(old) => ewma_alpha * res + (1.0 - ewma_alpha) * old,
+                        });
+                    }
+                }
+            }
+            fleet.merge(&hist);
+            let p95 = percentile_exact(&mut abs, 95.0);
+            devices.push(DeviceAudit {
+                device: d,
+                audited_frames: signed.len(),
+                blacklisted_frames: blacklisted,
+                mean_residual_pct: mean(&signed),
+                ewma_residual_pct: ewma,
+                p95_abs_residual_pct: if p95.is_nan() { None } else { Some(p95) },
+                mean_utilization: if util_frames == 0 {
+                    0.0
+                } else {
+                    util_sum / util_frames as f64
+                },
+                mean_idle_transfer_ms: per_frame(idle_xfer, util_frames),
+                mean_idle_barrier_ms: per_frame(idle_barrier, util_frames),
+            });
+        }
+
+        let imbalance: Vec<f64> = records.iter().filter_map(|r| r.imbalance_index()).collect();
+        let mut tau_res: Vec<f64> = Vec::new();
+        let mut tau_sum = 0.0;
+        for r in records {
+            tau_sum += r.measured_tau.tau_tot_ms;
+            if let Some(p) = &r.predicted_tau {
+                if let Some(res) = residual_pct(p.tau_tot_ms, r.measured_tau.tau_tot_ms) {
+                    tau_res.push(res);
+                }
+            }
+        }
+        let max_imb = imbalance.iter().fold(f64::NAN, |a, &b| a.max(b));
+        AuditSummary {
+            frames: records.len(),
+            predicted_frames: records.iter().filter(|r| r.predicted_tau.is_some()).count(),
+            devices,
+            fleet_p95_abs_residual_pct: if fleet.count() == 0 {
+                None
+            } else {
+                Some(fleet.percentile(95.0))
+            },
+            mean_imbalance_index: mean(&imbalance),
+            max_imbalance_index: if max_imb.is_nan() {
+                None
+            } else {
+                Some(max_imb)
+            },
+            mean_tau_tot_ms: if records.is_empty() {
+                0.0
+            } else {
+                tau_sum / records.len() as f64
+            },
+            mean_tau_tot_residual_pct: mean(&tau_res),
+            drift_events: records.iter().map(|r| r.drift_devices.len()).sum(),
+            recharacterizations: records.iter().filter(|r| r.recharacterized).count(),
+            bytes_transferred: records.iter().map(|r| r.bytes_transferred).sum(),
+            bytes_reused: records.iter().map(|r| r.bytes_reused).sum(),
+        }
+    }
+
+    /// Human-readable summary (the `feves report` text view).
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "flight audit: {} frames ({} with LP predictions)\n",
+            self.frames, self.predicted_frames
+        ));
+        out.push_str(&format!(
+            "  mean tau_tot {:.3} ms | tau_tot residual {} | imbalance mean {} max {}\n",
+            self.mean_tau_tot_ms,
+            fmt_opt_pct(self.mean_tau_tot_residual_pct),
+            fmt_opt(self.mean_imbalance_index),
+            fmt_opt(self.max_imbalance_index),
+        ));
+        out.push_str(&format!(
+            "  drift events {} | recharacterizations {} | fleet p95 |residual| {}\n",
+            self.drift_events,
+            self.recharacterizations,
+            fmt_opt_pct(self.fleet_p95_abs_residual_pct),
+        ));
+        out.push_str(&format!(
+            "  bytes transferred {} | reused {}\n",
+            self.bytes_transferred, self.bytes_reused
+        ));
+        out.push_str(&format!(
+            "  {:<6} {:>7} {:>6} {:>11} {:>11} {:>11} {:>6} {:>10} {:>10}\n",
+            "device",
+            "audited",
+            "black",
+            "mean res%",
+            "ewma res%",
+            "p95|res|%",
+            "util",
+            "idle xfer",
+            "idle wait"
+        ));
+        for d in &self.devices {
+            out.push_str(&format!(
+                "  dev{:<3} {:>7} {:>6} {:>11} {:>11} {:>11} {:>5.0}% {:>8.2}ms {:>8.2}ms\n",
+                d.device,
+                d.audited_frames,
+                d.blacklisted_frames,
+                fmt_opt(d.mean_residual_pct),
+                fmt_opt(d.ewma_residual_pct),
+                fmt_opt(d.p95_abs_residual_pct),
+                d.mean_utilization * 100.0,
+                d.mean_idle_transfer_ms,
+                d.mean_idle_barrier_ms,
+            ));
+        }
+        out
+    }
+}
+
+fn mean(v: &[f64]) -> Option<f64> {
+    if v.is_empty() {
+        None
+    } else {
+        Some(v.iter().sum::<f64>() / v.len() as f64)
+    }
+}
+
+fn per_frame(total: f64, frames: usize) -> f64 {
+    if frames == 0 {
+        0.0
+    } else {
+        total / frames as f64
+    }
+}
+
+fn fmt_opt(v: Option<f64>) -> String {
+    v.map(|x| format!("{x:.2}")).unwrap_or_else(|| "-".into())
+}
+
+fn fmt_opt_pct(v: Option<f64>) -> String {
+    v.map(|x| format!("{x:.2}%")).unwrap_or_else(|| "-".into())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flight::{DeviceRecord, FlightRecord, TauTriple};
+
+    fn record(frame: usize, busy: &[(f64, Option<f64>, bool)]) -> FlightRecord {
+        // (compute_busy_ms, predicted_busy_ms, blacklisted) per device.
+        FlightRecord {
+            frame,
+            rstar_device: 0,
+            predicted_tau: Some(TauTriple {
+                tau1_ms: 10.0,
+                tau2_ms: 15.0,
+                tau_tot_ms: 20.0,
+            }),
+            measured_tau: TauTriple {
+                tau1_ms: 10.0,
+                tau2_ms: 15.0,
+                tau_tot_ms: 22.0,
+            },
+            devices: busy
+                .iter()
+                .enumerate()
+                .map(|(d, &(measured, predicted, blacklisted))| DeviceRecord {
+                    device: d,
+                    me_rows: 10,
+                    interp_rows: 10,
+                    sme_rows: 10,
+                    predicted_busy_ms: predicted,
+                    compute_busy_ms: measured,
+                    transfer_busy_ms: 2.0,
+                    residual_pct: predicted.and_then(|p| residual_pct(p, measured)),
+                    blacklisted,
+                })
+                .collect(),
+            bytes_transferred: 100,
+            bytes_reused: 10,
+            recovery_ms: 0.0,
+            drift_devices: vec![],
+            recharacterized: false,
+        }
+    }
+
+    #[test]
+    fn residual_is_signed_and_guarded() {
+        assert_eq!(residual_pct(10.0, 12.0), Some(20.0));
+        assert_eq!(residual_pct(10.0, 8.0), Some(-20.0));
+        assert_eq!(residual_pct(0.0, 5.0), None, "zero prediction");
+        assert_eq!(residual_pct(f64::NAN, 5.0), None);
+        assert_eq!(residual_pct(10.0, f64::INFINITY), None);
+    }
+
+    #[test]
+    fn imbalance_ignores_idle_devices() {
+        // Devices that did nothing don't drag the mean down.
+        assert!((imbalance_index(&[30.0, 10.0, 0.0]).unwrap() - 1.5).abs() < 1e-12);
+        assert!((imbalance_index(&[10.0, 10.0]).unwrap() - 1.0).abs() < 1e-12);
+        assert_eq!(imbalance_index(&[]), None);
+        assert_eq!(imbalance_index(&[0.0, 0.0]), None);
+    }
+
+    #[test]
+    fn summary_aggregates_residuals_per_device() {
+        let records = vec![
+            record(0, &[(12.0, Some(10.0), false), (5.0, Some(5.0), false)]),
+            record(1, &[(13.0, Some(10.0), false), (5.0, Some(5.0), false)]),
+        ];
+        let s = AuditSummary::from_records(&records, 1.0);
+        assert_eq!(s.frames, 2);
+        assert_eq!(s.predicted_frames, 2);
+        assert_eq!(s.devices.len(), 2);
+        let d0 = &s.devices[0];
+        assert_eq!(d0.audited_frames, 2);
+        assert!((d0.mean_residual_pct.unwrap() - 25.0).abs() < 1e-9);
+        // α = 1: EWMA is the last sample (+30 %).
+        assert!((d0.ewma_residual_pct.unwrap() - 30.0).abs() < 1e-9);
+        assert!((s.devices[1].mean_residual_pct.unwrap() - 0.0).abs() < 1e-9);
+        // τtot residual: (22 − 20)/20 = +10 %.
+        assert!((s.mean_tau_tot_residual_pct.unwrap() - 10.0).abs() < 1e-9);
+        assert!((s.mean_tau_tot_ms - 22.0).abs() < 1e-9);
+        assert!(s.fleet_p95_abs_residual_pct.is_some());
+    }
+
+    #[test]
+    fn blacklisted_devices_are_excluded_from_residuals() {
+        let records = vec![
+            record(0, &[(50.0, Some(10.0), true), (5.0, Some(5.0), false)]),
+            record(1, &[(50.0, Some(10.0), true), (5.0, Some(5.0), false)]),
+        ];
+        let s = AuditSummary::from_records(&records, 1.0);
+        let d0 = &s.devices[0];
+        assert_eq!(d0.audited_frames, 0);
+        assert_eq!(d0.blacklisted_frames, 2);
+        assert_eq!(d0.mean_residual_pct, None, "+400% gap must not pollute");
+        assert_eq!(d0.p95_abs_residual_pct, None);
+    }
+
+    #[test]
+    fn idle_attribution_splits_transfer_and_barrier() {
+        // τtot 22, busy 12 → idle 10; transfers 2 → 2 covered, 8 barrier.
+        let records = vec![record(0, &[(12.0, Some(10.0), false)])];
+        let s = AuditSummary::from_records(&records, 1.0);
+        let d = &s.devices[0];
+        assert!((d.mean_idle_transfer_ms - 2.0).abs() < 1e-9);
+        assert!((d.mean_idle_barrier_ms - 8.0).abs() < 1e-9);
+        assert!((d.mean_utilization - 12.0 / 22.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_flight_is_a_quiet_summary() {
+        let s = AuditSummary::from_records(&[], 1.0);
+        assert_eq!(s.frames, 0);
+        assert_eq!(s.devices.len(), 0);
+        assert_eq!(s.mean_imbalance_index, None);
+        assert_eq!(s.fleet_p95_abs_residual_pct, None);
+        // And it serializes (no NaN fields).
+        serde_json::to_string(&s).expect("all fields finite or null");
+        assert!(!s.render_text().is_empty());
+    }
+
+    #[test]
+    fn summary_counts_drift_and_recharacterization() {
+        let mut r0 = record(0, &[(12.0, Some(10.0), false)]);
+        r0.drift_devices = vec![0];
+        r0.recharacterized = true;
+        let r1 = record(1, &[(12.0, Some(10.0), false)]);
+        let s = AuditSummary::from_records(&[r0, r1], 1.0);
+        assert_eq!(s.drift_events, 1);
+        assert_eq!(s.recharacterizations, 1);
+    }
+}

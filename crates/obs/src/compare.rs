@@ -1,0 +1,299 @@
+//! Bench/flight comparison: the regression gate behind `feves compare`.
+//!
+//! Accepts any two files of the *same* format among:
+//!
+//! - `BENCH_e2e.json` — one object with `scalar_ms` / `fast_ms` fields;
+//! - `BENCH_kernels.json` — an array of per-kernel-case objects with
+//!   `*_ns_per_iter` fields;
+//! - a flight log (JSONL of [`FlightRecord`]s) — summarized through the
+//!   audit layer before comparison.
+//!
+//! Each format is reduced to named lower-is-better scalars; a metric
+//! regresses when `(new − baseline) / baseline > threshold`. Metrics
+//! present on only one side are reported but never count as regressions
+//! (bench suites grow over time).
+
+use crate::audit::AuditSummary;
+use crate::flight;
+use serde::Value;
+
+/// One compared metric.
+#[derive(Clone, Debug, PartialEq)]
+pub struct MetricDelta {
+    /// Metric name, e.g. `"e2e.fast_ms"` or `"kernel.sad_grid/1080p"`.
+    pub name: String,
+    /// Baseline value (lower is better).
+    pub baseline: f64,
+    /// Candidate value.
+    pub candidate: f64,
+    /// Relative change, `(candidate − baseline) / baseline`.
+    pub delta: f64,
+}
+
+/// Outcome of a comparison run.
+#[derive(Clone, Debug, Default)]
+pub struct CompareOutcome {
+    /// All matched metrics, input order.
+    pub metrics: Vec<MetricDelta>,
+    /// Names of regressed metrics (delta > threshold).
+    pub regressions: Vec<String>,
+    /// Metrics present on only one side (informational).
+    pub unmatched: Vec<String>,
+}
+
+impl CompareOutcome {
+    /// True when no metric regressed beyond the threshold.
+    pub fn passed(&self) -> bool {
+        self.regressions.is_empty()
+    }
+
+    /// Human-readable comparison table.
+    pub fn render_text(&self, threshold: f64) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:<36} {:>12} {:>12} {:>9}\n",
+            "metric", "baseline", "candidate", "delta"
+        ));
+        for m in &self.metrics {
+            let flag = if m.delta > threshold {
+                "  << REGRESSION"
+            } else {
+                ""
+            };
+            out.push_str(&format!(
+                "{:<36} {:>12.3} {:>12.3} {:>+8.1}%{flag}\n",
+                m.name,
+                m.baseline,
+                m.candidate,
+                m.delta * 100.0
+            ));
+        }
+        for u in &self.unmatched {
+            out.push_str(&format!("{u:<36} (present on one side only)\n"));
+        }
+        out.push_str(&format!(
+            "{}: {} metric(s) compared, {} regression(s) beyond {:.0}%\n",
+            if self.passed() { "PASS" } else { "FAIL" },
+            self.metrics.len(),
+            self.regressions.len(),
+            threshold * 100.0
+        ));
+        out
+    }
+}
+
+/// Compare two summaries (same format, see module docs). `threshold` is the
+/// relative slowdown that counts as a regression (e.g. `0.10` = 10 %).
+pub fn compare_reports(
+    baseline: &str,
+    candidate: &str,
+    threshold: f64,
+) -> Result<CompareOutcome, String> {
+    let base = extract_metrics(baseline).map_err(|e| format!("baseline: {e}"))?;
+    let cand = extract_metrics(candidate).map_err(|e| format!("candidate: {e}"))?;
+    let mut outcome = CompareOutcome::default();
+    for (name, bv) in &base {
+        match cand.iter().find(|(n, _)| n == name) {
+            Some((_, cv)) => {
+                let delta = if *bv > 1e-12 { (cv - bv) / bv } else { 0.0 };
+                if delta > threshold {
+                    outcome.regressions.push(name.clone());
+                }
+                outcome.metrics.push(MetricDelta {
+                    name: name.clone(),
+                    baseline: *bv,
+                    candidate: *cv,
+                    delta,
+                });
+            }
+            None => outcome.unmatched.push(format!("{name} (baseline only)")),
+        }
+    }
+    for (name, _) in &cand {
+        if !base.iter().any(|(n, _)| n == name) {
+            outcome.unmatched.push(format!("{name} (candidate only)"));
+        }
+    }
+    if outcome.metrics.is_empty() {
+        return Err("no common metrics between the two files — same format?".into());
+    }
+    Ok(outcome)
+}
+
+/// Reduce a summary file to named lower-is-better scalars.
+fn extract_metrics(text: &str) -> Result<Vec<(String, f64)>, String> {
+    // Flight JSONL: more than one line, or a single object with a "frame"
+    // field.
+    let trimmed = text.trim();
+    if looks_like_flight(trimmed) {
+        let records = flight::parse_jsonl(trimmed)?;
+        let s = AuditSummary::from_records(&records, 1.0);
+        let mut out = vec![("flight.mean_tau_tot_ms".to_string(), s.mean_tau_tot_ms)];
+        if let Some(imb) = s.mean_imbalance_index {
+            out.push(("flight.mean_imbalance_index".to_string(), imb));
+        }
+        if let Some(p95) = s.fleet_p95_abs_residual_pct {
+            out.push(("flight.p95_abs_residual_pct".to_string(), p95));
+        }
+        return Ok(out);
+    }
+    let v = serde_json::value_from_str(trimmed).map_err(|e| e.to_string())?;
+    if let Some(items) = v.as_array() {
+        // BENCH_kernels.json: [{kernel, case, *_ns_per_iter, ...}].
+        let mut out = Vec::new();
+        for item in items {
+            let kernel = item
+                .get("kernel")
+                .and_then(Value::as_str)
+                .ok_or("kernel entry missing \"kernel\"")?;
+            let case = item.get("case").and_then(Value::as_str).unwrap_or("");
+            for field in ["fast_ns_per_iter", "scalar_ns_per_iter"] {
+                if let Some(ns) = item.get(field).and_then(Value::as_f64) {
+                    out.push((format!("kernel.{kernel}/{case}.{field}"), ns));
+                }
+            }
+        }
+        if out.is_empty() {
+            return Err("kernel bench array carries no *_ns_per_iter fields".into());
+        }
+        return Ok(out);
+    }
+    if v.as_object().is_some() {
+        // BENCH_e2e.json: {scalar_ms, fast_ms, speedup, ...}.
+        let mut out = Vec::new();
+        for field in ["fast_ms", "scalar_ms"] {
+            if let Some(ms) = v.get(field).and_then(Value::as_f64) {
+                out.push((format!("e2e.{field}"), ms));
+            }
+        }
+        if out.is_empty() {
+            return Err("object is neither a BENCH_e2e summary nor a flight record".into());
+        }
+        return Ok(out);
+    }
+    Err("unrecognized summary format".into())
+}
+
+fn looks_like_flight(trimmed: &str) -> bool {
+    // A flight log's first line is a complete JSON object with the
+    // FlightRecord signature fields.
+    let first = trimmed.lines().find(|l| !l.trim().is_empty());
+    match first.map(serde_json::value_from_str) {
+        Some(Ok(v)) => v.get("frame").is_some() && v.get("measured_tau").is_some(),
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flight::{DeviceRecord, FlightRecord, FlightRecorder, TauTriple};
+
+    const E2E_BASE: &str = r#"{"resolution":"1080p","frames":30,"scalar_ms":100.0,"fast_ms":50.0,"speedup":2.0,"outputs_identical":true}"#;
+
+    fn e2e(fast_ms: f64) -> String {
+        format!(
+            r#"{{"resolution":"1080p","frames":30,"scalar_ms":100.0,"fast_ms":{fast_ms},"speedup":2.0,"outputs_identical":true}}"#
+        )
+    }
+
+    const KERNELS_BASE: &str = r#"[
+        {"kernel":"sad_grid","case":"1080p","iters":100,"scalar_ns_per_iter":900.0,"fast_ns_per_iter":300.0,"speedup":3.0},
+        {"kernel":"interp","case":"row","iters":100,"scalar_ns_per_iter":500.0,"fast_ns_per_iter":200.0,"speedup":2.5}
+    ]"#;
+
+    fn flight_log(tau_tot: f64) -> String {
+        let mut fr = FlightRecorder::new(16);
+        for f in 0..4 {
+            fr.push(FlightRecord {
+                frame: f,
+                rstar_device: 0,
+                predicted_tau: Some(TauTriple {
+                    tau1_ms: 10.0,
+                    tau2_ms: 15.0,
+                    tau_tot_ms: tau_tot,
+                }),
+                measured_tau: TauTriple {
+                    tau1_ms: 10.0,
+                    tau2_ms: 15.0,
+                    tau_tot_ms: tau_tot,
+                },
+                devices: vec![DeviceRecord {
+                    device: 0,
+                    me_rows: 68,
+                    interp_rows: 68,
+                    sme_rows: 68,
+                    predicted_busy_ms: Some(tau_tot),
+                    compute_busy_ms: tau_tot,
+                    transfer_busy_ms: 0.0,
+                    residual_pct: Some(0.0),
+                    blacklisted: false,
+                }],
+                bytes_transferred: 0,
+                bytes_reused: 0,
+                recovery_ms: 0.0,
+                drift_devices: vec![],
+                recharacterized: false,
+            });
+        }
+        fr.to_jsonl()
+    }
+
+    #[test]
+    fn identical_e2e_passes() {
+        let o = compare_reports(E2E_BASE, E2E_BASE, 0.10).unwrap();
+        assert!(o.passed());
+        assert_eq!(o.metrics.len(), 2);
+        assert!(o.render_text(0.10).contains("PASS"));
+    }
+
+    #[test]
+    fn e2e_regression_beyond_threshold_fails() {
+        // +20 % fast_ms against a 10 % threshold.
+        let o = compare_reports(E2E_BASE, &e2e(60.0), 0.10).unwrap();
+        assert!(!o.passed());
+        assert_eq!(o.regressions, vec!["e2e.fast_ms".to_string()]);
+        assert!(o.render_text(0.10).contains("REGRESSION"));
+        // Improvement is never a regression.
+        let o = compare_reports(E2E_BASE, &e2e(40.0), 0.10).unwrap();
+        assert!(o.passed());
+        // Within threshold passes.
+        let o = compare_reports(E2E_BASE, &e2e(54.0), 0.10).unwrap();
+        assert!(o.passed());
+    }
+
+    #[test]
+    fn kernel_arrays_match_by_kernel_and_case() {
+        let o = compare_reports(KERNELS_BASE, KERNELS_BASE, 0.10).unwrap();
+        assert!(o.passed());
+        assert_eq!(o.metrics.len(), 4);
+        let regressed =
+            KERNELS_BASE.replace("\"fast_ns_per_iter\":300.0", "\"fast_ns_per_iter\":400.0");
+        let o = compare_reports(KERNELS_BASE, &regressed, 0.10).unwrap();
+        assert_eq!(
+            o.regressions,
+            vec!["kernel.sad_grid/1080p.fast_ns_per_iter".to_string()]
+        );
+    }
+
+    #[test]
+    fn flight_logs_compare_on_tau_tot() {
+        let base = flight_log(20.0);
+        // +15 % τtot: regression at 10 %.
+        let slow = flight_log(23.0);
+        let o = compare_reports(&base, &slow, 0.10).unwrap();
+        assert!(!o.passed());
+        assert!(o
+            .regressions
+            .contains(&"flight.mean_tau_tot_ms".to_string()));
+        // Same flight passes.
+        assert!(compare_reports(&base, &base, 0.10).unwrap().passed());
+    }
+
+    #[test]
+    fn mismatched_formats_error() {
+        let err = compare_reports(E2E_BASE, KERNELS_BASE, 0.10).unwrap_err();
+        assert!(err.contains("no common metrics"), "{err}");
+        assert!(compare_reports("not json", E2E_BASE, 0.10).is_err());
+    }
+}

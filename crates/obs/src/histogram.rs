@@ -110,6 +110,38 @@ impl Histogram {
         f64::from_bits(self.max_bits.load(Ordering::Relaxed))
     }
 
+    /// Fold every sample of `other` into `self` (bucket-wise), so per-device
+    /// histograms can be combined into a fleet-level one. Count, sum and max
+    /// aggregate exactly; `other` is left untouched. Concurrent `observe`s on
+    /// either side are not lost, though a racing reader may briefly see a
+    /// partially merged state.
+    pub fn merge(&self, other: &Histogram) {
+        for (mine, theirs) in self.buckets.iter().zip(other.buckets.iter()) {
+            let add = theirs.load(Ordering::Relaxed);
+            if add != 0 {
+                mine.fetch_add(add, Ordering::Relaxed);
+            }
+        }
+        self.count
+            .fetch_add(other.count.load(Ordering::Relaxed), Ordering::Relaxed);
+        let add_sum = other.sum();
+        let _ = self
+            .sum_bits
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |bits| {
+                Some((f64::from_bits(bits) + add_sum).to_bits())
+            });
+        let their_max = other.max();
+        let _ = self
+            .max_bits
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |bits| {
+                if their_max > f64::from_bits(bits) {
+                    Some(their_max.to_bits())
+                } else {
+                    None
+                }
+            });
+    }
+
     /// Nearest-rank percentile (`p` in `[0, 100]`), reported as the upper
     /// bound of the bucket containing that rank. 0.0 when empty.
     pub fn percentile(&self, p: f64) -> f64 {
@@ -211,6 +243,34 @@ mod tests {
         }
         assert_eq!(h.percentile(50.0), 0.0);
         assert_eq!(h.percentile(99.0), 0.0);
+    }
+
+    #[test]
+    fn merge_combines_counts_sums_and_percentiles() {
+        let a = Histogram::new();
+        let b = Histogram::new();
+        for _ in 0..90 {
+            a.observe(10.0);
+        }
+        for _ in 0..10 {
+            b.observe(100.0);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), 100);
+        assert_eq!(a.sum(), 90.0 * 10.0 + 10.0 * 100.0);
+        assert_eq!(a.max(), 100.0);
+        // Percentiles reflect the combined distribution.
+        let b10 = Histogram::bucket_upper(Histogram::bucket_index(10.0));
+        let b100 = Histogram::bucket_upper(Histogram::bucket_index(100.0));
+        assert_eq!(a.percentile(50.0), b10);
+        assert_eq!(a.percentile(99.0), b100);
+        // The source is untouched.
+        assert_eq!(b.count(), 10);
+        assert_eq!(b.max(), 100.0);
+        // Merging an empty histogram is a no-op.
+        let before = (a.count(), a.sum(), a.max());
+        a.merge(&Histogram::new());
+        assert_eq!((a.count(), a.sum(), a.max()), before);
     }
 
     #[test]

@@ -36,13 +36,23 @@
 //! assert!(rec.histogram(Metric::FrameTauTotMs).count() == 1);
 //! ```
 
+pub mod audit;
 mod chrome;
+pub mod compare;
+pub mod flight;
 mod histogram;
 mod recorder;
+pub mod report;
 
+pub use audit::{imbalance_index, residual_pct, AuditSummary, DeviceAudit};
 pub use chrome::ChromeTraceBuilder;
+pub use compare::{compare_reports, CompareOutcome, MetricDelta};
+pub use flight::{
+    parse_jsonl as parse_flight_jsonl, DeviceRecord, FlightRecord, FlightRecorder, TauTriple,
+};
 pub use histogram::Histogram;
 pub use recorder::{MemoryRecorder, NoopRecorder, Recorder, Span, SpanStat};
+pub use report::render_html;
 
 use std::sync::{Arc, OnceLock, RwLock};
 
@@ -113,10 +123,23 @@ pub enum Metric {
     /// Active hot-kernel implementation (0 = scalar, 1 = fast SWAR), per
     /// `FEVES_KERNELS` / `feves_codec::kernels::active_kind`.
     KernelDispatch,
+    /// Drift-detector firings: a device's prediction residual stayed outside
+    /// the configured band for K consecutive frames (triggers
+    /// re-characterization).
+    SchedDrift,
+    /// Deadline misses attributed to a device the drift detector had
+    /// *already* flagged — likely model drift, not a hard fault.
+    FtDriftVsFault,
+    /// Absolute LP-prediction residual per device per frame,
+    /// `|measured − predicted| / predicted · 100`.
+    AuditResidualAbsPct,
+    /// Per-frame load-imbalance index, `max/mean` compute-lane busy time
+    /// (the Fig 6 quantity; 1.0 = perfectly balanced).
+    LbImbalanceIndex,
 }
 
 /// Definitions for every [`Metric`], in `Metric` discriminant order.
-pub static REGISTRY: [MetricDef; 17] = [
+pub static REGISTRY: [MetricDef; 21] = [
     MetricDef {
         name: "sched.overhead_us",
         unit: "us",
@@ -219,11 +242,35 @@ pub static REGISTRY: [MetricDef; 17] = [
         kind: MetricKind::Gauge,
         wall_clock: false,
     },
+    MetricDef {
+        name: "sched.drift",
+        unit: "events",
+        kind: MetricKind::Counter,
+        wall_clock: false,
+    },
+    MetricDef {
+        name: "ft.drift_vs_fault",
+        unit: "faults",
+        kind: MetricKind::Counter,
+        wall_clock: false,
+    },
+    MetricDef {
+        name: "audit.residual_abs_pct",
+        unit: "%",
+        kind: MetricKind::Histogram,
+        wall_clock: false,
+    },
+    MetricDef {
+        name: "lb.imbalance_index",
+        unit: "ratio",
+        kind: MetricKind::Histogram,
+        wall_clock: false,
+    },
 ];
 
 impl Metric {
     /// All metrics, in registry order.
-    pub const ALL: [Metric; 17] = [
+    pub const ALL: [Metric; 21] = [
         Metric::SchedOverheadUs,
         Metric::FrameTau1Ms,
         Metric::FrameTau2Ms,
@@ -241,6 +288,10 @@ impl Metric {
         Metric::FtRedispatchedRows,
         Metric::FtRecoveryMs,
         Metric::KernelDispatch,
+        Metric::SchedDrift,
+        Metric::FtDriftVsFault,
+        Metric::AuditResidualAbsPct,
+        Metric::LbImbalanceIndex,
     ];
 
     /// Registry index.
@@ -282,14 +333,25 @@ pub fn global() -> Arc<dyn Recorder> {
         .clone()
 }
 
-/// Exact percentile by the nearest-rank method over `values` (sorted in
-/// place). `p` in `[0, 100]`. Returns 0.0 for an empty slice.
+/// Exact percentile by the nearest-rank method over `values` (reordered in
+/// place). `p` in `[0, 100]`. NaN samples are ignored; returns `f64::NAN`
+/// when no finite-comparable sample remains (empty or all-NaN input).
 pub fn percentile_exact(values: &mut [f64], p: f64) -> f64 {
-    if values.is_empty() {
-        return 0.0;
+    // Partition NaNs to the tail, then rank only over the real prefix.
+    let mut n = values.len();
+    let mut i = 0;
+    while i < n {
+        if values[i].is_nan() {
+            n -= 1;
+            values.swap(i, n);
+        } else {
+            i += 1;
+        }
     }
-    values.sort_by(|a, b| a.partial_cmp(b).expect("percentile over NaN"));
-    let n = values.len();
+    if n == 0 {
+        return f64::NAN;
+    }
+    values[..n].sort_by(|a, b| a.partial_cmp(b).expect("NaNs were partitioned out"));
     let rank = ((p / 100.0) * n as f64).ceil() as usize;
     values[rank.clamp(1, n) - 1]
 }
@@ -328,8 +390,23 @@ mod tests {
         assert_eq!(percentile_exact(&mut v, 75.0), 3.0);
         assert_eq!(percentile_exact(&mut v, 100.0), 4.0);
         assert_eq!(percentile_exact(&mut v, 0.0), 1.0);
-        assert_eq!(percentile_exact(&mut [], 50.0), 0.0);
         let mut one = vec![7.5];
         assert_eq!(percentile_exact(&mut one, 99.0), 7.5);
+    }
+
+    #[test]
+    fn percentile_empty_and_nan_inputs() {
+        assert!(percentile_exact(&mut [], 50.0).is_nan());
+        let mut all_nan = vec![f64::NAN, f64::NAN];
+        assert!(percentile_exact(&mut all_nan, 50.0).is_nan());
+        // NaNs are ignored, not counted toward the rank.
+        let mut mixed = vec![f64::NAN, 3.0, 1.0, f64::NAN, 2.0];
+        assert_eq!(percentile_exact(&mut mixed, 50.0), 2.0);
+        assert_eq!(percentile_exact(&mut mixed, 100.0), 3.0);
+        assert_eq!(percentile_exact(&mut mixed, 0.0), 1.0);
+        // A single finite value among NaNs is every percentile.
+        let mut lone = vec![f64::NAN, 5.0];
+        assert_eq!(percentile_exact(&mut lone, 1.0), 5.0);
+        assert_eq!(percentile_exact(&mut lone, 99.0), 5.0);
     }
 }

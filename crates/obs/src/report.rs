@@ -1,0 +1,427 @@
+//! Self-contained HTML report over a flight log: timeline, residual
+//! charts and per-device utilization bars as inline SVG — no external
+//! assets, no scripts, renders anywhere a file:// URL does.
+
+use crate::audit::AuditSummary;
+use crate::flight::FlightRecord;
+use std::fmt::Write as _;
+
+const CHART_W: f64 = 900.0;
+const CHART_H: f64 = 220.0;
+const PAD_L: f64 = 60.0;
+const PAD_B: f64 = 28.0;
+const PAD_T: f64 = 14.0;
+
+/// Line colors cycled per device.
+const COLORS: [&str; 8] = [
+    "#1f77b4", "#ff7f0e", "#2ca02c", "#d62728", "#9467bd", "#8c564b", "#e377c2", "#17becf",
+];
+
+/// Render the full report: summary table, τ timeline (predicted vs
+/// measured), per-device residual chart with the drift band, and
+/// utilization/idle bars. `ewma_alpha` feeds the audit summary shown in
+/// the header table; `band_pct` draws the drift band on the residual
+/// chart (pass the detector's configured band).
+pub fn render_html(records: &[FlightRecord], ewma_alpha: f64, band_pct: f64) -> String {
+    let summary = AuditSummary::from_records(records, ewma_alpha);
+    let mut html = String::new();
+    html.push_str(
+        "<!DOCTYPE html>\n<html><head><meta charset=\"utf-8\">\n\
+         <title>FEVES flight report</title>\n<style>\n\
+         body{font:14px/1.45 system-ui,sans-serif;margin:24px;color:#222;max-width:1000px}\n\
+         h1{font-size:20px} h2{font-size:16px;margin-top:28px}\n\
+         table{border-collapse:collapse;margin:8px 0}\n\
+         td,th{border:1px solid #ccc;padding:3px 9px;text-align:right}\n\
+         th{background:#f2f2f2} td:first-child,th:first-child{text-align:left}\n\
+         svg{background:#fafafa;border:1px solid #ddd}\n\
+         .legend span{display:inline-block;margin-right:14px}\n\
+         .swatch{display:inline-block;width:10px;height:10px;margin-right:4px}\n\
+         </style></head><body>\n<h1>FEVES flight report</h1>\n",
+    );
+    let _ = writeln!(
+        html,
+        "<p>{} frames ({} with LP predictions) &middot; drift events: {} &middot; \
+         re-characterizations: {} &middot; mean &tau;<sub>tot</sub> {:.3} ms</p>",
+        summary.frames,
+        summary.predicted_frames,
+        summary.drift_events,
+        summary.recharacterizations,
+        summary.mean_tau_tot_ms
+    );
+
+    device_table(&mut html, &summary);
+    tau_timeline(&mut html, records);
+    residual_chart(&mut html, records, band_pct);
+    utilization_bars(&mut html, &summary);
+
+    html.push_str("</body></html>\n");
+    html
+}
+
+fn device_table(html: &mut String, s: &AuditSummary) {
+    html.push_str(
+        "<h2>Per-device audit</h2>\n<table><tr><th>device</th><th>audited</th>\
+         <th>blacklisted</th><th>mean res %</th><th>ewma res %</th>\
+         <th>p95 |res| %</th><th>utilization</th><th>idle: transfer ms</th>\
+         <th>idle: barrier ms</th></tr>\n",
+    );
+    for d in &s.devices {
+        let _ = writeln!(
+            html,
+            "<tr><td>dev{}</td><td>{}</td><td>{}</td><td>{}</td><td>{}</td>\
+             <td>{}</td><td>{:.1}%</td><td>{:.2}</td><td>{:.2}</td></tr>",
+            d.device,
+            d.audited_frames,
+            d.blacklisted_frames,
+            opt(d.mean_residual_pct),
+            opt(d.ewma_residual_pct),
+            opt(d.p95_abs_residual_pct),
+            d.mean_utilization * 100.0,
+            d.mean_idle_transfer_ms,
+            d.mean_idle_barrier_ms,
+        );
+    }
+    let _ = writeln!(
+        html,
+        "</table>\n<p>imbalance index (max/mean busy, Fig 6): mean {} / max {} \
+         &middot; fleet p95 |residual| {}</p>",
+        opt(s.mean_imbalance_index),
+        opt(s.max_imbalance_index),
+        opt(s.fleet_p95_abs_residual_pct)
+    );
+}
+
+fn opt(v: Option<f64>) -> String {
+    v.map(|x| format!("{x:.2}"))
+        .unwrap_or_else(|| "&ndash;".into())
+}
+
+/// Map frame index / value into SVG chart coordinates.
+struct Scale {
+    n: usize,
+    vmin: f64,
+    vmax: f64,
+}
+
+impl Scale {
+    fn x(&self, i: usize) -> f64 {
+        if self.n <= 1 {
+            PAD_L
+        } else {
+            PAD_L + (CHART_W - PAD_L - 10.0) * i as f64 / (self.n - 1) as f64
+        }
+    }
+
+    fn y(&self, v: f64) -> f64 {
+        let span = (self.vmax - self.vmin).max(1e-9);
+        PAD_T + (CHART_H - PAD_T - PAD_B) * (1.0 - (v - self.vmin) / span)
+    }
+}
+
+fn polyline(points: &[(f64, f64)], color: &str, dashed: bool) -> String {
+    if points.is_empty() {
+        return String::new();
+    }
+    let pts: Vec<String> = points
+        .iter()
+        .map(|(x, y)| format!("{x:.1},{y:.1}"))
+        .collect();
+    let dash = if dashed {
+        " stroke-dasharray=\"5,4\""
+    } else {
+        ""
+    };
+    format!(
+        "<polyline fill=\"none\" stroke=\"{color}\" stroke-width=\"1.5\"{dash} points=\"{}\"/>\n",
+        pts.join(" ")
+    )
+}
+
+fn axes(s: &Scale, unit: &str) -> String {
+    let mut out = String::new();
+    let y0 = s.y(s.vmin);
+    let y1 = s.y(s.vmax);
+    let _ = writeln!(
+        out,
+        "<line x1=\"{PAD_L}\" y1=\"{y0:.1}\" x2=\"{PAD_L}\" y2=\"{y1:.1}\" stroke=\"#999\"/>\n\
+         <line x1=\"{PAD_L}\" y1=\"{y0:.1}\" x2=\"{:.1}\" y2=\"{y0:.1}\" stroke=\"#999\"/>\n\
+         <text x=\"4\" y=\"{:.1}\" font-size=\"11\">{:.1}{unit}</text>\n\
+         <text x=\"4\" y=\"{:.1}\" font-size=\"11\">{:.1}{unit}</text>",
+        CHART_W - 8.0,
+        y1 + 4.0,
+        s.vmax,
+        y0 + 4.0,
+        s.vmin,
+    );
+    out
+}
+
+fn tau_timeline(html: &mut String, records: &[FlightRecord]) {
+    html.push_str("<h2>&tau;<sub>tot</sub> timeline: predicted vs measured</h2>\n");
+    if records.is_empty() {
+        html.push_str("<p>(no frames)</p>\n");
+        return;
+    }
+    let measured: Vec<f64> = records.iter().map(|r| r.measured_tau.tau_tot_ms).collect();
+    let predicted: Vec<Option<f64>> = records
+        .iter()
+        .map(|r| r.predicted_tau.as_ref().map(|t| t.tau_tot_ms))
+        .collect();
+    let mut vmax = measured.iter().fold(0.0f64, |a, &b| a.max(b));
+    for p in predicted.iter().flatten() {
+        vmax = vmax.max(*p);
+    }
+    let s = Scale {
+        n: records.len(),
+        vmin: 0.0,
+        vmax: vmax * 1.05 + 1e-9,
+    };
+    let _ = writeln!(
+        html,
+        "<svg width=\"{CHART_W}\" height=\"{CHART_H}\" viewBox=\"0 0 {CHART_W} {CHART_H}\">"
+    );
+    html.push_str(&axes(&s, "ms"));
+    let m_pts: Vec<(f64, f64)> = measured
+        .iter()
+        .enumerate()
+        .map(|(i, &v)| (s.x(i), s.y(v)))
+        .collect();
+    html.push_str(&polyline(&m_pts, COLORS[0], false));
+    let p_pts: Vec<(f64, f64)> = predicted
+        .iter()
+        .enumerate()
+        .filter_map(|(i, p)| p.map(|v| (s.x(i), s.y(v))))
+        .collect();
+    html.push_str(&polyline(&p_pts, COLORS[1], true));
+    // Re-characterization markers.
+    for (i, r) in records.iter().enumerate() {
+        if r.recharacterized {
+            let x = s.x(i);
+            let _ = writeln!(
+                html,
+                "<line x1=\"{x:.1}\" y1=\"{:.1}\" x2=\"{x:.1}\" y2=\"{:.1}\" \
+                 stroke=\"#d62728\" stroke-width=\"1\" stroke-dasharray=\"2,2\"/>",
+                s.y(s.vmax),
+                s.y(s.vmin)
+            );
+        }
+    }
+    html.push_str("</svg>\n<div class=\"legend\">");
+    let _ = write!(
+        html,
+        "<span><span class=\"swatch\" style=\"background:{}\"></span>measured</span>\
+         <span><span class=\"swatch\" style=\"background:{}\"></span>predicted (LP)</span>\
+         <span><span class=\"swatch\" style=\"background:#d62728\"></span>re-characterization</span>",
+        COLORS[0], COLORS[1]
+    );
+    html.push_str("</div>\n");
+}
+
+fn residual_chart(html: &mut String, records: &[FlightRecord], band_pct: f64) {
+    html.push_str("<h2>Per-device prediction residuals</h2>\n");
+    let n_devices = records.iter().map(|r| r.devices.len()).max().unwrap_or(0);
+    if records.is_empty() || n_devices == 0 {
+        html.push_str("<p>(no residuals)</p>\n");
+        return;
+    }
+    let mut vmin = -band_pct * 1.4;
+    let mut vmax = band_pct * 1.4;
+    for r in records {
+        for d in &r.devices {
+            if let Some(res) = d.residual_pct {
+                vmin = vmin.min(res);
+                vmax = vmax.max(res);
+            }
+        }
+    }
+    let s = Scale {
+        n: records.len(),
+        vmin: vmin * 1.05,
+        vmax: vmax * 1.05,
+    };
+    let _ = writeln!(
+        html,
+        "<svg width=\"{CHART_W}\" height=\"{CHART_H}\" viewBox=\"0 0 {CHART_W} {CHART_H}\">"
+    );
+    // Drift band ±band_pct around zero.
+    let _ = writeln!(
+        html,
+        "<rect x=\"{PAD_L}\" y=\"{:.1}\" width=\"{:.1}\" height=\"{:.1}\" \
+         fill=\"#2ca02c\" opacity=\"0.12\"/>",
+        s.y(band_pct),
+        CHART_W - PAD_L - 10.0,
+        (s.y(-band_pct) - s.y(band_pct)).abs()
+    );
+    let zero_y = s.y(0.0);
+    let _ = writeln!(
+        html,
+        "<line x1=\"{PAD_L}\" y1=\"{zero_y:.1}\" x2=\"{:.1}\" y2=\"{zero_y:.1}\" \
+         stroke=\"#bbb\"/>",
+        CHART_W - 10.0
+    );
+    html.push_str(&axes(&s, "%"));
+    for d in 0..n_devices {
+        let pts: Vec<(f64, f64)> = records
+            .iter()
+            .enumerate()
+            .filter_map(|(i, r)| {
+                r.devices
+                    .get(d)
+                    .and_then(|dev| dev.residual_pct)
+                    .map(|res| (s.x(i), s.y(res)))
+            })
+            .collect();
+        html.push_str(&polyline(&pts, COLORS[d % COLORS.len()], false));
+        // Drift firings as circles.
+        for (i, r) in records.iter().enumerate() {
+            if r.drift_devices.contains(&d) {
+                if let Some(res) = r.devices.get(d).and_then(|dev| dev.residual_pct) {
+                    let _ = writeln!(
+                        html,
+                        "<circle cx=\"{:.1}\" cy=\"{:.1}\" r=\"4\" fill=\"none\" \
+                         stroke=\"{}\" stroke-width=\"2\"/>",
+                        s.x(i),
+                        s.y(res),
+                        COLORS[d % COLORS.len()]
+                    );
+                }
+            }
+        }
+    }
+    html.push_str("</svg>\n<div class=\"legend\">");
+    for d in 0..n_devices {
+        let _ = write!(
+            html,
+            "<span><span class=\"swatch\" style=\"background:{}\"></span>dev{d}</span>",
+            COLORS[d % COLORS.len()]
+        );
+    }
+    let _ = write!(
+        html,
+        "<span>band &plusmn;{band_pct:.0}% &middot; circles = drift firings</span>"
+    );
+    html.push_str("</div>\n");
+}
+
+fn utilization_bars(html: &mut String, s: &AuditSummary) {
+    html.push_str("<h2>Device utilization &amp; idle attribution</h2>\n");
+    if s.devices.is_empty() {
+        html.push_str("<p>(no devices)</p>\n");
+        return;
+    }
+    let row_h = 26.0;
+    let h = s.devices.len() as f64 * row_h + 30.0;
+    let bar_w = CHART_W - PAD_L - 140.0;
+    let _ = writeln!(
+        html,
+        "<svg width=\"{CHART_W}\" height=\"{h:.0}\" viewBox=\"0 0 {CHART_W} {h:.0}\">"
+    );
+    for (i, d) in s.devices.iter().enumerate() {
+        let y = 8.0 + i as f64 * row_h;
+        let total_ms = d.mean_idle_transfer_ms + d.mean_idle_barrier_ms + 1e-9;
+        // Busy fraction directly; idle split scaled into the remainder.
+        let busy_frac = d.mean_utilization.clamp(0.0, 1.0);
+        let idle_frac = 1.0 - busy_frac;
+        let xfer_frac = idle_frac * (d.mean_idle_transfer_ms / total_ms);
+        let wait_frac = idle_frac - xfer_frac;
+        let mut x = PAD_L;
+        for (frac, color, _label) in [
+            (busy_frac, "#2ca02c", "compute"),
+            (xfer_frac, "#ff7f0e", "transfer-covered idle"),
+            (wait_frac, "#d0d0d0", "barrier wait"),
+        ] {
+            let w = bar_w * frac;
+            let _ = writeln!(
+                html,
+                "<rect x=\"{x:.1}\" y=\"{y:.1}\" width=\"{w:.1}\" height=\"16\" fill=\"{color}\"/>"
+            );
+            x += w;
+        }
+        let _ = writeln!(
+            html,
+            "<text x=\"4\" y=\"{:.1}\" font-size=\"12\">dev{}</text>\n\
+             <text x=\"{:.1}\" y=\"{:.1}\" font-size=\"11\">{:.1}% busy</text>",
+            y + 12.0,
+            d.device,
+            PAD_L + bar_w + 8.0,
+            y + 12.0,
+            busy_frac * 100.0
+        );
+    }
+    html.push_str(
+        "</svg>\n<div class=\"legend\">\
+        <span><span class=\"swatch\" style=\"background:#2ca02c\"></span>compute busy</span>\
+        <span><span class=\"swatch\" style=\"background:#ff7f0e\"></span>idle: transfers</span>\
+        <span><span class=\"swatch\" style=\"background:#d0d0d0\"></span>idle: barrier wait</span>\
+        </div>\n",
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flight::{DeviceRecord, FlightRecord, TauTriple};
+
+    fn records() -> Vec<FlightRecord> {
+        (0..6)
+            .map(|f| FlightRecord {
+                frame: f,
+                rstar_device: 0,
+                predicted_tau: (f > 0).then_some(TauTriple {
+                    tau1_ms: 10.0,
+                    tau2_ms: 15.0,
+                    tau_tot_ms: 20.0,
+                }),
+                measured_tau: TauTriple {
+                    tau1_ms: 10.5,
+                    tau2_ms: 15.5,
+                    tau_tot_ms: 21.0 + f as f64,
+                },
+                devices: (0..2)
+                    .map(|d| DeviceRecord {
+                        device: d,
+                        me_rows: 34,
+                        interp_rows: 34,
+                        sme_rows: 34,
+                        predicted_busy_ms: (f > 0).then_some(15.0),
+                        compute_busy_ms: 16.0 + d as f64,
+                        transfer_busy_ms: 2.0,
+                        residual_pct: (f > 0).then_some(8.0 + d as f64),
+                        blacklisted: false,
+                    })
+                    .collect(),
+                bytes_transferred: 1000,
+                bytes_reused: 100,
+                recovery_ms: 0.0,
+                drift_devices: if f == 4 { vec![1] } else { vec![] },
+                recharacterized: f == 4,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn html_is_self_contained_and_complete() {
+        let html = render_html(&records(), 1.0, 25.0);
+        assert!(html.starts_with("<!DOCTYPE html>"));
+        assert!(html.ends_with("</body></html>\n"));
+        // Self-contained: no external references.
+        assert!(!html.contains("http://") && !html.contains("https://"));
+        assert!(!html.contains("<script"));
+        // All three charts and the table are present.
+        assert!(html.contains("timeline"));
+        assert!(html.contains("residual"));
+        assert!(html.contains("utilization") || html.contains("Device utilization"));
+        assert!(html.contains("<svg"));
+        assert!(html.contains("<polyline"));
+        assert!(html.contains("dev0") && html.contains("dev1"));
+        // Drift firing rendered as a circle marker.
+        assert!(html.contains("<circle"));
+    }
+
+    #[test]
+    fn empty_flight_still_renders() {
+        let html = render_html(&[], 1.0, 25.0);
+        assert!(html.starts_with("<!DOCTYPE html>"));
+        assert!(html.contains("0 frames"));
+    }
+}

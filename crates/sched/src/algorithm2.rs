@@ -18,7 +18,7 @@
 //! direction — the §III-A "transfers in different directions can overlap"
 //! refinement.
 
-use crate::distribution::{round_preserving_sum, Distribution, PredictedTimes};
+use crate::distribution::{round_preserving_sum, DevicePrediction, Distribution, PredictedTimes};
 use crate::perfchar::PerfChar;
 use feves_hetsim::device::{CopyEngines, DeviceKind};
 use feves_hetsim::platform::Platform;
@@ -381,7 +381,21 @@ pub fn solve(
             }
         })
         .collect();
+    // Per-device predictions from the *rounded* rows × characterized rates:
+    // what each device should be busy for if its characterization holds.
+    let predicted_device: Vec<DevicePrediction> = (0..nd)
+        .map(|i| DevicePrediction {
+            phase1: me[i] as f64 * perf.k_me(i).unwrap() + li[i] as f64 * perf.k_int(i).unwrap(),
+            phase2: sm[i] as f64 * perf.k_sme(i).unwrap(),
+            rstar: if i == rstar_device {
+                perf.estimate_rstar(i).unwrap_or(0.0)
+            } else {
+                0.0
+            },
+        })
+        .collect();
     let mut dist = Distribution::from_rows(me, li, sm, rstar_device, &budget, Some(predicted));
+    dist.predicted_device = Some(predicted_device);
     dist.lp_iterations = Some(sol.iterations());
     debug_assert!(dist.validate(n_rows).is_ok());
     Ok(dist)
@@ -455,6 +469,38 @@ pub(crate) mod tests {
         );
         let pred = d.predicted.unwrap();
         assert!(pred.tau1 > 0.0 && pred.tau1 <= pred.tau2 && pred.tau2 <= pred.tau_tot);
+    }
+
+    #[test]
+    fn per_device_predictions_match_rows_times_rates() {
+        let p = Platform::sys_hk();
+        let pc = perfect_perfchar(&p, me_units(32, 1));
+        let d = solve(68, &p, &pc, Centric::Gpu(0), &vec![0; p.len()]).unwrap();
+        let pd = d.predicted_device.as_ref().expect("LP fills predictions");
+        assert_eq!(pd.len(), p.len());
+        for (i, pdi) in pd.iter().enumerate() {
+            let phase1 =
+                d.me[i] as f64 * pc.k_me(i).unwrap() + d.interp[i] as f64 * pc.k_int(i).unwrap();
+            let phase2 = d.sme[i] as f64 * pc.k_sme(i).unwrap();
+            assert!((pdi.phase1 - phase1).abs() < 1e-12, "device {i} phase1");
+            assert!((pdi.phase2 - phase2).abs() < 1e-12, "device {i} phase2");
+            if i == d.rstar_device {
+                assert!(pdi.rstar > 0.0, "R* device carries T^R*");
+            } else {
+                assert_eq!(pdi.rstar, 0.0);
+            }
+            assert!(pdi.busy().is_finite() && pdi.busy() >= 0.0);
+        }
+        // A device's predicted busy never exceeds the global τtot prediction
+        // (it is a lower bound by construction — no waits included).
+        let tau_tot = d.predicted.unwrap().tau_tot;
+        for (i, p) in pd.iter().enumerate() {
+            assert!(
+                p.phase1 + p.phase2 <= tau_tot + 1e-9,
+                "device {i} busier than the frame: {} > {tau_tot}",
+                p.busy()
+            );
+        }
     }
 
     #[test]

@@ -15,6 +15,29 @@ pub struct PredictedTimes {
     pub tau_tot: f64,
 }
 
+/// Per-device compute-time predictions implied by the LP solution: the rows
+/// assigned to the device multiplied by its characterized rates, split by
+/// sync-point window. Seconds. This is the prediction side the audit layer
+/// compares against measured busy time — residuals here point at a *device*
+/// whose characterization has drifted, where the global
+/// [`PredictedTimes`] can only say *something* drifted.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct DevicePrediction {
+    /// Work before τ1: `m_i·K^m + l_i·K^l`.
+    pub phase1: f64,
+    /// Work between τ1 and τ2: `s_i·K^s`.
+    pub phase2: f64,
+    /// `T^{R*}` when this device runs the R\* group, 0 otherwise.
+    pub rstar: f64,
+}
+
+impl DevicePrediction {
+    /// Total predicted compute-busy seconds over the frame.
+    pub fn busy(&self) -> f64 {
+        self.phase1 + self.phase2 + self.rstar
+    }
+}
+
 /// A complete per-frame workload distribution: the paper's `m`, `l`, `s`
 /// vectors (MB rows per device, in device enumeration order), the derived
 /// extra-transfer amounts `Δ^m`, `Δ^l`, the deferred-SF split `σ` / `σʳ`,
@@ -47,6 +70,10 @@ pub struct Distribution {
     pub rstar_device: usize,
     /// LP-predicted times (None for heuristic balancers).
     pub predicted: Option<PredictedTimes>,
+    /// LP-implied per-device compute predictions, in device enumeration
+    /// order (None for heuristic balancers) — the audit layer's prediction
+    /// side.
+    pub predicted_device: Option<Vec<DevicePrediction>>,
     /// Simplex iterations the LP solve spent producing this distribution
     /// (None for heuristic balancers) — feeds the `lp.iterations` metric.
     pub lp_iterations: Option<usize>,
@@ -91,6 +118,7 @@ impl Distribution {
             sigma_rem,
             rstar_device,
             predicted,
+            predicted_device: None,
             lp_iterations: None,
         }
     }
@@ -192,6 +220,13 @@ impl Distribution {
             &budget,
             self.predicted,
         );
+        d.predicted_device = self.predicted_device.as_ref().map(|pd| {
+            pd.iter()
+                .zip(keep)
+                .filter(|(_, &k)| k)
+                .map(|(&p, _)| p)
+                .collect()
+        });
         d.lp_iterations = self.lp_iterations;
         Some(d)
     }
@@ -227,6 +262,14 @@ impl Distribution {
             &budget,
             self.predicted,
         );
+        d.predicted_device = self.predicted_device.as_ref().map(|pd| {
+            // Unmapped devices run nothing: a zero prediction.
+            let mut out = vec![DevicePrediction::default(); n_devices];
+            for (j, &full) in map.iter().enumerate() {
+                out[full] = pd[j];
+            }
+            out
+        });
         d.lp_iterations = self.lp_iterations;
         d
     }
@@ -347,6 +390,40 @@ mod tests {
         full.validate(68).unwrap();
         assert_eq!(full.me[1], 0, "dropped device gets zero rows");
         assert_eq!(full.me.iter().sum::<usize>(), 68);
+    }
+
+    #[test]
+    fn restrict_and_expand_project_device_predictions() {
+        let mut d = Distribution::equidistant(68, 3, 0);
+        d.predicted_device = Some(vec![
+            DevicePrediction {
+                phase1: 0.1,
+                phase2: 0.2,
+                rstar: 0.3,
+            },
+            DevicePrediction {
+                phase1: 1.0,
+                phase2: 2.0,
+                rstar: 0.0,
+            },
+            DevicePrediction {
+                phase1: 9.0,
+                phase2: 9.0,
+                rstar: 0.0,
+            },
+        ]);
+        let r = d.restrict(&[true, false, true]).unwrap();
+        let pd = r.predicted_device.as_ref().unwrap();
+        assert_eq!(pd.len(), 2);
+        assert_eq!(pd[0].rstar, 0.3);
+        assert_eq!(pd[1].phase1, 9.0);
+        assert!((pd[0].busy() - 0.6).abs() < 1e-12);
+
+        let full = r.expand(&[0, 2], 3);
+        let pd = full.predicted_device.as_ref().unwrap();
+        assert_eq!(pd.len(), 3);
+        assert_eq!(pd[1], DevicePrediction::default(), "dropped device zeroed");
+        assert_eq!(pd[2].phase1, 9.0);
     }
 
     #[test]

@@ -27,6 +27,6 @@ pub use balancers::{
     BalanceInput, EquidistantBalancer, FevesBalancer, LoadBalancer, ProportionalBalancer,
     SingleDeviceBalancer,
 };
-pub use distribution::{Distribution, PredictedTimes};
+pub use distribution::{DevicePrediction, Distribution, PredictedTimes};
 pub use greedy::GreedyBalancer;
 pub use perfchar::{Ewma, PerfChar};

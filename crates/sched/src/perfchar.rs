@@ -185,6 +185,21 @@ impl PerfChar {
             .all(|d| self.k_me(d).is_some() && self.k_int(d).is_some() && self.k_sme(d).is_some())
     }
 
+    /// Forget device `d`'s compute and R\* characterization (back to NaN),
+    /// forcing `is_complete()` false until the device is re-measured — the
+    /// re-characterization hook the drift detector pulls. The balancer chain
+    /// reacts by falling back to an equidistant probe frame (Algorithm 1's
+    /// initialization phase), which re-measures every module on every
+    /// device. Transfer rates are kept: drift is a compute-throughput
+    /// phenomenon (throttling, co-tenancy), and the EWMA refreshes transfer
+    /// rates every frame anyway.
+    pub fn reset_device(&mut self, d: usize) {
+        self.k_me[d] = f64::NAN;
+        self.k_int[d] = f64::NAN;
+        self.k_sme[d] = f64::NAN;
+        self.t_rstar[d] = f64::NAN;
+    }
+
     /// Project the characterization onto the devices where `keep[i]` is
     /// true (reduced-platform enumeration). Rates survive blacklisting, so
     /// a re-admitted device is scheduled from its last known speeds instead
@@ -309,6 +324,32 @@ mod tests {
             pc.k_transfer(2, TransferTag::Sf, Dir::H2d)
         );
         assert_eq!(sub.t_rstar(0), None);
+    }
+
+    #[test]
+    fn reset_device_forces_recharacterization() {
+        let mut pc = PerfChar::new(2, Ewma(1.0));
+        for d in 0..2 {
+            pc.record_compute(d, Module::Me, 10, 1.0);
+            pc.record_compute(d, Module::Interp, 10, 1.0);
+            pc.record_compute(d, Module::Sme, 10, 1.0);
+        }
+        pc.record_rstar(1, 0.25);
+        pc.record_transfer(1, TransferTag::Sf, Dir::H2d, 4, 0.4);
+        assert!(pc.is_complete());
+        pc.reset_device(1);
+        assert!(!pc.is_complete(), "reset must force the equidistant probe");
+        assert_eq!(pc.k_me(1), None);
+        assert_eq!(pc.t_rstar(1), None);
+        // Other devices and transfer rates survive.
+        assert!(pc.k_me(0).is_some());
+        assert!(pc.k_transfer(1, TransferTag::Sf, Dir::H2d).is_some());
+        // Fresh measurements re-complete it.
+        pc.record_compute(1, Module::Me, 10, 2.0);
+        pc.record_compute(1, Module::Interp, 10, 2.0);
+        pc.record_compute(1, Module::Sme, 10, 2.0);
+        assert!(pc.is_complete());
+        assert_eq!(pc.k_me(1), Some(0.2), "NaN-folded EWMA takes the sample");
     }
 
     #[test]

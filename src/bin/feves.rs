@@ -6,6 +6,8 @@
 //! feves encode <in.y4m> [out.y4m] [opts]   functional encode of a Y4M file
 //! feves trace [options]                    print a steady-state frame Gantt
 //! feves stats [options]                    run + print the metrics summary
+//! feves report <flight.jsonl> [--html]     audit a recorded flight log
+//! feves compare <baseline> <new>           regression gate over two summaries
 //! ```
 //!
 //! Options: `--platform syshk|sysnf|sysnff|cpu-n|cpu-h|gpu-f|gpu-k`,
@@ -19,7 +21,7 @@
 //! CPU device profiles are re-scaled so simulated times match the choice).
 
 use feves::core::prelude::*;
-use feves::obs::MemoryRecorder;
+use feves::obs::{compare_reports, parse_flight_jsonl, render_html, MemoryRecorder};
 use feves::video::y4m::{Y4mReader, Y4mWriter};
 use std::io::{BufReader, BufWriter};
 use std::process::ExitCode;
@@ -38,6 +40,10 @@ struct Options {
     faults: Vec<String>,
     deadline_factor: Option<f64>,
     kernels: Option<String>,
+    flight_out: Option<String>,
+    html: bool,
+    out: Option<String>,
+    threshold: f64,
 }
 
 impl Default for Options {
@@ -55,6 +61,10 @@ impl Default for Options {
             faults: Vec::new(),
             deadline_factor: None,
             kernels: None,
+            flight_out: None,
+            html: false,
+            out: None,
+            threshold: 0.10,
         }
     }
 }
@@ -85,6 +95,12 @@ fn parse_options(args: &[String]) -> Result<(Options, Vec<String>), String> {
                 )
             }
             "--kernels" => opts.kernels = Some(grab()?.to_lowercase()),
+            "--flight-out" => opts.flight_out = Some(grab()?.clone()),
+            "--html" => opts.html = true,
+            "--out" => opts.out = Some(grab()?.clone()),
+            "--threshold" => {
+                opts.threshold = grab()?.parse().map_err(|e| format!("--threshold: {e}"))?
+            }
             _ if a.starts_with("--") => return Err(format!("unknown option {a}")),
             _ => positional.push(a.clone()),
         }
@@ -218,6 +234,27 @@ fn write_metrics(rec: &Option<Arc<MemoryRecorder>>, opts: &Options) -> Result<()
     Ok(())
 }
 
+/// Turn on the flight recorder when `--flight-out` asked for one.
+fn enable_flight(enc: &mut FevesEncoder, opts: &Options, frames: usize) {
+    if opts.flight_out.is_some() {
+        enc.enable_flight(frames.max(1));
+    }
+}
+
+/// Write the flight ring as JSONL to the `--flight-out` path.
+fn write_flight(enc: &FevesEncoder, opts: &Options) -> Result<(), String> {
+    if let Some(path) = &opts.flight_out {
+        let fl = enc.flight().expect("enabled whenever --flight-out is set");
+        std::fs::write(path, fl.to_jsonl()).map_err(|e| format!("{path}: {e}"))?;
+        eprintln!(
+            "flight log written to {path} ({} record(s), {} dropped)",
+            fl.len(),
+            fl.dropped()
+        );
+    }
+    Ok(())
+}
+
 /// One-line fault-tolerance summary, printed whenever anything fired.
 fn print_ft(enc: &FevesEncoder) {
     let ft = enc.ft_stats();
@@ -248,6 +285,7 @@ fn cmd_simulate(opts: &Options) -> Result<(), String> {
     let (platform, cfg) = config_of(opts, Resolution::FULL_HD)?;
     let mut enc = FevesEncoder::new(platform, cfg).map_err(|e| e.to_string())?;
     let rec = attach_recorder(&mut enc, opts);
+    enable_flight(&mut enc, opts, opts.frames);
     let report = enc.run_timing(opts.frames);
     println!(
         "{} | 1080p | SA {}x{} | {} RF | balancer {} | kernels {}",
@@ -285,6 +323,7 @@ fn cmd_simulate(opts: &Options) -> Result<(), String> {
     );
     print_ft(&enc);
     print_rollups(&report);
+    write_flight(&enc, opts)?;
     write_metrics(&rec, opts)
 }
 
@@ -296,6 +335,7 @@ fn cmd_stats(opts: &Options) -> Result<(), String> {
     // the LP solve, the VCM build, the DAM planner) are captured.
     feves::obs::install(rec.clone());
     enc.set_recorder(rec.clone());
+    enable_flight(&mut enc, opts, opts.frames);
     let report = enc.run_timing(opts.frames);
     println!(
         "{} | 1080p | SA {}x{} | {} RF | balancer {} | kernels {} | {} inter-frames\n",
@@ -311,6 +351,7 @@ fn cmd_stats(opts: &Options) -> Result<(), String> {
     println!();
     print_ft(&enc);
     print_rollups(&report);
+    write_flight(&enc, opts)?;
     if let Some(path) = &opts.metrics_out {
         std::fs::write(path, rec.to_jsonl(false)).map_err(|e| format!("{path}: {e}"))?;
         eprintln!("metrics written to {path}");
@@ -361,6 +402,7 @@ fn cmd_encode(opts: &Options, input: &str, output: Option<&str>) -> Result<(), S
     cfg.mode = ExecutionMode::Functional;
     let mut enc = FevesEncoder::new(platform, cfg).map_err(|e| e.to_string())?;
     let rec = attach_recorder(&mut enc, opts);
+    enable_flight(&mut enc, opts, frames.len());
 
     let out_path = output
         .map(str::to_string)
@@ -394,7 +436,39 @@ fn cmd_encode(opts: &Options, input: &str, output: Option<&str>) -> Result<(), S
         report.total_bits(),
         report.mean_psnr().unwrap_or(f64::NAN)
     );
+    write_flight(&enc, opts)?;
     write_metrics(&rec, opts)
+}
+
+fn cmd_report(opts: &Options, input: &str) -> Result<(), String> {
+    let text = std::fs::read_to_string(input).map_err(|e| format!("{input}: {e}"))?;
+    let records = parse_flight_jsonl(&text)?;
+    // Display parameters match the framework defaults: the drift band for
+    // the residual chart, a gentle EWMA for the per-device trend column.
+    let band = DriftConfig::default().band_pct;
+    let body = if opts.html {
+        render_html(&records, 0.2, band)
+    } else {
+        AuditSummary::from_records(&records, 0.2).render_text()
+    };
+    match &opts.out {
+        Some(path) => {
+            std::fs::write(path, &body).map_err(|e| format!("{path}: {e}"))?;
+            eprintln!("report written to {path}");
+        }
+        None => print!("{body}"),
+    }
+    Ok(())
+}
+
+/// Returns whether the comparison passed (the caller maps `false` to a
+/// non-zero exit without printing usage — a regression is not a CLI error).
+fn cmd_compare(opts: &Options, baseline: &str, candidate: &str) -> Result<bool, String> {
+    let base = std::fs::read_to_string(baseline).map_err(|e| format!("{baseline}: {e}"))?;
+    let cand = std::fs::read_to_string(candidate).map_err(|e| format!("{candidate}: {e}"))?;
+    let outcome = compare_reports(&base, &cand, opts.threshold)?;
+    print!("{}", outcome.render_text(opts.threshold));
+    Ok(outcome.passed())
 }
 
 fn usage() {
@@ -406,11 +480,14 @@ fn usage() {
          \u{20}  simulate [options]              timing-only 1080p run\n\
          \u{20}  encode <in.y4m> [out] [options] functional Y4M encode\n\
          \u{20}  trace [options]                 steady-state frame Gantt\n\
-         \u{20}  stats [options]                 run + print the metrics summary\n\n\
+         \u{20}  stats [options]                 run + print the metrics summary\n\
+         \u{20}  report <flight.jsonl> [--html] [--out <path>]  audit a flight log\n\
+         \u{20}  compare <baseline> <new> [--threshold <f>]     regression gate\n\n\
          options: --platform <name> | --platform-file <json>\n\
          \u{20}        --sa <n> --refs <n> --qp <n>\n\
          \u{20}        --frames <n> --balancer feves|proportional|equidistant\n\
          \u{20}        --metrics-out <path>            JSONL metrics dump\n\
+         \u{20}        --flight-out <path>             JSONL flight-recorder dump\n\
          \u{20}        --trace-format gantt|chrome     Perfetto-loadable JSON\n\
          \u{20}        --inject-fault <dev>:<kind>@<frame>  inject a device fault\n\
          \u{20}            kinds: death@f | stall@f+k | slow@f+kxF | xfer@f | panic@f\n\
@@ -441,6 +518,29 @@ fn main() -> ExitCode {
             let input = pos.first().ok_or("encode needs an input .y4m")?;
             cmd_encode(&o, input, pos.get(1).map(String::as_str))
         }),
+        "report" => parse_options(rest).and_then(|(o, pos)| {
+            let input = pos.first().ok_or("report needs a flight JSONL file")?;
+            cmd_report(&o, input)
+        }),
+        "compare" => {
+            match parse_options(rest).and_then(|(o, pos)| {
+                let (Some(base), Some(cand)) = (pos.first(), pos.get(1)) else {
+                    return Err("compare needs <baseline> <candidate>".into());
+                };
+                cmd_compare(&o, base, cand)
+            }) {
+                // A regression is a gate failure, not a usage error: exit
+                // non-zero without the usage banner.
+                Ok(passed) => {
+                    return if passed {
+                        ExitCode::SUCCESS
+                    } else {
+                        ExitCode::from(1)
+                    }
+                }
+                Err(e) => Err(e),
+            }
+        }
         "--help" | "-h" | "help" => {
             usage();
             Ok(())

@@ -169,3 +169,55 @@ fn transfer_fault_detected_and_recovered() {
     let ft = enc.ft_stats();
     assert!(ft.detected >= 1 && ft.recovered >= 1 && ft.resolves >= 1);
 }
+
+/// Disambiguation (ft.drift_vs_fault): a deadline miss on a device the
+/// drift detector had already flagged is counted separately — it is far
+/// more likely the same quiet degradation than an independent hard fault.
+#[test]
+fn deadline_miss_on_drifting_device_counts_as_drift_vs_fault() {
+    use feves::core::framework::Perturbation;
+    // Phase 1 — silent degradation: device 0 halves its speed at inter
+    // frame 5 with a sluggish EWMA, so residuals sit out of band and the
+    // drift detector flags it (no fault involved).
+    // Phase 2 — a stall lands on the *same* device right after the firing
+    // (frame 5+k fires the detector, 5+k+1 is the re-probe, 5+k+2 is the
+    // first LP frame with the flag still up): the resulting deadline miss
+    // must bump drift_vs_fault.
+    let mut cfg = timing_config(vec![FaultSpec {
+        device: 0,
+        frame: 9,
+        kind: FaultKind::Stall { frames: 2 },
+    }]);
+    cfg.noise_amp = 0.0;
+    cfg.ewma = feves::sched::Ewma(0.1);
+    let mut enc = FevesEncoder::new(Platform::sys_hk(), cfg).unwrap();
+    enc.add_perturbation(Perturbation {
+        device: 0,
+        frames: 5..100,
+        factor: 0.5,
+    });
+    let rep = enc.run_timing(14);
+    assert_rows_conserved(&rep, enc.geometry().n_rows);
+    let ft = enc.ft_stats();
+    assert!(ft.detected >= 1, "the stall must still be detected: {ft:?}");
+    assert!(
+        ft.drift_vs_fault >= 1,
+        "deadline miss on a drift-flagged device not disambiguated: {ft:?}"
+    );
+
+    // Control: the same stall on a *healthy* device is a plain fault.
+    let mut cfg = timing_config(vec![FaultSpec {
+        device: 0,
+        frame: 9,
+        kind: FaultKind::Stall { frames: 2 },
+    }]);
+    cfg.noise_amp = 0.0;
+    let mut enc = FevesEncoder::new(Platform::sys_hk(), cfg).unwrap();
+    enc.run_timing(14);
+    let ft = enc.ft_stats();
+    assert!(ft.detected >= 1);
+    assert_eq!(
+        ft.drift_vs_fault, 0,
+        "no drift flag, so no disambiguation: {ft:?}"
+    );
+}

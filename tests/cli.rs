@@ -169,3 +169,115 @@ fn export_platform_roundtrips_through_platform_file() {
     assert!(!ok3);
     assert!(stderr3.contains("error"));
 }
+
+#[test]
+fn flight_report_and_compare_workflow() {
+    let dir = std::env::temp_dir().join("feves_cli_flight");
+    std::fs::create_dir_all(&dir).unwrap();
+    let flight = dir.join("flight.jsonl");
+    let html = dir.join("report.html");
+
+    // Record a flight log from a short simulation.
+    let (ok, _, stderr) = run(&[
+        "simulate",
+        "--frames",
+        "8",
+        "--flight-out",
+        flight.to_str().unwrap(),
+    ]);
+    assert!(ok, "{stderr}");
+    assert!(stderr.contains("flight log written"), "{stderr}");
+    let text = std::fs::read_to_string(&flight).unwrap();
+    assert_eq!(text.lines().count(), 8, "one JSONL record per inter frame");
+
+    // Text audit report.
+    let (ok, stdout, _) = run(&["report", flight.to_str().unwrap()]);
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("flight audit"), "{stdout}");
+    assert!(stdout.contains("dev0"), "{stdout}");
+
+    // Self-contained HTML report.
+    let (ok, _, stderr) = run(&[
+        "report",
+        flight.to_str().unwrap(),
+        "--html",
+        "--out",
+        html.to_str().unwrap(),
+    ]);
+    assert!(ok, "{stderr}");
+    let page = std::fs::read_to_string(&html).unwrap();
+    assert!(
+        page.contains("<svg") && page.contains("</html>"),
+        "not an HTML report"
+    );
+    assert!(
+        !page.contains("http://") && !page.contains("https://"),
+        "must be self-contained"
+    );
+
+    // Comparing a flight log against itself passes (exit 0).
+    let (ok, stdout, _) = run(&[
+        "compare",
+        flight.to_str().unwrap(),
+        flight.to_str().unwrap(),
+    ]);
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("PASS"), "{stdout}");
+}
+
+#[test]
+fn compare_gates_on_injected_regression() {
+    // Synthesize a >=10 % tau_tot regression into a copied e2e summary: the
+    // gate must fail with a non-zero exit and name the metric — and must
+    // NOT print the usage banner (a regression is not a CLI error).
+    let dir = std::env::temp_dir().join("feves_cli_compare");
+    std::fs::create_dir_all(&dir).unwrap();
+    let base = dir.join("base.json");
+    let slow = dir.join("slow.json");
+    std::fs::write(
+        &base,
+        r#"{"resolution":"1080p","frames":30,"scalar_ms":100.0,"fast_ms":50.0,"speedup":2.0,"outputs_identical":true}"#,
+    )
+    .unwrap();
+    std::fs::write(
+        &slow,
+        r#"{"resolution":"1080p","frames":30,"scalar_ms":100.0,"fast_ms":56.0,"speedup":1.8,"outputs_identical":true}"#,
+    )
+    .unwrap();
+
+    let (ok, stdout, stderr) = run(&[
+        "compare",
+        base.to_str().unwrap(),
+        slow.to_str().unwrap(),
+        "--threshold",
+        "0.10",
+    ]);
+    assert!(
+        !ok,
+        "a 12% fast_ms regression must fail the gate:\n{stdout}"
+    );
+    assert!(
+        stdout.contains("REGRESSION") && stdout.contains("e2e.fast_ms"),
+        "{stdout}"
+    );
+    assert!(stdout.contains("FAIL"), "{stdout}");
+    assert!(
+        !stderr.contains("usage:"),
+        "gate failure is not a usage error:\n{stderr}"
+    );
+
+    // A generous threshold lets the same pair through.
+    let (ok, stdout, _) = run(&[
+        "compare",
+        base.to_str().unwrap(),
+        slow.to_str().unwrap(),
+        "--threshold",
+        "0.5",
+    ]);
+    assert!(ok, "{stdout}");
+
+    // Unreadable input is a CLI error (usage shown, exit non-zero).
+    let (ok, _, stderr) = run(&["compare", "/nonexistent.json", base.to_str().unwrap()]);
+    assert!(!ok);
+    assert!(stderr.contains("error"), "{stderr}");
+}

@@ -1,0 +1,245 @@
+//! Flight-recorder integration tests: the JSONL schema is pinned by a
+//! golden file, predicted/measured pairs round-trip losslessly, and the
+//! drift detector closes the init ↔ iterative loop on a silently degraded
+//! device (no fault injected — the fault-tolerance layer must stay quiet).
+//!
+//! Regenerate the golden after an intentional schema change:
+//!
+//! ```sh
+//! UPDATE_GOLDEN=1 cargo test --test flight
+//! ```
+
+use feves::core::framework::Perturbation;
+use feves::core::prelude::*;
+use feves::obs::{parse_flight_jsonl, DeviceRecord, FlightRecord, FlightRecorder, TauTriple};
+use proptest::prelude::*;
+
+fn check_golden(name: &str, actual: &str) {
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(name);
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(&path, actual).expect("write golden");
+        return;
+    }
+    let expected = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing golden {}: {e}", path.display()));
+    assert_eq!(
+        actual, expected,
+        "{name} drifted from its golden; run UPDATE_GOLDEN=1 cargo test --test flight \
+         if the change is intentional"
+    );
+}
+
+/// A fully populated record with fixed values — every field of the schema
+/// appears, so any rename/retype/reorder shows up as a golden diff.
+fn schema_record() -> FlightRecord {
+    FlightRecord {
+        frame: 7,
+        rstar_device: 1,
+        predicted_tau: Some(TauTriple {
+            tau1_ms: 10.5,
+            tau2_ms: 14.25,
+            tau_tot_ms: 21.125,
+        }),
+        measured_tau: TauTriple {
+            tau1_ms: 11.0,
+            tau2_ms: 15.0,
+            tau_tot_ms: 22.0,
+        },
+        devices: vec![
+            DeviceRecord {
+                device: 0,
+                me_rows: 40,
+                interp_rows: 38,
+                sme_rows: 41,
+                predicted_busy_ms: Some(18.0),
+                compute_busy_ms: 19.5,
+                transfer_busy_ms: 3.25,
+                residual_pct: Some(8.333333333333332),
+                blacklisted: false,
+            },
+            DeviceRecord {
+                device: 1,
+                me_rows: 28,
+                interp_rows: 30,
+                sme_rows: 27,
+                predicted_busy_ms: None,
+                compute_busy_ms: 12.0,
+                transfer_busy_ms: 0.0,
+                residual_pct: None,
+                blacklisted: true,
+            },
+        ],
+        bytes_transferred: 1_048_576,
+        bytes_reused: 262_144,
+        recovery_ms: 1.5,
+        drift_devices: vec![0],
+        recharacterized: true,
+    }
+}
+
+#[test]
+fn flight_schema_matches_golden() {
+    let mut fr = FlightRecorder::new(4);
+    fr.push(schema_record());
+    check_golden("flight.jsonl", &fr.to_jsonl());
+}
+
+#[test]
+fn recorded_flight_parses_and_audits() {
+    // A real (deterministic) run: record, serialize, parse back, audit.
+    let mut cfg = EncoderConfig::full_hd(EncodeParams::default());
+    cfg.noise_amp = 0.0;
+    let mut enc = FevesEncoder::new(Platform::sys_hk(), cfg).unwrap();
+    enc.enable_flight(64);
+    enc.run_timing(8);
+    let fl = enc.flight().unwrap();
+    assert_eq!(fl.len(), 8);
+    let back = parse_flight_jsonl(&fl.to_jsonl()).unwrap();
+    assert_eq!(back, fl.to_vec());
+    // Probe frame 0 carries no prediction; iterative frames do.
+    assert!(back[0].predicted_tau.is_none());
+    assert!(back.iter().skip(1).all(|r| r.predicted_tau.is_some()));
+    let summary = AuditSummary::from_records(&back, 0.5);
+    assert_eq!(summary.frames, 8);
+    assert_eq!(summary.predicted_frames, 7);
+    assert!(summary.mean_tau_tot_ms > 0.0);
+    assert!(summary.render_text().contains("dev0"));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Predicted/measured pairs survive the JSONL round trip bit-exactly:
+    /// the serializer prints shortest-round-trip floats, so any finite f64
+    /// comes back equal.
+    #[test]
+    fn predicted_measured_pairs_round_trip_losslessly(
+        frame in 0usize..10_000,
+        rstar in 0usize..8,
+        pred in proptest::option::of((1e-3f64..1e6, 1e-3f64..1e6, 1e-3f64..1e6)),
+        taus in (0.0f64..1e6, 0.0f64..1e6, 0.0f64..1e6),
+        busy in proptest::collection::vec(
+            (0.0f64..1e5, 0.0f64..1e4, proptest::option::of(-1e4f64..1e4), proptest::bool::ANY),
+            1..6,
+        ),
+        bytes in (0u64..u64::MAX / 2, 0u64..u64::MAX / 2),
+        recovery in 0.0f64..1e5,
+    ) {
+        let rec = FlightRecord {
+            frame,
+            rstar_device: rstar,
+            predicted_tau: pred.map(|(a, b, c)| TauTriple {
+                tau1_ms: a,
+                tau2_ms: b,
+                tau_tot_ms: c,
+            }),
+            measured_tau: TauTriple {
+                tau1_ms: taus.0,
+                tau2_ms: taus.1,
+                tau_tot_ms: taus.2,
+            },
+            devices: busy
+                .iter()
+                .enumerate()
+                .map(|(d, &(compute, transfer, residual, black))| DeviceRecord {
+                    device: d,
+                    me_rows: d * 11,
+                    interp_rows: d * 7,
+                    sme_rows: d * 13,
+                    predicted_busy_ms: residual.map(|_| compute),
+                    compute_busy_ms: compute,
+                    transfer_busy_ms: transfer,
+                    residual_pct: residual,
+                    blacklisted: black,
+                })
+                .collect(),
+            bytes_transferred: bytes.0,
+            bytes_reused: bytes.1,
+            recovery_ms: recovery,
+            drift_devices: (0..busy.len()).filter(|d| d % 2 == 1).collect(),
+            recharacterized: busy.len() % 2 == 1,
+        };
+        let mut fr = FlightRecorder::new(2);
+        fr.push(rec.clone());
+        let back = parse_flight_jsonl(&fr.to_jsonl()).unwrap();
+        prop_assert_eq!(back, vec![rec]);
+    }
+}
+
+/// The ISSUE acceptance scenario: a device is silently degraded mid-sequence
+/// (a perturbation, *not* an injected fault). The residuals leave the band,
+/// the drift detector fires `sched.drift`, the framework resets that
+/// device's characterization, and the next LP frames are balanced against
+/// the measured (degraded) rates — all without the fault-tolerance layer
+/// blacklisting anything.
+#[test]
+fn silent_degradation_triggers_drift_recharacterization() {
+    let mut cfg = EncoderConfig::full_hd(EncodeParams::default());
+    cfg.noise_amp = 0.0;
+    // A sluggish EWMA: the characterization cannot silently absorb the
+    // perturbation frame-to-frame, which is exactly when drift detection
+    // earns its keep.
+    cfg.ewma = feves::sched::Ewma(0.1);
+    let mut enc = FevesEncoder::new(Platform::sys_hk(), cfg).unwrap();
+    // Device 0 (the GPU) drops to half speed from inter-frame 10 onward.
+    enc.add_perturbation(Perturbation {
+        device: 0,
+        frames: 10..1000,
+        factor: 0.5,
+    });
+    enc.enable_flight(64);
+    enc.run_timing(30);
+
+    let records = enc.flight().unwrap().to_vec();
+    let fired: Vec<&feves::obs::FlightRecord> =
+        records.iter().filter(|r| r.recharacterized).collect();
+    assert!(
+        !fired.is_empty(),
+        "drift detector never fired on a 2x silent degradation"
+    );
+    let first = fired[0];
+    assert!(
+        first.frame >= 10,
+        "drift fired before the perturbation started (frame {})",
+        first.frame
+    );
+    assert!(
+        first.drift_devices.contains(&0),
+        "drift fired on the wrong device: {:?}",
+        first.drift_devices
+    );
+    // Re-characterization means the next frame is an equidistant probe
+    // (rates reset → LP unavailable → no prediction recorded).
+    let probe = records
+        .iter()
+        .find(|r| r.frame == first.frame + 1)
+        .expect("frame after the firing is recorded");
+    assert!(
+        probe.predicted_tau.is_none(),
+        "expected an equidistant probe (no LP prediction) right after drift"
+    );
+    // After the probe the model reflects the degraded device: the last
+    // frames' residuals are back inside the default +-25 % band.
+    let last = records.last().unwrap();
+    for d in &last.devices {
+        if let Some(pct) = d.residual_pct {
+            assert!(
+                pct.abs() <= 25.0,
+                "device {} residual {pct:.1}% still out of band after \
+                 re-characterization",
+                d.device
+            );
+        }
+    }
+    // Silent degradation is a model problem, not a fault: nothing was
+    // injected, nothing may be detected or blacklisted.
+    let ft = enc.ft_stats();
+    assert_eq!(ft.injected, 0);
+    assert_eq!(
+        ft.detected, 0,
+        "a benign 2x slowdown must not trip the deadline policy"
+    );
+    assert!(enc.health().blacklisted().is_empty());
+}
