@@ -294,7 +294,8 @@ fn bench_e2e(quick: bool) -> (E2eRecord, bool) {
 fn write_json_to<T: Serialize>(dir: &std::path::Path, name: &str, value: &T) {
     let path = dir.join(name);
     let json = serde_json::to_string_pretty(value).expect("serializable record");
-    std::fs::write(&path, json).unwrap_or_else(|e| panic!("write {}: {e}", path.display()));
+    feves_obs::write_atomic(&path, json)
+        .unwrap_or_else(|e| panic!("write {}: {e}", path.display()));
     eprintln!("(wrote {})", path.display());
 }
 

@@ -84,7 +84,9 @@ pub fn experiments_dir() -> PathBuf {
 pub fn write_json<T: Serialize>(name: &str, value: &T) {
     let path = experiments_dir().join(format!("{name}.json"));
     let json = serde_json::to_string_pretty(value).expect("serializable record");
-    std::fs::write(&path, json).expect("write experiment record");
+    // Atomic (temp + rename): a crash mid-run never leaves a torn record
+    // for the compare gate to choke on.
+    feves_obs::write_atomic(&path, json).expect("write experiment record");
     eprintln!("(wrote {})", path.display());
 }
 

@@ -125,6 +125,35 @@ impl ReferenceStore {
     pub fn entry(&self, idx: usize) -> &RefEntry {
         &self.entries[idx]
     }
+
+    /// Configured window depth.
+    pub fn max_refs(&self) -> usize {
+        self.max_refs
+    }
+
+    /// Entries most recent first (checkpoint serialization walks these).
+    pub fn entries(&self) -> impl Iterator<Item = &RefEntry> {
+        self.entries.iter()
+    }
+
+    /// Rebuild a store from reconstructed planes (most recent first),
+    /// re-deriving each sub-pixel frame with [`interpolate`]. SFs are pure
+    /// functions of their RF — and bit-exact across kernel families and
+    /// work partitions (the partition-invariance tests prove it) — so a
+    /// checkpoint only needs the ~5× smaller reconstructed planes.
+    #[allow(clippy::type_complexity)] // (luma, optional (Cb, Cr)) per entry
+    pub fn rebuild(
+        max_refs: usize,
+        planes: Vec<(Plane<u8>, Option<(Plane<u8>, Plane<u8>)>)>,
+    ) -> Self {
+        assert!(max_refs >= 1 && planes.len() <= max_refs);
+        let mut entries = VecDeque::with_capacity(max_refs + 1);
+        for (plane, chroma) in planes {
+            let sf = interpolate(&plane);
+            entries.push_back(RefEntry { plane, sf, chroma });
+        }
+        ReferenceStore { entries, max_refs }
+    }
 }
 
 /// Everything produced by encoding one inter frame.

@@ -66,6 +66,28 @@ impl RateController {
         self.buffer / self.target_bits_per_frame
     }
 
+    /// Full controller state for checkpointing.
+    pub fn snapshot(&self) -> RateSnapshot {
+        RateSnapshot {
+            target_bits_per_frame: self.target_bits_per_frame,
+            buffer: self.buffer,
+            qp: self.qp,
+            min_qp: self.min_qp,
+            max_qp: self.max_qp,
+        }
+    }
+
+    /// Rebuild a controller from a [`RateSnapshot`].
+    pub fn from_snapshot(s: &RateSnapshot) -> Self {
+        RateController {
+            target_bits_per_frame: s.target_bits_per_frame,
+            buffer: s.buffer,
+            qp: s.qp.min(51),
+            min_qp: s.min_qp,
+            max_qp: s.max_qp.min(51),
+        }
+    }
+
     /// Report the bits the last frame actually produced; updates the buffer
     /// and steps QP for the next frame.
     pub fn update(&mut self, coded_bits: u64) {
@@ -86,6 +108,21 @@ impl RateController {
         // bias the steady state forever.
         self.buffer *= 0.85;
     }
+}
+
+/// Serializable state of a [`RateController`] (checkpoint payload).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RateSnapshot {
+    /// Bit budget per frame.
+    pub target_bits_per_frame: f64,
+    /// Virtual-buffer occupancy in bits.
+    pub buffer: f64,
+    /// QP for the next frame.
+    pub qp: u8,
+    /// Lower QP rail.
+    pub min_qp: u8,
+    /// Upper QP rail.
+    pub max_qp: u8,
 }
 
 #[cfg(test)]
@@ -164,6 +201,22 @@ mod tests {
             rc.update(50_000_000);
         }
         assert_eq!(rc.qp(), 40);
+    }
+
+    #[test]
+    fn snapshot_restore_continues_the_control_loop() {
+        let mut a = RateController::new(1500.0, 25.0, 28).with_qp_range(15, 45);
+        for frame in 0..37 {
+            a.update(synthetic_bits(a.qp(), frame));
+        }
+        let mut b = RateController::from_snapshot(&a.snapshot());
+        assert_eq!(b.qp(), a.qp());
+        for frame in 37..120 {
+            let bits = synthetic_bits(a.qp(), frame);
+            a.update(bits);
+            b.update(bits);
+            assert_eq!(a.qp(), b.qp(), "diverged at frame {frame}");
+        }
     }
 
     #[test]

@@ -122,6 +122,38 @@ impl DataManager {
         self.frames_committed
     }
 
+    /// Mutable buffer-residency state for checkpointing: `(σʳ per device,
+    /// frames committed)`. Geometry is rebuilt from the config on resume.
+    pub fn snapshot(&self) -> (Vec<usize>, usize) {
+        (self.sigma_rem.clone(), self.frames_committed)
+    }
+
+    /// Overwrite the mutable state from a [`snapshot`]. Fails when the σʳ
+    /// vector disagrees with the device count or exceeds the frame height.
+    ///
+    /// [`snapshot`]: DataManager::snapshot
+    pub fn restore_state(
+        &mut self,
+        sigma_rem: Vec<usize>,
+        frames_committed: usize,
+    ) -> Result<(), FevesError> {
+        if sigma_rem.len() != self.n_devices {
+            return Err(FevesError::CheckpointStale(format!(
+                "DAM snapshot is for {} devices, platform has {}",
+                sigma_rem.len(),
+                self.n_devices
+            )));
+        }
+        if sigma_rem.iter().any(|&s| s > self.n_rows) {
+            return Err(FevesError::CheckpointCorrupt(
+                "DAM σʳ exceeds the frame's row count".into(),
+            ));
+        }
+        self.sigma_rem = sigma_rem;
+        self.frames_committed = frames_committed;
+        Ok(())
+    }
+
     /// Worst-case resident bytes on an accelerator for a frame of `width`
     /// luma pixels, `n_rows` MB rows and `n_ref` reference frames
     /// (paper §III-B-2: the Data Access Management owns device memory).

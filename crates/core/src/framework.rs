@@ -18,14 +18,14 @@ use crate::trace::FrameTrace;
 use crate::vcm::{build_frame_graph, FrameGeometry, FrameGraph, MeasureKind};
 use feves_codec::inter_loop::ReferenceStore;
 use feves_codec::interp::SubpelFrame;
-use feves_codec::rate::RateController;
+use feves_codec::rate::{RateController, RateSnapshot};
 use feves_codec::types::EncodeParams;
 use feves_ft::{
-    DeadlinePolicy, DeviceFault, DriftDetector, FaultCause, FaultSchedule, FaultSpec, FevesError,
-    HealthTracker,
+    DeadlinePolicy, DeviceFault, DriftDetector, DriftSnapshot, FaultCause, FaultSchedule,
+    FaultSpec, FevesError, HealthSnapshot, HealthTracker,
 };
 use feves_hetsim::fault::FaultInjector;
-use feves_hetsim::noise::MultiplicativeNoise;
+use feves_hetsim::noise::{MultiplicativeNoise, NoiseState};
 use feves_hetsim::platform::Platform;
 use feves_hetsim::timeline::{simulate, Schedule};
 use feves_obs::{
@@ -123,6 +123,55 @@ struct ReconPending {
     y: Plane<u8>,
     u: Plane<u8>,
     v: Plane<u8>,
+}
+
+/// The complete mutable state of a [`FevesEncoder`], as captured by
+/// [`FevesEncoder::snapshot`] and consumed by [`FevesEncoder::restore`].
+///
+/// Everything the iterative phase has learned or accumulated is here —
+/// the performance characterization (NaN sentinels and all), device
+/// health/backoff timers, drift streaks, the rate-control loop, DAM σʳ
+/// carry-over, the reference window, and the encode cursor. Deliberately
+/// *not* here: anything derivable from `(Platform, EncoderConfig)` — the
+/// balancer, geometry, fault schedule, deadline policy — and the sub-pixel
+/// frames, which [`ReferenceStore::rebuild`] re-derives bit-exactly from
+/// the reconstructed planes at a fraction of the size. Test-only hooks
+/// (perturbations, an attached recorder, the in-memory flight ring) are
+/// also excluded; the CLI re-arms those on resume.
+#[derive(Clone, Debug)]
+pub struct FrameworkState {
+    /// On-line performance characterization.
+    pub perf: PerfChar,
+    /// DAM deferred-SF remainder per device.
+    pub dam_sigma_rem: Vec<usize>,
+    /// DAM committed-frame count.
+    pub dam_frames_committed: usize,
+    /// Measurement-noise RNG position.
+    pub noise: NoiseState,
+    /// Previous frame's distribution (Algorithm 2's warm start).
+    pub prev_dist: Option<Distribution>,
+    /// Inter-frames encoded so far.
+    pub inter_count: usize,
+    /// Total frames encoded (intra + inter).
+    pub frames_encoded: usize,
+    /// References available (ramping toward `n_ref`).
+    pub refs_available: usize,
+    /// Rate-controller state, when rate control is active.
+    pub rate: Option<RateSnapshot>,
+    /// Reference window: reconstructed `(Y, Some((Cb, Cr)))` planes, most
+    /// recent first; SFs are rebuilt on restore.
+    #[allow(clippy::type_complexity)] // the ReferenceStore::rebuild input shape
+    pub refs: Vec<(Plane<u8>, Option<(Plane<u8>, Plane<u8>)>)>,
+    /// Reconstruction not yet interpolated into the reference window.
+    pub recon_pending: Option<(Plane<u8>, Plane<u8>, Plane<u8>)>,
+    /// Device health state machine (blacklists, backoffs, probation).
+    pub health: HealthSnapshot,
+    /// EWMA deadline baseline of healthy (τ1, τ2, τtot).
+    pub expected_tau: Option<(f64, f64, f64)>,
+    /// Fault-tolerance counters.
+    pub ft_stats: FtStats,
+    /// Drift-detector streaks and flags.
+    pub drift: DriftSnapshot,
 }
 
 impl FevesEncoder {
@@ -243,6 +292,11 @@ impl FevesEncoder {
     /// The flight recorder, when enabled.
     pub fn flight(&self) -> Option<&FlightRecorder> {
         self.flight.as_ref()
+    }
+
+    /// Mutable flight recorder (the resume path stamps a marker into it).
+    pub fn flight_mut(&mut self) -> Option<&mut FlightRecorder> {
+        self.flight.as_mut()
     }
 
     /// The prediction-drift detector (diagnostics).
@@ -1106,6 +1160,132 @@ impl FevesEncoder {
     /// The last full YUV reconstruction `(Y, Cb, Cr)` (functional mode).
     pub fn last_reconstruction_yuv(&self) -> Option<(&Plane<u8>, &Plane<u8>, &Plane<u8>)> {
         self.recon_pending.as_ref().map(|p| (&p.y, &p.u, &p.v))
+    }
+
+    /// Capture the complete mutable encoder state for a checkpoint. Cheap
+    /// relative to a frame: the only bulk data cloned is the reference
+    /// window's reconstructed planes (the ~5× larger SFs are excluded and
+    /// re-derived on [`restore`]).
+    ///
+    /// [`restore`]: FevesEncoder::restore
+    pub fn snapshot(&self) -> FrameworkState {
+        let (dam_sigma_rem, dam_frames_committed) = self.dam.snapshot();
+        FrameworkState {
+            perf: self.perf.clone(),
+            dam_sigma_rem,
+            dam_frames_committed,
+            noise: self.noise.snapshot(),
+            prev_dist: self.prev_dist.clone(),
+            inter_count: self.inter_count,
+            frames_encoded: self.frames_encoded,
+            refs_available: self.refs_available,
+            rate: self.rate.as_ref().map(|rc| rc.snapshot()),
+            refs: self
+                .store
+                .entries()
+                .map(|e| (e.plane.clone(), e.chroma.clone()))
+                .collect(),
+            recon_pending: self
+                .recon_pending
+                .as_ref()
+                .map(|p| (p.y.clone(), p.u.clone(), p.v.clone())),
+            health: self.health.snapshot(),
+            expected_tau: self.expected_tau,
+            ft_stats: self.ft_stats,
+            drift: self.drift.snapshot(),
+        }
+    }
+
+    /// Rebuild an encoder mid-sequence from `(platform, config)` plus a
+    /// [`FrameworkState`]. The resulting encoder re-enters the iterative
+    /// phase exactly where the snapshot was taken — same characterization,
+    /// same noise-RNG position, same reference window — so the frames it
+    /// encodes from here are bit-identical to an uninterrupted run's.
+    ///
+    /// Fails with [`FevesError::CheckpointStale`] when the state was taken
+    /// for a different device count than `platform` provides, and
+    /// [`FevesError::CheckpointCorrupt`] when the state is internally
+    /// inconsistent (mismatched vectors, out-of-range values).
+    pub fn restore(
+        platform: Platform,
+        config: EncoderConfig,
+        state: FrameworkState,
+    ) -> Result<Self, FevesError> {
+        let mut enc = Self::new(platform, config)?;
+        let n = enc.platform.len();
+        if state.perf.n_devices() != n {
+            return Err(FevesError::CheckpointStale(format!(
+                "characterization is for {} devices, platform has {}",
+                state.perf.n_devices(),
+                n
+            )));
+        }
+        if state.health.state.len() != n {
+            return Err(FevesError::CheckpointStale(format!(
+                "health state is for {} devices, platform has {}",
+                state.health.state.len(),
+                n
+            )));
+        }
+        if !(0.0..1.0).contains(&state.noise.amp) {
+            return Err(FevesError::CheckpointCorrupt(format!(
+                "noise amplitude {} out of [0, 1)",
+                state.noise.amp
+            )));
+        }
+        if state.refs.len() > enc.config.params.n_ref {
+            return Err(FevesError::CheckpointCorrupt(format!(
+                "{} reference frames checkpointed for an n_ref={} window",
+                state.refs.len(),
+                enc.config.params.n_ref
+            )));
+        }
+        let padded = enc.config.resolution.padded();
+        let dims_ok = |p: &Plane<u8>, w: usize, h: usize| p.width() == w && p.height() == h;
+        let yuv_ok = |y: &Plane<u8>, u: &Plane<u8>, v: &Plane<u8>| {
+            dims_ok(y, padded.width, padded.height)
+                && dims_ok(u, padded.width / 2, padded.height / 2)
+                && dims_ok(v, padded.width / 2, padded.height / 2)
+        };
+        for (y, chroma) in &state.refs {
+            let ok = match chroma {
+                Some((u, v)) => yuv_ok(y, u, v),
+                None => dims_ok(y, padded.width, padded.height),
+            };
+            if !ok {
+                return Err(FevesError::CheckpointStale(
+                    "reference plane dimensions do not match the configured resolution".into(),
+                ));
+            }
+        }
+        if let Some((y, u, v)) = &state.recon_pending {
+            if !yuv_ok(y, u, v) {
+                return Err(FevesError::CheckpointStale(
+                    "pending reconstruction dimensions do not match the configured resolution"
+                        .into(),
+                ));
+            }
+        }
+        enc.perf = state.perf;
+        enc.dam
+            .restore_state(state.dam_sigma_rem, state.dam_frames_committed)?;
+        enc.noise = MultiplicativeNoise::restore(&state.noise);
+        enc.prev_dist = state.prev_dist;
+        enc.inter_count = state.inter_count;
+        enc.frames_encoded = state.frames_encoded;
+        enc.refs_available = state.refs_available.min(enc.config.params.n_ref);
+        enc.rate = state.rate.as_ref().map(RateController::from_snapshot);
+        enc.store = ReferenceStore::rebuild(enc.config.params.n_ref, state.refs);
+        enc.recon_pending = state
+            .recon_pending
+            .map(|(y, u, v)| ReconPending { y, u, v });
+        enc.health = HealthTracker::restore(state.health).map_err(FevesError::CheckpointCorrupt)?;
+        enc.expected_tau = state.expected_tau;
+        enc.ft_stats = state.ft_stats;
+        enc.drift
+            .restore_state(state.drift)
+            .map_err(FevesError::CheckpointStale)?;
+        Ok(enc)
     }
 
     /// Force a specific EWMA (test hook).

@@ -23,6 +23,7 @@
 //! assert!(report.mean_fps() > 25.0, "SysHK must be real-time at 32x32/1RF");
 //! ```
 
+pub mod ckpt;
 pub mod config;
 pub mod dam;
 pub mod framework;
@@ -31,16 +32,21 @@ pub mod report;
 pub mod trace;
 pub mod vcm;
 
+pub use ckpt::{
+    decode_checkpoint, encode_checkpoint, load_checkpoint_file, load_latest, CheckpointManager,
+    ResumeContext,
+};
 pub use config::{BalancerKind, EncoderConfig, ExecutionMode, RateControlConfig};
-pub use framework::{FevesEncoder, FtStats, Perturbation};
+pub use framework::{FevesEncoder, FrameworkState, FtStats, Perturbation};
 pub use oracle::OracleBalancer;
 pub use report::{EncodeReport, FrameReport, Rollup};
 pub use trace::{FrameTrace, Lane, LaneKind, TraceTask};
 
 /// Convenient glob import for applications.
 pub mod prelude {
+    pub use crate::ckpt::{load_checkpoint_file, load_latest, CheckpointManager, ResumeContext};
     pub use crate::config::{BalancerKind, EncoderConfig, ExecutionMode, RateControlConfig};
-    pub use crate::framework::{FevesEncoder, FtStats, Perturbation};
+    pub use crate::framework::{FevesEncoder, FrameworkState, FtStats, Perturbation};
     pub use crate::report::{EncodeReport, FrameReport, Rollup};
     pub use crate::trace::{FrameTrace, Lane, LaneKind};
     pub use feves_codec::types::{EncodeParams, SearchArea};

@@ -1,0 +1,154 @@
+//! Resume bit-exactness at the library level: an encoder restored from a
+//! mid-sequence [`FrameworkState`] must produce exactly the frames an
+//! uninterrupted encoder would have produced — same bits, same
+//! reconstructions, same schedule decisions — for every snapshot point.
+//!
+//! This is the invariant the whole crash-safety design leans on: if
+//! snapshot/restore is bit-exact here, `feves resume`'s output equals the
+//! uninterrupted run by construction (the CLI just replays the same calls).
+
+use feves_core::prelude::*;
+use feves_video::synth::{SynthConfig, SynthSequence};
+
+fn make_frames(n: usize) -> Vec<feves_video::frame::Frame> {
+    let mut synth = SynthSequence::new(SynthConfig {
+        resolution: Resolution::QCIF,
+        seed: 0x5EED,
+        objects: 4,
+        pan: (1.0, 0.5),
+        noise: 2,
+    });
+    (0..n).map(|_| synth.next_frame()).collect()
+}
+
+fn functional_config() -> EncoderConfig {
+    let mut cfg = EncoderConfig::full_hd(EncodeParams {
+        search_area: SearchArea(16),
+        n_ref: 2,
+        ..Default::default()
+    });
+    cfg.resolution = Resolution::QCIF;
+    cfg.mode = ExecutionMode::Functional;
+    cfg
+}
+
+/// The comparable footprint of one encoded frame: coded bits, PSNR bit
+/// pattern, and the reconstruction planes.
+fn footprint(
+    enc: &FevesEncoder,
+    rep: &feves_core::FrameReport,
+) -> (Option<u64>, Option<u64>, Vec<u8>) {
+    let (y, u, v) = enc.last_reconstruction_yuv().expect("functional mode");
+    let mut pixels = Vec::new();
+    for p in [y, u, v] {
+        for row in 0..p.height() {
+            pixels.extend_from_slice(p.row(row));
+        }
+    }
+    (rep.bits, rep.psnr_y.map(f64::to_bits), pixels)
+}
+
+#[test]
+fn restore_at_any_frame_is_bit_identical() {
+    let n = 8;
+    let frames = make_frames(n);
+    // Uninterrupted baseline, capturing every frame's footprint and the
+    // snapshot after every frame.
+    let mut baseline = FevesEncoder::new(Platform::sys_hk(), functional_config()).unwrap();
+    let mut base_prints = Vec::new();
+    let mut snapshots = Vec::new();
+    for f in &frames {
+        let rep = baseline.encode_frame(f);
+        base_prints.push(footprint(&baseline, &rep));
+        snapshots.push(baseline.snapshot());
+    }
+    // Resume from every snapshot point and re-encode the tail.
+    for (k, snap) in snapshots.into_iter().enumerate().take(n - 1) {
+        let mut resumed =
+            FevesEncoder::restore(Platform::sys_hk(), functional_config(), snap).unwrap();
+        for (j, f) in frames.iter().enumerate().skip(k + 1) {
+            let rep = resumed.encode_frame(f);
+            let print = footprint(&resumed, &rep);
+            assert_eq!(
+                print.0, base_prints[j].0,
+                "bits diverged at frame {j} after resume from frame {k}"
+            );
+            assert_eq!(
+                print.1, base_prints[j].1,
+                "PSNR diverged at frame {j} after resume from frame {k}"
+            );
+            assert_eq!(
+                print.2, base_prints[j].2,
+                "reconstruction diverged at frame {j} after resume from frame {k}"
+            );
+        }
+    }
+}
+
+#[test]
+fn serialized_checkpoint_restores_bit_identically_too() {
+    // Same invariant, but through the full binary serialization: snapshot →
+    // encode_checkpoint → to_bytes → from_bytes → decode → restore.
+    let n = 6;
+    let k = 3;
+    let frames = make_frames(n);
+    let mut baseline = FevesEncoder::new(Platform::sys_hk(), functional_config()).unwrap();
+    let mut tail_prints = Vec::new();
+    let mut snap = None;
+    for (j, f) in frames.iter().enumerate() {
+        let rep = baseline.encode_frame(f);
+        if j == k {
+            snap = Some(baseline.snapshot());
+        }
+        if j > k {
+            tail_prints.push((j, footprint(&baseline, &rep)));
+        }
+    }
+    let ctx = ResumeContext {
+        input: "synthetic".into(),
+        output: "out.y4m".into(),
+        platform: "sys-hk".into(),
+        platform_json: None,
+        sa: 16,
+        refs: 2,
+        qp: 26,
+        balancer: "feves".into(),
+        kernels: None,
+        faults: Vec::new(),
+        deadline_factor: None,
+        flight_out: None,
+        metrics_out: None,
+        every: 2,
+        keep: 2,
+        frames_done: k + 1,
+        n_frames: n,
+        out_bytes: 0,
+        input_fingerprint: 7,
+    };
+    let bytes = feves_core::encode_checkpoint(&ctx, &snap.unwrap()).to_bytes();
+    let blob = feves_ft::CheckpointBlob::from_bytes(&bytes).unwrap();
+    let (ctx2, state) = feves_core::decode_checkpoint(&blob).unwrap();
+    assert_eq!(ctx2.frames_done, k + 1);
+    let mut resumed =
+        FevesEncoder::restore(Platform::sys_hk(), functional_config(), state).unwrap();
+    for (j, expected) in &tail_prints {
+        let rep = resumed.encode_frame(&frames[*j]);
+        let print = footprint(&resumed, &rep);
+        assert_eq!(&print, expected, "frame {j} diverged through serialization");
+    }
+}
+
+#[test]
+fn restore_rejects_wrong_platform() {
+    let frames = make_frames(3);
+    let mut enc = FevesEncoder::new(Platform::sys_hk(), functional_config()).unwrap();
+    for f in &frames {
+        enc.encode_frame(f);
+    }
+    let snap = enc.snapshot();
+    // SysNFF has a different device count → stale, not a crash.
+    match FevesEncoder::restore(Platform::sys_nff(), functional_config(), snap) {
+        Err(e) => assert!(matches!(e, FevesError::CheckpointStale(_)), "{e}"),
+        Ok(_) => panic!("restore onto a different platform must fail"),
+    }
+}

@@ -1,0 +1,99 @@
+//! Deterministic crash points for the process-kill chaos harness.
+//!
+//! A crash point is a named location in the encode/checkpoint path where
+//! the process can be made to die *abruptly* — [`std::process::abort`], no
+//! unwinding, no destructors, no buffered-writer flushes — which is the
+//! closest in-process stand-in for `SIGKILL` and lets tests target places a
+//! wall-clock kill cannot hit reliably (e.g. between a checkpoint temp-file
+//! write and its rename).
+//!
+//! Activation is environment-driven so library code stays zero-cost in
+//! production: set `FEVES_CRASH_AT=<name>` to abort on the first hit of
+//! point `<name>`, or `FEVES_CRASH_AT=<name>@<n>` to abort on the n-th hit
+//! (1-based). Points used by the workspace:
+//!
+//! | name              | location                                            |
+//! |-------------------|-----------------------------------------------------|
+//! | `frame`           | after frame *n* is written to the output bitstream  |
+//! | `ckpt-mid-write`  | halfway through writing the checkpoint temp file    |
+//! | `ckpt-temp`       | temp file written + fsynced, before the rename      |
+//! | `ckpt-rename`     | after the atomic rename, before the directory fsync |
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+
+/// Parsed `FEVES_CRASH_AT` spec: point name and 1-based hit index.
+struct CrashSpec {
+    point: String,
+    nth: u64,
+    hits: AtomicU64,
+}
+
+fn spec() -> Option<&'static CrashSpec> {
+    static SPEC: OnceLock<Option<CrashSpec>> = OnceLock::new();
+    SPEC.get_or_init(|| {
+        let raw = std::env::var("FEVES_CRASH_AT").ok()?;
+        let raw = raw.trim();
+        if raw.is_empty() {
+            return None;
+        }
+        let (point, nth) = match raw.split_once('@') {
+            Some((p, n)) => (p, n.parse::<u64>().ok().filter(|&n| n > 0)?),
+            None => (raw, 1),
+        };
+        Some(CrashSpec {
+            point: point.to_string(),
+            nth,
+            hits: AtomicU64::new(0),
+        })
+    })
+    .as_ref()
+}
+
+/// Announce a hit of crash point `name`; aborts the process if the
+/// `FEVES_CRASH_AT` spec selects this hit. A no-op (one atomic add on the
+/// matching name) otherwise.
+pub fn crash_point(name: &str) {
+    let Some(s) = spec() else { return };
+    if s.point != name {
+        return;
+    }
+    let hit = s.hits.fetch_add(1, Ordering::Relaxed) + 1;
+    if hit == s.nth {
+        eprintln!("FEVES_CRASH_AT: aborting at crash point `{name}` (hit {hit})");
+        std::process::abort();
+    }
+}
+
+/// Indexed variant: point `name` at occurrence `index` (e.g. the frame
+/// loop announces `("frame", i)` once per frame). The env spec
+/// `FEVES_CRASH_AT=frame@7` aborts when `index == 7`; a bare
+/// `FEVES_CRASH_AT=frame` aborts at the first announced index.
+pub fn crash_point_at(name: &str, index: u64) {
+    let Some(s) = spec() else { return };
+    if s.point != name {
+        return;
+    }
+    let first = s.hits.fetch_add(1, Ordering::Relaxed) == 0;
+    if index == s.nth || (first && s.nth == 1) {
+        eprintln!("FEVES_CRASH_AT: aborting at crash point `{name}@{index}`");
+        std::process::abort();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The abort path itself is exercised by tests/crash_recovery.rs, which
+    // spawns the CLI in a child process; in-process we can only assert the
+    // disarmed fast path (the test binary must not observe FEVES_CRASH_AT —
+    // the harness never sets it for in-process tests).
+    #[test]
+    fn disarmed_points_are_noops() {
+        for _ in 0..3 {
+            crash_point("ckpt-temp");
+            crash_point_at("frame", 4);
+        }
+    }
+}

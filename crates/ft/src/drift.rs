@@ -134,6 +134,39 @@ impl DriftDetector {
     pub fn streak(&self, d: usize) -> usize {
         self.streak.get(d).copied().unwrap_or(0)
     }
+
+    /// Copy of the mutable detector state for checkpointing (the config is
+    /// rebuilt from `EncoderConfig` on resume).
+    pub fn snapshot(&self) -> DriftSnapshot {
+        DriftSnapshot {
+            streak: self.streak.clone(),
+            flagged: self.flagged.clone(),
+        }
+    }
+
+    /// Overwrite the mutable state from a [`DriftSnapshot`]. Fails if the
+    /// snapshot was taken for a different device count.
+    pub fn restore_state(&mut self, snap: DriftSnapshot) -> Result<(), String> {
+        if snap.streak.len() != self.streak.len() || snap.flagged.len() != self.flagged.len() {
+            return Err(format!(
+                "drift snapshot is for {} devices, detector has {}",
+                snap.streak.len(),
+                self.streak.len()
+            ));
+        }
+        self.streak = snap.streak;
+        self.flagged = snap.flagged;
+        Ok(())
+    }
+}
+
+/// Serializable mutable state of a [`DriftDetector`] (checkpoint payload).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DriftSnapshot {
+    /// Consecutive out-of-band frames per device.
+    pub streak: Vec<usize>,
+    /// Sticky fired flag per device.
+    pub flagged: Vec<bool>,
 }
 
 #[cfg(test)]

@@ -71,6 +71,21 @@ pub enum FevesError {
     /// The platform degraded below the minimum viable set (no host core
     /// left), or recovery itself failed.
     Unrecoverable(String),
+    /// A checkpoint file is torn, bit-rotted, or structurally invalid
+    /// (bad magic, CRC mismatch, truncated section). The caller should
+    /// fall back to the previous generation.
+    CheckpointCorrupt(String),
+    /// A checkpoint was written by an incompatible format version.
+    CheckpointVersion {
+        /// Version found in the file header.
+        found: u32,
+        /// Version this binary understands.
+        expected: u32,
+    },
+    /// A structurally valid checkpoint that does not match the present
+    /// world: different job fingerprint, output bitstream shorter than the
+    /// committed byte count, or input sequence changed underneath it.
+    CheckpointStale(String),
 }
 
 impl FevesError {
@@ -90,6 +105,12 @@ impl fmt::Display for FevesError {
             FevesError::Accounting(m) => write!(f, "accounting error: {m}"),
             FevesError::Fault(d) => write!(f, "device fault: {d}"),
             FevesError::Unrecoverable(m) => write!(f, "unrecoverable: {m}"),
+            FevesError::CheckpointCorrupt(m) => write!(f, "checkpoint corrupt: {m}"),
+            FevesError::CheckpointVersion { found, expected } => write!(
+                f,
+                "checkpoint version mismatch: file is v{found}, this build reads v{expected}"
+            ),
+            FevesError::CheckpointStale(m) => write!(f, "checkpoint stale: {m}"),
         }
     }
 }

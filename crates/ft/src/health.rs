@@ -138,6 +138,75 @@ impl HealthTracker {
             .filter(|&d| self.state[d] == DeviceHealth::Blacklisted)
             .collect()
     }
+
+    /// Frame at which blacklisted `device` will be re-admitted for a probe
+    /// (meaningless while the device is not blacklisted).
+    pub fn readmit_at(&self, device: usize) -> usize {
+        self.readmit_at[device]
+    }
+
+    /// Current backoff (frames) `device` would sit out after its next fault.
+    pub fn backoff(&self, device: usize) -> usize {
+        self.backoff[device]
+    }
+
+    /// Full copy of the tracker state for checkpointing.
+    pub fn snapshot(&self) -> HealthSnapshot {
+        HealthSnapshot {
+            state: self.state.clone(),
+            readmit_at: self.readmit_at.clone(),
+            backoff: self.backoff.clone(),
+            probation_left: self.probation_left.clone(),
+            faults: self.faults.clone(),
+            base_backoff: self.base_backoff,
+            probation_frames: self.probation_frames,
+        }
+    }
+
+    /// Rebuild a tracker from a [`HealthSnapshot`]. Fails if the per-device
+    /// vectors disagree in length (a corrupt snapshot).
+    pub fn restore(snap: HealthSnapshot) -> Result<Self, String> {
+        let n = snap.state.len();
+        if [
+            snap.readmit_at.len(),
+            snap.backoff.len(),
+            snap.probation_left.len(),
+            snap.faults.len(),
+        ]
+        .iter()
+        .any(|&l| l != n)
+        {
+            return Err("health snapshot vectors disagree in device count".into());
+        }
+        Ok(HealthTracker {
+            state: snap.state,
+            readmit_at: snap.readmit_at,
+            backoff: snap.backoff,
+            probation_left: snap.probation_left,
+            faults: snap.faults,
+            base_backoff: snap.base_backoff.max(1),
+            probation_frames: snap.probation_frames.max(1),
+        })
+    }
+}
+
+/// Serializable state of a [`HealthTracker`] (checkpoint payload).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HealthSnapshot {
+    /// Per-device health state.
+    pub state: Vec<DeviceHealth>,
+    /// Per-device re-admission frame.
+    pub readmit_at: Vec<usize>,
+    /// Per-device current backoff in frames.
+    pub backoff: Vec<usize>,
+    /// Per-device clean frames left to graduate probation.
+    pub probation_left: Vec<usize>,
+    /// Per-device lifetime fault count.
+    pub faults: Vec<u64>,
+    /// Configured base backoff.
+    pub base_backoff: usize,
+    /// Configured probation length.
+    pub probation_frames: usize,
 }
 
 #[cfg(test)]
@@ -201,5 +270,36 @@ mod tests {
         h.record_fault(0, 20);
         assert_eq!(h.readmit_at[0], 22);
         assert_eq!(h.fault_count(0), 3);
+    }
+
+    #[test]
+    fn snapshot_restore_preserves_the_state_machine_mid_backoff() {
+        let mut h = HealthTracker::new(2, 2, 2);
+        h.record_fault(1, 5); // blacklisted until 7, backoff doubled to 4
+        let restored = HealthTracker::restore(h.snapshot()).unwrap();
+        assert_eq!(restored.state(1), DeviceHealth::Blacklisted);
+        assert_eq!(restored.readmit_at(1), 7);
+        assert_eq!(restored.backoff(1), 4);
+        assert_eq!(restored.fault_count(1), 1);
+        // The restored tracker continues the exact same timeline.
+        let mut a = h.clone();
+        let mut b = restored;
+        for frame in 6..12 {
+            a.tick(frame);
+            b.tick(frame);
+            assert_eq!(a.state(1), b.state(1), "diverged at frame {frame}");
+            a.record_success(1);
+            b.record_success(1);
+        }
+        assert_eq!(a.state(1), DeviceHealth::Healthy);
+        assert_eq!(b.state(1), DeviceHealth::Healthy);
+    }
+
+    #[test]
+    fn restore_rejects_mismatched_vectors() {
+        let h = HealthTracker::new(2, 2, 2);
+        let mut snap = h.snapshot();
+        snap.faults.pop();
+        assert!(HealthTracker::restore(snap).is_err());
     }
 }

@@ -24,14 +24,22 @@
 //!   prediction band, flagged for re-characterization rather than
 //!   blacklisting.
 
+//! - [`ckpt`] — checkpoint wire-format primitives (byte codec, CRC-32,
+//!   versioned section container) shared by the crash-safe session layer.
+//! - [`crash`] — env-armed deterministic crash points for the process-kill
+//!   chaos harness.
+
+pub mod ckpt;
+pub mod crash;
 pub mod deadline;
 pub mod drift;
 pub mod error;
 pub mod fault;
 pub mod health;
 
+pub use ckpt::{ByteReader, ByteWriter, CheckpointBlob, CKPT_VERSION};
 pub use deadline::{DeadlinePolicy, Deadlines, SyncPoint};
-pub use drift::{DriftConfig, DriftDetector};
+pub use drift::{DriftConfig, DriftDetector, DriftSnapshot};
 pub use error::{DeviceFault, FaultCause, FevesError};
 pub use fault::{FaultKind, FaultSchedule, FaultSpec};
-pub use health::{DeviceHealth, HealthTracker};
+pub use health::{DeviceHealth, HealthSnapshot, HealthTracker};

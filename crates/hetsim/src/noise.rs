@@ -42,6 +42,40 @@ impl MultiplicativeNoise {
             rng: ChaCha8Rng::seed_from_u64(seed),
         }
     }
+
+    /// Capture the generator mid-stream so a resumed encode draws the same
+    /// jitter sequence an uninterrupted run would have drawn.
+    pub fn snapshot(&self) -> NoiseState {
+        let (key, counter, idx) = self.rng.state();
+        NoiseState {
+            amp: self.amp,
+            key,
+            counter,
+            idx: idx as u64,
+        }
+    }
+
+    /// Rebuild the model from a [`NoiseState`] snapshot.
+    pub fn restore(state: &NoiseState) -> Self {
+        MultiplicativeNoise {
+            amp: state.amp,
+            rng: ChaCha8Rng::from_state(state.key, state.counter, state.idx.min(16) as usize),
+        }
+    }
+}
+
+/// Serializable state of a [`MultiplicativeNoise`] stream (amplitude plus
+/// the ChaCha8 key/counter/offset triple).
+#[derive(Clone, Debug, PartialEq)]
+pub struct NoiseState {
+    /// Relative jitter amplitude.
+    pub amp: f64,
+    /// ChaCha8 key words.
+    pub key: [u32; 8],
+    /// Next block counter.
+    pub counter: u64,
+    /// Draw offset inside the current block (16 = exhausted).
+    pub idx: u64,
 }
 
 impl DurationModel for MultiplicativeNoise {
@@ -98,5 +132,19 @@ mod tests {
     #[should_panic(expected = "amplitude")]
     fn invalid_amplitude_panics() {
         let _ = MultiplicativeNoise::new(1.5, 0);
+    }
+
+    #[test]
+    fn snapshot_restore_continues_the_jitter_stream() {
+        let mut a = MultiplicativeNoise::new(0.05, 7);
+        for _ in 0..37 {
+            a.duration(&dummy_task(), 1.0);
+        }
+        let mut b = MultiplicativeNoise::restore(&a.snapshot());
+        for _ in 0..100 {
+            let da = a.duration(&dummy_task(), 1.0);
+            let db = b.duration(&dummy_task(), 1.0);
+            assert_eq!(da, db, "restored stream diverged");
+        }
     }
 }

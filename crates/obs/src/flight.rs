@@ -13,7 +13,7 @@
 //! serializer emits shortest-round-trip floats, and every serialized field
 //! is finite by construction: absent predictions are `null`, not NaN).
 
-use serde::{Deserialize, Serialize};
+use serde::{Deserialize, Serialize, Value};
 use std::collections::VecDeque;
 
 /// The three synchronization points of one frame, milliseconds.
@@ -104,6 +104,10 @@ pub struct FlightRecorder {
     capacity: usize,
     records: VecDeque<FlightRecord>,
     dropped: u64,
+    /// Frames at which an encode session resumed from a checkpoint, in the
+    /// order the resumes happened. Persisted as `{"resume_marker":N}` lines
+    /// interleaved into the JSONL stream.
+    markers: Vec<usize>,
 }
 
 impl FlightRecorder {
@@ -113,7 +117,20 @@ impl FlightRecorder {
             capacity: capacity.max(1),
             records: VecDeque::new(),
             dropped: 0,
+            markers: Vec::new(),
         }
+    }
+
+    /// Note that the session resumed from a checkpoint at inter frame
+    /// `frame`. The marker survives into the JSONL export so post-hoc
+    /// audits can tell a resumed run's seams from organic gaps.
+    pub fn mark_resume(&mut self, frame: usize) {
+        self.markers.push(frame);
+    }
+
+    /// Resume markers recorded so far (frame indices, resume order).
+    pub fn resume_markers(&self) -> &[usize] {
+        &self.markers
     }
 
     /// Append a record, evicting the oldest when full.
@@ -151,29 +168,60 @@ impl FlightRecorder {
     }
 
     /// Serialize the ring as JSONL, one record per line, oldest first.
+    /// Resume markers interleave as `{"resume_marker":N}` lines ahead of the
+    /// first record at-or-after their frame (trailing markers come last).
     pub fn to_jsonl(&self) -> String {
         let mut out = String::new();
+        let mut pending = self.markers.iter().copied().peekable();
         for r in &self.records {
+            while pending.peek().is_some_and(|&m| m <= r.frame) {
+                let m = pending.next().expect("peeked");
+                out.push_str(&format!("{{\"resume_marker\":{m}}}\n"));
+            }
             out.push_str(&serde_json::to_string(r).expect("finite fields"));
             out.push('\n');
+        }
+        for m in pending {
+            out.push_str(&format!("{{\"resume_marker\":{m}}}\n"));
         }
         out
     }
 }
 
-/// Parse a flight JSONL file back into records. Blank lines are skipped;
-/// any malformed line is an error naming its line number.
+/// If `v` is a `{"resume_marker":N}` object, return `N`.
+fn marker_of(v: &Value) -> Option<usize> {
+    match v.get("resume_marker")? {
+        Value::Int(i) if *i >= 0 => Some(*i as usize),
+        Value::UInt(u) => Some(*u as usize),
+        _ => None,
+    }
+}
+
+/// Parse a flight JSONL file back into records. Blank lines and
+/// `{"resume_marker":N}` lines are skipped; any malformed line is an error
+/// naming its line number.
 pub fn parse_jsonl(text: &str) -> Result<Vec<FlightRecord>, String> {
+    parse_jsonl_with_markers(text).map(|(records, _)| records)
+}
+
+/// Parse a flight JSONL file into records plus the resume markers embedded
+/// in the stream (frame indices, stream order).
+pub fn parse_jsonl_with_markers(text: &str) -> Result<(Vec<FlightRecord>, Vec<usize>), String> {
     let mut out = Vec::new();
+    let mut markers = Vec::new();
     for (i, line) in text.lines().enumerate() {
         if line.trim().is_empty() {
             continue;
         }
         let v =
             serde_json::value_from_str(line).map_err(|e| format!("flight line {}: {e}", i + 1))?;
+        if let Some(m) = marker_of(&v) {
+            markers.push(m);
+            continue;
+        }
         out.push(FlightRecord::from_value(&v).map_err(|e| format!("flight line {}: {e}", i + 1))?);
     }
-    Ok(out)
+    Ok((out, markers))
 }
 
 #[cfg(test)]
@@ -257,6 +305,28 @@ mod tests {
         // A structurally wrong record also names its line.
         let err = parse_jsonl("{\"frame\":0}\n").unwrap_err();
         assert!(err.contains("line 1"), "{err}");
+    }
+
+    #[test]
+    fn resume_markers_interleave_and_round_trip() {
+        let mut fr = FlightRecorder::new(8);
+        fr.push(sample_record(0));
+        fr.push(sample_record(1));
+        fr.mark_resume(1); // resumed before frame 1 was re-encoded
+        fr.push(sample_record(2));
+        fr.mark_resume(5); // trailing marker: resume after last record
+        let text = fr.to_jsonl();
+        assert_eq!(text.lines().count(), 5, "3 records + 2 markers:\n{text}");
+        // The frame-1 marker sits before the frame-1 record line.
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines[1], "{\"resume_marker\":1}");
+        assert_eq!(lines[4], "{\"resume_marker\":5}");
+        // Plain parse skips markers; the marker-aware parse returns both.
+        let records = parse_jsonl(&text).unwrap();
+        assert_eq!(records.len(), 3);
+        let (records, markers) = parse_jsonl_with_markers(&text).unwrap();
+        assert_eq!(records, fr.to_vec());
+        assert_eq!(markers, vec![1, 5]);
     }
 
     #[test]

@@ -41,6 +41,7 @@ mod chrome;
 pub mod compare;
 pub mod flight;
 mod histogram;
+pub mod persist;
 mod recorder;
 pub mod report;
 
@@ -48,9 +49,11 @@ pub use audit::{imbalance_index, residual_pct, AuditSummary, DeviceAudit};
 pub use chrome::ChromeTraceBuilder;
 pub use compare::{compare_reports, CompareOutcome, MetricDelta};
 pub use flight::{
-    parse_jsonl as parse_flight_jsonl, DeviceRecord, FlightRecord, FlightRecorder, TauTriple,
+    parse_jsonl as parse_flight_jsonl, parse_jsonl_with_markers as parse_flight_jsonl_with_markers,
+    DeviceRecord, FlightRecord, FlightRecorder, TauTriple,
 };
 pub use histogram::Histogram;
+pub use persist::write_atomic;
 pub use recorder::{MemoryRecorder, NoopRecorder, Recorder, Span, SpanStat};
 pub use report::render_html;
 
@@ -136,10 +139,16 @@ pub enum Metric {
     /// Per-frame load-imbalance index, `max/mean` compute-lane busy time
     /// (the Fig 6 quantity; 1.0 = perfectly balanced).
     LbImbalanceIndex,
+    /// Checkpoints durably committed (temp + fsync + rename completed).
+    CkptWrites,
+    /// Total checkpoint bytes written across all generations.
+    CkptBytes,
+    /// Wall-clock time spent snapshotting + writing one checkpoint (ms).
+    CkptWriteMs,
 }
 
 /// Definitions for every [`Metric`], in `Metric` discriminant order.
-pub static REGISTRY: [MetricDef; 21] = [
+pub static REGISTRY: [MetricDef; 24] = [
     MetricDef {
         name: "sched.overhead_us",
         unit: "us",
@@ -266,11 +275,29 @@ pub static REGISTRY: [MetricDef; 21] = [
         kind: MetricKind::Histogram,
         wall_clock: false,
     },
+    MetricDef {
+        name: "ckpt.writes",
+        unit: "ckpts",
+        kind: MetricKind::Counter,
+        wall_clock: false,
+    },
+    MetricDef {
+        name: "ckpt.bytes_written",
+        unit: "bytes",
+        kind: MetricKind::Counter,
+        wall_clock: false,
+    },
+    MetricDef {
+        name: "ckpt.write_ms",
+        unit: "ms",
+        kind: MetricKind::Histogram,
+        wall_clock: true,
+    },
 ];
 
 impl Metric {
     /// All metrics, in registry order.
-    pub const ALL: [Metric; 21] = [
+    pub const ALL: [Metric; 24] = [
         Metric::SchedOverheadUs,
         Metric::FrameTau1Ms,
         Metric::FrameTau2Ms,
@@ -292,6 +319,9 @@ impl Metric {
         Metric::FtDriftVsFault,
         Metric::AuditResidualAbsPct,
         Metric::LbImbalanceIndex,
+        Metric::CkptWrites,
+        Metric::CkptBytes,
+        Metric::CkptWriteMs,
     ];
 
     /// Registry index.

@@ -1,0 +1,120 @@
+//! Crash-safe artifact persistence.
+//!
+//! Every file the framework emits for a human or a downstream tool — flight
+//! JSONL, metrics JSON, bench results, HTML reports — goes through
+//! [`write_atomic`]: write the full payload to a temp file *in the same
+//! directory*, fsync it, then `rename` over the destination. POSIX rename is
+//! atomic within a filesystem, so a reader (or a crash at any instant) sees
+//! either the complete old file or the complete new file — never a torn one.
+//!
+//! The temp file lives next to the destination (not in `/tmp`) because
+//! `rename(2)` cannot cross filesystems; the name embeds the destination
+//! file name plus the process id so concurrent writers to *different* files
+//! in one directory never collide.
+
+use std::fs::{self, File};
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+
+/// Temp-file path for an atomic write to `dest`: same directory,
+/// `.<name>.<pid>.tmp`.
+fn temp_path_for(dest: &Path) -> PathBuf {
+    let dir = dest.parent().unwrap_or_else(|| Path::new("."));
+    let name = dest
+        .file_name()
+        .map(|n| n.to_string_lossy().into_owned())
+        .unwrap_or_else(|| "artifact".to_string());
+    dir.join(format!(".{name}.{}.tmp", std::process::id()))
+}
+
+/// Durably replace `dest` with `bytes`: temp file in the same directory →
+/// write → fsync → atomic rename → directory fsync (best-effort on
+/// non-unix). On any error the temp file is removed and `dest` is left
+/// exactly as it was.
+pub fn write_atomic(dest: impl AsRef<Path>, bytes: impl AsRef<[u8]>) -> io::Result<()> {
+    let dest = dest.as_ref();
+    let tmp = temp_path_for(dest);
+    let result = (|| {
+        let mut f = File::create(&tmp)?;
+        f.write_all(bytes.as_ref())?;
+        f.sync_all()?;
+        drop(f);
+        fs::rename(&tmp, dest)?;
+        sync_parent_dir(dest);
+        Ok(())
+    })();
+    if result.is_err() {
+        let _ = fs::remove_file(&tmp);
+    }
+    result
+}
+
+/// fsync the directory containing `path` so the rename itself is durable.
+/// Directory fds are not writable on all platforms; failures are ignored —
+/// the data file is already synced, only the rename's durability window
+/// widens.
+pub(crate) fn sync_parent_dir(path: &Path) {
+    #[cfg(unix)]
+    if let Some(dir) = path.parent() {
+        let dir = if dir.as_os_str().is_empty() {
+            Path::new(".")
+        } else {
+            dir
+        };
+        if let Ok(d) = File::open(dir) {
+            let _ = d.sync_all();
+        }
+    }
+    #[cfg(not(unix))]
+    let _ = path;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scratch_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("feves-persist-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn writes_new_file_and_replaces_existing() {
+        let dir = scratch_dir("basic");
+        let dest = dir.join("out.json");
+        write_atomic(&dest, b"first").unwrap();
+        assert_eq!(fs::read(&dest).unwrap(), b"first");
+        write_atomic(&dest, b"second, longer payload").unwrap();
+        assert_eq!(fs::read(&dest).unwrap(), b"second, longer payload");
+        // No temp droppings left behind.
+        let leftovers: Vec<_> = fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().ends_with(".tmp"))
+            .collect();
+        assert!(leftovers.is_empty(), "{leftovers:?}");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn failed_write_leaves_destination_untouched() {
+        let dir = scratch_dir("fail");
+        let dest = dir.join("missing-subdir").join("out.json");
+        // Parent of dest does not exist → File::create fails; nothing
+        // should appear anywhere.
+        assert!(write_atomic(&dest, b"x").is_err());
+        assert!(!dest.exists());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn temp_name_is_sibling_and_hidden() {
+        let t = temp_path_for(Path::new("/a/b/report.html"));
+        assert_eq!(t.parent().unwrap(), Path::new("/a/b"));
+        let name = t.file_name().unwrap().to_string_lossy().into_owned();
+        assert!(name.starts_with(".report.html."), "{name}");
+        assert!(name.ends_with(".tmp"), "{name}");
+    }
+}

@@ -10,6 +10,7 @@
 //! multi-user time sharing, operating system actions)" within one frame.
 
 use feves_codec::types::Module;
+use feves_ft::{ByteReader, ByteWriter, FevesError};
 use feves_hetsim::timeline::{Dir, TransferTag};
 use serde::{Deserialize, Serialize};
 
@@ -200,6 +201,66 @@ impl PerfChar {
         self.t_rstar[d] = f64::NAN;
     }
 
+    /// Serialize to the checkpoint byte codec. JSON is unusable here — the
+    /// NaN "uncharacterized" sentinels have no JSON representation — so the
+    /// rates are written by bit pattern.
+    pub fn to_ckpt_bytes(&self) -> Vec<u8> {
+        let mut w = ByteWriter::new();
+        w.put_usize(self.n_devices);
+        w.put_f64(self.alpha.0);
+        w.put_f64_slice(&self.k_me);
+        w.put_f64_slice(&self.k_int);
+        w.put_f64_slice(&self.k_sme);
+        for tag in &self.k_xfer {
+            for dir in tag {
+                w.put_f64_slice(dir);
+            }
+        }
+        w.put_f64_slice(&self.t_rstar);
+        w.into_bytes()
+    }
+
+    /// Decode a [`to_ckpt_bytes`] payload, validating that every rate vector
+    /// matches the stored device count.
+    ///
+    /// [`to_ckpt_bytes`]: PerfChar::to_ckpt_bytes
+    pub fn from_ckpt_bytes(bytes: &[u8]) -> Result<Self, FevesError> {
+        let mut r = ByteReader::new(bytes);
+        let n_devices = r.take_usize()?;
+        let alpha = Ewma(r.take_f64()?);
+        let mut vecs = || -> Result<Vec<f64>, FevesError> {
+            let v = r.take_f64_vec()?;
+            if v.len() != n_devices {
+                return Err(FevesError::CheckpointCorrupt(format!(
+                    "perfchar rate vector has {} entries for {} devices",
+                    v.len(),
+                    n_devices
+                )));
+            }
+            Ok(v)
+        };
+        let k_me = vecs()?;
+        let k_int = vecs()?;
+        let k_sme = vecs()?;
+        let mut xfer_flat = Vec::with_capacity(8);
+        for _ in 0..8 {
+            xfer_flat.push(vecs()?);
+        }
+        let t_rstar = vecs()?;
+        r.expect_end("perfchar payload")?;
+        let mut it = xfer_flat.into_iter();
+        let k_xfer = std::array::from_fn(|_| std::array::from_fn(|_| it.next().unwrap()));
+        Ok(PerfChar {
+            n_devices,
+            alpha,
+            k_me,
+            k_int,
+            k_sme,
+            k_xfer,
+            t_rstar,
+        })
+    }
+
     /// Project the characterization onto the devices where `keep[i]` is
     /// true (reduced-platform enumeration). Rates survive blacklisting, so
     /// a re-admitted device is scheduled from its last known speeds instead
@@ -350,6 +411,38 @@ mod tests {
         pc.record_compute(1, Module::Sme, 10, 2.0);
         assert!(pc.is_complete());
         assert_eq!(pc.k_me(1), Some(0.2), "NaN-folded EWMA takes the sample");
+    }
+
+    #[test]
+    fn ckpt_bytes_round_trip_preserves_nan_sentinels() {
+        let mut pc = PerfChar::new(3, Ewma(0.5));
+        pc.record_compute(0, Module::Me, 10, 0.5);
+        pc.record_compute(1, Module::Sme, 4, 0.2);
+        pc.record_transfer(2, TransferTag::Sf, Dir::D2h, 4, 0.8);
+        pc.record_rstar(1, 0.25);
+        // Device 2's compute slots are still NaN — the round trip must keep
+        // them "uncharacterized", not turn them into 0.
+        let back = PerfChar::from_ckpt_bytes(&pc.to_ckpt_bytes()).unwrap();
+        assert_eq!(back.n_devices(), 3);
+        assert_eq!(back.k_me(0), pc.k_me(0));
+        assert_eq!(back.k_sme(1), pc.k_sme(1));
+        assert_eq!(back.k_me(2), None);
+        assert_eq!(
+            back.k_transfer(2, TransferTag::Sf, Dir::D2h),
+            pc.k_transfer(2, TransferTag::Sf, Dir::D2h)
+        );
+        assert_eq!(back.t_rstar(1), Some(0.25));
+        assert_eq!(back.is_complete(), pc.is_complete());
+    }
+
+    #[test]
+    fn ckpt_bytes_reject_truncation_and_bad_counts() {
+        let pc = PerfChar::new(2, Ewma(1.0));
+        let bytes = pc.to_ckpt_bytes();
+        assert!(PerfChar::from_ckpt_bytes(&bytes[..bytes.len() - 3]).is_err());
+        let mut grown = bytes.clone();
+        grown.push(0);
+        assert!(PerfChar::from_ckpt_bytes(&grown).is_err(), "trailing bytes");
     }
 
     #[test]

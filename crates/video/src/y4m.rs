@@ -18,6 +18,11 @@ pub struct Y4mHeader {
     pub fps: (u32, u32),
 }
 
+/// Largest width/height a Y4M header may declare. Anything bigger is far
+/// beyond DCI 8K and almost certainly a corrupted or hostile header — the
+/// reader must reject it *before* sizing a frame buffer from it.
+pub const MAX_Y4M_DIM: usize = 16_384;
+
 /// Reads frames from a Y4M stream.
 pub struct Y4mReader<R> {
     inner: R,
@@ -38,28 +43,34 @@ impl<R: BufRead> Y4mReader<R> {
         let mut height = 0usize;
         let mut fps = (25, 1);
         for tag in text.split_ascii_whitespace().skip(1) {
-            let (key, val) = tag.split_at(1);
+            // Key is the first *character* (not byte): a multi-byte UTF-8
+            // key must fall through to "unknown tag", not split mid-char.
+            let mut chars = tag.char_indices();
+            let Some((_, key)) = chars.next() else {
+                continue;
+            };
+            let val = &tag[chars.next().map(|(i, _)| i).unwrap_or(tag.len())..];
             match key {
-                "W" => {
+                'W' => {
                     width = val
                         .parse()
                         .map_err(|_| VideoError::ParseError(format!("bad W tag {val}")))?
                 }
-                "H" => {
+                'H' => {
                     height = val
                         .parse()
                         .map_err(|_| VideoError::ParseError(format!("bad H tag {val}")))?
                 }
-                "F" => {
+                'F' => {
                     let mut it = val.splitn(2, ':');
-                    let n = it.next().and_then(|s| s.parse().ok());
-                    let d = it.next().and_then(|s| s.parse().ok());
+                    let n: Option<u32> = it.next().and_then(|s| s.parse().ok());
+                    let d: Option<u32> = it.next().and_then(|s| s.parse().ok());
                     match (n, d) {
-                        (Some(n), Some(d)) if d > 0 => fps = (n, d),
+                        (Some(n), Some(d)) if n > 0 && d > 0 => fps = (n, d),
                         _ => return Err(VideoError::ParseError(format!("bad F tag {val}"))),
                     }
                 }
-                "C" if !val.starts_with("420") => {
+                'C' if !val.starts_with("420") => {
                     return Err(VideoError::ParseError(format!(
                         "unsupported chroma {val}, only 4:2:0"
                     )));
@@ -69,6 +80,17 @@ impl<R: BufRead> Y4mReader<R> {
         }
         if width == 0 || height == 0 {
             return Err(VideoError::ParseError("missing W/H tags".into()));
+        }
+        if width > MAX_Y4M_DIM || height > MAX_Y4M_DIM {
+            return Err(VideoError::BadDimensions(format!(
+                "{width}x{height} exceeds the {MAX_Y4M_DIM} limit — refusing to \
+                 size buffers from an implausible header"
+            )));
+        }
+        if !width.is_multiple_of(2) || !height.is_multiple_of(2) {
+            return Err(VideoError::BadDimensions(format!(
+                "{width}x{height} is odd — 4:2:0 chroma needs even dimensions"
+            )));
         }
         Ok(Y4mReader {
             inner,
@@ -135,6 +157,30 @@ impl<W: Write> Y4mWriter<W> {
             header,
             wrote_header: false,
         }
+    }
+
+    /// Create a writer appending to a stream that *already* carries its
+    /// header (checkpoint resume: the output file was truncated to a frame
+    /// boundary past the original header).
+    pub fn resume(inner: W, header: Y4mHeader) -> Self {
+        Y4mWriter {
+            inner,
+            header,
+            wrote_header: true,
+        }
+    }
+
+    /// Flush buffered frames to the underlying writer without consuming
+    /// the writer (checkpoint commits need frame-boundary durability).
+    pub fn flush(&mut self) -> Result<(), VideoError> {
+        self.inner.flush()?;
+        Ok(())
+    }
+
+    /// Shared access to the underlying writer (e.g. to fsync the backing
+    /// file after a flush).
+    pub fn get_ref(&self) -> &W {
+        &self.inner
     }
 
     /// Append one frame (display region only; padding stripped).

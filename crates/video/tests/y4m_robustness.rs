@@ -1,0 +1,172 @@
+//! Robustness properties of the Y4M reader: no input — truncated, mutated,
+//! or outright garbage — may panic, allocate absurdly, or return a frame
+//! that was never fully present in the stream. Every failure mode must be
+//! a typed [`VideoError`].
+
+use feves_video::error::VideoError;
+use feves_video::synth::{SynthConfig, SynthSequence};
+use feves_video::y4m::{Y4mHeader, Y4mReader, Y4mWriter, MAX_Y4M_DIM};
+use proptest::prelude::*;
+use std::io::Cursor;
+
+/// A small valid two-frame stream to mutate.
+fn valid_stream() -> Vec<u8> {
+    let mut seq = SynthSequence::new(SynthConfig::tiny_test());
+    let frames = seq.take_frames(2);
+    let header = Y4mHeader {
+        resolution: frames[0].resolution(),
+        fps: (25, 1),
+    };
+    let mut w = Y4mWriter::new(Vec::new(), header);
+    for f in &frames {
+        w.write_frame(f).unwrap();
+    }
+    w.finish().unwrap()
+}
+
+/// Feed `bytes` through the reader to completion; the only acceptable
+/// outcomes are parsed frames or a typed error — this harness converts a
+/// panic into a test failure via proptest.
+fn drain(bytes: &[u8]) -> Result<usize, VideoError> {
+    let mut r = Y4mReader::new(Cursor::new(bytes.to_vec()))?;
+    let mut n = 0;
+    while let Some(_f) = r.read_frame()? {
+        n += 1;
+    }
+    Ok(n)
+}
+
+proptest! {
+    #[test]
+    fn truncation_at_any_point_never_panics(cut in 0usize..6000) {
+        let full = valid_stream();
+        let cut = cut.min(full.len());
+        // Either a clean short parse or a typed error; never a panic.
+        let _ = drain(&full[..cut]);
+    }
+
+    #[test]
+    fn single_byte_mutations_never_panic(pos in 0usize..6000, val in any::<u8>()) {
+        let mut bytes = valid_stream();
+        let pos = pos % bytes.len();
+        bytes[pos] = val;
+        let _ = drain(&bytes);
+    }
+
+    #[test]
+    fn arbitrary_garbage_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..2048)) {
+        let _ = drain(&bytes);
+    }
+
+    #[test]
+    fn random_header_lines_never_panic(
+        tags in proptest::collection::vec(proptest::collection::vec(32u8..127u8, 0..12), 0..8)
+    ) {
+        let mut line = b"YUV4MPEG2".to_vec();
+        for t in &tags {
+            line.push(b' ');
+            line.extend_from_slice(t);
+        }
+        line.push(b'\n');
+        let _ = drain(&line);
+    }
+
+    #[test]
+    fn random_bytes_in_the_header_never_panic(
+        raw in proptest::collection::vec(any::<u8>(), 0..24)
+    ) {
+        let mut line = b"YUV4MPEG2 ".to_vec();
+        line.extend_from_slice(&raw);
+        line.extend_from_slice(b" W16 H16\n");
+        let _ = drain(&line);
+    }
+}
+
+#[test]
+fn multibyte_utf8_tag_key_is_ignored_not_split() {
+    // A multi-byte first character once hit a byte-indexed `split_at(1)`
+    // and panicked on the char boundary.
+    let line = "YUV4MPEG2 \u{03A9}420 W16 H16\n";
+    let r = Y4mReader::new(Cursor::new(line.as_bytes().to_vec())).unwrap();
+    assert_eq!(r.header().resolution.width, 16);
+    assert_eq!(r.header().resolution.height, 16);
+}
+
+#[test]
+fn absurd_dimensions_are_rejected_before_allocation() {
+    for hdr in [
+        format!("YUV4MPEG2 W{} H16 F25:1\n", MAX_Y4M_DIM + 2),
+        format!("YUV4MPEG2 W16 H{} F25:1\n", MAX_Y4M_DIM + 2),
+        "YUV4MPEG2 W99999999999999999999 H16\n".to_string(),
+        format!("YUV4MPEG2 W{0} H{0}\n", usize::MAX),
+    ] {
+        let err = Y4mReader::new(Cursor::new(hdr.clone().into_bytes()))
+            .map(|_| ())
+            .unwrap_err();
+        assert!(
+            matches!(
+                err,
+                VideoError::BadDimensions(_) | VideoError::ParseError(_)
+            ),
+            "{hdr:?} → {err}"
+        );
+    }
+}
+
+#[test]
+fn odd_dimensions_are_rejected() {
+    let err = Y4mReader::new(Cursor::new(b"YUV4MPEG2 W17 H16\n".to_vec()))
+        .map(|_| ())
+        .unwrap_err();
+    assert!(matches!(err, VideoError::BadDimensions(_)), "{err}");
+}
+
+#[test]
+fn zero_rate_fps_is_rejected() {
+    for hdr in ["YUV4MPEG2 W16 H16 F0:1\n", "YUV4MPEG2 W16 H16 F25:0\n"] {
+        assert!(
+            Y4mReader::new(Cursor::new(hdr.as_bytes().to_vec())).is_err(),
+            "{hdr:?}"
+        );
+    }
+}
+
+#[test]
+fn truncated_mid_frame_is_a_typed_error_not_a_short_frame() {
+    let full = valid_stream();
+    // Cut inside the second frame's payload: first frame parses, second errors.
+    let cut = full.len() - 7;
+    let mut r = Y4mReader::new(Cursor::new(full[..cut].to_vec())).unwrap();
+    assert!(r.read_frame().unwrap().is_some(), "first frame is intact");
+    let err = r.read_frame().unwrap_err();
+    assert!(matches!(err, VideoError::UnexpectedEof), "{err}");
+}
+
+#[test]
+fn resume_writer_skips_the_header() {
+    let mut seq = SynthSequence::new(SynthConfig::tiny_test());
+    let frames = seq.take_frames(2);
+    let header = Y4mHeader {
+        resolution: frames[0].resolution(),
+        fps: (25, 1),
+    };
+    // Full stream in one writer...
+    let mut w = Y4mWriter::new(Vec::new(), header);
+    for f in &frames {
+        w.write_frame(f).unwrap();
+    }
+    let whole = w.finish().unwrap();
+    // ...equals header+frame0 from a fresh writer plus frame1 from a
+    // resumed writer appended after it.
+    let mut first = Y4mWriter::new(Vec::new(), header);
+    first.write_frame(&frames[0]).unwrap();
+    let mut bytes = first.finish().unwrap();
+    let mut second = Y4mWriter::resume(Vec::new(), header);
+    second.flush().unwrap();
+    second.write_frame(&frames[1]).unwrap();
+    bytes.extend_from_slice(&second.finish().unwrap());
+    assert_eq!(
+        whole, bytes,
+        "resumed writer must continue the exact stream"
+    );
+}

@@ -4,6 +4,7 @@
 //! feves platforms                          list the built-in platforms
 //! feves simulate [options]                 timing-only 1080p run (virtual clock)
 //! feves encode <in.y4m> [out.y4m] [opts]   functional encode of a Y4M file
+//! feves resume <ckpt|dir> [options]        continue a crashed encode session
 //! feves trace [options]                    print a steady-state frame Gantt
 //! feves stats [options]                    run + print the metrics summary
 //! feves report <flight.jsonl> [--html]     audit a recorded flight log
@@ -18,14 +19,46 @@
 //! `--inject-fault <spec>` (repeatable — e.g. `0:death@5`, `1:stall@3+4`,
 //! `1:slow@3+4x10`, `0:xfer@7`, `0:panic@2`), `--deadline-factor <f>`,
 //! `--kernels scalar|fast` (hot-kernel family; overrides `FEVES_KERNELS`;
-//! CPU device profiles are re-scaled so simulated times match the choice).
+//! CPU device profiles are re-scaled so simulated times match the choice),
+//! `--checkpoint-every <k>` (encode: durable checkpoint every k frames),
+//! `--checkpoint-dir <dir>`, `--checkpoint-keep <n>`.
+//!
+//! Exit codes: 0 success, 1 runtime failure (one-line `error:` on stderr,
+//! no usage banner) or a failed `compare` gate, 2 usage error (banner
+//! shown).
 
 use feves::core::prelude::*;
-use feves::obs::{compare_reports, parse_flight_jsonl, render_html, MemoryRecorder};
-use feves::video::y4m::{Y4mReader, Y4mWriter};
-use std::io::{BufReader, BufWriter};
+use feves::ft::ckpt::fnv1a64;
+use feves::ft::crash::crash_point_at;
+use feves::obs::{
+    compare_reports, parse_flight_jsonl, render_html, write_atomic, MemoryRecorder, NoopRecorder,
+};
+use feves::video::frame::Frame;
+use feves::video::y4m::{Y4mHeader, Y4mReader, Y4mWriter};
+use std::io::{BufWriter, Seek, SeekFrom};
+use std::path::PathBuf;
 use std::process::ExitCode;
 use std::sync::Arc;
+
+/// A bad invocation (unknown command/flag, missing positional, malformed
+/// flag value): one line on stderr, then the usage banner, exit 2.
+/// Everything that goes wrong *after* a well-formed invocation is
+/// `Runtime`: one line on stderr, no banner, exit 1.
+enum CliError {
+    Usage(String),
+    Runtime(String),
+}
+
+impl CliError {
+    fn usage(e: impl ToString) -> Self {
+        CliError::Usage(e.to_string())
+    }
+    fn runtime(e: impl ToString) -> Self {
+        CliError::Runtime(e.to_string())
+    }
+}
+
+type CliResult<T = ()> = Result<T, CliError>;
 
 struct Options {
     platform: String,
@@ -44,6 +77,9 @@ struct Options {
     html: bool,
     out: Option<String>,
     threshold: f64,
+    checkpoint_every: usize,
+    checkpoint_dir: Option<String>,
+    checkpoint_keep: usize,
 }
 
 impl Default for Options {
@@ -65,6 +101,9 @@ impl Default for Options {
             html: false,
             out: None,
             threshold: 0.10,
+            checkpoint_every: 0,
+            checkpoint_dir: None,
+            checkpoint_keep: 2,
         }
     }
 }
@@ -101,6 +140,17 @@ fn parse_options(args: &[String]) -> Result<(Options, Vec<String>), String> {
             "--threshold" => {
                 opts.threshold = grab()?.parse().map_err(|e| format!("--threshold: {e}"))?
             }
+            "--checkpoint-every" => {
+                opts.checkpoint_every = grab()?
+                    .parse()
+                    .map_err(|e| format!("--checkpoint-every: {e}"))?
+            }
+            "--checkpoint-dir" => opts.checkpoint_dir = Some(grab()?.clone()),
+            "--checkpoint-keep" => {
+                opts.checkpoint_keep = grab()?
+                    .parse()
+                    .map_err(|e| format!("--checkpoint-keep: {e}"))?
+            }
             _ if a.starts_with("--") => return Err(format!("unknown option {a}")),
             _ => positional.push(a.clone()),
         }
@@ -132,11 +182,11 @@ fn platform_of(name: &str) -> Result<(Platform, BalancerKind), String> {
     })
 }
 
-/// Resolve `--kernels` (falling back to `FEVES_KERNELS` / the default),
-/// force the runtime dispatch accordingly, and return the active kind.
-fn apply_kernel_choice(opts: &Options) -> Result<feves::codec::KernelKind, String> {
+/// Resolve a `--kernels` choice (falling back to `FEVES_KERNELS` / the
+/// default), force the runtime dispatch accordingly, and return the kind.
+fn apply_kernel_choice(kernels: Option<&str>) -> Result<feves::codec::KernelKind, String> {
     use feves::codec::kernels;
-    let kind = match opts.kernels.as_deref() {
+    let kind = match kernels {
         Some("scalar") => kernels::KernelKind::Scalar,
         Some("fast") => kernels::KernelKind::Fast,
         Some(other) => return Err(format!("--kernels: unknown value '{other}' (scalar|fast)")),
@@ -146,46 +196,103 @@ fn apply_kernel_choice(opts: &Options) -> Result<feves::codec::KernelKind, Strin
     Ok(kind)
 }
 
-fn config_of(opts: &Options, resolution: Resolution) -> Result<(Platform, EncoderConfig), String> {
-    let kernel_kind = apply_kernel_choice(opts)?;
-    let (mut platform, default_balancer) = match &opts.platform_file {
-        Some(path) => {
-            let json = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
-            (
-                Platform::from_json(&json).map_err(|e| e.to_string())?,
-                BalancerKind::Feves,
-            )
+/// The flag set that defines an encode job, independent of whether it came
+/// from the command line or from a checkpoint's [`ResumeContext`].
+struct JobSpec<'a> {
+    platform: &'a str,
+    /// Platform JSON *content* (already read), when a file was given.
+    platform_json: Option<&'a str>,
+    sa: u16,
+    refs: usize,
+    qp: u8,
+    balancer: &'a str,
+    kernels: Option<&'a str>,
+    faults: &'a [String],
+    deadline_factor: Option<f64>,
+}
+
+impl<'a> JobSpec<'a> {
+    fn from_options(opts: &'a Options, platform_json: Option<&'a str>) -> Self {
+        JobSpec {
+            platform: &opts.platform,
+            platform_json,
+            sa: opts.sa,
+            refs: opts.refs,
+            qp: opts.qp,
+            balancer: &opts.balancer,
+            kernels: opts.kernels.as_deref(),
+            faults: &opts.faults,
+            deadline_factor: opts.deadline_factor,
         }
-        None => platform_of(&opts.platform)?,
-    };
-    // Simulated CPU device times must reflect the kernels the host actually
-    // runs (scalar loops are slower than the calibrated SWAR baseline).
-    platform.devices = platform
-        .devices
-        .drain(..)
-        .map(|d| feves::hetsim::profiles::scaled_for_kernels(d, kernel_kind))
-        .collect();
-    let params = EncodeParams {
-        search_area: SearchArea(opts.sa),
-        n_ref: opts.refs,
-        qp: opts.qp,
-        qp_intra: opts.qp.saturating_sub(1),
-    };
-    let mut cfg = EncoderConfig::full_hd(params);
-    cfg.resolution = resolution;
-    cfg.balancer = match opts.balancer.as_str() {
-        "feves" => default_balancer,
-        "proportional" => BalancerKind::Proportional,
-        "equidistant" => BalancerKind::Equidistant,
-        other => return Err(format!("unknown balancer '{other}'")),
-    };
-    cfg.faults = feves::ft::FaultSchedule::parse(&opts.faults)
-        .map_err(|e| e.to_string())?
-        .specs;
-    if let Some(f) = opts.deadline_factor {
-        cfg.deadline_factor = f;
     }
-    Ok((platform, cfg))
+
+    fn from_context(ctx: &'a ResumeContext) -> Self {
+        JobSpec {
+            platform: &ctx.platform,
+            platform_json: ctx.platform_json.as_deref(),
+            sa: ctx.sa,
+            refs: ctx.refs,
+            qp: ctx.qp,
+            balancer: &ctx.balancer,
+            kernels: ctx.kernels.as_deref(),
+            faults: &ctx.faults,
+            deadline_factor: ctx.deadline_factor,
+        }
+    }
+
+    /// Build the platform + config this spec describes. This is the single
+    /// reconstruction path for both fresh encodes and resumes, so a resumed
+    /// session replays exactly the configuration of the original one.
+    fn build(&self, resolution: Resolution) -> Result<(Platform, EncoderConfig), String> {
+        let kernel_kind = apply_kernel_choice(self.kernels)?;
+        let (mut platform, default_balancer) = match self.platform_json {
+            Some(json) => (
+                Platform::from_json(json).map_err(|e| e.to_string())?,
+                BalancerKind::Feves,
+            ),
+            None => platform_of(self.platform)?,
+        };
+        // Simulated CPU device times must reflect the kernels the host
+        // actually runs (scalar loops are slower than the SWAR baseline).
+        platform.devices = platform
+            .devices
+            .drain(..)
+            .map(|d| feves::hetsim::profiles::scaled_for_kernels(d, kernel_kind))
+            .collect();
+        let params = EncodeParams {
+            search_area: SearchArea(self.sa),
+            n_ref: self.refs,
+            qp: self.qp,
+            qp_intra: self.qp.saturating_sub(1),
+        };
+        let mut cfg = EncoderConfig::full_hd(params);
+        cfg.resolution = resolution;
+        cfg.balancer = match self.balancer {
+            "feves" => default_balancer,
+            "proportional" => BalancerKind::Proportional,
+            "equidistant" => BalancerKind::Equidistant,
+            other => return Err(format!("unknown balancer '{other}'")),
+        };
+        cfg.faults = feves::ft::FaultSchedule::parse(self.faults)
+            .map_err(|e| e.to_string())?
+            .specs;
+        if let Some(f) = self.deadline_factor {
+            cfg.deadline_factor = f;
+        }
+        Ok((platform, cfg))
+    }
+}
+
+fn config_of(opts: &Options, resolution: Resolution) -> CliResult<(Platform, EncoderConfig)> {
+    let json = match &opts.platform_file {
+        Some(path) => Some(
+            std::fs::read_to_string(path).map_err(|e| CliError::runtime(format!("{path}: {e}")))?,
+        ),
+        None => None,
+    };
+    JobSpec::from_options(opts, json.as_deref())
+        .build(resolution)
+        .map_err(CliError::usage)
 }
 
 fn cmd_platforms() {
@@ -225,27 +332,31 @@ fn attach_recorder(enc: &mut FevesEncoder, opts: &Options) -> Option<Arc<MemoryR
     })
 }
 
-/// Write the recorder's JSONL dump to the `--metrics-out` path.
-fn write_metrics(rec: &Option<Arc<MemoryRecorder>>, opts: &Options) -> Result<(), String> {
-    if let (Some(rec), Some(path)) = (rec, &opts.metrics_out) {
-        std::fs::write(path, rec.to_jsonl(false)).map_err(|e| format!("{path}: {e}"))?;
+/// Write the recorder's JSONL dump to the `--metrics-out` path (atomic:
+/// a crash mid-write can never leave a torn metrics file).
+fn write_metrics(rec: &Option<Arc<MemoryRecorder>>, metrics_out: &Option<String>) -> CliResult {
+    if let (Some(rec), Some(path)) = (rec, metrics_out) {
+        write_atomic(path, rec.to_jsonl(false))
+            .map_err(|e| CliError::runtime(format!("{path}: {e}")))?;
         eprintln!("metrics written to {path}");
     }
     Ok(())
 }
 
 /// Turn on the flight recorder when `--flight-out` asked for one.
-fn enable_flight(enc: &mut FevesEncoder, opts: &Options, frames: usize) {
-    if opts.flight_out.is_some() {
+fn enable_flight(enc: &mut FevesEncoder, flight_out: &Option<String>, frames: usize) {
+    if flight_out.is_some() {
         enc.enable_flight(frames.max(1));
     }
 }
 
-/// Write the flight ring as JSONL to the `--flight-out` path.
-fn write_flight(enc: &FevesEncoder, opts: &Options) -> Result<(), String> {
-    if let Some(path) = &opts.flight_out {
-        let fl = enc.flight().expect("enabled whenever --flight-out is set");
-        std::fs::write(path, fl.to_jsonl()).map_err(|e| format!("{path}: {e}"))?;
+/// Write the flight ring as JSONL to the `--flight-out` path (atomic).
+fn write_flight(enc: &FevesEncoder, flight_out: &Option<String>) -> CliResult {
+    if let Some(path) = &flight_out {
+        let fl = enc
+            .flight()
+            .ok_or_else(|| CliError::runtime("flight recorder was never enabled".to_string()))?;
+        write_atomic(path, fl.to_jsonl()).map_err(|e| CliError::runtime(format!("{path}: {e}")))?;
         eprintln!(
             "flight log written to {path} ({} record(s), {} dropped)",
             fl.len(),
@@ -281,11 +392,11 @@ fn print_rollups(report: &EncodeReport) {
     }
 }
 
-fn cmd_simulate(opts: &Options) -> Result<(), String> {
+fn cmd_simulate(opts: &Options) -> CliResult {
     let (platform, cfg) = config_of(opts, Resolution::FULL_HD)?;
-    let mut enc = FevesEncoder::new(platform, cfg).map_err(|e| e.to_string())?;
+    let mut enc = FevesEncoder::new(platform, cfg).map_err(CliError::runtime)?;
     let rec = attach_recorder(&mut enc, opts);
-    enable_flight(&mut enc, opts, opts.frames);
+    enable_flight(&mut enc, &opts.flight_out, opts.frames);
     let report = enc.run_timing(opts.frames);
     println!(
         "{} | 1080p | SA {}x{} | {} RF | balancer {} | kernels {}",
@@ -323,19 +434,19 @@ fn cmd_simulate(opts: &Options) -> Result<(), String> {
     );
     print_ft(&enc);
     print_rollups(&report);
-    write_flight(&enc, opts)?;
-    write_metrics(&rec, opts)
+    write_flight(&enc, &opts.flight_out)?;
+    write_metrics(&rec, &opts.metrics_out)
 }
 
-fn cmd_stats(opts: &Options) -> Result<(), String> {
+fn cmd_stats(opts: &Options) -> CliResult {
     let (platform, cfg) = config_of(opts, Resolution::FULL_HD)?;
-    let mut enc = FevesEncoder::new(platform, cfg).map_err(|e| e.to_string())?;
+    let mut enc = FevesEncoder::new(platform, cfg).map_err(CliError::runtime)?;
     let rec = Arc::new(MemoryRecorder::new());
     // Install globally too, so spans from the free functions (Algorithm 2,
     // the LP solve, the VCM build, the DAM planner) are captured.
     feves::obs::install(rec.clone());
     enc.set_recorder(rec.clone());
-    enable_flight(&mut enc, opts, opts.frames);
+    enable_flight(&mut enc, &opts.flight_out, opts.frames);
     let report = enc.run_timing(opts.frames);
     println!(
         "{} | 1080p | SA {}x{} | {} RF | balancer {} | kernels {} | {} inter-frames\n",
@@ -351,24 +462,27 @@ fn cmd_stats(opts: &Options) -> Result<(), String> {
     println!();
     print_ft(&enc);
     print_rollups(&report);
-    write_flight(&enc, opts)?;
+    write_flight(&enc, &opts.flight_out)?;
     if let Some(path) = &opts.metrics_out {
-        std::fs::write(path, rec.to_jsonl(false)).map_err(|e| format!("{path}: {e}"))?;
+        write_atomic(path, rec.to_jsonl(false))
+            .map_err(|e| CliError::runtime(format!("{path}: {e}")))?;
         eprintln!("metrics written to {path}");
     }
     Ok(())
 }
 
-fn cmd_trace(opts: &Options) -> Result<(), String> {
+fn cmd_trace(opts: &Options) -> CliResult {
     let (platform, mut cfg) = config_of(opts, Resolution::FULL_HD)?;
     cfg.noise_amp = 0.0;
-    let mut enc = FevesEncoder::new(platform, cfg).map_err(|e| e.to_string())?;
+    let mut enc = FevesEncoder::new(platform, cfg).map_err(CliError::runtime)?;
     let rec = attach_recorder(&mut enc, opts);
     for _ in 0..opts.refs + 4 {
         enc.encode_inter_timing();
     }
     let report = enc.encode_inter_timing();
-    let trace = enc.last_trace().unwrap();
+    let trace = enc
+        .last_trace()
+        .ok_or_else(|| CliError::runtime("no trace recorded for the steady-state frame"))?;
     match opts.trace_format.as_str() {
         "gantt" => {
             println!("{}", trace.render_gantt(100));
@@ -382,43 +496,60 @@ fn cmd_trace(opts: &Options) -> Result<(), String> {
             // Perfetto/chrome://tracing-loadable trace-event JSON.
             println!("{}", trace.to_chrome_trace().to_json());
         }
-        other => return Err(format!("unknown trace format '{other}' (gantt|chrome)")),
+        other => {
+            return Err(CliError::usage(format!(
+                "unknown trace format '{other}' (gantt|chrome)"
+            )))
+        }
     }
-    write_metrics(&rec, opts)
+    write_metrics(&rec, &opts.metrics_out)
 }
 
-fn cmd_encode(opts: &Options, input: &str, output: Option<&str>) -> Result<(), String> {
-    let file = std::fs::File::open(input).map_err(|e| format!("{input}: {e}"))?;
-    let mut reader = Y4mReader::new(BufReader::new(file)).map_err(|e| e.to_string())?;
+/// Read a Y4M input entirely, returning its raw bytes' fingerprint plus the
+/// parsed header and frames.
+fn read_input(input: &str) -> CliResult<(u64, Y4mHeader, Vec<Frame>)> {
+    let raw = std::fs::read(input).map_err(|e| CliError::runtime(format!("{input}: {e}")))?;
+    let fp = fnv1a64(&raw);
+    let mut reader = Y4mReader::new(std::io::Cursor::new(raw))
+        .map_err(|e| CliError::runtime(format!("{input}: {e}")))?;
     let header = reader.header();
-    let frames = reader.read_all().map_err(|e| e.to_string())?;
-    println!(
-        "{input}: {}x{}, {} frames",
-        header.resolution.width,
-        header.resolution.height,
-        frames.len()
-    );
-    let (platform, mut cfg) = config_of(opts, header.resolution)?;
-    cfg.mode = ExecutionMode::Functional;
-    let mut enc = FevesEncoder::new(platform, cfg).map_err(|e| e.to_string())?;
-    let rec = attach_recorder(&mut enc, opts);
-    enable_flight(&mut enc, opts, frames.len());
+    let frames = reader
+        .read_all()
+        .map_err(|e| CliError::runtime(format!("{input}: {e}")))?;
+    Ok((fp, header, frames))
+}
 
-    let out_path = output
-        .map(str::to_string)
-        .unwrap_or_else(|| format!("{input}.recon.y4m"));
-    let out = std::fs::File::create(&out_path).map_err(|e| format!("{out_path}: {e}"))?;
-    let mut writer = Y4mWriter::new(BufWriter::new(out), header);
-
+/// The encode main loop shared by `encode` and `resume`: encode
+/// `frames[start..]`, stream reconstructions to `writer`, and (when a
+/// manager is armed) durably checkpoint every `ctx.every` frames with the
+/// output flushed + fsynced first, so `ctx.out_bytes` is a committed frame
+/// boundary. `crash_point_at("frame", i)` fires before each frame for the
+/// chaos harness.
+#[allow(clippy::too_many_arguments)]
+fn encode_loop(
+    enc: &mut FevesEncoder,
+    frames: &[Frame],
+    start: usize,
+    writer: &mut Y4mWriter<BufWriter<std::fs::File>>,
+    out_path: &str,
+    ckpt: Option<(&CheckpointManager, &mut ResumeContext)>,
+    rec: &Option<Arc<MemoryRecorder>>,
+) -> CliResult<Vec<feves::core::FrameReport>> {
     let mut reports = Vec::new();
-    for f in &frames {
+    let mut ckpt = ckpt;
+    for (i, f) in frames.iter().enumerate().skip(start) {
+        crash_point_at("frame", i as u64);
         let rep = enc.encode_frame(f);
-        let (y, u, v) = enc.last_reconstruction_yuv().unwrap();
+        let (y, u, v) = enc
+            .last_reconstruction_yuv()
+            .ok_or_else(|| CliError::runtime("functional encode produced no reconstruction"))?;
         let mut rf = f.clone();
         rf.y_mut().copy_from(y);
         rf.u_mut().copy_from(u);
         rf.v_mut().copy_from(v);
-        writer.write_frame(&rf).map_err(|e| e.to_string())?;
+        writer
+            .write_frame(&rf)
+            .map_err(|e| CliError::runtime(format!("{out_path}: {e}")))?;
         println!(
             "frame {:>4} ({}) {:>9} bits  PSNR-Y {:>6.2} dB  sim {:>7.2} ms",
             rep.frame,
@@ -428,21 +559,249 @@ fn cmd_encode(opts: &Options, input: &str, output: Option<&str>) -> Result<(), S
             rep.tau_tot * 1e3
         );
         reports.push(rep);
+        let done = i + 1;
+        if let Some((mgr, ctx)) = ckpt.as_mut() {
+            if ctx.every > 0 && done.is_multiple_of(ctx.every) && done < frames.len() {
+                // Frame boundary must be durable before the checkpoint
+                // claims it: flush the Y4M buffer, fsync the file, and
+                // record the committed byte count.
+                writer
+                    .flush()
+                    .map_err(|e| CliError::runtime(format!("{out_path}: {e}")))?;
+                let file = writer.get_ref().get_ref();
+                file.sync_all()
+                    .map_err(|e| CliError::runtime(format!("{out_path}: {e}")))?;
+                ctx.frames_done = done;
+                ctx.out_bytes = file
+                    .metadata()
+                    .map_err(|e| CliError::runtime(format!("{out_path}: {e}")))?
+                    .len();
+                let state = enc.snapshot();
+                let written = match rec {
+                    Some(r) => mgr.write(ctx, &state, r.as_ref()),
+                    None => mgr.write(ctx, &state, &NoopRecorder),
+                }
+                .map_err(|e| {
+                    CliError::runtime(format!("checkpoint {}: {e}", mgr.dir().display()))
+                })?;
+                eprintln!("checkpoint {} (frame {done})", written.display());
+            }
+        }
     }
-    writer.finish().map_err(|e| e.to_string())?;
-    let report = EncodeReport::new(opts.platform.clone(), reports);
+    Ok(reports)
+}
+
+fn print_encode_summary(
+    opts_platform: &str,
+    out_path: &str,
+    reports: Vec<feves::core::FrameReport>,
+) {
+    let report = EncodeReport::new(opts_platform.to_string(), reports);
     println!(
         "\nwrote {out_path} — {} bits total, mean PSNR-Y {:.2} dB",
         report.total_bits(),
         report.mean_psnr().unwrap_or(f64::NAN)
     );
-    write_flight(&enc, opts)?;
-    write_metrics(&rec, opts)
 }
 
-fn cmd_report(opts: &Options, input: &str) -> Result<(), String> {
-    let text = std::fs::read_to_string(input).map_err(|e| format!("{input}: {e}"))?;
-    let records = parse_flight_jsonl(&text)?;
+fn cmd_encode(opts: &Options, input: &str, output: Option<&str>) -> CliResult {
+    let (input_fp, header, frames) = read_input(input)?;
+    println!(
+        "{input}: {}x{}, {} frames",
+        header.resolution.width,
+        header.resolution.height,
+        frames.len()
+    );
+    let platform_json = match &opts.platform_file {
+        Some(path) => Some(
+            std::fs::read_to_string(path).map_err(|e| CliError::runtime(format!("{path}: {e}")))?,
+        ),
+        None => None,
+    };
+    let (platform, mut cfg) = JobSpec::from_options(opts, platform_json.as_deref())
+        .build(header.resolution)
+        .map_err(CliError::usage)?;
+    cfg.mode = ExecutionMode::Functional;
+    let mut enc = FevesEncoder::new(platform, cfg).map_err(CliError::runtime)?;
+    let rec = attach_recorder(&mut enc, opts);
+    enable_flight(&mut enc, &opts.flight_out, frames.len());
+
+    let out_path = output
+        .map(str::to_string)
+        .unwrap_or_else(|| format!("{input}.recon.y4m"));
+    let out = std::fs::File::create(&out_path)
+        .map_err(|e| CliError::runtime(format!("{out_path}: {e}")))?;
+    let mut writer = Y4mWriter::new(BufWriter::new(out), header);
+
+    // Arm checkpointing when asked for.
+    let mut ckpt_state = if opts.checkpoint_every > 0 {
+        let dir = opts
+            .checkpoint_dir
+            .clone()
+            .unwrap_or_else(|| format!("{out_path}.ckpt"));
+        let ctx = ResumeContext {
+            input: input.to_string(),
+            output: out_path.clone(),
+            platform: opts.platform.clone(),
+            platform_json,
+            sa: opts.sa,
+            refs: opts.refs,
+            qp: opts.qp,
+            balancer: opts.balancer.clone(),
+            kernels: opts.kernels.clone(),
+            faults: opts.faults.clone(),
+            deadline_factor: opts.deadline_factor,
+            flight_out: opts.flight_out.clone(),
+            metrics_out: opts.metrics_out.clone(),
+            every: opts.checkpoint_every,
+            keep: opts.checkpoint_keep,
+            frames_done: 0,
+            n_frames: frames.len(),
+            out_bytes: 0,
+            input_fingerprint: input_fp,
+        };
+        Some((CheckpointManager::new(dir, opts.checkpoint_keep), ctx))
+    } else {
+        None
+    };
+
+    let reports = encode_loop(
+        &mut enc,
+        &frames,
+        0,
+        &mut writer,
+        &out_path,
+        ckpt_state.as_mut().map(|(m, c)| (&*m, c)),
+        &rec,
+    )?;
+    writer
+        .finish()
+        .map_err(|e| CliError::runtime(format!("{out_path}: {e}")))?;
+    print_encode_summary(&opts.platform, &out_path, reports);
+    write_flight(&enc, &opts.flight_out)?;
+    write_metrics(&rec, &opts.metrics_out)
+}
+
+fn cmd_resume(path: &str) -> CliResult {
+    // Accept either a checkpoint file or a checkpoint directory (newest
+    // usable generation wins; corrupted generations are skipped with a
+    // warning each).
+    let p = PathBuf::from(path);
+    let (ckpt_path, mut ctx, state) = if p.is_dir() {
+        let (ckpt_path, ctx, state, warnings) =
+            feves::core::load_latest(&p).map_err(CliError::runtime)?;
+        for w in warnings {
+            eprintln!("warning: {w}");
+        }
+        (ckpt_path, ctx, state)
+    } else {
+        let (ctx, state) = feves::core::load_checkpoint_file(&p).map_err(CliError::runtime)?;
+        (p, ctx, state)
+    };
+    eprintln!(
+        "resuming from {} — frame {}/{} of {}",
+        ckpt_path.display(),
+        ctx.frames_done,
+        ctx.n_frames,
+        ctx.input
+    );
+
+    // The input must be byte-identical to the one the checkpoint saw.
+    let (input_fp, header, frames) = read_input(&ctx.input)?;
+    if input_fp != ctx.input_fingerprint {
+        return Err(CliError::runtime(FevesError::CheckpointStale(format!(
+            "input {} changed since the checkpoint was taken",
+            ctx.input
+        ))));
+    }
+    if frames.len() != ctx.n_frames {
+        return Err(CliError::runtime(FevesError::CheckpointStale(format!(
+            "input {} has {} frames, checkpoint expects {}",
+            ctx.input,
+            frames.len(),
+            ctx.n_frames
+        ))));
+    }
+
+    // Truncate the output to the last committed frame boundary: everything
+    // past `out_bytes` is a torn frame from the crash.
+    let out_file = std::fs::OpenOptions::new()
+        .read(true)
+        .write(true)
+        .open(&ctx.output)
+        .map_err(|e| CliError::runtime(format!("{}: {e}", ctx.output)))?;
+    let len = out_file
+        .metadata()
+        .map_err(|e| CliError::runtime(format!("{}: {e}", ctx.output)))?
+        .len();
+    if len < ctx.out_bytes {
+        return Err(CliError::runtime(FevesError::CheckpointStale(format!(
+            "output {} is {len} bytes, shorter than the {} committed by the checkpoint",
+            ctx.output, ctx.out_bytes
+        ))));
+    }
+    out_file
+        .set_len(ctx.out_bytes)
+        .map_err(|e| CliError::runtime(format!("{}: {e}", ctx.output)))?;
+    let mut out_file = out_file;
+    out_file
+        .seek(SeekFrom::End(0))
+        .map_err(|e| CliError::runtime(format!("{}: {e}", ctx.output)))?;
+
+    // Rebuild the platform/config exactly as the original invocation did,
+    // and restore the encoder without re-probing.
+    let (platform, mut cfg) = JobSpec::from_context(&ctx)
+        .build(header.resolution)
+        .map_err(CliError::runtime)?;
+    cfg.mode = ExecutionMode::Functional;
+    let mut enc = FevesEncoder::restore(platform, cfg, state).map_err(CliError::runtime)?;
+
+    // Re-arm the session-level extras the checkpoint deliberately excludes.
+    let rec = ctx.metrics_out.as_ref().map(|_| {
+        let rec = Arc::new(MemoryRecorder::new());
+        enc.set_recorder(rec.clone());
+        rec
+    });
+    enable_flight(&mut enc, &ctx.flight_out, ctx.n_frames);
+    if let Some(fl) = enc.flight_mut() {
+        fl.mark_resume(ctx.frames_done);
+    }
+
+    let out_path = ctx.output.clone();
+    let mut writer = Y4mWriter::resume(BufWriter::new(out_file), header);
+    let mgr = CheckpointManager::new(
+        ckpt_path
+            .parent()
+            .map(PathBuf::from)
+            .unwrap_or_else(|| PathBuf::from(".")),
+        ctx.keep,
+    );
+    let start = ctx.frames_done;
+    let reports = encode_loop(
+        &mut enc,
+        &frames,
+        start,
+        &mut writer,
+        &out_path,
+        Some((&mgr, &mut ctx)),
+        &rec,
+    )?;
+    writer
+        .finish()
+        .map_err(|e| CliError::runtime(format!("{out_path}: {e}")))?;
+    println!(
+        "\nresumed at frame {start}; encoded {} more frame(s) into {out_path}",
+        reports.len()
+    );
+    print_encode_summary(&ctx.platform, &out_path, reports);
+    write_flight(&enc, &ctx.flight_out)?;
+    write_metrics(&rec, &ctx.metrics_out)
+}
+
+fn cmd_report(opts: &Options, input: &str) -> CliResult {
+    let text =
+        std::fs::read_to_string(input).map_err(|e| CliError::runtime(format!("{input}: {e}")))?;
+    let records = parse_flight_jsonl(&text).map_err(CliError::runtime)?;
     // Display parameters match the framework defaults: the drift band for
     // the residual chart, a gentle EWMA for the per-device trend column.
     let band = DriftConfig::default().band_pct;
@@ -453,7 +812,7 @@ fn cmd_report(opts: &Options, input: &str) -> Result<(), String> {
     };
     match &opts.out {
         Some(path) => {
-            std::fs::write(path, &body).map_err(|e| format!("{path}: {e}"))?;
+            write_atomic(path, &body).map_err(|e| CliError::runtime(format!("{path}: {e}")))?;
             eprintln!("report written to {path}");
         }
         None => print!("{body}"),
@@ -463,10 +822,12 @@ fn cmd_report(opts: &Options, input: &str) -> Result<(), String> {
 
 /// Returns whether the comparison passed (the caller maps `false` to a
 /// non-zero exit without printing usage — a regression is not a CLI error).
-fn cmd_compare(opts: &Options, baseline: &str, candidate: &str) -> Result<bool, String> {
-    let base = std::fs::read_to_string(baseline).map_err(|e| format!("{baseline}: {e}"))?;
-    let cand = std::fs::read_to_string(candidate).map_err(|e| format!("{candidate}: {e}"))?;
-    let outcome = compare_reports(&base, &cand, opts.threshold)?;
+fn cmd_compare(opts: &Options, baseline: &str, candidate: &str) -> CliResult<bool> {
+    let base = std::fs::read_to_string(baseline)
+        .map_err(|e| CliError::runtime(format!("{baseline}: {e}")))?;
+    let cand = std::fs::read_to_string(candidate)
+        .map_err(|e| CliError::runtime(format!("{candidate}: {e}")))?;
+    let outcome = compare_reports(&base, &cand, opts.threshold).map_err(CliError::runtime)?;
     print!("{}", outcome.render_text(opts.threshold));
     Ok(outcome.passed())
 }
@@ -479,6 +840,7 @@ fn usage() {
          \u{20}  export-platform [name]          dump a platform as JSON\n\
          \u{20}  simulate [options]              timing-only 1080p run\n\
          \u{20}  encode <in.y4m> [out] [options] functional Y4M encode\n\
+         \u{20}  resume <ckpt|dir>               continue a crashed encode session\n\
          \u{20}  trace [options]                 steady-state frame Gantt\n\
          \u{20}  stats [options]                 run + print the metrics summary\n\
          \u{20}  report <flight.jsonl> [--html] [--out <path>]  audit a flight log\n\
@@ -491,8 +853,15 @@ fn usage() {
          \u{20}        --trace-format gantt|chrome     Perfetto-loadable JSON\n\
          \u{20}        --inject-fault <dev>:<kind>@<frame>  inject a device fault\n\
          \u{20}            kinds: death@f | stall@f+k | slow@f+kxF | xfer@f | panic@f\n\
-         \u{20}        --deadline-factor <f>           fault-detection slack (>1, default 3)"
+         \u{20}        --deadline-factor <f>           fault-detection slack (>1, default 3)\n\
+         \u{20}        --checkpoint-every <k>          encode: durable checkpoint every k frames\n\
+         \u{20}        --checkpoint-dir <dir>          checkpoint directory (default <out>.ckpt)\n\
+         \u{20}        --checkpoint-keep <n>           generations to retain (default 2)"
     );
+}
+
+fn parse_cli(args: &[String]) -> Result<(Options, Vec<String>), CliError> {
+    parse_options(args).map_err(CliError::Usage)
 }
 
 fn main() -> ExitCode {
@@ -502,34 +871,46 @@ fn main() -> ExitCode {
         return ExitCode::from(2);
     };
     let rest = &args[1..];
-    let result = match cmd.as_str() {
+    let result: CliResult = match cmd.as_str() {
         "platforms" => {
             cmd_platforms();
             Ok(())
         }
         "export-platform" => {
             let name = rest.first().map(String::as_str).unwrap_or("syshk");
-            platform_of(&name.to_lowercase()).map(|(p, _)| println!("{}", p.to_json()))
+            platform_of(&name.to_lowercase())
+                .map(|(p, _)| println!("{}", p.to_json()))
+                .map_err(CliError::Usage)
         }
-        "simulate" => parse_options(rest).and_then(|(o, _)| cmd_simulate(&o)),
-        "trace" => parse_options(rest).and_then(|(o, _)| cmd_trace(&o)),
-        "stats" => parse_options(rest).and_then(|(o, _)| cmd_stats(&o)),
-        "encode" => parse_options(rest).and_then(|(o, pos)| {
-            let input = pos.first().ok_or("encode needs an input .y4m")?;
+        "simulate" => parse_cli(rest).and_then(|(o, _)| cmd_simulate(&o)),
+        "trace" => parse_cli(rest).and_then(|(o, _)| cmd_trace(&o)),
+        "stats" => parse_cli(rest).and_then(|(o, _)| cmd_stats(&o)),
+        "encode" => parse_cli(rest).and_then(|(o, pos)| {
+            let input = pos
+                .first()
+                .ok_or_else(|| CliError::usage("encode needs an input .y4m"))?;
             cmd_encode(&o, input, pos.get(1).map(String::as_str))
         }),
-        "report" => parse_options(rest).and_then(|(o, pos)| {
-            let input = pos.first().ok_or("report needs a flight JSONL file")?;
+        "resume" => parse_cli(rest).and_then(|(_, pos)| {
+            let path = pos
+                .first()
+                .ok_or_else(|| CliError::usage("resume needs a checkpoint file or directory"))?;
+            cmd_resume(path)
+        }),
+        "report" => parse_cli(rest).and_then(|(o, pos)| {
+            let input = pos
+                .first()
+                .ok_or_else(|| CliError::usage("report needs a flight JSONL file"))?;
             cmd_report(&o, input)
         }),
         "compare" => {
-            match parse_options(rest).and_then(|(o, pos)| {
+            match parse_cli(rest).and_then(|(o, pos)| {
                 let (Some(base), Some(cand)) = (pos.first(), pos.get(1)) else {
-                    return Err("compare needs <baseline> <candidate>".into());
+                    return Err(CliError::usage("compare needs <baseline> <candidate>"));
                 };
                 cmd_compare(&o, base, cand)
             }) {
-                // A regression is a gate failure, not a usage error: exit
+                // A regression is a gate failure, not a CLI error: exit
                 // non-zero without the usage banner.
                 Ok(passed) => {
                     return if passed {
@@ -545,13 +926,17 @@ fn main() -> ExitCode {
             usage();
             Ok(())
         }
-        other => Err(format!("unknown command '{other}'")),
+        other => Err(CliError::Usage(format!("unknown command '{other}'"))),
     };
     match result {
         Ok(()) => ExitCode::SUCCESS,
-        Err(e) => {
+        Err(CliError::Usage(e)) => {
             eprintln!("error: {e}");
             usage();
+            ExitCode::from(2)
+        }
+        Err(CliError::Runtime(e)) => {
+            eprintln!("error: {e}");
             ExitCode::from(1)
         }
     }

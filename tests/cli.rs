@@ -276,8 +276,129 @@ fn compare_gates_on_injected_regression() {
     ]);
     assert!(ok, "{stdout}");
 
-    // Unreadable input is a CLI error (usage shown, exit non-zero).
+    // Unreadable input is a runtime error: one line, non-zero exit, no
+    // usage banner (the invocation itself was well-formed).
     let (ok, _, stderr) = run(&["compare", "/nonexistent.json", base.to_str().unwrap()]);
     assert!(!ok);
     assert!(stderr.contains("error"), "{stderr}");
+    assert!(!stderr.contains("usage:"), "{stderr}");
+}
+
+/// Like [`run`], but surfacing the raw exit code.
+fn run_code(args: &[&str]) -> (Option<i32>, String, String) {
+    let out = Command::new(feves_bin())
+        .args(args)
+        .output()
+        .expect("spawn feves binary");
+    (
+        out.status.code(),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+#[test]
+fn exit_codes_distinguish_usage_from_runtime_failures() {
+    // Usage errors (malformed invocation): exit 2 with the banner.
+    let (code, _, stderr) = run_code(&["simulate", "--bogus-flag"]);
+    assert_eq!(code, Some(2), "unknown flag is a usage error:\n{stderr}");
+    assert!(
+        stderr.contains("error: unknown option --bogus-flag"),
+        "{stderr}"
+    );
+    assert!(stderr.contains("usage:"), "{stderr}");
+
+    let (code, _, stderr) = run_code(&[]);
+    assert_eq!(code, Some(2), "no command is a usage error");
+    assert!(stderr.contains("usage:"), "{stderr}");
+
+    let (code, _, stderr) = run_code(&["encode"]);
+    assert_eq!(code, Some(2), "missing positional is a usage error");
+    assert!(stderr.contains("usage:"), "{stderr}");
+
+    // Runtime errors (well-formed invocation, failing work): exit 1 with a
+    // single `error:` line and NO banner.
+    for args in [
+        &["encode", "/nonexistent/input.y4m"][..],
+        &["resume", "/nonexistent/dir.ckpt"][..],
+        &["report", "/nonexistent/flight.jsonl"][..],
+    ] {
+        let (code, _, stderr) = run_code(args);
+        assert_eq!(code, Some(1), "{args:?}:\n{stderr}");
+        assert_eq!(
+            stderr.lines().count(),
+            1,
+            "exactly one diagnostic line for {args:?}:\n{stderr}"
+        );
+        assert!(stderr.starts_with("error: "), "{args:?}:\n{stderr}");
+        assert!(!stderr.contains("usage:"), "{args:?}:\n{stderr}");
+    }
+}
+
+#[test]
+fn checkpointed_encode_then_resume_completes_the_tail() {
+    use feves::video::y4m::{Y4mHeader, Y4mWriter};
+    use feves::video::{Resolution, SynthConfig, SynthSequence};
+    let dir = std::env::temp_dir().join("feves_cli_ckpt");
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let input = dir.join("in.y4m");
+    let output = dir.join("out.y4m");
+    let ckdir = dir.join("ckpts");
+    let mut synth = SynthConfig::tiny_test();
+    synth.resolution = Resolution::QCIF;
+    let mut seq = SynthSequence::new(synth);
+    let mut w = Y4mWriter::new(
+        std::io::BufWriter::new(std::fs::File::create(&input).unwrap()),
+        Y4mHeader {
+            resolution: Resolution::QCIF,
+            fps: (25, 1),
+        },
+    );
+    for _ in 0..6 {
+        w.write_frame(&seq.next_frame()).unwrap();
+    }
+    w.finish().unwrap();
+
+    // A full (uninterrupted) checkpointed encode: generations appear, and
+    // retention caps them at --checkpoint-keep.
+    let (ok, _, stderr) = run(&[
+        "encode",
+        input.to_str().unwrap(),
+        output.to_str().unwrap(),
+        "--sa",
+        "16",
+        "--checkpoint-every",
+        "2",
+        "--checkpoint-keep",
+        "1",
+        "--checkpoint-dir",
+        ckdir.to_str().unwrap(),
+    ]);
+    assert!(ok, "{stderr}");
+    assert!(stderr.contains("checkpoint"), "{stderr}");
+    let gens: Vec<_> = std::fs::read_dir(&ckdir)
+        .unwrap()
+        .filter_map(|e| e.ok())
+        .map(|e| e.file_name().to_string_lossy().into_owned())
+        .filter(|n| n.ends_with(".ckpt"))
+        .collect();
+    assert_eq!(
+        gens.len(),
+        1,
+        "retention must prune to --checkpoint-keep: {gens:?}"
+    );
+    let full = std::fs::read(&output).unwrap();
+
+    // Resuming the *completed* session from its last generation re-encodes
+    // the tail and reproduces the very same output file.
+    let (ok, stdout, stderr) = run(&["resume", ckdir.to_str().unwrap()]);
+    assert!(ok, "stdout:\n{stdout}\nstderr:\n{stderr}");
+    assert!(stderr.contains("resuming from"), "{stderr}");
+    assert!(stdout.contains("PSNR-Y"), "{stdout}");
+    assert_eq!(
+        std::fs::read(&output).unwrap(),
+        full,
+        "resume of a finished session must reproduce the same bytes"
+    );
 }

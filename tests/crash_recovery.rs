@@ -1,0 +1,391 @@
+//! Process-kill chaos harness: spawn the `feves` CLI, kill it abruptly at
+//! randomized frames and checkpoint phases (via `FEVES_CRASH_AT` aborts and
+//! a real `SIGKILL`), and prove that `feves resume` completes the session
+//! with output **bit-identical** to an uninterrupted run. Torn, corrupted,
+//! and stale checkpoints must be rejected with a typed one-line error (or
+//! fall back to the previous generation when one survives).
+
+use std::fs;
+use std::io::BufRead;
+use std::path::{Path, PathBuf};
+use std::process::{Command, Stdio};
+
+use feves::video::synth::{SynthConfig, SynthSequence};
+use feves::video::y4m::{Y4mHeader, Y4mWriter};
+use feves::Resolution;
+
+const N_FRAMES: usize = 8;
+const EVERY: usize = 2;
+
+fn feves_bin() -> PathBuf {
+    let mut p = std::env::current_exe().expect("test exe path");
+    p.pop(); // deps/
+    p.pop(); // <profile>/
+    p.push(format!("feves{}", std::env::consts::EXE_SUFFIX));
+    p
+}
+
+/// Fresh scratch directory for one test case.
+fn scratch(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("feves-crash-{name}-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    fs::create_dir_all(&dir).expect("create scratch dir");
+    dir
+}
+
+/// Write a small deterministic QCIF Y4M input.
+fn write_input(path: &Path, seed: u64) {
+    let mut seq = SynthSequence::new(SynthConfig {
+        resolution: Resolution::QCIF,
+        seed,
+        objects: 4,
+        pan: (1.0, 0.5),
+        noise: 2,
+    });
+    let frames = seq.take_frames(N_FRAMES);
+    let header = Y4mHeader {
+        resolution: frames[0].resolution(),
+        fps: (25, 1),
+    };
+    let mut w = Y4mWriter::new(Vec::new(), header);
+    for f in &frames {
+        w.write_frame(f).unwrap();
+    }
+    fs::write(path, w.finish().unwrap()).unwrap();
+}
+
+fn run(args: &[&str], envs: &[(&str, &str)]) -> (bool, String, String) {
+    let mut cmd = Command::new(feves_bin());
+    cmd.args(args);
+    for (k, v) in envs {
+        cmd.env(k, v);
+    }
+    let out = cmd.output().expect("spawn feves binary");
+    (
+        out.status.success(),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+fn encode_args<'a>(input: &'a str, output: &'a str) -> Vec<&'a str> {
+    vec![
+        "encode",
+        input,
+        output,
+        "--platform",
+        "syshk",
+        "--sa",
+        "16",
+        "--refs",
+        "2",
+    ]
+}
+
+/// Uninterrupted reference encode (no checkpointing) → output bytes.
+fn baseline(dir: &Path, input: &str) -> Vec<u8> {
+    let out = dir.join("baseline.y4m");
+    let out = out.to_str().unwrap().to_string();
+    let (ok, _, stderr) = run(&encode_args(input, &out), &[]);
+    assert!(ok, "baseline encode failed:\n{stderr}");
+    fs::read(out).unwrap()
+}
+
+/// One crash+resume cycle: run a checkpointed encode with `crash_at` armed
+/// (must die), then `feves resume` on the checkpoint dir (must succeed),
+/// and return the recovered output bytes.
+fn crash_then_resume(dir: &Path, input: &str, crash_at: &str, extra: &[&str]) -> Vec<u8> {
+    let out = dir.join(format!("out-{}.y4m", crash_at.replace(['@', '-'], "_")));
+    let out = out.to_str().unwrap().to_string();
+    let ckdir = format!("{out}.ckpt");
+    let every = EVERY.to_string();
+    let mut args = encode_args(input, &out);
+    args.extend_from_slice(&["--checkpoint-every", &every, "--checkpoint-dir", &ckdir]);
+    args.extend_from_slice(extra);
+    let (ok, _, _) = run(&args, &[("FEVES_CRASH_AT", crash_at)]);
+    assert!(!ok, "encode with FEVES_CRASH_AT={crash_at} must die");
+
+    let mut rargs = vec!["resume", ckdir.as_str()];
+    rargs.extend_from_slice(extra);
+    let (ok, stdout, stderr) = run(&rargs, &[]);
+    assert!(
+        ok,
+        "resume after {crash_at} failed\nstdout:\n{stdout}\nstderr:\n{stderr}"
+    );
+    assert!(
+        stderr.contains("resuming from"),
+        "resume banner missing:\n{stderr}"
+    );
+    fs::read(&out).unwrap()
+}
+
+#[test]
+fn kill_before_every_frame_resume_is_bit_identical() {
+    let dir = scratch("frames");
+    let input = dir.join("in.y4m");
+    write_input(&input, 0x5EED);
+    let input = input.to_str().unwrap();
+    let want = baseline(&dir, input);
+    // The first checkpoint lands after frame 1 (EVERY = 2), so a kill
+    // before any frame from 2 on must be recoverable.
+    for k in 2..N_FRAMES {
+        let got = crash_then_resume(&dir, input, &format!("frame@{k}"), &[]);
+        assert_eq!(
+            got, want,
+            "recovered output differs from uninterrupted run (killed before frame {k})"
+        );
+    }
+}
+
+#[test]
+fn kill_before_first_checkpoint_is_a_typed_error() {
+    // Dying before any checkpoint was committed leaves nothing to resume —
+    // that must be a one-line typed error, not a panic or a usage banner.
+    let dir = scratch("first");
+    let input = dir.join("in.y4m");
+    write_input(&input, 0x5EED);
+    let input = input.to_str().unwrap();
+    let out = dir.join("out.y4m");
+    let out = out.to_str().unwrap().to_string();
+    let ckdir = format!("{out}.ckpt");
+    let mut args = encode_args(input, &out);
+    args.extend_from_slice(&["--checkpoint-every", "2", "--checkpoint-dir", &ckdir]);
+    let (ok, _, _) = run(&args, &[("FEVES_CRASH_AT", "frame@1")]);
+    assert!(!ok);
+    let (ok, _, stderr) = run(&["resume", &ckdir], &[]);
+    assert!(!ok, "resume with no committed checkpoint must fail");
+    assert!(stderr.contains("error:"), "typed error line:\n{stderr}");
+    assert!(!stderr.contains("usage:"), "not a usage error:\n{stderr}");
+}
+
+#[test]
+fn kill_inside_the_checkpoint_writer_itself() {
+    // The checkpoint protocol's own windows: mid temp-file write, after the
+    // temp fsync before the rename, and after the rename before the dir
+    // fsync. Each must recover (from the previous generation for the first
+    // two, the just-renamed one for the third) bit-identically.
+    let dir = scratch("ckptwin");
+    let input = dir.join("in.y4m");
+    write_input(&input, 0x5EED);
+    let input = input.to_str().unwrap();
+    let want = baseline(&dir, input);
+    for point in ["ckpt-mid-write@2", "ckpt-temp@2", "ckpt-rename@2"] {
+        let got = crash_then_resume(&dir, input, point, &[]);
+        assert_eq!(got, want, "recovered output differs after {point}");
+        // Recovery + subsequent checkpoints must also have swept any torn
+        // temp file the crash left behind.
+        let out = dir.join(format!("out-{}.y4m", point.replace(['@', '-'], "_")));
+        let ckdir = PathBuf::from(format!("{}.ckpt", out.display()));
+        let leftovers: Vec<_> = fs::read_dir(&ckdir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .map(|e| e.file_name().to_string_lossy().into_owned())
+            .filter(|n| n.ends_with(".tmp"))
+            .collect();
+        assert!(
+            leftovers.is_empty(),
+            "torn temp files survived: {leftovers:?}"
+        );
+    }
+}
+
+#[test]
+fn corrupted_newest_generation_falls_back_to_previous() {
+    let dir = scratch("fallback");
+    let input = dir.join("in.y4m");
+    write_input(&input, 0x5EED);
+    let input = input.to_str().unwrap();
+    let want = baseline(&dir, input);
+
+    let out = dir.join("out.y4m");
+    let out = out.to_str().unwrap().to_string();
+    let ckdir = format!("{out}.ckpt");
+    let mut args = encode_args(input, &out);
+    args.extend_from_slice(&["--checkpoint-every", "2", "--checkpoint-dir", &ckdir]);
+    // Die before frame 6: generations ckpt-000004 and ckpt-000006 survive
+    // (retention keeps two).
+    let (ok, _, _) = run(&args, &[("FEVES_CRASH_AT", "frame@6")]);
+    assert!(!ok);
+
+    // Bit-rot the newest generation.
+    let mut gens: Vec<_> = fs::read_dir(&ckdir)
+        .unwrap()
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|x| x == "ckpt"))
+        .collect();
+    gens.sort();
+    assert!(
+        gens.len() >= 2,
+        "need two generations to test fallback: {gens:?}"
+    );
+    let newest = gens.last().unwrap().clone();
+    let mut bytes = fs::read(&newest).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0xFF;
+    fs::write(&newest, bytes).unwrap();
+
+    let (ok, _, stderr) = run(&["resume", &ckdir], &[]);
+    assert!(ok, "fallback resume failed:\n{stderr}");
+    assert!(
+        stderr.contains("warning:"),
+        "skipped generation must be reported:\n{stderr}"
+    );
+    assert_eq!(fs::read(&out).unwrap(), want, "fallback recovery diverged");
+}
+
+#[test]
+fn all_generations_corrupted_is_a_typed_rejection() {
+    let dir = scratch("allcorrupt");
+    let input = dir.join("in.y4m");
+    write_input(&input, 0x5EED);
+    let input = input.to_str().unwrap();
+    let out = dir.join("out.y4m");
+    let out = out.to_str().unwrap().to_string();
+    let ckdir = format!("{out}.ckpt");
+    let mut args = encode_args(input, &out);
+    args.extend_from_slice(&["--checkpoint-every", "2", "--checkpoint-dir", &ckdir]);
+    let (ok, _, _) = run(&args, &[("FEVES_CRASH_AT", "frame@6")]);
+    assert!(!ok);
+
+    for e in fs::read_dir(&ckdir).unwrap() {
+        let p = e.unwrap().path();
+        if p.extension().is_some_and(|x| x == "ckpt") {
+            let mut b = fs::read(&p).unwrap();
+            let mid = b.len() / 2;
+            b[mid] ^= 0xFF;
+            fs::write(&p, b).unwrap();
+        }
+    }
+    let (ok, _, stderr) = run(&["resume", &ckdir], &[]);
+    assert!(!ok, "resume over all-corrupt generations must fail");
+    assert!(
+        stderr.contains("error:") && stderr.contains("checkpoint"),
+        "typed checkpoint error expected:\n{stderr}"
+    );
+    assert!(!stderr.contains("usage:"), "runtime, not usage:\n{stderr}");
+}
+
+#[test]
+fn changed_input_is_rejected_as_stale() {
+    let dir = scratch("stale");
+    let input = dir.join("in.y4m");
+    write_input(&input, 0x5EED);
+    let input_s = input.to_str().unwrap().to_string();
+    let out = dir.join("out.y4m");
+    let out = out.to_str().unwrap().to_string();
+    let ckdir = format!("{out}.ckpt");
+    let mut args = encode_args(&input_s, &out);
+    args.extend_from_slice(&["--checkpoint-every", "2", "--checkpoint-dir", &ckdir]);
+    let (ok, _, _) = run(&args, &[("FEVES_CRASH_AT", "frame@5")]);
+    assert!(!ok);
+
+    // Replace the input with a different (same-shape) sequence.
+    write_input(&input, 0xBAD5EED);
+    let (ok, _, stderr) = run(&["resume", &ckdir], &[]);
+    assert!(!ok, "resume over a changed input must fail");
+    assert!(
+        stderr.contains("error:") && stderr.contains("changed"),
+        "stale-input rejection expected:\n{stderr}"
+    );
+}
+
+#[test]
+fn real_sigkill_mid_encode_recovers() {
+    // A genuine out-of-band kill (no abort hook): watch the child's stdout
+    // until a few frames are done, then SIGKILL it.
+    let dir = scratch("sigkill");
+    let input = dir.join("in.y4m");
+    write_input(&input, 0x5EED);
+    let input = input.to_str().unwrap();
+    let want = baseline(&dir, input);
+
+    let out = dir.join("out.y4m");
+    let out = out.to_str().unwrap().to_string();
+    let ckdir = format!("{out}.ckpt");
+    let mut args = encode_args(input, &out);
+    args.extend_from_slice(&["--checkpoint-every", "2", "--checkpoint-dir", &ckdir]);
+    let mut child = Command::new(feves_bin())
+        .args(&args)
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn feves");
+    {
+        let stdout = child.stdout.take().unwrap();
+        let mut lines = std::io::BufReader::new(stdout).lines();
+        let mut seen = 0;
+        while let Some(Ok(line)) = lines.next() {
+            if line.contains("frame") {
+                seen += 1;
+            }
+            if seen >= 5 {
+                break;
+            }
+        }
+        child.kill().expect("SIGKILL the encoder");
+    }
+    let status = child.wait().unwrap();
+    assert!(!status.success());
+
+    let (ok, _, stderr) = run(&["resume", &ckdir], &[]);
+    assert!(ok, "resume after SIGKILL failed:\n{stderr}");
+    assert_eq!(
+        fs::read(&out).unwrap(),
+        want,
+        "SIGKILL recovery must be bit-identical"
+    );
+}
+
+#[test]
+fn chaos_seed_randomizes_the_kill_point() {
+    // CI drives this with FEVES_CHAOS_SEED=1..3; the seed picks the kill
+    // frame and whether to also tear the checkpoint writer. Any seed must
+    // recover bit-identically — and leave a flight log whose resume marker
+    // records the restart.
+    let seed: u64 = std::env::var("FEVES_CHAOS_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1);
+    // xorshift64 — deterministic per seed, no external RNG needed here.
+    let mut x = seed.wrapping_mul(0x9E3779B97F4A7C15).max(1);
+    let mut next = move || {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        x
+    };
+    let kill_frame = 2 + (next() as usize % (N_FRAMES - 2));
+    let crash_at = if next() % 3 == 0 {
+        "ckpt-mid-write@2".to_string()
+    } else {
+        format!("frame@{kill_frame}")
+    };
+
+    let dir = scratch(&format!("seed{seed}"));
+    let input = dir.join("in.y4m");
+    write_input(&input, 0x5EED ^ seed);
+    let input = input.to_str().unwrap();
+    let want = baseline(&dir, input);
+    let flight = dir.join("flight.jsonl");
+    let flight_arg = flight.to_str().unwrap().to_string();
+    let extra = ["--flight-out", flight_arg.as_str()];
+    let got = crash_then_resume(&dir, input, &crash_at, &extra);
+    assert_eq!(got, want, "seed {seed} ({crash_at}) recovery diverged");
+
+    // The recovered flight log marks where the session restarted and still
+    // parses through the report pipeline.
+    let text = fs::read_to_string(&flight).unwrap();
+    assert!(
+        text.contains("\"resume_marker\":"),
+        "flight log must record the resume point:\n{text}"
+    );
+    let (ok, stdout, stderr) = run(&["report", flight_arg.as_str()], &[]);
+    assert!(ok, "report over recovered flight log failed:\n{stderr}");
+    assert!(!stdout.is_empty());
+
+    // CI uploads the recovered flight log as a build artifact.
+    if let Ok(dest) = std::env::var("FEVES_CHAOS_ARTIFACT") {
+        fs::copy(&flight, dest).expect("export recovered flight log");
+    }
+}

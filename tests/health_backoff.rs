@@ -1,0 +1,129 @@
+//! Exponential-backoff re-admission timing of the device health tracker,
+//! frame by frame: blacklist → (backoff expires) → probation → (clean
+//! frames) → healthy, with the backoff doubling on repeat offenders and
+//! resetting only after a full probation graduation.
+
+use feves::ft::{DeviceHealth, HealthTracker};
+
+/// Drive the tracker exactly as the framework does — `tick(frame)` first,
+/// then success/fault records — and return the per-frame states of device 0.
+fn drive(
+    tracker: &mut HealthTracker,
+    frames: std::ops::Range<usize>,
+    fault_at: &[usize],
+) -> Vec<(usize, DeviceHealth)> {
+    let mut log = Vec::new();
+    for frame in frames {
+        tracker.tick(frame);
+        if fault_at.contains(&frame) {
+            tracker.record_fault(0, frame);
+        } else if tracker.is_available(0) {
+            tracker.record_success(0);
+        }
+        log.push((frame, tracker.state(0)));
+    }
+    log
+}
+
+#[test]
+fn first_fault_readmits_after_base_backoff_exactly() {
+    let base = 2;
+    let probation = 3;
+    let mut t = HealthTracker::new(2, base, probation);
+    // Fault at frame 5 → blacklisted through frames 5..5+base, probation
+    // starts at exactly frame 5+base.
+    let log = drive(&mut t, 1..20, &[5]);
+    let state_at = |f: usize| log.iter().find(|(fr, _)| *fr == f).unwrap().1;
+    assert_eq!(state_at(5), DeviceHealth::Blacklisted);
+    assert_eq!(
+        state_at(6),
+        DeviceHealth::Blacklisted,
+        "backoff not elapsed"
+    );
+    assert_eq!(
+        state_at(7),
+        DeviceHealth::Probation,
+        "re-admission must land exactly at fault_frame + base_backoff"
+    );
+    // Probation graduates after exactly `probation` clean frames.
+    assert_eq!(state_at(8), DeviceHealth::Probation);
+    assert_eq!(state_at(9), DeviceHealth::Healthy);
+    assert_eq!(state_at(19), DeviceHealth::Healthy);
+}
+
+#[test]
+fn repeat_offender_backoff_doubles_each_time() {
+    let mut t = HealthTracker::new(1, 2, 2);
+    // Fault the device every time it comes back: gaps must be 2, 4, 8, ...
+    let mut frame = 1;
+    let mut gaps = Vec::new();
+    for _ in 0..5 {
+        t.record_fault(0, frame);
+        let readmit = t.readmit_at(0);
+        gaps.push(readmit - frame);
+        // Walk the clock forward to the re-admission frame.
+        while frame < readmit {
+            frame += 1;
+            t.tick(frame);
+            assert_eq!(
+                t.state(0),
+                if frame < readmit {
+                    DeviceHealth::Blacklisted
+                } else {
+                    DeviceHealth::Probation
+                },
+                "frame {frame} readmit {readmit}"
+            );
+        }
+        // Immediately fault again on the re-admission frame.
+    }
+    assert_eq!(gaps, vec![2, 4, 8, 16, 32], "exponential backoff sequence");
+}
+
+#[test]
+fn backoff_caps_and_resets_only_after_probation_graduation() {
+    let mut t = HealthTracker::new(1, 2, 3);
+    // Hammer faults until the backoff saturates at the cap (64).
+    let mut frame = 1;
+    for _ in 0..8 {
+        t.record_fault(0, frame);
+        frame = t.readmit_at(0);
+        t.tick(frame);
+    }
+    assert_eq!(t.backoff(0), 64, "backoff must rail at the cap");
+    // A fault mid-probation does NOT reset the backoff...
+    t.record_fault(0, frame);
+    assert_eq!(t.readmit_at(0) - frame, 64, "capped gap");
+    frame = t.readmit_at(0);
+    t.tick(frame);
+    assert_eq!(t.state(0), DeviceHealth::Probation);
+    // One clean frame is not graduation (probation is 3 frames)...
+    t.record_success(0);
+    assert_eq!(t.state(0), DeviceHealth::Probation);
+    assert_eq!(t.backoff(0), 64, "backoff intact until graduation");
+    // ...but full graduation resets the backoff to base.
+    t.record_success(0);
+    t.record_success(0);
+    assert_eq!(t.state(0), DeviceHealth::Healthy);
+    assert_eq!(t.backoff(0), 2, "graduation resets the backoff to base");
+    // And the next fault starts the ladder from the base again.
+    t.record_fault(0, 100);
+    assert_eq!(t.readmit_at(0), 102);
+}
+
+#[test]
+fn unavailable_while_blacklisted_available_in_probation() {
+    let mut t = HealthTracker::new(3, 2, 2);
+    t.record_fault(1, 4);
+    assert!(!t.is_available(1));
+    assert_eq!(t.available(), vec![true, false, true]);
+    assert_eq!(t.blacklisted(), vec![1]);
+    assert_eq!(t.n_available(), 2);
+    t.tick(6);
+    assert!(
+        t.is_available(1),
+        "probation devices are schedulable (trusted but watched)"
+    );
+    assert_eq!(t.blacklisted(), Vec::<usize>::new());
+    assert_eq!(t.fault_count(1), 1);
+}
