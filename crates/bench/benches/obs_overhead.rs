@@ -9,12 +9,19 @@
 //!    `MemoryRecorder` attached still reports per-frame scheduling overhead
 //!    below 2 ms (both the wall-clock report and the recorded
 //!    `sched.overhead_us` histogram). The bench exits non-zero on failure.
+//! 3. The same acceptance run with the full live path enabled — session
+//!    scope, telemetry bus, drain thread and periodic snapshot writes — to
+//!    prove live monitoring stays inside the same budget. The bus's own
+//!    enqueue/drain self-metering is printed alongside.
 
 use criterion::{criterion_group, BenchmarkId, Criterion};
 use feves_bench::hd_config;
 use feves_core::prelude::*;
-use feves_obs::{MemoryRecorder, Metric, NoopRecorder, Recorder};
+use feves_obs::{
+    hub, BusController, LiveConfig, LiveSnapshot, MemoryRecorder, Metric, NoopRecorder, Recorder,
+};
 use std::sync::Arc;
+use std::time::Duration;
 
 fn bench_recorder_hot_path(c: &mut Criterion) {
     let mut group = c.benchmark_group("obs_event");
@@ -69,6 +76,76 @@ fn acceptance_check() {
     );
 }
 
+/// The tentpole gate: the *live* path — session scope, bounded bus, drain
+/// thread and periodic atomic snapshot writes — must keep per-frame
+/// scheduling overhead inside the same 2 ms budget as plain recording.
+fn live_acceptance_check() {
+    let dir = std::env::temp_dir().join(format!("feves-obs-bench-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("bench temp dir");
+    let live_path = dir.join("live.json");
+
+    let scope = hub().session("bench-live");
+    let mut ctl = BusController::start(
+        1 << 16,
+        Some(LiveConfig {
+            path: live_path.clone(),
+            period: Duration::from_millis(25),
+        }),
+    );
+    assert!(scope.attach_bus(ctl.bus()));
+    let bus = ctl.bus();
+
+    let mut enc = FevesEncoder::new(Platform::sys_hk(), hd_config(32, 2, BalancerKind::Feves))
+        .expect("valid bench config");
+    enc.set_scope(scope.clone());
+    let report = enc.run_timing(16);
+    ctl.stop();
+
+    let wall_max_us = report.max_sched_overhead() * 1e6;
+    let metrics = scope.metrics();
+    let hist = metrics.histogram(Metric::SchedOverheadUs);
+    let stats = bus.stats();
+    println!(
+        "live acceptance: sched overhead with live bus — wall max {:.1} us, \
+         recorded max {:.1} us over {} frames (budget {} us)",
+        wall_max_us,
+        hist.max(),
+        hist.count(),
+        BUDGET_US
+    );
+    println!(
+        "live acceptance: bus published {} · dropped {} · enqueue p99 {:.0} ns \
+         (n={}) · drain batch mean {:.1} us · max {:.1} us",
+        stats.published,
+        stats.dropped,
+        stats.enqueue_ns.p99,
+        stats.enqueue_ns.count,
+        stats.drain_batch_us.mean,
+        stats.drain_batch_us.max,
+    );
+    assert!(
+        hist.count() > 0,
+        "live path saw no sched.overhead_us samples"
+    );
+    assert_eq!(
+        scope.dropped_events(),
+        0,
+        "a 64Ki bus must not drop at 16-frame volume"
+    );
+    // The final snapshot the drain thread wrote at stop must parse.
+    let text = std::fs::read_to_string(&live_path).expect("final live snapshot exists");
+    let snap = LiveSnapshot::parse(&text).expect("final live snapshot parses");
+    assert!(snap.seq() > 0);
+    std::fs::remove_dir_all(&dir).ok();
+
+    let pass = wall_max_us < BUDGET_US && hist.max() < BUDGET_US;
+    println!("live acceptance: {}", if pass { "PASS" } else { "FAIL" });
+    assert!(
+        pass,
+        "scheduling overhead exceeded the 2 ms budget with the live bus enabled"
+    );
+}
+
 criterion_group!(benches, bench_recorder_hot_path);
 
 fn main() {
@@ -79,4 +156,5 @@ fn main() {
     }
     benches();
     acceptance_check();
+    live_acceptance_check();
 }

@@ -30,7 +30,7 @@ use feves_hetsim::platform::Platform;
 use feves_hetsim::timeline::{simulate, Schedule};
 use feves_obs::{
     imbalance_index, residual_pct, DeviceRecord, FlightRecord, FlightRecorder, Metric, Recorder,
-    TauTriple,
+    SessionScope, TauTriple,
 };
 use feves_sched::{
     BalanceInput, Centric, Distribution, EquidistantBalancer, Ewma, FevesBalancer, LoadBalancer,
@@ -116,6 +116,10 @@ pub struct FevesEncoder {
     drift: DriftDetector,
     /// Optional schedule flight recorder ([`Self::enable_flight`]).
     flight: Option<FlightRecorder>,
+    /// Optional telemetry session: routes metrics through the session's
+    /// registry (possibly over the bus) and feeds the live per-device view
+    /// (`feves top`).
+    scope: Option<SessionScope>,
 }
 
 /// A reconstruction waiting to be interpolated and pushed as a reference.
@@ -244,6 +248,7 @@ impl FevesEncoder {
             ft_stats: FtStats::default(),
             drift: DriftDetector::new(platform.len(), config.drift),
             flight: None,
+            scope: None,
             platform,
             config,
         })
@@ -255,6 +260,24 @@ impl FevesEncoder {
     /// recorder installed via [`feves_obs::install`] (a no-op by default).
     pub fn set_recorder(&mut self, rec: Arc<dyn Recorder>) {
         self.recorder = Some(rec);
+    }
+
+    /// Bind this encoder to a telemetry session: all metrics flow into the
+    /// scope's registry (through the bounded bus when one is attached), the
+    /// scope's live device rows are labeled from the platform, and every
+    /// completed frame ticks the session's frames/s figure. Supersedes any
+    /// recorder set via [`Self::set_recorder`].
+    pub fn set_scope(&mut self, scope: SessionScope) {
+        scope.set_device_labels(
+            &self
+                .platform
+                .devices
+                .iter()
+                .map(|d| d.name.clone())
+                .collect::<Vec<_>>(),
+        );
+        self.recorder = Some(scope.recorder());
+        self.scope = Some(scope);
     }
 
     /// The active recorder: this encoder's own, else the process global.
@@ -568,6 +591,9 @@ impl FevesEncoder {
                 v: chroma.recon_v,
             });
             self.rec().add(Metric::FramesEncoded, 1);
+            if let Some(scope) = &self.scope {
+                scope.frame_done();
+            }
             return FrameReport::intra(intra.bits + chroma.bits, psnr);
         }
         self.refs_available = (self.refs_available + 1).min(self.config.params.n_ref);
@@ -873,6 +899,23 @@ impl FevesEncoder {
                 drift_devices: drift_fired,
                 recharacterized,
             });
+        }
+
+        // Live telemetry: per-device dashboard rows (busy %, residual,
+        // blacklist) plus the session frame tick. Device samples ride the
+        // same bus as metrics, so a stalled exporter can only drop them —
+        // never stall this loop.
+        if let Some(scope) = &self.scope {
+            let tau_tot = measured_tau.tau_tot_ms;
+            for d in 0..self.platform.len() {
+                let busy_pct = if tau_tot > 0.0 {
+                    (compute_busy_ms[d] / tau_tot * 100.0).clamp(0.0, 100.0)
+                } else {
+                    0.0
+                };
+                scope.device_sample(d, busy_pct, residuals[d], !avail[d]);
+            }
+            scope.frame_done();
         }
 
         // Functional execution with the same distribution. Stripe-thread

@@ -37,15 +37,19 @@
 //! ```
 
 pub mod audit;
+pub mod bus;
 mod chrome;
 pub mod compare;
 pub mod flight;
 mod histogram;
+pub mod live;
 pub mod persist;
 mod recorder;
 pub mod report;
+pub mod scope;
 
 pub use audit::{imbalance_index, residual_pct, AuditSummary, DeviceAudit};
+pub use bus::{BusController, BusStats, DeviceField, LiveConfig, TelemetryBus, TelemetryEvent};
 pub use chrome::ChromeTraceBuilder;
 pub use compare::{compare_reports, CompareOutcome, MetricDelta};
 pub use flight::{
@@ -53,11 +57,13 @@ pub use flight::{
     DeviceRecord, FlightRecord, FlightRecorder, TauTriple,
 };
 pub use histogram::Histogram;
+pub use live::{build_snapshot, LiveSnapshot};
 pub use persist::write_atomic;
 pub use recorder::{MemoryRecorder, NoopRecorder, Recorder, Span, SpanStat};
 pub use report::render_html;
+pub use scope::{hub, DeviceLive, SessionScope, TelemetryHub};
 
-use std::sync::{Arc, OnceLock, RwLock};
+use std::sync::Arc;
 
 /// How a metric aggregates.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -145,10 +151,20 @@ pub enum Metric {
     CkptBytes,
     /// Wall-clock time spent snapshotting + writing one checkpoint (ms).
     CkptWriteMs,
+    /// Telemetry-bus events drained and applied to this session's registry.
+    ObsBusEvents,
+    /// Telemetry events dropped at a full bus (the drop-and-count policy:
+    /// the encode loop is never blocked; losses are made visible here).
+    ObsDroppedEvents,
+    /// Sampled cost of one bus enqueue (every 64th publish is timed) —
+    /// the bus metering its own hot-path overhead.
+    ObsBusEnqueueNs,
+    /// Wall-clock cost of one drain batch (pop + apply, up to 1024 events).
+    ObsBusDrainUs,
 }
 
 /// Definitions for every [`Metric`], in `Metric` discriminant order.
-pub static REGISTRY: [MetricDef; 24] = [
+pub static REGISTRY: [MetricDef; 28] = [
     MetricDef {
         name: "sched.overhead_us",
         unit: "us",
@@ -293,11 +309,38 @@ pub static REGISTRY: [MetricDef; 24] = [
         kind: MetricKind::Histogram,
         wall_clock: true,
     },
+    // The obs.* bus metrics are all flagged wall_clock: how many events a
+    // drain batch catches — and whether any are dropped — depends on host
+    // scheduling, so none of them belong in a deterministic export.
+    MetricDef {
+        name: "obs.bus_events",
+        unit: "events",
+        kind: MetricKind::Counter,
+        wall_clock: true,
+    },
+    MetricDef {
+        name: "obs.dropped_events",
+        unit: "events",
+        kind: MetricKind::Counter,
+        wall_clock: true,
+    },
+    MetricDef {
+        name: "obs.bus_enqueue_ns",
+        unit: "ns",
+        kind: MetricKind::Histogram,
+        wall_clock: true,
+    },
+    MetricDef {
+        name: "obs.bus_drain_us",
+        unit: "us",
+        kind: MetricKind::Histogram,
+        wall_clock: true,
+    },
 ];
 
 impl Metric {
     /// All metrics, in registry order.
-    pub const ALL: [Metric; 24] = [
+    pub const ALL: [Metric; 28] = [
         Metric::SchedOverheadUs,
         Metric::FrameTau1Ms,
         Metric::FrameTau2Ms,
@@ -322,6 +365,10 @@ impl Metric {
         Metric::CkptWrites,
         Metric::CkptBytes,
         Metric::CkptWriteMs,
+        Metric::ObsBusEvents,
+        Metric::ObsDroppedEvents,
+        Metric::ObsBusEnqueueNs,
+        Metric::ObsBusDrainUs,
     ];
 
     /// Registry index.
@@ -343,24 +390,22 @@ impl Metric {
     }
 }
 
-fn global_slot() -> &'static RwLock<Arc<dyn Recorder>> {
-    static GLOBAL: OnceLock<RwLock<Arc<dyn Recorder>>> = OnceLock::new();
-    GLOBAL.get_or_init(|| RwLock::new(Arc::new(NoopRecorder)))
-}
-
-/// Install `rec` as the process-global recorder used by free functions
+/// Install `rec` as the *default-scope* recorder used by free functions
 /// (Algorithm 2, the LP solve, the DAM planner) and by encoders that were
-/// not given an explicit recorder.
+/// not given an explicit recorder or [`SessionScope`].
+///
+/// This is a thin shim over [`scope::TelemetryHub::default_scope`]: the
+/// process keeps exactly one anonymous default session, and `install` swaps
+/// its sink. Multi-session callers should create named scopes via
+/// [`hub()`]`.session(..)` instead — per-session metrics never flow through
+/// the default scope.
 pub fn install(rec: Arc<dyn Recorder>) {
-    *global_slot().write().expect("recorder lock poisoned") = rec;
+    scope::hub().default_scope().set_recorder(rec);
 }
 
-/// The process-global recorder (a [`NoopRecorder`] until [`install`]).
+/// The default-scope recorder (a [`NoopRecorder`] until [`install`]).
 pub fn global() -> Arc<dyn Recorder> {
-    global_slot()
-        .read()
-        .expect("recorder lock poisoned")
-        .clone()
+    scope::hub().default_scope().recorder()
 }
 
 /// Exact percentile by the nearest-rank method over `values` (reordered in

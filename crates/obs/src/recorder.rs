@@ -109,7 +109,9 @@ impl MemoryRecorder {
 
     /// Span aggregates, sorted by name.
     pub fn spans(&self) -> Vec<SpanStat> {
-        let mut v = self.spans.lock().expect("span lock poisoned").clone();
+        // Recover from poisoning: a panicking exporter thread must not take
+        // span accounting (or the encoder) down with it.
+        let mut v = self.spans.lock().unwrap_or_else(|e| e.into_inner()).clone();
         v.sort_by_key(|s| s.name);
         v
     }
@@ -264,7 +266,7 @@ impl Recorder for MemoryRecorder {
     }
 
     fn span_record(&self, name: &'static str, dur_us: u64) {
-        let mut spans = self.spans.lock().expect("span lock poisoned");
+        let mut spans = self.spans.lock().unwrap_or_else(|e| e.into_inner());
         match spans.iter_mut().find(|s| s.name == name) {
             Some(s) => {
                 s.count += 1;

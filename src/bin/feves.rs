@@ -6,8 +6,9 @@
 //! feves encode <in.y4m> [out.y4m] [opts]   functional encode of a Y4M file
 //! feves resume <ckpt|dir> [options]        continue a crashed encode session
 //! feves trace [options]                    print a steady-state frame Gantt
-//! feves stats [options]                    run + print the metrics summary
-//! feves report <flight.jsonl> [--html]     audit a recorded flight log
+//! feves stats [options|live.json]          run + print the metrics summary
+//! feves top <live.json> [--once]           live dashboard over a snapshot file
+//! feves report <flight.jsonl|live.json> [--html]  audit a flight log / live run
 //! feves compare <baseline> <new>           regression gate over two summaries
 //! ```
 //!
@@ -21,7 +22,10 @@
 //! `--kernels scalar|fast` (hot-kernel family; overrides `FEVES_KERNELS`;
 //! CPU device profiles are re-scaled so simulated times match the choice),
 //! `--checkpoint-every <k>` (encode: durable checkpoint every k frames),
-//! `--checkpoint-dir <dir>`, `--checkpoint-keep <n>`.
+//! `--checkpoint-dir <dir>`, `--checkpoint-keep <n>`,
+//! `--live-out <path>` (periodic atomic live snapshots for `feves top`),
+//! `--live-every <ms>` (snapshot period, default 250),
+//! `--interval <ms>` / `--once` (`top` refresh control).
 //!
 //! Exit codes: 0 success, 1 runtime failure (one-line `error:` on stderr,
 //! no usage banner) or a failed `compare` gate, 2 usage error (banner
@@ -31,7 +35,8 @@ use feves::core::prelude::*;
 use feves::ft::ckpt::fnv1a64;
 use feves::ft::crash::crash_point_at;
 use feves::obs::{
-    compare_reports, parse_flight_jsonl, render_html, write_atomic, MemoryRecorder, NoopRecorder,
+    compare_reports, parse_flight_jsonl, render_html, write_atomic, BusController, LiveConfig,
+    LiveSnapshot, MemoryRecorder, NoopRecorder, SessionScope,
 };
 use feves::video::frame::Frame;
 use feves::video::y4m::{Y4mHeader, Y4mReader, Y4mWriter};
@@ -80,6 +85,10 @@ struct Options {
     checkpoint_every: usize,
     checkpoint_dir: Option<String>,
     checkpoint_keep: usize,
+    live_out: Option<String>,
+    live_every_ms: u64,
+    interval_ms: u64,
+    once: bool,
 }
 
 impl Default for Options {
@@ -104,6 +113,10 @@ impl Default for Options {
             checkpoint_every: 0,
             checkpoint_dir: None,
             checkpoint_keep: 2,
+            live_out: None,
+            live_every_ms: 250,
+            interval_ms: 1000,
+            once: false,
         }
     }
 }
@@ -151,6 +164,20 @@ fn parse_options(args: &[String]) -> Result<(Options, Vec<String>), String> {
                     .parse()
                     .map_err(|e| format!("--checkpoint-keep: {e}"))?
             }
+            "--live-out" => opts.live_out = Some(grab()?.clone()),
+            "--live-every" => {
+                opts.live_every_ms = grab()?.parse().map_err(|e| format!("--live-every: {e}"))?;
+                if opts.live_every_ms == 0 {
+                    return Err("--live-every: must be >= 1 ms".into());
+                }
+            }
+            "--interval" => {
+                opts.interval_ms = grab()?.parse().map_err(|e| format!("--interval: {e}"))?;
+                if opts.interval_ms == 0 {
+                    return Err("--interval: must be >= 1 ms".into());
+                }
+            }
+            "--once" => opts.once = true,
             _ if a.starts_with("--") => return Err(format!("unknown option {a}")),
             _ => positional.push(a.clone()),
         }
@@ -323,6 +350,72 @@ fn cmd_platforms() {
     }
 }
 
+/// Live telemetry for one CLI run. Created when `--metrics-out` or
+/// `--live-out` asked for instrumentation: the encoder gets a named
+/// [`SessionScope`]; with `--live-out` a bounded telemetry bus + drain
+/// thread sits between the encode loop and the registry, and the drain
+/// thread writes an atomic live snapshot every `--live-every` ms.
+struct Telemetry {
+    scope: Option<SessionScope>,
+    ctl: Option<BusController>,
+    live_out: Option<String>,
+}
+
+fn attach_telemetry(enc: &mut FevesEncoder, label: &str, opts: &Options) -> Telemetry {
+    if opts.metrics_out.is_none() && opts.live_out.is_none() {
+        return Telemetry {
+            scope: None,
+            ctl: None,
+            live_out: None,
+        };
+    }
+    let scope = feves::obs::hub().session(label);
+    let ctl = opts.live_out.as_ref().map(|path| {
+        let ctl = BusController::start(
+            1 << 16,
+            Some(LiveConfig {
+                path: PathBuf::from(path),
+                period: std::time::Duration::from_millis(opts.live_every_ms),
+            }),
+        );
+        scope.attach_bus(ctl.bus());
+        ctl
+    });
+    enc.set_scope(scope.clone());
+    Telemetry {
+        scope: Some(scope),
+        ctl,
+        live_out: opts.live_out.clone(),
+    }
+}
+
+impl Telemetry {
+    /// The session's aggregated registry (checkpoint metrics are recorded
+    /// straight into it, bypassing the bus — they are not hot-path).
+    fn memory(&self) -> Option<Arc<MemoryRecorder>> {
+        self.scope.as_ref().map(|s| s.metrics())
+    }
+
+    /// Stop the bus (draining every accepted event and writing the final
+    /// snapshot), then write `--metrics-out` from the settled registry.
+    fn finish(mut self, metrics_out: &Option<String>) -> CliResult {
+        if let Some(mut ctl) = self.ctl.take() {
+            ctl.stop();
+            let stats = ctl.bus().stats();
+            if let Some(path) = &self.live_out {
+                eprintln!(
+                    "live snapshot written to {path} ({} event(s) published, {} dropped)",
+                    stats.published, stats.dropped
+                );
+            }
+        }
+        if let Some(scope) = &self.scope {
+            scope.sync_dropped();
+        }
+        write_metrics(&self.memory(), metrics_out)
+    }
+}
+
 /// Attach an in-memory recorder to `enc` when `--metrics-out` asked for one.
 fn attach_recorder(enc: &mut FevesEncoder, opts: &Options) -> Option<Arc<MemoryRecorder>> {
     opts.metrics_out.as_ref().map(|_| {
@@ -395,7 +488,7 @@ fn print_rollups(report: &EncodeReport) {
 fn cmd_simulate(opts: &Options) -> CliResult {
     let (platform, cfg) = config_of(opts, Resolution::FULL_HD)?;
     let mut enc = FevesEncoder::new(platform, cfg).map_err(CliError::runtime)?;
-    let rec = attach_recorder(&mut enc, opts);
+    let telemetry = attach_telemetry(&mut enc, "simulate", opts);
     enable_flight(&mut enc, &opts.flight_out, opts.frames);
     let report = enc.run_timing(opts.frames);
     println!(
@@ -435,7 +528,7 @@ fn cmd_simulate(opts: &Options) -> CliResult {
     print_ft(&enc);
     print_rollups(&report);
     write_flight(&enc, &opts.flight_out)?;
-    write_metrics(&rec, &opts.metrics_out)
+    telemetry.finish(&opts.metrics_out)
 }
 
 fn cmd_stats(opts: &Options) -> CliResult {
@@ -623,7 +716,8 @@ fn cmd_encode(opts: &Options, input: &str, output: Option<&str>) -> CliResult {
         .map_err(CliError::usage)?;
     cfg.mode = ExecutionMode::Functional;
     let mut enc = FevesEncoder::new(platform, cfg).map_err(CliError::runtime)?;
-    let rec = attach_recorder(&mut enc, opts);
+    let telemetry = attach_telemetry(&mut enc, "encode", opts);
+    let rec = telemetry.memory();
     enable_flight(&mut enc, &opts.flight_out, frames.len());
 
     let out_path = output
@@ -679,7 +773,7 @@ fn cmd_encode(opts: &Options, input: &str, output: Option<&str>) -> CliResult {
         .map_err(|e| CliError::runtime(format!("{out_path}: {e}")))?;
     print_encode_summary(&opts.platform, &out_path, reports);
     write_flight(&enc, &opts.flight_out)?;
-    write_metrics(&rec, &opts.metrics_out)
+    telemetry.finish(&opts.metrics_out)
 }
 
 fn cmd_resume(path: &str) -> CliResult {
@@ -798,9 +892,68 @@ fn cmd_resume(path: &str) -> CliResult {
     write_metrics(&rec, &ctx.metrics_out)
 }
 
+/// `feves stats <live.json>`: render a live snapshot as the familiar
+/// metrics table instead of running a fresh simulation.
+fn cmd_stats_live(input: &str) -> CliResult {
+    let text =
+        std::fs::read_to_string(input).map_err(|e| CliError::runtime(format!("{input}: {e}")))?;
+    let snap =
+        LiveSnapshot::parse(&text).map_err(|e| CliError::runtime(format!("{input}: {e}")))?;
+    print!("{}", snap.render_stats());
+    Ok(())
+}
+
+/// `feves top <live.json>`: refreshing terminal dashboard over a running
+/// encode's live snapshot file. `--once` renders a single frame (for
+/// scripts and CI); otherwise redraws every `--interval` ms until killed.
+fn cmd_top(opts: &Options, input: &str) -> CliResult {
+    loop {
+        let text = std::fs::read_to_string(input)
+            .map_err(|e| CliError::runtime(format!("{input}: {e}")))?;
+        let snap =
+            LiveSnapshot::parse(&text).map_err(|e| CliError::runtime(format!("{input}: {e}")))?;
+        if opts.once {
+            print!("{}", snap.render_top());
+            return Ok(());
+        }
+        // Clear + home, then one dashboard frame. The snapshot file is
+        // written atomically, so a mid-write read can never tear.
+        print!("\x1b[2J\x1b[H{}", snap.render_top());
+        use std::io::Write;
+        std::io::stdout().flush().ok();
+        std::thread::sleep(std::time::Duration::from_millis(opts.interval_ms));
+    }
+}
+
+/// True when `text` looks like a live snapshot document rather than a
+/// flight-recorder JSONL.
+fn is_live_snapshot(text: &str) -> bool {
+    text.trim_start().starts_with('{') && text.contains("\"feves-live/")
+}
+
 fn cmd_report(opts: &Options, input: &str) -> CliResult {
     let text =
         std::fs::read_to_string(input).map_err(|e| CliError::runtime(format!("{input}: {e}")))?;
+    // The same tooling works mid-run: pointed at a live snapshot instead of
+    // a flight log, `report` summarizes the in-progress session.
+    if is_live_snapshot(&text) {
+        if opts.html {
+            return Err(CliError::usage(
+                "--html reports need a flight log; live snapshots render as text only",
+            ));
+        }
+        let snap =
+            LiveSnapshot::parse(&text).map_err(|e| CliError::runtime(format!("{input}: {e}")))?;
+        let body = snap.render_summary();
+        match &opts.out {
+            Some(path) => {
+                write_atomic(path, &body).map_err(|e| CliError::runtime(format!("{path}: {e}")))?;
+                eprintln!("report written to {path}");
+            }
+            None => print!("{body}"),
+        }
+        return Ok(());
+    }
     let records = parse_flight_jsonl(&text).map_err(CliError::runtime)?;
     // Display parameters match the framework defaults: the drift band for
     // the residual chart, a gentle EWMA for the per-device trend column.
@@ -842,8 +995,11 @@ fn usage() {
          \u{20}  encode <in.y4m> [out] [options] functional Y4M encode\n\
          \u{20}  resume <ckpt|dir>               continue a crashed encode session\n\
          \u{20}  trace [options]                 steady-state frame Gantt\n\
-         \u{20}  stats [options]                 run + print the metrics summary\n\
-         \u{20}  report <flight.jsonl> [--html] [--out <path>]  audit a flight log\n\
+         \u{20}  stats [options|live.json]       run + print the metrics summary,\n\
+         \u{20}                                  or tabulate a live snapshot\n\
+         \u{20}  top <live.json> [--once] [--interval <ms>]     live dashboard\n\
+         \u{20}  report <flight.jsonl|live.json> [--html] [--out <path>]  audit a\n\
+         \u{20}                                  flight log or a live snapshot\n\
          \u{20}  compare <baseline> <new> [--threshold <f>]     regression gate\n\n\
          options: --platform <name> | --platform-file <json>\n\
          \u{20}        --sa <n> --refs <n> --qp <n>\n\
@@ -856,7 +1012,11 @@ fn usage() {
          \u{20}        --deadline-factor <f>           fault-detection slack (>1, default 3)\n\
          \u{20}        --checkpoint-every <k>          encode: durable checkpoint every k frames\n\
          \u{20}        --checkpoint-dir <dir>          checkpoint directory (default <out>.ckpt)\n\
-         \u{20}        --checkpoint-keep <n>           generations to retain (default 2)"
+         \u{20}        --checkpoint-keep <n>           generations to retain (default 2)\n\
+         \u{20}        --live-out <path>               stream atomic live snapshots (feves top)\n\
+         \u{20}        --live-every <ms>               live snapshot period (default 250)\n\
+         \u{20}        --interval <ms>                 top: refresh period (default 1000)\n\
+         \u{20}        --once                          top: render one frame and exit"
     );
 }
 
@@ -884,7 +1044,18 @@ fn main() -> ExitCode {
         }
         "simulate" => parse_cli(rest).and_then(|(o, _)| cmd_simulate(&o)),
         "trace" => parse_cli(rest).and_then(|(o, _)| cmd_trace(&o)),
-        "stats" => parse_cli(rest).and_then(|(o, _)| cmd_stats(&o)),
+        "stats" => parse_cli(rest).and_then(|(o, pos)| match pos.first() {
+            // With a positional file, render that live snapshot instead of
+            // running a fresh simulation.
+            Some(path) => cmd_stats_live(path),
+            None => cmd_stats(&o),
+        }),
+        "top" => parse_cli(rest).and_then(|(o, pos)| {
+            let input = pos
+                .first()
+                .ok_or_else(|| CliError::usage("top needs a live snapshot file (--live-out)"))?;
+            cmd_top(&o, input)
+        }),
         "encode" => parse_cli(rest).and_then(|(o, pos)| {
             let input = pos
                 .first()

@@ -402,3 +402,47 @@ fn checkpointed_encode_then_resume_completes_the_tail() {
         "resume of a finished session must reproduce the same bytes"
     );
 }
+
+#[test]
+fn live_out_snapshot_drives_top_stats_and_report() {
+    let dir = std::env::temp_dir().join("feves_cli_live");
+    std::fs::create_dir_all(&dir).unwrap();
+    let live = dir.join("live.json");
+    let live_s = live.to_str().unwrap();
+
+    let (ok, _, stderr) = run(&[
+        "simulate",
+        "--platform",
+        "syshk",
+        "--frames",
+        "20",
+        "--live-out",
+        live_s,
+        "--live-every",
+        "20",
+    ]);
+    assert!(ok, "{stderr}");
+    assert!(stderr.contains("live snapshot written"), "{stderr}");
+
+    // The final snapshot parses and renders in all three surfaces.
+    let (ok, stdout, stderr) = run(&["top", "--once", live_s]);
+    assert!(ok, "{stderr}");
+    assert!(stdout.contains("FEVES live"), "{stdout}");
+    assert!(stdout.contains("simulate"), "{stdout}");
+    assert!(stdout.contains("busy"), "{stdout}");
+
+    let (ok, stdout, _) = run(&["stats", live_s]);
+    assert!(ok);
+    assert!(stdout.contains("frames.encoded"), "{stdout}");
+    assert!(stdout.contains("obs.bus_events"), "{stdout}");
+
+    let (ok, stdout, _) = run(&["report", live_s]);
+    assert!(ok);
+    assert!(stdout.contains("telemetry bus"), "{stdout}");
+    assert!(stdout.contains("devices"), "{stdout}");
+
+    // A live snapshot cannot drive the HTML flight report.
+    let (ok, _, stderr) = run(&["report", live_s, "--html"]);
+    assert!(!ok);
+    assert!(stderr.contains("flight log"), "{stderr}");
+}

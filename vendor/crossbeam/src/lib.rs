@@ -4,6 +4,8 @@
 //! `Result` (a panic in any spawned thread surfaces as `Err`, matching the
 //! upstream contract the `.expect(...)` call sites rely on).
 
+pub mod queue;
+
 use std::any::Any;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 

@@ -1,0 +1,257 @@
+//! Vendored `crossbeam::queue` subset: a bounded lock-free MPMC
+//! [`ArrayQueue`] (Dmitry Vyukov's bounded MPMC algorithm, the same design
+//! upstream crossbeam uses).
+//!
+//! The queue never blocks: [`ArrayQueue::push`] on a full queue returns the
+//! value back immediately (`Err(v)`), and [`ArrayQueue::pop`] on an empty
+//! queue returns `None`. Elements pushed by one producer are popped in that
+//! producer's push order (per-producer FIFO) — the property the FEVES
+//! telemetry bus relies on for "never reordered within a session".
+
+use std::cell::UnsafeCell;
+use std::mem::MaybeUninit;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// One queue slot: a generation stamp plus (possibly uninitialized) storage.
+///
+/// The stamp encodes which "lap" the slot is on: it equals the push position
+/// when the slot is free for that position, and the push position + 1 while
+/// it holds that position's value.
+struct Slot<T> {
+    stamp: AtomicUsize,
+    value: UnsafeCell<MaybeUninit<T>>,
+}
+
+/// A bounded lock-free multi-producer multi-consumer queue.
+pub struct ArrayQueue<T> {
+    /// Next position to push at (monotonic; slot index is `pos % cap`).
+    tail: AtomicUsize,
+    /// Next position to pop at.
+    head: AtomicUsize,
+    slots: Box<[Slot<T>]>,
+    cap: usize,
+}
+
+unsafe impl<T: Send> Send for ArrayQueue<T> {}
+unsafe impl<T: Send> Sync for ArrayQueue<T> {}
+
+impl<T> ArrayQueue<T> {
+    /// A queue holding at most `cap` elements.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `cap` is zero.
+    pub fn new(cap: usize) -> Self {
+        assert!(cap > 0, "ArrayQueue capacity must be non-zero");
+        let slots: Box<[Slot<T>]> = (0..cap)
+            .map(|i| Slot {
+                stamp: AtomicUsize::new(i),
+                value: UnsafeCell::new(MaybeUninit::uninit()),
+            })
+            .collect();
+        ArrayQueue {
+            tail: AtomicUsize::new(0),
+            head: AtomicUsize::new(0),
+            slots,
+            cap,
+        }
+    }
+
+    /// Maximum number of elements the queue holds.
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// Attempt to push; a full queue returns the value back without
+    /// blocking or spinning on consumers.
+    pub fn push(&self, value: T) -> Result<(), T> {
+        let mut tail = self.tail.load(Ordering::Relaxed);
+        loop {
+            let slot = &self.slots[tail % self.cap];
+            let stamp = slot.stamp.load(Ordering::Acquire);
+            if stamp == tail {
+                // The slot is free for this lap; claim the position.
+                match self.tail.compare_exchange_weak(
+                    tail,
+                    tail.wrapping_add(1),
+                    Ordering::Relaxed,
+                    Ordering::Relaxed,
+                ) {
+                    Ok(_) => {
+                        unsafe { (*slot.value.get()).write(value) };
+                        slot.stamp.store(tail.wrapping_add(1), Ordering::Release);
+                        return Ok(());
+                    }
+                    Err(t) => tail = t,
+                }
+            } else if stamp.wrapping_add(self.cap) == tail.wrapping_add(1) {
+                // The slot still holds the value from one lap ago: the
+                // queue is full *unless* a concurrent pop advanced head in
+                // the meantime — re-check before reporting full.
+                let head = self.head.load(Ordering::Relaxed);
+                if head.wrapping_add(self.cap) == tail {
+                    return Err(value);
+                }
+                tail = self.tail.load(Ordering::Relaxed);
+            } else {
+                // A concurrent push claimed this position; reload and retry.
+                tail = self.tail.load(Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Attempt to pop; an empty queue returns `None` without blocking.
+    pub fn pop(&self) -> Option<T> {
+        let mut head = self.head.load(Ordering::Relaxed);
+        loop {
+            let slot = &self.slots[head % self.cap];
+            let stamp = slot.stamp.load(Ordering::Acquire);
+            if stamp == head.wrapping_add(1) {
+                // The slot holds this position's value; claim it.
+                match self.head.compare_exchange_weak(
+                    head,
+                    head.wrapping_add(1),
+                    Ordering::Relaxed,
+                    Ordering::Relaxed,
+                ) {
+                    Ok(_) => {
+                        let value = unsafe { (*slot.value.get()).assume_init_read() };
+                        // Free the slot for the push one full lap ahead.
+                        slot.stamp
+                            .store(head.wrapping_add(self.cap), Ordering::Release);
+                        return Some(value);
+                    }
+                    Err(h) => head = h,
+                }
+            } else if stamp == head {
+                // The slot has not been written this lap: the queue is
+                // empty *unless* a concurrent push advanced tail.
+                let tail = self.tail.load(Ordering::Relaxed);
+                if tail == head {
+                    return None;
+                }
+                head = self.head.load(Ordering::Relaxed);
+            } else {
+                head = self.head.load(Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Approximate number of queued elements (exact when quiescent).
+    pub fn len(&self) -> usize {
+        loop {
+            let tail = self.tail.load(Ordering::SeqCst);
+            let head = self.head.load(Ordering::SeqCst);
+            if self.tail.load(Ordering::SeqCst) == tail {
+                return tail.wrapping_sub(head).min(self.cap);
+            }
+        }
+    }
+
+    /// Whether the queue is (approximately) empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<T> Drop for ArrayQueue<T> {
+    fn drop(&mut self) {
+        // Drain remaining elements so their destructors run.
+        while self.pop().is_some() {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn fifo_within_capacity() {
+        let q = ArrayQueue::new(4);
+        assert!(q.is_empty());
+        for i in 0..4 {
+            q.push(i).unwrap();
+        }
+        assert_eq!(q.len(), 4);
+        assert_eq!(q.push(99), Err(99), "full queue rejects without blocking");
+        for i in 0..4 {
+            assert_eq!(q.pop(), Some(i));
+        }
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn wraps_laps() {
+        let q = ArrayQueue::new(3);
+        for lap in 0..10 {
+            for i in 0..3 {
+                q.push(lap * 3 + i).unwrap();
+            }
+            for i in 0..3 {
+                assert_eq!(q.pop(), Some(lap * 3 + i));
+            }
+        }
+    }
+
+    #[test]
+    fn concurrent_producers_preserve_per_producer_order() {
+        const PRODUCERS: u64 = 4;
+        const PER: u64 = 10_000;
+        let q = Arc::new(ArrayQueue::new(64));
+        let popped = std::sync::Mutex::new(Vec::new());
+        std::thread::scope(|s| {
+            for p in 0..PRODUCERS {
+                let q = q.clone();
+                s.spawn(move || {
+                    for i in 0..PER {
+                        // Spin until accepted: this test wants conservation,
+                        // not drop policy.
+                        let mut v = p << 32 | i;
+                        while let Err(back) = q.push(v) {
+                            v = back;
+                            std::thread::yield_now();
+                        }
+                    }
+                });
+            }
+            let q = q.clone();
+            let popped = &popped;
+            s.spawn(move || {
+                let mut got = Vec::new();
+                while got.len() < (PRODUCERS * PER) as usize {
+                    match q.pop() {
+                        Some(v) => got.push(v),
+                        None => std::thread::yield_now(),
+                    }
+                }
+                *popped.lock().unwrap() = got;
+            });
+        });
+        let got = popped.into_inner().unwrap();
+        assert_eq!(got.len(), (PRODUCERS * PER) as usize);
+        let mut last = [None::<u64>; PRODUCERS as usize];
+        for v in got {
+            let (p, i) = ((v >> 32) as usize, v & 0xffff_ffff);
+            if let Some(prev) = last[p] {
+                assert!(i > prev, "producer {p} reordered: {i} after {prev}");
+            }
+            last[p] = Some(i);
+        }
+        for (p, l) in last.iter().enumerate() {
+            assert_eq!(*l, Some(PER - 1), "producer {p} lost elements");
+        }
+    }
+
+    #[test]
+    fn drops_remaining_elements() {
+        let q = ArrayQueue::new(8);
+        let token = Arc::new(());
+        for _ in 0..5 {
+            q.push(token.clone()).unwrap();
+        }
+        assert_eq!(Arc::strong_count(&token), 6);
+        drop(q);
+        assert_eq!(Arc::strong_count(&token), 1);
+    }
+}
