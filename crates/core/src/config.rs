@@ -82,6 +82,12 @@ pub struct EncoderConfig {
     /// residual stays outside `±band_pct` for `k` consecutive frames is
     /// re-characterized (rates reset → equidistant probe).
     pub drift: DriftConfig,
+    /// Deterministic jitter seed for the health tracker's re-admission
+    /// backoff. `None` (the default) keeps exact exponential timing;
+    /// concurrent farm sessions set a per-job seed so they do not re-probe
+    /// a recovered shared device in lockstep. Affects scheduling timing
+    /// only — never the functional bitstream bytes.
+    pub health_jitter: Option<u64>,
 }
 
 /// Rate-control parameters (see [`feves_codec::rate::RateController`]).
@@ -112,6 +118,7 @@ impl EncoderConfig {
             faults: Vec::new(),
             deadline_factor: 3.0,
             drift: DriftConfig::default(),
+            health_jitter: None,
         }
     }
 

@@ -39,8 +39,54 @@ use feves_sched::{
 use feves_video::frame::Frame;
 use feves_video::geometry::{ranges_from_counts, RowRange};
 use feves_video::plane::Plane;
-use std::sync::Arc;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
+
+/// Shared control block between an external supervisor (the `feves serve`
+/// farm) and one running encoder: a cooperative stop flag and a fleet-level
+/// device lease.
+///
+/// The lease is a *restriction mask* over the session's full platform —
+/// the session keeps every device in its `Platform` (so checkpoints stay
+/// compatible across rebalances) but only schedules devices that are both
+/// healthy *and* leased. The supervisor rebalances by swapping the mask;
+/// the encoder picks the new mask up at the next frame boundary. The mask
+/// is fleet state, deliberately not part of [`FrameworkState`]: on resume
+/// the supervisor re-applies the current lease.
+#[derive(Debug, Default)]
+pub struct SessionCtl {
+    stop: AtomicBool,
+    lease: Mutex<Option<Vec<bool>>>,
+}
+
+impl SessionCtl {
+    /// A control block with no stop requested and no lease (all devices).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Ask the session to stop at the next frame boundary (checkpoint and
+    /// return, if checkpointing is armed).
+    pub fn request_stop(&self) {
+        self.stop.store(true, Ordering::Release);
+    }
+
+    /// Whether a cooperative stop has been requested.
+    pub fn stop_requested(&self) -> bool {
+        self.stop.load(Ordering::Acquire)
+    }
+
+    /// Replace the device lease (`None` = every device usable).
+    pub fn set_lease(&self, lease: Option<Vec<bool>>) {
+        *self.lease.lock().unwrap_or_else(|e| e.into_inner()) = lease;
+    }
+
+    /// The current device lease, if any.
+    pub fn lease(&self) -> Option<Vec<bool>> {
+        self.lease.lock().unwrap_or_else(|e| e.into_inner()).clone()
+    }
+}
 
 /// An externally imposed performance change on one device for a range of
 /// inter-frames — models "other processes started running" (Fig 7's events
@@ -120,6 +166,8 @@ pub struct FevesEncoder {
     /// registry (possibly over the bus) and feeds the live per-device view
     /// (`feves top`).
     scope: Option<SessionScope>,
+    /// Optional supervisor control block (stop flag + device lease).
+    ctl: Option<Arc<SessionCtl>>,
 }
 
 /// A reconstruction waiting to be interpolated and pushed as a reference.
@@ -242,13 +290,18 @@ impl FevesEncoder {
             store: ReferenceStore::new(n_ref),
             recon_pending: None,
             injector: FaultInjector::new(FaultSchedule::new(config.faults.clone())),
-            health: HealthTracker::new(platform.len(), 2, 3),
+            health: {
+                let mut health = HealthTracker::new(platform.len(), 2, 3);
+                health.set_jitter_seed(config.health_jitter);
+                health
+            },
             deadline: DeadlinePolicy::new(config.deadline_factor),
             expected_tau: None,
             ft_stats: FtStats::default(),
             drift: DriftDetector::new(platform.len(), config.drift),
             flight: None,
             scope: None,
+            ctl: None,
             platform,
             config,
         })
@@ -278,6 +331,41 @@ impl FevesEncoder {
         );
         self.recorder = Some(scope.recorder());
         self.scope = Some(scope);
+    }
+
+    /// Attach a supervisor control block: the encoder honors its device
+    /// lease at every frame boundary (callers poll its stop flag in their
+    /// encode loops).
+    pub fn set_ctl(&mut self, ctl: Arc<SessionCtl>) {
+        self.ctl = Some(ctl);
+    }
+
+    /// The attached supervisor control block, if any.
+    pub fn ctl(&self) -> Option<&Arc<SessionCtl>> {
+        self.ctl.as_ref()
+    }
+
+    /// Restrict `avail` to the supervisor's device lease, if one is set.
+    /// Safety guard: a lease that would leave the session without any live
+    /// host core (the balancer's invariant) is ignored wholesale rather
+    /// than partially honored — health-only availability wins.
+    fn apply_lease(&self, avail: &mut [bool]) {
+        let Some(lease) = self.ctl.as_ref().and_then(|c| c.lease()) else {
+            return;
+        };
+        if lease.len() != avail.len() {
+            return;
+        }
+        let masked: Vec<bool> = avail.iter().zip(&lease).map(|(&a, &l)| a && l).collect();
+        let has_core = self
+            .platform
+            .devices
+            .iter()
+            .zip(&masked)
+            .any(|(d, &v)| !d.is_accelerator() && v);
+        if has_core {
+            avail.copy_from_slice(&masked);
+        }
     }
 
     /// The active recorder: this encoder's own, else the process global.
@@ -640,6 +728,7 @@ impl FevesEncoder {
         // inside the balancers when uncharacterized).
         let sched_start = Instant::now();
         let mut avail = self.health.available();
+        self.apply_lease(&mut avail);
         let mut dist = self.balance(n_rows, &avail);
         let mut sched_overhead = sched_start.elapsed().as_secs_f64();
 
@@ -710,6 +799,7 @@ impl FevesEncoder {
                 (dist.me[fault.device] + dist.interp[fault.device] + dist.sme[fault.device]) as u64;
             self.health.record_fault(fault.device, inter_frame);
             avail = self.health.available();
+            self.apply_lease(&mut avail);
             let t0 = Instant::now();
             dist = self.balance(n_rows, &avail);
             sched_overhead += t0.elapsed().as_secs_f64();
@@ -1323,6 +1413,9 @@ impl FevesEncoder {
             .recon_pending
             .map(|(y, u, v)| ReconPending { y, u, v });
         enc.health = HealthTracker::restore(state.health).map_err(FevesError::CheckpointCorrupt)?;
+        // The jitter seed is config, not snapshot state; re-apply it so the
+        // restored tracker continues the original re-admission timeline.
+        enc.health.set_jitter_seed(enc.config.health_jitter);
         enc.expected_tau = state.expected_tau;
         enc.ft_stats = state.ft_stats;
         enc.drift

@@ -37,7 +37,7 @@ pub use ckpt::{
     ResumeContext,
 };
 pub use config::{BalancerKind, EncoderConfig, ExecutionMode, RateControlConfig};
-pub use framework::{FevesEncoder, FrameworkState, FtStats, Perturbation};
+pub use framework::{FevesEncoder, FrameworkState, FtStats, Perturbation, SessionCtl};
 pub use oracle::OracleBalancer;
 pub use report::{EncodeReport, FrameReport, Rollup};
 pub use trace::{FrameTrace, Lane, LaneKind, TraceTask};
@@ -46,7 +46,7 @@ pub use trace::{FrameTrace, Lane, LaneKind, TraceTask};
 pub mod prelude {
     pub use crate::ckpt::{load_checkpoint_file, load_latest, CheckpointManager, ResumeContext};
     pub use crate::config::{BalancerKind, EncoderConfig, ExecutionMode, RateControlConfig};
-    pub use crate::framework::{FevesEncoder, FrameworkState, FtStats, Perturbation};
+    pub use crate::framework::{FevesEncoder, FrameworkState, FtStats, Perturbation, SessionCtl};
     pub use crate::report::{EncodeReport, FrameReport, Rollup};
     pub use crate::trace::{FrameTrace, Lane, LaneKind};
     pub use feves_codec::types::{EncodeParams, SearchArea};

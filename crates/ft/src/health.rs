@@ -41,10 +41,26 @@ pub struct HealthTracker {
     faults: Vec<u64>,
     base_backoff: usize,
     probation_frames: usize,
+    /// When set, re-admission times carry a deterministic jitter in
+    /// `[0, backoff/2]` so concurrent sessions sharing a platform do not
+    /// re-probe a recovered device in lockstep (thundering herd). `None`
+    /// (the default) keeps the historical exact timing. Derived state, not
+    /// part of [`HealthSnapshot`] — restorers re-apply it from their config.
+    jitter_seed: Option<u64>,
 }
 
 /// Backoff is capped so a flapping device still gets probed occasionally.
 const MAX_BACKOFF_FRAMES: usize = 64;
+
+/// SplitMix64 finalizer: a strong, dependency-free 64-bit mix. Used to hash
+/// `(seed, device, fault_count)` into a jitter offset — pure, so a restored
+/// tracker reproduces the exact same re-admission timeline.
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
 
 impl HealthTracker {
     /// `base_backoff`: frames a device sits out after its first fault.
@@ -58,7 +74,22 @@ impl HealthTracker {
             faults: vec![0; n_devices],
             base_backoff: base_backoff.max(1),
             probation_frames: probation_frames.max(1),
+            jitter_seed: None,
         }
+    }
+
+    /// Enable (`Some`) or disable (`None`) deterministic re-admission
+    /// jitter. The jitter of each fault is a pure function of
+    /// `(seed, device, fault count)`, so two trackers with the same seed
+    /// replay identical timelines — and a checkpoint-restored tracker
+    /// continues the original one exactly.
+    pub fn set_jitter_seed(&mut self, seed: Option<u64>) {
+        self.jitter_seed = seed;
+    }
+
+    /// The configured jitter seed, if any.
+    pub fn jitter_seed(&self) -> Option<u64> {
+        self.jitter_seed
     }
 
     pub fn len(&self) -> usize {
@@ -111,11 +142,21 @@ impl HealthTracker {
     }
 
     /// Records a fault against `device` at inter frame `frame`: the device
-    /// is blacklisted until `frame + backoff`, and the backoff doubles.
+    /// is blacklisted until `frame + backoff` (plus a deterministic jitter
+    /// in `[0, backoff/2]` when a jitter seed is set), and the backoff
+    /// doubles.
     pub fn record_fault(&mut self, device: usize, frame: usize) {
         self.faults[device] += 1;
+        let jitter = match self.jitter_seed {
+            Some(seed) => {
+                let span = self.backoff[device] / 2 + 1;
+                let h = splitmix64(seed ^ (device as u64).rotate_left(32) ^ self.faults[device]);
+                (h % span as u64) as usize
+            }
+            None => 0,
+        };
         self.state[device] = DeviceHealth::Blacklisted;
-        self.readmit_at[device] = frame + self.backoff[device];
+        self.readmit_at[device] = frame + self.backoff[device] + jitter;
         self.backoff[device] = (self.backoff[device] * 2).min(MAX_BACKOFF_FRAMES);
     }
 
@@ -186,6 +227,9 @@ impl HealthTracker {
             faults: snap.faults,
             base_backoff: snap.base_backoff.max(1),
             probation_frames: snap.probation_frames.max(1),
+            // Derived config, not snapshot state: the restorer re-applies
+            // its own seed (see `FevesEncoder::restore`).
+            jitter_seed: None,
         })
     }
 }

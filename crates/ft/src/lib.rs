@@ -36,6 +36,7 @@ pub mod drift;
 pub mod error;
 pub mod fault;
 pub mod health;
+pub mod retry;
 
 pub use ckpt::{ByteReader, ByteWriter, CheckpointBlob, CKPT_VERSION};
 pub use deadline::{DeadlinePolicy, Deadlines, SyncPoint};
@@ -43,3 +44,4 @@ pub use drift::{DriftConfig, DriftDetector, DriftSnapshot};
 pub use error::{DeviceFault, FaultCause, FevesError};
 pub use fault::{FaultKind, FaultSchedule, FaultSpec};
 pub use health::{DeviceHealth, HealthSnapshot, HealthTracker};
+pub use retry::RetryPolicy;

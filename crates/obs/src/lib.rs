@@ -61,7 +61,7 @@ pub use live::{build_snapshot, LiveSnapshot};
 pub use persist::write_atomic;
 pub use recorder::{MemoryRecorder, NoopRecorder, Recorder, Span, SpanStat};
 pub use report::render_html;
-pub use scope::{hub, DeviceLive, SessionScope, TelemetryHub};
+pub use scope::{hub, DeviceLive, RetiredSession, SessionScope, TelemetryHub};
 
 use std::sync::Arc;
 
@@ -161,10 +161,25 @@ pub enum Metric {
     ObsBusEnqueueNs,
     /// Wall-clock cost of one drain batch (pop + apply, up to 1024 events).
     ObsBusDrainUs,
+    /// Jobs waiting in the farm admission queue (sampled at every farm
+    /// state change).
+    FarmQueueDepth,
+    /// Jobs rejected at admission because the queue crossed its
+    /// high-watermark (`QueueFull`).
+    FarmAdmissionRejects,
+    /// Session retries launched by the farm supervisor (after a panic or
+    /// device fault, resuming from the last durable checkpoint).
+    FarmRetries,
+    /// Jobs that completed successfully (bitstream fully written).
+    FarmJobsCompleted,
+    /// Jobs that exhausted their retry budget or failed fatally.
+    FarmJobsFailed,
+    /// Wall-clock time from drain request to farm exit (ms).
+    FarmDrainMs,
 }
 
 /// Definitions for every [`Metric`], in `Metric` discriminant order.
-pub static REGISTRY: [MetricDef; 28] = [
+pub static REGISTRY: [MetricDef; 34] = [
     MetricDef {
         name: "sched.overhead_us",
         unit: "us",
@@ -336,11 +351,50 @@ pub static REGISTRY: [MetricDef; 28] = [
         kind: MetricKind::Histogram,
         wall_clock: true,
     },
+    // The farm.* metrics describe the `feves serve` supervisor. All are
+    // wall_clock: queue depth and retry counts depend on job arrival order
+    // and host scheduling, never on the virtual encode clock.
+    MetricDef {
+        name: "farm.queue_depth",
+        unit: "jobs",
+        kind: MetricKind::Gauge,
+        wall_clock: true,
+    },
+    MetricDef {
+        name: "farm.admission_rejects",
+        unit: "jobs",
+        kind: MetricKind::Counter,
+        wall_clock: true,
+    },
+    MetricDef {
+        name: "farm.retries",
+        unit: "retries",
+        kind: MetricKind::Counter,
+        wall_clock: true,
+    },
+    MetricDef {
+        name: "farm.jobs_completed",
+        unit: "jobs",
+        kind: MetricKind::Counter,
+        wall_clock: true,
+    },
+    MetricDef {
+        name: "farm.jobs_failed",
+        unit: "jobs",
+        kind: MetricKind::Counter,
+        wall_clock: true,
+    },
+    MetricDef {
+        name: "farm.drain_ms",
+        unit: "ms",
+        kind: MetricKind::Histogram,
+        wall_clock: true,
+    },
 ];
 
 impl Metric {
     /// All metrics, in registry order.
-    pub const ALL: [Metric; 28] = [
+    pub const ALL: [Metric; 34] = [
         Metric::SchedOverheadUs,
         Metric::FrameTau1Ms,
         Metric::FrameTau2Ms,
@@ -369,6 +423,12 @@ impl Metric {
         Metric::ObsDroppedEvents,
         Metric::ObsBusEnqueueNs,
         Metric::ObsBusDrainUs,
+        Metric::FarmQueueDepth,
+        Metric::FarmAdmissionRejects,
+        Metric::FarmRetries,
+        Metric::FarmJobsCompleted,
+        Metric::FarmJobsFailed,
+        Metric::FarmDrainMs,
     ];
 
     /// Registry index.

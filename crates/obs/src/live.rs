@@ -11,7 +11,7 @@
 //!         "enqueue_ns":{"count":654,"mean":91.0,"p99":181.0,"max":912.0},
 //!         "drain_batch_us":{"count":88,"mean":14.2,"p99":60.1,"max":88.0}},
 //!  "sessions":[{"id":1,"label":"sim","frames":120,"fps":29.8,
-//!               "dropped_events":0,
+//!               "dropped_events":0,"ended":false,
 //!               "counters":{"frames.encoded":120,"...":0},
 //!               "gauges":{"kernel.dispatch":1.0},
 //!               "histograms":{"frame.tau_tot_ms":{"count":120,"mean":33.1,
@@ -23,11 +23,14 @@
 //! Every registry metric appears in every session (counters/gauges/
 //! histograms keyed by dotted metric name), so the key-path set is stable —
 //! that is the golden-schema contract tested in `tests/telemetry.rs`.
+//! Sessions whose last handle dropped between ticks are appended from the
+//! hub's retirement history with `"ended": true` and the same key paths.
 //! Non-finite floats (e.g. the mean of an empty histogram is well-defined
 //! but a cleared residual is not) serialize as `null`.
 
 use crate::bus::{BusStats, SelfCost};
-use crate::scope::{hub, SessionScope};
+use crate::recorder::MemoryRecorder;
+use crate::scope::{hub, DeviceLive, RetiredSession, SessionScope};
 use crate::{persist, Metric, MetricKind};
 use serde::Value;
 use std::path::Path;
@@ -64,9 +67,31 @@ fn self_cost(c: &SelfCost) -> Value {
     ])
 }
 
-fn session_value(scope: &SessionScope) -> Value {
-    scope.sync_dropped();
-    let m = scope.metrics();
+/// One session as the snapshot writer sees it — live and retired sessions
+/// serialize through the same builder so the key-path set (the
+/// golden-schema contract) is identical for both.
+struct SessionView<'a> {
+    id: u64,
+    label: &'a str,
+    frames: u64,
+    fps: f64,
+    dropped: u64,
+    ended: bool,
+    metrics: &'a MemoryRecorder,
+    devices: &'a [DeviceLive],
+}
+
+fn session_fields(view: SessionView<'_>) -> Value {
+    let SessionView {
+        id,
+        label,
+        frames,
+        fps,
+        dropped,
+        ended,
+        metrics: m,
+        devices: live_devices,
+    } = view;
     let mut counters = Vec::new();
     let mut gauges = Vec::new();
     let mut histograms = Vec::new();
@@ -96,8 +121,7 @@ fn session_value(scope: &SessionScope) -> Value {
             }
         }
     }
-    let devices = scope
-        .devices()
+    let devices = live_devices
         .iter()
         .map(|d| {
             obj(vec![
@@ -113,11 +137,12 @@ fn session_value(scope: &SessionScope) -> Value {
         })
         .collect();
     obj(vec![
-        ("id", Value::UInt(scope.id())),
-        ("label", Value::Str(scope.label().to_string())),
-        ("frames", Value::UInt(scope.frames())),
-        ("fps", fnum(scope.fps())),
-        ("dropped_events", Value::UInt(scope.dropped_events())),
+        ("id", Value::UInt(id)),
+        ("label", Value::Str(label.to_string())),
+        ("frames", Value::UInt(frames)),
+        ("fps", fnum(fps)),
+        ("dropped_events", Value::UInt(dropped)),
+        ("ended", Value::Bool(ended)),
         ("counters", Value::Object(counters)),
         ("gauges", Value::Object(gauges)),
         ("histograms", Value::Object(histograms)),
@@ -125,12 +150,43 @@ fn session_value(scope: &SessionScope) -> Value {
     ])
 }
 
-/// Build one live snapshot over `scopes` as a JSON tree.
+fn session_value(scope: &SessionScope) -> Value {
+    scope.sync_dropped();
+    let metrics = scope.metrics();
+    let devices = scope.devices();
+    session_fields(SessionView {
+        id: scope.id(),
+        label: scope.label(),
+        frames: scope.frames(),
+        fps: scope.fps(),
+        dropped: scope.dropped_events(),
+        ended: false,
+        metrics: &metrics,
+        devices: &devices,
+    })
+}
+
+fn retired_value(r: &RetiredSession) -> Value {
+    session_fields(SessionView {
+        id: r.id,
+        label: &r.label,
+        frames: r.frames,
+        fps: r.fps,
+        dropped: r.dropped,
+        ended: true,
+        metrics: &r.metrics,
+        devices: &r.devices,
+    })
+}
+
+/// Build one live snapshot over `scopes` (running sessions) and `retired`
+/// (recently ended sessions, rendered with `"ended": true`) as a JSON tree.
 pub fn build_snapshot(
     seq: u64,
     uptime: Duration,
     bus: Option<&BusStats>,
     scopes: &[SessionScope],
+    retired: &[RetiredSession],
 ) -> Value {
     let bus_value = bus
         .map(|b| {
@@ -152,13 +208,21 @@ pub fn build_snapshot(
         ("bus", bus_value),
         (
             "sessions",
-            Value::Array(scopes.iter().map(session_value).collect()),
+            Value::Array(
+                scopes
+                    .iter()
+                    .map(session_value)
+                    .chain(retired.iter().map(retired_value))
+                    .collect(),
+            ),
         ),
     ])
 }
 
-/// Snapshot every live (non-default) session of this process and write the
-/// result atomically to `path`.
+/// Snapshot every live (non-default) session of this process — plus the
+/// hub's retired-session history, so sessions that ended between snapshot
+/// ticks still appear once with `"ended": true` — and write the result
+/// atomically to `path`.
 pub fn write_live(
     path: &Path,
     seq: u64,
@@ -166,7 +230,8 @@ pub fn write_live(
     bus: Option<&BusStats>,
 ) -> std::io::Result<()> {
     let scopes = hub().scopes();
-    let value = build_snapshot(seq, uptime, bus, &scopes);
+    let retired = hub().retired();
+    let value = build_snapshot(seq, uptime, bus, &scopes, &retired);
     let mut text =
         serde_json::to_string(&value).map_err(|e| std::io::Error::other(format!("{e:?}")))?;
     text.push('\n');
@@ -261,13 +326,15 @@ impl LiveSnapshot {
         }
         for s in self.sessions() {
             out.push('\n');
+            let ended = matches!(s.get("ended"), Some(Value::Bool(true)));
             out.push_str(&format!(
-                "session {} · {:<16} frames {:>6}   {:>6.1} fps   dropped {}\n",
+                "session {} · {:<16} frames {:>6}   {:>6.1} fps   dropped {}{}\n",
                 get_u64(s, "id").unwrap_or(0),
                 s.get("label").and_then(Value::as_str).unwrap_or("?"),
                 get_u64(s, "frames").unwrap_or(0),
                 get_f64(s, "fps").unwrap_or(0.0),
                 get_u64(s, "dropped_events").unwrap_or(0),
+                if ended { "   [ended]" } else { "" },
             ));
             let devices = s.get("devices").and_then(Value::as_array).unwrap_or(&[]);
             if !devices.is_empty() {
@@ -454,7 +521,13 @@ mod tests {
     fn snapshot_roundtrips_and_renders() {
         let scope = sample_scope();
         let bus = TelemetryBus::new(1 << 10);
-        let value = build_snapshot(7, Duration::from_millis(1500), Some(&bus.stats()), &[scope]);
+        let value = build_snapshot(
+            7,
+            Duration::from_millis(1500),
+            Some(&bus.stats()),
+            &[scope],
+            &[],
+        );
         let text = serde_json::to_string(&value).expect("serializes despite empty histograms");
         let snap = LiveSnapshot::parse(&text).expect("round-trips");
         assert_eq!(snap.seq(), 7);
@@ -468,6 +541,35 @@ mod tests {
         assert!(stats.contains("frame.tau_tot_ms"), "{stats}");
         let summary = snap.render_summary();
         assert!(summary.contains("2 devices (1 blacklisted)"), "{summary}");
+    }
+
+    #[test]
+    fn session_ended_between_ticks_appears_in_snapshot() {
+        let label = "ended-between-ticks";
+        {
+            let scope = hub().session(label);
+            scope.recorder().add(Metric::FramesEncoded, 9);
+            scope.frame_done();
+        } // last handle gone before any snapshot tick
+        let retired = hub().retired();
+        let value = build_snapshot(1, Duration::from_millis(50), None, &[], &retired);
+        let text = serde_json::to_string(&value).unwrap();
+        let snap = LiveSnapshot::parse(&text).unwrap();
+        let s = snap
+            .sessions()
+            .iter()
+            .find(|s| s.get("label").and_then(Value::as_str) == Some(label))
+            .expect("retired session must appear in the snapshot")
+            .clone();
+        assert!(matches!(s.get("ended"), Some(Value::Bool(true))));
+        assert_eq!(s.get("frames").and_then(Value::as_u64), Some(1));
+        assert_eq!(
+            s.get("counters")
+                .and_then(|c| c.get("frames.encoded"))
+                .and_then(Value::as_u64),
+            Some(9)
+        );
+        assert!(snap.render_top().contains("[ended]"));
     }
 
     #[test]

@@ -67,7 +67,7 @@ pub struct SpanStat {
 
 /// In-memory aggregating recorder: atomic counters and gauges, lock-free
 /// [`Histogram`]s, and per-name span aggregates.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct MemoryRecorder {
     counters: [AtomicU64; N],
     /// f64 bits; [`GAUGE_UNSET`] until first write.
@@ -76,6 +76,14 @@ pub struct MemoryRecorder {
     /// Ordered by first use; span points are few and low-rate, so a mutex
     /// is fine here.
     spans: Mutex<Vec<SpanStat>>,
+}
+
+// Derived `Default` stops at 32-element arrays (and would zero the gauges
+// instead of marking them unset), so delegate to `new`.
+impl Default for MemoryRecorder {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl MemoryRecorder {

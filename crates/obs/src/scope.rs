@@ -26,9 +26,38 @@
 use crate::bus::{DeviceField, TelemetryBus, TelemetryEvent};
 use crate::recorder::{MemoryRecorder, NoopRecorder, Recorder};
 use crate::Metric;
+use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock, RwLock, Weak};
 use std::time::Instant;
+
+/// Retired sessions kept by the hub for late snapshot readers. Oldest
+/// entries are evicted beyond this bound, so a long-lived farm cannot leak
+/// one registry per completed job.
+const MAX_RETIRED: usize = 64;
+
+/// Frozen terminal state of a session whose last [`SessionScope`] handle
+/// has dropped. The hub keeps a bounded history of these so the live
+/// snapshot writer can still report sessions that ended *between* snapshot
+/// ticks — without retirement, a short job could come and go invisibly.
+#[derive(Clone)]
+pub struct RetiredSession {
+    /// Session id the scope had while live.
+    pub id: u64,
+    /// Human label given at creation.
+    pub label: String,
+    /// The session's final metric registry (shared, no longer written).
+    pub metrics: Arc<MemoryRecorder>,
+    /// Final per-device live state.
+    pub devices: Vec<DeviceLive>,
+    /// Frames completed over the session's lifetime.
+    pub frames: u64,
+    /// Frames per wall-clock second over the session's lifetime, frozen at
+    /// retirement.
+    pub fps: f64,
+    /// Events lost to a full bus over the session's lifetime.
+    pub dropped: u64,
+}
 
 /// Recover a read guard even if a panicking holder poisoned the lock —
 /// telemetry must never take the encoder down with it.
@@ -141,10 +170,49 @@ impl SessionInner {
     }
 }
 
+impl Drop for SessionInner {
+    fn drop(&mut self) {
+        // The last handle to this session is gone: freeze its final state
+        // into the hub's retirement ring so snapshot readers still see it.
+        // Runs with arbitrary hub locks held by *other* threads — and
+        // possibly inside this thread's own `sessions` read lock (a
+        // transient upgrade in `lookup` can be the last strong reference) —
+        // so it must only ever take the separate `retired` mutex.
+        if self.id == 0 {
+            return; // the default scope never retires
+        }
+        let total = self.dropped.load(Ordering::Relaxed);
+        let flushed = self.dropped_flushed.load(Ordering::Relaxed);
+        if total > flushed {
+            self.metrics.add(Metric::ObsDroppedEvents, total - flushed);
+        }
+        let frames = self.frames.load(Ordering::Relaxed);
+        let secs = self.started.elapsed().as_secs_f64();
+        let retired = RetiredSession {
+            id: self.id,
+            label: std::mem::take(&mut self.label),
+            metrics: self.metrics.clone(),
+            devices: std::mem::take(&mut *mutex_lock!(self.devices)),
+            frames,
+            fps: if secs > 0.0 {
+                frames as f64 / secs
+            } else {
+                0.0
+            },
+            dropped: total,
+        };
+        hub().retire(retired);
+    }
+}
+
 /// The recorder facade of one scope: forwards every record as an event of
-/// that session.
+/// that session. Holds only a `Weak` back-reference — the facade is cached
+/// *inside* the session, so a strong reference here would be a cycle that
+/// kept every session alive (and unretirable) forever. Records arriving
+/// after the session retired are dropped silently.
 struct ScopeRecorder {
-    inner: Arc<SessionInner>,
+    session: u64,
+    inner: Weak<SessionInner>,
 }
 
 impl Recorder for ScopeRecorder {
@@ -153,36 +221,40 @@ impl Recorder for ScopeRecorder {
         true
     }
     fn add(&self, m: Metric, delta: u64) {
-        let session = self.inner.id;
-        self.inner.record(TelemetryEvent::Add {
-            session,
-            metric: m,
-            delta,
-        });
+        if let Some(inner) = self.inner.upgrade() {
+            inner.record(TelemetryEvent::Add {
+                session: self.session,
+                metric: m,
+                delta,
+            });
+        }
     }
     fn gauge(&self, m: Metric, value: f64) {
-        let session = self.inner.id;
-        self.inner.record(TelemetryEvent::Gauge {
-            session,
-            metric: m,
-            value,
-        });
+        if let Some(inner) = self.inner.upgrade() {
+            inner.record(TelemetryEvent::Gauge {
+                session: self.session,
+                metric: m,
+                value,
+            });
+        }
     }
     fn observe(&self, m: Metric, value: f64) {
-        let session = self.inner.id;
-        self.inner.record(TelemetryEvent::Observe {
-            session,
-            metric: m,
-            value,
-        });
+        if let Some(inner) = self.inner.upgrade() {
+            inner.record(TelemetryEvent::Observe {
+                session: self.session,
+                metric: m,
+                value,
+            });
+        }
     }
     fn span_record(&self, name: &'static str, dur_us: u64) {
-        let session = self.inner.id;
-        self.inner.record(TelemetryEvent::SpanEnd {
-            session,
-            name,
-            dur_us,
-        });
+        if let Some(inner) = self.inner.upgrade() {
+            inner.record(TelemetryEvent::SpanEnd {
+                session: self.session,
+                name,
+                dur_us,
+            });
+        }
     }
 }
 
@@ -226,7 +298,8 @@ impl SessionScope {
             .facade
             .get_or_init(|| {
                 Arc::new(ScopeRecorder {
-                    inner: self.inner.clone(),
+                    session: self.inner.id,
+                    inner: Arc::downgrade(&self.inner),
                 })
             })
             .clone()
@@ -359,6 +432,8 @@ pub struct TelemetryHub {
     sessions: RwLock<Vec<Weak<SessionInner>>>,
     next_id: AtomicU64,
     default: OnceLock<SessionScope>,
+    /// Bounded ring of recently ended sessions (see [`RetiredSession`]).
+    retired: Mutex<VecDeque<RetiredSession>>,
 }
 
 /// The process-wide hub singleton.
@@ -368,6 +443,7 @@ pub fn hub() -> &'static TelemetryHub {
         sessions: RwLock::new(Vec::new()),
         next_id: AtomicU64::new(1),
         default: OnceLock::new(),
+        retired: Mutex::new(VecDeque::new()),
     })
 }
 
@@ -425,6 +501,20 @@ impl TelemetryHub {
             None => false,
         });
         out
+    }
+
+    /// Recently ended sessions, oldest first (bounded history — see
+    /// [`RetiredSession`]).
+    pub fn retired(&self) -> Vec<RetiredSession> {
+        mutex_lock!(self.retired).iter().cloned().collect()
+    }
+
+    fn retire(&self, session: RetiredSession) {
+        let mut ring = mutex_lock!(self.retired);
+        if ring.len() >= MAX_RETIRED {
+            ring.pop_front();
+        }
+        ring.push_back(session);
     }
 
     /// Resolve a session id to its scope (drain-thread lookup).
@@ -495,6 +585,32 @@ mod tests {
         assert_eq!(d.busy_pct, 60.0);
         assert_eq!(d.residual_pct, None, "NaN sample clears the residual");
         assert!(d.blacklisted);
+    }
+
+    #[test]
+    fn retirement_preserves_final_state() {
+        let label = "retire-me-unique";
+        {
+            let s = hub().session(label);
+            s.recorder().add(Metric::FramesEncoded, 2);
+            s.frame_done();
+            s.device_sample(0, 10.0, None, false);
+            s.inner.dropped.store(3, Ordering::Relaxed);
+        }
+        let retired = hub().retired();
+        let r = retired
+            .iter()
+            .find(|r| r.label == label)
+            .expect("dropped session must appear in the retirement ring");
+        assert_eq!(r.frames, 1);
+        assert_eq!(r.devices.len(), 1);
+        assert_eq!(r.dropped, 3);
+        assert_eq!(r.metrics.counter(Metric::FramesEncoded), 2);
+        assert_eq!(
+            r.metrics.counter(Metric::ObsDroppedEvents),
+            3,
+            "outstanding drops are folded into the registry at retirement"
+        );
     }
 
     #[test]

@@ -1,0 +1,98 @@
+//! Fleet-level device partitioner — the layer *above* the per-frame
+//! Algorithm-2 LP.
+//!
+//! The paper's load balancer divides one frame across the devices a single
+//! encoder session can see. When the daemon multiplexes several sessions
+//! over one physical platform, something has to decide which devices each
+//! session sees at all; that is the lease mask computed here. The split is
+//! deliberately simple and deterministic:
+//!
+//! - **CPU cores are shared by every session.** The simulator timeslices
+//!   them, a session without at least one host core cannot run the control
+//!   loop, and `FevesEncoder::apply_lease` enforces that invariant anyway.
+//! - **Healthy accelerators are dealt round-robin** across the active
+//!   sessions, in device order, so each session gets a fair, disjoint
+//!   accelerator share and the per-frame LP load-balances within it.
+//!
+//! A device the fleet health machine has blacklisted (a session died and
+//! attributed it) is excluded from every lease until its backoff expires —
+//! fault isolation at the farm level. Leases restrict scheduling only;
+//! functional output bytes are independent of the device split, which is
+//! what makes farm output byte-identical to single-session output.
+
+/// Per-session lease masks over the shared platform.
+///
+/// `accel[d]` says whether platform device `d` is an accelerator;
+/// `fleet_avail[d]` is the fleet health machine's availability verdict.
+/// Returns one full-length mask per session (empty when `n_sessions == 0`).
+pub fn fair_leases(accel: &[bool], fleet_avail: &[bool], n_sessions: usize) -> Vec<Vec<bool>> {
+    assert_eq!(accel.len(), fleet_avail.len(), "mask lengths must match");
+    if n_sessions == 0 {
+        return Vec::new();
+    }
+    // Host cores are always shared; accelerators start excluded.
+    let base: Vec<bool> = accel.iter().map(|&is_accel| !is_accel).collect();
+    let mut leases = vec![base; n_sessions];
+    let healthy_accels = accel
+        .iter()
+        .zip(fleet_avail)
+        .enumerate()
+        .filter(|(_, (&is_accel, &avail))| is_accel && avail)
+        .map(|(d, _)| d);
+    for (slot, device) in healthy_accels.enumerate() {
+        leases[slot % n_sessions][device] = true;
+    }
+    leases
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // SysHK-shaped platform: two accelerators then four host cores.
+    const ACCEL: [bool; 6] = [true, true, false, false, false, false];
+
+    #[test]
+    fn single_session_gets_the_whole_healthy_platform() {
+        let leases = fair_leases(&ACCEL, &[true; 6], 1);
+        assert_eq!(leases, vec![vec![true; 6]]);
+    }
+
+    #[test]
+    fn accelerators_deal_round_robin_cores_shared() {
+        let leases = fair_leases(&ACCEL, &[true; 6], 2);
+        assert_eq!(leases[0], [true, false, true, true, true, true]);
+        assert_eq!(leases[1], [false, true, true, true, true, true]);
+    }
+
+    #[test]
+    fn more_sessions_than_accelerators_still_all_runnable() {
+        let leases = fair_leases(&ACCEL, &[true; 6], 3);
+        // Sessions 0 and 1 take the two accelerators; session 2 is CPU-only
+        // but still holds every host core, so it can run.
+        assert_eq!(leases[2], [false, false, true, true, true, true]);
+        for lease in &leases {
+            assert!(
+                lease[2..].iter().all(|&c| c),
+                "every session must keep the shared host cores"
+            );
+        }
+    }
+
+    #[test]
+    fn blacklisted_accelerator_is_leased_to_nobody() {
+        let avail = [false, true, true, true, true, true];
+        let leases = fair_leases(&ACCEL, &avail, 2);
+        assert!(
+            leases.iter().all(|l| !l[0]),
+            "dead device must not be leased"
+        );
+        // The surviving accelerator still goes to exactly one session.
+        assert_eq!(leases.iter().filter(|l| l[1]).count(), 1);
+    }
+
+    #[test]
+    fn zero_sessions_is_empty() {
+        assert!(fair_leases(&ACCEL, &[true; 6], 0).is_empty());
+    }
+}

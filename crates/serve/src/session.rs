@@ -1,0 +1,471 @@
+//! One supervised encode session: the library-side twin of the CLI's
+//! `feves encode` / `feves resume` path.
+//!
+//! Bit-exactness is the contract here: a job run under the farm must
+//! produce output byte-identical to the same job run as a single
+//! `feves encode`. That is why this module mirrors the CLI's
+//! platform/config reconstruction, checkpoint protocol and resume
+//! truncation logic step for step — the only deliberate differences are
+//! that a farm session is quiet (no per-frame printing), carries a
+//! [`feves_core::SessionCtl`] so the supervisor can preempt it at frame
+//! boundaries, and seeds the health-backoff jitter from the job id
+//! (scheduling timing only; never functional bytes).
+
+use crate::job::JobSpec;
+use crate::ServeError;
+use feves_codec::types::{EncodeParams, SearchArea};
+use feves_core::{
+    load_latest, BalancerKind, CheckpointManager, EncoderConfig, ExecutionMode, FevesEncoder,
+    FrameworkState, ResumeContext, SessionCtl,
+};
+use feves_ft::ckpt::fnv1a64;
+use feves_ft::{FaultSchedule, FevesError};
+use feves_hetsim::platform::Platform;
+use feves_hetsim::profiles;
+use feves_obs::{NoopRecorder, SessionScope};
+use feves_video::frame::Frame;
+use feves_video::y4m::{Y4mHeader, Y4mReader, Y4mWriter};
+use std::fs::File;
+use std::io::{BufWriter, Seek, SeekFrom};
+use std::sync::Arc;
+
+/// What a session that ran to a clean stop reports back.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SessionReport {
+    /// Frames durably on disk (all of them unless interrupted).
+    pub frames_done: usize,
+    /// Total frames in the input.
+    pub n_frames: usize,
+    /// Committed output bytes.
+    pub out_bytes: u64,
+    /// True when the supervisor's stop request ended the session early —
+    /// a durable checkpoint was committed first.
+    pub interrupted: bool,
+}
+
+/// A session that died: the message plus the attributed device, when the
+/// fault had one, so the supervisor can blacklist it fleet-wide.
+#[derive(Clone, Debug)]
+pub struct SessionFailure {
+    /// Human-readable cause.
+    pub message: String,
+    /// Platform device index to blame, if attribution was possible.
+    pub culprit: Option<usize>,
+}
+
+impl SessionFailure {
+    fn new(message: impl ToString) -> Self {
+        SessionFailure {
+            message: message.to_string(),
+            culprit: None,
+        }
+    }
+
+    fn from_feves(e: FevesError) -> Self {
+        let culprit = match &e {
+            FevesError::Fault(f) => Some(f.device),
+            _ => None,
+        };
+        SessionFailure {
+            message: e.to_string(),
+            culprit,
+        }
+    }
+}
+
+/// Resolve a named platform exactly as the CLI does.
+pub(crate) fn platform_of(name: &str) -> Result<(Platform, BalancerKind), String> {
+    Ok(match name {
+        "syshk" => (Platform::sys_hk(), BalancerKind::Feves),
+        "sysnf" => (Platform::sys_nf(), BalancerKind::Feves),
+        "sysnff" => (Platform::sys_nff(), BalancerKind::Feves),
+        "cpu-n" => (
+            Platform::cpu_only(profiles::cpu_nehalem(), 4),
+            BalancerKind::CpuOnly,
+        ),
+        "cpu-h" => (
+            Platform::cpu_only(profiles::cpu_haswell(), 4),
+            BalancerKind::CpuOnly,
+        ),
+        "gpu-f" => (
+            Platform::gpu_only(profiles::gpu_fermi()),
+            BalancerKind::SingleAccelerator(0),
+        ),
+        "gpu-k" => (
+            Platform::gpu_only(profiles::gpu_kepler()),
+            BalancerKind::SingleAccelerator(0),
+        ),
+        other => {
+            return Err(format!(
+                "unknown platform '{other}' (see `feves platforms`)"
+            ))
+        }
+    })
+}
+
+/// The fleet platform the partitioner and fleet health machine size against.
+pub fn fleet_platform(name: &str) -> Result<Platform, ServeError> {
+    platform_of(name)
+        .map(|(p, _)| p)
+        .map_err(ServeError::BadJob)
+}
+
+/// Build the platform + functional encoder config a job describes —
+/// the same reconstruction the CLI's `JobSpec::build` performs, so farm
+/// and single-session runs of one job are configured identically.
+fn build_job_config(
+    job: &JobSpec,
+    resolution: feves_video::geometry::Resolution,
+) -> Result<(Platform, EncoderConfig), String> {
+    // Kernel dispatch is process-global (FEVES_KERNELS); the simulated CPU
+    // profiles must match whatever family the host actually runs.
+    let kernel_kind = feves_codec::kernels::active_kind();
+    let (mut platform, default_balancer) = platform_of(&job.platform)?;
+    platform.devices = platform
+        .devices
+        .drain(..)
+        .map(|d| profiles::scaled_for_kernels(d, kernel_kind))
+        .collect();
+    let params = EncodeParams {
+        search_area: SearchArea(job.sa),
+        n_ref: job.refs,
+        qp: job.qp,
+        qp_intra: job.qp.saturating_sub(1),
+    };
+    let mut cfg = EncoderConfig::full_hd(params);
+    cfg.resolution = resolution;
+    cfg.balancer = match job.balancer.as_str() {
+        "feves" => default_balancer,
+        "proportional" => BalancerKind::Proportional,
+        "equidistant" => BalancerKind::Equidistant,
+        other => return Err(format!("unknown balancer '{other}'")),
+    };
+    cfg.faults = FaultSchedule::parse(&job.faults)
+        .map_err(|e| e.to_string())?
+        .specs;
+    cfg.mode = ExecutionMode::Functional;
+    // Decorrelate concurrent sessions' re-admission probes of a shared
+    // recovered device. Timing only — functional bytes are unaffected.
+    cfg.health_jitter = Some(job.seed());
+    Ok((platform, cfg))
+}
+
+/// Read the job's input, returning its fingerprint, header and frames.
+fn read_input(input: &str) -> Result<(u64, Y4mHeader, Vec<Frame>), SessionFailure> {
+    let raw = std::fs::read(input).map_err(|e| SessionFailure::new(format!("{input}: {e}")))?;
+    let fp = fnv1a64(&raw);
+    let mut reader = Y4mReader::new(std::io::Cursor::new(raw))
+        .map_err(|e| SessionFailure::new(format!("{input}: {e}")))?;
+    let header = reader.header();
+    let frames = reader
+        .read_all()
+        .map_err(|e| SessionFailure::new(format!("{input}: {e}")))?;
+    Ok((fp, header, frames))
+}
+
+/// A usable checkpoint to continue from, if one exists and still matches
+/// the input and output on disk. Any mismatch or corruption falls back to
+/// a fresh encode — re-encoding from frame 0 is always bit-safe, so the
+/// farm prefers it over refusing the job.
+fn usable_checkpoint(
+    job: &JobSpec,
+    input_fp: u64,
+    n_frames: usize,
+) -> Option<(ResumeContext, FrameworkState)> {
+    let dir = job.ckpt_dir();
+    if !dir.is_dir() {
+        return None;
+    }
+    let (_path, ctx, state, _warnings) = load_latest(&dir).ok()?;
+    if ctx.input_fingerprint != input_fp || ctx.n_frames != n_frames {
+        return None;
+    }
+    // A frame-0 checkpoint (preempted before any work) carries no output —
+    // not even the Y4M header. Starting fresh is identical and simpler.
+    if ctx.frames_done == 0 {
+        return None;
+    }
+    let len = std::fs::metadata(&ctx.output).ok()?.len();
+    if len < ctx.out_bytes {
+        return None;
+    }
+    Some((ctx, state))
+}
+
+/// Flush + fsync the output so the frame boundary is durable, then commit
+/// a checkpoint claiming it — the CLI's protocol, verbatim.
+fn commit_checkpoint(
+    writer: &mut Y4mWriter<BufWriter<File>>,
+    out_path: &str,
+    enc: &FevesEncoder,
+    mgr: &CheckpointManager,
+    ctx: &mut ResumeContext,
+    done: usize,
+) -> Result<(), SessionFailure> {
+    let io_fail = |e: &dyn std::fmt::Display| SessionFailure::new(format!("{out_path}: {e}"));
+    writer.flush().map_err(|e| io_fail(&e))?;
+    let file = writer.get_ref().get_ref();
+    file.sync_all().map_err(|e| io_fail(&e))?;
+    ctx.frames_done = done;
+    ctx.out_bytes = file.metadata().map_err(|e| io_fail(&e))?.len();
+    let state = enc.snapshot();
+    mgr.write(ctx, &state, &NoopRecorder)
+        .map_err(|e| SessionFailure::new(format!("checkpoint {}: {e}", mgr.dir().display())))?;
+    Ok(())
+}
+
+/// Run one job to completion, a preemption checkpoint, or failure.
+///
+/// `attempt` is 0 on first dispatch and counts up across supervisor
+/// retries; the [`JobSpec::chaos_kill_at`] hook only fires on attempt 0,
+/// so a retried job proves the checkpointed-recovery path.
+pub fn run_session(
+    job: &JobSpec,
+    ctl: &Arc<SessionCtl>,
+    scope: SessionScope,
+    attempt: u32,
+) -> Result<SessionReport, SessionFailure> {
+    let (input_fp, header, frames) = read_input(&job.input)?;
+    let n_frames = frames.len();
+    if n_frames == 0 {
+        return Err(SessionFailure::new(format!("{}: empty input", job.input)));
+    }
+    let (platform, cfg) = build_job_config(job, header.resolution).map_err(SessionFailure::new)?;
+    let every = if job.checkpoint_every > 0 {
+        job.checkpoint_every
+    } else {
+        crate::farm::DEFAULT_CHECKPOINT_EVERY
+    };
+
+    // Fresh start, or resume from the newest checkpoint that still matches
+    // the on-disk input and output.
+    let resume = usable_checkpoint(job, input_fp, n_frames);
+    let out_path = job.output.clone();
+    let (mut enc, mut writer, mut ctx) = match resume {
+        Some((mut ctx, state)) => {
+            // Everything past the committed boundary is a torn frame from
+            // the previous attempt: truncate it away.
+            let open_fail =
+                |e: &dyn std::fmt::Display| SessionFailure::new(format!("{out_path}: {e}"));
+            let mut file = std::fs::OpenOptions::new()
+                .read(true)
+                .write(true)
+                .open(&out_path)
+                .map_err(|e| open_fail(&e))?;
+            file.set_len(ctx.out_bytes).map_err(|e| open_fail(&e))?;
+            file.seek(SeekFrom::End(0)).map_err(|e| open_fail(&e))?;
+            let enc =
+                FevesEncoder::restore(platform, cfg, state).map_err(SessionFailure::from_feves)?;
+            let writer = Y4mWriter::resume(BufWriter::new(file), header);
+            ctx.every = every;
+            (enc, writer, ctx)
+        }
+        None => {
+            let enc = FevesEncoder::new(platform, cfg).map_err(SessionFailure::from_feves)?;
+            let file = File::create(&out_path)
+                .map_err(|e| SessionFailure::new(format!("{out_path}: {e}")))?;
+            let writer = Y4mWriter::new(BufWriter::new(file), header);
+            let ctx = ResumeContext {
+                input: job.input.clone(),
+                output: out_path.clone(),
+                platform: job.platform.clone(),
+                platform_json: None,
+                sa: job.sa,
+                refs: job.refs,
+                qp: job.qp,
+                balancer: job.balancer.clone(),
+                kernels: None,
+                faults: job.faults.clone(),
+                deadline_factor: None,
+                flight_out: None,
+                metrics_out: None,
+                every,
+                keep: 2,
+                frames_done: 0,
+                n_frames,
+                out_bytes: 0,
+                input_fingerprint: input_fp,
+            };
+            (enc, writer, ctx)
+        }
+    };
+    enc.set_scope(scope);
+    enc.set_ctl(ctl.clone());
+    let mgr = CheckpointManager::new(job.ckpt_dir(), ctx.keep);
+
+    let start = ctx.frames_done;
+    for (i, f) in frames.iter().enumerate().skip(start) {
+        if ctl.stop_requested() {
+            // Preemption lands only at frame boundaries; commit a durable
+            // checkpoint here regardless of the cadence, so the drain
+            // loses zero frames of work.
+            commit_checkpoint(&mut writer, &out_path, &enc, &mgr, &mut ctx, i)?;
+            return Ok(SessionReport {
+                frames_done: i,
+                n_frames,
+                out_bytes: ctx.out_bytes,
+                interrupted: true,
+            });
+        }
+        if attempt == 0 && job.chaos_kill_at == Some(i) {
+            panic!(
+                "chaos: injected session kill before frame {i} of job '{}'",
+                job.id
+            );
+        }
+        enc.encode_frame(f);
+        let (y, u, v) = enc
+            .last_reconstruction_yuv()
+            .ok_or_else(|| SessionFailure::new("functional encode produced no reconstruction"))?;
+        let mut rf = f.clone();
+        rf.y_mut().copy_from(y);
+        rf.u_mut().copy_from(u);
+        rf.v_mut().copy_from(v);
+        writer
+            .write_frame(&rf)
+            .map_err(|e| SessionFailure::new(format!("{out_path}: {e}")))?;
+        let done = i + 1;
+        if ctx.every > 0 && done % ctx.every == 0 && done < n_frames {
+            commit_checkpoint(&mut writer, &out_path, &enc, &mgr, &mut ctx, done)?;
+        }
+    }
+    writer
+        .finish()
+        .map_err(|e| SessionFailure::new(format!("{out_path}: {e}")))?;
+    let out_bytes = std::fs::metadata(&out_path)
+        .map_err(|e| SessionFailure::new(format!("{out_path}: {e}")))?
+        .len();
+    Ok(SessionReport {
+        frames_done: n_frames,
+        n_frames,
+        out_bytes,
+        interrupted: false,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use feves_obs::hub;
+    use feves_video::geometry::Resolution;
+    use feves_video::synth::{SynthConfig, SynthSequence};
+    use std::path::{Path, PathBuf};
+
+    fn scratch(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("feves-serve-{name}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn write_input(path: &Path, n_frames: usize) {
+        let mut seq = SynthSequence::new(SynthConfig {
+            resolution: Resolution::QCIF,
+            seed: 7,
+            objects: 4,
+            pan: (1.0, 0.5),
+            noise: 2,
+        });
+        let frames = seq.take_frames(n_frames);
+        let header = Y4mHeader {
+            resolution: frames[0].resolution(),
+            fps: (25, 1),
+        };
+        let mut w = Y4mWriter::new(Vec::new(), header);
+        for f in &frames {
+            w.write_frame(f).unwrap();
+        }
+        std::fs::write(path, w.finish().unwrap()).unwrap();
+    }
+
+    fn job(dir: &Path, id: &str) -> JobSpec {
+        JobSpec {
+            id: id.into(),
+            input: dir.join("in.y4m").to_string_lossy().into_owned(),
+            output: dir.join(format!("{id}.y4m")).to_string_lossy().into_owned(),
+            sa: 16,
+            refs: 2,
+            checkpoint_every: 2,
+            ..JobSpec::default()
+        }
+    }
+
+    #[test]
+    fn completes_and_is_deterministic() {
+        let dir = scratch("session-det");
+        write_input(&dir.join("in.y4m"), 6);
+        let ctl = Arc::new(SessionCtl::new());
+        let a = run_session(&job(&dir, "a"), &ctl, hub().session("a"), 0).unwrap();
+        assert_eq!((a.frames_done, a.interrupted), (6, false));
+        let b = run_session(&job(&dir, "b"), &ctl, hub().session("b"), 0).unwrap();
+        let bytes_a = std::fs::read(job(&dir, "a").output).unwrap();
+        let bytes_b = std::fs::read(job(&dir, "b").output).unwrap();
+        assert_eq!(a.out_bytes, b.out_bytes);
+        assert_eq!(
+            bytes_a, bytes_b,
+            "two runs of one job must be bit-identical"
+        );
+    }
+
+    #[test]
+    fn stop_request_checkpoints_and_resume_is_bit_exact() {
+        let dir = scratch("session-stop");
+        write_input(&dir.join("in.y4m"), 6);
+        let baseline = job(&dir, "base");
+        let ctl = Arc::new(SessionCtl::new());
+        run_session(&baseline, &ctl, hub().session("base"), 0).unwrap();
+
+        // Stop before the session starts: it must checkpoint frame 0 work
+        // (none) durably and report interrupted.
+        let j = job(&dir, "stopped");
+        let ctl = Arc::new(SessionCtl::new());
+        ctl.request_stop();
+        let rep = run_session(&j, &ctl, hub().session("stopped"), 0).unwrap();
+        assert!(rep.interrupted);
+        assert!(rep.frames_done < rep.n_frames);
+        assert!(j.ckpt_dir().is_dir(), "preemption must leave a checkpoint");
+
+        // A later attempt resumes from it and finishes byte-identical.
+        let ctl = Arc::new(SessionCtl::new());
+        let rep = run_session(&j, &ctl, hub().session("stopped-2"), 1).unwrap();
+        assert_eq!((rep.frames_done, rep.interrupted), (6, false));
+        assert_eq!(
+            std::fs::read(&j.output).unwrap(),
+            std::fs::read(&baseline.output).unwrap(),
+            "resumed session must be bit-identical to an uninterrupted one"
+        );
+    }
+
+    #[test]
+    fn chaos_kill_fires_only_on_attempt_zero() {
+        let dir = scratch("session-chaos");
+        write_input(&dir.join("in.y4m"), 6);
+        let mut j = job(&dir, "chaos");
+        j.chaos_kill_at = Some(3);
+        let ctl = Arc::new(SessionCtl::new());
+        let panicked = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            run_session(&j, &ctl, hub().session("chaos"), 0)
+        }));
+        assert!(panicked.is_err(), "attempt 0 must hit the chaos kill");
+        // Attempt 1 resumes from the frame-2 checkpoint and completes.
+        let rep = run_session(&j, &ctl, hub().session("chaos-2"), 1).unwrap();
+        assert_eq!((rep.frames_done, rep.interrupted), (6, false));
+        let baseline = job(&dir, "cbase");
+        run_session(&baseline, &ctl, hub().session("cbase"), 0).unwrap();
+        assert_eq!(
+            std::fs::read(&j.output).unwrap(),
+            std::fs::read(&baseline.output).unwrap(),
+            "chaos-killed + retried output must match the clean run"
+        );
+    }
+
+    #[test]
+    fn missing_input_fails_without_culprit() {
+        let dir = scratch("session-missing");
+        let j = job(&dir, "missing");
+        let ctl = Arc::new(SessionCtl::new());
+        let err = run_session(&j, &ctl, hub().session("missing"), 0).unwrap_err();
+        assert!(err.culprit.is_none());
+        assert!(err.message.contains("in.y4m"));
+    }
+}

@@ -5,6 +5,9 @@
 //! feves simulate [options]                 timing-only 1080p run (virtual clock)
 //! feves encode <in.y4m> [out.y4m] [opts]   functional encode of a Y4M file
 //! feves resume <ckpt|dir> [options]        continue a crashed encode session
+//! feves serve <spool> [options]            supervised encode-farm daemon
+//! feves submit <spool> <in.y4m> [out]      drop an encode job into a spool
+//! feves drain <spool>                      ask the daemon to drain and exit
 //! feves trace [options]                    print a steady-state frame Gantt
 //! feves stats [options|live.json]          run + print the metrics summary
 //! feves top <live.json> [--once]           live dashboard over a snapshot file
@@ -89,6 +92,16 @@ struct Options {
     live_every_ms: u64,
     interval_ms: u64,
     once: bool,
+    allow_stale: bool,
+    queue_cap: usize,
+    high_watermark: Option<usize>,
+    max_inflight: usize,
+    retry_budget: u32,
+    poll_ms: u64,
+    exit_when_idle: bool,
+    id: Option<String>,
+    chaos_kill_at: Option<usize>,
+    chaos_device: Option<usize>,
 }
 
 impl Default for Options {
@@ -117,6 +130,16 @@ impl Default for Options {
             live_every_ms: 250,
             interval_ms: 1000,
             once: false,
+            allow_stale: false,
+            queue_cap: 64,
+            high_watermark: None,
+            max_inflight: 2,
+            retry_budget: 2,
+            poll_ms: 50,
+            exit_when_idle: false,
+            id: None,
+            chaos_kill_at: None,
+            chaos_device: None,
         }
     }
 }
@@ -178,6 +201,49 @@ fn parse_options(args: &[String]) -> Result<(Options, Vec<String>), String> {
                 }
             }
             "--once" => opts.once = true,
+            "--allow-stale" => opts.allow_stale = true,
+            "--queue-cap" => {
+                opts.queue_cap = grab()?.parse().map_err(|e| format!("--queue-cap: {e}"))?
+            }
+            "--high-watermark" => {
+                opts.high_watermark = Some(
+                    grab()?
+                        .parse()
+                        .map_err(|e| format!("--high-watermark: {e}"))?,
+                )
+            }
+            "--max-inflight" => {
+                opts.max_inflight = grab()?
+                    .parse()
+                    .map_err(|e| format!("--max-inflight: {e}"))?
+            }
+            "--retry-budget" => {
+                opts.retry_budget = grab()?
+                    .parse()
+                    .map_err(|e| format!("--retry-budget: {e}"))?
+            }
+            "--poll-ms" => {
+                opts.poll_ms = grab()?.parse().map_err(|e| format!("--poll-ms: {e}"))?;
+                if opts.poll_ms == 0 {
+                    return Err("--poll-ms: must be >= 1 ms".into());
+                }
+            }
+            "--exit-when-idle" => opts.exit_when_idle = true,
+            "--id" => opts.id = Some(grab()?.clone()),
+            "--chaos-kill-at" => {
+                opts.chaos_kill_at = Some(
+                    grab()?
+                        .parse()
+                        .map_err(|e| format!("--chaos-kill-at: {e}"))?,
+                )
+            }
+            "--chaos-device" => {
+                opts.chaos_device = Some(
+                    grab()?
+                        .parse()
+                        .map_err(|e| format!("--chaos-device: {e}"))?,
+                )
+            }
             _ if a.starts_with("--") => return Err(format!("unknown option {a}")),
             _ => positional.push(a.clone()),
         }
@@ -612,12 +678,48 @@ fn read_input(input: &str) -> CliResult<(u64, Y4mHeader, Vec<Frame>)> {
     Ok((fp, header, frames))
 }
 
+/// Flush the Y4M buffer, fsync the output so the frame boundary is
+/// durable, and commit a checkpoint claiming it.
+fn commit_checkpoint(
+    writer: &mut Y4mWriter<BufWriter<std::fs::File>>,
+    out_path: &str,
+    enc: &FevesEncoder,
+    mgr: &CheckpointManager,
+    ctx: &mut ResumeContext,
+    rec: &Option<Arc<MemoryRecorder>>,
+    done: usize,
+) -> CliResult<PathBuf> {
+    writer
+        .flush()
+        .map_err(|e| CliError::runtime(format!("{out_path}: {e}")))?;
+    let file = writer.get_ref().get_ref();
+    file.sync_all()
+        .map_err(|e| CliError::runtime(format!("{out_path}: {e}")))?;
+    ctx.frames_done = done;
+    ctx.out_bytes = file
+        .metadata()
+        .map_err(|e| CliError::runtime(format!("{out_path}: {e}")))?
+        .len();
+    let state = enc.snapshot();
+    match rec {
+        Some(r) => mgr.write(ctx, &state, r.as_ref()),
+        None => mgr.write(ctx, &state, &NoopRecorder),
+    }
+    .map_err(|e| CliError::runtime(format!("checkpoint {}: {e}", mgr.dir().display())))
+}
+
 /// The encode main loop shared by `encode` and `resume`: encode
 /// `frames[start..]`, stream reconstructions to `writer`, and (when a
 /// manager is armed) durably checkpoint every `ctx.every` frames with the
 /// output flushed + fsynced first, so `ctx.out_bytes` is a committed frame
 /// boundary. `crash_point_at("frame", i)` fires before each frame for the
 /// chaos harness.
+///
+/// A `SIGTERM`/`SIGINT` is honored at the next frame boundary: with
+/// checkpointing armed, a durable checkpoint is committed right there
+/// (whatever the cadence) and the loop returns with the `interrupted` flag
+/// set so the caller can exit 0 without finishing the output; without
+/// checkpointing, the interrupt is a runtime error.
 #[allow(clippy::too_many_arguments)]
 fn encode_loop(
     enc: &mut FevesEncoder,
@@ -627,10 +729,20 @@ fn encode_loop(
     out_path: &str,
     ckpt: Option<(&CheckpointManager, &mut ResumeContext)>,
     rec: &Option<Arc<MemoryRecorder>>,
-) -> CliResult<Vec<feves::core::FrameReport>> {
+) -> CliResult<(Vec<feves::core::FrameReport>, bool)> {
     let mut reports = Vec::new();
     let mut ckpt = ckpt;
     for (i, f) in frames.iter().enumerate().skip(start) {
+        if feves::serve::signal::shutdown_requested() {
+            let Some((mgr, ctx)) = ckpt.as_mut() else {
+                return Err(CliError::runtime(
+                    "interrupted (no checkpointing armed; partial output left as-is)",
+                ));
+            };
+            commit_checkpoint(writer, out_path, enc, mgr, ctx, rec, i)?;
+            eprintln!("interrupted: checkpoint committed at frame {i}");
+            return Ok((reports, true));
+        }
         crash_point_at("frame", i as u64);
         let rep = enc.encode_frame(f);
         let (y, u, v) = enc
@@ -655,33 +767,12 @@ fn encode_loop(
         let done = i + 1;
         if let Some((mgr, ctx)) = ckpt.as_mut() {
             if ctx.every > 0 && done.is_multiple_of(ctx.every) && done < frames.len() {
-                // Frame boundary must be durable before the checkpoint
-                // claims it: flush the Y4M buffer, fsync the file, and
-                // record the committed byte count.
-                writer
-                    .flush()
-                    .map_err(|e| CliError::runtime(format!("{out_path}: {e}")))?;
-                let file = writer.get_ref().get_ref();
-                file.sync_all()
-                    .map_err(|e| CliError::runtime(format!("{out_path}: {e}")))?;
-                ctx.frames_done = done;
-                ctx.out_bytes = file
-                    .metadata()
-                    .map_err(|e| CliError::runtime(format!("{out_path}: {e}")))?
-                    .len();
-                let state = enc.snapshot();
-                let written = match rec {
-                    Some(r) => mgr.write(ctx, &state, r.as_ref()),
-                    None => mgr.write(ctx, &state, &NoopRecorder),
-                }
-                .map_err(|e| {
-                    CliError::runtime(format!("checkpoint {}: {e}", mgr.dir().display()))
-                })?;
+                let written = commit_checkpoint(writer, out_path, enc, mgr, ctx, rec, done)?;
                 eprintln!("checkpoint {} (frame {done})", written.display());
             }
         }
     }
-    Ok(reports)
+    Ok((reports, false))
 }
 
 fn print_encode_summary(
@@ -698,6 +789,7 @@ fn print_encode_summary(
 }
 
 fn cmd_encode(opts: &Options, input: &str, output: Option<&str>) -> CliResult {
+    feves::serve::signal::install_handlers();
     let (input_fp, header, frames) = read_input(input)?;
     println!(
         "{input}: {}x{}, {} frames",
@@ -759,7 +851,7 @@ fn cmd_encode(opts: &Options, input: &str, output: Option<&str>) -> CliResult {
         None
     };
 
-    let reports = encode_loop(
+    let (reports, interrupted) = encode_loop(
         &mut enc,
         &frames,
         0,
@@ -768,6 +860,11 @@ fn cmd_encode(opts: &Options, input: &str, output: Option<&str>) -> CliResult {
         ckpt_state.as_mut().map(|(m, c)| (&*m, c)),
         &rec,
     )?;
+    if interrupted {
+        // The checkpoint is the committed state; the unfinished output
+        // tail past `out_bytes` is `feves resume`'s to truncate.
+        return telemetry.finish(&opts.metrics_out);
+    }
     writer
         .finish()
         .map_err(|e| CliError::runtime(format!("{out_path}: {e}")))?;
@@ -777,6 +874,7 @@ fn cmd_encode(opts: &Options, input: &str, output: Option<&str>) -> CliResult {
 }
 
 fn cmd_resume(path: &str) -> CliResult {
+    feves::serve::signal::install_handlers();
     // Accept either a checkpoint file or a checkpoint directory (newest
     // usable generation wins; corrupted generations are skipped with a
     // warning each).
@@ -848,7 +946,15 @@ fn cmd_resume(path: &str) -> CliResult {
         .build(header.resolution)
         .map_err(CliError::runtime)?;
     cfg.mode = ExecutionMode::Functional;
-    let mut enc = FevesEncoder::restore(platform, cfg, state).map_err(CliError::runtime)?;
+    // A frame-0 checkpoint (interrupted before any frame) committed no
+    // output — not even the Y4M header — so a fresh start is identical
+    // and sidesteps resuming into an empty file.
+    let fresh = ctx.frames_done == 0;
+    let mut enc = if fresh {
+        FevesEncoder::new(platform, cfg).map_err(CliError::runtime)?
+    } else {
+        FevesEncoder::restore(platform, cfg, state).map_err(CliError::runtime)?
+    };
 
     // Re-arm the session-level extras the checkpoint deliberately excludes.
     let rec = ctx.metrics_out.as_ref().map(|_| {
@@ -862,7 +968,11 @@ fn cmd_resume(path: &str) -> CliResult {
     }
 
     let out_path = ctx.output.clone();
-    let mut writer = Y4mWriter::resume(BufWriter::new(out_file), header);
+    let mut writer = if fresh {
+        Y4mWriter::new(BufWriter::new(out_file), header)
+    } else {
+        Y4mWriter::resume(BufWriter::new(out_file), header)
+    };
     let mgr = CheckpointManager::new(
         ckpt_path
             .parent()
@@ -871,7 +981,7 @@ fn cmd_resume(path: &str) -> CliResult {
         ctx.keep,
     );
     let start = ctx.frames_done;
-    let reports = encode_loop(
+    let (reports, interrupted) = encode_loop(
         &mut enc,
         &frames,
         start,
@@ -880,6 +990,9 @@ fn cmd_resume(path: &str) -> CliResult {
         Some((&mgr, &mut ctx)),
         &rec,
     )?;
+    if interrupted {
+        return write_metrics(&rec, &ctx.metrics_out);
+    }
     writer
         .finish()
         .map_err(|e| CliError::runtime(format!("{out_path}: {e}")))?;
@@ -913,6 +1026,26 @@ fn cmd_top(opts: &Options, input: &str) -> CliResult {
         let snap =
             LiveSnapshot::parse(&text).map_err(|e| CliError::runtime(format!("{input}: {e}")))?;
         if opts.once {
+            // Scripted checks must not mistake a dead producer for a live
+            // one: a snapshot older than two publish periods means nobody
+            // is writing it. `--allow-stale` opts out (post-mortem reads).
+            if !opts.allow_stale {
+                let limit = std::time::Duration::from_millis(opts.live_every_ms.saturating_mul(2));
+                let age = std::fs::metadata(input)
+                    .and_then(|m| m.modified())
+                    .map_err(|e| CliError::runtime(format!("{input}: {e}")))?
+                    .elapsed()
+                    // A clock skewed into the future reads as fresh.
+                    .unwrap_or_default();
+                if age > limit {
+                    return Err(CliError::runtime(format!(
+                        "{input}: snapshot is stale ({}ms old > {}ms limit); \
+                         the producer is gone — pass --allow-stale to render anyway",
+                        age.as_millis(),
+                        limit.as_millis()
+                    )));
+                }
+            }
             print!("{}", snap.render_top());
             return Ok(());
         }
@@ -923,6 +1056,92 @@ fn cmd_top(opts: &Options, input: &str) -> CliResult {
         std::io::stdout().flush().ok();
         std::thread::sleep(std::time::Duration::from_millis(opts.interval_ms));
     }
+}
+
+/// `feves serve <spool>`: run the supervised encode farm until drained
+/// (SIGTERM/SIGINT or `feves drain`) or, with `--exit-when-idle`, until
+/// the spool runs dry.
+fn cmd_serve(opts: &Options, spool: &str) -> CliResult {
+    let cfg = feves::serve::FarmConfig {
+        spool: PathBuf::from(spool),
+        platform: opts.platform.clone(),
+        queue_cap: opts.queue_cap,
+        high_watermark: opts.high_watermark.unwrap_or(opts.queue_cap),
+        max_inflight: opts.max_inflight,
+        retry_budget: opts.retry_budget,
+        poll_ms: opts.poll_ms,
+        checkpoint_every: if opts.checkpoint_every > 0 {
+            opts.checkpoint_every
+        } else {
+            feves::serve::DEFAULT_CHECKPOINT_EVERY
+        },
+        exit_when_idle: opts.exit_when_idle,
+        live_out: opts.live_out.clone().map(PathBuf::from),
+        live_every_ms: opts.live_every_ms,
+        ..feves::serve::FarmConfig::default()
+    };
+    eprintln!(
+        "serving {spool} — platform {}, queue {} (reject at {}), {} in flight, retry budget {}",
+        cfg.platform, cfg.queue_cap, cfg.high_watermark, cfg.max_inflight, cfg.retry_budget
+    );
+    let report = feves::serve::farm::run(cfg).map_err(CliError::runtime)?;
+    println!(
+        "farm: {} completed, {} failed, {} rejected, {} retried, {} checkpointed ({})",
+        report.completed,
+        report.failed,
+        report.rejected,
+        report.retried,
+        report.checkpointed,
+        if report.drained { "drained" } else { "idle" }
+    );
+    Ok(())
+}
+
+/// `feves submit <spool> <in.y4m> [out]`: atomically drop a job spec into
+/// a farm's spool directory.
+fn cmd_submit(opts: &Options, spool: &str, input: &str, output: Option<&str>) -> CliResult {
+    let output = output
+        .map(str::to_string)
+        .unwrap_or_else(|| format!("{input}.recon.y4m"));
+    let id = opts.id.clone().unwrap_or_else(|| {
+        // Deterministic id from the job's identity, so re-submitting the
+        // same work overwrites rather than duplicates.
+        format!(
+            "job-{:016x}",
+            fnv1a64(format!("{input}->{output}").as_bytes())
+        )
+    });
+    let job = feves::serve::JobSpec {
+        id,
+        input: input.to_string(),
+        output,
+        platform: opts.platform.clone(),
+        sa: opts.sa,
+        refs: opts.refs,
+        qp: opts.qp,
+        balancer: opts.balancer.clone(),
+        faults: opts.faults.clone(),
+        checkpoint_every: opts.checkpoint_every,
+        chaos_kill_at: opts.chaos_kill_at,
+        chaos_device: opts.chaos_device,
+    };
+    let path = feves::serve::job::write_job(std::path::Path::new(spool), &job)
+        .map_err(CliError::runtime)?;
+    println!("submitted {} ({})", job.id, path.display());
+    Ok(())
+}
+
+/// `feves drain <spool>`: ask the daemon serving this spool to stop
+/// admitting, checkpoint in-flight jobs, and exit.
+fn cmd_drain(spool: &str) -> CliResult {
+    let spool = std::path::Path::new(spool);
+    std::fs::create_dir_all(feves::serve::job::ctl_dir(spool))
+        .map_err(|e| CliError::runtime(format!("{}: {e}", spool.display())))?;
+    let marker = feves::serve::job::drain_marker(spool);
+    write_atomic(&marker, "drain\n")
+        .map_err(|e| CliError::runtime(format!("{}: {e}", marker.display())))?;
+    println!("drain requested ({})", marker.display());
+    Ok(())
 }
 
 /// True when `text` looks like a live snapshot document rather than a
@@ -997,6 +1216,9 @@ fn usage() {
          \u{20}  trace [options]                 steady-state frame Gantt\n\
          \u{20}  stats [options|live.json]       run + print the metrics summary,\n\
          \u{20}                                  or tabulate a live snapshot\n\
+         \u{20}  serve <spool> [options]         supervised encode-farm daemon\n\
+         \u{20}  submit <spool> <in.y4m> [out]   drop an encode job into a spool\n\
+         \u{20}  drain <spool>                   ask the daemon to drain and exit\n\
          \u{20}  top <live.json> [--once] [--interval <ms>]     live dashboard\n\
          \u{20}  report <flight.jsonl|live.json> [--html] [--out <path>]  audit a\n\
          \u{20}                                  flight log or a live snapshot\n\
@@ -1016,7 +1238,17 @@ fn usage() {
          \u{20}        --live-out <path>               stream atomic live snapshots (feves top)\n\
          \u{20}        --live-every <ms>               live snapshot period (default 250)\n\
          \u{20}        --interval <ms>                 top: refresh period (default 1000)\n\
-         \u{20}        --once                          top: render one frame and exit"
+         \u{20}        --once                          top: render one frame and exit\n\
+         \u{20}        --allow-stale                   top --once: render even a stale snapshot\n\
+         \u{20}        --queue-cap <n>                 serve: admission queue bound (default 64)\n\
+         \u{20}        --high-watermark <n>            serve: reject line (default queue cap)\n\
+         \u{20}        --max-inflight <n>              serve: concurrent sessions (default 2)\n\
+         \u{20}        --retry-budget <n>              serve: retries per job (default 2)\n\
+         \u{20}        --poll-ms <ms>                  serve: spool poll period (default 50)\n\
+         \u{20}        --exit-when-idle                serve: exit when the spool runs dry\n\
+         \u{20}        --id <name>                     submit: explicit job id\n\
+         \u{20}        --chaos-kill-at <frame>         submit: panic the session there (attempt 0)\n\
+         \u{20}        --chaos-device <dev>            submit: device a chaos kill is blamed on"
     );
 }
 
@@ -1061,6 +1293,24 @@ fn main() -> ExitCode {
                 .first()
                 .ok_or_else(|| CliError::usage("encode needs an input .y4m"))?;
             cmd_encode(&o, input, pos.get(1).map(String::as_str))
+        }),
+        "serve" => parse_cli(rest).and_then(|(o, pos)| {
+            let spool = pos
+                .first()
+                .ok_or_else(|| CliError::usage("serve needs a spool directory"))?;
+            cmd_serve(&o, spool)
+        }),
+        "submit" => parse_cli(rest).and_then(|(o, pos)| {
+            let (Some(spool), Some(input)) = (pos.first(), pos.get(1)) else {
+                return Err(CliError::usage("submit needs <spool> <in.y4m> [out]"));
+            };
+            cmd_submit(&o, spool, input, pos.get(2).map(String::as_str))
+        }),
+        "drain" => parse_cli(rest).and_then(|(_, pos)| {
+            let spool = pos
+                .first()
+                .ok_or_else(|| CliError::usage("drain needs a spool directory"))?;
+            cmd_drain(spool)
         }),
         "resume" => parse_cli(rest).and_then(|(_, pos)| {
             let path = pos

@@ -10,6 +10,7 @@ pub use feves_hetsim as hetsim;
 pub use feves_lp as lp;
 pub use feves_obs as obs;
 pub use feves_sched as sched;
+pub use feves_serve as serve;
 pub use feves_video as video;
 
 pub use feves_core::prelude::*;

@@ -425,7 +425,9 @@ fn live_out_snapshot_drives_top_stats_and_report() {
     assert!(stderr.contains("live snapshot written"), "{stderr}");
 
     // The final snapshot parses and renders in all three surfaces.
-    let (ok, stdout, stderr) = run(&["top", "--once", live_s]);
+    // (--allow-stale: this test checks rendering, not producer liveness,
+    // and a loaded test host can take >2x the period to get here.)
+    let (ok, stdout, stderr) = run(&["top", "--once", live_s, "--allow-stale"]);
     assert!(ok, "{stderr}");
     assert!(stdout.contains("FEVES live"), "{stdout}");
     assert!(stdout.contains("simulate"), "{stdout}");
@@ -445,4 +447,54 @@ fn live_out_snapshot_drives_top_stats_and_report() {
     let (ok, _, stderr) = run(&["report", live_s, "--html"]);
     assert!(!ok);
     assert!(stderr.contains("flight log"), "{stderr}");
+}
+
+#[test]
+fn top_once_gates_on_snapshot_staleness() {
+    // `feves top --once` is the farm's health probe: a snapshot older than
+    // twice the producer's period means the producer is gone, and the probe
+    // must say so with a non-zero exit — unless --allow-stale opts out.
+    let dir = std::env::temp_dir().join("feves_cli_stale");
+    std::fs::create_dir_all(&dir).unwrap();
+    let live = dir.join("live.json");
+    let live_s = live.to_str().unwrap();
+    let _ = std::fs::remove_file(&live);
+
+    // Missing snapshot: runtime error (exit 1), not a usage banner.
+    let (code, _, stderr) = run_code(&["top", "--once", live_s]);
+    assert_eq!(code, Some(1), "missing snapshot must exit 1:\n{stderr}");
+    assert!(stderr.contains("error:"), "{stderr}");
+    assert!(!stderr.contains("usage:"), "{stderr}");
+
+    let (ok, _, stderr) = run(&[
+        "simulate",
+        "--platform",
+        "syshk",
+        "--frames",
+        "2",
+        "--live-out",
+        live_s,
+        "--live-every",
+        "20",
+    ]);
+    assert!(ok, "{stderr}");
+
+    // Age the snapshot past 2x the declared period (2 * 100ms).
+    std::thread::sleep(std::time::Duration::from_millis(450));
+    let (code, _, stderr) = run_code(&["top", "--once", live_s, "--live-every", "100"]);
+    assert_eq!(code, Some(1), "stale snapshot must exit 1:\n{stderr}");
+    assert!(stderr.contains("stale"), "{stderr}");
+    assert!(stderr.contains("--allow-stale"), "hint missing:\n{stderr}");
+
+    // The escape hatch still renders it.
+    let (ok, stdout, stderr) = run(&[
+        "top",
+        "--once",
+        live_s,
+        "--live-every",
+        "100",
+        "--allow-stale",
+    ]);
+    assert!(ok, "{stderr}");
+    assert!(stdout.contains("FEVES live"), "{stdout}");
 }

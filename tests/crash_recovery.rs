@@ -389,3 +389,67 @@ fn chaos_seed_randomizes_the_kill_point() {
         fs::copy(&flight, dest).expect("export recovered flight log");
     }
 }
+
+#[test]
+fn sigterm_mid_encode_checkpoints_and_resumes_bit_exact() {
+    // Graceful preemption, as a process supervisor would do it: TERM (not
+    // KILL) a checkpoint-armed encode mid-run. The encoder must commit an
+    // off-cadence checkpoint at the frame boundary, flush it atomically,
+    // and exit 0 — and `feves resume` must then complete the session
+    // bit-identically to an uninterrupted run.
+    let dir = scratch("sigterm");
+    let input = dir.join("in.y4m");
+    write_input(&input, 0x5EED);
+    let input = input.to_str().unwrap();
+    let want = baseline(&dir, input);
+
+    let out = dir.join("out.y4m");
+    let out = out.to_str().unwrap().to_string();
+    let ckdir = format!("{out}.ckpt");
+    let mut args = encode_args(input, &out);
+    args.extend_from_slice(&["--checkpoint-every", "2", "--checkpoint-dir", &ckdir]);
+    let mut child = Command::new(feves_bin())
+        .args(&args)
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn feves");
+    let stdout = child.stdout.take().unwrap();
+    let mut lines = std::io::BufReader::new(stdout).lines();
+    let mut seen = 0;
+    while let Some(Ok(line)) = lines.next() {
+        if line.contains("frame") {
+            seen += 1;
+        }
+        if seen >= 2 {
+            break;
+        }
+    }
+    let term = Command::new("kill")
+        .args(["-TERM", &child.id().to_string()])
+        .status()
+        .expect("send SIGTERM");
+    assert!(term.success());
+    // Keep draining stdout until the child exits — closing the pipe early
+    // would fault the encoder's own progress prints.
+    for _ in lines.by_ref() {}
+    let output = child.wait_with_output().unwrap();
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(
+        output.status.success(),
+        "graceful TERM must exit 0, got {}:\n{stderr}",
+        output.status
+    );
+    assert!(
+        stderr.contains("interrupted: checkpoint committed"),
+        "preemption banner missing:\n{stderr}"
+    );
+
+    let (ok, _, stderr) = run(&["resume", &ckdir], &[]);
+    assert!(ok, "resume after SIGTERM failed:\n{stderr}");
+    assert_eq!(
+        fs::read(&out).unwrap(),
+        want,
+        "SIGTERM preempt + resume must be bit-identical"
+    );
+}

@@ -112,6 +112,75 @@ fn backoff_caps_and_resets_only_after_probation_graduation() {
 }
 
 #[test]
+fn jitter_bounds_and_determinism() {
+    // With a seed, re-admission lands in [backoff, backoff + backoff/2];
+    // the same seed replays the exact same timeline.
+    let readmit_gaps = |seed: u64| -> Vec<usize> {
+        let mut t = HealthTracker::new(1, 4, 2);
+        t.set_jitter_seed(Some(seed));
+        let mut frame = 1;
+        let mut gaps = Vec::new();
+        for _ in 0..5 {
+            t.record_fault(0, frame);
+            let readmit = t.readmit_at(0);
+            gaps.push(readmit - frame);
+            frame = readmit;
+            t.tick(frame);
+        }
+        gaps
+    };
+    let a = readmit_gaps(0xFE0E5);
+    let b = readmit_gaps(0xFE0E5);
+    assert_eq!(a, b, "same seed must replay the exact timeline");
+    // Each gap stays within [backoff, backoff + backoff/2] for the doubling
+    // backoff sequence 4, 8, 16, 32, 64.
+    for (k, gap) in a.iter().enumerate() {
+        let backoff = (4usize << k).min(64);
+        assert!(
+            (backoff..=backoff + backoff / 2).contains(gap),
+            "gap {gap} outside jitter band for backoff {backoff}"
+        );
+    }
+}
+
+#[test]
+fn jitter_seeds_decorrelate_sessions() {
+    // Two sessions probing the same recovered device with different seeds
+    // must not re-admit in lockstep on every fault (thundering herd).
+    let timeline = |seed: u64| -> Vec<usize> {
+        let mut t = HealthTracker::new(1, 8, 2);
+        t.set_jitter_seed(Some(seed));
+        let mut frame = 1;
+        let mut readmits = Vec::new();
+        for _ in 0..6 {
+            t.record_fault(0, frame);
+            frame = t.readmit_at(0);
+            readmits.push(frame);
+            t.tick(frame);
+        }
+        readmits
+    };
+    assert_ne!(
+        timeline(1),
+        timeline(2),
+        "different seeds must produce different re-admission timelines"
+    );
+}
+
+#[test]
+fn jitter_off_by_default_and_none_restores_exact_timing() {
+    let mut jittered = HealthTracker::new(1, 2, 2);
+    jittered.set_jitter_seed(Some(99));
+    jittered.set_jitter_seed(None);
+    let mut plain = HealthTracker::new(1, 2, 2);
+    for (frame, t) in [(5, &mut jittered), (5, &mut plain)] {
+        t.record_fault(0, frame);
+    }
+    assert_eq!(jittered.readmit_at(0), plain.readmit_at(0));
+    assert_eq!(jittered.readmit_at(0), 7, "exact base backoff, no jitter");
+}
+
+#[test]
 fn unavailable_while_blacklisted_available_in_probation() {
     let mut t = HealthTracker::new(3, 2, 2);
     t.record_fault(1, 4);

@@ -218,7 +218,13 @@ fn synthetic_snapshot() -> Value {
     bus.publish(TelemetryEvent::FrameDone {
         session: scope.id(),
     });
-    build_snapshot(1, Duration::from_millis(100), Some(&bus.stats()), &[scope])
+    build_snapshot(
+        1,
+        Duration::from_millis(100),
+        Some(&bus.stats()),
+        &[scope],
+        &[],
+    )
 }
 
 #[test]
@@ -263,6 +269,7 @@ fn snapshot_roundtrip_preserves_session_values() {
         Duration::from_secs(1),
         None,
         std::slice::from_ref(&scope),
+        &[],
     );
     let early_gauges = early
         .get("sessions")
@@ -281,6 +288,7 @@ fn snapshot_roundtrip_preserves_session_values() {
         Duration::from_secs(2),
         None,
         std::slice::from_ref(&scope),
+        &[],
     );
     let text = serde_json::to_string(&value).expect("non-finite floats are nulled");
     let snap = LiveSnapshot::parse(&text).expect("parses");
