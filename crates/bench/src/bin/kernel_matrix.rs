@@ -47,6 +47,19 @@ struct E2eRecord {
     fast_ms: f64,
     speedup: f64,
     outputs_identical: bool,
+    /// Virtual-clock idle attribution (percent of device-time spent waiting
+    /// at τ-sync barriers) under `--pipeline off`. Deterministic: the timing
+    /// model runs with noise disabled, so this is machine-independent.
+    idle_pct_lockstep: f64,
+    /// Same attribution under `--pipeline on` — the submit/reap overlap
+    /// must pull this strictly below the lockstep figure.
+    idle_pct_pipelined: f64,
+    /// Total τ-sync stall time the pipeline recovered across the run (ms,
+    /// virtual clock).
+    overlap_recovered_ms: f64,
+    /// Functional encode produced byte-identical bits + reconstruction
+    /// under both pipeline modes (the differential gate CI runs).
+    pipeline_outputs_identical: bool,
 }
 
 fn plane_from_fn(w: usize, h: usize, f: impl Fn(usize, usize) -> u8) -> Plane<u8> {
@@ -247,7 +260,10 @@ fn bench_kernels(quick: bool) -> Vec<KernelRecord> {
 // End-to-end functional encode
 // ---------------------------------------------------------------------------
 
-fn functional_run(frames: &[feves_video::Frame]) -> (f64, Vec<Option<u64>>, Vec<u8>) {
+fn functional_run(
+    frames: &[feves_video::Frame],
+    pipeline: bool,
+) -> (f64, Vec<Option<u64>>, Vec<u8>) {
     let mut cfg = EncoderConfig::full_hd(EncodeParams {
         search_area: SearchArea(16),
         n_ref: 2,
@@ -255,6 +271,7 @@ fn functional_run(frames: &[feves_video::Frame]) -> (f64, Vec<Option<u64>>, Vec<
     });
     cfg.resolution = Resolution::QCIF;
     cfg.mode = ExecutionMode::Functional;
+    cfg.pipeline = pipeline;
     let mut enc = FevesEncoder::new(Platform::sys_hk(), cfg).unwrap();
     let t0 = Instant::now();
     let rep = enc.encode_sequence(frames);
@@ -264,6 +281,33 @@ fn functional_run(frames: &[feves_video::Frame]) -> (f64, Vec<Option<u64>>, Vec<
     (ms, bits, recon)
 }
 
+/// Virtual-clock idle attribution under one pipeline mode. Returns the
+/// fleet idle percentage (device-time waiting at τ-sync barriers over the
+/// reported frame windows) and the total stall time the pipeline recovered
+/// (ms). The timing model runs with noise disabled, so both figures are
+/// deterministic and the committed baseline is machine-independent.
+fn idle_attribution(pipeline: bool, frames: usize) -> (f64, f64) {
+    let mut cfg = EncoderConfig::full_hd(EncodeParams::default());
+    cfg.noise_amp = 0.0;
+    cfg.pipeline = pipeline;
+    let rec = std::sync::Arc::new(feves_obs::MemoryRecorder::new());
+    let mut enc = FevesEncoder::new(Platform::sys_hk(), cfg).unwrap();
+    enc.set_recorder(rec.clone());
+    enc.enable_flight(frames + 4);
+    let rep = enc.run_timing(frames);
+    let window_ms: f64 = rep.inter_frames().map(|f| f.tau_tot).sum::<f64>() * 1e3;
+    let records = enc.flight().expect("flight enabled").to_vec();
+    let n_dev = records.first().map_or(1, |r| r.devices.len()).max(1);
+    let busy_ms: f64 = records
+        .iter()
+        .flat_map(|r| r.devices.iter())
+        .map(|d| d.compute_busy_ms + d.transfer_busy_ms)
+        .sum();
+    let idle_pct = (100.0 * (1.0 - busy_ms / (n_dev as f64 * window_ms.max(1e-9)))).max(0.0f64);
+    let recovered_ms = rec.histogram(feves_obs::Metric::PipelineOverlapUs).sum() / 1e3;
+    (idle_pct, recovered_ms)
+}
+
 fn bench_e2e(quick: bool) -> (E2eRecord, bool) {
     let n = if quick { 3 } else { 8 };
     let mut synth = SynthConfig::tiny_test();
@@ -271,11 +315,24 @@ fn bench_e2e(quick: bool) -> (E2eRecord, bool) {
     let frames = SynthSequence::new(synth).take_frames(n);
 
     kernels::force_kind(KernelKind::Scalar);
-    let (scalar_ms, bits_s, recon_s) = functional_run(&frames);
+    let (scalar_ms, bits_s, recon_s) = functional_run(&frames, false);
     kernels::force_kind(KernelKind::Fast);
-    let (fast_ms, bits_f, recon_f) = functional_run(&frames);
+    let (fast_ms, bits_f, recon_f) = functional_run(&frames, false);
+    // The pipeline differential, under the production (fast) kernels: the
+    // submit/reap overlap is scheduling-only and must not move a single
+    // output byte.
+    let (_, bits_p, recon_p) = functional_run(&frames, true);
 
     let identical = bits_s == bits_f && recon_s == recon_f;
+    let pipeline_identical = bits_f == bits_p && recon_f == recon_p;
+
+    // Virtual clock: cheap even at full length, and keeping --quick on the
+    // same frame count makes the deterministic idle figures comparable
+    // against the committed full-run baseline.
+    let timing_frames = 12;
+    let (idle_pct_lockstep, _) = idle_attribution(false, timing_frames);
+    let (idle_pct_pipelined, overlap_recovered_ms) = idle_attribution(true, timing_frames);
+
     let rec = E2eRecord {
         resolution: "qcif".into(),
         frames: n,
@@ -283,12 +340,21 @@ fn bench_e2e(quick: bool) -> (E2eRecord, bool) {
         fast_ms,
         speedup: scalar_ms / fast_ms,
         outputs_identical: identical,
+        idle_pct_lockstep,
+        idle_pct_pipelined,
+        overlap_recovered_ms,
+        pipeline_outputs_identical: pipeline_identical,
     };
     println!(
         "{:>16} {:>12}: scalar {scalar_ms:>8.1} ms  fast {fast_ms:>8.1} ms  speedup {:>5.2}x  identical: {identical}",
         "e2e_encode", "qcif", scalar_ms / fast_ms
     );
-    (rec, identical)
+    println!(
+        "{:>16} {:>12}: lockstep {idle_pct_lockstep:>6.2}%  pipelined {idle_pct_pipelined:>6.2}%  \
+         recovered {overlap_recovered_ms:>7.2} ms  identical: {pipeline_identical}",
+        "idle_attribution", "sys_hk"
+    );
+    (rec, identical && pipeline_identical)
 }
 
 fn write_json_to<T: Serialize>(dir: &std::path::Path, name: &str, value: &T) {
@@ -320,7 +386,16 @@ fn main() {
     let records = bench_kernels(quick);
     let (e2e, identical) = bench_e2e(quick);
     if !identical {
-        eprintln!("e2e outputs differ between FEVES_KERNELS=scalar and fast");
+        eprintln!("e2e outputs differ (FEVES_KERNELS scalar vs fast, or --pipeline off vs on)");
+        std::process::exit(1);
+    }
+    // The overlap win is deterministic (virtual clock, noise off), so it
+    // gates even under --quick: pipelined idle must be strictly lower.
+    if e2e.idle_pct_pipelined >= e2e.idle_pct_lockstep {
+        eprintln!(
+            "IDLE GATE FAILED: pipelined idle {:.3}% is not below lockstep {:.3}%",
+            e2e.idle_pct_pipelined, e2e.idle_pct_lockstep
+        );
         std::process::exit(1);
     }
 

@@ -107,6 +107,10 @@ pub struct ResumeContext {
     /// FNV-1a 64 of the input file's bytes, guarding against the input
     /// changing between crash and resume.
     pub input_fingerprint: u64,
+    /// `--pipeline` mode. Excluded from [`Self::fingerprint`]: the pipeline
+    /// never changes the bitstream bytes, so a job checkpointed lockstep may
+    /// legitimately resume pipelined (and vice versa).
+    pub pipeline: bool,
 }
 
 impl ResumeContext {
@@ -162,6 +166,7 @@ impl ResumeContext {
         w.put_usize(self.n_frames);
         w.put_u64(self.out_bytes);
         w.put_u64(self.input_fingerprint);
+        w.put_bool(self.pipeline);
         w.into_bytes()
     }
 
@@ -210,6 +215,7 @@ impl ResumeContext {
             n_frames: r.take_usize()?,
             out_bytes: r.take_u64()?,
             input_fingerprint: r.take_u64()?,
+            pipeline: r.take_bool()?,
         };
         r.expect_end("META section")?;
         Ok(ctx)
@@ -864,6 +870,7 @@ mod tests {
             n_frames: 50,
             out_bytes: 123_456,
             input_fingerprint: 0xDEAD_BEEF_F00D_CAFE,
+            pipeline: true,
         }
     }
 

@@ -88,6 +88,12 @@ pub struct EncoderConfig {
     /// a recovered shared device in lockstep. Affects scheduling timing
     /// only — never the functional bitstream bytes.
     pub health_jitter: Option<u64>,
+    /// Inter-frame submit/reap pipelining: frame N+1's ME/INT phase starts
+    /// on devices that finished their frame-N stripes while frame N's R\*
+    /// merge and entropy coding drain (double-buffered DAM generations,
+    /// LP re-solve off the critical path). Affects scheduling timing and
+    /// idle attribution only — never the functional bitstream bytes.
+    pub pipeline: bool,
 }
 
 /// Rate-control parameters (see [`feves_codec::rate::RateController`]).
@@ -119,6 +125,7 @@ impl EncoderConfig {
             deadline_factor: 3.0,
             drift: DriftConfig::default(),
             health_jitter: None,
+            pipeline: false,
         }
     }
 

@@ -13,6 +13,7 @@
 
 use crate::config::{BalancerKind, EncoderConfig, ExecutionMode};
 use crate::dam::{transfer_bytes, DataManager};
+use crate::pipeline::FramePipeline;
 use crate::report::{EncodeReport, FrameReport};
 use crate::trace::FrameTrace;
 use crate::vcm::{build_frame_graph, FrameGeometry, FrameGraph, MeasureKind};
@@ -33,8 +34,8 @@ use feves_obs::{
     SessionScope, TauTriple,
 };
 use feves_sched::{
-    BalanceInput, Centric, Distribution, EquidistantBalancer, Ewma, FevesBalancer, LoadBalancer,
-    PerfChar, ProportionalBalancer, SingleDeviceBalancer,
+    BalanceInput, Centric, CompletionTracker, Distribution, EquidistantBalancer, Ewma,
+    FevesBalancer, LoadBalancer, PerfChar, ProportionalBalancer, SingleDeviceBalancer,
 };
 use feves_video::frame::Frame;
 use feves_video::geometry::{ranges_from_counts, RowRange};
@@ -168,6 +169,9 @@ pub struct FevesEncoder {
     scope: Option<SessionScope>,
     /// Optional supervisor control block (stop flag + device lease).
     ctl: Option<Arc<SessionCtl>>,
+    /// Inter-frame submit/reap pipeline (lockstep when disabled): frame
+    /// generations, DAM slot ownership and the carried τ-sync stall.
+    pipeline: FramePipeline,
 }
 
 /// A reconstruction waiting to be interpolated and pushed as a reference.
@@ -302,6 +306,7 @@ impl FevesEncoder {
             flight: None,
             scope: None,
             ctl: None,
+            pipeline: FramePipeline::new(config.pipeline),
             platform,
             config,
         })
@@ -520,9 +525,11 @@ impl FevesEncoder {
     /// failures; everything else is caught by the sync-point deadlines
     /// (deadline = predicted τ × factor). Returns the fault and the virtual
     /// time wasted before it was detected.
+    #[allow(clippy::too_many_arguments)] // one argument per sync-point input
     fn detect_fault(
         &self,
         inter_frame: usize,
+        gen: u64,
         dist: &Distribution,
         fg: &FrameGraph,
         sched: &Schedule,
@@ -566,12 +573,16 @@ impl FevesEncoder {
             .predicted
             .map(|p| (p.tau1, p.tau2, p.tau_tot))
             .or(self.expected_tau)?;
-        let deadlines = self.deadline.deadlines(expected);
-        let (point, at) = deadlines.check(
+        // Deadlines are tagged with the pipeline generation they guard: with
+        // two frames in flight, a miss must name which generation blew so
+        // recovery drains the pipeline to *that* frame's boundary.
+        let deadlines = self.deadline.for_generation(gen, expected);
+        let (missed_gen, point, at) = deadlines.check(
             sched.finish_of(fg.tau1),
             sched.finish_of(fg.tau2),
             sched.finish_of(fg.tau_tot),
         )?;
+        debug_assert_eq!(missed_gen, gen);
         let device = self.culprit(fg, sched, avail)?;
         Some((
             DeviceFault {
@@ -724,6 +735,17 @@ impl FevesEncoder {
             .map(|d| d.is_accelerator())
             .collect();
 
+        // Pipeline submit: this frame enters as a new generation and claims
+        // a DAM double-buffer slot. In pipelined mode the previous
+        // generation is still draining (depth 2): its R\*/entropy tail
+        // overlaps this frame's ME/INT prefix, and the LP solve below runs
+        // off the critical path — it consumes the previous frame's
+        // measurements either way, so its latency hides under the drain.
+        let mut gen = self.pipeline.open();
+        self.dam
+            .begin_generation(gen)
+            .expect("pipeline depth bounds DAM slot occupancy");
+
         // Load balancing (initialization phase falls back to equidistant
         // inside the balancers when uncharacterized).
         let sched_start = Instant::now();
@@ -763,7 +785,7 @@ impl FevesEncoder {
                 break (mask, plan, fg, sched);
             }
             let Some((fault, wasted)) =
-                self.detect_fault(inter_frame, &dist, &fg, &sched, &avail, &mask)
+                self.detect_fault(inter_frame, gen, &dist, &fg, &sched, &avail, &mask)
             else {
                 break (mask, plan, fg, sched);
             };
@@ -800,6 +822,19 @@ impl FevesEncoder {
             self.health.record_fault(fault.device, inter_frame);
             avail = self.health.available();
             self.apply_lease(&mut avail);
+            // Fault recovery drains the pipeline to a frame boundary first:
+            // any in-flight overlap was measured on the old platform and is
+            // forfeit before Algorithm 2 re-solves on the survivors. The
+            // retried frame re-enters as a fresh generation.
+            for g in self.pipeline.quiesce() {
+                self.dam
+                    .end_generation(g)
+                    .expect("reaped generations own their slot");
+            }
+            gen = self.pipeline.open();
+            self.dam
+                .begin_generation(gen)
+                .expect("a quiesced pipeline has both slots free");
             let t0 = Instant::now();
             dist = self.balance(n_rows, &avail);
             sched_overhead += t0.elapsed().as_secs_f64();
@@ -959,6 +994,33 @@ impl FevesEncoder {
                 rec.observe(Metric::LbImbalanceIndex, imb);
             }
         }
+        // Pipeline reap accounting: per-device completion times of this
+        // frame's measured tasks, computed post-hoc from the simulated
+        // schedule, feed the overlap against the previous generation's
+        // carried stall. Graph construction, the LP and the noise stream
+        // are identical in both modes — the bitstream never depends on the
+        // pipeline flag; only the idle attribution and effective times do.
+        let mut completion = CompletionTracker::new(self.platform.len());
+        let tau1_t = sched.finish_of(fg.tau1);
+        for m in &fg.measures {
+            let device = match m.kind {
+                MeasureKind::Compute { device, .. }
+                | MeasureKind::Transfer { device, .. }
+                | MeasureKind::RstarPart { device } => device,
+            };
+            let f = sched.finish_of(m.task);
+            completion.record(device, f, f <= tau1_t + 1e-12);
+        }
+        completion.set_barrier(sched.finish_of(fg.tau_tot));
+        let overlap = self.pipeline.complete(gen, completion);
+        if self.pipeline.enabled() && rec.enabled() {
+            rec.observe(Metric::PipelineOverlapUs, overlap.saved_s * 1e6);
+            rec.observe(
+                Metric::PipelineStallRecoveredUs,
+                overlap.total_recovered_s() * 1e6,
+            );
+        }
+
         if let Some(flight) = &mut self.flight {
             let devices = (0..self.platform.len())
                 .map(|d| DeviceRecord {
@@ -969,6 +1031,7 @@ impl FevesEncoder {
                     predicted_busy_ms: predicted_busy_ms[d],
                     compute_busy_ms: compute_busy_ms[d],
                     transfer_busy_ms: transfer_busy_ms[d],
+                    overlap_carried_ms: overlap.recovered_s[d] * 1e3,
                     residual_pct: residuals[d],
                     blacklisted: !avail[d],
                 })
@@ -982,6 +1045,7 @@ impl FevesEncoder {
                     tau_tot_ms: p.tau_tot * 1e3,
                 }),
                 measured_tau,
+                inflight_depth: overlap.depth_at_submit,
                 devices,
                 bytes_transferred: transferred,
                 bytes_reused: reused,
@@ -1065,11 +1129,27 @@ impl FevesEncoder {
             });
         }
 
+        // Reap to the steady-state depth: lockstep reaps its own generation
+        // every frame (a boundary after each frame); pipelined leaves this
+        // generation in flight to drain under the next frame's submit.
+        let keep = usize::from(self.pipeline.enabled());
+        while self.pipeline.in_flight_depth() > keep {
+            let g = self.pipeline.reap();
+            self.dam
+                .end_generation(g)
+                .expect("reaped generations own their slot");
+        }
+
+        // Effective sync points: the whole frame shifts earlier by the span
+        // its phase-1 prefix ran inside the previous generation's stall.
+        // The EWMA deadline baseline above uses the *unshifted* times —
+        // deadlines guard the schedule, not the overlap accounting.
+        let saved = overlap.saved_s;
         let report = FrameReport::inter(
             inter_frame,
-            recovery_overhead + sched.finish_of(fg.tau1),
-            recovery_overhead + sched.finish_of(fg.tau2),
-            recovery_overhead + sched.finish_of(fg.tau_tot),
+            recovery_overhead + sched.finish_of(fg.tau1) - saved,
+            recovery_overhead + sched.finish_of(fg.tau2) - saved,
+            recovery_overhead + sched.finish_of(fg.tau_tot) - saved,
             eff_params.n_ref,
             sched_overhead,
             dist.clone(),
@@ -1295,13 +1375,43 @@ impl FevesEncoder {
         self.recon_pending.as_ref().map(|p| (&p.y, &p.u, &p.v))
     }
 
+    /// The inter-frame pipeline (diagnostics/tests).
+    pub fn pipeline(&self) -> &FramePipeline {
+        &self.pipeline
+    }
+
+    /// Drain the submit/reap pipeline to a frame boundary: every in-flight
+    /// generation is reaped (FIFO), its DAM buffer slot released, and the
+    /// carried τ-sync stall dropped. Checkpoints must call this before
+    /// [`snapshot`] — a snapshot taken mid-drain would capture state that
+    /// straddles two generations. The frame after a quiesce starts cold
+    /// (no overlap), which is the documented cost of a checkpoint under
+    /// `--pipeline on`.
+    ///
+    /// [`snapshot`]: FevesEncoder::snapshot
+    pub fn quiesce_pipeline(&mut self) {
+        for g in self.pipeline.quiesce() {
+            self.dam
+                .end_generation(g)
+                .expect("reaped generations own their slot");
+        }
+    }
+
     /// Capture the complete mutable encoder state for a checkpoint. Cheap
     /// relative to a frame: the only bulk data cloned is the reference
     /// window's reconstructed planes (the ~5× larger SFs are excluded and
     /// re-derived on [`restore`]).
     ///
+    /// The pipeline must be quiesced first ([`Self::quiesce_pipeline`]);
+    /// [`FrameworkState`] deliberately carries no in-flight generation or
+    /// stall state, so a snapshot is only consistent at a frame boundary.
+    ///
     /// [`restore`]: FevesEncoder::restore
     pub fn snapshot(&self) -> FrameworkState {
+        assert!(
+            self.pipeline.is_quiesced(),
+            "snapshot requires a quiesced pipeline (call quiesce_pipeline first)"
+        );
         let (dam_sigma_rem, dam_frames_committed) = self.dam.snapshot();
         FrameworkState {
             perf: self.perf.clone(),

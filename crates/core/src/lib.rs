@@ -28,6 +28,7 @@ pub mod config;
 pub mod dam;
 pub mod framework;
 pub mod oracle;
+pub mod pipeline;
 pub mod report;
 pub mod trace;
 pub mod vcm;
@@ -39,6 +40,7 @@ pub use ckpt::{
 pub use config::{BalancerKind, EncoderConfig, ExecutionMode, RateControlConfig};
 pub use framework::{FevesEncoder, FrameworkState, FtStats, Perturbation, SessionCtl};
 pub use oracle::OracleBalancer;
+pub use pipeline::{FramePipeline, PipelineOverlap, MAX_IN_FLIGHT};
 pub use report::{EncodeReport, FrameReport, Rollup};
 pub use trace::{FrameTrace, Lane, LaneKind, TraceTask};
 
@@ -47,6 +49,7 @@ pub mod prelude {
     pub use crate::ckpt::{load_checkpoint_file, load_latest, CheckpointManager, ResumeContext};
     pub use crate::config::{BalancerKind, EncoderConfig, ExecutionMode, RateControlConfig};
     pub use crate::framework::{FevesEncoder, FrameworkState, FtStats, Perturbation, SessionCtl};
+    pub use crate::pipeline::{FramePipeline, PipelineOverlap};
     pub use crate::report::{EncodeReport, FrameReport, Rollup};
     pub use crate::trace::{FrameTrace, Lane, LaneKind};
     pub use feves_codec::types::{EncodeParams, SearchArea};

@@ -124,6 +124,7 @@ fn serialized_checkpoint_restores_bit_identically_too() {
         n_frames: n,
         out_bytes: 0,
         input_fingerprint: 7,
+        pipeline: false,
     };
     let bytes = feves_core::encode_checkpoint(&ctx, &snap.unwrap()).to_bytes();
     let blob = feves_ft::CheckpointBlob::from_bytes(&bytes).unwrap();

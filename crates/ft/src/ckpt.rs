@@ -34,7 +34,8 @@ use crate::error::FevesError;
 pub const CKPT_MAGIC: [u8; 8] = *b"FEVESCKP";
 
 /// Current checkpoint format version. Bump on any wire-format change.
-pub const CKPT_VERSION: u32 = 1;
+/// v2: META gained the trailing `pipeline` flag.
+pub const CKPT_VERSION: u32 = 2;
 
 /// CRC-32 (IEEE 802.3, reflected, init/xorout `0xFFFF_FFFF`) over `bytes`.
 pub fn crc32(bytes: &[u8]) -> u32 {

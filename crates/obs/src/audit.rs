@@ -120,7 +120,7 @@ impl AuditSummary {
             let mut util_frames = 0usize;
             let mut idle_xfer = 0.0;
             let mut idle_barrier = 0.0;
-            for r in records {
+            for (i, r) in records.iter().enumerate() {
                 let Some(dev) = r.devices.get(d) else {
                     continue;
                 };
@@ -129,9 +129,23 @@ impl AuditSummary {
                     continue;
                 }
                 let tau = r.measured_tau.tau_tot_ms.max(1e-9);
-                util_sum += dev.compute_busy_ms / tau;
+                // Window-correct the busy time for pipelined runs: this
+                // record's `overlap_carried_ms` ran inside the *previous*
+                // frame's window, while the next record's carried span ran
+                // inside this frame's idle tail. Without the correction a
+                // device spanning two generations is counted busy in both
+                // windows — utilization inflates and barrier idle shrinks
+                // by the same double-counted span. Zero everywhere under
+                // `--pipeline off`, so lockstep audits are unchanged.
+                let carried_in = records
+                    .get(i + 1)
+                    .and_then(|n| n.devices.get(d))
+                    .map_or(0.0, |n| n.overlap_carried_ms);
+                let window_busy =
+                    (dev.compute_busy_ms - dev.overlap_carried_ms + carried_in).max(0.0);
+                util_sum += window_busy / tau;
                 util_frames += 1;
-                let idle = (tau - dev.compute_busy_ms).max(0.0);
+                let idle = (tau - window_busy).max(0.0);
                 let covered = dev.transfer_busy_ms.min(idle);
                 idle_xfer += covered;
                 idle_barrier += idle - covered;
@@ -304,6 +318,7 @@ mod tests {
                 tau2_ms: 15.0,
                 tau_tot_ms: 22.0,
             },
+            inflight_depth: 1,
             devices: busy
                 .iter()
                 .enumerate()
@@ -315,6 +330,7 @@ mod tests {
                     predicted_busy_ms: predicted,
                     compute_busy_ms: measured,
                     transfer_busy_ms: 2.0,
+                    overlap_carried_ms: 0.0,
                     residual_pct: predicted.and_then(|p| residual_pct(p, measured)),
                     blacklisted,
                 })
@@ -390,6 +406,30 @@ mod tests {
         assert!((d.mean_idle_transfer_ms - 2.0).abs() < 1e-9);
         assert!((d.mean_idle_barrier_ms - 8.0).abs() < 1e-9);
         assert!((d.mean_utilization - 12.0 / 22.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pipelined_spans_are_not_double_counted() {
+        // Two pipelined frames, τtot 22 each, device busy 12 of which 3 ms
+        // of frame 1's work ran inside frame 0's window. Naive accounting
+        // charges the 3 ms to both windows (util (12+12)/44); corrected,
+        // frame 0's window holds 12 + 3 and frame 1's 12 − 3.
+        let mut r0 = record(0, &[(12.0, Some(10.0), false)]);
+        r0.inflight_depth = 1;
+        let mut r1 = record(1, &[(12.0, Some(10.0), false)]);
+        r1.inflight_depth = 2;
+        r1.devices[0].overlap_carried_ms = 3.0;
+        let s = AuditSummary::from_records(&[r0, r1], 1.0);
+        let d = &s.devices[0];
+        let expected_util = (15.0 / 22.0 + 9.0 / 22.0) / 2.0;
+        assert!((d.mean_utilization - expected_util).abs() < 1e-9);
+        // Total idle across both windows shrinks by exactly the span the
+        // pipeline filled: (22−15) + (22−9) = 20 vs the lockstep 2 × 10.
+        let total_idle = (d.mean_idle_transfer_ms + d.mean_idle_barrier_ms) * 2.0;
+        assert!((total_idle - 20.0).abs() < 1e-9);
+        // Mean utilization is unchanged in aggregate (the same work just
+        // moved between windows): 24/44 either way.
+        assert!((expected_util - 24.0 / 44.0).abs() < 1e-9);
     }
 
     #[test]

@@ -91,6 +91,62 @@ pub fn compare_reports(
 ) -> Result<CompareOutcome, String> {
     let base = extract_metrics(baseline).map_err(|e| format!("baseline: {e}"))?;
     let cand = extract_metrics(candidate).map_err(|e| format!("candidate: {e}"))?;
+    compare_lists(base, cand, threshold)
+}
+
+/// Compare only metrics whose name contains `filter` — the CLI's
+/// `--metric` mode. On top of the usual baseline-vs-candidate regression
+/// check, a filter matching the `idle_pct` family gates the pipeline win
+/// itself: the candidate must show strictly less pipelined idle than
+/// lockstep idle, or the overlap is reported as a regression even when the
+/// baseline comparison would pass.
+pub fn compare_reports_metric(
+    baseline: &str,
+    candidate: &str,
+    threshold: f64,
+    filter: &str,
+) -> Result<CompareOutcome, String> {
+    let base: Vec<(String, f64)> = extract_metrics(baseline)
+        .map_err(|e| format!("baseline: {e}"))?
+        .into_iter()
+        .filter(|(n, _)| n.contains(filter))
+        .collect();
+    let cand = extract_metrics(candidate).map_err(|e| format!("candidate: {e}"))?;
+    let idle_gate = if "idle_pct".contains(filter) || filter.contains("idle_pct") {
+        let get = |name: &str| cand.iter().find(|(n, _)| n == name).map(|(_, v)| *v);
+        match (get("e2e.idle_pct_pipelined"), get("e2e.idle_pct_lockstep")) {
+            (Some(p), Some(l)) if p >= l => Some(format!(
+                "e2e.idle_pct_pipelined (no overlap win: {p:.3}% pipelined vs {l:.3}% lockstep)"
+            )),
+            (None, _) | (_, None) => {
+                return Err(
+                    "candidate carries no idle_pct_pipelined/idle_pct_lockstep fields — \
+                     regenerate BENCH_e2e.json with the pipelined bench"
+                        .into(),
+                )
+            }
+            _ => None,
+        }
+    } else {
+        None
+    };
+    let cand: Vec<(String, f64)> = cand
+        .into_iter()
+        .filter(|(n, _)| n.contains(filter))
+        .collect();
+    let mut outcome = compare_lists(base, cand, threshold)
+        .map_err(|e| format!("{e} (after --metric {filter} filter)"))?;
+    if let Some(gate) = idle_gate {
+        outcome.regressions.push(gate);
+    }
+    Ok(outcome)
+}
+
+fn compare_lists(
+    base: Vec<(String, f64)>,
+    cand: Vec<(String, f64)>,
+    threshold: f64,
+) -> Result<CompareOutcome, String> {
     let mut outcome = CompareOutcome::default();
     for (name, bv) in &base {
         match cand.iter().find(|(n, _)| n == name) {
@@ -159,9 +215,16 @@ fn extract_metrics(text: &str) -> Result<Vec<(String, f64)>, String> {
         return Ok(out);
     }
     if v.as_object().is_some() {
-        // BENCH_e2e.json: {scalar_ms, fast_ms, speedup, ...}.
+        // BENCH_e2e.json: {scalar_ms, fast_ms, speedup, idle_pct_*, ...}.
+        // The idle_pct fields are virtual-clock idle attribution (lower is
+        // better, like everything here) under the two pipeline modes.
         let mut out = Vec::new();
-        for field in ["fast_ms", "scalar_ms"] {
+        for field in [
+            "fast_ms",
+            "scalar_ms",
+            "idle_pct_pipelined",
+            "idle_pct_lockstep",
+        ] {
             if let Some(ms) = v.get(field).and_then(Value::as_f64) {
                 out.push((format!("e2e.{field}"), ms));
             }
@@ -218,6 +281,7 @@ mod tests {
                     tau2_ms: 15.0,
                     tau_tot_ms: tau_tot,
                 },
+                inflight_depth: 1,
                 devices: vec![DeviceRecord {
                     device: 0,
                     me_rows: 68,
@@ -226,6 +290,7 @@ mod tests {
                     predicted_busy_ms: Some(tau_tot),
                     compute_busy_ms: tau_tot,
                     transfer_busy_ms: 0.0,
+                    overlap_carried_ms: 0.0,
                     residual_pct: Some(0.0),
                     blacklisted: false,
                 }],
@@ -288,6 +353,41 @@ mod tests {
             .contains(&"flight.mean_tau_tot_ms".to_string()));
         // Same flight passes.
         assert!(compare_reports(&base, &base, 0.10).unwrap().passed());
+    }
+
+    fn e2e_with_idle(fast_ms: f64, idle_pipelined: f64, idle_lockstep: f64) -> String {
+        format!(
+            r#"{{"resolution":"1080p","frames":30,"scalar_ms":100.0,"fast_ms":{fast_ms},"speedup":2.0,"outputs_identical":true,"idle_pct_lockstep":{idle_lockstep},"idle_pct_pipelined":{idle_pipelined},"overlap_recovered_ms":1.5,"pipeline_outputs_identical":true}}"#
+        )
+    }
+
+    #[test]
+    fn metric_filter_compares_only_matching_metrics() {
+        let base = e2e_with_idle(50.0, 30.0, 40.0);
+        // fast_ms regressed badly, but the idle filter ignores it.
+        let cand = e2e_with_idle(90.0, 29.0, 40.0);
+        let o = compare_reports_metric(&base, &cand, 0.10, "idle_pct").unwrap();
+        assert!(o.passed(), "{:?}", o.regressions);
+        assert_eq!(o.metrics.len(), 2);
+        assert!(o.metrics.iter().all(|m| m.name.contains("idle_pct")));
+    }
+
+    #[test]
+    fn metric_filter_gates_the_overlap_win_itself() {
+        let base = e2e_with_idle(50.0, 30.0, 40.0);
+        // Candidate's pipelined idle is no better than its lockstep idle:
+        // the overlap win evaporated even though nothing regressed vs base.
+        let cand = e2e_with_idle(50.0, 40.0, 40.0);
+        let o = compare_reports_metric(&base, &cand, 0.50, "idle_pct").unwrap();
+        assert!(!o.passed());
+        assert!(
+            o.regressions.iter().any(|r| r.contains("no overlap win")),
+            "{:?}",
+            o.regressions
+        );
+        // A candidate without the idle fields is an error, not a silent pass.
+        let err = compare_reports_metric(&base, E2E_BASE, 0.10, "idle_pct").unwrap_err();
+        assert!(err.contains("idle_pct"), "{err}");
     }
 
     #[test]

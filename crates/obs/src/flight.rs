@@ -46,6 +46,13 @@ pub struct DeviceRecord {
     /// Measured copy-engine busy ms (H2D + D2H lanes) — the copy-engine
     /// occupancy of this device for the frame.
     pub transfer_busy_ms: f64,
+    /// Of `compute_busy_ms` + `transfer_busy_ms`, the span this device ran
+    /// *inside the previous frame generation's window* — its phase-1 prefix
+    /// pulled forward into the prior generation's τ-sync stall by the
+    /// inter-frame pipeline. 0 under `--pipeline off`. The audit layer
+    /// subtracts it so a device spanning two generations is not counted
+    /// busy twice in the same window.
+    pub overlap_carried_ms: f64,
     /// Signed prediction residual,
     /// `(measured − predicted) / predicted · 100`; `None` without a
     /// prediction or with a ~zero predicted time.
@@ -66,6 +73,9 @@ pub struct FlightRecord {
     pub predicted_tau: Option<TauTriple>,
     /// Measured sync points on the virtual clock.
     pub measured_tau: TauTriple,
+    /// Pipeline generations in flight when this frame was submitted (1 at
+    /// a boundary or under `--pipeline off`, 2 in pipelined steady state).
+    pub inflight_depth: usize,
     /// Per-device decision + measurement, platform enumeration order.
     pub devices: Vec<DeviceRecord>,
     /// Bytes moved over PCIe this frame (DAM plan).
@@ -242,6 +252,7 @@ mod tests {
                 tau2_ms: 15.0,
                 tau_tot_ms: 22.0,
             },
+            inflight_depth: 1,
             devices: vec![
                 DeviceRecord {
                     device: 0,
@@ -251,6 +262,7 @@ mod tests {
                     predicted_busy_ms: Some(18.0),
                     compute_busy_ms: 19.5,
                     transfer_busy_ms: 3.25,
+                    overlap_carried_ms: 0.0,
                     residual_pct: Some((19.5 - 18.0) / 18.0 * 100.0),
                     blacklisted: false,
                 },
@@ -262,6 +274,7 @@ mod tests {
                     predicted_busy_ms: None,
                     compute_busy_ms: 12.0,
                     transfer_busy_ms: 0.0,
+                    overlap_carried_ms: 0.0,
                     residual_pct: None,
                     blacklisted: true,
                 },

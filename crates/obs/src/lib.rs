@@ -51,7 +51,7 @@ pub mod scope;
 pub use audit::{imbalance_index, residual_pct, AuditSummary, DeviceAudit};
 pub use bus::{BusController, BusStats, DeviceField, LiveConfig, TelemetryBus, TelemetryEvent};
 pub use chrome::ChromeTraceBuilder;
-pub use compare::{compare_reports, CompareOutcome, MetricDelta};
+pub use compare::{compare_reports, compare_reports_metric, CompareOutcome, MetricDelta};
 pub use flight::{
     parse_jsonl as parse_flight_jsonl, parse_jsonl_with_markers as parse_flight_jsonl_with_markers,
     DeviceRecord, FlightRecord, FlightRecorder, TauTriple,
@@ -176,10 +176,17 @@ pub enum Metric {
     FarmJobsFailed,
     /// Wall-clock time from drain request to farm exit (ms).
     FarmDrainMs,
+    /// Per-frame critical-path time shaved by inter-frame pipelining (µs):
+    /// the span of frame N+1's phase-1 prefix that ran inside frame N's
+    /// per-device τ-sync stalls.
+    PipelineOverlapUs,
+    /// Per-frame total device stall recovered by the pipeline (µs), summed
+    /// across devices (each device's recovered span ≤ its carried stall).
+    PipelineStallRecoveredUs,
 }
 
 /// Definitions for every [`Metric`], in `Metric` discriminant order.
-pub static REGISTRY: [MetricDef; 34] = [
+pub static REGISTRY: [MetricDef; 36] = [
     MetricDef {
         name: "sched.overhead_us",
         unit: "us",
@@ -390,11 +397,25 @@ pub static REGISTRY: [MetricDef; 34] = [
         kind: MetricKind::Histogram,
         wall_clock: true,
     },
+    // The pipeline.* metrics are virtual-clock quantities (derived from the
+    // simulated schedule), so they stay in deterministic exports.
+    MetricDef {
+        name: "pipeline.overlap_us",
+        unit: "us",
+        kind: MetricKind::Histogram,
+        wall_clock: false,
+    },
+    MetricDef {
+        name: "pipeline.stall_recovered_us",
+        unit: "us",
+        kind: MetricKind::Histogram,
+        wall_clock: false,
+    },
 ];
 
 impl Metric {
     /// All metrics, in registry order.
-    pub const ALL: [Metric; 34] = [
+    pub const ALL: [Metric; 36] = [
         Metric::SchedOverheadUs,
         Metric::FrameTau1Ms,
         Metric::FrameTau2Ms,
@@ -429,6 +450,8 @@ impl Metric {
         Metric::FarmJobsCompleted,
         Metric::FarmJobsFailed,
         Metric::FarmDrainMs,
+        Metric::PipelineOverlapUs,
+        Metric::PipelineStallRecoveredUs,
     ];
 
     /// Registry index.

@@ -386,10 +386,12 @@ mod tests {
                         predicted_busy_ms: (f > 0).then_some(15.0),
                         compute_busy_ms: 16.0 + d as f64,
                         transfer_busy_ms: 2.0,
+                        overlap_carried_ms: 0.0,
                         residual_pct: (f > 0).then_some(8.0 + d as f64),
                         blacklisted: false,
                     })
                     .collect(),
+                inflight_depth: 1,
                 bytes_transferred: 1000,
                 bytes_reused: 100,
                 recovery_ms: 0.0,

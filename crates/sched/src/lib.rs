@@ -17,6 +17,7 @@
 pub mod algorithm2;
 pub mod balancers;
 pub mod bounds;
+pub mod completion;
 pub mod distribution;
 pub mod greedy;
 pub mod perfchar;
@@ -27,6 +28,7 @@ pub use balancers::{
     BalanceInput, EquidistantBalancer, FevesBalancer, LoadBalancer, ProportionalBalancer,
     SingleDeviceBalancer,
 };
+pub use completion::CompletionTracker;
 pub use distribution::{DevicePrediction, Distribution, PredictedTimes};
 pub use greedy::GreedyBalancer;
 pub use perfchar::{Ewma, PerfChar};

@@ -50,6 +50,9 @@ pub struct JobSpec {
     /// Chaos hook: the device a chaos kill is attributed to, so the
     /// supervisor's fleet health machine has a culprit to blacklist.
     pub chaos_device: Option<usize>,
+    /// Run the session with inter-frame pipelining (`--pipeline on`).
+    /// Scheduling-only: the output bytes are identical either way.
+    pub pipeline: bool,
 }
 
 impl Default for JobSpec {
@@ -67,6 +70,7 @@ impl Default for JobSpec {
             checkpoint_every: 0,
             chaos_kill_at: None,
             chaos_device: None,
+            pipeline: false,
         }
     }
 }
@@ -106,6 +110,7 @@ impl JobSpec {
             ("checkpoint_every".into(), n(self.checkpoint_every as u64)),
             ("chaos_kill_at".into(), opt(self.chaos_kill_at)),
             ("chaos_device".into(), opt(self.chaos_device)),
+            ("pipeline".into(), Value::Bool(self.pipeline)),
         ])
     }
 
@@ -148,6 +153,11 @@ impl JobSpec {
                 .unwrap_or(default)
                 .to_string()
         };
+        let pipeline = match v.get("pipeline") {
+            None | Some(Value::Null) => false,
+            Some(Value::Bool(b)) => *b,
+            Some(_) => return Err(bad("'pipeline' must be a boolean")),
+        };
         let defaults = JobSpec::default();
         let qp = num("qp", defaults.qp as u64)?;
         if qp > 51 {
@@ -183,6 +193,7 @@ impl JobSpec {
             checkpoint_every: num("checkpoint_every", 0)? as usize,
             chaos_kill_at: opt_num("chaos_kill_at")?,
             chaos_device: opt_num("chaos_device")?,
+            pipeline,
         })
     }
 
@@ -333,6 +344,7 @@ mod tests {
             checkpoint_every: 2,
             chaos_kill_at: Some(5),
             chaos_device: Some(0),
+            pipeline: true,
             ..JobSpec::default()
         };
         let back = JobSpec::from_json(&job.to_json()).unwrap();
@@ -348,6 +360,7 @@ mod tests {
         assert_eq!(j.balancer, "feves");
         assert_eq!(j.chaos_kill_at, None);
         assert_eq!(j.checkpoint_every, 0);
+        assert!(!j.pipeline);
     }
 
     #[test]

@@ -147,6 +147,7 @@ fn build_job_config(
     // Decorrelate concurrent sessions' re-admission probes of a shared
     // recovered device. Timing only — functional bytes are unaffected.
     cfg.health_jitter = Some(job.seed());
+    cfg.pipeline = job.pipeline;
     Ok((platform, cfg))
 }
 
@@ -197,7 +198,7 @@ fn usable_checkpoint(
 fn commit_checkpoint(
     writer: &mut Y4mWriter<BufWriter<File>>,
     out_path: &str,
-    enc: &FevesEncoder,
+    enc: &mut FevesEncoder,
     mgr: &CheckpointManager,
     ctx: &mut ResumeContext,
     done: usize,
@@ -208,6 +209,9 @@ fn commit_checkpoint(
     file.sync_all().map_err(|e| io_fail(&e))?;
     ctx.frames_done = done;
     ctx.out_bytes = file.metadata().map_err(|e| io_fail(&e))?.len();
+    // Checkpoints only commit at quiesced frame boundaries: drain any
+    // in-flight pipeline generation before snapshotting.
+    enc.quiesce_pipeline();
     let state = enc.snapshot();
     mgr.write(ctx, &state, &NoopRecorder)
         .map_err(|e| SessionFailure::new(format!("checkpoint {}: {e}", mgr.dir().display())))?;
@@ -258,6 +262,9 @@ pub fn run_session(
                 FevesEncoder::restore(platform, cfg, state).map_err(SessionFailure::from_feves)?;
             let writer = Y4mWriter::resume(BufWriter::new(file), header);
             ctx.every = every;
+            // The job spec, not the checkpoint, owns the scheduling mode:
+            // resuming lockstep work pipelined (or vice versa) is bit-safe.
+            ctx.pipeline = job.pipeline;
             (enc, writer, ctx)
         }
         None => {
@@ -285,6 +292,7 @@ pub fn run_session(
                 n_frames,
                 out_bytes: 0,
                 input_fingerprint: input_fp,
+                pipeline: job.pipeline,
             };
             (enc, writer, ctx)
         }
@@ -299,7 +307,7 @@ pub fn run_session(
             // Preemption lands only at frame boundaries; commit a durable
             // checkpoint here regardless of the cadence, so the drain
             // loses zero frames of work.
-            commit_checkpoint(&mut writer, &out_path, &enc, &mgr, &mut ctx, i)?;
+            commit_checkpoint(&mut writer, &out_path, &mut enc, &mgr, &mut ctx, i)?;
             return Ok(SessionReport {
                 frames_done: i,
                 n_frames,
@@ -326,7 +334,7 @@ pub fn run_session(
             .map_err(|e| SessionFailure::new(format!("{out_path}: {e}")))?;
         let done = i + 1;
         if ctx.every > 0 && done % ctx.every == 0 && done < n_frames {
-            commit_checkpoint(&mut writer, &out_path, &enc, &mgr, &mut ctx, done)?;
+            commit_checkpoint(&mut writer, &out_path, &mut enc, &mgr, &mut ctx, done)?;
         }
     }
     writer

@@ -38,8 +38,8 @@ use feves::core::prelude::*;
 use feves::ft::ckpt::fnv1a64;
 use feves::ft::crash::crash_point_at;
 use feves::obs::{
-    compare_reports, parse_flight_jsonl, render_html, write_atomic, BusController, LiveConfig,
-    LiveSnapshot, MemoryRecorder, NoopRecorder, SessionScope,
+    compare_reports, compare_reports_metric, parse_flight_jsonl, render_html, write_atomic,
+    BusController, LiveConfig, LiveSnapshot, MemoryRecorder, NoopRecorder, SessionScope,
 };
 use feves::video::frame::Frame;
 use feves::video::y4m::{Y4mHeader, Y4mReader, Y4mWriter};
@@ -102,6 +102,8 @@ struct Options {
     id: Option<String>,
     chaos_kill_at: Option<usize>,
     chaos_device: Option<usize>,
+    pipeline: bool,
+    metric: Option<String>,
 }
 
 impl Default for Options {
@@ -140,6 +142,8 @@ impl Default for Options {
             id: None,
             chaos_kill_at: None,
             chaos_device: None,
+            pipeline: false,
+            metric: None,
         }
     }
 }
@@ -244,6 +248,14 @@ fn parse_options(args: &[String]) -> Result<(Options, Vec<String>), String> {
                         .map_err(|e| format!("--chaos-device: {e}"))?,
                 )
             }
+            "--pipeline" => {
+                opts.pipeline = match grab()?.to_lowercase().as_str() {
+                    "on" => true,
+                    "off" => false,
+                    other => return Err(format!("--pipeline: unknown mode '{other}' (on|off)")),
+                }
+            }
+            "--metric" => opts.metric = Some(grab()?.clone()),
             _ if a.starts_with("--") => return Err(format!("unknown option {a}")),
             _ => positional.push(a.clone()),
         }
@@ -302,6 +314,7 @@ struct JobSpec<'a> {
     kernels: Option<&'a str>,
     faults: &'a [String],
     deadline_factor: Option<f64>,
+    pipeline: bool,
 }
 
 impl<'a> JobSpec<'a> {
@@ -316,6 +329,7 @@ impl<'a> JobSpec<'a> {
             kernels: opts.kernels.as_deref(),
             faults: &opts.faults,
             deadline_factor: opts.deadline_factor,
+            pipeline: opts.pipeline,
         }
     }
 
@@ -330,6 +344,7 @@ impl<'a> JobSpec<'a> {
             kernels: ctx.kernels.as_deref(),
             faults: &ctx.faults,
             deadline_factor: ctx.deadline_factor,
+            pipeline: ctx.pipeline,
         }
     }
 
@@ -372,6 +387,7 @@ impl<'a> JobSpec<'a> {
         if let Some(f) = self.deadline_factor {
             cfg.deadline_factor = f;
         }
+        cfg.pipeline = self.pipeline;
         Ok((platform, cfg))
     }
 }
@@ -683,7 +699,7 @@ fn read_input(input: &str) -> CliResult<(u64, Y4mHeader, Vec<Frame>)> {
 fn commit_checkpoint(
     writer: &mut Y4mWriter<BufWriter<std::fs::File>>,
     out_path: &str,
-    enc: &FevesEncoder,
+    enc: &mut FevesEncoder,
     mgr: &CheckpointManager,
     ctx: &mut ResumeContext,
     rec: &Option<Arc<MemoryRecorder>>,
@@ -700,6 +716,9 @@ fn commit_checkpoint(
         .metadata()
         .map_err(|e| CliError::runtime(format!("{out_path}: {e}")))?
         .len();
+    // Checkpoints commit only at quiesced frame boundaries: drain any
+    // in-flight pipeline generation before snapshotting.
+    enc.quiesce_pipeline();
     let state = enc.snapshot();
     match rec {
         Some(r) => mgr.write(ctx, &state, r.as_ref()),
@@ -845,6 +864,7 @@ fn cmd_encode(opts: &Options, input: &str, output: Option<&str>) -> CliResult {
             n_frames: frames.len(),
             out_bytes: 0,
             input_fingerprint: input_fp,
+            pipeline: opts.pipeline,
         };
         Some((CheckpointManager::new(dir, opts.checkpoint_keep), ctx))
     } else {
@@ -1124,6 +1144,7 @@ fn cmd_submit(opts: &Options, spool: &str, input: &str, output: Option<&str>) ->
         checkpoint_every: opts.checkpoint_every,
         chaos_kill_at: opts.chaos_kill_at,
         chaos_device: opts.chaos_device,
+        pipeline: opts.pipeline,
     };
     let path = feves::serve::job::write_job(std::path::Path::new(spool), &job)
         .map_err(CliError::runtime)?;
@@ -1199,7 +1220,11 @@ fn cmd_compare(opts: &Options, baseline: &str, candidate: &str) -> CliResult<boo
         .map_err(|e| CliError::runtime(format!("{baseline}: {e}")))?;
     let cand = std::fs::read_to_string(candidate)
         .map_err(|e| CliError::runtime(format!("{candidate}: {e}")))?;
-    let outcome = compare_reports(&base, &cand, opts.threshold).map_err(CliError::runtime)?;
+    let outcome = match &opts.metric {
+        Some(filter) => compare_reports_metric(&base, &cand, opts.threshold, filter),
+        None => compare_reports(&base, &cand, opts.threshold),
+    }
+    .map_err(CliError::runtime)?;
     print!("{}", outcome.render_text(opts.threshold));
     Ok(outcome.passed())
 }
@@ -1222,7 +1247,7 @@ fn usage() {
          \u{20}  top <live.json> [--once] [--interval <ms>]     live dashboard\n\
          \u{20}  report <flight.jsonl|live.json> [--html] [--out <path>]  audit a\n\
          \u{20}                                  flight log or a live snapshot\n\
-         \u{20}  compare <baseline> <new> [--threshold <f>]     regression gate\n\n\
+         \u{20}  compare <baseline> <new> [--threshold <f>] [--metric <filter>]  regression gate\n\n\
          options: --platform <name> | --platform-file <json>\n\
          \u{20}        --sa <n> --refs <n> --qp <n>\n\
          \u{20}        --frames <n> --balancer feves|proportional|equidistant\n\
@@ -1248,7 +1273,11 @@ fn usage() {
          \u{20}        --exit-when-idle                serve: exit when the spool runs dry\n\
          \u{20}        --id <name>                     submit: explicit job id\n\
          \u{20}        --chaos-kill-at <frame>         submit: panic the session there (attempt 0)\n\
-         \u{20}        --chaos-device <dev>            submit: device a chaos kill is blamed on"
+         \u{20}        --chaos-device <dev>            submit: device a chaos kill is blamed on\n\
+         \u{20}        --pipeline on|off               overlap inter-frame phases across devices\n\
+         \u{20}                                        (scheduling only; output bytes identical)\n\
+         \u{20}        --metric <filter>               compare: gate only metrics matching <filter>\n\
+         \u{20}                                        (idle_pct also gates the overlap win)"
     );
 }
 

@@ -391,6 +391,55 @@ fn chaos_seed_randomizes_the_kill_point() {
 }
 
 #[test]
+fn pipelined_kill_before_every_frame_resume_is_bit_identical() {
+    // The pipeline overlaps frame generations, but checkpoints commit only
+    // at quiesced boundaries — so a kill before ANY frame under
+    // `--pipeline on` must recover bit-identical to a lockstep baseline.
+    let dir = scratch("pipeframes");
+    let input = dir.join("in.y4m");
+    write_input(&input, 0x5EED);
+    let input = input.to_str().unwrap();
+    let want = baseline(&dir, input);
+    for k in 2..N_FRAMES {
+        let got = crash_then_resume(&dir, input, &format!("frame@{k}"), &["--pipeline", "on"]);
+        assert_eq!(
+            got, want,
+            "pipelined recovery differs from lockstep baseline (killed before frame {k})"
+        );
+    }
+}
+
+#[test]
+fn pipelined_resume_is_bit_identical_to_lockstep_resume() {
+    // Same input, same kill point, two scheduling modes: the recovered
+    // bitstreams must agree with each other (and with the clean run).
+    let input_bytes = {
+        let dir = scratch("piperesume-in");
+        let input = dir.join("in.y4m");
+        write_input(&input, 0x5EED);
+        fs::read(&input).unwrap()
+    };
+    let mut recovered = Vec::new();
+    for (tag, extra) in [
+        ("lockstep", &[][..]),
+        ("pipelined", &["--pipeline", "on"][..]),
+    ] {
+        let dir = scratch(&format!("piperesume-{tag}"));
+        let input = dir.join("in.y4m");
+        fs::write(&input, &input_bytes).unwrap();
+        let input = input.to_str().unwrap();
+        let want = baseline(&dir, input);
+        let got = crash_then_resume(&dir, input, "frame@5", extra);
+        assert_eq!(got, want, "{tag} recovery diverged from its clean run");
+        recovered.push(got);
+    }
+    assert_eq!(
+        recovered[0], recovered[1],
+        "pipelined resume must be bit-identical to lockstep resume"
+    );
+}
+
+#[test]
 fn sigterm_mid_encode_checkpoints_and_resumes_bit_exact() {
     // Graceful preemption, as a process supervisor would do it: TERM (not
     // KILL) a checkpoint-armed encode mid-run. The encoder must commit an

@@ -57,6 +57,7 @@ fn schema_record() -> FlightRecord {
                 compute_busy_ms: 19.5,
                 transfer_busy_ms: 3.25,
                 residual_pct: Some(8.333333333333332),
+                overlap_carried_ms: 2.5,
                 blacklisted: false,
             },
             DeviceRecord {
@@ -68,9 +69,11 @@ fn schema_record() -> FlightRecord {
                 compute_busy_ms: 12.0,
                 transfer_busy_ms: 0.0,
                 residual_pct: None,
+                overlap_carried_ms: 0.0,
                 blacklisted: true,
             },
         ],
+        inflight_depth: 2,
         bytes_transferred: 1_048_576,
         bytes_reused: 262_144,
         recovery_ms: 1.5,
@@ -152,9 +155,11 @@ proptest! {
                     compute_busy_ms: compute,
                     transfer_busy_ms: transfer,
                     residual_pct: residual,
+                    overlap_carried_ms: transfer * 0.5,
                     blacklisted: black,
                 })
                 .collect(),
+            inflight_depth: frame % 3,
             bytes_transferred: bytes.0,
             bytes_reused: bytes.1,
             recovery_ms: recovery,

@@ -1,0 +1,204 @@
+//! Property tests of the pipeline state machine under randomized device
+//! speeds and fault schedules: reap order equals submit order, the two
+//! in-flight generations never share a DAM buffer slot, recovered stall
+//! time is bounded by both the carried stall and the consumer's phase-1
+//! work, and a quiesce always drains to a frame boundary — no matter how
+//! the submit/complete/reap/quiesce events interleave.
+
+use feves::core::dam::{DataManager, DAM_SLOTS};
+use feves::core::pipeline::{FramePipeline, MAX_IN_FLIGHT};
+use feves::core::prelude::*;
+use feves::ft::{FaultKind, FaultSpec};
+use feves::sched::CompletionTracker;
+use proptest::prelude::*;
+
+/// Build a tracker from per-device (phase1_finish, total_finish) pairs.
+fn tracker_of(times: &[(f64, f64)]) -> CompletionTracker {
+    let mut t = CompletionTracker::new(times.len());
+    for (d, &(p1, fin)) in times.iter().enumerate() {
+        t.record(d, p1, true);
+        t.record(d, p1.max(fin), false);
+    }
+    let barrier = times.iter().map(|&(p1, f)| p1.max(f)).fold(0.0, f64::max);
+    t.set_barrier(barrier);
+    t
+}
+
+fn arb_frame_times(devices: usize) -> impl Strategy<Value = Vec<(f64, f64)>> {
+    proptest::collection::vec((1e-3f64..50.0, 1e-3f64..100.0), devices..=devices)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Steady-state streaming: for any random per-frame device times, the
+    /// overlap accounting obeys its bounds frame after frame.
+    #[test]
+    fn overlap_is_bounded_by_carry_and_phase1(
+        frames in proptest::collection::vec(arb_frame_times(3), 2..12),
+    ) {
+        let mut pipe = FramePipeline::new(true);
+        let mut prev_stalls: Option<Vec<f64>> = None;
+        for times in &frames {
+            let gen = pipe.open();
+            let tracker = tracker_of(times);
+            let stalls_now = tracker.stalls();
+            let tau1 = (0..3).map(|d| tracker.phase1_of(d)).fold(0.0, f64::max);
+            let overlap = pipe.complete(gen, tracker_of(times));
+            // recovered_d <= carried stall_d and <= this frame's phase-1_d.
+            for (d, &r) in overlap.recovered_s.iter().enumerate() {
+                let carried = prev_stalls.as_ref().map_or(0.0, |s| s[d]);
+                prop_assert!(r <= carried + 1e-12, "device {d}: recovered {r} > carried {carried}");
+                prop_assert!(r <= times[d].0 + 1e-12, "device {d}: recovered {r} > phase1 {}", times[d].0);
+                prop_assert!(r >= 0.0);
+            }
+            // The frame can never get faster than removing all of phase 1.
+            prop_assert!(overlap.saved_s >= 0.0);
+            prop_assert!(overlap.saved_s <= tau1 + 1e-12,
+                "saved {} > tau1 {tau1}", overlap.saved_s);
+            prev_stalls = Some(stalls_now);
+            // Lockstep drain down to one generation left in flight.
+            while pipe.in_flight_depth() > 1 {
+                pipe.reap();
+            }
+        }
+    }
+
+    /// Reap order equals submit order, whatever the completion pattern.
+    #[test]
+    fn reap_order_equals_submit_order(
+        frames in proptest::collection::vec(arb_frame_times(2), 1..20),
+        drain_each in proptest::bool::ANY,
+    ) {
+        let mut pipe = FramePipeline::new(true);
+        for times in &frames {
+            let gen = pipe.open();
+            pipe.complete(gen, tracker_of(times));
+            let keep = if drain_each { 0 } else { 1 };
+            while pipe.in_flight_depth() > keep {
+                pipe.reap();
+            }
+        }
+        pipe.quiesce();
+        prop_assert_eq!(pipe.submit_log(), pipe.reap_log(),
+            "reap order must equal submit order");
+        prop_assert!(pipe.is_quiesced());
+    }
+
+    /// The two in-flight generations always own distinct DAM slots, and a
+    /// third generation can never begin while both slots are held.
+    #[test]
+    fn double_buffer_slots_are_isolated(
+        n_frames in 1usize..16,
+    ) {
+        let mut pipe = FramePipeline::new(true);
+        let mut dam = DataManager::new(8, 2);
+        let mut held: Vec<u64> = Vec::new();
+        for _ in 0..n_frames {
+            let gen = pipe.open();
+            dam.begin_generation(gen).expect("pipeline depth bounds slot occupancy");
+            held.push(gen);
+            // Both live generations sit in different slots.
+            let active = dam.active_generations();
+            prop_assert_eq!(active.len(), held.len());
+            prop_assert!(active.len() <= DAM_SLOTS);
+            if active.len() == 2 {
+                prop_assert_ne!(
+                    FramePipeline::slot_of(active[0]),
+                    FramePipeline::slot_of(active[1]),
+                    "two live generations share a DAM slot"
+                );
+                // A third begin_generation must be refused.
+                prop_assert!(dam.begin_generation(gen + 1).is_err());
+            }
+            pipe.complete(gen, tracker_of(&[(1.0, 2.0), (1.5, 2.0)]));
+            while pipe.in_flight_depth() > 1 {
+                let g = pipe.reap();
+                dam.end_generation(g).expect("reaped generation owns its slot");
+                held.retain(|&h| h != g);
+            }
+        }
+        for g in pipe.quiesce() {
+            dam.end_generation(g).expect("quiesced generation owns its slot");
+            held.retain(|&h| h != g);
+        }
+        prop_assert!(held.is_empty());
+        prop_assert!(dam.active_generations().is_empty());
+    }
+
+    /// Quiesce always reaches a frame boundary: the pipeline is empty, the
+    /// carry is dropped (the next frame starts cold), and depth never
+    /// exceeded the double-buffer bound along the way.
+    #[test]
+    fn quiesce_always_reaches_a_frame_boundary(
+        frames in proptest::collection::vec(arb_frame_times(2), 1..10),
+        quiesce_after in 0usize..10,
+        complete_last in proptest::bool::ANY,
+    ) {
+        let mut pipe = FramePipeline::new(true);
+        for (i, times) in frames.iter().enumerate() {
+            let gen = pipe.open();
+            prop_assert!(pipe.in_flight_depth() <= MAX_IN_FLIGHT);
+            // A quiesce may land before the newest generation measured —
+            // the fault path drains exactly like this.
+            if i + 1 < frames.len() || complete_last {
+                pipe.complete(gen, tracker_of(times));
+            }
+            if i == quiesce_after {
+                break;
+            }
+            while pipe.in_flight_depth() > 1 {
+                pipe.reap();
+            }
+        }
+        pipe.quiesce();
+        prop_assert!(pipe.is_quiesced());
+        prop_assert_eq!(pipe.in_flight_depth(), 0);
+        prop_assert!(pipe.carry().is_none(), "quiesce must drop the stall carry");
+        // Re-opening after a quiesce starts a fresh generation cleanly.
+        let g = pipe.open();
+        let overlap = pipe.complete(g, tracker_of(&[(1.0, 3.0), (2.0, 3.0)]));
+        prop_assert_eq!(overlap.saved_s, 0.0, "post-quiesce frame must start cold");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// End-to-end under random fault schedules: the framework must leave
+    /// the pipeline quiesce-able at any frame boundary and keep the
+    /// flight-recorded depth within the double-buffer bound.
+    #[test]
+    fn framework_under_random_faults_keeps_pipeline_invariants(
+        fault_frame in 1usize..6,
+        fault_device in 0usize..3,
+        kind in prop_oneof![
+            Just(FaultKind::Death),
+            Just(FaultKind::Stall { frames: 2 }),
+            Just(FaultKind::TransferError),
+        ],
+    ) {
+        let mut cfg = EncoderConfig::full_hd(EncodeParams::default());
+        cfg.noise_amp = 0.0;
+        cfg.pipeline = true;
+        cfg.faults = vec![FaultSpec {
+            device: fault_device,
+            frame: fault_frame,
+            kind,
+        }];
+        let mut enc = FevesEncoder::new(Platform::sys_nff(), cfg).unwrap();
+        enc.enable_flight(16);
+        enc.run_timing(8);
+        let records = enc.flight().unwrap().to_vec();
+        for r in &records {
+            prop_assert!(r.inflight_depth <= MAX_IN_FLIGHT,
+                "frame {}: depth {} exceeds the double buffer", r.frame, r.inflight_depth);
+            for d in &r.devices {
+                prop_assert!(d.overlap_carried_ms >= 0.0);
+            }
+        }
+        // A checkpoint can be taken at this boundary.
+        enc.quiesce_pipeline();
+        let _ = enc.snapshot();
+    }
+}
