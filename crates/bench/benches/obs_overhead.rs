@@ -13,6 +13,8 @@
 //!    scope, telemetry bus, drain thread and periodic snapshot writes — to
 //!    prove live monitoring stays inside the same budget. The bus's own
 //!    enqueue/drain self-metering is printed alongside.
+//! 4. The same run again with a causal-trace sink attached, so the span
+//!    emission in the per-frame hot loop is held to the identical budget.
 
 use criterion::{criterion_group, BenchmarkId, Criterion};
 use feves_bench::hd_config;
@@ -146,6 +148,50 @@ fn live_acceptance_check() {
     );
 }
 
+/// Causal tracing rides the same budget: a timing run with a `TraceSink`
+/// attached must keep per-frame scheduling overhead under the same 2 ms,
+/// and the sink must actually have collected the per-frame span tree.
+fn trace_acceptance_check() {
+    use feves_obs::{TraceCollector, TraceCtx, TraceSink};
+    let collector = Arc::new(TraceCollector::new());
+    let ctx = TraceCtx::for_job("bench-trace");
+    let root_sink = TraceSink::new(
+        collector.clone(),
+        TraceCtx {
+            trace_id: ctx.trace_id,
+            parent_span: 0,
+        },
+        std::time::Instant::now(),
+    );
+    let root = root_sink.record("job:bench-trace", "job", 0.0, 0.0);
+
+    let rec = Arc::new(MemoryRecorder::new());
+    let mut enc = FevesEncoder::new(Platform::sys_hk(), hd_config(32, 2, BalancerKind::Feves))
+        .expect("valid bench config");
+    enc.set_recorder(rec.clone());
+    enc.set_trace(root_sink.under(root));
+    let report = enc.run_timing(16);
+
+    let wall_max_us = report.max_sched_overhead() * 1e6;
+    let hist = rec.histogram(Metric::SchedOverheadUs);
+    let spans = collector.snapshot().spans.len();
+    println!(
+        "trace acceptance: sched overhead with tracing enabled — wall max {:.1} us, \
+         recorded max {:.1} us, {} span(s) collected (budget {} us)",
+        wall_max_us,
+        hist.max(),
+        spans,
+        BUDGET_US
+    );
+    assert!(spans > 0, "tracing run collected no spans");
+    let pass = wall_max_us < BUDGET_US && hist.max() < BUDGET_US;
+    println!("trace acceptance: {}", if pass { "PASS" } else { "FAIL" });
+    assert!(
+        pass,
+        "scheduling overhead exceeded the 2 ms budget with tracing enabled"
+    );
+}
+
 criterion_group!(benches, bench_recorder_hot_path);
 
 fn main() {
@@ -157,4 +203,5 @@ fn main() {
     benches();
     acceptance_check();
     live_acceptance_check();
+    trace_acceptance_check();
 }

@@ -29,9 +29,10 @@ use feves_hetsim::fault::FaultInjector;
 use feves_hetsim::noise::{MultiplicativeNoise, NoiseState};
 use feves_hetsim::platform::Platform;
 use feves_hetsim::timeline::{simulate, Schedule};
+use feves_obs::trace::{DeviceSlice, TraceArg};
 use feves_obs::{
-    imbalance_index, residual_pct, DeviceRecord, FlightRecord, FlightRecorder, Metric, Recorder,
-    SessionScope, TauTriple,
+    imbalance_index, residual_pct, DeviceRecord, EdgeKind, FlightRecord, FlightRecorder, Metric,
+    Recorder, SessionScope, TauTriple, TraceSink,
 };
 use feves_sched::{
     BalanceInput, Centric, CompletionTracker, Distribution, EquidistantBalancer, Ewma,
@@ -172,6 +173,15 @@ pub struct FevesEncoder {
     /// Inter-frame submit/reap pipeline (lockstep when disabled): frame
     /// generations, DAM slot ownership and the carried τ-sync stall.
     pipeline: FramePipeline,
+    /// Optional causal-trace sink ([`Self::set_trace`]): frame/phase/kernel
+    /// spans on the virtual clock, parented under the caller's attempt span.
+    trace_sink: Option<TraceSink>,
+    /// Span id of the previous frame span — the source of the next
+    /// pipeline-overlap edge.
+    prev_frame_span: Option<u64>,
+    /// Virtual-clock cursor: where the next frame span starts, µs relative
+    /// to this attempt.
+    trace_cursor_us: f64,
 }
 
 /// A reconstruction waiting to be interpolated and pushed as a reference.
@@ -307,6 +317,9 @@ impl FevesEncoder {
             scope: None,
             ctl: None,
             pipeline: FramePipeline::new(config.pipeline),
+            trace_sink: None,
+            prev_frame_span: None,
+            trace_cursor_us: 0.0,
             platform,
             config,
         })
@@ -336,6 +349,17 @@ impl FevesEncoder {
         );
         self.recorder = Some(scope.recorder());
         self.scope = Some(scope);
+    }
+
+    /// Attach a causal-trace sink: every inter frame from now on records a
+    /// `frame{n}` span on the attempt's virtual clock with phase/kernel
+    /// children, per-device rate slices (rows + compute-busy ms, the
+    /// samples the what-if analyzer re-balances), the τ decomposition as
+    /// args, and a pipeline-overlap edge from the previous frame when
+    /// carried stall was recovered. Without a sink the frame loop never
+    /// touches the trace path — one `Option` check per frame.
+    pub fn set_trace(&mut self, sink: TraceSink) {
+        self.trace_sink = Some(sink);
     }
 
     /// Attach a supervisor control block: the encoder honors its device
@@ -1070,6 +1094,75 @@ impl FevesEncoder {
                 scope.device_sample(d, busy_pct, residuals[d], !avail[d]);
             }
             scope.frame_done();
+        }
+
+        // Causal tracing: one frame span on the attempt's virtual clock,
+        // phase children at the measured sync points, the active kernel
+        // family, per-device rate slices, and — when the inter-frame
+        // pipeline recovered carried stall — a causal edge from the
+        // previous frame span. The frame span's duration is the *effective*
+        // time (recovery + τtot − overlap-saved), so consecutive frame
+        // spans tile the attempt exactly; the phase children use the raw
+        // sync points and may poke past the frame end when overlap saved
+        // wall time — that spill *is* the pipeline win, made visible.
+        if let Some(sink) = &self.trace_sink {
+            let start = self.trace_cursor_us;
+            let dur = ((recovery_overhead + sched.finish_of(fg.tau_tot) - overlap.saved_s) * 1e6)
+                .max(0.0);
+            let devices: Vec<DeviceSlice> = (0..self.platform.len())
+                .map(|d| DeviceSlice {
+                    device: d,
+                    rows: (dist.me[d] + dist.interp[d] + dist.sme[d]) as u64,
+                    busy_ms: compute_busy_ms[d],
+                })
+                .collect();
+            let kernel_ms = compute_busy_ms.iter().copied().fold(0.0f64, f64::max);
+            let transfer_ms = transfer_busy_ms.iter().copied().fold(0.0f64, f64::max);
+            let recovered_ms = overlap.total_recovered_s() * 1e3;
+            let arg = |k: &str, v: f64| TraceArg { k: k.into(), v };
+            let frame_span = sink.record_full(
+                &format!("frame{}", self.inter_count),
+                "frame",
+                start,
+                dur,
+                devices,
+                vec![
+                    arg("tau1_ms", measured_tau.tau1_ms),
+                    arg("tau2_ms", measured_tau.tau2_ms),
+                    arg("tau_tot_ms", measured_tau.tau_tot_ms),
+                    arg("kernel_ms", kernel_ms),
+                    arg("transfer_ms", transfer_ms),
+                    arg("recovered_ms", recovered_ms),
+                ],
+            );
+            let frame_sink = sink.under(frame_span);
+            let t1 = measured_tau.tau1_ms * 1e3;
+            let t2 = measured_tau.tau2_ms * 1e3;
+            let tt = measured_tau.tau_tot_ms * 1e3;
+            frame_sink.record("phase1", "phase", start, t1);
+            frame_sink.record("phase2", "phase", start + t1, (t2 - t1).max(0.0));
+            frame_sink.record("tail", "phase", start + t2.min(tt), (tt - t2).max(0.0));
+            frame_sink.record(
+                &format!("kernels:{}", feves_codec::kernels::active_kind().name()),
+                "kernel",
+                start,
+                kernel_ms * 1e3,
+            );
+            let mut edges = 0u64;
+            if let Some(prev) = self.prev_frame_span {
+                if recovered_ms > 0.0 && overlap.depth_at_submit > 1 {
+                    sink.link(prev, frame_span, EdgeKind::PipelineOverlap);
+                    edges = 1;
+                }
+            }
+            self.prev_frame_span = Some(frame_span);
+            self.trace_cursor_us = start + dur;
+            if rec.enabled() {
+                rec.add(Metric::TraceSpans, 5);
+                if edges > 0 {
+                    rec.add(Metric::TraceEdges, edges);
+                }
+            }
         }
 
         // Functional execution with the same distribution. Stripe-thread

@@ -53,6 +53,8 @@ struct Generation {
     gen: u64,
     /// Filled by `complete()`; a generation with measurements is drainable.
     tracker: Option<CompletionTracker>,
+    /// Pipeline depth observed when this generation was submitted.
+    depth_at_submit: usize,
 }
 
 /// Overlap accounting for one completed generation.
@@ -138,7 +140,11 @@ impl FramePipeline {
         );
         let gen = self.next_gen;
         self.next_gen += 1;
-        self.in_flight.push(Generation { gen, tracker: None });
+        self.in_flight.push(Generation {
+            gen,
+            tracker: None,
+            depth_at_submit: self.in_flight.len() + 1,
+        });
         self.submit_log.push(gen);
         gen
     }
@@ -147,13 +153,13 @@ impl FramePipeline {
     /// overlap against the previous generation's carried stall. `gen` must
     /// be the newest open generation (measurements arrive in submit order).
     pub fn complete(&mut self, gen: u64, tracker: CompletionTracker) -> PipelineOverlap {
-        let depth = self.in_flight.len();
         let slot = self
             .in_flight
             .last_mut()
             .expect("complete() on an empty pipeline");
         assert_eq!(slot.gen, gen, "measurements must arrive in submit order");
         assert!(slot.tracker.is_none(), "generation completed twice");
+        let depth = slot.depth_at_submit;
 
         let n = tracker.n_devices();
         let overlap = match (self.enabled, self.carry.as_ref()) {
@@ -297,18 +303,18 @@ mod tests {
         assert_eq!(o1.recovered_s, vec![3.0, 0.0]);
         assert_eq!(o1.saved_s, 0.0);
 
-        // Frame 2: make the stalled device the τ1 critical path. Device 1
-        // stalls 5 s after frame 1; its 4 s phase-1 is fully recovered, so
-        // τ1 moves from 4.0 to device 0's shifted 2.0 − 2.0 = 0? No —
-        // device 0 carries 1.0 s of stall (10 − 9): shifted = max(2−1, 4−4)
-        // = 1.0, saved = 3.0.
+        // Frame 2: make the stalled device the τ1 critical path. Frame 1
+        // carried stalls [6, 0] (device 0 idled from 4 to the barrier at
+        // 10). Device 0's 5 s phase-1 now sets τ1 = 5 and fits entirely
+        // inside its 6 s stall; device 1 carried nothing, so its 2 s
+        // phase-1 cannot shift: shifted = max(5−5, 2−0) = 2, saved = 3.
         let g2 = p.open();
         p.reap();
-        let o2 = p.complete(g2, tracker(&[(2.0, 9.0), (4.0, 9.0)]));
-        assert_eq!(o2.recovered_s, vec![1.0, 4.0]);
+        let o2 = p.complete(g2, tracker(&[(5.0, 9.0), (2.0, 9.0)]));
+        assert_eq!(o2.recovered_s, vec![5.0, 0.0]);
         assert!((o2.saved_s - 3.0).abs() < 1e-12);
         // recovered_d ≤ carry ∧ recovered_d ≤ p1_d; saved ≤ τ1.
-        assert!(o2.saved_s <= 4.0);
+        assert!(o2.saved_s <= 5.0);
     }
 
     #[test]

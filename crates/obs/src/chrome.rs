@@ -82,6 +82,37 @@ impl ChromeTraceBuilder {
         ]));
     }
 
+    /// Emit an `"s"` flow-start event: the tail of a causal arrow leaving
+    /// lane (`pid`, `tid`) at `ts_us`. `id` pairs it with its flow end.
+    pub fn flow_start(&mut self, pid: u64, tid: u64, name: &str, cat: &str, id: u64, ts_us: f64) {
+        self.events.push(obj(vec![
+            ("name", Value::Str(name.to_string())),
+            ("cat", Value::Str(cat.to_string())),
+            ("ph", Value::Str("s".to_string())),
+            ("id", Value::UInt(id)),
+            ("pid", Value::UInt(pid)),
+            ("tid", Value::UInt(tid)),
+            ("ts", Value::Float(ts_us)),
+        ]));
+    }
+
+    /// Emit an `"f"` flow-end event: the head of the causal arrow `id`,
+    /// landing on lane (`pid`, `tid`) at `ts_us`. Carries the Perfetto
+    /// binding point `"bp":"e"` — without it the renderer binds the arrow
+    /// to the *next* slice on the lane and draws an orphan dot instead.
+    pub fn flow_end(&mut self, pid: u64, tid: u64, name: &str, cat: &str, id: u64, ts_us: f64) {
+        self.events.push(obj(vec![
+            ("name", Value::Str(name.to_string())),
+            ("cat", Value::Str(cat.to_string())),
+            ("ph", Value::Str("f".to_string())),
+            ("bp", Value::Str("e".to_string())),
+            ("id", Value::UInt(id)),
+            ("pid", Value::UInt(pid)),
+            ("tid", Value::UInt(tid)),
+            ("ts", Value::Float(ts_us)),
+        ]));
+    }
+
     /// Number of events queued so far.
     pub fn len(&self) -> usize {
         self.events.len()
@@ -124,6 +155,21 @@ mod tests {
         b.complete(0, 2, "h2d f3", "transfer", 100.0, 400.0);
         b.instant(0, 1, "tau1", 1500.5);
         b
+    }
+
+    #[test]
+    fn flow_events_pair_up_and_end_binds_to_enclosing_slice() {
+        let mut b = ChromeTraceBuilder::new();
+        b.flow_start(1, 1, "queue_admit", "causal", 42, 10.0);
+        b.flow_end(1, 2, "queue_admit", "causal", 42, 25.0);
+        let doc = b.finish();
+        let events = doc.get("traceEvents").and_then(|e| e.as_array()).unwrap();
+        assert_eq!(events[0].get("ph").and_then(|v| v.as_str()), Some("s"));
+        assert_eq!(events[0].get("id").and_then(|v| v.as_u64()), Some(42));
+        assert!(events[0].get("bp").is_none(), "bp is a flow-end field");
+        assert_eq!(events[1].get("ph").and_then(|v| v.as_str()), Some("f"));
+        assert_eq!(events[1].get("bp").and_then(|v| v.as_str()), Some("e"));
+        assert_eq!(events[1].get("id").and_then(|v| v.as_u64()), Some(42));
     }
 
     #[test]

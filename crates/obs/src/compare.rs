@@ -94,25 +94,39 @@ pub fn compare_reports(
     compare_lists(base, cand, threshold)
 }
 
-/// Compare only metrics whose name contains `filter` — the CLI's
-/// `--metric` mode. On top of the usual baseline-vs-candidate regression
-/// check, a filter matching the `idle_pct` family gates the pipeline win
-/// itself: the candidate must show strictly less pipelined idle than
-/// lockstep idle, or the overlap is reported as a regression even when the
-/// baseline comparison would pass.
+/// Compare only metrics whose name contains one of the comma-separated
+/// `filter` terms — the CLI's `--metric` mode (`--metric
+/// idle_pct,critical_path_us` gates both families in one invocation). On
+/// top of the usual baseline-vs-candidate regression check, a filter term
+/// matching the `idle_pct` family gates the pipeline win itself: the
+/// candidate must show strictly less pipelined idle than lockstep idle, or
+/// the overlap is reported as a regression even when the baseline
+/// comparison would pass.
 pub fn compare_reports_metric(
     baseline: &str,
     candidate: &str,
     threshold: f64,
     filter: &str,
 ) -> Result<CompareOutcome, String> {
+    let terms: Vec<&str> = filter
+        .split(',')
+        .map(str::trim)
+        .filter(|t| !t.is_empty())
+        .collect();
+    if terms.is_empty() {
+        return Err("--metric filter is empty".into());
+    }
+    let matches = |name: &str| terms.iter().any(|t| name.contains(t));
     let base: Vec<(String, f64)> = extract_metrics(baseline)
         .map_err(|e| format!("baseline: {e}"))?
         .into_iter()
-        .filter(|(n, _)| n.contains(filter))
+        .filter(|(n, _)| matches(n))
         .collect();
     let cand = extract_metrics(candidate).map_err(|e| format!("candidate: {e}"))?;
-    let idle_gate = if "idle_pct".contains(filter) || filter.contains("idle_pct") {
+    let idle_gate = if terms
+        .iter()
+        .any(|t| "idle_pct".contains(*t) || t.contains("idle_pct"))
+    {
         let get = |name: &str| cand.iter().find(|(n, _)| n == name).map(|(_, v)| *v);
         match (get("e2e.idle_pct_pipelined"), get("e2e.idle_pct_lockstep")) {
             (Some(p), Some(l)) if p >= l => Some(format!(
@@ -130,10 +144,7 @@ pub fn compare_reports_metric(
     } else {
         None
     };
-    let cand: Vec<(String, f64)> = cand
-        .into_iter()
-        .filter(|(n, _)| n.contains(filter))
-        .collect();
+    let cand: Vec<(String, f64)> = cand.into_iter().filter(|(n, _)| matches(n)).collect();
     let mut outcome = compare_lists(base, cand, threshold)
         .map_err(|e| format!("{e} (after --metric {filter} filter)"))?;
     if let Some(gate) = idle_gate {
@@ -190,6 +201,9 @@ fn extract_metrics(text: &str) -> Result<Vec<(String, f64)>, String> {
         }
         if let Some(p95) = s.fleet_p95_abs_residual_pct {
             out.push(("flight.p95_abs_residual_pct".to_string(), p95));
+        }
+        if let Some(cp) = crate::critical::critical_path_us(&records) {
+            out.push(("flight.critical_path_us".to_string(), cp));
         }
         return Ok(out);
     }
@@ -388,6 +402,34 @@ mod tests {
         // A candidate without the idle fields is an error, not a silent pass.
         let err = compare_reports_metric(&base, E2E_BASE, 0.10, "idle_pct").unwrap_err();
         assert!(err.contains("idle_pct"), "{err}");
+    }
+
+    #[test]
+    fn metric_filter_accepts_comma_separated_lists() {
+        let base = e2e_with_idle(50.0, 30.0, 40.0);
+        let cand = e2e_with_idle(90.0, 29.0, 40.0);
+        // Both terms gate in one invocation; a term matching nothing in an
+        // e2e summary (critical_path_us lives in flight logs) is harmless.
+        let o = compare_reports_metric(&base, &cand, 0.10, "idle_pct,critical_path_us").unwrap();
+        assert!(o.passed(), "{:?}", o.regressions);
+        assert!(o.metrics.iter().all(|m| m.name.contains("idle_pct")));
+        // A fast_ms term widens the match set and catches its regression.
+        let o = compare_reports_metric(&base, &cand, 0.10, "idle_pct, fast_ms").unwrap();
+        assert!(!o.passed());
+        assert!(o.regressions.contains(&"e2e.fast_ms".to_string()));
+        assert!(compare_reports_metric(&base, &cand, 0.10, " , ").is_err());
+    }
+
+    #[test]
+    fn flight_logs_carry_critical_path_us() {
+        let base = flight_log(20.0);
+        let o = compare_reports_metric(&base, &flight_log(23.0), 0.10, "critical_path_us").unwrap();
+        assert!(!o.passed());
+        assert_eq!(o.regressions, vec!["flight.critical_path_us".to_string()]);
+        let m = &o.metrics[0];
+        // Mean per-frame τtot in µs.
+        assert!((m.baseline - 20_000.0).abs() < 1e-6, "{m:?}");
+        assert!((m.candidate - 23_000.0).abs() < 1e-6, "{m:?}");
     }
 
     #[test]

@@ -40,6 +40,7 @@ pub mod audit;
 pub mod bus;
 mod chrome;
 pub mod compare;
+pub mod critical;
 pub mod flight;
 mod histogram;
 pub mod live;
@@ -47,11 +48,13 @@ pub mod persist;
 mod recorder;
 pub mod report;
 pub mod scope;
+pub mod trace;
 
 pub use audit::{imbalance_index, residual_pct, AuditSummary, DeviceAudit};
 pub use bus::{BusController, BusStats, DeviceField, LiveConfig, TelemetryBus, TelemetryEvent};
 pub use chrome::ChromeTraceBuilder;
 pub use compare::{compare_reports, compare_reports_metric, CompareOutcome, MetricDelta};
+pub use critical::{validate_dag, Bucket, CriticalReport, JobCritical, WhatIf};
 pub use flight::{
     parse_jsonl as parse_flight_jsonl, parse_jsonl_with_markers as parse_flight_jsonl_with_markers,
     DeviceRecord, FlightRecord, FlightRecorder, TauTriple,
@@ -62,6 +65,7 @@ pub use persist::write_atomic;
 pub use recorder::{MemoryRecorder, NoopRecorder, Recorder, Span, SpanStat};
 pub use report::render_html;
 pub use scope::{hub, DeviceLive, RetiredSession, SessionScope, TelemetryHub};
+pub use trace::{EdgeKind, TraceCollector, TraceCtx, TraceEdge, TraceLog, TraceSink, TraceSpan};
 
 use std::sync::Arc;
 
@@ -183,10 +187,16 @@ pub enum Metric {
     /// Per-frame total device stall recovered by the pipeline (µs), summed
     /// across devices (each device's recovered span ≤ its carried stall).
     PipelineStallRecoveredUs,
+    /// Causal-trace spans recorded (job/queue/attempt/frame/kernel spans
+    /// flowing into the farm's `TraceCollector`).
+    TraceSpans,
+    /// Causal-trace edges recorded (queue→admit, checkpoint→resume,
+    /// pipeline-overlap links).
+    TraceEdges,
 }
 
 /// Definitions for every [`Metric`], in `Metric` discriminant order.
-pub static REGISTRY: [MetricDef; 36] = [
+pub static REGISTRY: [MetricDef; 38] = [
     MetricDef {
         name: "sched.overhead_us",
         unit: "us",
@@ -411,11 +421,27 @@ pub static REGISTRY: [MetricDef; 36] = [
         kind: MetricKind::Histogram,
         wall_clock: false,
     },
+    // The trace.* counters are wall_clock: farm-level span counts depend on
+    // retry/drain timing (how many checkpoints and attempts a run needed),
+    // so they surface in live snapshots but stay out of deterministic
+    // exports — trace *logs* are schema-golden-tested instead.
+    MetricDef {
+        name: "trace.spans",
+        unit: "spans",
+        kind: MetricKind::Counter,
+        wall_clock: true,
+    },
+    MetricDef {
+        name: "trace.edges",
+        unit: "edges",
+        kind: MetricKind::Counter,
+        wall_clock: true,
+    },
 ];
 
 impl Metric {
     /// All metrics, in registry order.
-    pub const ALL: [Metric; 36] = [
+    pub const ALL: [Metric; 38] = [
         Metric::SchedOverheadUs,
         Metric::FrameTau1Ms,
         Metric::FrameTau2Ms,
@@ -452,6 +478,8 @@ impl Metric {
         Metric::FarmDrainMs,
         Metric::PipelineOverlapUs,
         Metric::PipelineStallRecoveredUs,
+        Metric::TraceSpans,
+        Metric::TraceEdges,
     ];
 
     /// Registry index.

@@ -296,6 +296,23 @@ impl LiveSnapshot {
             .unwrap_or(&[])
     }
 
+    /// Total telemetry events dropped across the bus and every session
+    /// (`obs.dropped_events`) — nonzero means the dashboard's counters
+    /// undercount. `feves top` warns on it; `--strict` exits nonzero.
+    pub fn dropped_events(&self) -> u64 {
+        let bus = self
+            .root
+            .get("bus")
+            .and_then(|b| get_u64(b, "dropped"))
+            .unwrap_or(0);
+        let sessions: u64 = self
+            .sessions()
+            .iter()
+            .map(|s| get_u64(s, "dropped_events").unwrap_or(0))
+            .sum();
+        bus + sessions
+    }
+
     /// The refreshing-dashboard view (`feves top`): per-session device rows
     /// with busy bars, residuals and health, plus bus accounting.
     pub fn render_top(&self) -> String {
@@ -305,6 +322,14 @@ impl LiveSnapshot {
             self.seq(),
             self.uptime_ms() / 1_000.0
         ));
+        let dropped = self.dropped_events();
+        if dropped > 0 {
+            // Yellow so a lossy bus is impossible to miss: every counter
+            // below undercounts by an unknown amount.
+            out.push_str(&format!(
+                "\x1b[33mwarning: {dropped} telemetry event(s) dropped at a full bus — counters undercount\x1b[0m\n"
+            ));
+        }
         if let Some(bus) = self.root.get("bus").filter(|b| !matches!(b, Value::Null)) {
             out.push_str(&format!(
                 "bus   depth {}/{}   published {}   drained {}   dropped {}\n",
@@ -570,6 +595,26 @@ mod tests {
             Some(9)
         );
         assert!(snap.render_top().contains("[ended]"));
+    }
+
+    #[test]
+    fn dropped_events_sum_bus_and_sessions_and_warn() {
+        let clean = "{\"schema\":\"feves-live/1\",\"seq\":1,\"sessions\":[]}";
+        let snap = LiveSnapshot::parse(clean).unwrap();
+        assert_eq!(snap.dropped_events(), 0);
+        assert!(!snap.render_top().contains("warning:"));
+        let lossy = "{\"schema\":\"feves-live/1\",\"seq\":1,\
+                     \"bus\":{\"dropped\":3},\
+                     \"sessions\":[{\"id\":1,\"dropped_events\":2},\
+                                   {\"id\":2,\"dropped_events\":0}]}";
+        let snap = LiveSnapshot::parse(lossy).unwrap();
+        assert_eq!(snap.dropped_events(), 5);
+        let top = snap.render_top();
+        assert!(
+            top.contains("warning: 5 telemetry event(s) dropped"),
+            "{top}"
+        );
+        assert!(top.contains("\x1b[33m"), "warning renders yellow: {top}");
     }
 
     #[test]

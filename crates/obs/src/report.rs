@@ -3,6 +3,7 @@
 //! assets, no scripts, renders anywhere a file:// URL does.
 
 use crate::audit::AuditSummary;
+use crate::critical;
 use crate::flight::FlightRecord;
 use std::fmt::Write as _;
 
@@ -53,6 +54,7 @@ pub fn render_html(records: &[FlightRecord], ewma_alpha: f64, band_pct: f64) -> 
     tau_timeline(&mut html, records);
     residual_chart(&mut html, records, band_pct);
     utilization_bars(&mut html, &summary);
+    critical_path_section(&mut html, records);
 
     html.push_str("</body></html>\n");
     html
@@ -357,6 +359,70 @@ fn utilization_bars(html: &mut String, s: &AuditSummary) {
     );
 }
 
+/// Critical-path attribution over the flight log's virtual clock: the
+/// per-frame τtot buckets (kernel busy / transfer / barrier stall /
+/// pipeline-recovered) as a stacked bar, the `flight.critical_path_us`
+/// scalar `feves compare` gates on, and the busiest-device what-if
+/// projection. Farm buckets (queue/retry/…) need a trace log — `feves
+/// trace` reports those.
+fn critical_path_section(html: &mut String, records: &[FlightRecord]) {
+    html.push_str("<h2>Critical path</h2>\n");
+    if records.is_empty() {
+        html.push_str("<p>(no frames)</p>\n");
+        return;
+    }
+    let buckets = critical::flight_buckets(records);
+    let total_us: f64 = buckets.iter().sum();
+    let cp = critical::critical_path_us(records).unwrap_or(0.0);
+    let _ = writeln!(
+        html,
+        "<p>critical_path_us (mean per-frame) <b>{cp:.0} µs</b> over {} frames</p>",
+        records.len()
+    );
+    if total_us > 0.0 {
+        let bar_w = CHART_W - PAD_L - 20.0;
+        let _ = writeln!(
+            html,
+            "<svg width=\"{CHART_W}\" height=\"60\" viewBox=\"0 0 {CHART_W} 60\">"
+        );
+        let mut x = PAD_L;
+        let mut legend = String::from("<div class=\"legend\">");
+        for (i, b) in critical::Bucket::ALL.iter().enumerate() {
+            let us = buckets[i];
+            if us <= 0.0 {
+                continue;
+            }
+            let w = bar_w * us / total_us;
+            let color = COLORS[i % COLORS.len()];
+            let _ = writeln!(
+                html,
+                "<rect x=\"{x:.1}\" y=\"14\" width=\"{w:.1}\" height=\"20\" fill=\"{color}\"/>"
+            );
+            let _ = write!(
+                legend,
+                "<span><span class=\"swatch\" style=\"background:{color}\"></span>{} {:.1}%</span>",
+                b.name(),
+                100.0 * us / total_us
+            );
+            x += w;
+        }
+        html.push_str("</svg>\n");
+        legend.push_str("</div>\n");
+        html.push_str(&legend);
+    }
+    let samples = critical::frame_samples_from_flight(records);
+    if let Some(dev) = critical::busiest_device(&samples) {
+        if let Some(w) = critical::what_if_device(&samples, dev, 1.2) {
+            let _ = writeln!(
+                html,
+                "<p>what-if (Algorithm-2 re-balance): dev{dev} 20% faster &rArr; \
+                 encode latency <b>{:+.1}%</b></p>",
+                w.delta_pct()
+            );
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -418,6 +484,10 @@ mod tests {
         assert!(html.contains("dev0") && html.contains("dev1"));
         // Drift firing rendered as a circle marker.
         assert!(html.contains("<circle"));
+        // Critical-path section with the compare scalar and what-if.
+        assert!(html.contains("Critical path"), "{html}");
+        assert!(html.contains("critical_path_us"));
+        assert!(html.contains("what-if"));
     }
 
     #[test]

@@ -33,7 +33,10 @@ use crate::signal;
 use crate::ServeError;
 use feves_core::SessionCtl;
 use feves_ft::{HealthTracker, RetryPolicy};
-use feves_obs::{hub, BusController, LiveConfig, Metric, Recorder};
+use feves_obs::{
+    hub, write_atomic, BusController, EdgeKind, LiveConfig, Metric, Recorder, TraceCollector,
+    TraceCtx, TraceSink,
+};
 use std::collections::{HashMap, HashSet};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
@@ -73,6 +76,9 @@ pub struct FarmConfig {
     pub live_out: Option<PathBuf>,
     /// Snapshot period.
     pub live_every_ms: u64,
+    /// Write the farm-wide causal-trace log (trace JSONL) here on exit.
+    /// `None` disables tracing entirely — the sessions never see a sink.
+    pub trace_out: Option<PathBuf>,
 }
 
 impl Default for FarmConfig {
@@ -90,6 +96,7 @@ impl Default for FarmConfig {
             exit_when_idle: false,
             live_out: None,
             live_every_ms: 250,
+            trace_out: None,
         }
     }
 }
@@ -139,14 +146,19 @@ fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
     }
 }
 
-fn spawn_worker(job: JobSpec, attempt: u32, tx: mpsc::Sender<Event>) -> Worker {
+fn spawn_worker(
+    job: JobSpec,
+    attempt: u32,
+    tx: mpsc::Sender<Event>,
+    trace: Option<TraceSink>,
+) -> Worker {
     let ctl = Arc::new(SessionCtl::new());
     let scope = hub().session(&job.id);
     let thread_job = job.clone();
     let thread_ctl = ctl.clone();
     let handle = std::thread::spawn(move || {
         let outcome = catch_unwind(AssertUnwindSafe(|| {
-            run_session(&thread_job, &thread_ctl, scope, attempt)
+            run_session(&thread_job, &thread_ctl, scope, attempt, trace.clone())
         }));
         let result = match outcome {
             Ok(r) => r,
@@ -187,6 +199,177 @@ fn checkpointed_frames(job: &JobSpec) -> usize {
         .unwrap_or(0)
 }
 
+/// Per-job lifecycle state inside the farm tracer. The wall-clock cursor
+/// walks forward through admission → queue → attempt/retry … → drain so
+/// the lifecycle spans tile the job root span exactly — the invariant the
+/// critical-path bucket accounting rests on.
+struct JobTrace {
+    /// Records the job root span (parents at the sentinel 0).
+    root: TraceSink,
+    /// Records lifecycle spans under the root.
+    sink: TraceSink,
+    /// Root span start (admission scan time), µs since the farm epoch.
+    started_us: f64,
+    /// End of the last lifecycle span emitted.
+    cursor_us: f64,
+    /// The in-flight attempt's deterministic span id.
+    attempt_span: Option<u64>,
+    /// When the in-flight attempt's worker spawned.
+    attempt_started_us: f64,
+    /// The in-flight attempt's span name (`attempt{n}`).
+    attempt_name: String,
+}
+
+/// Farm-side causal tracing (`feves serve --trace-out`): mints each traced
+/// job's deterministic [`TraceCtx`], emits the wall-clock lifecycle spans,
+/// links the queue→admit and checkpoint→resume edges, and writes the
+/// merged trace JSONL log at exit. Jobs submitted with `--no-trace` are
+/// skipped entirely.
+struct FarmTracer {
+    collector: Arc<TraceCollector>,
+    /// The farm epoch all wall-clock spans are relative to.
+    epoch: Instant,
+    out: PathBuf,
+    jobs: HashMap<String, JobTrace>,
+    spans: u64,
+    edges: u64,
+}
+
+impl FarmTracer {
+    fn new(out: PathBuf) -> Self {
+        FarmTracer {
+            collector: Arc::new(TraceCollector::new()),
+            epoch: Instant::now(),
+            out,
+            jobs: HashMap::new(),
+            spans: 0,
+            edges: 0,
+        }
+    }
+
+    /// A job cleared admission: open its trace and stamp the admission span.
+    fn admitted(&mut self, job: &JobSpec) {
+        if !job.trace {
+            return;
+        }
+        let ctx = TraceCtx::for_job(&job.id);
+        let root = TraceSink::new(
+            self.collector.clone(),
+            TraceCtx {
+                trace_id: ctx.trace_id,
+                parent_span: 0,
+            },
+            self.epoch,
+        );
+        let sink = root.under(ctx.parent_span);
+        let now = root.now_us();
+        sink.record("admission", "admission", now, 0.0);
+        self.spans += 1;
+        self.jobs.insert(
+            job.id.clone(),
+            JobTrace {
+                root,
+                sink,
+                started_us: now,
+                cursor_us: now,
+                attempt_span: None,
+                attempt_started_us: now,
+                attempt_name: String::new(),
+            },
+        );
+    }
+
+    /// An attempt's worker is about to spawn: close the preceding queue (or
+    /// retry-wait) span, link its causal edge, and hand back the sink the
+    /// session's frame spans parent under.
+    fn spawned(&mut self, job: &JobSpec, attempt: u32) -> Option<TraceSink> {
+        let jt = self.jobs.get_mut(&job.id)?;
+        let now = jt.sink.now_us();
+        let name = format!("attempt{attempt}");
+        let (attempt_id, _) = jt.sink.ctx.child(&name);
+        if attempt == 0 {
+            let q = jt
+                .sink
+                .record("queue", "queue", jt.cursor_us, now - jt.cursor_us);
+            jt.sink.link(q, attempt_id, EdgeKind::QueueAdmit);
+            self.spans += 1;
+            self.edges += 1;
+        } else {
+            jt.sink.record(
+                &format!("retry{attempt}"),
+                "retry",
+                jt.cursor_us,
+                now - jt.cursor_us,
+            );
+            self.spans += 1;
+            // The retry resumes from the newest durable checkpoint span;
+            // a crash before any checkpoint falls back to the dead attempt
+            // itself as the cause.
+            let from = self
+                .collector
+                .last_span_of(jt.sink.ctx.trace_id, "checkpoint")
+                .or(jt.attempt_span);
+            if let Some(f) = from {
+                jt.sink.link(f, attempt_id, EdgeKind::CheckpointResume);
+                self.edges += 1;
+            }
+        }
+        jt.attempt_started_us = now;
+        jt.attempt_name = name;
+        jt.attempt_span = Some(attempt_id);
+        jt.cursor_us = now;
+        Some(jt.sink.under(attempt_id))
+    }
+
+    /// An attempt's terminal event arrived: close its span.
+    fn attempt_done(&mut self, job_id: &str) {
+        let Some(jt) = self.jobs.get_mut(job_id) else {
+            return;
+        };
+        let now = jt.sink.now_us();
+        if jt.attempt_span.is_some() {
+            jt.sink.record(
+                &jt.attempt_name,
+                "attempt",
+                jt.attempt_started_us,
+                now - jt.attempt_started_us,
+            );
+            self.spans += 1;
+        }
+        jt.cursor_us = now;
+    }
+
+    /// The job reached a terminal state (done record on disk): stamp the
+    /// drain span and close the root.
+    fn closed(&mut self, job_id: &str) {
+        let Some(jt) = self.jobs.remove(job_id) else {
+            return;
+        };
+        let now = jt.sink.now_us();
+        jt.sink
+            .record("drain", "drain", jt.cursor_us, now - jt.cursor_us);
+        jt.root.record(
+            &format!("job:{job_id}"),
+            "job",
+            jt.started_us,
+            now - jt.started_us,
+        );
+        self.spans += 2;
+    }
+
+    /// Close any still-open traces, write the log, publish the counters.
+    fn finish(&mut self, farm: &dyn Recorder) -> Result<(), ServeError> {
+        let open: Vec<String> = self.jobs.keys().cloned().collect();
+        for id in open {
+            self.closed(&id);
+        }
+        write_atomic(&self.out, self.collector.to_jsonl())?;
+        farm.add(Metric::TraceSpans, self.spans);
+        farm.add(Metric::TraceEdges, self.edges);
+        Ok(())
+    }
+}
+
 /// Run the farm until drained (signal or `ctl/drain` marker) or — with
 /// `exit_when_idle` — until there is nothing left to do.
 pub fn run(cfg: FarmConfig) -> Result<DrainReport, ServeError> {
@@ -222,6 +405,7 @@ pub fn run(cfg: FarmConfig) -> Result<DrainReport, ServeError> {
         ctl
     });
 
+    let mut tracer = cfg.trace_out.clone().map(FarmTracer::new);
     let mut queue = JobQueue::new(cfg.queue_cap, cfg.high_watermark);
     let mut seen: HashSet<String> = HashSet::new();
     let mut spool_file: HashMap<String, PathBuf> = HashMap::new();
@@ -261,6 +445,7 @@ pub fn run(cfg: FarmConfig) -> Result<DrainReport, ServeError> {
                 &mut queue,
                 &mut report,
                 farm.as_ref(),
+                &mut tracer,
             )?;
             let now = Instant::now();
             while workers.len() < cfg.max_inflight.max(1) {
@@ -268,14 +453,18 @@ pub fn run(cfg: FarmConfig) -> Result<DrainReport, ServeError> {
                     let r = retries.remove(pos);
                     report.retried += 1;
                     farm.add(Metric::FarmRetries, 1);
-                    workers.push(spawn_worker(r.job, r.attempt, tx.clone()));
+                    let sink = tracer.as_mut().and_then(|t| t.spawned(&r.job, r.attempt));
+                    workers.push(spawn_worker(r.job, r.attempt, tx.clone(), sink));
                 } else {
                     break;
                 }
             }
             while workers.len() < cfg.max_inflight.max(1) {
                 match queue.pop() {
-                    Some(j) => workers.push(spawn_worker(j, 0, tx.clone())),
+                    Some(j) => {
+                        let sink = tracer.as_mut().and_then(|t| t.spawned(&j, 0));
+                        workers.push(spawn_worker(j, 0, tx.clone(), sink));
+                    }
                     None => break,
                 }
             }
@@ -296,6 +485,9 @@ pub fn run(cfg: FarmConfig) -> Result<DrainReport, ServeError> {
                 };
                 let worker = workers.remove(pos);
                 let _ = worker.handle.join();
+                if let Some(t) = tracer.as_mut() {
+                    t.attempt_done(&worker.job.id);
+                }
                 match event.result {
                     Ok(rep) if rep.interrupted => {
                         job::write_done(
@@ -307,6 +499,9 @@ pub fn run(cfg: FarmConfig) -> Result<DrainReport, ServeError> {
                             worker.attempt + 1,
                         )?;
                         report.checkpointed += 1;
+                        if let Some(t) = tracer.as_mut() {
+                            t.closed(&worker.job.id);
+                        }
                     }
                     Ok(rep) => {
                         job::write_done(
@@ -321,6 +516,9 @@ pub fn run(cfg: FarmConfig) -> Result<DrainReport, ServeError> {
                         finish_spool_file(&mut spool_file, &worker.job.id);
                         report.completed += 1;
                         farm.add(Metric::FarmJobsCompleted, 1);
+                        if let Some(t) = tracer.as_mut() {
+                            t.closed(&worker.job.id);
+                        }
                     }
                     Err(failure) => {
                         if let Some(device) = failure.culprit {
@@ -352,6 +550,9 @@ pub fn run(cfg: FarmConfig) -> Result<DrainReport, ServeError> {
                             finish_spool_file(&mut spool_file, &worker.job.id);
                             report.failed += 1;
                             farm.add(Metric::FarmJobsFailed, 1);
+                            if let Some(t) = tracer.as_mut() {
+                                t.closed(&worker.job.id);
+                            }
                         }
                     }
                 }
@@ -374,6 +575,9 @@ pub fn run(cfg: FarmConfig) -> Result<DrainReport, ServeError> {
                     r.attempt,
                 )?;
                 report.checkpointed += 1;
+                if let Some(t) = tracer.as_mut() {
+                    t.closed(&r.job.id);
+                }
             }
             report.drained = true;
             break;
@@ -392,6 +596,7 @@ pub fn run(cfg: FarmConfig) -> Result<DrainReport, ServeError> {
                 &mut queue,
                 &mut report,
                 farm.as_ref(),
+                &mut tracer,
             )?;
             if queue.is_empty() {
                 break;
@@ -401,6 +606,9 @@ pub fn run(cfg: FarmConfig) -> Result<DrainReport, ServeError> {
 
     if let Some(t0) = drain_started {
         farm.observe(Metric::FarmDrainMs, t0.elapsed().as_secs_f64() * 1e3);
+    }
+    if let Some(t) = tracer.as_mut() {
+        t.finish(farm.as_ref())?;
     }
     farm.gauge(Metric::FarmQueueDepth, queue.len() as f64);
     if let Some(ctl) = bus.as_mut() {
@@ -421,6 +629,7 @@ fn scan_spool(
     queue: &mut JobQueue,
     report: &mut DrainReport,
     farm: &dyn Recorder,
+    tracer: &mut Option<FarmTracer>,
 ) -> Result<(), ServeError> {
     let mut paths: Vec<PathBuf> = std::fs::read_dir(spool)?
         .filter_map(|e| e.ok())
@@ -459,8 +668,13 @@ fn scan_spool(
             Ok(spec) => {
                 let id = spec.id.clone();
                 spool_file.insert(id.clone(), path.clone());
+                let admitted = spec.clone();
                 match queue.admit(spec) {
-                    Ok(()) => {}
+                    Ok(()) => {
+                        if let Some(t) = tracer.as_mut() {
+                            t.admitted(&admitted);
+                        }
+                    }
                     Err(e) => {
                         job::write_done(
                             spool,
@@ -567,7 +781,7 @@ mod tests {
             ..a.clone()
         };
         let ctl = Arc::new(SessionCtl::new());
-        run_session(&direct, &ctl, hub().session("direct"), 0).unwrap();
+        run_session(&direct, &ctl, hub().session("direct"), 0, None).unwrap();
         assert_eq!(
             std::fs::read(&a.output).unwrap(),
             std::fs::read(&direct.output).unwrap()
@@ -641,6 +855,47 @@ mod tests {
         let done = done_text(&dir, "j2");
         assert!(done.contains("\"rejected\""), "{done}");
         assert!(done.contains("queue full"), "{done}");
+    }
+
+    #[test]
+    fn trace_out_writes_a_valid_span_dag_with_resume_edges() {
+        signal::reset();
+        let dir = scratch("trace");
+        write_input(&dir.join("in.y4m"), 6);
+        submit(&dir, "clean", None);
+        submit(&dir, "killed", Some(3));
+        let cfg = FarmConfig {
+            trace_out: Some(dir.join("trace.jsonl")),
+            ..farm_cfg(&dir)
+        };
+        let report = run(cfg).unwrap();
+        assert_eq!(report.completed, 2, "{report:?}");
+        let text = std::fs::read_to_string(dir.join("trace.jsonl")).unwrap();
+        assert!(feves_obs::TraceLog::sniff(&text));
+        let log = feves_obs::TraceLog::parse_jsonl(&text).unwrap();
+        feves_obs::validate_dag(&log).unwrap();
+        assert_eq!(log.trace_ids().len(), 2, "one trace per job");
+        // The chaos-killed job's retry must route through a resume edge.
+        let killed = feves_obs::trace::fnv1a64(b"killed");
+        assert!(
+            log.edges
+                .iter()
+                .any(|e| e.trace_id == killed && e.kind == feves_obs::EdgeKind::CheckpointResume),
+            "retried job must carry a checkpoint→resume edge"
+        );
+        // Sessions contributed frame spans under the attempts.
+        assert!(log.spans.iter().any(|s| s.cat == "frame"));
+        // Critical-path buckets tile each job's wall time.
+        let crit = feves_obs::CriticalReport::from_log(&log).unwrap();
+        for j in &crit.jobs {
+            assert!(
+                (j.bucket_sum_us() - j.wall_us).abs() <= j.wall_us * 0.01 + 1.0,
+                "{}: buckets {} vs wall {}",
+                j.name,
+                j.bucket_sum_us(),
+                j.wall_us
+            );
+        }
     }
 
     #[test]

@@ -53,6 +53,10 @@ pub struct JobSpec {
     /// Run the session with inter-frame pipelining (`--pipeline on`).
     /// Scheduling-only: the output bytes are identical either way.
     pub pipeline: bool,
+    /// Record this job into the farm's causal-trace log (when the daemon
+    /// runs with `--trace-out`). Defaults on — tracing is observational
+    /// only; `feves submit --no-trace` opts a job out.
+    pub trace: bool,
 }
 
 impl Default for JobSpec {
@@ -71,6 +75,7 @@ impl Default for JobSpec {
             chaos_kill_at: None,
             chaos_device: None,
             pipeline: false,
+            trace: true,
         }
     }
 }
@@ -111,6 +116,7 @@ impl JobSpec {
             ("chaos_kill_at".into(), opt(self.chaos_kill_at)),
             ("chaos_device".into(), opt(self.chaos_device)),
             ("pipeline".into(), Value::Bool(self.pipeline)),
+            ("trace".into(), Value::Bool(self.trace)),
         ])
     }
 
@@ -158,6 +164,12 @@ impl JobSpec {
             Some(Value::Bool(b)) => *b,
             Some(_) => return Err(bad("'pipeline' must be a boolean")),
         };
+        // Absent in pre-trace spool files: those jobs default to traced.
+        let trace = match v.get("trace") {
+            None | Some(Value::Null) => true,
+            Some(Value::Bool(b)) => *b,
+            Some(_) => return Err(bad("'trace' must be a boolean")),
+        };
         let defaults = JobSpec::default();
         let qp = num("qp", defaults.qp as u64)?;
         if qp > 51 {
@@ -194,6 +206,7 @@ impl JobSpec {
             chaos_kill_at: opt_num("chaos_kill_at")?,
             chaos_device: opt_num("chaos_device")?,
             pipeline,
+            trace,
         })
     }
 
@@ -345,6 +358,7 @@ mod tests {
             chaos_kill_at: Some(5),
             chaos_device: Some(0),
             pipeline: true,
+            trace: false,
             ..JobSpec::default()
         };
         let back = JobSpec::from_json(&job.to_json()).unwrap();
@@ -361,6 +375,7 @@ mod tests {
         assert_eq!(j.chaos_kill_at, None);
         assert_eq!(j.checkpoint_every, 0);
         assert!(!j.pipeline);
+        assert!(j.trace, "pre-trace spool files default to traced");
     }
 
     #[test]

@@ -22,7 +22,7 @@ use feves_ft::ckpt::fnv1a64;
 use feves_ft::{FaultSchedule, FevesError};
 use feves_hetsim::platform::Platform;
 use feves_hetsim::profiles;
-use feves_obs::{NoopRecorder, SessionScope};
+use feves_obs::{NoopRecorder, SessionScope, TraceSink};
 use feves_video::frame::Frame;
 use feves_video::y4m::{Y4mHeader, Y4mReader, Y4mWriter};
 use std::fs::File;
@@ -148,6 +148,7 @@ fn build_job_config(
     // recovered device. Timing only — functional bytes are unaffected.
     cfg.health_jitter = Some(job.seed());
     cfg.pipeline = job.pipeline;
+    cfg.trace = job.trace;
     Ok((platform, cfg))
 }
 
@@ -202,7 +203,9 @@ fn commit_checkpoint(
     mgr: &CheckpointManager,
     ctx: &mut ResumeContext,
     done: usize,
+    trace: Option<&TraceSink>,
 ) -> Result<(), SessionFailure> {
+    let ckpt_start = trace.map(|t| t.now_us());
     let io_fail = |e: &dyn std::fmt::Display| SessionFailure::new(format!("{out_path}: {e}"));
     writer.flush().map_err(|e| io_fail(&e))?;
     let file = writer.get_ref().get_ref();
@@ -215,6 +218,16 @@ fn commit_checkpoint(
     let state = enc.snapshot();
     mgr.write(ctx, &state, &NoopRecorder)
         .map_err(|e| SessionFailure::new(format!("checkpoint {}: {e}", mgr.dir().display())))?;
+    // One wall-clock checkpoint span under the attempt, named by the frame
+    // boundary it committed — the anchor a retry's resume edge points at.
+    if let (Some(t), Some(start)) = (trace, ckpt_start) {
+        t.record(
+            &format!("ckpt{done}"),
+            "checkpoint",
+            start,
+            t.now_us() - start,
+        );
+    }
     Ok(())
 }
 
@@ -228,6 +241,7 @@ pub fn run_session(
     ctl: &Arc<SessionCtl>,
     scope: SessionScope,
     attempt: u32,
+    trace: Option<TraceSink>,
 ) -> Result<SessionReport, SessionFailure> {
     let (input_fp, header, frames) = read_input(&job.input)?;
     let n_frames = frames.len();
@@ -299,6 +313,11 @@ pub fn run_session(
     };
     enc.set_scope(scope);
     enc.set_ctl(ctl.clone());
+    if let Some(sink) = &trace {
+        // Frame/phase/kernel spans parent under the farm's attempt span.
+        enc.set_trace(sink.clone());
+    }
+    let trace = trace.as_ref();
     let mgr = CheckpointManager::new(job.ckpt_dir(), ctx.keep);
 
     let start = ctx.frames_done;
@@ -307,7 +326,7 @@ pub fn run_session(
             // Preemption lands only at frame boundaries; commit a durable
             // checkpoint here regardless of the cadence, so the drain
             // loses zero frames of work.
-            commit_checkpoint(&mut writer, &out_path, &mut enc, &mgr, &mut ctx, i)?;
+            commit_checkpoint(&mut writer, &out_path, &mut enc, &mgr, &mut ctx, i, trace)?;
             return Ok(SessionReport {
                 frames_done: i,
                 n_frames,
@@ -334,7 +353,15 @@ pub fn run_session(
             .map_err(|e| SessionFailure::new(format!("{out_path}: {e}")))?;
         let done = i + 1;
         if ctx.every > 0 && done % ctx.every == 0 && done < n_frames {
-            commit_checkpoint(&mut writer, &out_path, &mut enc, &mgr, &mut ctx, done)?;
+            commit_checkpoint(
+                &mut writer,
+                &out_path,
+                &mut enc,
+                &mgr,
+                &mut ctx,
+                done,
+                trace,
+            )?;
         }
     }
     writer
@@ -403,9 +430,9 @@ mod tests {
         let dir = scratch("session-det");
         write_input(&dir.join("in.y4m"), 6);
         let ctl = Arc::new(SessionCtl::new());
-        let a = run_session(&job(&dir, "a"), &ctl, hub().session("a"), 0).unwrap();
+        let a = run_session(&job(&dir, "a"), &ctl, hub().session("a"), 0, None).unwrap();
         assert_eq!((a.frames_done, a.interrupted), (6, false));
-        let b = run_session(&job(&dir, "b"), &ctl, hub().session("b"), 0).unwrap();
+        let b = run_session(&job(&dir, "b"), &ctl, hub().session("b"), 0, None).unwrap();
         let bytes_a = std::fs::read(job(&dir, "a").output).unwrap();
         let bytes_b = std::fs::read(job(&dir, "b").output).unwrap();
         assert_eq!(a.out_bytes, b.out_bytes);
@@ -421,21 +448,21 @@ mod tests {
         write_input(&dir.join("in.y4m"), 6);
         let baseline = job(&dir, "base");
         let ctl = Arc::new(SessionCtl::new());
-        run_session(&baseline, &ctl, hub().session("base"), 0).unwrap();
+        run_session(&baseline, &ctl, hub().session("base"), 0, None).unwrap();
 
         // Stop before the session starts: it must checkpoint frame 0 work
         // (none) durably and report interrupted.
         let j = job(&dir, "stopped");
         let ctl = Arc::new(SessionCtl::new());
         ctl.request_stop();
-        let rep = run_session(&j, &ctl, hub().session("stopped"), 0).unwrap();
+        let rep = run_session(&j, &ctl, hub().session("stopped"), 0, None).unwrap();
         assert!(rep.interrupted);
         assert!(rep.frames_done < rep.n_frames);
         assert!(j.ckpt_dir().is_dir(), "preemption must leave a checkpoint");
 
         // A later attempt resumes from it and finishes byte-identical.
         let ctl = Arc::new(SessionCtl::new());
-        let rep = run_session(&j, &ctl, hub().session("stopped-2"), 1).unwrap();
+        let rep = run_session(&j, &ctl, hub().session("stopped-2"), 1, None).unwrap();
         assert_eq!((rep.frames_done, rep.interrupted), (6, false));
         assert_eq!(
             std::fs::read(&j.output).unwrap(),
@@ -452,14 +479,14 @@ mod tests {
         j.chaos_kill_at = Some(3);
         let ctl = Arc::new(SessionCtl::new());
         let panicked = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            run_session(&j, &ctl, hub().session("chaos"), 0)
+            run_session(&j, &ctl, hub().session("chaos"), 0, None)
         }));
         assert!(panicked.is_err(), "attempt 0 must hit the chaos kill");
         // Attempt 1 resumes from the frame-2 checkpoint and completes.
-        let rep = run_session(&j, &ctl, hub().session("chaos-2"), 1).unwrap();
+        let rep = run_session(&j, &ctl, hub().session("chaos-2"), 1, None).unwrap();
         assert_eq!((rep.frames_done, rep.interrupted), (6, false));
         let baseline = job(&dir, "cbase");
-        run_session(&baseline, &ctl, hub().session("cbase"), 0).unwrap();
+        run_session(&baseline, &ctl, hub().session("cbase"), 0, None).unwrap();
         assert_eq!(
             std::fs::read(&j.output).unwrap(),
             std::fs::read(&baseline.output).unwrap(),
@@ -472,7 +499,7 @@ mod tests {
         let dir = scratch("session-missing");
         let j = job(&dir, "missing");
         let ctl = Arc::new(SessionCtl::new());
-        let err = run_session(&j, &ctl, hub().session("missing"), 0).unwrap_err();
+        let err = run_session(&j, &ctl, hub().session("missing"), 0, None).unwrap_err();
         assert!(err.culprit.is_none());
         assert!(err.message.contains("in.y4m"));
     }

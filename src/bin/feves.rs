@@ -8,7 +8,8 @@
 //! feves serve <spool> [options]            supervised encode-farm daemon
 //! feves submit <spool> <in.y4m> [out]      drop an encode job into a spool
 //! feves drain <spool>                      ask the daemon to drain and exit
-//! feves trace [options]                    print a steady-state frame Gantt
+//! feves trace [options|trace.jsonl]        steady-state frame Gantt, or analyze
+//!                                          a farm causal-trace log
 //! feves stats [options|live.json]          run + print the metrics summary
 //! feves top <live.json> [--once]           live dashboard over a snapshot file
 //! feves report <flight.jsonl|live.json> [--html]  audit a flight log / live run
@@ -28,7 +29,11 @@
 //! `--checkpoint-dir <dir>`, `--checkpoint-keep <n>`,
 //! `--live-out <path>` (periodic atomic live snapshots for `feves top`),
 //! `--live-every <ms>` (snapshot period, default 250),
-//! `--interval <ms>` / `--once` (`top` refresh control).
+//! `--interval <ms>` / `--once` (`top` refresh control),
+//! `--strict` (`top --once`: non-zero exit when telemetry events were
+//! dropped), `--trace-out <path>` (`serve`: farm-wide causal-trace JSONL),
+//! `--no-trace` (`submit`: opt this job out of farm tracing),
+//! `--perfetto <out.json>` (`trace <log>`: convert to Perfetto JSON).
 //!
 //! Exit codes: 0 success, 1 runtime failure (one-line `error:` on stderr,
 //! no usage banner) or a failed `compare` gate, 2 usage error (banner
@@ -104,6 +109,10 @@ struct Options {
     chaos_device: Option<usize>,
     pipeline: bool,
     metric: Option<String>,
+    trace_out: Option<String>,
+    no_trace: bool,
+    strict: bool,
+    perfetto: Option<String>,
 }
 
 impl Default for Options {
@@ -144,6 +153,10 @@ impl Default for Options {
             chaos_device: None,
             pipeline: false,
             metric: None,
+            trace_out: None,
+            no_trace: false,
+            strict: false,
+            perfetto: None,
         }
     }
 }
@@ -256,6 +269,10 @@ fn parse_options(args: &[String]) -> Result<(Options, Vec<String>), String> {
                 }
             }
             "--metric" => opts.metric = Some(grab()?.clone()),
+            "--trace-out" => opts.trace_out = Some(grab()?.clone()),
+            "--no-trace" => opts.no_trace = true,
+            "--strict" => opts.strict = true,
+            "--perfetto" => opts.perfetto = Some(grab()?.clone()),
             _ if a.starts_with("--") => return Err(format!("unknown option {a}")),
             _ => positional.push(a.clone()),
         }
@@ -680,6 +697,37 @@ fn cmd_trace(opts: &Options) -> CliResult {
     write_metrics(&rec, &opts.metrics_out)
 }
 
+/// `feves trace <trace.jsonl>`: analyze a farm's causal-trace log (written
+/// by `feves serve --trace-out`) — validate the span DAG, then either print
+/// per-job critical-path attribution with what-if projections, or convert
+/// the whole log to Perfetto-loadable JSON with `--perfetto <out.json>`.
+fn cmd_trace_log(opts: &Options, input: &str) -> CliResult {
+    let text =
+        std::fs::read_to_string(input).map_err(|e| CliError::runtime(format!("{input}: {e}")))?;
+    if !feves::obs::TraceLog::sniff(&text) {
+        return Err(CliError::runtime(format!(
+            "{input}: not a causal-trace log (missing feves-trace/1 header); \
+             `feves serve --trace-out` writes one"
+        )));
+    }
+    let log = feves::obs::TraceLog::parse_jsonl(&text)
+        .map_err(|e| CliError::runtime(format!("{input}: {e}")))?;
+    feves::obs::validate_dag(&log).map_err(|e| CliError::runtime(format!("{input}: {e}")))?;
+    if let Some(path) = &opts.perfetto {
+        write_atomic(path, log.to_perfetto().to_json())
+            .map_err(|e| CliError::runtime(format!("{path}: {e}")))?;
+        eprintln!(
+            "perfetto trace written to {path} ({} span(s), {} edge(s))",
+            log.spans.len(),
+            log.edges.len()
+        );
+        return Ok(());
+    }
+    let report = feves::obs::CriticalReport::from_log(&log).map_err(CliError::runtime)?;
+    print!("{}", report.render_text(&log));
+    Ok(())
+}
+
 /// Read a Y4M input entirely, returning its raw bytes' fingerprint plus the
 /// parsed header and frames.
 fn read_input(input: &str) -> CliResult<(u64, Y4mHeader, Vec<Frame>)> {
@@ -1067,6 +1115,14 @@ fn cmd_top(opts: &Options, input: &str) -> CliResult {
                 }
             }
             print!("{}", snap.render_top());
+            // Lossy telemetry means every rate and rollup below is a floor,
+            // not a measurement; `--strict` lets CI refuse to trust it.
+            if opts.strict && snap.dropped_events() > 0 {
+                return Err(CliError::runtime(format!(
+                    "{input}: {} telemetry event(s) dropped — snapshot rejected by --strict",
+                    snap.dropped_events()
+                )));
+            }
             return Ok(());
         }
         // Clear + home, then one dashboard frame. The snapshot file is
@@ -1098,6 +1154,7 @@ fn cmd_serve(opts: &Options, spool: &str) -> CliResult {
         exit_when_idle: opts.exit_when_idle,
         live_out: opts.live_out.clone().map(PathBuf::from),
         live_every_ms: opts.live_every_ms,
+        trace_out: opts.trace_out.clone().map(PathBuf::from),
         ..feves::serve::FarmConfig::default()
     };
     eprintln!(
@@ -1145,6 +1202,7 @@ fn cmd_submit(opts: &Options, spool: &str, input: &str, output: Option<&str>) ->
         chaos_kill_at: opts.chaos_kill_at,
         chaos_device: opts.chaos_device,
         pipeline: opts.pipeline,
+        trace: !opts.no_trace,
     };
     let path = feves::serve::job::write_job(std::path::Path::new(spool), &job)
         .map_err(CliError::runtime)?;
@@ -1238,13 +1296,15 @@ fn usage() {
          \u{20}  simulate [options]              timing-only 1080p run\n\
          \u{20}  encode <in.y4m> [out] [options] functional Y4M encode\n\
          \u{20}  resume <ckpt|dir>               continue a crashed encode session\n\
-         \u{20}  trace [options]                 steady-state frame Gantt\n\
+         \u{20}  trace [options|trace.jsonl]     steady-state frame Gantt, or\n\
+         \u{20}    [--perfetto <out.json>]       critical-path analysis of a farm\n\
+         \u{20}                                  causal-trace log (serve --trace-out)\n\
          \u{20}  stats [options|live.json]       run + print the metrics summary,\n\
          \u{20}                                  or tabulate a live snapshot\n\
          \u{20}  serve <spool> [options]         supervised encode-farm daemon\n\
          \u{20}  submit <spool> <in.y4m> [out]   drop an encode job into a spool\n\
          \u{20}  drain <spool>                   ask the daemon to drain and exit\n\
-         \u{20}  top <live.json> [--once] [--interval <ms>]     live dashboard\n\
+         \u{20}  top <live.json> [--once] [--strict] [--interval <ms>]  live dashboard\n\
          \u{20}  report <flight.jsonl|live.json> [--html] [--out <path>]  audit a\n\
          \u{20}                                  flight log or a live snapshot\n\
          \u{20}  compare <baseline> <new> [--threshold <f>] [--metric <filter>]  regression gate\n\n\
@@ -1265,19 +1325,25 @@ fn usage() {
          \u{20}        --interval <ms>                 top: refresh period (default 1000)\n\
          \u{20}        --once                          top: render one frame and exit\n\
          \u{20}        --allow-stale                   top --once: render even a stale snapshot\n\
+         \u{20}        --strict                        top --once: exit non-zero when the\n\
+         \u{20}                                        snapshot dropped telemetry events\n\
          \u{20}        --queue-cap <n>                 serve: admission queue bound (default 64)\n\
          \u{20}        --high-watermark <n>            serve: reject line (default queue cap)\n\
          \u{20}        --max-inflight <n>              serve: concurrent sessions (default 2)\n\
          \u{20}        --retry-budget <n>              serve: retries per job (default 2)\n\
          \u{20}        --poll-ms <ms>                  serve: spool poll period (default 50)\n\
          \u{20}        --exit-when-idle                serve: exit when the spool runs dry\n\
+         \u{20}        --trace-out <path>              serve: farm-wide causal-trace JSONL\n\
+         \u{20}                                        (analyze with `feves trace <path>`)\n\
+         \u{20}        --no-trace                      submit: opt this job out of tracing\n\
          \u{20}        --id <name>                     submit: explicit job id\n\
          \u{20}        --chaos-kill-at <frame>         submit: panic the session there (attempt 0)\n\
          \u{20}        --chaos-device <dev>            submit: device a chaos kill is blamed on\n\
          \u{20}        --pipeline on|off               overlap inter-frame phases across devices\n\
          \u{20}                                        (scheduling only; output bytes identical)\n\
-         \u{20}        --metric <filter>               compare: gate only metrics matching <filter>\n\
-         \u{20}                                        (idle_pct also gates the overlap win)"
+         \u{20}        --metric <filter>               compare: gate only metrics matching the\n\
+         \u{20}                                        comma-separated filter list, e.g.\n\
+         \u{20}                                        idle_pct,critical_path_us"
     );
 }
 
@@ -1304,7 +1370,12 @@ fn main() -> ExitCode {
                 .map_err(CliError::Usage)
         }
         "simulate" => parse_cli(rest).and_then(|(o, _)| cmd_simulate(&o)),
-        "trace" => parse_cli(rest).and_then(|(o, _)| cmd_trace(&o)),
+        "trace" => parse_cli(rest).and_then(|(o, pos)| match pos.first() {
+            // With a positional file, analyze that causal-trace log instead
+            // of simulating a steady-state frame.
+            Some(path) => cmd_trace_log(&o, path),
+            None => cmd_trace(&o),
+        }),
         "stats" => parse_cli(rest).and_then(|(o, pos)| match pos.first() {
             // With a positional file, render that live snapshot instead of
             // running a fresh simulation.

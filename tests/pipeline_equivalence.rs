@@ -271,7 +271,7 @@ fn farm_session_output_is_mode_invariant() {
             ..JobSpec::default()
         };
         let ctl = Arc::new(SessionCtl::new());
-        let rep = run_session(&job, &ctl, feves::obs::hub().session(&job.id), 0).unwrap();
+        let rep = run_session(&job, &ctl, feves::obs::hub().session(&job.id), 0, None).unwrap();
         assert_eq!(rep.frames_done, 6);
         outputs.push(std::fs::read(&job.output).unwrap());
     }
@@ -303,10 +303,10 @@ fn chaos_killed_pipelined_farm_job_recovers_mode_invariant() {
         };
         let ctl = Arc::new(SessionCtl::new());
         let killed = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            run_session(&job, &ctl, feves::obs::hub().session(&job.id), 0)
+            run_session(&job, &ctl, feves::obs::hub().session(&job.id), 0, None)
         }));
         assert!(killed.is_err(), "{tag}: attempt 0 must hit the chaos kill");
-        let rep = run_session(&job, &ctl, feves::obs::hub().session(&job.id), 1).unwrap();
+        let rep = run_session(&job, &ctl, feves::obs::hub().session(&job.id), 1, None).unwrap();
         assert_eq!(rep.frames_done, 6, "{tag}: retry must complete");
         outputs.push(std::fs::read(&job.output).unwrap());
     }
