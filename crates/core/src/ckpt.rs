@@ -31,14 +31,16 @@ use crate::framework::{FrameworkState, FtStats};
 use feves_codec::rate::RateSnapshot;
 use feves_ft::ckpt::fnv1a64;
 use feves_ft::crash::crash_point;
+use feves_ft::io::{backend_for, classify, retry_io, IoErrorClass};
 use feves_ft::{
-    ByteReader, ByteWriter, CheckpointBlob, DeviceHealth, DriftSnapshot, FevesError, HealthSnapshot,
+    ByteReader, ByteWriter, CheckpointBlob, DeviceHealth, DriftSnapshot, FevesError,
+    HealthSnapshot, RetryPolicy,
 };
 use feves_hetsim::noise::NoiseState;
 use feves_obs::{Metric, Recorder};
 use feves_sched::{DevicePrediction, Distribution, PerfChar, PredictedTimes};
 use feves_video::plane::Plane;
-use std::fs::{self, File};
+use std::fs;
 use std::io::Write;
 use std::path::{Path, PathBuf};
 use std::time::Instant;
@@ -111,6 +113,12 @@ pub struct ResumeContext {
     /// never changes the bitstream bytes, so a job checkpointed lockstep may
     /// legitimately resume pipelined (and vice versa).
     pub pipeline: bool,
+    /// CRC-32 of the first `out_bytes` of the output artifact at commit
+    /// time. Resume re-hashes the truncated prefix and rejects the
+    /// checkpoint when it differs — post-crash bit-rot on the artifact must
+    /// not be silently extended into a "complete" bitstream. Excluded from
+    /// [`Self::fingerprint`] (it is progress, not job identity).
+    pub out_crc: u32,
 }
 
 impl ResumeContext {
@@ -167,6 +175,7 @@ impl ResumeContext {
         w.put_u64(self.out_bytes);
         w.put_u64(self.input_fingerprint);
         w.put_bool(self.pipeline);
+        w.put_u32(self.out_crc);
         w.into_bytes()
     }
 
@@ -216,6 +225,7 @@ impl ResumeContext {
             out_bytes: r.take_u64()?,
             input_fingerprint: r.take_u64()?,
             pipeline: r.take_bool()?,
+            out_crc: r.take_u32()?,
         };
         r.expect_end("META section")?;
         Ok(ctx)
@@ -726,20 +736,42 @@ impl CheckpointManager {
         let bytes = encode_checkpoint(ctx, state).to_bytes();
         let tmp = self.dir.join(format!(".ckpt-{:06}.tmp", ctx.frames_done));
         let dest = self.dir.join(generation_name(ctx.frames_done));
-        {
-            let mut f = File::create(&tmp)?;
-            // Two writes with a crash hook between them so the chaos
-            // harness can produce a genuinely torn temp file.
-            let half = bytes.len() / 2;
-            f.write_all(&bytes[..half])?;
-            crash_point("ckpt-mid-write");
-            f.write_all(&bytes[half..])?;
-            f.sync_all()?;
+        let backend = backend_for(&self.dir);
+        let policy = RetryPolicy::new(
+            std::time::Duration::from_millis(2),
+            3,
+            ctx.fingerprint() ^ ctx.frames_done as u64,
+        );
+        // The whole temp-write-then-rename sequence re-runs on a transient
+        // fault: a torn temp or torn rename destination from the failed
+        // attempt is simply overwritten by the next one.
+        let (result, retries) = retry_io(&policy, || {
+            {
+                let mut f = backend.create(&tmp)?;
+                // Two writes with a crash hook between them so the chaos
+                // harness can produce a genuinely torn temp file.
+                let half = bytes.len() / 2;
+                f.write_all(&bytes[..half])?;
+                crash_point("ckpt-mid-write");
+                f.write_all(&bytes[half..])?;
+                f.sync()?;
+            }
+            crash_point("ckpt-temp");
+            backend.rename(&tmp, &dest)?;
+            crash_point("ckpt-rename");
+            Ok(())
+        });
+        if retries > 0 && rec.enabled() {
+            rec.add(Metric::IoRetries, u64::from(retries));
         }
-        crash_point("ckpt-temp");
-        fs::rename(&tmp, &dest)?;
-        crash_point("ckpt-rename");
-        sync_dir(&self.dir);
+        if let Err(e) = result {
+            if rec.enabled() && classify(&e) == IoErrorClass::Enospc {
+                rec.add(Metric::IoEnospcEvents, 1);
+            }
+            let _ = backend.remove_file(&tmp);
+            return Err(e);
+        }
+        let _ = backend.sync_dir(&self.dir);
         self.prune();
         if rec.enabled() {
             rec.add(Metric::CkptWrites, 1);
@@ -791,19 +823,11 @@ fn list_generations(dir: &Path) -> Vec<(usize, PathBuf)> {
     out
 }
 
-fn sync_dir(dir: &Path) {
-    #[cfg(unix)]
-    if let Ok(d) = File::open(dir) {
-        let _ = d.sync_all();
-    }
-    #[cfg(not(unix))]
-    let _ = dir;
-}
-
 /// Load and validate one checkpoint file: read, CRC/version/structure
 /// checks, decode. Read failures count as corrupt (the caller falls back).
 pub fn load_checkpoint_file(path: &Path) -> Result<(ResumeContext, FrameworkState), FevesError> {
-    let bytes = fs::read(path)
+    let bytes = backend_for(path)
+        .read(path)
         .map_err(|e| FevesError::CheckpointCorrupt(format!("read {}: {e}", path.display())))?;
     let blob = CheckpointBlob::from_bytes(&bytes)?;
     decode_checkpoint(&blob)
@@ -871,6 +895,7 @@ mod tests {
             out_bytes: 123_456,
             input_fingerprint: 0xDEAD_BEEF_F00D_CAFE,
             pipeline: true,
+            out_crc: 0x1234_5678,
         }
     }
 
@@ -1120,6 +1145,31 @@ mod tests {
         let (_, ctx2, _, _) = load_latest(&dir).unwrap();
         assert_eq!(ctx2.frames_done, ctx.frames_done);
         let _ = fs::remove_dir_all(&dir);
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::test_runner::ProptestConfig::with_cases(48))]
+
+        /// Bit-flips anywhere in a full checkpoint image decode to a typed
+        /// error (container CRC layer), and truncations likewise — decoding
+        /// adversarial images never panics or silently succeeds.
+        #[test]
+        fn mutated_checkpoint_images_fail_typed(
+            flip_sel in proptest::any::<u64>(),
+            bit in 0u8..8,
+            cut_sel in proptest::any::<u64>(),
+        ) {
+            let bytes = encode_checkpoint(&sample_ctx(), &sample_state(2)).to_bytes();
+            let mut flipped = bytes.clone();
+            let idx = (flip_sel % flipped.len() as u64) as usize;
+            flipped[idx] ^= 1 << bit;
+            let res = CheckpointBlob::from_bytes(&flipped).and_then(|b| decode_checkpoint(&b));
+            proptest::prop_assert!(res.is_err(), "flip at byte {} decoded silently", idx);
+
+            let cut = (cut_sel % bytes.len() as u64) as usize;
+            let res = CheckpointBlob::from_bytes(&bytes[..cut]).and_then(|b| decode_checkpoint(&b));
+            proptest::prop_assert!(res.is_err(), "truncation to {} decoded silently", cut);
+        }
     }
 
     #[test]

@@ -59,6 +59,7 @@ use std::time::Instant;
 #[derive(Debug, Default)]
 pub struct SessionCtl {
     stop: AtomicBool,
+    ckpt_shed: AtomicBool,
     lease: Mutex<Option<Vec<bool>>>,
 }
 
@@ -77,6 +78,19 @@ impl SessionCtl {
     /// Whether a cooperative stop has been requested.
     pub fn stop_requested(&self) -> bool {
         self.stop.load(Ordering::Acquire)
+    }
+
+    /// Toggle checkpoint shedding (disk-pressure degradation): while set,
+    /// the session skips *cadence* checkpoints — preemption and final
+    /// commits still run, so durability of completed work is never traded
+    /// away, only the optional mid-flight generations.
+    pub fn set_ckpt_shed(&self, shed: bool) {
+        self.ckpt_shed.store(shed, Ordering::Release);
+    }
+
+    /// Whether cadence checkpoints are currently shed.
+    pub fn ckpt_shed(&self) -> bool {
+        self.ckpt_shed.load(Ordering::Acquire)
     }
 
     /// Replace the device lease (`None` = every device usable).

@@ -125,6 +125,7 @@ fn serialized_checkpoint_restores_bit_identically_too() {
         out_bytes: 0,
         input_fingerprint: 7,
         pipeline: false,
+        out_crc: 0,
     };
     let bytes = feves_core::encode_checkpoint(&ctx, &snap.unwrap()).to_bytes();
     let blob = feves_ft::CheckpointBlob::from_bytes(&bytes).unwrap();

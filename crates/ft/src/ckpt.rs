@@ -35,11 +35,16 @@ pub const CKPT_MAGIC: [u8; 8] = *b"FEVESCKP";
 
 /// Current checkpoint format version. Bump on any wire-format change.
 /// v2: META gained the trailing `pipeline` flag.
-pub const CKPT_VERSION: u32 = 2;
+/// v3: META gained the trailing `out_crc` artifact-prefix checksum.
+pub const CKPT_VERSION: u32 = 3;
 
-/// CRC-32 (IEEE 802.3, reflected, init/xorout `0xFFFF_FFFF`) over `bytes`.
-pub fn crc32(bytes: &[u8]) -> u32 {
-    let mut crc = 0xFFFF_FFFFu32;
+/// Initial state for the incremental CRC-32 ([`crc32_update`]).
+pub const CRC32_INIT: u32 = 0xFFFF_FFFF;
+
+/// Fold `bytes` into a running CRC-32 state. Start from [`CRC32_INIT`],
+/// finish by complementing (`!state`) — [`crc32`] does both in one shot;
+/// streaming writers (`ft::io::CrcFile`) keep the raw state across chunks.
+pub fn crc32_update(mut crc: u32, bytes: &[u8]) -> u32 {
     for &b in bytes {
         crc ^= b as u32;
         for _ in 0..8 {
@@ -47,7 +52,12 @@ pub fn crc32(bytes: &[u8]) -> u32 {
             crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
         }
     }
-    !crc
+    crc
+}
+
+/// CRC-32 (IEEE 802.3, reflected, init/xorout `0xFFFF_FFFF`) over `bytes`.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    !crc32_update(CRC32_INIT, bytes)
 }
 
 /// 64-bit FNV-1a hash, used for job fingerprints (not integrity — that is

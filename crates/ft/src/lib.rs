@@ -28,6 +28,10 @@
 //!   versioned section container) shared by the crash-safe session layer.
 //! - [`crash`] — env-armed deterministic crash points for the process-kill
 //!   chaos harness.
+//! - [`io`] — the fault-injectable I/O seam ([`IoBackend`]): every durable
+//!   write in the workspace routes through it, so storage chaos tests can
+//!   overlay seeded ENOSPC/EIO/short-write/torn-rename/bit-rot schedules
+//!   on a path prefix without touching the code under test.
 
 pub mod ckpt;
 pub mod crash;
@@ -36,6 +40,7 @@ pub mod drift;
 pub mod error;
 pub mod fault;
 pub mod health;
+pub mod io;
 pub mod retry;
 
 pub use ckpt::{ByteReader, ByteWriter, CheckpointBlob, CKPT_VERSION};
@@ -44,4 +49,8 @@ pub use drift::{DriftConfig, DriftDetector, DriftSnapshot};
 pub use error::{DeviceFault, FaultCause, FevesError};
 pub use fault::{FaultKind, FaultSchedule, FaultSpec};
 pub use health::{DeviceHealth, HealthSnapshot, HealthTracker};
+pub use io::{
+    backend_for, classify, inject, retry_io, CrcFile, FaultPlan, FaultScope, FaultyIo, IoBackend,
+    IoErrorClass, IoFile, RealIo,
+};
 pub use retry::RetryPolicy;

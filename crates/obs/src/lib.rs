@@ -61,7 +61,7 @@ pub use flight::{
 };
 pub use histogram::Histogram;
 pub use live::{build_snapshot, LiveSnapshot};
-pub use persist::write_atomic;
+pub use persist::{sweep_orphans, write_atomic};
 pub use recorder::{MemoryRecorder, NoopRecorder, Recorder, Span, SpanStat};
 pub use report::render_html;
 pub use scope::{hub, DeviceLive, RetiredSession, SessionScope, TelemetryHub};
@@ -193,10 +193,22 @@ pub enum Metric {
     /// Causal-trace edges recorded (queue→admit, checkpoint→resume,
     /// pipeline-overlap links).
     TraceEdges,
+    /// Transient-I/O retries spent by durable writers (checkpoints,
+    /// `write_atomic`, spool/done control files).
+    IoRetries,
+    /// Writes that failed with ENOSPC (disk full) — the farm's
+    /// disk-pressure trigger.
+    IoEnospcEvents,
+    /// Corrupt control files / artifacts rejected by CRC or structural
+    /// validation (quarantined, never trusted).
+    IoCorruptRejected,
+    /// Farm disk-pressure state (1 = admission paused at the free-space low
+    /// watermark, 0 = healthy).
+    FarmDiskPressure,
 }
 
 /// Definitions for every [`Metric`], in `Metric` discriminant order.
-pub static REGISTRY: [MetricDef; 38] = [
+pub static REGISTRY: [MetricDef; 42] = [
     MetricDef {
         name: "sched.overhead_us",
         unit: "us",
@@ -437,11 +449,38 @@ pub static REGISTRY: [MetricDef; 38] = [
         kind: MetricKind::Counter,
         wall_clock: true,
     },
+    // The io.* counters and the disk-pressure gauge are wall_clock: fault
+    // schedules and free-space probes depend on host state, so they surface
+    // in live snapshots but stay out of deterministic exports.
+    MetricDef {
+        name: "io.retries",
+        unit: "retries",
+        kind: MetricKind::Counter,
+        wall_clock: true,
+    },
+    MetricDef {
+        name: "io.enospc_events",
+        unit: "events",
+        kind: MetricKind::Counter,
+        wall_clock: true,
+    },
+    MetricDef {
+        name: "io.corrupt_rejected",
+        unit: "files",
+        kind: MetricKind::Counter,
+        wall_clock: true,
+    },
+    MetricDef {
+        name: "farm.disk_pressure",
+        unit: "state",
+        kind: MetricKind::Gauge,
+        wall_clock: true,
+    },
 ];
 
 impl Metric {
     /// All metrics, in registry order.
-    pub const ALL: [Metric; 38] = [
+    pub const ALL: [Metric; 42] = [
         Metric::SchedOverheadUs,
         Metric::FrameTau1Ms,
         Metric::FrameTau2Ms,
@@ -480,6 +519,10 @@ impl Metric {
         Metric::PipelineStallRecoveredUs,
         Metric::TraceSpans,
         Metric::TraceEdges,
+        Metric::IoRetries,
+        Metric::IoEnospcEvents,
+        Metric::IoCorruptRejected,
+        Metric::FarmDiskPressure,
     ];
 
     /// Registry index.

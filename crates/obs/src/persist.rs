@@ -1,20 +1,32 @@
 //! Crash-safe artifact persistence.
 //!
 //! Every file the framework emits for a human or a downstream tool — flight
-//! JSONL, metrics JSON, bench results, HTML reports — goes through
-//! [`write_atomic`]: write the full payload to a temp file *in the same
-//! directory*, fsync it, then `rename` over the destination. POSIX rename is
-//! atomic within a filesystem, so a reader (or a crash at any instant) sees
-//! either the complete old file or the complete new file — never a torn one.
+//! JSONL, metrics JSON, bench results, HTML reports, spool/done control
+//! files — goes through [`write_atomic`]: write the full payload to a temp
+//! file *in the same directory*, fsync it, then `rename` over the
+//! destination. POSIX rename is atomic within a filesystem, so a reader (or
+//! a crash at any instant) sees either the complete old file or the
+//! complete new file — never a torn one.
 //!
 //! The temp file lives next to the destination (not in `/tmp`) because
 //! `rename(2)` cannot cross filesystems; the name embeds the destination
 //! file name plus the process id so concurrent writers to *different* files
 //! in one directory never collide.
+//!
+//! All filesystem side effects route through the [`feves_ft::io`] backend
+//! seam, so storage chaos tests can inject ENOSPC / EIO / torn renames here
+//! without touching this code. Transient faults are retried under a small
+//! bounded [`RetryPolicy`]; retries and disk-full events are accounted on
+//! the global recorder (`io.retries`, `io.enospc_events`).
 
-use std::fs::{self, File};
-use std::io::{self, Write};
+use std::io;
 use std::path::{Path, PathBuf};
+use std::time::Duration;
+
+use feves_ft::io::{backend_for, classify, retry_io, IoErrorClass};
+use feves_ft::RetryPolicy;
+
+use crate::Metric;
 
 /// Temp-file path for an atomic write to `dest`: same directory,
 /// `.<name>.<pid>.tmp`.
@@ -27,26 +39,63 @@ fn temp_path_for(dest: &Path) -> PathBuf {
     dir.join(format!(".{name}.{}.tmp", std::process::id()))
 }
 
+/// Retry policy for transient I/O faults on durable control/artifact
+/// writes: three quick attempts, seeded off the destination name so delays
+/// decorrelate across concurrent writers.
+fn io_policy(dest: &Path) -> RetryPolicy {
+    let seed = feves_ft::ckpt::fnv1a64(dest.as_os_str().as_encoded_bytes());
+    RetryPolicy::new(Duration::from_millis(2), 3, seed)
+}
+
 /// Durably replace `dest` with `bytes`: temp file in the same directory →
 /// write → fsync → atomic rename → directory fsync (best-effort on
 /// non-unix). On any error the temp file is removed and `dest` is left
-/// exactly as it was.
+/// exactly as it was. Transient EIO is retried (the whole
+/// write-then-rename sequence re-runs, so a torn temp or torn rename
+/// destination is simply overwritten); ENOSPC is surfaced immediately.
 pub fn write_atomic(dest: impl AsRef<Path>, bytes: impl AsRef<[u8]>) -> io::Result<()> {
     let dest = dest.as_ref();
+    let bytes = bytes.as_ref();
+    let backend = backend_for(dest);
     let tmp = temp_path_for(dest);
-    let result = (|| {
-        let mut f = File::create(&tmp)?;
-        f.write_all(bytes.as_ref())?;
-        f.sync_all()?;
-        drop(f);
-        fs::rename(&tmp, dest)?;
-        sync_parent_dir(dest);
-        Ok(())
-    })();
-    if result.is_err() {
-        let _ = fs::remove_file(&tmp);
+    let (result, retries) = retry_io(&io_policy(dest), || {
+        backend.write_file(&tmp, bytes)?;
+        backend.rename(&tmp, dest)
+    });
+    let rec = crate::global();
+    if retries > 0 {
+        rec.add(Metric::IoRetries, u64::from(retries));
     }
-    result
+    match result {
+        Ok(()) => {
+            sync_parent_dir(dest);
+            Ok(())
+        }
+        Err(e) => {
+            if classify(&e) == IoErrorClass::Enospc {
+                rec.add(Metric::IoEnospcEvents, 1);
+            }
+            let _ = backend.remove_file(&tmp);
+            Err(e)
+        }
+    }
+}
+
+/// Remove orphaned `write_atomic` temp files (`.<name>.<pid>.tmp`) left in
+/// `dir` by a crash mid-write. Returns how many were swept. Any process id
+/// is matched — the orphan may belong to a previous daemon incarnation.
+pub fn sweep_orphans(dir: impl AsRef<Path>) -> io::Result<usize> {
+    let dir = dir.as_ref();
+    let mut swept = 0;
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let name = entry.file_name().to_string_lossy().into_owned();
+        if name.starts_with('.') && name.ends_with(".tmp") && entry.path().is_file() {
+            backend_for(&entry.path()).remove_file(&entry.path())?;
+            swept += 1;
+        }
+    }
+    Ok(swept)
 }
 
 /// fsync the directory containing `path` so the rename itself is durable.
@@ -54,24 +103,22 @@ pub fn write_atomic(dest: impl AsRef<Path>, bytes: impl AsRef<[u8]>) -> io::Resu
 /// the data file is already synced, only the rename's durability window
 /// widens.
 pub(crate) fn sync_parent_dir(path: &Path) {
-    #[cfg(unix)]
     if let Some(dir) = path.parent() {
         let dir = if dir.as_os_str().is_empty() {
             Path::new(".")
         } else {
             dir
         };
-        if let Ok(d) = File::open(dir) {
-            let _ = d.sync_all();
-        }
+        let _ = backend_for(dir).sync_dir(dir);
     }
-    #[cfg(not(unix))]
-    let _ = path;
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use feves_ft::io::{inject, FaultPlan, FaultyIo};
+    use std::fs;
+    use std::sync::Arc;
 
     fn scratch_dir(tag: &str) -> PathBuf {
         let dir = std::env::temp_dir().join(format!("feves-persist-{tag}-{}", std::process::id()));
@@ -116,5 +163,66 @@ mod tests {
         let name = t.file_name().unwrap().to_string_lossy().into_owned();
         assert!(name.starts_with(".report.html."), "{name}");
         assert!(name.ends_with(".tmp"), "{name}");
+    }
+
+    #[test]
+    fn transient_faults_are_retried_to_success() {
+        let dir = scratch_dir("retry");
+        let dest = dir.join("out.json");
+        let faulty = Arc::new(FaultyIo::new(FaultPlan {
+            seed: 5,
+            transient_eio_per_mille: 250,
+            torn_rename_per_mille: 150,
+            ..FaultPlan::default()
+        }));
+        let _scope = inject(&dir, faulty.clone());
+        let mut failures = 0;
+        for i in 0..40 {
+            let payload = format!("payload {i}");
+            match write_atomic(&dest, payload.as_bytes()) {
+                // A successful return always means the complete payload
+                // landed — retries must re-run the whole sequence.
+                Ok(()) => assert_eq!(fs::read(&dest).unwrap(), payload.as_bytes()),
+                // Budget exhaustion under an unlucky streak is allowed and
+                // may leave a torn destination (an injected torn rename is
+                // a simulated kernel crash); callers detect that via the
+                // CRC framing layered on top.
+                Err(_) => failures += 1,
+            }
+        }
+        let c = faulty.counts();
+        assert!(c.transient_eio + c.torn_renames > 0, "no faults fired");
+        assert!(failures < 40, "every write failed — retries not working");
+        drop(_scope);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn enospc_is_not_retried_and_surfaces_typed() {
+        let dir = scratch_dir("enospc");
+        let dest = dir.join("out.json");
+        let faulty = Arc::new(FaultyIo::new(FaultPlan {
+            seed: 9,
+            enospc_per_mille: 1000,
+            ..FaultPlan::default()
+        }));
+        let _scope = inject(&dir, faulty);
+        let err = write_atomic(&dest, b"x").unwrap_err();
+        assert_eq!(classify(&err), IoErrorClass::Enospc);
+        assert!(!dest.exists());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn sweep_orphans_removes_only_temp_droppings() {
+        let dir = scratch_dir("sweep");
+        fs::write(dir.join(".out.json.12345.tmp"), b"torn").unwrap();
+        fs::write(dir.join(".other.99.tmp"), b"torn").unwrap();
+        fs::write(dir.join("keep.json"), b"real").unwrap();
+        let swept = sweep_orphans(&dir).unwrap();
+        assert_eq!(swept, 2);
+        assert!(dir.join("keep.json").exists());
+        assert!(!dir.join(".out.json.12345.tmp").exists());
+        let _ = fs::remove_dir_all(&dir);
     }
 }

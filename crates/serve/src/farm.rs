@@ -28,14 +28,15 @@
 use crate::job::{self, JobSpec, JobStatus};
 use crate::partition;
 use crate::queue::JobQueue;
-use crate::session::{fleet_platform, run_session, SessionFailure, SessionReport};
+use crate::session::{fleet_platform, run_session, verify_artifact, SessionFailure, SessionReport};
 use crate::signal;
 use crate::ServeError;
 use feves_core::SessionCtl;
+use feves_ft::io::backend_for;
 use feves_ft::{HealthTracker, RetryPolicy};
 use feves_obs::{
-    hub, write_atomic, BusController, EdgeKind, LiveConfig, Metric, Recorder, TraceCollector,
-    TraceCtx, TraceSink,
+    hub, sweep_orphans, write_atomic, BusController, EdgeKind, LiveConfig, Metric, Recorder,
+    TraceCollector, TraceCtx, TraceSink,
 };
 use std::collections::{HashMap, HashSet};
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -79,6 +80,11 @@ pub struct FarmConfig {
     /// Write the farm-wide causal-trace log (trace JSONL) here on exit.
     /// `None` disables tracing entirely — the sessions never see a sink.
     pub trace_out: Option<PathBuf>,
+    /// Free-space low watermark (bytes) on the spool filesystem. Below it
+    /// the farm enters disk-pressure mode: admission pauses, in-flight
+    /// sessions shed cadence checkpoints, `farm.disk_pressure` gauges 1.
+    /// Pressure clears automatically when free space recovers. 0 disables.
+    pub disk_low_bytes: u64,
 }
 
 impl Default for FarmConfig {
@@ -97,6 +103,7 @@ impl Default for FarmConfig {
             live_out: None,
             live_every_ms: 250,
             trace_out: None,
+            disk_low_bytes: 0,
         }
     }
 }
@@ -378,6 +385,12 @@ pub fn run(cfg: FarmConfig) -> Result<DrainReport, ServeError> {
     std::fs::create_dir_all(&spool)?;
     std::fs::create_dir_all(job::done_dir(&spool))?;
     std::fs::create_dir_all(job::ctl_dir(&spool))?;
+    // A previous daemon that died mid-write leaves `.*.tmp` droppings from
+    // the atomic-write protocol; sweep them before the first scan so they
+    // never masquerade as control files.
+    for dir in [&spool, &job::done_dir(&spool), &job::ctl_dir(&spool)] {
+        let _ = sweep_orphans(dir);
+    }
 
     let platform = fleet_platform(&cfg.platform)?;
     let accel: Vec<bool> = platform
@@ -415,6 +428,7 @@ pub fn run(cfg: FarmConfig) -> Result<DrainReport, ServeError> {
     let mut report = DrainReport::default();
     let mut draining = false;
     let mut drain_started: Option<Instant> = None;
+    let mut disk_pressure = false;
     let mut round: usize = 0;
 
     let finish_spool_file = |spool_file: &mut HashMap<String, PathBuf>, id: &str| {
@@ -437,7 +451,21 @@ pub fn run(cfg: FarmConfig) -> Result<DrainReport, ServeError> {
             }
         }
 
-        if !draining {
+        // ENOSPC-aware degradation: below the low watermark, stop admitting
+        // new work and shed cadence checkpoints; in-flight jobs keep
+        // encoding (their final commit and preemption checkpoints still
+        // run). Pressure clears itself when free space recovers — queued
+        // specs wait in the spool, nothing is lost either way.
+        if cfg.disk_low_bytes > 0 {
+            let free = backend_for(&spool).free_space(&spool).unwrap_or(u64::MAX);
+            let pressured = free < cfg.disk_low_bytes;
+            if pressured != disk_pressure {
+                disk_pressure = pressured;
+                farm.gauge(Metric::FarmDiskPressure, if pressured { 1.0 } else { 0.0 });
+            }
+        }
+
+        if !draining && !disk_pressure {
             scan_spool(
                 &spool,
                 &mut seen,
@@ -475,6 +503,7 @@ pub fn run(cfg: FarmConfig) -> Result<DrainReport, ServeError> {
         let leases = partition::fair_leases(&accel, &fleet_health.available(), workers.len());
         for (w, lease) in workers.iter().zip(leases) {
             w.ctl.set_lease(Some(lease));
+            w.ctl.set_ckpt_shed(disk_pressure);
         }
         farm.gauge(Metric::FarmQueueDepth, queue.len() as f64);
 
@@ -488,7 +517,27 @@ pub fn run(cfg: FarmConfig) -> Result<DrainReport, ServeError> {
                 if let Some(t) = tracer.as_mut() {
                     t.attempt_done(&worker.job.id);
                 }
-                match event.result {
+                // Verify-before-completed: a clean finish only counts once
+                // the on-disk artifact re-reads byte-exact against the CRC
+                // streamed on the write path. A mismatch (bit-rot, torn
+                // write) is demoted to a session failure — the retry path
+                // re-encodes rather than blessing a corrupt artifact.
+                let result = match event.result {
+                    Ok(rep) if !rep.interrupted => {
+                        match verify_artifact(&worker.job.output, rep.out_bytes, rep.artifact_crc) {
+                            Ok(()) => Ok(rep),
+                            Err(msg) => {
+                                farm.add(Metric::IoCorruptRejected, 1);
+                                Err(SessionFailure {
+                                    message: msg,
+                                    culprit: None,
+                                })
+                            }
+                        }
+                    }
+                    other => other,
+                };
+                match result {
                     Ok(rep) if rep.interrupted => {
                         job::write_done(
                             &spool,
@@ -510,6 +559,7 @@ pub fn run(cfg: FarmConfig) -> Result<DrainReport, ServeError> {
                             &JobStatus::Completed {
                                 frames: rep.frames_done,
                                 bytes: rep.out_bytes,
+                                crc32: rep.artifact_crc,
                             },
                             worker.attempt + 1,
                         )?;
@@ -584,6 +634,9 @@ pub fn run(cfg: FarmConfig) -> Result<DrainReport, ServeError> {
         }
         if cfg.exit_when_idle
             && !draining
+            // Never idle-exit under disk pressure: unscanned specs are
+            // waiting in the spool for the pressure to clear.
+            && !disk_pressure
             && workers.is_empty()
             && retries.is_empty()
             && queue.is_empty()
@@ -649,8 +702,12 @@ fn scan_spool(
             Ok(t) => t,
             Err(_) => continue, // vanished between listing and read
         };
-        match JobSpec::from_json(&text) {
+        match job::unframe_control(&text).and_then(JobSpec::from_json) {
             Err(e) => {
+                // Reject, never crash: a corrupt spec (checksum mismatch)
+                // is quarantined for inspection; a merely invalid one is
+                // removed. Both get a typed `failed` done record.
+                let corrupt = matches!(e, ServeError::Corrupt(_));
                 let id = name.trim_end_matches(".json");
                 job::write_done(
                     spool,
@@ -661,7 +718,12 @@ fn scan_spool(
                     },
                     0,
                 )?;
-                let _ = std::fs::remove_file(&path);
+                if corrupt {
+                    farm.add(Metric::IoCorruptRejected, 1);
+                    let _ = job::quarantine(spool, &path);
+                } else {
+                    let _ = std::fs::remove_file(&path);
+                }
                 report.failed += 1;
                 farm.add(Metric::FarmJobsFailed, 1);
             }

@@ -10,11 +10,59 @@
 //! or still sitting in the spool (queued, or `checkpointed` mid-encode)
 //! for the next daemon to pick up.
 
+//! Every control file (spool spec, done record) carries a trailing
+//! `#crc32=XXXXXXXX` integrity line over the JSON body. Readers verify it
+//! with [`unframe_control`] and surface a typed [`ServeError::Corrupt`] on
+//! mismatch — a bit-rotted or torn control file is rejected (and
+//! quarantined by the daemon), never crashed on. Files without the trailer
+//! (pre-framing daemons) are accepted as-is.
+
 use crate::ServeError;
-use feves_ft::ckpt::fnv1a64;
+use feves_ft::ckpt::{crc32, fnv1a64};
+use feves_ft::io::backend_for;
 use feves_obs::write_atomic;
 use serde::Value;
 use std::path::{Path, PathBuf};
+
+/// Prefix of the integrity trailer line on framed control files.
+const CRC_TRAILER: &str = "#crc32=";
+
+/// Frame a control-file body with its integrity trailer: the body
+/// (newline-terminated) followed by one `#crc32=XXXXXXXX` line covering
+/// every byte before it.
+pub fn frame_control(text: &str) -> String {
+    let body = if text.ends_with('\n') {
+        text.to_string()
+    } else {
+        format!("{text}\n")
+    };
+    let crc = crc32(body.as_bytes());
+    format!("{body}{CRC_TRAILER}{crc:08x}\n")
+}
+
+/// Verify and strip a control file's integrity trailer, returning the
+/// body. Files without a trailer are legacy-accepted verbatim; a present
+/// but wrong trailer is a typed [`ServeError::Corrupt`].
+pub fn unframe_control(text: &str) -> Result<&str, ServeError> {
+    let trimmed = text.trim_end_matches('\n');
+    let (body_end, last) = match trimmed.rfind('\n') {
+        Some(pos) => (pos + 1, &trimmed[pos + 1..]),
+        None => (0, trimmed),
+    };
+    if !last.starts_with(CRC_TRAILER) {
+        return Ok(text);
+    }
+    let want = u32::from_str_radix(&last[CRC_TRAILER.len()..], 16)
+        .map_err(|_| ServeError::Corrupt(format!("unparseable integrity trailer '{last}'")))?;
+    let body = &text[..body_end];
+    let got = crc32(body.as_bytes());
+    if got != want {
+        return Err(ServeError::Corrupt(format!(
+            "control-file checksum mismatch: trailer {want:08x}, content {got:08x}"
+        )));
+    }
+    Ok(body)
+}
 
 /// One encode job, as carried by a spool file.
 ///
@@ -226,12 +274,16 @@ impl JobSpec {
 /// Terminal state of a job, as recorded in `done/<id>.json`.
 #[derive(Clone, Debug, PartialEq)]
 pub enum JobStatus {
-    /// Output written and finished; `bytes` is the final output size.
+    /// Output written, fsynced and verified; `bytes` is the final output
+    /// size and `crc32` the checksum streamed on the write path (what
+    /// `feves verify` checks the artifact against).
     Completed {
         /// Frames encoded.
         frames: usize,
         /// Final output size in bytes.
         bytes: u64,
+        /// CRC-32 of the artifact, streamed as it was written.
+        crc32: u32,
     },
     /// Drained mid-encode with a durable checkpoint committed; the spool
     /// file is left in place so the next daemon resumes it.
@@ -273,9 +325,14 @@ pub fn done_record(id: &str, status: &JobStatus, attempts: u32) -> Value {
         ("attempts".to_string(), Value::UInt(attempts as u64)),
     ];
     match status {
-        JobStatus::Completed { frames, bytes } => {
+        JobStatus::Completed {
+            frames,
+            bytes,
+            crc32,
+        } => {
             fields.push(("frames".into(), Value::UInt(*frames as u64)));
             fields.push(("bytes".into(), Value::UInt(*bytes)));
+            fields.push(("crc32".into(), Value::Str(format!("{crc32:08x}"))));
         }
         JobStatus::Checkpointed { frames_done } => {
             fields.push(("frames_done".into(), Value::UInt(*frames_done as u64)));
@@ -310,6 +367,25 @@ pub fn drain_marker(spool: &Path) -> PathBuf {
     ctl_dir(spool).join("drain")
 }
 
+/// Quarantine directory for corrupt control files — kept for inspection,
+/// never deleted by the daemon.
+pub fn quarantine_dir(spool: &Path) -> PathBuf {
+    spool.join("quarantine")
+}
+
+/// Move a corrupt control file into the quarantine directory.
+pub fn quarantine(spool: &Path, path: &Path) -> Result<PathBuf, ServeError> {
+    let dir = quarantine_dir(spool);
+    std::fs::create_dir_all(&dir)?;
+    let name = path
+        .file_name()
+        .map(|n| n.to_os_string())
+        .unwrap_or_else(|| "corrupt".into());
+    let dest = dir.join(name);
+    backend_for(path).rename(path, &dest)?;
+    Ok(dest)
+}
+
 /// Atomically write a job's terminal state to `done/<id>.json`.
 pub fn write_done(
     spool: &Path,
@@ -322,8 +398,35 @@ pub fn write_done(
     let path = dir.join(format!("{id}.json"));
     let text = serde_json::to_string_pretty(&done_record(id, status, attempts))
         .map_err(|e| ServeError::Io(e.to_string()))?;
-    write_atomic(&path, text)?;
+    write_atomic(&path, frame_control(&text))?;
     Ok(path)
+}
+
+/// Verify a control file's text end to end — integrity trailer, JSON
+/// shape, schema — and say what it is (`feves verify`'s control-file
+/// path). Done records are recognized by their `status` field; anything
+/// else must parse as a spool spec.
+pub fn verify_control(text: &str) -> Result<&'static str, ServeError> {
+    let body = unframe_control(text)?;
+    let v = serde_json::value_from_str(body)
+        .map_err(|e| ServeError::Corrupt(format!("unparseable control JSON: {e}")))?;
+    if v.get("status").and_then(Value::as_str).is_some() {
+        return Ok("done record");
+    }
+    JobSpec::from_value(&v)?;
+    Ok("spool spec")
+}
+
+/// Read and verify a spool spec: integrity trailer first, then the JSON
+/// schema. A checksum mismatch is [`ServeError::Corrupt`], distinct from
+/// the [`ServeError::BadJob`] a well-formed-but-invalid spec earns.
+pub fn read_spec(path: &Path) -> Result<JobSpec, ServeError> {
+    let bytes = backend_for(path)
+        .read(path)
+        .map_err(|e| ServeError::Io(format!("{}: {e}", path.display())))?;
+    let text = String::from_utf8(bytes)
+        .map_err(|_| ServeError::Corrupt(format!("{}: spec is not UTF-8", path.display())))?;
+    JobSpec::from_json(unframe_control(&text)?)
 }
 
 /// Atomically write a job spec into the spool (the `feves submit` path).
@@ -337,7 +440,7 @@ pub fn write_job(spool: &Path, job: &JobSpec) -> Result<PathBuf, ServeError> {
     }
     std::fs::create_dir_all(spool)?;
     let path = spool.join(format!("{}.json", job.id));
-    write_atomic(&path, job.to_json())?;
+    write_atomic(&path, frame_control(&job.to_json()))?;
     Ok(path)
 }
 
@@ -421,6 +524,48 @@ mod tests {
             0,
         );
         assert_eq!(r.get("status").and_then(Value::as_str), Some("rejected"));
+    }
+
+    #[test]
+    fn framed_control_round_trips_and_rejects_corruption() {
+        let text = "{\n  \"id\": \"j\"\n}";
+        let framed = frame_control(text);
+        assert!(framed.lines().last().unwrap().starts_with("#crc32="));
+        assert_eq!(unframe_control(&framed).unwrap(), format!("{text}\n"));
+        // Legacy unframed text passes through untouched.
+        assert_eq!(unframe_control(text).unwrap(), text);
+        // Any body flip under an intact trailer is a typed Corrupt.
+        let rotted = framed.replacen("id", "iD", 1);
+        match unframe_control(&rotted) {
+            Err(ServeError::Corrupt(m)) => assert!(m.contains("checksum mismatch"), "{m}"),
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
+        // A garbled trailer is Corrupt too, not a panic.
+        assert!(matches!(
+            unframe_control("{}\n#crc32=zzzz\n"),
+            Err(ServeError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn read_spec_verifies_spool_files_end_to_end() {
+        let dir = std::env::temp_dir().join(format!("feves-readspec-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let job = JobSpec {
+            id: "rs".into(),
+            input: "i.y4m".into(),
+            output: "o.y4m".into(),
+            ..JobSpec::default()
+        };
+        let path = write_job(&dir, &job).unwrap();
+        assert_eq!(read_spec(&path).unwrap(), job);
+        // Flip one byte of the body: the reader must reject, typed.
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[10] ^= 0x20;
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(matches!(read_spec(&path), Err(ServeError::Corrupt(_))));
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -35,7 +35,7 @@ pub mod signal;
 pub use farm::{DrainReport, FarmConfig, DEFAULT_CHECKPOINT_EVERY};
 pub use job::{JobSpec, JobStatus};
 pub use queue::JobQueue;
-pub use session::{SessionFailure, SessionReport};
+pub use session::{verify_artifact, SessionFailure, SessionReport};
 
 use std::fmt;
 
@@ -53,6 +53,9 @@ pub enum ServeError {
     BadJob(String),
     /// Spool / output filesystem trouble.
     Io(String),
+    /// A control file or artifact failed its integrity check (checksum
+    /// trailer mismatch, torn write, bit-rot). Rejected, never crashed on.
+    Corrupt(String),
 }
 
 impl fmt::Display for ServeError {
@@ -67,6 +70,7 @@ impl fmt::Display for ServeError {
             ),
             ServeError::BadJob(m) => write!(f, "bad job: {m}"),
             ServeError::Io(m) => write!(f, "io: {m}"),
+            ServeError::Corrupt(m) => write!(f, "corrupt: {m}"),
         }
     }
 }

@@ -18,15 +18,16 @@ use feves_core::{
     load_latest, BalancerKind, CheckpointManager, EncoderConfig, ExecutionMode, FevesEncoder,
     FrameworkState, ResumeContext, SessionCtl,
 };
-use feves_ft::ckpt::fnv1a64;
+use feves_ft::ckpt::{crc32, crc32_update, fnv1a64, CRC32_INIT};
+use feves_ft::io::{backend_for, CrcFile};
 use feves_ft::{FaultSchedule, FevesError};
 use feves_hetsim::platform::Platform;
 use feves_hetsim::profiles;
 use feves_obs::{NoopRecorder, SessionScope, TraceSink};
 use feves_video::frame::Frame;
 use feves_video::y4m::{Y4mHeader, Y4mReader, Y4mWriter};
-use std::fs::File;
 use std::io::{BufWriter, Seek, SeekFrom};
+use std::path::Path;
 use std::sync::Arc;
 
 /// What a session that ran to a clean stop reports back.
@@ -38,9 +39,36 @@ pub struct SessionReport {
     pub n_frames: usize,
     /// Committed output bytes.
     pub out_bytes: u64,
+    /// CRC-32 of the output, streamed on the write path — what the bytes
+    /// *should* be, independent of what the disk later returns. Zero when
+    /// interrupted (the checkpoint carries the prefix CRC instead).
+    pub artifact_crc: u32,
     /// True when the supervisor's stop request ended the session early —
     /// a durable checkpoint was committed first.
     pub interrupted: bool,
+}
+
+/// Check a completed artifact against its streamed size + CRC by
+/// re-reading it from disk. This is the farm's verify-before-`completed`
+/// gate: bit-rot between fsync and report, or a torn write the session
+/// missed, surfaces here as a typed message instead of a corrupt
+/// "completed" artifact.
+pub fn verify_artifact(path: &str, bytes: u64, crc: u32) -> Result<(), String> {
+    let p = Path::new(path);
+    let raw = backend_for(p).read(p).map_err(|e| format!("{path}: {e}"))?;
+    if raw.len() as u64 != bytes {
+        return Err(format!(
+            "{path}: artifact is {} bytes, session wrote {bytes}",
+            raw.len()
+        ));
+    }
+    let got = crc32(&raw);
+    if got != crc {
+        return Err(format!(
+            "{path}: artifact checksum {got:08x} != streamed {crc:08x} (corrupt artifact)"
+        ));
+    }
+    Ok(())
 }
 
 /// A session that died: the message plus the attributed device, when the
@@ -173,7 +201,7 @@ fn usable_checkpoint(
     job: &JobSpec,
     input_fp: u64,
     n_frames: usize,
-) -> Option<(ResumeContext, FrameworkState)> {
+) -> Option<(ResumeContext, FrameworkState, u32)> {
     let dir = job.ckpt_dir();
     if !dir.is_dir() {
         return None;
@@ -187,17 +215,25 @@ fn usable_checkpoint(
     if ctx.frames_done == 0 {
         return None;
     }
-    let len = std::fs::metadata(&ctx.output).ok()?.len();
-    if len < ctx.out_bytes {
+    let out = Path::new(&ctx.output);
+    let raw = backend_for(out).read(out).ok()?;
+    if (raw.len() as u64) < ctx.out_bytes {
         return None;
     }
-    Some((ctx, state))
+    // The committed prefix must still hash to what the checkpoint claims:
+    // bit-rot in already-durable bytes must never be extended into a
+    // "complete" artifact.
+    let crc_state = crc32_update(CRC32_INIT, &raw[..ctx.out_bytes as usize]);
+    if !crc_state != ctx.out_crc {
+        return None;
+    }
+    Some((ctx, state, crc_state))
 }
 
 /// Flush + fsync the output so the frame boundary is durable, then commit
 /// a checkpoint claiming it — the CLI's protocol, verbatim.
 fn commit_checkpoint(
-    writer: &mut Y4mWriter<BufWriter<File>>,
+    writer: &mut Y4mWriter<BufWriter<CrcFile>>,
     out_path: &str,
     enc: &mut FevesEncoder,
     mgr: &CheckpointManager,
@@ -209,9 +245,12 @@ fn commit_checkpoint(
     let io_fail = |e: &dyn std::fmt::Display| SessionFailure::new(format!("{out_path}: {e}"));
     writer.flush().map_err(|e| io_fail(&e))?;
     let file = writer.get_ref().get_ref();
-    file.sync_all().map_err(|e| io_fail(&e))?;
+    file.sync().map_err(|e| io_fail(&e))?;
     ctx.frames_done = done;
-    ctx.out_bytes = file.metadata().map_err(|e| io_fail(&e))?.len();
+    ctx.out_bytes = file.bytes();
+    // The checkpoint claims the CRC of the bytes it just made durable; a
+    // retry refuses to resume atop a prefix that no longer hashes to this.
+    ctx.out_crc = file.crc();
     // Checkpoints only commit at quiesced frame boundaries: drain any
     // in-flight pipeline generation before snapshotting.
     enc.quiesce_pipeline();
@@ -260,7 +299,7 @@ pub fn run_session(
     let resume = usable_checkpoint(job, input_fp, n_frames);
     let out_path = job.output.clone();
     let (mut enc, mut writer, mut ctx) = match resume {
-        Some((mut ctx, state)) => {
+        Some((mut ctx, state, prefix_crc_state)) => {
             // Everything past the committed boundary is a torn frame from
             // the previous attempt: truncate it away.
             let open_fail =
@@ -274,7 +313,10 @@ pub fn run_session(
             file.seek(SeekFrom::End(0)).map_err(|e| open_fail(&e))?;
             let enc =
                 FevesEncoder::restore(platform, cfg, state).map_err(SessionFailure::from_feves)?;
-            let writer = Y4mWriter::resume(BufWriter::new(file), header);
+            // Seed the streaming CRC with the verified prefix so the final
+            // artifact checksum covers the whole file, both attempts.
+            let crc_file = CrcFile::resume(file, prefix_crc_state, ctx.out_bytes);
+            let writer = Y4mWriter::resume(BufWriter::new(crc_file), header);
             ctx.every = every;
             // The job spec, not the checkpoint, owns the scheduling mode:
             // resuming lockstep work pipelined (or vice versa) is bit-safe.
@@ -283,7 +325,7 @@ pub fn run_session(
         }
         None => {
             let enc = FevesEncoder::new(platform, cfg).map_err(SessionFailure::from_feves)?;
-            let file = File::create(&out_path)
+            let file = CrcFile::create(Path::new(&out_path))
                 .map_err(|e| SessionFailure::new(format!("{out_path}: {e}")))?;
             let writer = Y4mWriter::new(BufWriter::new(file), header);
             let ctx = ResumeContext {
@@ -307,6 +349,7 @@ pub fn run_session(
                 out_bytes: 0,
                 input_fingerprint: input_fp,
                 pipeline: job.pipeline,
+                out_crc: 0,
             };
             (enc, writer, ctx)
         }
@@ -331,6 +374,7 @@ pub fn run_session(
                 frames_done: i,
                 n_frames,
                 out_bytes: ctx.out_bytes,
+                artifact_crc: 0,
                 interrupted: true,
             });
         }
@@ -352,7 +396,10 @@ pub fn run_session(
             .write_frame(&rf)
             .map_err(|e| SessionFailure::new(format!("{out_path}: {e}")))?;
         let done = i + 1;
-        if ctx.every > 0 && done % ctx.every == 0 && done < n_frames {
+        // Under disk pressure the supervisor sheds cadence checkpoints —
+        // progress durability trades away, bit-exactness does not.
+        // Preemption and final commits are never shed.
+        if ctx.every > 0 && done % ctx.every == 0 && done < n_frames && !ctl.ckpt_shed() {
             commit_checkpoint(
                 &mut writer,
                 &out_path,
@@ -364,16 +411,21 @@ pub fn run_session(
             )?;
         }
     }
-    writer
+    let buf = writer
         .finish()
         .map_err(|e| SessionFailure::new(format!("{out_path}: {e}")))?;
-    let out_bytes = std::fs::metadata(&out_path)
-        .map_err(|e| SessionFailure::new(format!("{out_path}: {e}")))?
-        .len();
+    let file = buf
+        .into_inner()
+        .map_err(|e| SessionFailure::new(format!("{out_path}: {e}")))?;
+    // A job is only ever reported complete after its artifact fsyncs; the
+    // streamed CRC is what the farm verifies the on-disk bytes against.
+    file.sync()
+        .map_err(|e| SessionFailure::new(format!("{out_path}: {e}")))?;
     Ok(SessionReport {
         frames_done: n_frames,
         n_frames,
-        out_bytes,
+        out_bytes: file.bytes(),
+        artifact_crc: file.crc(),
         interrupted: false,
     })
 }

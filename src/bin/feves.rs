@@ -5,6 +5,7 @@
 //! feves simulate [options]                 timing-only 1080p run (virtual clock)
 //! feves encode <in.y4m> [out.y4m] [opts]   functional encode of a Y4M file
 //! feves resume <ckpt|dir> [options]        continue a crashed encode session
+//! feves verify <artifact|ckpt|spool>       validate checksums + container structure
 //! feves serve <spool> [options]            supervised encode-farm daemon
 //! feves submit <spool> <in.y4m> [out]      drop an encode job into a spool
 //! feves drain <spool>                      ask the daemon to drain and exit
@@ -40,8 +41,9 @@
 //! shown).
 
 use feves::core::prelude::*;
-use feves::ft::ckpt::fnv1a64;
+use feves::ft::ckpt::{crc32, crc32_update, fnv1a64, CKPT_MAGIC, CRC32_INIT};
 use feves::ft::crash::crash_point_at;
+use feves::ft::io::CrcFile;
 use feves::obs::{
     compare_reports, compare_reports_metric, parse_flight_jsonl, render_html, write_atomic,
     BusController, LiveConfig, LiveSnapshot, MemoryRecorder, NoopRecorder, SessionScope,
@@ -113,6 +115,7 @@ struct Options {
     no_trace: bool,
     strict: bool,
     perfetto: Option<String>,
+    disk_low_mb: u64,
 }
 
 impl Default for Options {
@@ -157,6 +160,7 @@ impl Default for Options {
             no_trace: false,
             strict: false,
             perfetto: None,
+            disk_low_mb: 0,
         }
     }
 }
@@ -273,6 +277,9 @@ fn parse_options(args: &[String]) -> Result<(Options, Vec<String>), String> {
             "--no-trace" => opts.no_trace = true,
             "--strict" => opts.strict = true,
             "--perfetto" => opts.perfetto = Some(grab()?.clone()),
+            "--disk-low-mb" => {
+                opts.disk_low_mb = grab()?.parse().map_err(|e| format!("--disk-low-mb: {e}"))?
+            }
             _ if a.starts_with("--") => return Err(format!("unknown option {a}")),
             _ => positional.push(a.clone()),
         }
@@ -745,7 +752,7 @@ fn read_input(input: &str) -> CliResult<(u64, Y4mHeader, Vec<Frame>)> {
 /// Flush the Y4M buffer, fsync the output so the frame boundary is
 /// durable, and commit a checkpoint claiming it.
 fn commit_checkpoint(
-    writer: &mut Y4mWriter<BufWriter<std::fs::File>>,
+    writer: &mut Y4mWriter<BufWriter<CrcFile>>,
     out_path: &str,
     enc: &mut FevesEncoder,
     mgr: &CheckpointManager,
@@ -757,13 +764,13 @@ fn commit_checkpoint(
         .flush()
         .map_err(|e| CliError::runtime(format!("{out_path}: {e}")))?;
     let file = writer.get_ref().get_ref();
-    file.sync_all()
+    file.sync()
         .map_err(|e| CliError::runtime(format!("{out_path}: {e}")))?;
     ctx.frames_done = done;
-    ctx.out_bytes = file
-        .metadata()
-        .map_err(|e| CliError::runtime(format!("{out_path}: {e}")))?
-        .len();
+    ctx.out_bytes = file.bytes();
+    // The checkpoint claims the CRC of the prefix it just made durable;
+    // `feves resume` refuses a prefix that no longer hashes to it.
+    ctx.out_crc = file.crc();
     // Checkpoints commit only at quiesced frame boundaries: drain any
     // in-flight pipeline generation before snapshotting.
     enc.quiesce_pipeline();
@@ -792,7 +799,7 @@ fn encode_loop(
     enc: &mut FevesEncoder,
     frames: &[Frame],
     start: usize,
-    writer: &mut Y4mWriter<BufWriter<std::fs::File>>,
+    writer: &mut Y4mWriter<BufWriter<CrcFile>>,
     out_path: &str,
     ckpt: Option<(&CheckpointManager, &mut ResumeContext)>,
     rec: &Option<Arc<MemoryRecorder>>,
@@ -882,7 +889,7 @@ fn cmd_encode(opts: &Options, input: &str, output: Option<&str>) -> CliResult {
     let out_path = output
         .map(str::to_string)
         .unwrap_or_else(|| format!("{input}.recon.y4m"));
-    let out = std::fs::File::create(&out_path)
+    let out = CrcFile::create(std::path::Path::new(&out_path))
         .map_err(|e| CliError::runtime(format!("{out_path}: {e}")))?;
     let mut writer = Y4mWriter::new(BufWriter::new(out), header);
 
@@ -913,6 +920,7 @@ fn cmd_encode(opts: &Options, input: &str, output: Option<&str>) -> CliResult {
             out_bytes: 0,
             input_fingerprint: input_fp,
             pipeline: opts.pipeline,
+            out_crc: 0,
         };
         Some((CheckpointManager::new(dir, opts.checkpoint_keep), ctx))
     } else {
@@ -933,12 +941,23 @@ fn cmd_encode(opts: &Options, input: &str, output: Option<&str>) -> CliResult {
         // tail past `out_bytes` is `feves resume`'s to truncate.
         return telemetry.finish(&opts.metrics_out);
     }
-    writer
-        .finish()
-        .map_err(|e| CliError::runtime(format!("{out_path}: {e}")))?;
+    finish_output(writer, &out_path)?;
     print_encode_summary(&opts.platform, &out_path, reports);
     write_flight(&enc, &opts.flight_out)?;
     telemetry.finish(&opts.metrics_out)
+}
+
+/// Flush, fsync and close the output: the encode only reports success once
+/// the artifact is durable.
+fn finish_output(writer: Y4mWriter<BufWriter<CrcFile>>, out_path: &str) -> CliResult {
+    let io_fail = |e: &dyn std::fmt::Display| CliError::runtime(format!("{out_path}: {e}"));
+    let file = writer
+        .finish()
+        .map_err(|e| io_fail(&e))?
+        .into_inner()
+        .map_err(|e| io_fail(&e))?;
+    file.sync().map_err(|e| io_fail(&e))?;
+    Ok(())
 }
 
 fn cmd_resume(path: &str) -> CliResult {
@@ -984,22 +1003,32 @@ fn cmd_resume(path: &str) -> CliResult {
     }
 
     // Truncate the output to the last committed frame boundary: everything
-    // past `out_bytes` is a torn frame from the crash.
-    let out_file = std::fs::OpenOptions::new()
-        .read(true)
-        .write(true)
-        .open(&ctx.output)
+    // past `out_bytes` is a torn frame from the crash. The kept prefix must
+    // still hash to what the checkpoint committed — resuming atop bit-rot
+    // would launder corrupt bytes into a "complete" artifact.
+    let raw = std::fs::read(&ctx.output)
         .map_err(|e| CliError::runtime(format!("{}: {e}", ctx.output)))?;
-    let len = out_file
-        .metadata()
-        .map_err(|e| CliError::runtime(format!("{}: {e}", ctx.output)))?
-        .len();
+    let len = raw.len() as u64;
     if len < ctx.out_bytes {
         return Err(CliError::runtime(FevesError::CheckpointStale(format!(
             "output {} is {len} bytes, shorter than the {} committed by the checkpoint",
             ctx.output, ctx.out_bytes
         ))));
     }
+    let prefix_crc_state = crc32_update(CRC32_INIT, &raw[..ctx.out_bytes as usize]);
+    if ctx.frames_done > 0 && !prefix_crc_state != ctx.out_crc {
+        return Err(CliError::runtime(FevesError::CheckpointCorrupt(format!(
+            "output {}: committed prefix hashes to {:08x}, checkpoint recorded {:08x} \
+             — the artifact rotted on disk; re-encode instead of resuming",
+            ctx.output, !prefix_crc_state, ctx.out_crc
+        ))));
+    }
+    drop(raw);
+    let out_file = std::fs::OpenOptions::new()
+        .read(true)
+        .write(true)
+        .open(&ctx.output)
+        .map_err(|e| CliError::runtime(format!("{}: {e}", ctx.output)))?;
     out_file
         .set_len(ctx.out_bytes)
         .map_err(|e| CliError::runtime(format!("{}: {e}", ctx.output)))?;
@@ -1007,6 +1036,7 @@ fn cmd_resume(path: &str) -> CliResult {
     out_file
         .seek(SeekFrom::End(0))
         .map_err(|e| CliError::runtime(format!("{}: {e}", ctx.output)))?;
+    let out_file = CrcFile::resume(out_file, prefix_crc_state, ctx.out_bytes);
 
     // Rebuild the platform/config exactly as the original invocation did,
     // and restore the encoder without re-probing.
@@ -1061,9 +1091,7 @@ fn cmd_resume(path: &str) -> CliResult {
     if interrupted {
         return write_metrics(&rec, &ctx.metrics_out);
     }
-    writer
-        .finish()
-        .map_err(|e| CliError::runtime(format!("{out_path}: {e}")))?;
+    finish_output(writer, &out_path)?;
     println!(
         "\nresumed at frame {start}; encoded {} more frame(s) into {out_path}",
         reports.len()
@@ -1089,8 +1117,19 @@ fn cmd_stats_live(input: &str) -> CliResult {
 /// scripts and CI); otherwise redraws every `--interval` ms until killed.
 fn cmd_top(opts: &Options, input: &str) -> CliResult {
     loop {
-        let text = std::fs::read_to_string(input)
-            .map_err(|e| CliError::runtime(format!("{input}: {e}")))?;
+        // A snapshot that does not exist yet and one the OS refuses to read
+        // are different operator situations: "no snapshot yet" means the
+        // producer has not published (start it, or check --live-out); any
+        // other error carries the OS's reason verbatim.
+        let text = match std::fs::read_to_string(input) {
+            Ok(t) => t,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                return Err(CliError::runtime(format!(
+                    "{input}: no snapshot yet — is the producer running with --live-out?"
+                )))
+            }
+            Err(e) => return Err(CliError::runtime(format!("{input}: {e}"))),
+        };
         let snap =
             LiveSnapshot::parse(&text).map_err(|e| CliError::runtime(format!("{input}: {e}")))?;
         if opts.once {
@@ -1134,6 +1173,115 @@ fn cmd_top(opts: &Options, input: &str) -> CliResult {
     }
 }
 
+/// Verify one durable file, sniffed by content: a checkpoint (magic
+/// `FEVESCKP`, full binary decode), a Y4M artifact (container parse), or a
+/// framed JSON control file (checksum trailer + schema). Returns a
+/// human-readable description of what verified.
+fn verify_file(p: &std::path::Path) -> CliResult<String> {
+    let name = p.display();
+    let bytes = std::fs::read(p).map_err(|e| CliError::runtime(format!("{name}: {e}")))?;
+    if bytes.len() >= 8 && bytes[..8] == CKPT_MAGIC {
+        let (ctx, _state) = feves::core::load_checkpoint_file(p)
+            .map_err(|e| CliError::runtime(format!("{name}: {e}")))?;
+        return Ok(format!(
+            "checkpoint, frame {}/{}, output crc32 {:08x}",
+            ctx.frames_done, ctx.n_frames, ctx.out_crc
+        ));
+    }
+    if bytes.starts_with(b"YUV4MPEG2") {
+        let mut reader = Y4mReader::new(std::io::Cursor::new(&bytes[..]))
+            .map_err(|e| CliError::runtime(format!("{name}: {e}")))?;
+        let frames = reader
+            .read_all()
+            .map_err(|e| CliError::runtime(format!("{name}: corrupt container: {e}")))?;
+        return Ok(format!(
+            "y4m artifact, {} frame(s), crc32 {:08x}",
+            frames.len(),
+            crc32(&bytes)
+        ));
+    }
+    let text = String::from_utf8(bytes)
+        .map_err(|_| CliError::runtime(format!("{name}: unrecognized binary file")))?;
+    if !text.trim_start().starts_with('{') {
+        return Err(CliError::runtime(format!("{name}: unrecognized file type")));
+    }
+    let framed = text
+        .trim_end()
+        .lines()
+        .next_back()
+        .is_some_and(|l| l.starts_with("#crc32="));
+    let what = feves::serve::job::verify_control(&text)
+        .map_err(|e| CliError::runtime(format!("{name}: {e}")))?;
+    Ok(if framed {
+        format!("{what}, checksum ok")
+    } else {
+        format!("legacy {what}, no checksum")
+    })
+}
+
+/// `feves verify <artifact|ckpt|spool>`: validate the checksums and
+/// container structure of everything the framework persists. A directory
+/// is walked (checkpoint generations, spool specs, done records); every
+/// corrupt file is reported as a typed `error:` line and the exit is 1.
+fn cmd_verify(path: &str) -> CliResult {
+    let p = std::path::Path::new(path);
+    if p.is_file() {
+        let what = verify_file(p)?;
+        println!("{path}: ok ({what})");
+        return Ok(());
+    }
+    if !p.is_dir() {
+        return Err(CliError::runtime(format!(
+            "{path}: no such file or directory"
+        )));
+    }
+    // A checkpoint dir and a spool both verify the same way: every
+    // checkpoint generation and control file inside must check out.
+    // Quarantined files are skipped — they are already known corrupt.
+    let mut targets: Vec<PathBuf> = Vec::new();
+    let list = |dir: &std::path::Path, targets: &mut Vec<PathBuf>| -> CliResult {
+        for entry in
+            std::fs::read_dir(dir).map_err(|e| CliError::runtime(format!("{path}: {e}")))?
+        {
+            let entry = entry.map_err(|e| CliError::runtime(format!("{path}: {e}")))?;
+            let f = entry.path();
+            let name = entry.file_name().to_string_lossy().into_owned();
+            let known = name.ends_with(".ckpt") || name.ends_with(".json");
+            if f.is_file() && known && !name.starts_with('.') {
+                targets.push(f);
+            }
+        }
+        Ok(())
+    };
+    list(p, &mut targets)?;
+    let done = feves::serve::job::done_dir(p);
+    if done.is_dir() {
+        list(&done, &mut targets)?;
+    }
+    targets.sort();
+    let mut failures = 0usize;
+    for t in &targets {
+        match verify_file(t) {
+            Ok(what) => println!("{}: ok ({what})", t.display()),
+            Err(CliError::Runtime(m)) | Err(CliError::Usage(m)) => {
+                eprintln!("error: {m}");
+                failures += 1;
+            }
+        }
+    }
+    if failures > 0 {
+        return Err(CliError::runtime(format!(
+            "{path}: {failures} of {} file(s) failed verification",
+            targets.len()
+        )));
+    }
+    if targets.is_empty() {
+        return Err(CliError::runtime(format!("{path}: nothing to verify")));
+    }
+    println!("{path}: ok ({} file(s) verified)", targets.len());
+    Ok(())
+}
+
 /// `feves serve <spool>`: run the supervised encode farm until drained
 /// (SIGTERM/SIGINT or `feves drain`) or, with `--exit-when-idle`, until
 /// the spool runs dry.
@@ -1155,6 +1303,7 @@ fn cmd_serve(opts: &Options, spool: &str) -> CliResult {
         live_out: opts.live_out.clone().map(PathBuf::from),
         live_every_ms: opts.live_every_ms,
         trace_out: opts.trace_out.clone().map(PathBuf::from),
+        disk_low_bytes: opts.disk_low_mb.saturating_mul(1024 * 1024),
         ..feves::serve::FarmConfig::default()
     };
     eprintln!(
@@ -1296,6 +1445,7 @@ fn usage() {
          \u{20}  simulate [options]              timing-only 1080p run\n\
          \u{20}  encode <in.y4m> [out] [options] functional Y4M encode\n\
          \u{20}  resume <ckpt|dir>               continue a crashed encode session\n\
+         \u{20}  verify <artifact|ckpt|spool>    validate checksums + container structure\n\
          \u{20}  trace [options|trace.jsonl]     steady-state frame Gantt, or\n\
          \u{20}    [--perfetto <out.json>]       critical-path analysis of a farm\n\
          \u{20}                                  causal-trace log (serve --trace-out)\n\
@@ -1333,6 +1483,9 @@ fn usage() {
          \u{20}        --retry-budget <n>              serve: retries per job (default 2)\n\
          \u{20}        --poll-ms <ms>                  serve: spool poll period (default 50)\n\
          \u{20}        --exit-when-idle                serve: exit when the spool runs dry\n\
+         \u{20}        --disk-low-mb <n>               serve: free-space low watermark; below\n\
+         \u{20}                                        it admission pauses and cadence\n\
+         \u{20}                                        checkpoints shed (0 = off)\n\
          \u{20}        --trace-out <path>              serve: farm-wide causal-trace JSONL\n\
          \u{20}                                        (analyze with `feves trace <path>`)\n\
          \u{20}        --no-trace                      submit: opt this job out of tracing\n\
@@ -1417,6 +1570,12 @@ fn main() -> ExitCode {
                 .first()
                 .ok_or_else(|| CliError::usage("resume needs a checkpoint file or directory"))?;
             cmd_resume(path)
+        }),
+        "verify" => parse_cli(rest).and_then(|(_, pos)| {
+            let path = pos.first().ok_or_else(|| {
+                CliError::usage("verify needs an artifact, checkpoint, spool file or directory")
+            })?;
+            cmd_verify(path)
         }),
         "report" => parse_cli(rest).and_then(|(o, pos)| {
             let input = pos
